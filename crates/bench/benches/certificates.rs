@@ -1,0 +1,49 @@
+//! Certificate construction and full analyzer verification vs. quorum size
+//! — the dominant per-message cost of the transformed protocol.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ftm_certify::analyzer::CertChecker;
+use ftm_certify::{Certificate, Core, Envelope, MessageCore, SignedCore, ValueVector};
+use ftm_crypto::keydir::KeyDirectory;
+use ftm_crypto::rsa::KeyPair;
+use ftm_sim::ProcessId;
+
+fn fixture(n: usize) -> (CertChecker, Vec<KeyPair>) {
+    let mut rng = ftm_crypto::rng_from_seed(7);
+    let (dir, keys) = KeyDirectory::generate(&mut rng, n, 128);
+    (CertChecker::new(n, (n - 1) / 2, dir), keys)
+}
+
+/// A coordinator CURRENT(1, vect) with its n−F INIT witness set.
+fn coordinator_current(n: usize, keys: &[KeyPair]) -> Envelope {
+    let f = (n - 1) / 2;
+    let quorum = n - f;
+    let mut vect = ValueVector::empty(n);
+    let mut cert = Certificate::new();
+    for s in 0..quorum as u32 {
+        vect.set(s as usize, 100 + s as u64);
+        cert.insert(SignedCore::sign(
+            MessageCore::new(ProcessId(s), Core::Init { value: 100 + s as u64 }),
+            &keys[s as usize],
+        ));
+    }
+    Envelope::make(ProcessId(0), Core::Current { round: 1, vector: vect }, cert, &keys[0])
+}
+
+fn bench_certificates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("certificates");
+    for n in [4usize, 7, 13, 21] {
+        let (checker, keys) = fixture(n);
+        group.bench_function(format!("build_current_n{n}"), |b| {
+            b.iter(|| coordinator_current(black_box(n), &keys))
+        });
+        let env = coordinator_current(n, &keys);
+        group.bench_function(format!("verify_current_n{n}"), |b| {
+            b.iter(|| checker.check_envelope(black_box(&env)).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_certificates);
+criterion_main!(benches);

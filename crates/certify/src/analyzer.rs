@@ -1,0 +1,711 @@
+//! The certificate analyzer: well-formedness rules from paper §5.1.
+//!
+//! For every message kind the paper defines when its certificate is
+//! *well-formed* with respect to the value it carries and the condition
+//! that enabled its send. [`CertChecker`] implements those rules:
+//!
+//! * `INIT(v)` — empty certificate (initial values cannot be certified;
+//!   they are handled by vector certification instead).
+//! * `CURRENT(r, vect)` from the round-`r` coordinator — the INIT-portion
+//!   must witness `vect` (≥ `n−F` signed INITs consistent with it) and the
+//!   NEXT-portion must witness `r` (≥ `n−F` signed `NEXT(r−1)`, or nothing
+//!   for `r = 1`).
+//! * `CURRENT(r, vect)` from a relayer — the certificate must contain the
+//!   coordinator's own signed `CURRENT(r, vect)` plus the INIT backing of
+//!   `vect`.
+//! * `NEXT(r)` — must match one of the three send conditions (coordinator
+//!   suspicion from `q0`, `change_mind` from `q1`, end-of-round), each with
+//!   its own cardinality pattern; suspicion itself is unverifiable, so that
+//!   branch only constrains structure.
+//! * `DECIDE(r, vect)` — ≥ `n−F` signed `CURRENT(r, vect)` from distinct
+//!   senders (we follow §5.1 here; Fig. 3 line 21 writes `est_cert_i`,
+//!   which would be forgeable — see DESIGN.md).
+//!
+//! Every rule first re-verifies the signature of every certificate item:
+//! this is what makes the certification module *reliable* — no process can
+//! fabricate or tamper with certificate contents without being detected.
+
+use ftm_crypto::keydir::KeyDirectory;
+use ftm_sim::ProcessId;
+
+use crate::certificate::Certificate;
+use crate::error::{CertifyError, FaultClass};
+use crate::message::{Core, MessageKind, Round, ValueVector};
+use crate::signed::Envelope;
+
+/// Which of the three legal conditions triggered a `NEXT` message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextTrigger {
+    /// `q0 → q2`: the sender suspected the round coordinator.
+    Suspicion,
+    /// `q1 → q2`: the sender received a quorum of votes but neither a
+    /// CURRENT nor a NEXT quorum — it changes its mind to unblock the round.
+    ChangeMind,
+    /// End of the round loop: a NEXT quorum was already observed.
+    EndOfRound,
+}
+
+/// Validates certificates against the transformed protocol's rules.
+///
+/// # Example
+///
+/// ```
+/// use ftm_certify::analyzer::CertChecker;
+/// use ftm_crypto::keydir::KeyDirectory;
+///
+/// let mut rng = ftm_crypto::rng_from_seed(2);
+/// let (dir, _keys) = KeyDirectory::generate(&mut rng, 4, 128);
+/// let checker = CertChecker::new(4, 1, dir);
+/// assert_eq!(checker.quorum(), 3); // n − F
+/// ```
+#[derive(Debug, Clone)]
+pub struct CertChecker {
+    n: usize,
+    f: usize,
+    dir: KeyDirectory,
+}
+
+impl CertChecker {
+    /// Creates a checker for `n` processes tolerating `f` faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ n` and `f ≤ ⌊(n−1)/2⌋` (the paper's resilience
+    /// bound; beyond it quorums of size `n−F` stop intersecting in a
+    /// correct process).
+    pub fn new(n: usize, f: usize, dir: KeyDirectory) -> Self {
+        assert!(n >= 1, "need at least one process");
+        assert!(
+            f <= (n - 1) / 2,
+            "F = {f} exceeds the resilience bound ⌊(n−1)/2⌋ = {}",
+            (n - 1) / 2
+        );
+        CertChecker { n, f, dir }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Fault tolerance parameter `F`.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// Quorum size `n − F` used by every cardinality test.
+    pub fn quorum(&self) -> usize {
+        self.n - self.f
+    }
+
+    /// The key directory signatures are verified against.
+    pub fn dir(&self) -> &KeyDirectory {
+        &self.dir
+    }
+
+    /// The round-`r` coordinator under the rotating-coordinator paradigm
+    /// (`c = ((r − 1) mod n)` 0-based; the paper's `(r mod n) + 1` 1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics for round 0 (the vector-certification phase has none).
+    pub fn coordinator(&self, round: Round) -> ProcessId {
+        assert!(round >= 1, "round 0 has no coordinator");
+        ProcessId(((round - 1) % self.n as u64) as u32)
+    }
+
+    /// Full validation entry point: signature syntax and certificate rules
+    /// for any envelope.
+    ///
+    /// # Errors
+    ///
+    /// The first rule violation found, classified per [`FaultClass`]. The
+    /// culprit is always the envelope's claimed sender (inner signatures
+    /// identify tampering *by the sender*, since honest processes never
+    /// forward unverifiable items).
+    pub fn check_envelope(&self, env: &Envelope) -> Result<(), CertifyError> {
+        env.signed.verify(&self.dir)?;
+        self.check_syntax(env)?;
+        self.check_cert_signatures(env)?;
+        match env.core() {
+            Core::Init { .. } => self.check_init(env),
+            Core::Current { .. } => self.check_current(env),
+            Core::Next { .. } => self.check_next(env).map(|_| ()),
+            Core::Decide { .. } => self.check_decide(env),
+        }
+    }
+
+    /// Syntactic validity: vector widths match `n`, rounds are ≥ 1 where a
+    /// coordinator exists.
+    pub fn check_syntax(&self, env: &Envelope) -> Result<(), CertifyError> {
+        let culprit = env.sender();
+        let bad = |reason| Err(CertifyError::new(culprit, FaultClass::WrongSyntax, reason));
+        if env.sender().index() >= self.n {
+            return bad("sender id out of range");
+        }
+        match env.core() {
+            Core::Init { .. } => Ok(()),
+            Core::Current { round, vector } | Core::Decide { round, vector } => {
+                if *round < 1 {
+                    return bad("round 0 carries no votes");
+                }
+                if vector.len() != self.n {
+                    return bad("estimate vector has wrong width");
+                }
+                Ok(())
+            }
+            Core::Next { round } => {
+                if *round < 1 {
+                    return bad("round 0 carries no votes");
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Re-verifies the signature of every certificate item.
+    pub fn check_cert_signatures(&self, env: &Envelope) -> Result<(), CertifyError> {
+        for item in env.cert.iter() {
+            if item.verify(&self.dir).is_err() {
+                return Err(CertifyError::new(
+                    env.sender(),
+                    FaultClass::BadCertificate,
+                    "certificate contains an item with an invalid signature",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// INIT messages carry no certificate.
+    pub fn check_init(&self, env: &Envelope) -> Result<(), CertifyError> {
+        if env.cert.is_empty() {
+            Ok(())
+        } else {
+            Err(CertifyError::new(
+                env.sender(),
+                FaultClass::BadCertificate,
+                "INIT must carry an empty certificate",
+            ))
+        }
+    }
+
+    /// "est_cert is well-formed with respect to vect": every non-null entry
+    /// of `vect` is witnessed by a signed INIT, and at least `n−F` entries
+    /// are witnessed (paper §5.1, initial values).
+    pub fn init_portion_well_formed(
+        &self,
+        cert: &Certificate,
+        vector: &ValueVector,
+        culprit: ProcessId,
+    ) -> Result<(), CertifyError> {
+        if vector.non_null_count() < self.quorum() {
+            return Err(CertifyError::new(
+                culprit,
+                FaultClass::BadCertificate,
+                "estimate vector has fewer than n−F entries",
+            ));
+        }
+        for (k, v) in vector.iter_set() {
+            let witnessed = cert.iter().any(|item| {
+                item.sender().index() == k
+                    && matches!(&item.core().core, Core::Init { value } if *value == v)
+            });
+            if !witnessed {
+                return Err(CertifyError::new(
+                    culprit,
+                    FaultClass::BadCertificate,
+                    "vector entry not witnessed by a signed INIT",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// "next_cert is well-formed with respect to round": entering round
+    /// `round > 1` requires `n−F` signed `NEXT(round−1)`; round 1 needs
+    /// nothing (`next_cert = ∅`).
+    pub fn next_portion_well_formed(
+        &self,
+        cert: &Certificate,
+        round: Round,
+        culprit: ProcessId,
+    ) -> Result<(), CertifyError> {
+        if round <= 1 {
+            return Ok(());
+        }
+        if cert.count(MessageKind::Next, round - 1) < self.quorum() {
+            return Err(CertifyError::new(
+                culprit,
+                FaultClass::BadCertificate,
+                "round entry lacks n−F signed NEXT votes for the previous round",
+            ));
+        }
+        Ok(())
+    }
+
+    /// CURRENT rules (coordinator vs. relayer), assuming signatures and
+    /// syntax were already checked.
+    pub fn check_current(&self, env: &Envelope) -> Result<(), CertifyError> {
+        let Core::Current { round, vector } = env.core() else {
+            return Err(CertifyError::new(
+                env.sender(),
+                FaultClass::WrongSyntax,
+                "check_current on a non-CURRENT message",
+            ));
+        };
+        let culprit = env.sender();
+        self.init_portion_well_formed(&env.cert, vector, culprit)?;
+        if env.sender() == self.coordinator(*round) {
+            // The coordinator must additionally justify being in round r.
+            self.next_portion_well_formed(&env.cert, *round, culprit)
+        } else {
+            // A relayer must show the coordinator's own CURRENT for the
+            // same round and the same vector (no substituted message).
+            if env
+                .cert
+                .find_current(self.coordinator(*round), *round, vector)
+                .is_none()
+            {
+                return Err(CertifyError::new(
+                    culprit,
+                    FaultClass::BadCertificate,
+                    "relayed CURRENT lacks the coordinator's signed CURRENT for this vector",
+                ));
+            }
+            Ok(())
+        }
+    }
+
+    /// NEXT rules: the certificate must match one of the three legal send
+    /// conditions; returns which one (receivers use it to know *why* the
+    /// sender votes NEXT).
+    pub fn check_next(&self, env: &Envelope) -> Result<NextTrigger, CertifyError> {
+        let Core::Next { round } = env.core() else {
+            return Err(CertifyError::new(
+                env.sender(),
+                FaultClass::WrongSyntax,
+                "check_next on a non-NEXT message",
+            ));
+        };
+        let r = *round;
+        let culprit = env.sender();
+
+        // No certificate item may come from the future: that would mean
+        // the sender fabricated votes it cannot have received.
+        for item in env.cert.iter() {
+            if item.round() > r {
+                return Err(CertifyError::new(
+                    culprit,
+                    FaultClass::BadCertificate,
+                    "NEXT certificate contains items from a future round",
+                ));
+            }
+        }
+
+        let currents = env.cert.count(MessageKind::Current, r);
+        let nexts = env.cert.count(MessageKind::Next, r);
+        let rec_from = env.cert.rec_from(r).len();
+        let q = self.quorum();
+
+        // (c) End-of-round: a full NEXT quorum observed.
+        if nexts >= q {
+            return Ok(NextTrigger::EndOfRound);
+        }
+        // (b) change_mind: in q1 (≥1 CURRENT seen), a quorum of votes
+        // arrived but neither a CURRENT quorum nor a NEXT quorum.
+        if currents >= 1 && rec_from >= q && currents < q {
+            return Ok(NextTrigger::ChangeMind);
+        }
+        // (a) Suspicion from q0: no CURRENT relayed/adopted yet. The
+        // suspicion itself cannot be audited (failure-detector output is
+        // local), so the only structural requirement is the absence of a
+        // CURRENT quorum claim.
+        if currents == 0 {
+            return Ok(NextTrigger::Suspicion);
+        }
+        Err(CertifyError::new(
+            culprit,
+            FaultClass::BadCertificate,
+            "NEXT certificate matches no legal send condition",
+        ))
+    }
+
+    /// DECIDE rule: `n−F` distinct signed `CURRENT(round, vect)` with the
+    /// decided vector (§5.1; see module docs for the Fig. 3 discrepancy).
+    pub fn check_decide(&self, env: &Envelope) -> Result<(), CertifyError> {
+        let Core::Decide { round, vector } = env.core() else {
+            return Err(CertifyError::new(
+                env.sender(),
+                FaultClass::WrongSyntax,
+                "check_decide on a non-DECIDE message",
+            ));
+        };
+        let matching: std::collections::HashSet<ProcessId> = env
+            .cert
+            .iter_kind_round(MessageKind::Current, *round)
+            .filter(|i| i.core().core.vector() == Some(vector))
+            .map(|i| i.sender())
+            .collect();
+        if matching.len() < self.quorum() {
+            return Err(CertifyError::new(
+                env.sender(),
+                FaultClass::BadCertificate,
+                "DECIDE lacks n−F signed CURRENT votes for the decided vector",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageCore;
+    use crate::signed::SignedCore;
+    use ftm_crypto::keydir::KeyDirectory;
+    use ftm_crypto::rsa::KeyPair;
+    use ftm_crypto::wire::CanonicalEncode;
+
+    const N: usize = 4;
+    const F: usize = 1;
+
+    struct Fixture {
+        checker: CertChecker,
+        keys: Vec<KeyPair>,
+    }
+
+    fn fixture() -> Fixture {
+        let mut rng = ftm_crypto::rng_from_seed(41);
+        let (dir, keys) = KeyDirectory::generate(&mut rng, N, 128);
+        Fixture {
+            checker: CertChecker::new(N, F, dir),
+            keys,
+        }
+    }
+
+    fn signed(f: &Fixture, sender: u32, core: Core) -> SignedCore {
+        SignedCore::sign(
+            MessageCore::new(ProcessId(sender), core),
+            &f.keys[sender as usize],
+        )
+    }
+
+    /// INIT items from p0..p2 (a quorum of 3) with value = 10 + sender.
+    fn init_quorum(f: &Fixture) -> Certificate {
+        Certificate::from_items(
+            (0..3u32).map(|s| signed(f, s, Core::Init { value: 10 + s as u64 })),
+        )
+    }
+
+    /// The vector those INITs witness.
+    fn witnessed_vector() -> ValueVector {
+        ValueVector::from_entries(vec![Some(10), Some(11), Some(12), None])
+    }
+
+    fn next_quorum(f: &Fixture, round: Round) -> Certificate {
+        Certificate::from_items((0..3u32).map(|s| signed(f, s, Core::Next { round })))
+    }
+
+    #[test]
+    fn coordinator_rotates() {
+        let f = fixture();
+        assert_eq!(f.checker.coordinator(1), ProcessId(0));
+        assert_eq!(f.checker.coordinator(4), ProcessId(3));
+        assert_eq!(f.checker.coordinator(5), ProcessId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "resilience bound")]
+    fn excessive_f_rejected() {
+        let f = fixture();
+        let _ = CertChecker::new(4, 2, f.checker.dir.clone());
+    }
+
+    #[test]
+    fn valid_init_passes() {
+        let f = fixture();
+        let env = Envelope::make(
+            ProcessId(1),
+            Core::Init { value: 11 },
+            Certificate::new(),
+            &f.keys[1],
+        );
+        assert!(f.checker.check_envelope(&env).is_ok());
+    }
+
+    #[test]
+    fn init_with_certificate_is_rejected() {
+        let f = fixture();
+        let env = Envelope::make(
+            ProcessId(1),
+            Core::Init { value: 11 },
+            next_quorum(&f, 1),
+            &f.keys[1],
+        );
+        let err = f.checker.check_envelope(&env).unwrap_err();
+        assert_eq!(err.class, FaultClass::BadCertificate);
+    }
+
+    #[test]
+    fn forged_outer_signature_is_caught() {
+        let f = fixture();
+        // p2 signs but claims to be p1.
+        let env = Envelope::make(
+            ProcessId(1),
+            Core::Init { value: 11 },
+            Certificate::new(),
+            &f.keys[2],
+        );
+        let err = f.checker.check_envelope(&env).unwrap_err();
+        assert_eq!(err.class, FaultClass::BadSignature);
+        assert_eq!(err.culprit, ProcessId(1));
+    }
+
+    #[test]
+    fn coordinator_current_round1_valid() {
+        let f = fixture();
+        let env = Envelope::make(
+            ProcessId(0), // coordinator of round 1
+            Core::Current {
+                round: 1,
+                vector: witnessed_vector(),
+            },
+            init_quorum(&f),
+            &f.keys[0],
+        );
+        assert!(f.checker.check_envelope(&env).is_ok());
+    }
+
+    #[test]
+    fn coordinator_current_with_unwitnessed_entry_rejected() {
+        let f = fixture();
+        let mut vect = witnessed_vector();
+        vect.set(3, 999); // no INIT from p3 in the certificate
+        let env = Envelope::make(
+            ProcessId(0),
+            Core::Current { round: 1, vector: vect },
+            init_quorum(&f),
+            &f.keys[0],
+        );
+        let err = f.checker.check_envelope(&env).unwrap_err();
+        assert_eq!(err.class, FaultClass::BadCertificate);
+        assert_eq!(err.reason, "vector entry not witnessed by a signed INIT");
+    }
+
+    #[test]
+    fn coordinator_current_with_corrupted_value_rejected() {
+        let f = fixture();
+        let mut vect = witnessed_vector();
+        vect.set(1, 999); // p1's INIT said 11
+        let env = Envelope::make(
+            ProcessId(0),
+            Core::Current { round: 1, vector: vect },
+            init_quorum(&f),
+            &f.keys[0],
+        );
+        assert!(f.checker.check_envelope(&env).is_err());
+    }
+
+    #[test]
+    fn coordinator_round2_needs_next_quorum() {
+        let f = fixture();
+        let vect = witnessed_vector();
+        // Round 2's coordinator is p1. Without NEXT(1) quorum: rejected.
+        let env = Envelope::make(
+            ProcessId(1),
+            Core::Current { round: 2, vector: vect.clone() },
+            init_quorum(&f),
+            &f.keys[1],
+        );
+        let err = f.checker.check_envelope(&env).unwrap_err();
+        assert!(err.reason.contains("round entry"));
+        // With the quorum: accepted.
+        let env = Envelope::make(
+            ProcessId(1),
+            Core::Current { round: 2, vector: vect },
+            init_quorum(&f).union(&next_quorum(&f, 1)),
+            &f.keys[1],
+        );
+        assert!(f.checker.check_envelope(&env).is_ok());
+    }
+
+    #[test]
+    fn relayed_current_requires_coordinator_backing() {
+        let f = fixture();
+        let vect = witnessed_vector();
+        let coord_current = signed(
+            &f,
+            0,
+            Core::Current {
+                round: 1,
+                vector: vect.clone(),
+            },
+        );
+        // p2 relays with the coordinator's CURRENT + INIT backing: valid.
+        let mut cert = init_quorum(&f);
+        cert.insert(coord_current);
+        let env = Envelope::make(
+            ProcessId(2),
+            Core::Current { round: 1, vector: vect.clone() },
+            cert,
+            &f.keys[2],
+        );
+        assert!(f.checker.check_envelope(&env).is_ok());
+        // Without the coordinator's CURRENT: substituted message, rejected.
+        let env = Envelope::make(
+            ProcessId(2),
+            Core::Current { round: 1, vector: vect },
+            init_quorum(&f),
+            &f.keys[2],
+        );
+        let err = f.checker.check_envelope(&env).unwrap_err();
+        assert!(err.reason.contains("coordinator"));
+    }
+
+    #[test]
+    fn relayed_current_with_substituted_vector_rejected() {
+        let f = fixture();
+        let vect = witnessed_vector();
+        let coord_current = signed(
+            &f,
+            0,
+            Core::Current {
+                round: 1,
+                vector: vect,
+            },
+        );
+        // p2 relays a DIFFERENT (still witnessed) vector than the
+        // coordinator proposed: entry 2 dropped to null.
+        let substituted = ValueVector::from_entries(vec![Some(10), Some(11), None, None]);
+        let mut cert = init_quorum(&f);
+        cert.insert(coord_current);
+        let env = Envelope::make(
+            ProcessId(2),
+            Core::Current {
+                round: 1,
+                vector: substituted,
+            },
+            cert,
+            &f.keys[2],
+        );
+        let err = f.checker.check_envelope(&env).unwrap_err();
+        // Vector has only 2 non-null entries < quorum, so either rule may
+        // fire; both classify as a bad certificate.
+        assert_eq!(err.class, FaultClass::BadCertificate);
+    }
+
+    #[test]
+    fn next_triggers_classified() {
+        let f = fixture();
+        let vect = witnessed_vector();
+        // (c) End of round.
+        let env = Envelope::make(ProcessId(3), Core::Next { round: 1 }, next_quorum(&f, 1), &f.keys[3]);
+        assert_eq!(f.checker.check_next(&env).unwrap(), NextTrigger::EndOfRound);
+        // (a) Suspicion: empty certificate.
+        let env = Envelope::make(ProcessId(3), Core::Next { round: 1 }, Certificate::new(), &f.keys[3]);
+        assert_eq!(f.checker.check_next(&env).unwrap(), NextTrigger::Suspicion);
+        // (b) change_mind: one CURRENT + two NEXT = 3 voters, no quorum of
+        // either kind.
+        let mut cert = Certificate::from_items([
+            signed(&f, 0, Core::Current { round: 1, vector: vect }),
+            signed(&f, 1, Core::Next { round: 1 }),
+            signed(&f, 2, Core::Next { round: 1 }),
+        ]);
+        cert = cert.union(&init_quorum(&f));
+        let env = Envelope::make(ProcessId(3), Core::Next { round: 1 }, cert, &f.keys[3]);
+        assert_eq!(f.checker.check_next(&env).unwrap(), NextTrigger::ChangeMind);
+    }
+
+    #[test]
+    fn next_with_future_items_rejected() {
+        let f = fixture();
+        let env = Envelope::make(
+            ProcessId(3),
+            Core::Next { round: 1 },
+            next_quorum(&f, 2), // items from round 2 inside a NEXT(1)
+            &f.keys[3],
+        );
+        let err = f.checker.check_next(&env).unwrap_err();
+        assert!(err.reason.contains("future round"));
+    }
+
+    #[test]
+    fn decide_requires_matching_current_quorum() {
+        let f = fixture();
+        let vect = witnessed_vector();
+        let current_quorum = Certificate::from_items((0..3u32).map(|s| {
+            signed(
+                &f,
+                s,
+                Core::Current {
+                    round: 1,
+                    vector: vect.clone(),
+                },
+            )
+        }));
+        let env = Envelope::make(
+            ProcessId(0),
+            Core::Decide { round: 1, vector: vect.clone() },
+            current_quorum.clone(),
+            &f.keys[0],
+        );
+        assert!(f.checker.check_envelope(&env).is_ok());
+
+        // Forged decide: same quorum but a different decided vector.
+        let other = ValueVector::from_entries(vec![Some(10), Some(11), Some(99), None]);
+        let env = Envelope::make(
+            ProcessId(0),
+            Core::Decide { round: 1, vector: other },
+            current_quorum,
+            &f.keys[0],
+        );
+        let err = f.checker.check_envelope(&env).unwrap_err();
+        assert_eq!(err.class, FaultClass::BadCertificate);
+    }
+
+    #[test]
+    fn tampered_cert_item_is_caught() {
+        let f = fixture();
+        let vect = witnessed_vector();
+        let mut cert = init_quorum(&f);
+        // Tamper: p0's INIT value rewritten but old signature kept.
+        let honest = signed(&f, 0, Core::Init { value: 10 });
+        let tampered = SignedCore::from_parts(
+            MessageCore::new(ProcessId(0), Core::Init { value: 66 }),
+            // Signature over the *honest* core — invalid for the new core.
+            {
+                let digest = MessageCore::new(ProcessId(0), Core::Init { value: 10 })
+                    .canonical_digest();
+                let _ = honest;
+                f.keys[0].sign_digest(&digest)
+            },
+        );
+        cert.insert(tampered);
+        let env = Envelope::make(
+            ProcessId(0),
+            Core::Current { round: 1, vector: vect },
+            cert,
+            &f.keys[0],
+        );
+        let err = f.checker.check_envelope(&env).unwrap_err();
+        assert_eq!(err.class, FaultClass::BadCertificate);
+        assert!(err.reason.contains("invalid signature"));
+    }
+
+    #[test]
+    fn wrong_width_vector_is_syntax_fault() {
+        let f = fixture();
+        let env = Envelope::make(
+            ProcessId(0),
+            Core::Current {
+                round: 1,
+                vector: ValueVector::empty(2), // width 2 ≠ n = 4
+            },
+            init_quorum(&f),
+            &f.keys[0],
+        );
+        let err = f.checker.check_envelope(&env).unwrap_err();
+        assert_eq!(err.class, FaultClass::WrongSyntax);
+    }
+}

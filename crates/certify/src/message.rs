@@ -1,0 +1,402 @@
+//! Wire message cores for the transformed (Byzantine-resilient) protocol.
+//!
+//! The transformed Hurfin–Raynal protocol (paper Fig. 3) exchanges four
+//! message kinds:
+//!
+//! * `INIT(p_i, v_i)` — the vector-certification phase: each process signs
+//!   and broadcasts its proposal;
+//! * `CURRENT(p_i, r, est_vect_i)` — a vote to decide on `est_vect_i` in
+//!   round `r`;
+//! * `NEXT(p_i, r)` — a vote to move past round `r`;
+//! * `DECIDE(p_i, r, est_vect)` — the decision announcement.
+//!
+//! A [`MessageCore`] is the signed unit: sender identity plus [`Core`]
+//! content. Certificates attach around it (see [`crate::signed`]).
+
+use std::fmt;
+
+use ftm_crypto::wire::{CanonicalDecode, CanonicalEncode, DecodeError, Decoder, Encoder};
+use ftm_sim::ProcessId;
+
+/// A consensus proposal value.
+///
+/// Kept as a bare `u64` so experiments can label proposals with the
+/// proposing process; nothing in the protocol inspects the value.
+pub type Value = u64;
+
+/// Asynchronous round number; round 0 is the vector-certification phase.
+pub type Round = u64;
+
+/// The vector of proposals the transformed protocol agrees on.
+///
+/// Entry `k` is `Some(v)` when `p_k`'s INIT carrying `v` is witnessed, or
+/// `None` (the paper's `null`) otherwise.
+///
+/// # Example
+///
+/// ```
+/// use ftm_certify::ValueVector;
+/// let mut v = ValueVector::empty(4);
+/// v.set(1, 99);
+/// assert_eq!(v.get(1), Some(99));
+/// assert_eq!(v.non_null_count(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ValueVector {
+    entries: Vec<Option<Value>>,
+}
+
+impl ValueVector {
+    /// An all-null vector for `n` processes.
+    pub fn empty(n: usize) -> Self {
+        ValueVector {
+            entries: vec![None; n],
+        }
+    }
+
+    /// Builds a vector from explicit entries.
+    pub fn from_entries(entries: Vec<Option<Value>>) -> Self {
+        ValueVector { entries }
+    }
+
+    /// Number of entries (= `n`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the vector has no entries at all (n = 0).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry `k`, or `None` when null or out of range.
+    pub fn get(&self, k: usize) -> Option<Value> {
+        self.entries.get(k).copied().flatten()
+    }
+
+    /// Sets entry `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn set(&mut self, k: usize, v: Value) {
+        self.entries[k] = Some(v);
+    }
+
+    /// Number of non-null entries.
+    pub fn non_null_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Iterates `(index, value)` over non-null entries.
+    pub fn iter_set(&self) -> impl Iterator<Item = (usize, Value)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|v| (i, v)))
+    }
+}
+
+impl fmt::Debug for ValueVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            match e {
+                Some(v) => write!(f, "{v}")?,
+                None => write!(f, "·")?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+impl CanonicalEncode for ValueVector {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u32(self.entries.len() as u32);
+        for e in &self.entries {
+            match e {
+                None => enc.tag(0),
+                Some(v) => {
+                    enc.tag(1);
+                    enc.u64(*v);
+                }
+            }
+        }
+    }
+}
+
+impl CanonicalDecode for ValueVector {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = dec.u32()? as usize;
+        let mut entries = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            entries.push(if dec.bool()? { Some(dec.u64()?) } else { None });
+        }
+        Ok(ValueVector { entries })
+    }
+}
+
+/// Discriminates the four wire message kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MessageKind {
+    /// Vector-certification proposal.
+    Init,
+    /// Vote for deciding in the current round.
+    Current,
+    /// Vote for moving to the next round.
+    Next,
+    /// Decision announcement.
+    Decide,
+}
+
+impl fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MessageKind::Init => "INIT",
+            MessageKind::Current => "CURRENT",
+            MessageKind::Next => "NEXT",
+            MessageKind::Decide => "DECIDE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Message content (without sender or signature).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Core {
+    /// `INIT(v)` — proposal of `v` in the vector-certification phase.
+    Init {
+        /// The proposed value.
+        value: Value,
+    },
+    /// `CURRENT(r, vect)` — vote to decide `vect` in round `r`.
+    Current {
+        /// The round this vote belongs to.
+        round: Round,
+        /// The estimate vector being proposed.
+        vector: ValueVector,
+    },
+    /// `NEXT(r)` — vote to abandon round `r`.
+    Next {
+        /// The round being abandoned.
+        round: Round,
+    },
+    /// `DECIDE(r, vect)` — announcement that `vect` was decided in round
+    /// `r`. (Fig. 3 omits the round; carrying it lets the analyzer check
+    /// the decision certificate without a round search.)
+    Decide {
+        /// The round the decision was reached in.
+        round: Round,
+        /// The decided vector.
+        vector: ValueVector,
+    },
+}
+
+impl Core {
+    /// The message kind.
+    pub fn kind(&self) -> MessageKind {
+        match self {
+            Core::Init { .. } => MessageKind::Init,
+            Core::Current { .. } => MessageKind::Current,
+            Core::Next { .. } => MessageKind::Next,
+            Core::Decide { .. } => MessageKind::Decide,
+        }
+    }
+
+    /// The round the message belongs to (INIT belongs to round 0).
+    pub fn round(&self) -> Round {
+        match self {
+            Core::Init { .. } => 0,
+            Core::Current { round, .. } | Core::Next { round } | Core::Decide { round, .. } => {
+                *round
+            }
+        }
+    }
+
+    /// The vector carried, if the kind carries one.
+    pub fn vector(&self) -> Option<&ValueVector> {
+        match self {
+            Core::Current { vector, .. } | Core::Decide { vector, .. } => Some(vector),
+            _ => None,
+        }
+    }
+}
+
+/// The signed unit: who says what.
+///
+/// Its canonical encoding is the exact byte string a signature covers.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MessageCore {
+    /// Claimed sender.
+    pub sender: ProcessId,
+    /// Content.
+    pub core: Core,
+}
+
+impl MessageCore {
+    /// Convenience constructor.
+    pub fn new(sender: ProcessId, core: Core) -> Self {
+        MessageCore { sender, core }
+    }
+
+    /// Short trace label, e.g. `CURRENT(r=2)`.
+    pub fn label(&self) -> String {
+        match &self.core {
+            Core::Init { value } => format!("INIT(v={value})"),
+            Core::Current { round, .. } => format!("CURRENT(r={round})"),
+            Core::Next { round } => format!("NEXT(r={round})"),
+            Core::Decide { round, .. } => format!("DECIDE(r={round})"),
+        }
+    }
+}
+
+impl CanonicalEncode for MessageCore {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u32(self.sender.0);
+        match &self.core {
+            Core::Init { value } => {
+                enc.tag(1);
+                enc.u64(*value);
+            }
+            Core::Current { round, vector } => {
+                enc.tag(2);
+                enc.u64(*round);
+                vector.encode(enc);
+            }
+            Core::Next { round } => {
+                enc.tag(3);
+                enc.u64(*round);
+            }
+            Core::Decide { round, vector } => {
+                enc.tag(4);
+                enc.u64(*round);
+                vector.encode(enc);
+            }
+        }
+    }
+}
+
+impl CanonicalDecode for MessageCore {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let sender = ProcessId(dec.u32()?);
+        let core = match dec.tag()? {
+            1 => Core::Init { value: dec.u64()? },
+            2 => Core::Current {
+                round: dec.u64()?,
+                vector: ValueVector::decode(dec)?,
+            },
+            3 => Core::Next { round: dec.u64()? },
+            4 => Core::Decide {
+                round: dec.u64()?,
+                vector: ValueVector::decode(dec)?,
+            },
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        Ok(MessageCore { sender, core })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_set_get_count() {
+        let mut v = ValueVector::empty(3);
+        assert_eq!(v.non_null_count(), 0);
+        v.set(0, 7);
+        v.set(2, 9);
+        assert_eq!(v.get(0), Some(7));
+        assert_eq!(v.get(1), None);
+        assert_eq!(v.get(9), None);
+        assert_eq!(v.non_null_count(), 2);
+        assert_eq!(v.iter_set().collect::<Vec<_>>(), vec![(0, 7), (2, 9)]);
+    }
+
+    #[test]
+    fn vector_debug_is_compact() {
+        let v = ValueVector::from_entries(vec![Some(1), None, Some(3)]);
+        assert_eq!(format!("{v:?}"), "[1 · 3]");
+    }
+
+    #[test]
+    fn distinct_vectors_encode_distinctly() {
+        let a = ValueVector::from_entries(vec![Some(0), None]);
+        let b = ValueVector::from_entries(vec![None, Some(0)]);
+        assert_ne!(a.canonical_bytes(), b.canonical_bytes());
+    }
+
+    #[test]
+    fn core_kind_round_vector_accessors() {
+        let v = ValueVector::empty(2);
+        let c = Core::Current {
+            round: 5,
+            vector: v.clone(),
+        };
+        assert_eq!(c.kind(), MessageKind::Current);
+        assert_eq!(c.round(), 5);
+        assert_eq!(c.vector(), Some(&v));
+        assert_eq!(Core::Init { value: 1 }.round(), 0);
+        assert_eq!(Core::Next { round: 2 }.vector(), None);
+    }
+
+    #[test]
+    fn cores_with_different_senders_encode_distinctly() {
+        let a = MessageCore::new(ProcessId(0), Core::Next { round: 1 });
+        let b = MessageCore::new(ProcessId(1), Core::Next { round: 1 });
+        assert_ne!(a.canonical_digest(), b.canonical_digest());
+    }
+
+    #[test]
+    fn equal_cores_encode_identically() {
+        let mk = || MessageCore::new(ProcessId(3), Core::Init { value: 42 });
+        assert_eq!(mk().canonical_bytes(), mk().canonical_bytes());
+    }
+
+    #[test]
+    fn cores_roundtrip_through_canonical_bytes() {
+        let cases = [
+            MessageCore::new(ProcessId(0), Core::Init { value: 7 }),
+            MessageCore::new(
+                ProcessId(3),
+                Core::Current {
+                    round: 9,
+                    vector: ValueVector::from_entries(vec![Some(1), None, Some(3)]),
+                },
+            ),
+            MessageCore::new(ProcessId(1), Core::Next { round: 2 }),
+            MessageCore::new(
+                ProcessId(2),
+                Core::Decide {
+                    round: 5,
+                    vector: ValueVector::empty(2),
+                },
+            ),
+        ];
+        for core in cases {
+            let bytes = core.canonical_bytes();
+            assert_eq!(MessageCore::from_canonical_bytes(&bytes), Ok(core));
+        }
+    }
+
+    #[test]
+    fn corrupted_tag_is_rejected() {
+        let core = MessageCore::new(ProcessId(0), Core::Init { value: 7 });
+        let mut bytes = core.canonical_bytes();
+        bytes[4] = 99; // the kind tag
+        assert_eq!(
+            MessageCore::from_canonical_bytes(&bytes),
+            Err(DecodeError::BadTag(99))
+        );
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        let m = MessageCore::new(ProcessId(0), Core::Next { round: 9 });
+        assert_eq!(m.label(), "NEXT(r=9)");
+        assert_eq!(MessageKind::Decide.to_string(), "DECIDE");
+    }
+}

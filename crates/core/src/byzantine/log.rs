@@ -1,0 +1,359 @@
+//! State-machine replication on top of the transformed consensus: a
+//! replicated log deciding one certified vector per slot.
+//!
+//! This is the application layer the consensus literature motivates: each
+//! log slot runs one instance of [`ByzantineConsensus`]; a process moves to
+//! slot `k + 1` once slot `k` decides locally. Instances are isolated by
+//! tagging every wire message with its slot — a faulty process replaying
+//! slot-3 traffic into slot 5 changes nothing, because each slot has its
+//! own module stack, observer automata and certificates.
+//!
+//! The composition pattern is the same as the fault wrappers': the outer
+//! actor drives the inner one through a private [`Context`] and translates
+//! the staged effects (wrapping sends, remapping timer tags, intercepting
+//! the inner decision instead of halting).
+
+use ftm_certify::{Envelope, Value, ValueVector};
+use ftm_sim::{Actor, Context, Payload, ProcessId, TimerTag};
+
+use crate::byzantine::ByzantineConsensus;
+use crate::config::ProtocolSetup;
+
+/// A slot-tagged consensus message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotMsg {
+    /// Which log slot's instance this belongs to.
+    pub slot: u64,
+    /// The instance's wire message.
+    pub env: Envelope,
+}
+
+impl Payload for SlotMsg {
+    fn size_bytes(&self) -> usize {
+        8 + self.env.size_bytes()
+    }
+
+    fn label(&self) -> String {
+        format!("s{}:{}", self.slot, self.env.label())
+    }
+}
+
+/// How many timer tags each slot instance may use (the inner protocol uses
+/// a single poll timer; headroom is cheap).
+const TAGS_PER_SLOT: TimerTag = 16;
+
+/// A replicated log of `slots` entries, one consensus instance per slot.
+///
+/// Decides the full log (a `Vec<ValueVector>`) once every slot has decided
+/// locally. Commands are supplied per slot by a deterministic function of
+/// `(slot, process)` so all runs are replayable.
+///
+/// # Example
+///
+/// ```
+/// use ftm_core::byzantine::log::ReplicatedLog;
+/// use ftm_core::config::ProtocolConfig;
+/// use ftm_sim::{SimConfig, Simulation};
+///
+/// let setup = ProtocolConfig::new(4, 1).seed(9).setup();
+/// let report = Simulation::build_boxed(SimConfig::new(4).seed(9), |id| {
+///     Box::new(ReplicatedLog::new(&setup, id, 2, |slot, p| 1000 * slot + p as u64))
+/// })
+/// .run();
+/// let log = report.unanimous().expect("all replicas hold the same log");
+/// assert_eq!(log.len(), 2);
+/// ```
+pub struct ReplicatedLog {
+    setup: ProtocolSetup,
+    me: ProcessId,
+    slots: u64,
+    command: fn(u64, u32) -> Value,
+    current: u64,
+    inner: ByzantineConsensus,
+    log: Vec<ValueVector>,
+    buffered: Vec<(ProcessId, SlotMsg)>,
+    done: bool,
+}
+
+impl std::fmt::Debug for ReplicatedLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicatedLog")
+            .field("me", &self.me)
+            .field("slot", &self.current)
+            .field("decided", &self.log.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ReplicatedLog {
+    /// Creates a replica deciding `slots` entries; `command(slot, process)`
+    /// is the value this process proposes for `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`.
+    pub fn new(
+        setup: &ProtocolSetup,
+        me: ProcessId,
+        slots: u64,
+        command: fn(u64, u32) -> Value,
+    ) -> Self {
+        assert!(slots > 0, "a log needs at least one slot");
+        let inner = ByzantineConsensus::new(setup, me, command(0, me.0));
+        ReplicatedLog {
+            setup: setup.clone(),
+            me,
+            slots,
+            command,
+            current: 0,
+            inner,
+            log: Vec::new(),
+            buffered: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Slots decided so far at this replica.
+    pub fn decided_slots(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Drives one inner callback and translates its effects onto the
+    /// outer context. Returns the inner decision, if one was made.
+    fn drive<F>(
+        &mut self,
+        ctx: &mut Context<'_, SlotMsg, Vec<ValueVector>>,
+        call: F,
+    ) -> Option<ValueVector>
+    where
+        F: FnOnce(&mut ByzantineConsensus, &mut Context<'_, Envelope, ValueVector>),
+    {
+        let slot = self.current;
+        let fx = {
+            // The inner protocol is deterministic and never draws
+            // randomness; a null stream keeps the composition pure.
+            let mut draw = || 0u64;
+            let mut inner_ctx: Context<'_, Envelope, ValueVector> =
+                Context::new(ctx.now(), self.me, ctx.process_count(), &mut draw);
+            call(&mut self.inner, &mut inner_ctx);
+            inner_ctx.into_effects()
+        };
+        for (to, env) in fx.sends {
+            ctx.send(to, SlotMsg { slot, env });
+        }
+        for (delay, tag) in fx.timers {
+            ctx.set_timer(delay, slot * TAGS_PER_SLOT + tag);
+        }
+        for note in fx.notes {
+            ctx.note(format!("s{slot}:{note}"));
+        }
+        // The inner halt is absorbed: the log replica lives on to run the
+        // next slot.
+        fx.decision
+    }
+
+    /// Records a slot decision and opens the next slot (or finishes).
+    fn advance(&mut self, decided: ValueVector, ctx: &mut Context<'_, SlotMsg, Vec<ValueVector>>) {
+        self.log.push(decided);
+        ctx.note(format!("slot-decided={} total={}", self.current, self.log.len()));
+        if self.log.len() as u64 == self.slots {
+            self.done = true;
+            ctx.decide(self.log.clone());
+            ctx.halt();
+            return;
+        }
+        self.current += 1;
+        self.inner = ByzantineConsensus::new(
+            &self.setup,
+            self.me,
+            (self.command)(self.current, self.me.0),
+        );
+        if let Some(d) = self.drive(ctx, |inner, ictx| inner.on_start(ictx)) {
+            // A 1-process system can decide instantly; recurse.
+            self.advance(d, ctx);
+            return;
+        }
+        self.drain(ctx);
+    }
+
+    fn drain(&mut self, ctx: &mut Context<'_, SlotMsg, Vec<ValueVector>>) {
+        loop {
+            if self.done {
+                return;
+            }
+            let slot = self.current;
+            let Some(pos) = self.buffered.iter().position(|(_, m)| m.slot == slot) else {
+                return;
+            };
+            let (from, msg) = self.buffered.remove(pos);
+            if let Some(d) = self.drive(ctx, |inner, ictx| inner.on_message(from, msg.env, ictx)) {
+                self.advance(d, ctx);
+            }
+        }
+    }
+}
+
+impl Actor for ReplicatedLog {
+    type Msg = SlotMsg;
+    type Decision = Vec<ValueVector>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, SlotMsg, Vec<ValueVector>>) {
+        if let Some(d) = self.drive(ctx, |inner, ictx| inner.on_start(ictx)) {
+            self.advance(d, ctx);
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: SlotMsg,
+        ctx: &mut Context<'_, SlotMsg, Vec<ValueVector>>,
+    ) {
+        if self.done {
+            return;
+        }
+        if msg.slot > self.current {
+            self.buffered.push((from, msg));
+            return;
+        }
+        if msg.slot < self.current {
+            return; // the slot is sealed at this replica
+        }
+        if let Some(d) = self.drive(ctx, |inner, ictx| inner.on_message(from, msg.env, ictx)) {
+            self.advance(d, ctx);
+        }
+        self.drain(ctx);
+    }
+
+    fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<'_, SlotMsg, Vec<ValueVector>>) {
+        if self.done {
+            return;
+        }
+        let slot = tag / TAGS_PER_SLOT;
+        if slot != self.current {
+            return; // stale timer from a sealed slot
+        }
+        let inner_tag = tag % TAGS_PER_SLOT;
+        if let Some(d) = self.drive(ctx, |inner, ictx| inner.on_timer(inner_tag, ictx)) {
+            self.advance(d, ctx);
+        }
+        self.drain(ctx);
+    }
+}
+
+/// Checks log consistency across replicas: every pair of decided logs must
+/// be equal, and each slot's vector must satisfy the per-slot quorum floor.
+///
+/// Returns the common log when consistent.
+pub fn check_log_consistency(
+    decisions: &[Option<Vec<ValueVector>>],
+    crashed: &[bool],
+    quorum: usize,
+) -> Result<Vec<ValueVector>, String> {
+    let mut common: Option<&Vec<ValueVector>> = None;
+    for (i, d) in decisions.iter().enumerate() {
+        if crashed.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(log) = d else {
+            return Err(format!("replica {i} never completed its log"));
+        };
+        match common {
+            None => common = Some(log),
+            Some(c) if c == log => {}
+            Some(_) => return Err(format!("replica {i} holds a diverging log")),
+        }
+    }
+    let log = common.ok_or("no replica completed")?.clone();
+    for (slot, vect) in log.iter().enumerate() {
+        if vect.non_null_count() < quorum {
+            return Err(format!("slot {slot} carries fewer than n−F commands"));
+        }
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolConfig;
+    use ftm_sim::{SimConfig, Simulation, VirtualTime};
+
+    fn cmd(slot: u64, p: u32) -> Value {
+        1000 * slot + 100 + p as u64
+    }
+
+    fn run(n: usize, f: usize, slots: u64, seed: u64, crashes: &[(usize, u64)]) -> ftm_sim::RunReport<Vec<ValueVector>> {
+        let setup = ProtocolConfig::new(n, f).seed(seed).setup();
+        let mut cfg = SimConfig::new(n).seed(seed);
+        for &(p, t) in crashes {
+            cfg = cfg.crash(p, VirtualTime::at(t));
+        }
+        Simulation::build_boxed(cfg, |id| {
+            Box::new(ReplicatedLog::new(&setup, id, slots, cmd))
+        })
+        .run()
+    }
+
+    #[test]
+    fn honest_replicas_agree_on_a_multi_slot_log() {
+        let report = run(4, 1, 3, 1, &[]);
+        let log = check_log_consistency(&report.decisions, &report.crashed, 3)
+            .expect("consistent log");
+        assert_eq!(log.len(), 3);
+        // Slot k's entries are slot-k commands.
+        for (slot, vect) in log.iter().enumerate() {
+            for (p, v) in vect.iter_set() {
+                assert_eq!(v, cmd(slot as u64, p as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn logs_agree_across_seeds() {
+        for seed in 0..6 {
+            let report = run(4, 1, 2, seed, &[]);
+            check_log_consistency(&report.decisions, &report.crashed, 3)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn a_crash_mid_log_does_not_fork_the_survivors() {
+        // p3 dies somewhere inside slot 1; the other replicas finish all 3
+        // slots and agree.
+        let report = run(4, 1, 3, 2, &[(3, 120)]);
+        let log = check_log_consistency(&report.decisions, &report.crashed, 3)
+            .expect("survivors consistent");
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn five_replicas_two_faults() {
+        let report = run(5, 2, 2, 3, &[(0, 0), (4, 50)]);
+        let log = check_log_consistency(&report.decisions, &report.crashed, 3)
+            .expect("survivors consistent");
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let a = run(4, 1, 2, 7, &[]);
+        let b = run(4, 1, 2, 7, &[]);
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.end_time, b.end_time);
+    }
+
+    #[test]
+    fn consistency_checker_flags_divergence() {
+        let v1 = vec![ValueVector::from_entries(vec![Some(1), Some(2), Some(3), None])];
+        let v2 = vec![ValueVector::from_entries(vec![Some(9), Some(2), Some(3), None])];
+        let err = check_log_consistency(
+            &[Some(v1), Some(v2), None, None],
+            &[false, false, true, true],
+            3,
+        )
+        .unwrap_err();
+        assert!(err.contains("diverging"));
+    }
+}

@@ -1,0 +1,28 @@
+//! The transformed protocol (paper Fig. 3): Vector Consensus resilient to
+//! arbitrary failures.
+//!
+//! Obtained from the crash-model protocol of [`crate::crash`] by applying
+//! the transformation rules of [`crate::transform`]:
+//!
+//! * a preliminary **vector-certification phase** replaces raw initial
+//!   values (INIT exchange, `n − F` collected);
+//! * every message is a signed [`ftm_certify::Envelope`] carrying a
+//!   certificate; every receipt runs through the
+//!   [`crate::transform::ModuleStack`];
+//! * the crash majority `> n/2` becomes the quorum `n − F`;
+//! * the ◇S guard `p_c ∈ suspected_i` becomes
+//!   `p_c ∈ (suspected_i ∪ faulty_i)` over the muteness and non-muteness
+//!   modules;
+//! * corruptible local variables (`nb_current`, `nb_next`, `rec_from`,
+//!   `state`) are replaced by certificate expressions, which the
+//!   implementation asserts against its explicit state at every step.
+//!
+//! The protocol tolerates `F ≤ min(⌊(n−1)/2⌋, C)` arbitrary faults and
+//! decides a vector with at least `ψ = n − 2F ≥ 1` entries from correct
+//! processes.
+
+pub mod log;
+pub mod protocol;
+
+pub use log::ReplicatedLog;
+pub use protocol::ByzantineConsensus;

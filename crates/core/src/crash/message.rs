@@ -1,0 +1,77 @@
+//! Wire messages of the crash-model protocol.
+
+use ftm_certify::{Round, Value};
+use ftm_sim::Payload;
+
+/// Messages of the Hurfin–Raynal protocol, plus heartbeats for the ◇S
+/// implementation.
+///
+/// In the crash model no signatures or certificates are needed: processes
+/// fail only by stopping, so every received message is trusted — exactly
+/// the assumption the transformation removes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrashMsg {
+    /// `CURRENT(r, est)` — vote to decide `est` in round `r`.
+    Current {
+        /// Round of the vote.
+        round: Round,
+        /// The coordinator's estimate being endorsed.
+        est: Value,
+    },
+    /// `NEXT(r)` — vote to move past round `r`.
+    Next {
+        /// Round being abandoned.
+        round: Round,
+    },
+    /// `DECIDE(est)` — decision announcement (relayed on receipt).
+    Decide {
+        /// The decided value.
+        est: Value,
+    },
+    /// Failure-detector heartbeat (not part of Fig. 2; the standard ◇S
+    /// implementation under partial synchrony).
+    Heartbeat,
+}
+
+impl Payload for CrashMsg {
+    fn size_bytes(&self) -> usize {
+        // Tag byte plus 8-byte fields.
+        match self {
+            CrashMsg::Current { .. } => 1 + 8 + 8,
+            CrashMsg::Next { .. } => 1 + 8,
+            CrashMsg::Decide { .. } => 1 + 8,
+            CrashMsg::Heartbeat => 1,
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            CrashMsg::Current { round, est } => format!("CURRENT(r={round},est={est})"),
+            CrashMsg::Next { round } => format!("NEXT(r={round})"),
+            CrashMsg::Decide { est } => format!("DECIDE(est={est})"),
+            CrashMsg::Heartbeat => "HB".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_reflect_fields() {
+        assert_eq!(CrashMsg::Current { round: 1, est: 2 }.size_bytes(), 17);
+        assert_eq!(CrashMsg::Next { round: 1 }.size_bytes(), 9);
+        assert_eq!(CrashMsg::Decide { est: 2 }.size_bytes(), 9);
+        assert_eq!(CrashMsg::Heartbeat.size_bytes(), 1);
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        assert_eq!(
+            CrashMsg::Current { round: 3, est: 7 }.label(),
+            "CURRENT(r=3,est=7)"
+        );
+        assert_eq!(CrashMsg::Heartbeat.label(), "HB");
+    }
+}

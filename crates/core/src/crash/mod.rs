@@ -1,0 +1,16 @@
+//! The crash-model Hurfin–Raynal consensus protocol (paper Fig. 2).
+//!
+//! This is the *input* of the paper's transformation: a ◇S-based,
+//! rotating-coordinator, asynchronous-round consensus protocol assuming a
+//! majority of correct processes and reliable FIFO channels. Each round, a
+//! predetermined coordinator tries to impose its estimate; every process
+//! votes `CURRENT` (adopt and conclude) or `NEXT` (move on), with a
+//! `change_mind` escape hatch preventing deadlock when votes split.
+
+pub mod chandra_toueg;
+pub mod message;
+pub mod protocol;
+
+pub use chandra_toueg::{ChandraToueg, CtMsg};
+pub use message::CrashMsg;
+pub use protocol::CrashConsensus;

@@ -1,0 +1,139 @@
+//! Problem specifications: Consensus and Vector Consensus.
+//!
+//! The crash-model protocol solves classical consensus:
+//!
+//! * **Termination** — every correct process eventually decides;
+//! * **Agreement** — no two correct processes decide differently;
+//! * **Validity** — the decided value was proposed by some process.
+//!
+//! In the arbitrary-failure model the classical Validity property is
+//! vacuous — a faulty process can propose an "irrelevant" value while
+//! otherwise behaving correctly, and nobody can tell (paper §1). The
+//! transformed protocol therefore solves **Vector Consensus**
+//! (Doudou–Schiper Vector Validity):
+//!
+//! * every process decides a vector `vect` of size `n`;
+//! * for every correct `p_i`: `vect[i] = v_i` or `vect[i] = null`;
+//! * at least `ψ ≥ 1` entries of `vect` are initial values of correct
+//!   processes, with `ψ = n − 2F` under the paper's resilience bound.
+
+use ftm_certify::Round;
+
+/// Resilience parameters of a system instance.
+///
+/// # Example
+///
+/// ```
+/// use ftm_core::spec::Resilience;
+/// let r = Resilience::new(7, 2);
+/// assert_eq!(r.quorum(), 5);       // n − F
+/// assert_eq!(r.psi(), 3);          // n − 2F correct entries guaranteed
+/// assert_eq!(r.default_cert_capacity(), 2); // ⌊(n−1)/3⌋
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resilience {
+    n: usize,
+    f: usize,
+}
+
+impl Resilience {
+    /// Creates resilience parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n ≥ 2` and `f ≤ ⌊(n−1)/2⌋` — the transformed
+    /// protocol's stated bound `F ≤ min(⌊(n−1)/2⌋, C)`; the `C` part is
+    /// the certification capacity, checked by callers who model it.
+    pub fn new(n: usize, f: usize) -> Self {
+        assert!(n >= 2, "consensus needs at least two processes");
+        assert!(
+            f <= (n - 1) / 2,
+            "F = {f} exceeds ⌊(n−1)/2⌋ = {}",
+            (n - 1) / 2
+        );
+        Resilience { n, f }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Tolerated faulty processes `F`.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// Quorum `n − F` (replaces the crash model's majority `⌈(n+1)/2⌉`).
+    pub fn quorum(&self) -> usize {
+        self.n - self.f
+    }
+
+    /// Guaranteed correct entries in a decided vector: `ψ = n − 2F ≥ 1`.
+    pub fn psi(&self) -> usize {
+        (self.n - 2 * self.f).max(1)
+    }
+
+    /// The capacity `C` of the usual certification mechanisms,
+    /// `⌊(n−1)/3⌋` (paper footnote 2).
+    pub fn default_cert_capacity(&self) -> usize {
+        (self.n - 1) / 3
+    }
+
+    /// The round-`r` coordinator (0-based rotating coordinator).
+    ///
+    /// # Panics
+    ///
+    /// Panics for round 0.
+    pub fn coordinator(&self, round: Round) -> usize {
+        assert!(round >= 1, "round 0 has no coordinator");
+        ((round - 1) % self.n as u64) as usize
+    }
+
+    /// Majority threshold of the *crash* protocol: smallest count strictly
+    /// greater than `n/2`.
+    pub fn crash_majority(&self) -> usize {
+        self.n / 2 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_psi_majority() {
+        let r = Resilience::new(4, 1);
+        assert_eq!(r.quorum(), 3);
+        assert_eq!(r.psi(), 2);
+        assert_eq!(r.crash_majority(), 3);
+        assert_eq!(r.default_cert_capacity(), 1);
+    }
+
+    #[test]
+    fn psi_is_at_least_one() {
+        let r = Resilience::new(3, 1);
+        assert_eq!(r.psi(), 1);
+    }
+
+    #[test]
+    fn coordinator_rotates_zero_based() {
+        let r = Resilience::new(3, 1);
+        assert_eq!(r.coordinator(1), 0);
+        assert_eq!(r.coordinator(3), 2);
+        assert_eq!(r.coordinator(4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn bound_is_enforced() {
+        let _ = Resilience::new(4, 2);
+    }
+
+    #[test]
+    fn odd_n_allows_floor_half() {
+        let r = Resilience::new(7, 3);
+        assert_eq!(r.quorum(), 4);
+        assert_eq!(r.psi(), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Local-variable handling rules (paper §3, "Handling local variables",
+//! and §5.1, "Certifying other local variables").
+//!
+//! A faulty process can corrupt any local variable, so the transformed
+//! protocol must not *trust* plain variables in any expression another
+//! process might need to audit. The paper's rule: replace such expressions
+//! with expressions over certificates (which cannot be corrupted). For the
+//! consensus case study:
+//!
+//! * `nb_current` → `|current_cert|` (distinct CURRENT signers this round);
+//! * `nb_next` → `|next_cert|`;
+//! * `rec_from` → `REC_FROM` (distinct CURRENT/NEXT signers);
+//! * `state` → the certificate expressions below;
+//! * `change_mind` → the certificate expression below.
+//!
+//! The protocol in [`crate::byzantine`] keeps explicit state for clarity
+//! and *asserts* it equal to the certificate-derived state at every
+//! transition — making the rule checkable instead of merely followed.
+
+/// The protocol automaton states expressed over certificates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaperState {
+    /// `|current_cert| = 0 ∧ own NEXT ∉ next_cert`.
+    Q0,
+    /// `|current_cert| ≥ 1 ∧ own NEXT ∉ next_cert`.
+    Q1,
+    /// `own NEXT ∈ next_cert`.
+    Q2,
+}
+
+/// Derives the automaton state from certificate observations (paper §5.1).
+///
+/// # Example
+///
+/// ```
+/// use ftm_core::transform::rules::{state_from_certificates, PaperState};
+/// assert_eq!(state_from_certificates(0, false), PaperState::Q0);
+/// assert_eq!(state_from_certificates(2, false), PaperState::Q1);
+/// assert_eq!(state_from_certificates(2, true), PaperState::Q2);
+/// ```
+pub fn state_from_certificates(current_count: usize, own_next_in_cert: bool) -> PaperState {
+    if own_next_in_cert {
+        PaperState::Q2
+    } else if current_count == 0 {
+        PaperState::Q0
+    } else {
+        PaperState::Q1
+    }
+}
+
+/// The `change_mind` predicate over certificates:
+/// `(|current_cert| ≥ 1) ∧ own NEXT ∉ next_cert ∧ |REC_FROM| ≥ n − F ∧`
+/// neither a CURRENT nor a NEXT quorum (those trigger decide / round end
+/// instead).
+pub fn change_mind_from_certificates(
+    current_count: usize,
+    next_count: usize,
+    own_next_in_cert: bool,
+    rec_from_count: usize,
+    quorum: usize,
+) -> bool {
+    state_from_certificates(current_count, own_next_in_cert) == PaperState::Q1
+        && rec_from_count >= quorum
+        && current_count < quorum
+        && next_count < quorum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_derivation_matches_paper_table() {
+        assert_eq!(state_from_certificates(0, false), PaperState::Q0);
+        assert_eq!(state_from_certificates(1, false), PaperState::Q1);
+        assert_eq!(state_from_certificates(3, false), PaperState::Q1);
+        // own NEXT dominates: once sent, the process is in q2 regardless.
+        assert_eq!(state_from_certificates(0, true), PaperState::Q2);
+        assert_eq!(state_from_certificates(5, true), PaperState::Q2);
+    }
+
+    #[test]
+    fn change_mind_requires_q1_and_split_votes() {
+        let q = 3;
+        // In q1, 3 voters seen, 1 CURRENT + 2 NEXT: must change mind.
+        assert!(change_mind_from_certificates(1, 2, false, 3, q));
+        // Not yet a quorum of voters: wait.
+        assert!(!change_mind_from_certificates(1, 1, false, 2, q));
+        // CURRENT quorum: would decide instead.
+        assert!(!change_mind_from_certificates(3, 0, false, 3, q));
+        // NEXT quorum: round ends instead.
+        assert!(!change_mind_from_certificates(1, 3, false, 4, q));
+        // Already in q2: no second NEXT.
+        assert!(!change_mind_from_certificates(1, 2, true, 3, q));
+        // In q0 (never saw a CURRENT): suspicion path, not change_mind.
+        assert!(!change_mind_from_certificates(0, 2, false, 2, q));
+    }
+}

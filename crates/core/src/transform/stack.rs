@@ -1,0 +1,241 @@
+//! The receive-side module stack (paper Fig. 1): signature module,
+//! muteness failure detection, non-muteness failure detection.
+
+use ftm_certify::analyzer::{CertChecker, NextTrigger};
+use ftm_certify::{CertifyError, Envelope};
+use ftm_detect::observer::Checks;
+use ftm_detect::Observer;
+use ftm_fd::{FailureDetector, MutenessDetector, TimeoutDetector};
+use ftm_sim::{Duration, ProcessId, VirtualTime};
+
+/// Outcome of pushing one incoming envelope through the stack.
+#[derive(Debug)]
+pub enum Admit {
+    /// All modules passed; the protocol module may consume the message.
+    /// For NEXT messages the analyzer's trigger classification is included.
+    Accepted(Option<NextTrigger>),
+    /// Some module rejected the message; it must be dropped. The sender
+    /// has been convicted and recorded.
+    Discarded(CertifyError),
+}
+
+/// Modules 1–3 of the paper's process structure, as one pipeline.
+///
+/// * The **signature module** checks that the claimed sender matches the
+///   channel and that the core signature verifies.
+/// * The **muteness detection module** (◇M) is fed *only with messages the
+///   other modules accept*: a process spewing garbage is as mute as one
+///   saying nothing — exactly why muteness detection cannot be
+///   context-free (Doudou et al., cited in §1).
+/// * The **non-muteness detection module** runs the per-peer state machine
+///   and the certificate analyzer.
+///
+/// The protocol module reads two outputs: `suspected` (muteness) and
+/// `faulty` (everything else), mirroring the paper's `suspected_i ∪
+/// faulty_i` guard at Fig. 3 line 22.
+///
+/// # Example
+///
+/// ```
+/// use ftm_certify::analyzer::CertChecker;
+/// use ftm_certify::{Certificate, Core, Envelope};
+/// use ftm_core::transform::{Admit, ModuleStack};
+/// use ftm_sim::{Duration, ProcessId, VirtualTime};
+///
+/// let mut rng = ftm_crypto::rng_from_seed(8);
+/// let (dir, keys) = ftm_crypto::keydir::KeyDirectory::generate(&mut rng, 3, 128);
+/// let mut stack = ModuleStack::new(CertChecker::new(3, 1, dir), Duration::of(100));
+/// let env = Envelope::make(ProcessId(1), Core::Init { value: 4 },
+///                          Certificate::new(), &keys[1]);
+/// assert!(matches!(stack.admit(ProcessId(1), &env, VirtualTime::ZERO), Admit::Accepted(_)));
+/// ```
+/// The pluggable muteness detection module: either the generic adaptive
+/// timeout detector or the round-aware ◇M variant.
+#[derive(Debug, Clone)]
+pub enum MutenessFd {
+    /// [`TimeoutDetector`]: doubles a peer's timeout on each mistake.
+    Adaptive(TimeoutDetector),
+    /// [`MutenessDetector`]: allowance additionally grows with the round.
+    RoundAware(MutenessDetector),
+}
+
+impl MutenessFd {
+    fn observe_message(&mut self, peer: ProcessId, now: VirtualTime) {
+        match self {
+            MutenessFd::Adaptive(d) => d.observe_message(peer, now),
+            MutenessFd::RoundAware(d) => d.observe_message(peer, now),
+        }
+    }
+
+    fn suspects(&mut self, peer: ProcessId, now: VirtualTime) -> bool {
+        match self {
+            MutenessFd::Adaptive(d) => d.suspects(peer, now),
+            MutenessFd::RoundAware(d) => d.suspects(peer, now),
+        }
+    }
+
+    /// Round progression hook (no-op for the adaptive detector).
+    pub fn enter_round(&mut self, round: u64, now: VirtualTime) {
+        if let MutenessFd::RoundAware(d) = self {
+            d.enter_round(round, now);
+        }
+    }
+
+    /// Wrongful suspicions corrected so far.
+    pub fn mistakes(&self) -> u64 {
+        match self {
+            MutenessFd::Adaptive(d) => d.mistakes(),
+            MutenessFd::RoundAware(d) => d.mistakes(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct ModuleStack {
+    observer: Observer,
+    muteness: MutenessFd,
+}
+
+impl ModuleStack {
+    /// Builds the stack for the system described by `checker`, with the
+    /// given initial muteness timeout.
+    pub fn new(checker: CertChecker, muteness_timeout: Duration) -> Self {
+        Self::with_checks(checker, muteness_timeout, Checks::default())
+    }
+
+    /// Builds the stack with some checks disabled (ablation experiment E8).
+    pub fn with_checks(checker: CertChecker, muteness_timeout: Duration, checks: Checks) -> Self {
+        let n = checker.n();
+        Self::with_options(
+            checker,
+            checks,
+            MutenessFd::Adaptive(TimeoutDetector::new(n, muteness_timeout)),
+        )
+    }
+
+    /// Fully explicit constructor: check configuration plus the muteness
+    /// detection module to embed.
+    pub fn with_options(checker: CertChecker, checks: Checks, muteness: MutenessFd) -> Self {
+        ModuleStack {
+            observer: Observer::with_checks(checker, checks),
+            muteness,
+        }
+    }
+
+    /// Forwards the observer's round progression to the muteness module
+    /// (meaningful for the round-aware ◇M variant).
+    pub fn enter_round(&mut self, round: u64, now: VirtualTime) {
+        self.muteness.enter_round(round, now);
+    }
+
+    /// Pushes one incoming envelope through modules 1–3.
+    pub fn admit(&mut self, from: ProcessId, env: &Envelope, now: VirtualTime) -> Admit {
+        match self.observer.observe(from, env, now) {
+            Ok(trigger) => {
+                // Only *accepted* protocol messages count against muteness.
+                self.muteness.observe_message(from, now);
+                Admit::Accepted(trigger)
+            }
+            Err(e) => Admit::Discarded(e),
+        }
+    }
+
+    /// The muteness detector's current verdict on `p` (◇M query).
+    pub fn suspects(&mut self, p: ProcessId, now: VirtualTime) -> bool {
+        self.muteness.suspects(p, now)
+    }
+
+    /// The non-muteness module's verdict on `p`.
+    pub fn is_faulty(&self, p: ProcessId) -> bool {
+        self.observer.is_faulty(p)
+    }
+
+    /// The Fig. 3 line 22 guard: `p ∈ (suspected_i ∨ faulty_i)`.
+    pub fn suspected_or_faulty(&mut self, p: ProcessId, now: VirtualTime) -> bool {
+        self.is_faulty(p) || self.suspects(p, now)
+    }
+
+    /// Read access to the non-muteness module (evidence, peer phases).
+    pub fn observer(&self) -> &Observer {
+        &self.observer
+    }
+
+    /// Read access to the muteness detector (mistake counts).
+    pub fn muteness(&self) -> &MutenessFd {
+        &self.muteness
+    }
+
+    /// The underlying analyzer (quorum sizes, coordinator rule).
+    pub fn checker(&self) -> &CertChecker {
+        self.observer.checker()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftm_certify::{Certificate, Core};
+    use ftm_crypto::keydir::KeyDirectory;
+    use ftm_crypto::rsa::KeyPair;
+
+    fn fixture() -> (ModuleStack, Vec<KeyPair>) {
+        let mut rng = ftm_crypto::rng_from_seed(91);
+        let (dir, keys) = KeyDirectory::generate(&mut rng, 3, 128);
+        (
+            ModuleStack::new(CertChecker::new(3, 1, dir), Duration::of(50)),
+            keys,
+        )
+    }
+
+    fn init(keys: &[KeyPair], s: u32) -> Envelope {
+        Envelope::make(
+            ProcessId(s),
+            Core::Init { value: s as u64 },
+            Certificate::new(),
+            &keys[s as usize],
+        )
+    }
+
+    #[test]
+    fn accepted_messages_feed_the_muteness_detector() {
+        let (mut stack, keys) = fixture();
+        assert!(matches!(
+            stack.admit(ProcessId(1), &init(&keys, 1), VirtualTime::at(60)),
+            Admit::Accepted(None)
+        ));
+        // p1 spoke at t=60: not suspected shortly after.
+        assert!(!stack.suspects(ProcessId(1), VirtualTime::at(100)));
+        // p2 never spoke: suspected once the timeout elapses.
+        assert!(stack.suspects(ProcessId(2), VirtualTime::at(100)));
+    }
+
+    #[test]
+    fn discarded_messages_do_not_feed_the_muteness_detector() {
+        let (mut stack, keys) = fixture();
+        // p1 sends garbage (signed with the wrong key) at t=60.
+        let bad = Envelope::make(
+            ProcessId(1),
+            Core::Init { value: 0 },
+            Certificate::new(),
+            &keys[2],
+        );
+        assert!(matches!(
+            stack.admit(ProcessId(1), &bad, VirtualTime::at(60)),
+            Admit::Discarded(_)
+        ));
+        // Garbage is not a sign of protocol life: p1 is both faulty and,
+        // once the timeout passes, suspected.
+        assert!(stack.is_faulty(ProcessId(1)));
+        assert!(stack.suspects(ProcessId(1), VirtualTime::at(100)));
+        assert!(stack.suspected_or_faulty(ProcessId(1), VirtualTime::at(100)));
+    }
+
+    #[test]
+    fn accessors_expose_modules() {
+        let (mut stack, keys) = fixture();
+        let _ = stack.admit(ProcessId(0), &init(&keys, 0), VirtualTime::ZERO);
+        assert_eq!(stack.observer().faults().len(), 0);
+        assert_eq!(stack.muteness().mistakes(), 0);
+        assert_eq!(stack.checker().quorum(), 2);
+    }
+}

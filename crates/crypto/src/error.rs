@@ -1,0 +1,52 @@
+//! Error type shared by the cryptographic substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by key generation, signing and verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A signature failed verification against the claimed signer's key.
+    BadSignature,
+    /// The requested signer is not present in the key directory.
+    UnknownSigner(u32),
+    /// Key generation could not find suitable parameters (e.g. the public
+    /// exponent was not coprime with λ(n) after the retry budget).
+    KeyGeneration(&'static str),
+    /// An operand was out of the range a primitive supports (e.g. a modular
+    /// inverse of a non-invertible element was requested).
+    Arithmetic(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::BadSignature => write!(f, "signature verification failed"),
+            CryptoError::UnknownSigner(id) => write!(f, "unknown signer {id}"),
+            CryptoError::KeyGeneration(why) => write!(f, "key generation failed: {why}"),
+            CryptoError::Arithmetic(why) => write!(f, "arithmetic error: {why}"),
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = CryptoError::BadSignature;
+        let s = e.to_string();
+        assert!(s.starts_with(char::is_lowercase));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

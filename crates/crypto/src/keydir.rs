@@ -1,0 +1,158 @@
+//! Public-key directory: the trusted mapping from signer identity to
+//! verification key that every process is assumed to hold.
+//!
+//! The paper's model gives each process a private key and assumes public
+//! keys are known to everyone (the classical PKI assumption). In the
+//! simulation, one [`KeyDirectory`] is built at setup time and shared
+//! (immutably) by all processes, faulty ones included — a faulty process can
+//! *misuse* its own key but cannot alter the directory.
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use crate::error::CryptoError;
+use crate::rsa::{KeyPair, PublicKey, Signature};
+use crate::sha256::Digest;
+
+/// Identifier of a signer (the process index in the simulation).
+pub type SignerId = u32;
+
+/// An immutable directory of verification keys, indexed by [`SignerId`].
+///
+/// # Example
+///
+/// ```
+/// use ftm_crypto::keydir::KeyDirectory;
+/// let mut rng = ftm_crypto::rng_from_seed(1);
+/// let (dir, keys) = KeyDirectory::generate(&mut rng, 4, 128);
+/// let sig = keys[2].sign(b"vote");
+/// assert!(dir.verify(2, b"vote", &sig).is_ok());
+/// assert!(dir.verify(1, b"vote", &sig).is_err()); // wrong claimed signer
+/// ```
+#[derive(Clone, Debug)]
+pub struct KeyDirectory {
+    keys: Arc<Vec<PublicKey>>,
+}
+
+impl KeyDirectory {
+    /// Builds a directory from an explicit list of public keys; the key at
+    /// index `i` belongs to signer `i`.
+    pub fn new(keys: Vec<PublicKey>) -> Self {
+        KeyDirectory {
+            keys: Arc::new(keys),
+        }
+    }
+
+    /// Generates `n` key pairs of `modulus_bits` bits and the matching
+    /// directory. Returns `(directory, private_key_pairs)`.
+    pub fn generate<R: Rng + ?Sized>(
+        rng: &mut R,
+        n: usize,
+        modulus_bits: usize,
+    ) -> (KeyDirectory, Vec<KeyPair>) {
+        let pairs: Vec<KeyPair> = (0..n).map(|_| KeyPair::generate(rng, modulus_bits)).collect();
+        let dir = KeyDirectory::new(pairs.iter().map(|kp| kp.public().clone()).collect());
+        (dir, pairs)
+    }
+
+    /// Number of registered signers.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Returns `true` when the directory holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Looks up the verification key of `signer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::UnknownSigner`] for an unregistered id.
+    pub fn key_of(&self, signer: SignerId) -> Result<&PublicKey, CryptoError> {
+        self.keys
+            .get(signer as usize)
+            .ok_or(CryptoError::UnknownSigner(signer))
+    }
+
+    /// Verifies that `sig` is `signer`'s signature over `message`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::UnknownSigner`] for an unregistered id and
+    /// [`CryptoError::BadSignature`] when verification fails.
+    pub fn verify(
+        &self,
+        signer: SignerId,
+        message: &[u8],
+        sig: &Signature,
+    ) -> Result<(), CryptoError> {
+        if self.key_of(signer)?.verify(message, sig) {
+            Ok(())
+        } else {
+            Err(CryptoError::BadSignature)
+        }
+    }
+
+    /// Verifies a signature over a precomputed digest.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KeyDirectory::verify`].
+    pub fn verify_digest(
+        &self,
+        signer: SignerId,
+        digest: &Digest,
+        sig: &Signature,
+    ) -> Result<(), CryptoError> {
+        if self.key_of(signer)?.verify_digest(digest, sig) {
+            Ok(())
+        } else {
+            Err(CryptoError::BadSignature)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (KeyDirectory, Vec<KeyPair>) {
+        let mut rng = crate::rng_from_seed(77);
+        KeyDirectory::generate(&mut rng, 3, 128)
+    }
+
+    #[test]
+    fn verify_accepts_owner() {
+        let (dir, keys) = setup();
+        for (i, kp) in keys.iter().enumerate() {
+            let sig = kp.sign(b"m");
+            assert!(dir.verify(i as SignerId, b"m", &sig).is_ok());
+        }
+    }
+
+    #[test]
+    fn verify_rejects_impersonation() {
+        let (dir, keys) = setup();
+        // Process 0 signs but claims to be process 1.
+        let sig = keys[0].sign(b"m");
+        assert_eq!(dir.verify(1, b"m", &sig), Err(CryptoError::BadSignature));
+    }
+
+    #[test]
+    fn unknown_signer_reported() {
+        let (dir, keys) = setup();
+        let sig = keys[0].sign(b"m");
+        assert_eq!(dir.verify(9, b"m", &sig), Err(CryptoError::UnknownSigner(9)));
+    }
+
+    #[test]
+    fn directory_is_cheap_to_clone() {
+        let (dir, _) = setup();
+        let clone = dir.clone();
+        assert_eq!(clone.len(), dir.len());
+        assert!(!dir.is_empty());
+    }
+}

@@ -1,0 +1,393 @@
+//! The per-peer observer automaton (paper Fig. 4).
+//!
+//! `SM_p(q)` tracks what a correct `q` may send next over the FIFO channel
+//! `q → p`. Because every correct process sends, per round, at most one
+//! CURRENT followed by at most one NEXT — and always a NEXT before leaving
+//! the round (Fig. 3 line 31) — the legal per-round patterns are:
+//!
+//! ```text
+//! start ──INIT──▶ q0(r=1)
+//! q0 ──CURRENT(r)──▶ q1      q0 ──NEXT(r)──▶ q2
+//! q1 ──NEXT(r)──▶ q2         q2 ──msg(r+1)──▶ q0(r+1) (re-dispatched)
+//! any ──DECIDE──▶ final
+//! anything else ──▶ faulty   (terminal)
+//! ```
+//!
+//! The automaton checks *timing* (enabled receipt events); content and
+//! certificate checks (`PF` predicates) are the
+//! [`ftm_certify::CertChecker`]'s and [`crate::predicates`]'s job and are
+//! run by the [`crate::Observer`] before the transition is applied.
+
+use std::fmt;
+
+use ftm_certify::{CertifyError, Envelope, FaultClass, MessageKind, Round};
+use ftm_sim::ProcessId;
+
+/// Observer-side phases of a peer, mirroring the protocol automaton's
+/// states plus the observer-specific `start`, `final` and `faulty`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeerPhase {
+    /// Nothing received yet; an INIT is expected.
+    Start,
+    /// In a round, no vote seen yet.
+    Q0,
+    /// Voted CURRENT in this round.
+    Q1,
+    /// Voted NEXT in this round.
+    Q2,
+    /// Decided (DECIDE seen); nothing further may arrive.
+    Final,
+    /// Convicted: a fault was observed. Terminal.
+    Faulty,
+}
+
+impl fmt::Display for PeerPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PeerPhase::Start => "start",
+            PeerPhase::Q0 => "q0",
+            PeerPhase::Q1 => "q1",
+            PeerPhase::Q2 => "q2",
+            PeerPhase::Final => "final",
+            PeerPhase::Faulty => "faulty",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What the automaton asks the observer to verify before committing a
+/// transition (the `PF` predicate family to evaluate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Requirement {
+    /// Message is in-pattern for the current round; the standard
+    /// per-kind certificate check suffices.
+    Standard,
+    /// Message opens round `new_round` for this peer: additionally check
+    /// round-entry evidence ([`crate::predicates::round_entry_justified`]).
+    RoundEntry(Round),
+}
+
+/// The timing automaton for one peer.
+///
+/// # Example
+///
+/// ```
+/// use ftm_detect::{PeerAutomaton, PeerPhase};
+/// use ftm_sim::ProcessId;
+/// let a = PeerAutomaton::new(ProcessId(1));
+/// assert_eq!(a.phase(), PeerPhase::Start);
+/// assert_eq!(a.round(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PeerAutomaton {
+    peer: ProcessId,
+    phase: PeerPhase,
+    round: Round,
+}
+
+impl PeerAutomaton {
+    /// Creates the automaton in `start`, before any receipt.
+    pub fn new(peer: ProcessId) -> Self {
+        PeerAutomaton {
+            peer,
+            phase: PeerPhase::Start,
+            round: 0,
+        }
+    }
+
+    /// The observed peer.
+    pub fn peer(&self) -> ProcessId {
+        self.peer
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> PeerPhase {
+        self.phase
+    }
+
+    /// The round the peer is believed to be in (0 until its INIT arrives).
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Returns `true` once the peer is convicted.
+    pub fn is_faulty(&self) -> bool {
+        self.phase == PeerPhase::Faulty
+    }
+
+    fn fault(&mut self, reason: &'static str) -> Result<Requirement, CertifyError> {
+        self.phase = PeerPhase::Faulty;
+        Err(CertifyError::new(self.peer, FaultClass::OutOfOrder, reason))
+    }
+
+    /// Checks whether `env`'s receipt event is enabled, and advances the
+    /// phase if so. Returns the extra verification the observer must run
+    /// (certificate predicates) — the observer calls this *after* the
+    /// content checks passed, with `env` already trusted syntactically.
+    ///
+    /// # Errors
+    ///
+    /// An out-of-order receipt convicts the peer (phase becomes `Faulty`)
+    /// and returns the classification.
+    pub fn on_message(&mut self, env: &Envelope) -> Result<Requirement, CertifyError> {
+        // Note: `env.sender()` normally equals `self.peer`; when the
+        // signature module is ablated (experiment E8) the observer routes
+        // by the *claimed* sender, so an impersonator's messages land here
+        // and frame the victim — which is the point of that experiment.
+        let kind = env.kind();
+        let r = env.round();
+
+        match self.phase {
+            PeerPhase::Faulty => Err(CertifyError::new(
+                self.peer,
+                FaultClass::OutOfOrder,
+                "message from an already convicted peer",
+            )),
+            PeerPhase::Final => self.fault("message after DECIDE (halted process spoke)"),
+            PeerPhase::Start => match kind {
+                MessageKind::Init => {
+                    self.phase = PeerPhase::Q0;
+                    self.round = 1;
+                    Ok(Requirement::Standard)
+                }
+                // A process that decides before sending INIT never ran the
+                // vector-certification phase — but relayed DECIDEs are
+                // possible only after INIT, since the protocol starts with
+                // the INIT broadcast. Anything but INIT first is faulty.
+                _ => self.fault("first message is not INIT"),
+            },
+            PeerPhase::Q0 | PeerPhase::Q1 | PeerPhase::Q2 => {
+                if kind == MessageKind::Decide {
+                    // DECIDE is enabled from any in-round phase (a process
+                    // may relay a DECIDE it received at any time).
+                    self.phase = PeerPhase::Final;
+                    return Ok(Requirement::Standard);
+                }
+                if kind == MessageKind::Init {
+                    return self.fault("duplicate INIT");
+                }
+                if r < self.round {
+                    return self.fault("message for a past round (replay or duplication)");
+                }
+                if r > self.round {
+                    // FIFO: the peer left its round without our seeing the
+                    // mandatory NEXT unless it was in q2; and correct
+                    // processes advance one round at a time.
+                    if self.phase != PeerPhase::Q2 {
+                        return self.fault("left round without sending NEXT");
+                    }
+                    if r != self.round + 1 {
+                        return self.fault("skipped a round");
+                    }
+                    // Round advance: re-enter q0 and re-dispatch.
+                    self.round = r;
+                    self.phase = PeerPhase::Q0;
+                    return match kind {
+                        MessageKind::Current => {
+                            self.phase = PeerPhase::Q1;
+                            Ok(Requirement::RoundEntry(r))
+                        }
+                        MessageKind::Next => {
+                            self.phase = PeerPhase::Q2;
+                            Ok(Requirement::RoundEntry(r))
+                        }
+                        _ => unreachable!("INIT/DECIDE handled above"),
+                    };
+                }
+                // Same round.
+                match (self.phase, kind) {
+                    (PeerPhase::Q0, MessageKind::Current) => {
+                        self.phase = PeerPhase::Q1;
+                        Ok(Requirement::Standard)
+                    }
+                    (PeerPhase::Q0, MessageKind::Next) => {
+                        self.phase = PeerPhase::Q2;
+                        Ok(Requirement::Standard)
+                    }
+                    (PeerPhase::Q1, MessageKind::Next) => {
+                        self.phase = PeerPhase::Q2;
+                        Ok(Requirement::Standard)
+                    }
+                    (PeerPhase::Q1, MessageKind::Current) => {
+                        self.fault("duplicate CURRENT in one round")
+                    }
+                    (PeerPhase::Q2, MessageKind::Next) => {
+                        self.fault("duplicate NEXT in one round")
+                    }
+                    (PeerPhase::Q2, MessageKind::Current) => {
+                        self.fault("CURRENT after NEXT in one round")
+                    }
+                    _ => unreachable!("all kinds covered"),
+                }
+            }
+        }
+    }
+
+    /// Convicts the peer from outside the timing rules (the observer calls
+    /// this when a content/certificate predicate failed).
+    pub fn convict(&mut self) {
+        self.phase = PeerPhase::Faulty;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftm_certify::{Certificate, Core, ValueVector};
+    use ftm_crypto::keydir::KeyDirectory;
+    use ftm_crypto::rsa::KeyPair;
+
+    fn keys() -> Vec<KeyPair> {
+        let mut rng = ftm_crypto::rng_from_seed(71);
+        KeyDirectory::generate(&mut rng, 4, 128).1
+    }
+
+    fn env(keys: &[KeyPair], sender: u32, core: Core) -> Envelope {
+        Envelope::make(
+            ProcessId(sender),
+            core,
+            Certificate::new(),
+            &keys[sender as usize],
+        )
+    }
+
+    fn vect() -> ValueVector {
+        ValueVector::empty(4)
+    }
+
+    #[test]
+    fn honest_round_sequence_is_accepted() {
+        let ks = keys();
+        let mut a = PeerAutomaton::new(ProcessId(1));
+        assert!(a.on_message(&env(&ks, 1, Core::Init { value: 1 })).is_ok());
+        assert_eq!(a.phase(), PeerPhase::Q0);
+        assert!(a
+            .on_message(&env(&ks, 1, Core::Current { round: 1, vector: vect() }))
+            .is_ok());
+        assert_eq!(a.phase(), PeerPhase::Q1);
+        assert!(a.on_message(&env(&ks, 1, Core::Next { round: 1 })).is_ok());
+        assert_eq!(a.phase(), PeerPhase::Q2);
+        // Round advance with a CURRENT(2) asks for round-entry evidence.
+        let req = a
+            .on_message(&env(&ks, 1, Core::Current { round: 2, vector: vect() }))
+            .unwrap();
+        assert_eq!(req, Requirement::RoundEntry(2));
+        assert_eq!(a.phase(), PeerPhase::Q1);
+        assert_eq!(a.round(), 2);
+        // Decide from q1.
+        assert!(a
+            .on_message(&env(&ks, 1, Core::Decide { round: 2, vector: vect() }))
+            .is_ok());
+        assert_eq!(a.phase(), PeerPhase::Final);
+    }
+
+    #[test]
+    fn skipping_the_mandatory_next_is_caught() {
+        let ks = keys();
+        let mut a = PeerAutomaton::new(ProcessId(1));
+        a.on_message(&env(&ks, 1, Core::Init { value: 1 })).unwrap();
+        a.on_message(&env(&ks, 1, Core::Current { round: 1, vector: vect() }))
+            .unwrap();
+        // Jumps to round 2 from q1 — never sent NEXT(1).
+        let err = a
+            .on_message(&env(&ks, 1, Core::Current { round: 2, vector: vect() }))
+            .unwrap_err();
+        assert!(err.reason.contains("without sending NEXT"));
+        assert!(a.is_faulty());
+    }
+
+    #[test]
+    fn duplicate_votes_are_caught() {
+        let ks = keys();
+        let mut a = PeerAutomaton::new(ProcessId(1));
+        a.on_message(&env(&ks, 1, Core::Init { value: 1 })).unwrap();
+        a.on_message(&env(&ks, 1, Core::Current { round: 1, vector: vect() }))
+            .unwrap();
+        let err = a
+            .on_message(&env(&ks, 1, Core::Current { round: 1, vector: vect() }))
+            .unwrap_err();
+        assert_eq!(err.class, FaultClass::OutOfOrder);
+        assert!(err.reason.contains("duplicate CURRENT"));
+    }
+
+    #[test]
+    fn duplicate_next_is_caught() {
+        let ks = keys();
+        let mut a = PeerAutomaton::new(ProcessId(1));
+        a.on_message(&env(&ks, 1, Core::Init { value: 1 })).unwrap();
+        a.on_message(&env(&ks, 1, Core::Next { round: 1 })).unwrap();
+        assert!(a.on_message(&env(&ks, 1, Core::Next { round: 1 })).is_err());
+        assert!(a.is_faulty());
+    }
+
+    #[test]
+    fn past_round_replay_is_caught() {
+        let ks = keys();
+        let mut a = PeerAutomaton::new(ProcessId(1));
+        a.on_message(&env(&ks, 1, Core::Init { value: 1 })).unwrap();
+        a.on_message(&env(&ks, 1, Core::Next { round: 1 })).unwrap();
+        a.on_message(&env(&ks, 1, Core::Next { round: 2 })).unwrap();
+        let err = a.on_message(&env(&ks, 1, Core::Next { round: 1 })).unwrap_err();
+        assert!(err.reason.contains("past round"));
+    }
+
+    #[test]
+    fn round_skip_is_caught() {
+        let ks = keys();
+        let mut a = PeerAutomaton::new(ProcessId(1));
+        a.on_message(&env(&ks, 1, Core::Init { value: 1 })).unwrap();
+        a.on_message(&env(&ks, 1, Core::Next { round: 1 })).unwrap();
+        let err = a.on_message(&env(&ks, 1, Core::Next { round: 3 })).unwrap_err();
+        assert!(err.reason.contains("skipped a round"));
+    }
+
+    #[test]
+    fn missing_init_is_caught() {
+        let ks = keys();
+        let mut a = PeerAutomaton::new(ProcessId(1));
+        let err = a
+            .on_message(&env(&ks, 1, Core::Next { round: 1 }))
+            .unwrap_err();
+        assert!(err.reason.contains("first message is not INIT"));
+    }
+
+    #[test]
+    fn duplicate_init_is_caught() {
+        let ks = keys();
+        let mut a = PeerAutomaton::new(ProcessId(1));
+        a.on_message(&env(&ks, 1, Core::Init { value: 1 })).unwrap();
+        assert!(a.on_message(&env(&ks, 1, Core::Init { value: 1 })).is_err());
+    }
+
+    #[test]
+    fn speaking_after_decide_is_caught() {
+        let ks = keys();
+        let mut a = PeerAutomaton::new(ProcessId(1));
+        a.on_message(&env(&ks, 1, Core::Init { value: 1 })).unwrap();
+        a.on_message(&env(&ks, 1, Core::Decide { round: 1, vector: vect() }))
+            .unwrap();
+        let err = a.on_message(&env(&ks, 1, Core::Next { round: 1 })).unwrap_err();
+        assert!(err.reason.contains("after DECIDE"));
+    }
+
+    #[test]
+    fn current_after_next_same_round_is_caught() {
+        let ks = keys();
+        let mut a = PeerAutomaton::new(ProcessId(1));
+        a.on_message(&env(&ks, 1, Core::Init { value: 1 })).unwrap();
+        a.on_message(&env(&ks, 1, Core::Next { round: 1 })).unwrap();
+        let err = a
+            .on_message(&env(&ks, 1, Core::Current { round: 1, vector: vect() }))
+            .unwrap_err();
+        assert!(err.reason.contains("CURRENT after NEXT"));
+    }
+
+    #[test]
+    fn convicted_peer_stays_convicted() {
+        let ks = keys();
+        let mut a = PeerAutomaton::new(ProcessId(1));
+        a.convict();
+        assert!(a.is_faulty());
+        assert!(a.on_message(&env(&ks, 1, Core::Init { value: 1 })).is_err());
+    }
+}

@@ -1,0 +1,396 @@
+//! The non-muteness failure detection module a process embeds.
+//!
+//! One [`Observer`] per process: it owns one [`PeerAutomaton`] per peer,
+//! the certificate analyzer, and the evidence log. Every incoming envelope
+//! flows through [`Observer::observe`], which implements the paper's
+//! receive pipeline (Fig. 1): identity check → signature check → syntax →
+//! timing automaton → certificate predicates. Any failure convicts the
+//! sender: it enters the observer's `faulty` set, which the protocol module
+//! may only read.
+//!
+//! The module is *reliable* in the paper's sense: if a correct process
+//! declares `q` faulty, `q` did exhibit an incorrect behavior — every
+//! conviction is backed by a [`FaultRecord`] holding the failed check.
+
+use std::collections::BTreeSet;
+
+use ftm_certify::analyzer::{CertChecker, NextTrigger};
+use ftm_certify::{CertifyError, Envelope, FaultClass, MessageKind};
+use ftm_sim::{ProcessId, VirtualTime};
+
+use crate::automaton::{PeerAutomaton, PeerPhase, Requirement};
+use crate::predicates::round_entry_justified;
+
+/// One conviction with its evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// The convicted process.
+    pub culprit: ProcessId,
+    /// The paper's failure class.
+    pub class: FaultClass,
+    /// The failed check.
+    pub reason: &'static str,
+    /// When the observer convicted it.
+    pub at: VirtualTime,
+}
+
+/// Which checks the observer runs — all on by default.
+///
+/// Exists for the ablation experiment (E8): disabling one module at a time
+/// shows each is load-bearing. Production use keeps the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checks {
+    /// Identity and core-signature verification (the signature module).
+    pub signatures: bool,
+    /// Certificate item signatures and per-kind well-formedness (the
+    /// reliable certification module / `PF` predicates).
+    pub certificates: bool,
+    /// The per-peer timing automaton (out-of-order detection).
+    pub timing: bool,
+}
+
+impl Default for Checks {
+    fn default() -> Self {
+        Checks {
+            signatures: true,
+            certificates: true,
+            timing: true,
+        }
+    }
+}
+
+/// Per-process non-muteness failure detection module.
+///
+/// # Example
+///
+/// ```
+/// use ftm_certify::analyzer::CertChecker;
+/// use ftm_certify::{Certificate, Core, Envelope};
+/// use ftm_detect::Observer;
+/// use ftm_sim::{ProcessId, VirtualTime};
+///
+/// let mut rng = ftm_crypto::rng_from_seed(4);
+/// let (dir, keys) = ftm_crypto::keydir::KeyDirectory::generate(&mut rng, 4, 128);
+/// let mut obs = Observer::new(CertChecker::new(4, 1, dir));
+/// let env = Envelope::make(ProcessId(2), Core::Init { value: 7 },
+///                          Certificate::new(), &keys[2]);
+/// assert!(obs.observe(ProcessId(2), &env, VirtualTime::ZERO).is_ok());
+/// assert!(obs.faulty_set().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Observer {
+    checker: CertChecker,
+    automata: Vec<PeerAutomaton>,
+    faults: Vec<FaultRecord>,
+    checks: Checks,
+}
+
+impl Observer {
+    /// Creates an observer for all `n` peers of `checker`.
+    pub fn new(checker: CertChecker) -> Self {
+        let automata = (0..checker.n() as u32)
+            .map(|i| PeerAutomaton::new(ProcessId(i)))
+            .collect();
+        Observer {
+            checker,
+            automata,
+            faults: Vec::new(),
+            checks: Checks::default(),
+        }
+    }
+
+    /// Creates an observer with some checks disabled (ablation only).
+    pub fn with_checks(checker: CertChecker, checks: Checks) -> Self {
+        let mut o = Observer::new(checker);
+        o.checks = checks;
+        o
+    }
+
+    /// The analyzer this observer validates against.
+    pub fn checker(&self) -> &CertChecker {
+        &self.checker
+    }
+
+    /// Runs the full receive pipeline on an envelope arriving over the
+    /// channel from `from`.
+    ///
+    /// Returns the NEXT trigger classification for NEXT messages (`None`
+    /// for other kinds) so the embedding protocol knows *why* the peer
+    /// votes NEXT.
+    ///
+    /// # Errors
+    ///
+    /// Any failed check: the sender is convicted, the evidence logged, and
+    /// the message must be discarded by the caller.
+    pub fn observe(
+        &mut self,
+        from: ProcessId,
+        env: &Envelope,
+        now: VirtualTime,
+    ) -> Result<Option<NextTrigger>, CertifyError> {
+        // 1. Identity: the claimed sender must be the channel source
+        //    (channels are point-to-point; claiming another identity is the
+        //    paper's "falsified identity" fault, pinned on the source).
+        if self.checks.signatures {
+            if env.sender() != from {
+                return Err(self.convict(
+                    CertifyError::new(
+                        from,
+                        FaultClass::BadSignature,
+                        "claimed sender differs from channel source",
+                    ),
+                    now,
+                ));
+            }
+            // 2. Signature over the core.
+            if let Err(e) = env.signed.verify(self.checker.dir()) {
+                return Err(self.convict(e, now));
+            }
+        }
+        // 3. Syntax.
+        if let Err(e) = self.checker.check_syntax(env) {
+            return Err(self.convict(e, now));
+        }
+        // 4. Timing: is this receipt event enabled in SM_p(q)? With the
+        // signature module on, the claimed sender IS the channel source;
+        // ablated, the receiver can only trust the claim (see Checks).
+        let subject = if self.checks.signatures { from } else { env.sender() };
+        let subject_idx = subject.index().min(self.automata.len() - 1);
+        let requirement = if self.checks.timing {
+            match self.automata[subject_idx].on_message(env) {
+                Ok(req) => req,
+                Err(e) => return Err(self.record(e, now)),
+            }
+        } else {
+            Requirement::Standard
+        };
+        if !self.checks.certificates {
+            return Ok(None);
+        }
+        // 5. Certificate item signatures.
+        if let Err(e) = self.checker.check_cert_signatures(env) {
+            return Err(self.convict(e, now));
+        }
+        // 6. Per-kind certificate predicates (the PF family).
+        let trigger = match env.kind() {
+            MessageKind::Init => {
+                if let Err(e) = self.checker.check_init(env) {
+                    return Err(self.convict(e, now));
+                }
+                None
+            }
+            MessageKind::Current => {
+                if let Err(e) = self.checker.check_current(env) {
+                    return Err(self.convict(e, now));
+                }
+                None
+            }
+            MessageKind::Next => match self.checker.check_next(env) {
+                Ok(t) => Some(t),
+                Err(e) => return Err(self.convict(e, now)),
+            },
+            MessageKind::Decide => {
+                if let Err(e) = self.checker.check_decide(env) {
+                    return Err(self.convict(e, now));
+                }
+                None
+            }
+        };
+        // 7. Round-entry evidence when the automaton asked for it.
+        if let Requirement::RoundEntry(r) = requirement {
+            if let Err(e) = round_entry_justified(&self.checker, env, r) {
+                return Err(self.convict(e, now));
+            }
+        }
+        Ok(trigger)
+    }
+
+    fn convict(&mut self, e: CertifyError, now: VirtualTime) -> CertifyError {
+        let idx = e.culprit.index().min(self.automata.len() - 1);
+        self.automata[idx].convict();
+        self.record(e, now)
+    }
+
+    fn record(&mut self, e: CertifyError, now: VirtualTime) -> CertifyError {
+        self.faults.push(FaultRecord {
+            culprit: e.culprit,
+            class: e.class,
+            reason: e.reason,
+            at: now,
+        });
+        e
+    }
+
+    /// The convicted processes (the paper's `faulty_i` set).
+    pub fn faulty_set(&self) -> BTreeSet<ProcessId> {
+        self.faults.iter().map(|f| f.culprit).collect()
+    }
+
+    /// Whether `p` is convicted.
+    pub fn is_faulty(&self, p: ProcessId) -> bool {
+        self.automata
+            .get(p.index())
+            .is_some_and(|a| a.is_faulty())
+    }
+
+    /// The evidence log, in conviction order.
+    pub fn faults(&self) -> &[FaultRecord] {
+        &self.faults
+    }
+
+    /// Phase the observer believes `p` is in.
+    pub fn phase_of(&self, p: ProcessId) -> PeerPhase {
+        self.automata[p.index()].phase()
+    }
+
+    /// Round the observer believes `p` is in.
+    pub fn round_of(&self, p: ProcessId) -> u64 {
+        self.automata[p.index()].round()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftm_certify::{Certificate, Core, ValueVector};
+    use ftm_crypto::keydir::KeyDirectory;
+    use ftm_crypto::rsa::KeyPair;
+
+    const N: usize = 4;
+
+    fn fixture() -> (Observer, Vec<KeyPair>) {
+        let mut rng = ftm_crypto::rng_from_seed(81);
+        let (dir, keys) = KeyDirectory::generate(&mut rng, N, 128);
+        (Observer::new(CertChecker::new(N, 1, dir)), keys)
+    }
+
+    fn init(keys: &[KeyPair], s: u32, v: u64) -> Envelope {
+        Envelope::make(
+            ProcessId(s),
+            Core::Init { value: v },
+            Certificate::new(),
+            &keys[s as usize],
+        )
+    }
+
+    #[test]
+    fn honest_messages_pass_and_no_convictions() {
+        let (mut obs, keys) = fixture();
+        for s in 0..N as u32 {
+            assert!(obs
+                .observe(ProcessId(s), &init(&keys, s, s as u64), VirtualTime::ZERO)
+                .is_ok());
+        }
+        assert!(obs.faulty_set().is_empty());
+        assert_eq!(obs.phase_of(ProcessId(0)), PeerPhase::Q0);
+    }
+
+    #[test]
+    fn identity_falsification_blames_channel_source() {
+        let (mut obs, keys) = fixture();
+        // p3 sends over its channel a message claiming to be p1, even with
+        // p1's genuine core signature (a replayed statement).
+        let env = init(&keys, 1, 9);
+        let err = obs
+            .observe(ProcessId(3), &env, VirtualTime::at(4))
+            .unwrap_err();
+        assert_eq!(err.culprit, ProcessId(3));
+        assert_eq!(err.class, FaultClass::BadSignature);
+        assert!(obs.is_faulty(ProcessId(3)));
+        assert!(!obs.is_faulty(ProcessId(1)));
+        assert_eq!(obs.faults().len(), 1);
+        assert_eq!(obs.faults()[0].at, VirtualTime::at(4));
+    }
+
+    #[test]
+    fn forged_signature_convicts() {
+        let (mut obs, keys) = fixture();
+        // p2 signs with p3's key (stolen/broken key model).
+        let env = Envelope::make(
+            ProcessId(2),
+            Core::Init { value: 5 },
+            Certificate::new(),
+            &keys[3],
+        );
+        let err = obs
+            .observe(ProcessId(2), &env, VirtualTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err.class, FaultClass::BadSignature);
+        assert!(obs.is_faulty(ProcessId(2)));
+    }
+
+    #[test]
+    fn out_of_order_convicts_via_automaton() {
+        let (mut obs, keys) = fixture();
+        let env = Envelope::make(
+            ProcessId(1),
+            Core::Next { round: 1 },
+            Certificate::new(),
+            &keys[1],
+        );
+        // First message is not INIT.
+        let err = obs
+            .observe(ProcessId(1), &env, VirtualTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err.class, FaultClass::OutOfOrder);
+        assert!(obs.is_faulty(ProcessId(1)));
+    }
+
+    #[test]
+    fn bad_certificate_convicts_after_timing_passes() {
+        let (mut obs, keys) = fixture();
+        obs.observe(ProcessId(0), &init(&keys, 0, 1), VirtualTime::ZERO)
+            .unwrap();
+        // p0 (round-1 coordinator) sends CURRENT with an unwitnessed vector.
+        let mut vect = ValueVector::empty(N);
+        vect.set(0, 1);
+        vect.set(1, 2);
+        vect.set(2, 3);
+        let env = Envelope::make(
+            ProcessId(0),
+            Core::Current { round: 1, vector: vect },
+            Certificate::new(), // no INIT backing at all
+            &keys[0],
+        );
+        let err = obs
+            .observe(ProcessId(0), &env, VirtualTime::at(7))
+            .unwrap_err();
+        assert_eq!(err.class, FaultClass::BadCertificate);
+        assert!(obs.is_faulty(ProcessId(0)));
+    }
+
+    #[test]
+    fn next_trigger_is_surfaced() {
+        let (mut obs, keys) = fixture();
+        obs.observe(ProcessId(1), &init(&keys, 1, 1), VirtualTime::ZERO)
+            .unwrap();
+        let env = Envelope::make(
+            ProcessId(1),
+            Core::Next { round: 1 },
+            Certificate::new(),
+            &keys[1],
+        );
+        let trigger = obs
+            .observe(ProcessId(1), &env, VirtualTime::at(1))
+            .unwrap();
+        assert_eq!(trigger, Some(NextTrigger::Suspicion));
+        assert_eq!(obs.phase_of(ProcessId(1)), PeerPhase::Q2);
+    }
+
+    #[test]
+    fn faulty_set_accumulates_distinct_culprits() {
+        let (mut obs, keys) = fixture();
+        for s in [1u32, 2] {
+            let env = Envelope::make(
+                ProcessId(s),
+                Core::Next { round: 1 },
+                Certificate::new(),
+                &keys[s as usize],
+            );
+            let _ = obs.observe(ProcessId(s), &env, VirtualTime::ZERO);
+        }
+        let set = obs.faulty_set();
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&ProcessId(1)) && set.contains(&ProcessId(2)));
+    }
+}

@@ -1,0 +1,161 @@
+//! The `PF_{a,b}` predicates: per-transition certificate analysis.
+//!
+//! In the paper, a transition of the observer automaton from state `a` to
+//! state `b` on a message of some kind is guarded by `PF_{a,b}(kind)`:
+//! the message must not be an out-of-order message (checked by the
+//! automaton's enabled-receipt rule) and must not be a wrong expected
+//! message (checked here — syntax plus certificate well-formedness for the
+//! claimed transition).
+
+use ftm_certify::analyzer::CertChecker;
+use ftm_certify::{CertifyError, Envelope, FaultClass, MessageKind, Round};
+
+/// Checks that an envelope justifies the peer *entering* `round`.
+///
+/// A correct process's first message of round `r > 1` can prove its round
+/// entry in one of three ways:
+///
+/// 1. a NEXT-portion of `n−F` signed `NEXT(r−1)` (it saw the previous
+///    round end — coordinators must use this form, enforced separately by
+///    [`CertChecker::check_current`]);
+/// 2. the round-`r` coordinator's own signed `CURRENT(r)` (the coordinator
+///    vouches for the round — the relayed-CURRENT case);
+/// 3. a full quorum of `NEXT(r)` items (others are already leaving `r`,
+///    which subsumes the evidence that `r` started).
+///
+/// # Errors
+///
+/// Returns a [`FaultClass::BadCertificate`] error when none applies.
+pub fn round_entry_justified(
+    checker: &CertChecker,
+    env: &Envelope,
+    round: Round,
+) -> Result<(), CertifyError> {
+    if round <= 1 {
+        return Ok(());
+    }
+    // (1) n−F NEXT(round−1).
+    if checker
+        .next_portion_well_formed(&env.cert, round, env.sender())
+        .is_ok()
+    {
+        return Ok(());
+    }
+    // (2) the coordinator's signed CURRENT for this round.
+    let coord = checker.coordinator(round);
+    let coord_current = env
+        .cert
+        .iter_kind_round(MessageKind::Current, round)
+        .any(|i| i.sender() == coord);
+    if coord_current {
+        return Ok(());
+    }
+    // (3) a NEXT(round) quorum.
+    if env.cert.count(MessageKind::Next, round) >= checker.quorum() {
+        return Ok(());
+    }
+    Err(CertifyError::new(
+        env.sender(),
+        FaultClass::BadCertificate,
+        "first message of a new round carries no round-entry evidence",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftm_certify::{Certificate, Core, MessageCore, SignedCore, ValueVector};
+    use ftm_crypto::keydir::KeyDirectory;
+    use ftm_crypto::rsa::KeyPair;
+    use ftm_sim::ProcessId;
+
+    const N: usize = 4;
+
+    fn fixture() -> (CertChecker, Vec<KeyPair>) {
+        let mut rng = ftm_crypto::rng_from_seed(61);
+        let (dir, keys) = KeyDirectory::generate(&mut rng, N, 128);
+        (CertChecker::new(N, 1, dir), keys)
+    }
+
+    fn signed(keys: &[KeyPair], sender: u32, core: Core) -> SignedCore {
+        SignedCore::sign(
+            MessageCore::new(ProcessId(sender), core),
+            &keys[sender as usize],
+        )
+    }
+
+    fn next_env(keys: &[KeyPair], sender: u32, round: Round, cert: Certificate) -> Envelope {
+        Envelope::make(
+            ProcessId(sender),
+            Core::Next { round },
+            cert,
+            &keys[sender as usize],
+        )
+    }
+
+    #[test]
+    fn round_one_needs_nothing() {
+        let (checker, keys) = fixture();
+        let env = next_env(&keys, 3, 1, Certificate::new());
+        assert!(round_entry_justified(&checker, &env, 1).is_ok());
+    }
+
+    #[test]
+    fn next_quorum_of_previous_round_justifies() {
+        let (checker, keys) = fixture();
+        let cert =
+            Certificate::from_items((0..3u32).map(|s| signed(&keys, s, Core::Next { round: 1 })));
+        let env = next_env(&keys, 3, 2, cert);
+        assert!(round_entry_justified(&checker, &env, 2).is_ok());
+    }
+
+    #[test]
+    fn coordinator_voucher_justifies() {
+        let (checker, keys) = fixture();
+        // Round 2's coordinator is p1.
+        let cert = Certificate::from_items([signed(
+            &keys,
+            1,
+            Core::Current {
+                round: 2,
+                vector: ValueVector::empty(N),
+            },
+        )]);
+        let env = next_env(&keys, 3, 2, cert);
+        assert!(round_entry_justified(&checker, &env, 2).is_ok());
+    }
+
+    #[test]
+    fn same_round_next_quorum_justifies() {
+        let (checker, keys) = fixture();
+        let cert =
+            Certificate::from_items((0..3u32).map(|s| signed(&keys, s, Core::Next { round: 2 })));
+        let env = next_env(&keys, 3, 2, cert);
+        assert!(round_entry_justified(&checker, &env, 2).is_ok());
+    }
+
+    #[test]
+    fn bare_round_jump_is_rejected() {
+        let (checker, keys) = fixture();
+        let env = next_env(&keys, 3, 2, Certificate::new());
+        let err = round_entry_justified(&checker, &env, 2).unwrap_err();
+        assert_eq!(err.class, FaultClass::BadCertificate);
+        assert!(err.reason.contains("round-entry"));
+    }
+
+    #[test]
+    fn non_coordinator_current_is_not_a_voucher() {
+        let (checker, keys) = fixture();
+        // p3's CURRENT(2) does not vouch — only the round-2 coordinator p1.
+        let cert = Certificate::from_items([signed(
+            &keys,
+            3,
+            Core::Current {
+                round: 2,
+                vector: ValueVector::empty(N),
+            },
+        )]);
+        let env = next_env(&keys, 0, 2, cert);
+        assert!(round_entry_justified(&checker, &env, 2).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! The generic Byzantine actor wrapper.
+
+use ftm_certify::{Envelope, ValueVector};
+use ftm_crypto::rsa::KeyPair;
+use ftm_sim::{Actor, Context, Duration, ProcessId, TimerTag, VirtualTime};
+
+/// Timer tag reserved for the wrapper's injection schedule (the inner
+/// protocol uses low tags).
+pub const INJECT_TIMER: TimerTag = 0xFA17;
+
+/// A Byzantine strategy: rewrites the honest protocol's output and/or
+/// injects spurious messages.
+///
+/// `tamper` runs after every inner callback with the staged outgoing
+/// messages; `inject` runs on a periodic timer and returns extra messages
+/// to send. Both receive the process's own [`KeyPair`] — a faulty process
+/// can always produce valid signatures *for its own identity*.
+pub trait Tamper: std::fmt::Debug + Send {
+    /// Rewrites the staged sends of one callback in place.
+    fn tamper(
+        &mut self,
+        me: ProcessId,
+        keys: &KeyPair,
+        staged: &mut Vec<(ProcessId, Envelope)>,
+        now: VirtualTime,
+    );
+
+    /// Extra messages to inject at `now` (default: none).
+    fn inject(
+        &mut self,
+        me: ProcessId,
+        keys: &KeyPair,
+        now: VirtualTime,
+    ) -> Vec<(ProcessId, Envelope)> {
+        let _ = (me, keys, now);
+        Vec::new()
+    }
+}
+
+/// A faulty process: the honest protocol wrapped by a [`Tamper`] strategy.
+///
+/// The inner actor keeps running (and keeps believing its own bookkeeping);
+/// what reaches the network is whatever the strategy leaves. This models
+/// the paper's faulty process exactly: the *program text* is known and
+/// common, the *execution* deviates.
+#[derive(Debug)]
+pub struct ByzantineWrapper<A> {
+    inner: A,
+    tamper: Box<dyn Tamper>,
+    keys: KeyPair,
+    inject_interval: Duration,
+}
+
+impl<A> ByzantineWrapper<A>
+where
+    A: Actor<Msg = Envelope, Decision = ValueVector>,
+{
+    /// Wraps `inner` with a strategy. `inject_interval` paces the
+    /// strategy's spontaneous sends.
+    pub fn new(inner: A, tamper: Box<dyn Tamper>, keys: KeyPair, inject_interval: Duration) -> Self {
+        ByzantineWrapper {
+            inner,
+            tamper,
+            keys,
+            inject_interval,
+        }
+    }
+
+    fn post(&mut self, ctx: &mut Context<'_, Envelope, ValueVector>) {
+        let me = ctx.me();
+        let now = ctx.now();
+        self.tamper.tamper(me, &self.keys, ctx.staged_sends_mut(), now);
+    }
+}
+
+impl<A> Actor for ByzantineWrapper<A>
+where
+    A: Actor<Msg = Envelope, Decision = ValueVector>,
+{
+    type Msg = Envelope;
+    type Decision = ValueVector;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Envelope, ValueVector>) {
+        self.inner.on_start(ctx);
+        ctx.set_timer(self.inject_interval, INJECT_TIMER);
+        self.post(ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Envelope,
+        ctx: &mut Context<'_, Envelope, ValueVector>,
+    ) {
+        self.inner.on_message(from, msg, ctx);
+        self.post(ctx);
+    }
+
+    fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<'_, Envelope, ValueVector>) {
+        if tag == INJECT_TIMER {
+            let me = ctx.me();
+            let now = ctx.now();
+            for (to, env) in self.tamper.inject(me, &self.keys, now) {
+                ctx.send(to, env);
+            }
+            ctx.set_timer(self.inject_interval, INJECT_TIMER);
+            return;
+        }
+        self.inner.on_timer(tag, ctx);
+        self.post(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftm_certify::{Certificate, Core};
+
+    /// Drops everything: the simplest muteness strategy.
+    #[derive(Debug)]
+    struct DropAll;
+    impl Tamper for DropAll {
+        fn tamper(
+            &mut self,
+            _me: ProcessId,
+            _keys: &KeyPair,
+            staged: &mut Vec<(ProcessId, Envelope)>,
+            _now: VirtualTime,
+        ) {
+            staged.clear();
+        }
+    }
+
+    /// Minimal inner actor: broadcasts one INIT.
+    #[derive(Debug)]
+    struct OneShot {
+        keys: KeyPair,
+    }
+    impl Actor for OneShot {
+        type Msg = Envelope;
+        type Decision = ValueVector;
+        fn on_start(&mut self, ctx: &mut Context<'_, Envelope, ValueVector>) {
+            let env = Envelope::make(ctx.me(), Core::Init { value: 1 }, Certificate::new(), &self.keys);
+            ctx.broadcast(env);
+        }
+        fn on_message(&mut self, _: ProcessId, _: Envelope, _: &mut Context<'_, Envelope, ValueVector>) {}
+    }
+
+    #[test]
+    fn tamper_sees_and_rewrites_staged_sends() {
+        let mut rng = ftm_crypto::rng_from_seed(1);
+        let keys = KeyPair::generate(&mut rng, 128);
+        let mut wrapper = ByzantineWrapper::new(
+            OneShot { keys: keys.clone() },
+            Box::new(DropAll),
+            keys,
+            Duration::of(10),
+        );
+        let mut draw = || 0u64;
+        let mut ctx: Context<'_, Envelope, ValueVector> =
+            Context::new(VirtualTime::ZERO, ProcessId(0), 3, &mut draw);
+        wrapper.on_start(&mut ctx);
+        let fx = ctx.into_effects();
+        assert!(fx.sends.is_empty(), "DropAll must silence the broadcast");
+        assert_eq!(fx.timers.len(), 1, "inject timer armed");
+    }
+
+    #[test]
+    fn inject_timer_emits_strategy_messages() {
+        #[derive(Debug)]
+        struct Spammer {
+            keys: KeyPair,
+        }
+        impl Tamper for Spammer {
+            fn tamper(&mut self, _: ProcessId, _: &KeyPair, _: &mut Vec<(ProcessId, Envelope)>, _: VirtualTime) {}
+            fn inject(&mut self, me: ProcessId, _keys: &KeyPair, _now: VirtualTime) -> Vec<(ProcessId, Envelope)> {
+                vec![(
+                    ProcessId(1),
+                    Envelope::make(me, Core::Next { round: 9 }, Certificate::new(), &self.keys),
+                )]
+            }
+        }
+        let mut rng = ftm_crypto::rng_from_seed(2);
+        let keys = KeyPair::generate(&mut rng, 128);
+        let mut wrapper = ByzantineWrapper::new(
+            OneShot { keys: keys.clone() },
+            Box::new(Spammer { keys: keys.clone() }),
+            keys,
+            Duration::of(10),
+        );
+        let mut draw = || 0u64;
+        let mut ctx: Context<'_, Envelope, ValueVector> =
+            Context::new(VirtualTime::at(10), ProcessId(0), 3, &mut draw);
+        wrapper.on_timer(INJECT_TIMER, &mut ctx);
+        let fx = ctx.into_effects();
+        assert_eq!(fx.sends.len(), 1);
+        assert_eq!(fx.sends[0].0, ProcessId(1));
+    }
+}

@@ -1,0 +1,186 @@
+//! Byzantine strategies against the *crash-model* protocol.
+//!
+//! The crash protocol trusts every byte it receives — that is its model.
+//! These wrappers demonstrate experiment E2: the moment a process behaves
+//! arbitrarily instead of merely crashing, the crash protocol's properties
+//! collapse. The attacks mirror [`crate::attacks`] but need no signing,
+//! because there is nothing to sign.
+
+use ftm_certify::Value;
+use ftm_core::crash::CrashMsg;
+use ftm_sim::{Actor, Context, Duration, ProcessId, TimerTag, VirtualTime};
+
+/// Timer tag reserved for injection (the inner protocol uses low tags).
+pub const INJECT_TIMER: TimerTag = 0xFA18;
+
+/// What a crash-protocol saboteur does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrashAttack {
+    /// Rewrite the estimate of every outgoing CURRENT/DECIDE to `poison`
+    /// (corrupted variable). Undetectable without certificates.
+    CorruptEstimate {
+        /// The poison value.
+        poison: Value,
+    },
+    /// Broadcast a forged `DECIDE(poison)` at `at` (spurious statement).
+    ForgeDecide {
+        /// When to fire.
+        at: VirtualTime,
+        /// The fabricated decision.
+        poison: Value,
+    },
+}
+
+/// The honest crash protocol wrapped by a [`CrashAttack`].
+#[derive(Debug)]
+pub struct CrashSaboteur<A> {
+    inner: A,
+    attack: CrashAttack,
+    fired: bool,
+}
+
+impl<A> CrashSaboteur<A>
+where
+    A: Actor<Msg = CrashMsg, Decision = Value>,
+{
+    /// Wraps `inner` with `attack`.
+    pub fn new(inner: A, attack: CrashAttack) -> Self {
+        CrashSaboteur {
+            inner,
+            attack,
+            fired: false,
+        }
+    }
+
+    fn post(&mut self, ctx: &mut Context<'_, CrashMsg, Value>) {
+        if let CrashAttack::CorruptEstimate { poison } = self.attack {
+            for (_, msg) in ctx.staged_sends_mut().iter_mut() {
+                match msg {
+                    CrashMsg::Current { est, .. } | CrashMsg::Decide { est } => *est = poison,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+impl<A> Actor for CrashSaboteur<A>
+where
+    A: Actor<Msg = CrashMsg, Decision = Value>,
+{
+    type Msg = CrashMsg;
+    type Decision = Value;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, CrashMsg, Value>) {
+        self.inner.on_start(ctx);
+        ctx.set_timer(Duration::of(1), INJECT_TIMER);
+        self.post(ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: CrashMsg, ctx: &mut Context<'_, CrashMsg, Value>) {
+        self.inner.on_message(from, msg, ctx);
+        self.post(ctx);
+    }
+
+    fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<'_, CrashMsg, Value>) {
+        if tag == INJECT_TIMER {
+            if let CrashAttack::ForgeDecide { at, poison } = self.attack {
+                if !self.fired && ctx.now() >= at {
+                    self.fired = true;
+                    ctx.broadcast(CrashMsg::Decide { est: poison });
+                } else if !self.fired {
+                    ctx.set_timer(Duration::of(5), INJECT_TIMER);
+                }
+            }
+            return;
+        }
+        self.inner.on_timer(tag, ctx);
+        self.post(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftm_core::crash::CrashConsensus;
+    use ftm_core::spec::Resilience;
+    use ftm_core::validator::check_crash_consensus;
+    use ftm_fd::TimeoutDetector;
+    use ftm_sim::runner::BoxedActor;
+    use ftm_sim::{SimConfig, Simulation};
+
+    fn honest(n: usize, id: ProcessId) -> CrashConsensus<TimeoutDetector> {
+        CrashConsensus::new(
+            Resilience::new(n, (n - 1) / 2),
+            id,
+            100 + id.0 as u64,
+            TimeoutDetector::new(n, Duration::of(150)),
+            Duration::of(25),
+            Some(Duration::of(40)),
+        )
+    }
+
+    #[test]
+    fn forged_decide_destroys_agreement_or_validity() {
+        // E2 core claim: one Byzantine process forging DECIDE(poison) makes
+        // the crash protocol decide a value nobody proposed.
+        let n = 4;
+        let mut violated = 0;
+        for seed in 0..10u64 {
+            let report = Simulation::build_boxed(SimConfig::new(n).seed(seed), |id| {
+                if id.0 == 3 {
+                    Box::new(CrashSaboteur::new(
+                        honest(n, id),
+                        CrashAttack::ForgeDecide {
+                            at: VirtualTime::at(1),
+                            poison: 999,
+                        },
+                    )) as BoxedActor<CrashMsg, Value>
+                } else {
+                    Box::new(honest(n, id))
+                }
+            })
+            .run();
+            let proposals = [100, 101, 102, 103];
+            let verdict =
+                check_crash_consensus(&report, &proposals, &[false, false, false, true]);
+            if !verdict.ok() {
+                violated += 1;
+            }
+        }
+        assert_eq!(
+            violated, 10,
+            "a forged DECIDE must poison every run of the crash protocol"
+        );
+    }
+
+    #[test]
+    fn corrupt_coordinator_estimate_destroys_validity() {
+        // The round-1 coordinator proposes a value nobody holds; the crash
+        // protocol happily decides it.
+        let n = 4;
+        let mut violated = 0;
+        for seed in 0..10u64 {
+            let report = Simulation::build_boxed(SimConfig::new(n).seed(seed), |id| {
+                if id.0 == 0 {
+                    Box::new(CrashSaboteur::new(
+                        honest(n, id),
+                        CrashAttack::CorruptEstimate { poison: 31337 },
+                    )) as BoxedActor<CrashMsg, Value>
+                } else {
+                    Box::new(honest(n, id))
+                }
+            })
+            .run();
+            let proposals = [100, 101, 102, 103];
+            let verdict = check_crash_consensus(&report, &proposals, &[true, false, false, false]);
+            if !verdict.ok() {
+                violated += 1;
+            }
+        }
+        assert!(
+            violated >= 8,
+            "estimate corruption must poison nearly every run; got {violated}/10"
+        );
+    }
+}

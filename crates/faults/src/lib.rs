@@ -1,0 +1,28 @@
+//! Fault injection: every arbitrary behavior from the paper's taxonomy.
+//!
+//! The paper classifies arbitrary failures (§2–3) into muteness (permanent
+//! omission, including crash) and non-muteness failures: corruption of a
+//! variable value, transient omissions, duplication of a statement,
+//! execution of a spurious statement, misevaluation of an expression,
+//! identity falsification and forged signatures. This crate injects each of
+//! them into simulated runs:
+//!
+//! * crashes are native to [`ftm_sim::SimConfig`];
+//! * everything else is an **actor wrapper**: a faulty process runs the
+//!   honest protocol internally and a [`Tamper`] strategy rewrites, drops,
+//!   duplicates or injects messages on the way out — the network stays
+//!   honest, matching the paper's reliable-channel model;
+//! * wrappers hold the process's own key pair (a faulty process signs
+//!   whatever it sends — that is precisely why signatures alone do not
+//!   stop Byzantine behavior and certificates are needed).
+//!
+//! [`attacks`] targets the transformed protocol ([`ftm_certify::Envelope`]
+//! messages); [`crash_attacks`] targets the crash-model protocol, whose
+//! unsigned messages make the same attacks trivially lethal — experiment
+//! E2's point.
+
+pub mod attacks;
+pub mod behavior;
+pub mod crash_attacks;
+
+pub use behavior::{ByzantineWrapper, Tamper};

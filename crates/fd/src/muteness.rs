@@ -1,0 +1,207 @@
+//! The round-aware muteness detector — the ◇M implementation shape
+//! sketched by Doudou et al. for regular round-based algorithms.
+//!
+//! The generic [`crate::TimeoutDetector`] adapts by doubling on mistakes.
+//! This variant additionally exploits the *round structure* the class ◇M
+//! is defined for: the embedding protocol reports its round, and a peer's
+//! time allowance grows linearly with that round —
+//! `Δ(r) = Δ₀ + r · δ` — modeling the fact that later rounds may
+//! legitimately take longer (vote collection, churned coordinators,
+//! growing certificates). Strong completeness is preserved: at any fixed
+//! round the allowance is finite, so a mute peer's silence eventually
+//! exceeds it; accuracy improves as rounds accumulate because the
+//! allowance only grows.
+//!
+//! (An earlier design required the observer to *outrun* the peer by some
+//! round slack before suspecting — that breaks completeness: if the mute
+//! process is the round-1 coordinator, nobody's round ever advances and
+//! the deadlock is permanent. The time-based allowance avoids the trap.)
+
+use ftm_sim::{Duration, ProcessId, VirtualTime};
+
+use crate::suspicion::{FailureDetector, SuspicionChange};
+
+/// Round-aware ◇M detector with allowance `Δ(r) = Δ₀ + r · δ`, plus the
+/// doubling-on-mistake adaptation of the generic detector.
+///
+/// # Example
+///
+/// ```
+/// use ftm_fd::muteness::MutenessDetector;
+/// use ftm_fd::FailureDetector;
+/// use ftm_sim::{Duration, ProcessId, VirtualTime};
+///
+/// let mut fd = MutenessDetector::new(3, Duration::of(50), Duration::of(25));
+/// fd.enter_round(1, VirtualTime::ZERO);
+/// // Allowance in round 1 is 50 + 25 = 75.
+/// assert!(!fd.suspects(ProcessId(1), VirtualTime::at(75)));
+/// assert!(fd.suspects(ProcessId(1), VirtualTime::at(76)));
+/// // In round 4 the allowance is 50 + 100 = 150.
+/// let mut fd = MutenessDetector::new(3, Duration::of(50), Duration::of(25));
+/// fd.enter_round(4, VirtualTime::ZERO);
+/// assert!(!fd.suspects(ProcessId(1), VirtualTime::at(150)));
+/// assert!(fd.suspects(ProcessId(1), VirtualTime::at(151)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MutenessDetector {
+    last_heard: Vec<VirtualTime>,
+    adaptive: Vec<Duration>,
+    suspected: Vec<bool>,
+    base: Duration,
+    per_round: Duration,
+    round: u64,
+    history: Vec<SuspicionChange>,
+    mistakes: u64,
+}
+
+impl MutenessDetector {
+    /// Creates a detector over `n` peers with base allowance `base` and
+    /// per-round increment `per_round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero.
+    pub fn new(n: usize, base: Duration, per_round: Duration) -> Self {
+        assert!(base > Duration::ZERO, "base timeout must be positive");
+        MutenessDetector {
+            last_heard: vec![VirtualTime::ZERO; n],
+            adaptive: vec![Duration::ZERO; n],
+            suspected: vec![false; n],
+            base,
+            per_round,
+            round: 0,
+            history: Vec::new(),
+            mistakes: 0,
+        }
+    }
+
+    /// Informs the detector that the *observer* entered `round`.
+    pub fn enter_round(&mut self, round: u64, _now: VirtualTime) {
+        self.round = self.round.max(round);
+    }
+
+    /// Wrongful suspicions corrected so far.
+    pub fn mistakes(&self) -> u64 {
+        self.mistakes
+    }
+
+    /// Current allowance of `peer`: `max(adaptive, Δ₀ + r·δ)`.
+    pub fn allowance_of(&self, peer: ProcessId) -> Duration {
+        let scheduled = self.base + self.per_round.saturating_mul(self.round);
+        self.adaptive[peer.index()].max(scheduled)
+    }
+}
+
+impl FailureDetector for MutenessDetector {
+    fn observe_message(&mut self, peer: ProcessId, now: VirtualTime) {
+        let i = peer.index();
+        if self.suspected[i] {
+            self.suspected[i] = false;
+            // Back off: double whatever allowance proved insufficient.
+            self.adaptive[i] = self.allowance_of(peer).saturating_mul(2);
+            self.mistakes += 1;
+            self.history.push(SuspicionChange {
+                peer,
+                at: now,
+                suspected: false,
+            });
+        }
+        self.last_heard[i] = now;
+    }
+
+    fn suspects(&mut self, peer: ProcessId, now: VirtualTime) -> bool {
+        let i = peer.index();
+        let overdue = now.since(self.last_heard[i]) > self.allowance_of(peer);
+        if overdue && !self.suspected[i] {
+            self.suspected[i] = true;
+            self.history.push(SuspicionChange {
+                peer,
+                at: now,
+                suspected: true,
+            });
+        }
+        self.suspected[i] || overdue
+    }
+
+    fn history(&self) -> &[SuspicionChange] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd() -> MutenessDetector {
+        MutenessDetector::new(2, Duration::of(20), Duration::of(10))
+    }
+
+    #[test]
+    fn allowance_grows_with_round() {
+        let mut d = fd();
+        d.enter_round(1, VirtualTime::ZERO);
+        assert_eq!(d.allowance_of(ProcessId(0)), Duration::of(30));
+        d.enter_round(5, VirtualTime::ZERO);
+        assert_eq!(d.allowance_of(ProcessId(0)), Duration::of(70));
+    }
+
+    #[test]
+    fn completeness_even_when_the_observer_is_parked() {
+        // The mute round-1 coordinator scenario: the observer never leaves
+        // round 1, yet the suspicion must eventually fire.
+        let mut d = fd();
+        d.enter_round(1, VirtualTime::ZERO);
+        assert!(!d.suspects(ProcessId(0), VirtualTime::at(30)));
+        assert!(d.suspects(ProcessId(0), VirtualTime::at(31)));
+        // And it is permanent without further messages.
+        assert!(d.suspects(ProcessId(0), VirtualTime::at(100_000)));
+    }
+
+    #[test]
+    fn accuracy_improves_in_later_rounds() {
+        let mut early = fd();
+        early.enter_round(1, VirtualTime::ZERO);
+        let mut late = fd();
+        late.enter_round(10, VirtualTime::ZERO);
+        // A gap of 100 ticks: suspicious in round 1, tolerated in round 10.
+        assert!(early.suspects(ProcessId(0), VirtualTime::at(100)));
+        assert!(!late.suspects(ProcessId(0), VirtualTime::at(100)));
+    }
+
+    #[test]
+    fn mistakes_double_the_allowance() {
+        let mut d = fd();
+        d.enter_round(1, VirtualTime::ZERO);
+        assert!(d.suspects(ProcessId(0), VirtualTime::at(40)));
+        d.observe_message(ProcessId(0), VirtualTime::at(41));
+        assert_eq!(d.mistakes(), 1);
+        assert_eq!(d.allowance_of(ProcessId(0)), Duration::of(60));
+        // The adaptive floor persists even as rounds advance slowly.
+        assert!(!d.suspects(ProcessId(0), VirtualTime::at(101)));
+        assert!(d.suspects(ProcessId(0), VirtualTime::at(102)));
+    }
+
+    #[test]
+    fn rounds_never_regress() {
+        let mut d = fd();
+        d.enter_round(5, VirtualTime::ZERO);
+        d.enter_round(3, VirtualTime::ZERO);
+        assert_eq!(d.allowance_of(ProcessId(0)), Duration::of(70));
+    }
+
+    #[test]
+    fn history_records_flips() {
+        let mut d = fd();
+        d.enter_round(1, VirtualTime::ZERO);
+        let _ = d.suspects(ProcessId(1), VirtualTime::at(50));
+        d.observe_message(ProcessId(1), VirtualTime::at(60));
+        assert_eq!(d.history().len(), 2);
+        assert!(d.history()[0].suspected && !d.history()[1].suspected);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_base_rejected() {
+        let _ = MutenessDetector::new(1, Duration::ZERO, Duration::of(1));
+    }
+}

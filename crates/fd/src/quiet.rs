@@ -1,0 +1,138 @@
+//! The Malkhi–Reiter "quiet process" detector (class ◇S(bz)).
+//!
+//! Historically the first failure-detector extension beyond crashes: a
+//! process is *quiet* if some correct process eventually stops receiving
+//! messages from it. The paper points out (via Doudou et al.) that
+//! quietness is **not** a context-free generalization of crashing — a
+//! process can be quiet with respect to one protocol while chattering in
+//! another — which motivates the protocol-aware muteness class ◇M. We keep
+//! this detector as the baseline the paper compares against.
+//!
+//! Implementation: fixed-timeout silence detection with rehabilitation on
+//! receipt, but **no timeout adaptation** — which is exactly why its
+//! mistake rate does not converge on slow-but-correct peers (shown by
+//! experiment E7).
+
+use ftm_sim::{Duration, ProcessId, VirtualTime};
+
+use crate::suspicion::{FailureDetector, SuspicionChange};
+
+/// Fixed-timeout quiet-process detector.
+///
+/// # Example
+///
+/// ```
+/// use ftm_fd::{FailureDetector, QuietDetector};
+/// use ftm_sim::{Duration, ProcessId, VirtualTime};
+///
+/// let mut fd = QuietDetector::new(3, Duration::of(20));
+/// assert!(fd.suspects(ProcessId(0), VirtualTime::at(50)));
+/// fd.observe_message(ProcessId(0), VirtualTime::at(60));
+/// // Rehabilitated, but the timeout never adapts:
+/// assert!(fd.suspects(ProcessId(0), VirtualTime::at(81)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuietDetector {
+    last_heard: Vec<VirtualTime>,
+    suspected: Vec<bool>,
+    timeout: Duration,
+    history: Vec<SuspicionChange>,
+    mistakes: u64,
+}
+
+impl QuietDetector {
+    /// Creates a detector over `n` peers with the given fixed timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is zero.
+    pub fn new(n: usize, timeout: Duration) -> Self {
+        assert!(timeout > Duration::ZERO, "timeout must be positive");
+        QuietDetector {
+            last_heard: vec![VirtualTime::ZERO; n],
+            suspected: vec![false; n],
+            timeout,
+            history: Vec::new(),
+            mistakes: 0,
+        }
+    }
+
+    /// Number of wrongful suspicions corrected so far.
+    pub fn mistakes(&self) -> u64 {
+        self.mistakes
+    }
+}
+
+impl FailureDetector for QuietDetector {
+    fn observe_message(&mut self, peer: ProcessId, now: VirtualTime) {
+        if self.suspected[peer.index()] {
+            self.suspected[peer.index()] = false;
+            self.mistakes += 1;
+            self.history.push(SuspicionChange {
+                peer,
+                at: now,
+                suspected: false,
+            });
+        }
+        self.last_heard[peer.index()] = now;
+    }
+
+    fn suspects(&mut self, peer: ProcessId, now: VirtualTime) -> bool {
+        let overdue = now.since(self.last_heard[peer.index()]) > self.timeout;
+        if overdue && !self.suspected[peer.index()] {
+            self.suspected[peer.index()] = true;
+            self.history.push(SuspicionChange {
+                peer,
+                at: now,
+                suspected: true,
+            });
+        }
+        self.suspected[peer.index()] || overdue
+    }
+
+    fn history(&self) -> &[SuspicionChange] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suspects_after_fixed_silence() {
+        let mut d = QuietDetector::new(2, Duration::of(10));
+        assert!(!d.suspects(ProcessId(1), VirtualTime::at(10)));
+        assert!(d.suspects(ProcessId(1), VirtualTime::at(11)));
+    }
+
+    #[test]
+    fn timeout_never_adapts_mistakes_repeat() {
+        // Peer speaks every 15 ticks; timeout fixed at 10: every gap is a
+        // fresh mistake, forever. (Contrast TimeoutDetector which adapts.)
+        let mut d = QuietDetector::new(1, Duration::of(10));
+        let mut t = 0u64;
+        for _ in 0..10 {
+            t += 15;
+            assert!(d.suspects(ProcessId(0), VirtualTime::at(t)));
+            d.observe_message(ProcessId(0), VirtualTime::at(t));
+        }
+        assert_eq!(d.mistakes(), 10);
+    }
+
+    #[test]
+    fn history_is_chronological() {
+        let mut d = QuietDetector::new(1, Duration::of(5));
+        let _ = d.suspects(ProcessId(0), VirtualTime::at(6));
+        d.observe_message(ProcessId(0), VirtualTime::at(7));
+        let _ = d.suspects(ProcessId(0), VirtualTime::at(20));
+        let times: Vec<u64> = d.history().iter().map(|c| c.at.ticks()).collect();
+        assert_eq!(times, vec![6, 7, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_timeout_rejected() {
+        let _ = QuietDetector::new(1, Duration::ZERO);
+    }
+}

@@ -1,0 +1,66 @@
+//! The failure-detector interface and suspicion history records.
+
+use ftm_sim::{ProcessId, VirtualTime};
+
+/// One flip of an observer's suspicion about a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuspicionChange {
+    /// The peer whose status changed.
+    pub peer: ProcessId,
+    /// When the observer's view changed.
+    pub at: VirtualTime,
+    /// The new status: `true` = suspected.
+    pub suspected: bool,
+}
+
+/// An unreliable failure detector module, as seen by the protocol actor
+/// that embeds it.
+///
+/// The actor *feeds* the detector (message receipts) and *queries* it
+/// (`suspects`). Per the paper, the protocol module may only **read** the
+/// suspicion output — it never writes it.
+///
+/// What the detector means depends on what it is fed:
+///
+/// * fed every incoming message → a crash-style detector (◇S with a
+///   [`crate::TimeoutDetector`] under partial synchrony);
+/// * fed only messages *accepted by the protocol state machine* → a
+///   muteness detector ◇M — a process sending garbage is as good as mute.
+pub trait FailureDetector {
+    /// Informs the detector that a relevant message from `peer` was
+    /// received at `now`.
+    fn observe_message(&mut self, peer: ProcessId, now: VirtualTime);
+
+    /// Returns `true` when `peer` is currently suspected at time `now`.
+    ///
+    /// Takes `&mut self` because querying may update internal state (e.g.
+    /// record a suspicion onset for the history).
+    fn suspects(&mut self, peer: ProcessId, now: VirtualTime) -> bool;
+
+    /// The observer's suspicion history (chronological), for property
+    /// checking. Detectors not keeping history return an empty slice.
+    fn history(&self) -> &[SuspicionChange] {
+        &[]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes(_: &mut dyn FailureDetector) {}
+    }
+
+    #[test]
+    fn change_record_is_plain_data() {
+        let c = SuspicionChange {
+            peer: ProcessId(1),
+            at: VirtualTime::at(5),
+            suspected: true,
+        };
+        assert_eq!(c, c);
+        assert!(format!("{c:?}").contains("suspected"));
+    }
+}

@@ -1,0 +1,141 @@
+//! The reliable broadcast specification as run-report checkers.
+//!
+//! * **Validity** — if the broadcaster is correct and broadcasts `v`,
+//!   every correct process eventually delivers `v`.
+//! * **Agreement** — no two correct processes deliver different values.
+//! * **Integrity** — every correct process delivers at most once (the
+//!   simulator's decision slot enforces this structurally; contradictions
+//!   are surfaced by [`ftm_sim::RunReport::contradictions`]).
+//! * **Totality** — if any correct process delivers, every correct
+//!   process delivers.
+
+use ftm_sim::RunReport;
+
+/// Verdict on one broadcast run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RbVerdict {
+    /// Validity (only checked when the broadcaster is correct).
+    pub validity: bool,
+    /// Agreement among correct deliverers.
+    pub agreement: bool,
+    /// At-most-once delivery at every correct process.
+    pub integrity: bool,
+    /// All-or-nothing delivery among correct processes.
+    pub totality: bool,
+}
+
+impl RbVerdict {
+    /// All checked properties hold.
+    pub fn ok(&self) -> bool {
+        self.validity && self.agreement && self.integrity && self.totality
+    }
+}
+
+/// Checks the specification on a finished run.
+///
+/// `broadcaster` is the originating process; `broadcast_value` its input
+/// (pass `None` when the broadcaster is faulty — Validity is then vacuous);
+/// `faulty[i]` marks adversary-controlled processes.
+pub fn check_reliable_broadcast(
+    report: &RunReport<u64>,
+    broadcaster: usize,
+    broadcast_value: Option<u64>,
+    faulty: &[bool],
+) -> RbVerdict {
+    let n = report.decisions.len();
+    let correct: Vec<usize> = (0..n)
+        .filter(|&i| !faulty.get(i).copied().unwrap_or(false) && !report.crashed[i])
+        .collect();
+
+    let deliveries: Vec<u64> = correct
+        .iter()
+        .filter_map(|&i| report.decisions[i])
+        .collect();
+
+    let agreement = deliveries.windows(2).all(|w| w[0] == w[1]);
+    let totality = deliveries.is_empty() || deliveries.len() == correct.len();
+    let integrity = report
+        .contradictions
+        .iter()
+        .all(|p| faulty.get(p.index()).copied().unwrap_or(false));
+    let validity = match broadcast_value {
+        Some(v)
+            if !faulty.get(broadcaster).copied().unwrap_or(false)
+                && !report.crashed[broadcaster] =>
+        {
+            correct.iter().all(|&i| report.decisions[i] == Some(v))
+        }
+        _ => true, // vacuous for a faulty/crashed broadcaster
+    };
+
+    RbVerdict {
+        validity,
+        agreement,
+        integrity,
+        totality,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bracha::BrachaActor;
+    use ftm_sim::{SimConfig, Simulation};
+
+    #[test]
+    fn honest_bracha_satisfies_the_full_spec() {
+        for seed in 0..10 {
+            let report = Simulation::build(SimConfig::new(4).seed(seed), |id| {
+                if id.0 == 0 {
+                    BrachaActor::broadcaster(4, 1, 9)
+                } else {
+                    BrachaActor::relay(4, 1)
+                }
+            })
+            .run();
+            let v = check_reliable_broadcast(&report, 0, Some(9), &[false; 4]);
+            assert!(v.ok(), "seed {seed}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn verdict_flags_partial_delivery() {
+        use ftm_sim::metrics::Metrics;
+        use ftm_sim::runner::StopReason;
+        use ftm_sim::trace::Trace;
+        use ftm_sim::VirtualTime;
+        let report = RunReport {
+            decisions: vec![Some(1), None, Some(1)],
+            crashed: vec![false; 3],
+            halted: vec![true; 3],
+            contradictions: vec![],
+            end_time: VirtualTime::at(5),
+            stop: StopReason::Quiescent,
+            trace: Trace::new(),
+            metrics: Metrics::new(3),
+        };
+        let v = check_reliable_broadcast(&report, 0, None, &[false; 3]);
+        assert!(!v.totality);
+        assert!(v.agreement);
+    }
+
+    #[test]
+    fn verdict_flags_disagreement() {
+        use ftm_sim::metrics::Metrics;
+        use ftm_sim::runner::StopReason;
+        use ftm_sim::trace::Trace;
+        use ftm_sim::VirtualTime;
+        let report = RunReport {
+            decisions: vec![Some(1), Some(2), Some(1)],
+            crashed: vec![false; 3],
+            halted: vec![true; 3],
+            contradictions: vec![],
+            end_time: VirtualTime::at(5),
+            stop: StopReason::Quiescent,
+            trace: Trace::new(),
+            metrics: Metrics::new(3),
+        };
+        let v = check_reliable_broadcast(&report, 0, None, &[true, false, false]);
+        assert!(!v.agreement);
+    }
+}

@@ -1,0 +1,192 @@
+//! Run configuration: everything a simulation's outcome depends on.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::process::ProcessId;
+use crate::time::{Duration, VirtualTime};
+
+/// A scripted delay policy: given `(src, dst, send time)`, return the
+/// message delay in ticks (clamped to ≥ 1; the FIFO floor still applies).
+///
+/// Scripts replace the random delay draw entirely, letting tests construct
+/// *specific* adversarial schedules — e.g. the attempted agreement-violation
+/// schedule analyzed in DESIGN.md §6.
+pub type DelayScript = dyn Fn(ProcessId, ProcessId, VirtualTime) -> u64 + Send + Sync;
+
+/// Complete configuration of a simulation run.
+///
+/// A run is a pure function of this value plus the actor factory, so tests
+/// and experiments record the config (notably [`SimConfig::seed`]) to make
+/// every result replayable.
+///
+/// # Example
+///
+/// ```
+/// use ftm_sim::{Duration, SimConfig, VirtualTime};
+/// let cfg = SimConfig::new(7)
+///     .seed(42)
+///     .delay_range(Duration::of(1), Duration::of(20))
+///     .gst(VirtualTime::at(500), Duration::of(10));
+/// assert_eq!(cfg.n, 7);
+/// ```
+#[derive(Clone)]
+pub struct SimConfig {
+    /// Number of processes.
+    pub n: usize,
+    /// RNG seed governing message delays (and any actor-requested draws).
+    pub rng_seed: u64,
+    /// Minimum message delay.
+    pub min_delay: Duration,
+    /// Maximum message delay before GST (the "arbitrary but finite" phase).
+    pub max_delay: Duration,
+    /// Global Stabilization Time: after this instant delays are capped by
+    /// `post_gst_max_delay`. `None` means the network never stabilizes
+    /// (pure asynchrony) — timeout-based detectors may then never become
+    /// accurate, exactly as FLP warns.
+    pub gst: Option<VirtualTime>,
+    /// Delay cap after GST (ignored when `gst` is `None`).
+    pub post_gst_max_delay: Duration,
+    /// Hard stop: the run aborts (marked non-quiescent) past this time.
+    pub max_time: VirtualTime,
+    /// Hard stop on the number of processed events (runaway-protocol guard).
+    pub max_events: u64,
+    /// Scheduled crash times: `(process index, crash instant)` pairs.
+    /// Crashed processes stop receiving, sending and firing timers.
+    pub crashes: Vec<(usize, VirtualTime)>,
+    /// Optional scripted delays (replaces random draws when set).
+    pub delay_script: Option<Arc<DelayScript>>,
+}
+
+impl fmt::Debug for SimConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimConfig")
+            .field("n", &self.n)
+            .field("rng_seed", &self.rng_seed)
+            .field("min_delay", &self.min_delay)
+            .field("max_delay", &self.max_delay)
+            .field("gst", &self.gst)
+            .field("post_gst_max_delay", &self.post_gst_max_delay)
+            .field("max_time", &self.max_time)
+            .field("max_events", &self.max_events)
+            .field("crashes", &self.crashes)
+            .field("delay_script", &self.delay_script.as_ref().map(|_| "<script>"))
+            .finish()
+    }
+}
+
+impl SimConfig {
+    /// Creates a configuration for `n` processes with conservative defaults:
+    /// seed 0, delays in `[1, 10]`, GST at 2 000 with post-GST cap 10,
+    /// `max_time` 2 000 000, `max_events` 5 000 000, no crashes.
+    pub fn new(n: usize) -> Self {
+        SimConfig {
+            n,
+            rng_seed: 0,
+            min_delay: Duration::of(1),
+            max_delay: Duration::of(10),
+            gst: Some(VirtualTime::at(2_000)),
+            post_gst_max_delay: Duration::of(10),
+            max_time: VirtualTime::at(2_000_000),
+            max_events: 5_000_000,
+            crashes: Vec::new(),
+            delay_script: None,
+        }
+    }
+
+    /// Installs a scripted delay policy (see [`DelayScript`]).
+    pub fn delay_script<F>(mut self, script: F) -> Self
+    where
+        F: Fn(ProcessId, ProcessId, VirtualTime) -> u64 + Send + Sync + 'static,
+    {
+        self.delay_script = Some(Arc::new(script));
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+
+    /// Sets the pre-GST message delay range `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn delay_range(mut self, min: Duration, max: Duration) -> Self {
+        assert!(min <= max, "min delay exceeds max delay");
+        self.min_delay = min;
+        self.max_delay = max;
+        self
+    }
+
+    /// Sets the Global Stabilization Time and the post-GST delay cap.
+    pub fn gst(mut self, at: VirtualTime, post_max: Duration) -> Self {
+        self.gst = Some(at);
+        self.post_gst_max_delay = post_max;
+        self
+    }
+
+    /// Removes the GST: the network stays arbitrarily slow forever.
+    pub fn no_gst(mut self) -> Self {
+        self.gst = None;
+        self
+    }
+
+    /// Schedules process `index` to crash at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= n`.
+    pub fn crash(mut self, index: usize, at: VirtualTime) -> Self {
+        assert!(index < self.n, "crash index out of range");
+        self.crashes.push((index, at));
+        self
+    }
+
+    /// Sets the hard stop time.
+    pub fn max_time(mut self, t: VirtualTime) -> Self {
+        self.max_time = t;
+        self
+    }
+
+    /// Sets the processed-event budget.
+    pub fn max_events(mut self, n: u64) -> Self {
+        self.max_events = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let cfg = SimConfig::new(5)
+            .seed(9)
+            .delay_range(Duration::of(2), Duration::of(4))
+            .no_gst()
+            .crash(1, VirtualTime::at(100))
+            .max_time(VirtualTime::at(10))
+            .max_events(99);
+        assert_eq!(cfg.rng_seed, 9);
+        assert_eq!(cfg.min_delay, Duration::of(2));
+        assert!(cfg.gst.is_none());
+        assert_eq!(cfg.crashes, vec![(1, VirtualTime::at(100))]);
+        assert_eq!(cfg.max_events, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn crash_index_validated() {
+        let _ = SimConfig::new(3).crash(3, VirtualTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "min delay exceeds")]
+    fn delay_range_validated() {
+        let _ = SimConfig::new(3).delay_range(Duration::of(5), Duration::of(1));
+    }
+}

@@ -1,0 +1,145 @@
+//! The simulator's internal event queue.
+//!
+//! A binary heap keyed by `(time, sequence)`: the sequence number is a
+//! monotonically increasing tie-breaker, so runs are deterministic even when
+//! many events share an instant.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::process::{ProcessId, TimerTag};
+use crate::time::VirtualTime;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind<M> {
+    /// Deliver `msg` from `from` to the event's target process.
+    Deliver { from: ProcessId, msg: M },
+    /// Fire the timer `tag` at the target process.
+    Timer { tag: TimerTag },
+    /// Crash the target process (scheduled from [`crate::SimConfig`]).
+    Crash,
+    /// Invoke `on_start` at the target process.
+    Start,
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone)]
+pub struct Event<M> {
+    /// When the event fires.
+    pub at: VirtualTime,
+    /// Which process it targets.
+    pub target: ProcessId,
+    /// What it does.
+    pub kind: EventKind<M>,
+    seq: u64,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic earliest-first event queue.
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `kind` at `at` for `target`. Events at equal times fire in
+    /// scheduling order.
+    pub fn push(&mut self, at: VirtualTime, target: ProcessId, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event {
+            at,
+            target,
+            kind,
+            seq,
+        });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        q.push(VirtualTime::at(5), ProcessId(0), EventKind::Start);
+        q.push(VirtualTime::at(1), ProcessId(1), EventKind::Start);
+        q.push(VirtualTime::at(3), ProcessId(2), EventKind::Start);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.ticks()).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn equal_times_fire_in_schedule_order() {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for p in 0..10u32 {
+            q.push(VirtualTime::at(7), ProcessId(p), EventKind::Start);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.target.0).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(VirtualTime::ZERO, ProcessId(0), EventKind::Crash);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Deterministic discrete-event simulator for asynchronous message-passing
+//! distributed systems.
+//!
+//! This is the network/runtime substrate the paper assumes: `n` processes,
+//! every pair connected by a **reliable FIFO channel**, no bound on relative
+//! process speeds or message transfer delays. The simulator makes that model
+//! executable and — crucially for a reproduction — *deterministic*: a run is
+//! a pure function of its [`SimConfig`] (including the RNG seed), so every
+//! counterexample a sweep finds is replayable bit-for-bit.
+//!
+//! # Architecture
+//!
+//! * Protocol code implements [`Actor`]: callbacks for start, message
+//!   delivery and timer expiry, issuing effects through a [`Context`].
+//! * The [`Simulation`] runner owns the event queue (a priority queue ordered
+//!   by virtual time with a deterministic tie-break), the [`network`] delay
+//!   model (random per-message latency, FIFO enforced per ordered pair,
+//!   optional Global Stabilization Time after which delays are bounded), and
+//!   per-run [`metrics`] and [`trace`] collection.
+//! * Crash faults (the *benign* kind) are first-class: the runner silences a
+//!   process at its scheduled crash time. Arbitrary faults are implemented
+//!   as actor wrappers in the `ftm-faults` crate — the network stays honest,
+//!   matching the paper's reliable-channel assumption.
+//!
+//! # Example
+//!
+//! ```
+//! use ftm_sim::prelude::*;
+//!
+//! /// Every process sends "ping" to everyone once; counts receipts.
+//! struct Ping { seen: usize }
+//! impl Actor for Ping {
+//!     type Msg = &'static str;
+//!     type Decision = usize;
+//!     fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Decision>) {
+//!         ctx.broadcast("ping");
+//!     }
+//!     fn on_message(&mut self, _from: ProcessId, _msg: &'static str,
+//!                   ctx: &mut Context<'_, Self::Msg, Self::Decision>) {
+//!         self.seen += 1;
+//!         if self.seen == ctx.process_count() {
+//!             ctx.decide(self.seen);
+//!         }
+//!     }
+//! }
+//!
+//! let report = Simulation::build(SimConfig::new(4).seed(7), |_| Ping { seen: 0 }).run();
+//! assert!(report.all_decided());
+//! ```
+
+pub mod config;
+pub mod event;
+pub mod metrics;
+pub mod network;
+pub mod process;
+pub mod runner;
+pub mod time;
+pub mod trace;
+
+/// Convenient glob import for simulator users.
+pub mod prelude {
+    pub use crate::config::SimConfig;
+    pub use crate::process::{Actor, Context, Payload, ProcessId, TimerTag};
+    pub use crate::runner::{RunReport, Simulation};
+    pub use crate::time::{Duration, VirtualTime};
+}
+
+pub use config::SimConfig;
+pub use process::{Actor, Context, Payload, ProcessId, TimerTag};
+pub use runner::{RunReport, Simulation};
+pub use time::{Duration, VirtualTime};

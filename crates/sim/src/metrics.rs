@@ -1,0 +1,101 @@
+//! Per-run cost accounting: message counts, bytes, callback counts.
+//!
+//! Experiment E6 ("the price of arbitrary-fault tolerance") compares these
+//! numbers between the crash-model protocol and its transformed version.
+
+use crate::process::ProcessId;
+
+/// Aggregated counters for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Total messages handed to the network.
+    pub messages_sent: u64,
+    /// Total payload bytes handed to the network.
+    pub bytes_sent: u64,
+    /// Total messages delivered.
+    pub messages_delivered: u64,
+    /// Timer callbacks fired.
+    pub timers_fired: u64,
+    /// Events processed by the runner (all kinds).
+    pub events_processed: u64,
+    /// Per-process sent-message counts (index = process).
+    pub sent_per_process: Vec<u64>,
+    /// Per-process sent-byte counts (index = process).
+    pub bytes_per_process: Vec<u64>,
+}
+
+impl Metrics {
+    /// Creates zeroed counters for `n` processes.
+    pub fn new(n: usize) -> Self {
+        Metrics {
+            sent_per_process: vec![0; n],
+            bytes_per_process: vec![0; n],
+            ..Metrics::default()
+        }
+    }
+
+    /// Records one send of `bytes` bytes by `src`.
+    pub fn on_send(&mut self, src: ProcessId, bytes: usize) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+        if let Some(c) = self.sent_per_process.get_mut(src.index()) {
+            *c += 1;
+        }
+        if let Some(b) = self.bytes_per_process.get_mut(src.index()) {
+            *b += bytes as u64;
+        }
+    }
+
+    /// Records one delivery.
+    pub fn on_deliver(&mut self) {
+        self.messages_delivered += 1;
+    }
+
+    /// Records one timer firing.
+    pub fn on_timer(&mut self) {
+        self.timers_fired += 1;
+    }
+
+    /// Mean payload size per sent message, in bytes (zero when none sent).
+    pub fn mean_message_bytes(&self) -> f64 {
+        if self.messages_sent == 0 {
+            0.0
+        } else {
+            self.bytes_sent as f64 / self.messages_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new(2);
+        m.on_send(ProcessId(0), 10);
+        m.on_send(ProcessId(1), 30);
+        m.on_deliver();
+        m.on_timer();
+        assert_eq!(m.messages_sent, 2);
+        assert_eq!(m.bytes_sent, 40);
+        assert_eq!(m.messages_delivered, 1);
+        assert_eq!(m.timers_fired, 1);
+        assert_eq!(m.sent_per_process, vec![1, 1]);
+        assert_eq!(m.bytes_per_process, vec![10, 30]);
+        assert!((m.mean_message_bytes() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_of_zero_messages_is_zero() {
+        assert_eq!(Metrics::new(1).mean_message_bytes(), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_sender_is_ignored_gracefully() {
+        let mut m = Metrics::new(1);
+        m.on_send(ProcessId(9), 5);
+        assert_eq!(m.messages_sent, 1);
+        assert_eq!(m.sent_per_process, vec![0]);
+    }
+}

@@ -1,0 +1,340 @@
+//! Process identities, the [`Actor`] protocol trait, and the effect
+//! [`Context`] handed to every callback.
+
+use std::fmt;
+
+use crate::time::{Duration, VirtualTime};
+
+/// Identity of a simulated process (`p_1 … p_n` in the paper, 0-based here).
+///
+/// # Example
+///
+/// ```
+/// use ftm_sim::ProcessId;
+/// let p = ProcessId(2);
+/// assert_eq!(p.index(), 2);
+/// assert_eq!(p.to_string(), "p2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// The process's position in `0..n`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(v: u32) -> Self {
+        ProcessId(v)
+    }
+}
+
+/// An application-chosen label distinguishing a process's timers.
+pub type TimerTag = u64;
+
+/// Message payloads carried by the simulated network.
+///
+/// `size_bytes` feeds the byte-accounting metrics (experiment E6 reports
+/// bytes/round for the crash vs. transformed protocols). The blanket rule is
+/// implemented for common test payloads; protocol crates implement it for
+/// their wire messages.
+pub trait Payload: Clone + fmt::Debug {
+    /// Approximate on-the-wire size of this message in bytes.
+    fn size_bytes(&self) -> usize;
+
+    /// Short human-readable label used in run traces (defaults to the
+    /// `Debug` rendering, truncated). Protocol messages override this with
+    /// something like `CURRENT(r=3)`.
+    fn label(&self) -> String {
+        let mut s = format!("{self:?}");
+        if s.len() > 48 {
+            s.truncate(45);
+            s.push_str("...");
+        }
+        s
+    }
+}
+
+impl Payload for &'static str {
+    fn size_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Payload for u64 {
+    fn size_bytes(&self) -> usize {
+        8
+    }
+}
+
+impl Payload for Vec<u8> {
+    fn size_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+/// A protocol running at one process.
+///
+/// Callbacks are invoked by the [`crate::Simulation`] runner; all effects
+/// (sending, timers, deciding, halting) go through the [`Context`]. An actor
+/// must not assume anything about global time or other processes beyond what
+/// arrives in messages — exactly the asynchronous model of the paper.
+pub trait Actor {
+    /// Wire message type exchanged by this protocol.
+    type Msg: Payload;
+    /// Value this protocol decides (recorded in the run report).
+    type Decision: Clone + fmt::Debug + PartialEq;
+
+    /// Invoked once at simulation start (time zero), before any delivery.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Decision>);
+
+    /// Invoked for each delivered message.
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Decision>,
+    );
+
+    /// Invoked when a timer set through [`Context::set_timer`] fires.
+    ///
+    /// The default implementation ignores timers.
+    fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<'_, Self::Msg, Self::Decision>) {
+        let _ = (tag, ctx);
+    }
+}
+
+/// Effects an actor may stage during one callback.
+///
+/// The runner applies staged effects after the callback returns; fault
+/// injection wrappers may inspect and rewrite staged sends in between (that
+/// is how Byzantine message corruption is modeled without making the network
+/// dishonest).
+pub struct Context<'a, M, D> {
+    now: VirtualTime,
+    me: ProcessId,
+    n: usize,
+    rng_draw: &'a mut dyn FnMut() -> u64,
+    staged_sends: Vec<(ProcessId, M)>,
+    staged_timers: Vec<(Duration, TimerTag)>,
+    staged_notes: Vec<String>,
+    decision: Option<D>,
+    halted: bool,
+}
+
+impl<M: fmt::Debug, D: fmt::Debug> fmt::Debug for Context<'_, M, D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context")
+            .field("now", &self.now)
+            .field("me", &self.me)
+            .field("n", &self.n)
+            .field("staged_sends", &self.staged_sends)
+            .field("staged_timers", &self.staged_timers)
+            .field("decision", &self.decision)
+            .field("halted", &self.halted)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Effects staged by one callback, as consumed by the runner.
+#[derive(Debug)]
+pub struct Effects<M, D> {
+    /// Messages to hand to the network, in staging order.
+    pub sends: Vec<(ProcessId, M)>,
+    /// Timers to schedule, as `(delay, tag)` pairs.
+    pub timers: Vec<(Duration, TimerTag)>,
+    /// Trace annotations emitted by the actor.
+    pub notes: Vec<String>,
+    /// Decision recorded during the callback, if any.
+    pub decision: Option<D>,
+    /// Whether the actor halted.
+    pub halted: bool,
+}
+
+impl<'a, M: Payload, D: Clone + fmt::Debug + PartialEq> Context<'a, M, D> {
+    /// Creates a context for one callback. Used by the runner and by tests
+    /// that drive actors directly.
+    pub fn new(
+        now: VirtualTime,
+        me: ProcessId,
+        n: usize,
+        rng_draw: &'a mut dyn FnMut() -> u64,
+    ) -> Self {
+        Context {
+            now,
+            me,
+            n,
+            rng_draw,
+            staged_sends: Vec::new(),
+            staged_timers: Vec::new(),
+            staged_notes: Vec::new(),
+            decision: None,
+            halted: false,
+        }
+    }
+
+    /// Current virtual time at this process.
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// This process's identity.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Total number of processes `n`.
+    pub fn process_count(&self) -> usize {
+        self.n
+    }
+
+    /// Iterates over all process identities `p_0 … p_{n-1}`.
+    pub fn all_processes(&self) -> impl Iterator<Item = ProcessId> {
+        (0..self.n as u32).map(ProcessId)
+    }
+
+    /// Stages a message to `to` (self-sends are delivered like any other).
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.staged_sends.push((to, msg));
+    }
+
+    /// Stages `msg` to every process **including the sender** — the paper's
+    /// `send … to Π`.
+    pub fn broadcast(&mut self, msg: M) {
+        for p in 0..self.n as u32 {
+            self.staged_sends.push((ProcessId(p), msg.clone()));
+        }
+    }
+
+    /// Schedules `on_timer(tag)` to fire `delay` from now.
+    pub fn set_timer(&mut self, delay: Duration, tag: TimerTag) {
+        self.staged_timers.push((delay, tag));
+    }
+
+    /// Records the decision value. The first decision wins; the runner
+    /// flags any later, *different* decision as a local contradiction.
+    pub fn decide(&mut self, value: D) {
+        if self.decision.is_none() {
+            self.decision = Some(value);
+        }
+    }
+
+    /// Stops this process: no further callbacks will run.
+    pub fn halt(&mut self) {
+        self.halted = true;
+    }
+
+    /// Draws a deterministic pseudo-random `u64` from the run's seed stream.
+    ///
+    /// Provided for protocols that need local randomness (none of the
+    /// paper's protocols do; fault injectors use it to vary attacks).
+    pub fn random_u64(&mut self) -> u64 {
+        (self.rng_draw)()
+    }
+
+    /// Mutable view of the sends staged so far in this callback.
+    ///
+    /// Intended for fault-injection wrappers (`ftm-faults`), which corrupt,
+    /// drop or duplicate a wrapped actor's output *before* it reaches the
+    /// honest network.
+    pub fn staged_sends_mut(&mut self) -> &mut Vec<(ProcessId, M)> {
+        &mut self.staged_sends
+    }
+
+    /// Emits a free-form trace annotation (`key=value` style by convention).
+    ///
+    /// Notes land in the run [`crate::trace::Trace`]; experiment E4 measures
+    /// detection latency from notes like `detected=p3 class=duplication`.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.staged_notes.push(text.into());
+    }
+
+    /// Consumes the context, returning its staged effects.
+    pub fn into_effects(self) -> Effects<M, D> {
+        Effects {
+            sends: self.staged_sends,
+            timers: self.staged_timers,
+            notes: self.staged_notes,
+            decision: self.decision,
+            halted: self.halted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(draw: &'a mut dyn FnMut() -> u64) -> Context<'a, &'static str, u64> {
+        Context::new(VirtualTime::at(5), ProcessId(1), 3, draw)
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_including_self() {
+        let mut draw = || 0u64;
+        let mut c = ctx(&mut draw);
+        c.broadcast("m");
+        let targets: Vec<u32> = c.into_effects().sends.iter().map(|(p, _)| p.0).collect();
+        assert_eq!(targets, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn first_decision_wins() {
+        let mut draw = || 0u64;
+        let mut c = ctx(&mut draw);
+        c.decide(10);
+        c.decide(99);
+        assert_eq!(c.into_effects().decision, Some(10));
+    }
+
+    #[test]
+    fn staged_sends_are_rewritable() {
+        let mut draw = || 0u64;
+        let mut c = ctx(&mut draw);
+        c.send(ProcessId(0), "honest");
+        c.staged_sends_mut()[0].1 = "corrupted";
+        assert_eq!(c.into_effects().sends[0].1, "corrupted");
+    }
+
+    #[test]
+    fn timers_notes_and_halt_are_staged() {
+        let mut draw = || 7u64;
+        let mut c = ctx(&mut draw);
+        c.set_timer(Duration::of(3), 42);
+        assert_eq!(c.random_u64(), 7);
+        c.note("suspect=p2");
+        c.halt();
+        let fx = c.into_effects();
+        assert_eq!(fx.timers, vec![(Duration::of(3), 42)]);
+        assert_eq!(fx.notes, vec!["suspect=p2".to_string()]);
+        assert!(fx.halted);
+    }
+
+    #[test]
+    fn default_label_truncates_long_debug() {
+        #[derive(Clone, Debug)]
+        struct Big(#[allow(dead_code)] [u8; 40]);
+        impl Payload for Big {
+            fn size_bytes(&self) -> usize {
+                40
+            }
+        }
+        let label = Big([1; 40]).label();
+        assert!(label.len() <= 48);
+        assert!(label.ends_with("..."));
+    }
+
+    #[test]
+    fn process_id_display_and_index() {
+        assert_eq!(ProcessId(4).to_string(), "p4");
+        assert_eq!(ProcessId::from(3u32).index(), 3);
+    }
+}

@@ -1,0 +1,466 @@
+//! The simulation runner: event loop, effect application, run reports.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::SimConfig;
+use crate::event::{EventKind, EventQueue};
+use crate::metrics::Metrics;
+use crate::network::Network;
+use crate::process::{Actor, Context, Payload, ProcessId};
+use crate::time::VirtualTime;
+use crate::trace::{Trace, TraceEvent};
+
+/// A boxed, type-erased actor (lets one run mix honest and faulty actors).
+pub type BoxedActor<M, D> = Box<dyn Actor<Msg = M, Decision = D>>;
+
+/// Why the run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every process halted or crashed — the protocol ran to completion.
+    AllStopped,
+    /// The event queue drained (no process had anything left to do).
+    Quiescent,
+    /// The configured `max_time` was exceeded.
+    TimeLimit,
+    /// The configured `max_events` budget was exhausted.
+    EventLimit,
+}
+
+/// Outcome of one simulation run.
+#[derive(Debug)]
+pub struct RunReport<D> {
+    /// Decision per process (`None` = never decided).
+    pub decisions: Vec<Option<D>>,
+    /// Which processes were crashed by the schedule.
+    pub crashed: Vec<bool>,
+    /// Which processes halted voluntarily.
+    pub halted: Vec<bool>,
+    /// Processes that decided twice with *different* values (a local
+    /// contradiction — only a faulty actor can produce this).
+    pub contradictions: Vec<ProcessId>,
+    /// Virtual time when the run stopped.
+    pub end_time: VirtualTime,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Full event record.
+    pub trace: Trace,
+    /// Cost counters.
+    pub metrics: Metrics,
+}
+
+impl<D: Clone + PartialEq + fmt::Debug> RunReport<D> {
+    /// `true` when every non-crashed process decided.
+    pub fn all_decided(&self) -> bool {
+        self.decisions
+            .iter()
+            .zip(&self.crashed)
+            .all(|(d, crashed)| *crashed || d.is_some())
+    }
+
+    /// The common decision of all non-crashed deciders, if they agree and at
+    /// least one decided; `None` on disagreement or no decision.
+    pub fn unanimous(&self) -> Option<D> {
+        let mut it = self
+            .decisions
+            .iter()
+            .zip(&self.crashed)
+            .filter(|(_, c)| !**c)
+            .filter_map(|(d, _)| d.as_ref());
+        let first = it.next()?;
+        if it.all(|d| d == first) {
+            Some(first.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Decisions of the given processes (crashed or not), in order.
+    pub fn decisions_of(&self, processes: &[usize]) -> Vec<Option<D>> {
+        processes
+            .iter()
+            .map(|&i| self.decisions.get(i).cloned().flatten())
+            .collect()
+    }
+}
+
+/// A configured simulation ready to [`run`](Simulation::run).
+pub struct Simulation<M: Payload, D> {
+    cfg: SimConfig,
+    actors: Vec<BoxedActor<M, D>>,
+}
+
+impl<M: Payload, D> fmt::Debug for Simulation<M, D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("cfg", &self.cfg)
+            .field("actors", &self.actors.len())
+            .finish()
+    }
+}
+
+impl<M, D> Simulation<M, D>
+where
+    M: Payload + 'static,
+    D: Clone + PartialEq + fmt::Debug + 'static,
+{
+    /// Builds a simulation where every process runs `factory(id)`.
+    pub fn build<A, F>(cfg: SimConfig, mut factory: F) -> Self
+    where
+        A: Actor<Msg = M, Decision = D> + 'static,
+        F: FnMut(ProcessId) -> A,
+    {
+        Self::build_boxed(cfg, |id| Box::new(factory(id)))
+    }
+
+    /// Builds a simulation from a factory returning boxed actors — use this
+    /// to mix honest processes with fault-injected ones.
+    pub fn build_boxed<F>(cfg: SimConfig, mut factory: F) -> Self
+    where
+        F: FnMut(ProcessId) -> BoxedActor<M, D>,
+    {
+        let actors = (0..cfg.n as u32).map(|i| factory(ProcessId(i))).collect();
+        Simulation { cfg, actors }
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(self) -> RunReport<D> {
+        let Simulation { cfg, mut actors } = self;
+        let n = cfg.n;
+        let mut rng = StdRng::seed_from_u64(cfg.rng_seed);
+        let mut network = Network::new(&cfg);
+        let mut queue: EventQueue<M> = EventQueue::new();
+        let mut trace = Trace::new();
+        let mut metrics = Metrics::new(n);
+        let mut decisions: Vec<Option<D>> = vec![None; n];
+        let mut crashed = vec![false; n];
+        let mut halted = vec![false; n];
+        let mut contradictions = Vec::new();
+
+        // Crashes are scheduled first so a crash at the same instant as a
+        // delivery or start pre-empts it (the process dies before acting).
+        for &(idx, at) in &cfg.crashes {
+            queue.push(at, ProcessId(idx as u32), EventKind::Crash);
+        }
+        for i in 0..n as u32 {
+            queue.push(VirtualTime::ZERO, ProcessId(i), EventKind::Start);
+        }
+
+        let mut now = VirtualTime::ZERO;
+        let stop = loop {
+            let Some(ev) = queue.pop() else {
+                break StopReason::Quiescent;
+            };
+            if ev.at > cfg.max_time {
+                break StopReason::TimeLimit;
+            }
+            if metrics.events_processed >= cfg.max_events {
+                break StopReason::EventLimit;
+            }
+            metrics.events_processed += 1;
+            now = ev.at;
+            let pid = ev.target;
+            let idx = pid.index();
+
+            if let EventKind::Crash = ev.kind {
+                if !crashed[idx] {
+                    crashed[idx] = true;
+                    trace.record(now, TraceEvent::Crash { process: pid });
+                }
+                if crashed.iter().zip(&halted).all(|(c, h)| *c || *h) {
+                    break StopReason::AllStopped;
+                }
+                continue;
+            }
+            if crashed[idx] || halted[idx] {
+                continue; // silence of the dead
+            }
+
+            // Run the callback with a context borrowing the run RNG.
+            let effects = {
+                let mut draw = || rng.gen::<u64>();
+                let mut ctx: Context<'_, M, D> = Context::new(now, pid, n, &mut draw);
+                match ev.kind {
+                    EventKind::Start => actors[idx].on_start(&mut ctx),
+                    EventKind::Deliver { from, msg } => {
+                        metrics.on_deliver();
+                        trace.record(
+                            now,
+                            TraceEvent::Deliver {
+                                src: from,
+                                dst: pid,
+                                label: msg.label(),
+                            },
+                        );
+                        actors[idx].on_message(from, msg, &mut ctx);
+                    }
+                    EventKind::Timer { tag } => {
+                        metrics.on_timer();
+                        trace.record(
+                            now,
+                            TraceEvent::Timer {
+                                at_process: pid,
+                                tag,
+                            },
+                        );
+                        actors[idx].on_timer(tag, &mut ctx);
+                    }
+                    EventKind::Crash => unreachable!("handled above"),
+                }
+                ctx.into_effects()
+            };
+
+            for (to, msg) in effects.sends {
+                metrics.on_send(pid, msg.size_bytes());
+                trace.record(
+                    now,
+                    TraceEvent::Send {
+                        src: pid,
+                        dst: to,
+                        bytes: msg.size_bytes(),
+                        label: msg.label(),
+                    },
+                );
+                let at = network.delivery_time(&mut rng, pid, to, now);
+                queue.push(at, to, EventKind::Deliver { from: pid, msg });
+            }
+            for (delay, tag) in effects.timers {
+                queue.push(now + delay, pid, EventKind::Timer { tag });
+            }
+            for text in effects.notes {
+                trace.record(now, TraceEvent::Note { process: pid, text });
+            }
+            if let Some(value) = effects.decision {
+                match &decisions[idx] {
+                    None => {
+                        trace.record(
+                            now,
+                            TraceEvent::Decide {
+                                process: pid,
+                                value: format!("{value:?}"),
+                            },
+                        );
+                        decisions[idx] = Some(value);
+                    }
+                    Some(prev) if *prev != value => contradictions.push(pid),
+                    Some(_) => {}
+                }
+            }
+            if effects.halted {
+                halted[idx] = true;
+                trace.record(now, TraceEvent::Halt { process: pid });
+                if crashed.iter().zip(&halted).all(|(c, h)| *c || *h) {
+                    break StopReason::AllStopped;
+                }
+            }
+        };
+
+        RunReport {
+            decisions,
+            crashed,
+            halted,
+            contradictions,
+            end_time: now,
+            stop,
+            trace,
+            metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    /// Sends its id to everyone; decides on the sum of received ids.
+    struct Summer {
+        sum: u64,
+        got: usize,
+    }
+
+    impl Actor for Summer {
+        type Msg = u64;
+        type Decision = u64;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u64, u64>) {
+            ctx.broadcast(ctx.me().0 as u64);
+        }
+
+        fn on_message(&mut self, _from: ProcessId, msg: u64, ctx: &mut Context<'_, u64, u64>) {
+            self.sum += msg;
+            self.got += 1;
+            if self.got == ctx.process_count() {
+                ctx.decide(self.sum);
+                ctx.halt();
+            }
+        }
+    }
+
+    fn summer(_: ProcessId) -> Summer {
+        Summer { sum: 0, got: 0 }
+    }
+
+    #[test]
+    fn all_processes_decide_the_sum() {
+        let report = Simulation::build(SimConfig::new(5).seed(3), summer).run();
+        assert!(report.all_decided());
+        assert_eq!(report.unanimous(), Some(1 + 2 + 3 + 4));
+        assert_eq!(report.stop, StopReason::AllStopped);
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let r1 = Simulation::build(SimConfig::new(4).seed(9), summer).run();
+        let r2 = Simulation::build(SimConfig::new(4).seed(9), summer).run();
+        assert_eq!(r1.end_time, r2.end_time);
+        assert_eq!(r1.metrics, r2.metrics);
+        assert_eq!(r1.trace.entries(), r2.trace.entries());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let r1 = Simulation::build(SimConfig::new(4).seed(1), summer).run();
+        let r2 = Simulation::build(SimConfig::new(4).seed(2), summer).run();
+        // Same decisions, (almost surely) different schedules.
+        assert_eq!(r1.unanimous(), r2.unanimous());
+        assert_ne!(r1.trace.entries(), r2.trace.entries());
+    }
+
+    #[test]
+    fn crashed_process_goes_silent() {
+        let cfg = SimConfig::new(3).seed(5).crash(0, VirtualTime::ZERO);
+        let report = Simulation::build(cfg, summer).run();
+        // p0 crashed before sending anything: nobody can collect 3 messages.
+        assert!(!report.all_decided());
+        assert!(report.crashed[0]);
+        assert_eq!(report.decisions, vec![None, None, None]);
+        assert_eq!(report.stop, StopReason::Quiescent);
+    }
+
+    #[test]
+    fn run_ends_before_a_late_crash_fires() {
+        let cfg = SimConfig::new(3).seed(5).crash(2, VirtualTime::at(1_000_000));
+        let report = Simulation::build(cfg, summer).run();
+        assert!(report.all_decided());
+        // Everyone halted long before the scheduled crash, so the run ends
+        // with the crash never having happened.
+        assert!(!report.crashed[2]);
+        assert_eq!(report.stop, StopReason::AllStopped);
+    }
+
+    #[test]
+    fn metrics_count_broadcasts() {
+        let report = Simulation::build(SimConfig::new(4).seed(0), summer).run();
+        assert_eq!(report.metrics.messages_sent, 16); // 4 processes × 4 targets
+        assert_eq!(report.metrics.bytes_sent, 16 * 8);
+        assert_eq!(report.metrics.messages_delivered, 16);
+    }
+
+    struct TimerLoop {
+        fired: u64,
+    }
+
+    impl Actor for TimerLoop {
+        type Msg = u64;
+        type Decision = u64;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u64, u64>) {
+            ctx.set_timer(Duration::of(10), 1);
+        }
+
+        fn on_message(&mut self, _: ProcessId, _: u64, _: &mut Context<'_, u64, u64>) {}
+
+        fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, u64, u64>) {
+            assert_eq!(tag, 1);
+            self.fired += 1;
+            if self.fired == 3 {
+                ctx.decide(self.fired);
+                ctx.halt();
+            } else {
+                ctx.set_timer(Duration::of(10), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn timers_rearm_and_fire_in_order() {
+        let report =
+            Simulation::build(SimConfig::new(2).seed(0), |_| TimerLoop { fired: 0 }).run();
+        assert_eq!(report.unanimous(), Some(3));
+        assert_eq!(report.end_time, VirtualTime::at(30));
+        assert_eq!(report.metrics.timers_fired, 6);
+    }
+
+    struct Chatter;
+
+    impl Actor for Chatter {
+        type Msg = u64;
+        type Decision = u64;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u64, u64>) {
+            ctx.send(ctx.me(), 0);
+        }
+
+        fn on_message(&mut self, _: ProcessId, msg: u64, ctx: &mut Context<'_, u64, u64>) {
+            ctx.send(ctx.me(), msg + 1); // ping-pong with self forever
+        }
+    }
+
+    #[test]
+    fn event_budget_stops_runaway_protocols() {
+        let cfg = SimConfig::new(1).seed(0).max_events(100);
+        let report = Simulation::build(cfg, |_| Chatter).run();
+        assert_eq!(report.stop, StopReason::EventLimit);
+        assert!(report.metrics.events_processed <= 100);
+    }
+
+    #[test]
+    fn time_limit_stops_slow_protocols() {
+        let cfg = SimConfig::new(1).seed(0).max_time(VirtualTime::at(50));
+        let report = Simulation::build(cfg, |_| TimerLoop { fired: 0 }).run();
+        // TimerLoop on one process decides at t=30 < 50, so it finishes;
+        // use Chatter instead for the limit.
+        assert_eq!(report.stop, StopReason::AllStopped);
+        let cfg = SimConfig::new(1).seed(0).max_time(VirtualTime::at(50));
+        let report = Simulation::build(cfg, |_| Chatter).run();
+        assert_eq!(report.stop, StopReason::TimeLimit);
+    }
+
+    #[test]
+    fn notes_reach_the_trace() {
+        struct Noter;
+        impl Actor for Noter {
+            type Msg = u64;
+            type Decision = u64;
+            fn on_start(&mut self, ctx: &mut Context<'_, u64, u64>) {
+                ctx.note("round=1");
+                ctx.halt();
+            }
+            fn on_message(&mut self, _: ProcessId, _: u64, _: &mut Context<'_, u64, u64>) {}
+        }
+        let report = Simulation::build(SimConfig::new(1).seed(0), |_| Noter).run();
+        assert_eq!(report.trace.notes_of(ProcessId(0)), vec!["round=1"]);
+    }
+
+    #[test]
+    fn contradiction_is_flagged() {
+        struct Flipper;
+        impl Actor for Flipper {
+            type Msg = u64;
+            type Decision = u64;
+            fn on_start(&mut self, ctx: &mut Context<'_, u64, u64>) {
+                ctx.send(ctx.me(), 0);
+                ctx.decide(1);
+            }
+            fn on_message(&mut self, _: ProcessId, _: u64, ctx: &mut Context<'_, u64, u64>) {
+                ctx.decide(2); // contradicts the earlier decision
+                ctx.halt();
+            }
+        }
+        let report = Simulation::build(SimConfig::new(1).seed(0), |_| Flipper).run();
+        assert_eq!(report.contradictions, vec![ProcessId(0)]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Run traces: the evidence a simulation leaves behind.
+//!
+//! Property validators (Agreement, Termination, detector completeness, …)
+//! are pure functions over a [`Trace`], so tests, examples and the
+//! experiment harness all judge runs by the same record.
+
+use std::fmt;
+
+use crate::process::{ProcessId, TimerTag};
+use crate::time::VirtualTime;
+
+/// One observable step of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `src` handed a message of `bytes` bytes for `dst` to the network.
+    Send {
+        /// Sending process.
+        src: ProcessId,
+        /// Destination process.
+        dst: ProcessId,
+        /// Payload size in bytes.
+        bytes: usize,
+        /// Short payload description (message kind and round, typically).
+        label: String,
+    },
+    /// The network delivered a message to `dst`.
+    Deliver {
+        /// Original sender.
+        src: ProcessId,
+        /// Receiving process.
+        dst: ProcessId,
+        /// Short payload description.
+        label: String,
+    },
+    /// A timer fired at `at`.
+    Timer {
+        /// Process whose timer fired.
+        at_process: ProcessId,
+        /// The actor-chosen tag.
+        tag: TimerTag,
+    },
+    /// `process` crashed (benign fault injected by the runner).
+    Crash {
+        /// The crashed process.
+        process: ProcessId,
+    },
+    /// `process` decided.
+    Decide {
+        /// The deciding process.
+        process: ProcessId,
+        /// Debug rendering of the decision value.
+        value: String,
+    },
+    /// `process` halted voluntarily.
+    Halt {
+        /// The halting process.
+        process: ProcessId,
+    },
+    /// Free-form protocol annotation (round starts, suspicions, detections).
+    Note {
+        /// Annotating process.
+        process: ProcessId,
+        /// Annotation text, `key=value` style by convention.
+        text: String,
+    },
+}
+
+/// A timestamped [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the event happened.
+    pub at: VirtualTime,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// The full record of one run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event at `at`.
+    pub fn record(&mut self, at: VirtualTime, event: TraceEvent) {
+        self.entries.push(TraceEntry { at, event });
+    }
+
+    /// All entries in chronological order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Iterates over entries matching a predicate.
+    pub fn filter<'a, F>(&'a self, pred: F) -> impl Iterator<Item = &'a TraceEntry>
+    where
+        F: Fn(&TraceEvent) -> bool + 'a,
+    {
+        self.entries.iter().filter(move |e| pred(&e.event))
+    }
+
+    /// Time of the first entry satisfying `pred`, if any.
+    pub fn first_time<F>(&self, pred: F) -> Option<VirtualTime>
+    where
+        F: Fn(&TraceEvent) -> bool,
+    {
+        self.entries
+            .iter()
+            .find(|e| pred(&e.event))
+            .map(|e| e.at)
+    }
+
+    /// All `Note` texts emitted by `process`, in order.
+    pub fn notes_of(&self, process: ProcessId) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter_map(|e| match &e.event {
+                TraceEvent::Note { process: p, text } if *p == process => Some(text.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            writeln!(f, "[{:>8}] {:?}", e.at, e.event)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_and_filters() {
+        let mut t = Trace::new();
+        t.record(VirtualTime::at(1), TraceEvent::Crash { process: ProcessId(0) });
+        t.record(
+            VirtualTime::at(2),
+            TraceEvent::Decide {
+                process: ProcessId(1),
+                value: "7".into(),
+            },
+        );
+        assert_eq!(t.len(), 2);
+        let decides: Vec<_> = t
+            .filter(|e| matches!(e, TraceEvent::Decide { .. }))
+            .collect();
+        assert_eq!(decides.len(), 1);
+        assert_eq!(
+            t.first_time(|e| matches!(e, TraceEvent::Decide { .. })),
+            Some(VirtualTime::at(2))
+        );
+    }
+
+    #[test]
+    fn notes_of_selects_by_process() {
+        let mut t = Trace::new();
+        t.record(
+            VirtualTime::at(1),
+            TraceEvent::Note {
+                process: ProcessId(0),
+                text: "round=1".into(),
+            },
+        );
+        t.record(
+            VirtualTime::at(2),
+            TraceEvent::Note {
+                process: ProcessId(1),
+                text: "round=2".into(),
+            },
+        );
+        assert_eq!(t.notes_of(ProcessId(0)), vec!["round=1"]);
+    }
+
+    #[test]
+    fn display_renders_every_entry() {
+        let mut t = Trace::new();
+        t.record(VirtualTime::at(3), TraceEvent::Halt { process: ProcessId(2) });
+        let s = t.to_string();
+        assert!(s.contains("Halt"));
+        assert!(!t.is_empty());
+    }
+}

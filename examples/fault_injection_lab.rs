@@ -1,0 +1,106 @@
+//! The fault-injection lab: run the whole attack gallery against the
+//! transformed protocol and print, per attack, whether the paper's
+//! properties held and which module convicted the attacker.
+//!
+//! ```text
+//! cargo run --example fault_injection_lab
+//! ```
+
+use ft_modular::certify::{Value, ValueVector};
+use ft_modular::core::byzantine::ByzantineConsensus;
+use ft_modular::core::config::{ProtocolConfig, ProtocolSetup};
+use ft_modular::core::validator::{check_vector_consensus, detections};
+use ft_modular::faults::attacks::{
+    DecideForger, IdentityThief, InitEquivocator, MuteAfter, RoundJumper, SpuriousCurrent,
+    VectorCorruptor, VoteDuplicator, WrongKeySigner,
+};
+use ft_modular::faults::{ByzantineWrapper, Tamper};
+use ft_modular::sim::runner::BoxedActor;
+use ft_modular::sim::{Duration, ProcessId, SimConfig, Simulation, VirtualTime};
+
+const N: usize = 4;
+const ATTACKER: u32 = 3;
+
+/// A named attack constructor.
+type AttackEntry = (&'static str, Box<dyn Fn(&ProtocolSetup) -> Box<dyn Tamper>>);
+
+fn main() {
+    let gallery: Vec<AttackEntry> = vec![
+        ("muteness (silent after t=30)", Box::new(|_| Box::new(MuteAfter { after: VirtualTime::at(30) }))),
+        ("vector corruption", Box::new(|_| Box::new(VectorCorruptor { entry: 1, poison: 666 }))),
+        ("round jumping (+5)", Box::new(|_| Box::new(RoundJumper { jump: 5 }))),
+        ("vote duplication", Box::new(|_| Box::new(VoteDuplicator))),
+        ("forged DECIDE", Box::new(|_| Box::new(DecideForger::new(VirtualTime::at(1), N, 999)))),
+        ("wrong signing key", Box::new(|_| {
+            let mut rng = ft_modular::crypto::rng_from_seed(0xBAD);
+            Box::new(WrongKeySigner { wrong: ft_modular::crypto::rsa::KeyPair::generate(&mut rng, 128) })
+        })),
+        ("identity theft (claims p1)", Box::new(|_| Box::new(IdentityThief { victim: ProcessId(1) }))),
+        ("INIT equivocation", Box::new(|_| Box::new(InitEquivocator { alt: 1313 }))),
+        ("spurious CURRENT", Box::new(|_| Box::new(SpuriousCurrent::new(VirtualTime::at(1), N)))),
+    ];
+
+    println!("n = {N}, F = 1, attacker = p{ATTACKER}; every row is one simulated run\n");
+    println!(
+        "{:<28} {:<11} {:<10} {:<22} classes seen",
+        "attack", "agreement", "validity", "first conviction"
+    );
+    println!("{}", "-".repeat(95));
+
+    for (name, mk) in gallery {
+        let proposals: Vec<Value> = (0..N as u64).map(|i| 100 + i).collect();
+        let setup = ProtocolConfig::new(N, 1).seed(5).setup();
+        let report = Simulation::build_boxed(SimConfig::new(N).seed(5), |id| {
+            let honest = ByzantineConsensus::new(&setup, id, proposals[id.index()]);
+            if id.0 == ATTACKER {
+                Box::new(ByzantineWrapper::new(
+                    honest,
+                    mk(&setup),
+                    setup.keys[ATTACKER as usize].clone(),
+                    Duration::of(10),
+                )) as BoxedActor<_, ValueVector>
+            } else {
+                Box::new(honest)
+            }
+        })
+        .run();
+
+        let mut faulty = [false; N];
+        faulty[ATTACKER as usize] = true;
+        let v = check_vector_consensus(&report, &proposals, &faulty, 1);
+        let det = detections(&report.trace);
+        let mut classes: Vec<&str> = det
+            .iter()
+            .filter(|d| d.observer.0 != ATTACKER)
+            .map(|d| d.class.as_str())
+            .collect();
+        classes.sort_unstable();
+        classes.dedup();
+        let first = det
+            .iter()
+            .filter(|d| d.observer.0 != ATTACKER)
+            .map(|d| format!("t={} by {}", d.at, d.observer))
+            .next()
+            .unwrap_or_else(|| "(none needed)".to_string());
+        println!(
+            "{:<28} {:<11} {:<10} {:<22} {}",
+            name,
+            yes(v.agreement && v.termination),
+            yes(v.validity),
+            first,
+            if classes.is_empty() { "-".to_string() } else { classes.join(", ") },
+        );
+    }
+    println!(
+        "\n'(none needed)' marks faults that are either handled by the muteness detector\n\
+         alone or are not locally detectable (equivocation) — properties hold regardless."
+    );
+}
+
+fn yes(b: bool) -> &'static str {
+    if b {
+        "ok"
+    } else {
+        "VIOLATED"
+    }
+}

@@ -1,0 +1,75 @@
+//! # ft-modular
+//!
+//! A full reproduction of **Baldoni, Hélary, Raynal — "From Crash
+//! Fault-Tolerance to Arbitrary-Fault Tolerance: Towards a Modular
+//! Approach" (DSN 2000)**: the modular methodology that turns a round-based
+//! protocol tolerating crash failures into one tolerating arbitrary
+//! (Byzantine) failures, instantiated on the Hurfin–Raynal consensus
+//! protocol.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`crypto`] — from-scratch SHA-256, bignum, RSA signatures, key
+//!   directory, canonical encoding;
+//! * [`sim`] — deterministic discrete-event simulator (reliable FIFO
+//!   channels, partial synchrony, crash scheduling);
+//! * [`fd`] — failure detectors: ◇S (crash), ◇M (muteness), quiet-process
+//!   baseline, oracles, and quality measurement;
+//! * [`certify`] — signed envelopes, certificates, the certificate
+//!   analyzer, vector certification;
+//! * [`detect`] — non-muteness failure detection (per-peer state
+//!   machines);
+//! * [`core`] — the crash-model protocol (Fig. 2), the transformation
+//!   stack (Fig. 1), the transformed vector consensus (Fig. 3), and run
+//!   validators;
+//! * [`faults`] — the Byzantine fault-injection library;
+//! * [`rbcast`] — reliable broadcast substrates (eager relay for the
+//!   crash model, Bracha's double echo for the arbitrary-fault model).
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the reproduced results.
+//!
+//! # Example: surviving a Byzantine coordinator
+//!
+//! ```
+//! use ft_modular::core::byzantine::ByzantineConsensus;
+//! use ft_modular::core::config::ProtocolConfig;
+//! use ft_modular::core::validator::check_vector_consensus;
+//! use ft_modular::faults::attacks::VectorCorruptor;
+//! use ft_modular::faults::ByzantineWrapper;
+//! use ft_modular::sim::{Duration, SimConfig, Simulation};
+//!
+//! let n = 4;
+//! let setup = ProtocolConfig::new(n, 1).seed(1).setup();
+//! let report = Simulation::build_boxed(SimConfig::new(n).seed(1), |id| {
+//!     let honest = ByzantineConsensus::new(&setup, id, 100 + id.0 as u64);
+//!     if id.0 == 0 {
+//!         // Round-1 coordinator lies about p2's value in every vector.
+//!         Box::new(ByzantineWrapper::new(
+//!             honest,
+//!             Box::new(VectorCorruptor { entry: 2, poison: 666 }),
+//!             setup.keys[0].clone(),
+//!             Duration::of(40),
+//!         ))
+//!     } else {
+//!         Box::new(honest)
+//!     }
+//! })
+//! .run();
+//! let verdict = check_vector_consensus(
+//!     &report,
+//!     &[100, 101, 102, 103],
+//!     &[true, false, false, false],
+//!     1,
+//! );
+//! assert!(verdict.ok(), "{:?}", verdict.violations);
+//! ```
+
+pub use ftm_certify as certify;
+pub use ftm_core as core;
+pub use ftm_crypto as crypto;
+pub use ftm_detect as detect;
+pub use ftm_faults as faults;
+pub use ftm_fd as fd;
+pub use ftm_rbcast as rbcast;
+pub use ftm_sim as sim;

@@ -1,0 +1,388 @@
+//! The fault matrix (experiments E3/E4): every fault class from the
+//! paper's taxonomy is injected into the transformed protocol, and for
+//! each we check
+//!
+//! 1. **safety & liveness survive** — Agreement, Termination and Vector
+//!    Validity hold for the correct processes, and
+//! 2. **detection happens where the paper says it should** — the module
+//!    responsible for the class convicts the culprit at every correct
+//!    process (where the class is locally detectable at all).
+
+use ft_modular::certify::{Value, ValueVector};
+use ft_modular::core::byzantine::ByzantineConsensus;
+use ft_modular::core::config::{ProtocolConfig, ProtocolSetup};
+use ft_modular::core::validator::{check_vector_consensus, detections, Verdict};
+use ft_modular::faults::attacks::{
+    CertStripper, DecideForger, IdentityThief, InitEquivocator, MuteAfter, Replayer, RoundJumper,
+    SelectiveSender, SpuriousCurrent, VectorCorruptor, VoteDuplicator, WrongKeySigner,
+};
+use ft_modular::faults::{ByzantineWrapper, Tamper};
+use ft_modular::sim::runner::BoxedActor;
+use ft_modular::sim::{Duration, ProcessId, RunReport, SimConfig, Simulation, VirtualTime};
+
+const N: usize = 4;
+const F: usize = 1;
+
+fn proposals() -> Vec<Value> {
+    (0..N as u64).map(|i| 100 + i).collect()
+}
+
+/// Runs the transformed protocol with `attacker` running `tamper`.
+fn run_with_attack(
+    seed: u64,
+    attacker: u32,
+    mk_tamper: impl Fn(&ProtocolSetup) -> Box<dyn Tamper>,
+) -> RunReport<ValueVector> {
+    let setup = ProtocolConfig::new(N, F).seed(seed).setup();
+    let props = proposals();
+    Simulation::build_boxed(SimConfig::new(N).seed(seed), |id| {
+        let honest = ByzantineConsensus::new(&setup, id, props[id.index()]);
+        if id.0 == attacker {
+            Box::new(ByzantineWrapper::new(
+                honest,
+                mk_tamper(&setup),
+                setup.keys[attacker as usize].clone(),
+                Duration::of(10),
+            )) as BoxedActor<_, _>
+        } else {
+            Box::new(honest)
+        }
+    })
+    .run()
+}
+
+fn verdict(report: &RunReport<ValueVector>, attacker: u32) -> Verdict {
+    let mut faulty = vec![false; N];
+    faulty[attacker as usize] = true;
+    check_vector_consensus(report, &proposals(), &faulty, F)
+}
+
+/// Runs with `attacker` Byzantine AND the round-1 coordinator p0 crashed
+/// at t = 0, forcing NEXT-vote traffic (n = 5, F = 2 keeps the quorum).
+fn run_with_attack_and_dead_coordinator(
+    seed: u64,
+    attacker: u32,
+    mk_tamper: impl Fn(&ProtocolSetup) -> Box<dyn Tamper>,
+) -> RunReport<ValueVector> {
+    let n = 5;
+    let setup = ProtocolConfig::new(n, 2).seed(seed).setup();
+    Simulation::build_boxed(
+        SimConfig::new(n).seed(seed).crash(0, VirtualTime::ZERO),
+        |id| {
+            let honest = ByzantineConsensus::new(&setup, id, 100 + id.0 as u64);
+            if id.0 == attacker {
+                Box::new(ByzantineWrapper::new(
+                    honest,
+                    mk_tamper(&setup),
+                    setup.keys[attacker as usize].clone(),
+                    Duration::of(10),
+                )) as BoxedActor<_, _>
+            } else {
+                Box::new(honest)
+            }
+        },
+    )
+    .run()
+}
+
+fn verdict5(report: &RunReport<ValueVector>, attacker: u32) -> Verdict {
+    let mut faulty = vec![false; 5];
+    faulty[attacker as usize] = true;
+    let props: Vec<Value> = (0..5).map(|i| 100 + i).collect();
+    check_vector_consensus(report, &props, &faulty, 2)
+}
+
+/// Asserts that at least one correct process convicted the attacker with
+/// the expected class (processes that decided before the faulty message
+/// arrived legitimately never observe it).
+fn assert_detected_by_some(report: &RunReport<ValueVector>, attacker: u32, class: &str) {
+    let det = detections(&report.trace);
+    let culprit = format!("p{attacker}");
+    assert!(
+        det.iter().any(|d| d.observer.0 != attacker
+            && d.culprit == culprit
+            && d.class == class),
+        "no correct process convicted p{attacker} of {class}; detections: {det:?}"
+    );
+}
+
+/// Asserts that every correct process convicted the attacker with the
+/// expected fault class.
+fn assert_detected_by_all(report: &RunReport<ValueVector>, attacker: u32, class: &str) {
+    let det = detections(&report.trace);
+    let culprit = format!("p{attacker}");
+    let n = report.decisions.len();
+    for p in 0..n as u32 {
+        if p == attacker || report.crashed[p as usize] {
+            continue;
+        }
+        assert!(
+            det.iter()
+                .any(|d| d.observer == ProcessId(p) && d.culprit == culprit && d.class == class),
+            "p{p} never convicted p{attacker} of {class}; detections: {det:?}"
+        );
+    }
+}
+
+fn assert_no_honest_convicted(report: &RunReport<ValueVector>, attacker: u32) {
+    let culprit = format!("p{attacker}");
+    for d in detections(&report.trace) {
+        assert_eq!(
+            d.culprit, culprit,
+            "an honest process was convicted: {d:?}"
+        );
+    }
+}
+
+#[test]
+fn muteness_is_survived_and_needs_no_conviction() {
+    for seed in 0..5 {
+        let report = run_with_attack(seed, 0, |_| {
+            Box::new(MuteAfter {
+                after: VirtualTime::at(30),
+            })
+        });
+        let v = verdict(&report, 0);
+        assert!(v.ok(), "seed {seed}: {:?}", v.violations);
+        assert_no_honest_convicted(&report, 0);
+    }
+}
+
+#[test]
+fn vector_corruption_is_survived_and_detected() {
+    // The attacker is p0, the round-1 coordinator: the worst placement.
+    for seed in 0..5 {
+        let report = run_with_attack(seed, 0, |_| {
+            Box::new(VectorCorruptor {
+                entry: 2,
+                poison: 666,
+            })
+        });
+        let v = verdict(&report, 0);
+        assert!(v.ok(), "seed {seed}: {:?}", v.violations);
+        assert_detected_by_all(&report, 0, "bad-certificate");
+        assert_no_honest_convicted(&report, 0);
+        // The poison never reaches a decided vector.
+        for d in report.decisions.iter().take(N).flatten() {
+            assert_ne!(d.get(2), Some(666), "seed {seed}: poison decided");
+        }
+    }
+}
+
+#[test]
+fn round_jumping_is_survived_and_detected() {
+    // p0 (round-1 coordinator) is crashed so NEXT votes must flow; the
+    // attacker p4 corrupts its round numbers.
+    for seed in 0..5 {
+        let report =
+            run_with_attack_and_dead_coordinator(seed, 4, |_| Box::new(RoundJumper { jump: 5 }));
+        let v = verdict5(&report, 4);
+        assert!(v.ok(), "seed {seed}: {:?}", v.violations);
+        assert_detected_by_all(&report, 4, "out-of-order");
+        assert_no_honest_convicted(&report, 4);
+    }
+}
+
+#[test]
+fn vote_duplication_is_survived_and_detected() {
+    for seed in 0..5 {
+        let report = run_with_attack_and_dead_coordinator(seed, 4, |_| Box::new(VoteDuplicator));
+        let v = verdict5(&report, 4);
+        assert!(v.ok(), "seed {seed}: {:?}", v.violations);
+        assert_detected_by_all(&report, 4, "out-of-order");
+        assert_no_honest_convicted(&report, 4);
+    }
+}
+
+#[test]
+fn forged_decide_is_survived_and_detected() {
+    for seed in 0..5 {
+        let report =
+            run_with_attack(seed, 3, |_| Box::new(DecideForger::new(VirtualTime::at(1), N, 999)));
+        let v = verdict(&report, 3);
+        assert!(v.ok(), "seed {seed}: {:?}", v.violations);
+        assert_detected_by_some(&report, 3, "bad-certificate");
+        assert_no_honest_convicted(&report, 3);
+        // Nobody decided the fabricated vector.
+        for d in report.decisions.iter().enumerate().filter(|(i, _)| *i != 3) {
+            if let Some(vect) = d.1 {
+                assert_ne!(vect.get(0), Some(999), "seed {seed}: forged decide accepted");
+            }
+        }
+    }
+}
+
+#[test]
+fn wrong_key_signatures_are_survived_and_detected() {
+    for seed in 0..5 {
+        let report = run_with_attack(seed, 3, |_| {
+            let mut rng = ft_modular::crypto::rng_from_seed(0xBAD + seed);
+            Box::new(WrongKeySigner {
+                wrong: ft_modular::crypto::rsa::KeyPair::generate(&mut rng, 128),
+            })
+        });
+        let v = verdict(&report, 3);
+        assert!(v.ok(), "seed {seed}: {:?}", v.violations);
+        assert_detected_by_all(&report, 3, "bad-signature");
+        assert_no_honest_convicted(&report, 3);
+    }
+}
+
+#[test]
+fn identity_theft_is_survived_and_pinned_on_the_thief() {
+    for seed in 0..5 {
+        let report = run_with_attack(seed, 3, |_| {
+            Box::new(IdentityThief {
+                victim: ProcessId(1),
+            })
+        });
+        let v = verdict(&report, 3);
+        assert!(v.ok(), "seed {seed}: {:?}", v.violations);
+        // The channel gives the thief away: p3 is convicted, p1 is not.
+        assert_detected_by_all(&report, 3, "bad-signature");
+        assert_no_honest_convicted(&report, 3);
+    }
+}
+
+#[test]
+fn init_equivocation_cannot_break_agreement() {
+    // Not locally detectable — the test is that Agreement and Vector
+    // Validity survive anyway (the paper's Proposition 2 territory).
+    for seed in 0..8 {
+        let report = run_with_attack(seed, 3, |_| Box::new(InitEquivocator { alt: 1313 }));
+        let v = verdict(&report, 3);
+        assert!(v.ok(), "seed {seed}: {:?}", v.violations);
+        // Whatever entry 3 shows, entries of correct processes are intact.
+        if let Some(vect) = report.decisions[0].as_ref() {
+            for (k, val) in vect.iter_set() {
+                if k != 3 {
+                    assert_eq!(val, 100 + k as u64);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn spurious_current_is_survived_and_detected() {
+    for seed in 0..5 {
+        let report =
+            run_with_attack(seed, 3, |_| Box::new(SpuriousCurrent::new(VirtualTime::at(1), N)));
+        let v = verdict(&report, 3);
+        assert!(v.ok(), "seed {seed}: {:?}", v.violations);
+        // Either the bogus CURRENT arrives while the receiver still expects
+        // an in-round message (bad certificate) or out of pattern; both
+        // convict p3 at whoever is still running.
+        let det = detections(&report.trace);
+        assert!(
+            det.iter().any(|d| d.observer.0 != 3 && d.culprit == "p3"),
+            "seed {seed}: nobody convicted p3: {det:?}"
+        );
+        assert_no_honest_convicted(&report, 3);
+    }
+}
+
+#[test]
+fn replayed_recordings_are_survived_and_detected() {
+    // The attacker records its own honest output and replays it all later:
+    // every replayed message is a duplicate or stale — out-of-order.
+    for seed in 0..5 {
+        let report = run_with_attack(seed, 3, |_| Box::new(Replayer::new(VirtualTime::at(30))));
+        let v = verdict(&report, 3);
+        assert!(v.ok(), "seed {seed}: {:?}", v.violations);
+        // Detection happens whenever a replay reaches a still-running
+        // process; with fast decisions that is not guaranteed, but when a
+        // conviction exists it must classify as out-of-order and name p3.
+        for d in detections(&report.trace) {
+            assert_eq!(d.culprit, "p3", "{d:?}");
+        }
+    }
+}
+
+#[test]
+fn stripped_certificates_are_survived_and_detected() {
+    // Certificates removed from every message that had one: CURRENT/NEXT
+    // relays and decisions all lose their evidence.
+    for seed in 0..5 {
+        let report = run_with_attack(seed, 0, |_| Box::new(CertStripper));
+        let v = verdict(&report, 0);
+        assert!(v.ok(), "seed {seed}: {:?}", v.violations);
+        assert_detected_by_some(&report, 0, "bad-certificate");
+        assert_no_honest_convicted(&report, 0);
+    }
+}
+
+#[test]
+fn selective_omission_is_survived() {
+    // p3 talks only to p0 and p1; p2 experiences p3 as mute. The paper's
+    // point: faultiness is per-observer, and the quorum n − F makes the
+    // system whole anyway.
+    for seed in 0..5 {
+        let report = run_with_attack(seed, 3, |_| Box::new(SelectiveSender { cutoff: 2 }));
+        let v = verdict(&report, 3);
+        assert!(v.ok(), "seed {seed}: {:?}", v.violations);
+        assert_no_honest_convicted(&report, 3);
+    }
+}
+
+#[test]
+fn two_simultaneous_different_attackers_within_the_budget() {
+    // n = 5, F = 2: one vector corruptor AND one forged-decide injector at
+    // once. Both convicted, properties intact for the three correct
+    // processes.
+    for seed in 0..5 {
+        let setup = ProtocolConfig::new(5, 2).seed(seed).setup();
+        let report = Simulation::build_boxed(SimConfig::new(5).seed(seed), |id| {
+            let honest = ByzantineConsensus::new(&setup, id, 100 + id.0 as u64);
+            match id.0 {
+                0 => Box::new(ByzantineWrapper::new(
+                    honest,
+                    Box::new(VectorCorruptor { entry: 2, poison: 666 }),
+                    setup.keys[0].clone(),
+                    Duration::of(10),
+                )) as BoxedActor<_, _>,
+                4 => Box::new(ByzantineWrapper::new(
+                    honest,
+                    Box::new(DecideForger::new(VirtualTime::at(1), 5, 999)),
+                    setup.keys[4].clone(),
+                    Duration::of(10),
+                )),
+                _ => Box::new(honest),
+            }
+        })
+        .run();
+        let props: Vec<Value> = (0..5).map(|i| 100 + i).collect();
+        let v = check_vector_consensus(
+            &report,
+            &props,
+            &[true, false, false, false, true],
+            2,
+        );
+        assert!(v.ok(), "seed {seed}: {:?}", v.violations);
+        // Only the two attackers may appear as culprits.
+        for d in detections(&report.trace) {
+            assert!(
+                d.culprit == "p0" || d.culprit == "p4",
+                "framed an honest process: {d:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn detection_latency_is_bounded() {
+    // E4's quantitative claim: detection happens promptly after the
+    // faulty message is delivered, not rounds later.
+    let report = run_with_attack(1, 0, |_| {
+        Box::new(VectorCorruptor {
+            entry: 2,
+            poison: 666,
+        })
+    });
+    let det = detections(&report.trace);
+    let first = det.iter().map(|d| d.at).min().expect("detected at all");
+    assert!(
+        first < VirtualTime::at(200),
+        "first detection too late: {first:?}"
+    );
+}

@@ -1,0 +1,161 @@
+//! Property-based testing: randomized schedules, crash placements and
+//! attack choices must never produce a safety violation.
+//!
+//! These tests treat the whole system as the unit under test: for any
+//! random seed (network schedule), any legal crash set, and any attack
+//! from the library, the validators must report Agreement and the
+//! respective Validity property intact. Termination is also asserted —
+//! the simulator's GST default makes every run eventually synchronous.
+
+use ft_modular::certify::{Value, ValueVector};
+use ft_modular::core::byzantine::ByzantineConsensus;
+use ft_modular::core::config::ProtocolConfig;
+use ft_modular::core::crash::CrashConsensus;
+use ft_modular::core::spec::Resilience;
+use ft_modular::core::validator::{check_crash_consensus, check_vector_consensus};
+use ft_modular::faults::attacks::{DecideForger, RoundJumper, VectorCorruptor, VoteDuplicator};
+use ft_modular::faults::{ByzantineWrapper, Tamper};
+use ft_modular::fd::TimeoutDetector;
+use ft_modular::sim::runner::BoxedActor;
+use ft_modular::sim::{Duration, SimConfig, Simulation, VirtualTime};
+use proptest::prelude::*;
+
+fn proposals(n: usize) -> Vec<Value> {
+    (0..n as u64).map(|i| 100 + i).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Crash-model protocol: random seed, size, delay spread, crash set
+    /// within the bound.
+    #[test]
+    fn crash_protocol_safe_under_random_conditions(
+        seed in any::<u64>(),
+        n in 3usize..8,
+        max_delay in 5u64..80,
+        crash_bits in any::<u8>(),
+        crash_time in 0u64..300,
+    ) {
+        let fmax = (n - 1) / 2;
+        let crashed: Vec<usize> = (0..n)
+            .filter(|i| crash_bits & (1 << i) != 0)
+            .take(fmax)
+            .collect();
+        let mut cfg = SimConfig::new(n)
+            .seed(seed)
+            .delay_range(Duration::of(1), Duration::of(max_delay))
+            .gst(VirtualTime::at(3_000), Duration::of(max_delay.min(15)));
+        for &c in &crashed {
+            cfg = cfg.crash(c, VirtualTime::at(crash_time));
+        }
+        let res = Resilience::new(n, fmax);
+        let report = Simulation::build(cfg, move |id| {
+            CrashConsensus::new(
+                res,
+                id,
+                100 + id.0 as u64,
+                TimeoutDetector::new(n, Duration::of(120)),
+                Duration::of(20),
+                Some(Duration::of(35)),
+            )
+        })
+        .run();
+        let v = check_crash_consensus(&report, &proposals(n), &vec![false; n]);
+        prop_assert!(v.ok(), "seed={seed} n={n} crashed={crashed:?}: {:?}", v.violations);
+    }
+
+    /// Transformed protocol, all honest: random seed, size/budget, delays.
+    #[test]
+    fn byzantine_protocol_safe_under_random_conditions(
+        seed in any::<u64>(),
+        nf in prop_oneof![Just((3usize, 1usize)), Just((4, 1)), Just((5, 2))],
+        max_delay in 5u64..50,
+        crash_time in 0u64..200,
+        crash_someone in any::<bool>(),
+    ) {
+        let (n, f) = nf;
+        let setup = ProtocolConfig::new(n, f).seed(seed).setup();
+        let mut cfg = SimConfig::new(n)
+            .seed(seed)
+            .delay_range(Duration::of(1), Duration::of(max_delay))
+            .gst(VirtualTime::at(3_000), Duration::of(max_delay.min(15)));
+        if crash_someone {
+            cfg = cfg.crash(n - 1, VirtualTime::at(crash_time));
+        }
+        let props = proposals(n);
+        let p2 = props.clone();
+        let report = Simulation::build_boxed(cfg, move |id| {
+            Box::new(ByzantineConsensus::new(&setup, id, p2[id.index()]))
+        })
+        .run();
+        let v = check_vector_consensus(&report, &props, &vec![false; n], f);
+        prop_assert!(v.ok(), "seed={seed} n={n} f={f}: {:?}", v.violations);
+    }
+
+    /// Transformed protocol under a random attack at a random position:
+    /// safety and liveness must hold regardless.
+    #[test]
+    fn byzantine_protocol_safe_under_random_attacks(
+        seed in any::<u64>(),
+        attacker in 0u32..4,
+        attack_kind in 0u8..4,
+        fire_at in 1u64..120,
+    ) {
+        let n = 4;
+        let setup = ProtocolConfig::new(n, 1).seed(seed).setup();
+        let props = proposals(n);
+        let p2 = props.clone();
+        let report = Simulation::build_boxed(SimConfig::new(n).seed(seed), move |id| {
+            let honest = ByzantineConsensus::new(&setup, id, p2[id.index()]);
+            if id.0 == attacker {
+                let tamper: Box<dyn Tamper> = match attack_kind {
+                    0 => Box::new(VectorCorruptor { entry: (attacker as usize + 1) % n, poison: 666 }),
+                    1 => Box::new(RoundJumper { jump: 3 }),
+                    2 => Box::new(VoteDuplicator),
+                    _ => Box::new(DecideForger::new(VirtualTime::at(fire_at), n, 999)),
+                };
+                Box::new(ByzantineWrapper::new(
+                    honest,
+                    tamper,
+                    setup.keys[attacker as usize].clone(),
+                    Duration::of(15),
+                )) as BoxedActor<_, ValueVector>
+            } else {
+                Box::new(honest)
+            }
+        })
+        .run();
+        let mut faulty = vec![false; n];
+        faulty[attacker as usize] = true;
+        let v = check_vector_consensus(&report, &props, &faulty, 1);
+        prop_assert!(
+            v.ok(),
+            "seed={seed} attacker={attacker} kind={attack_kind}: {:?}",
+            v.violations
+        );
+        // No honest process is ever convicted, whatever the schedule.
+        for d in ft_modular::core::validator::detections(&report.trace) {
+            prop_assert_eq!(&d.culprit, &format!("p{attacker}"), "framed an honest process");
+        }
+    }
+
+    /// Determinism as a property: two runs with identical inputs are
+    /// bit-identical, whatever those inputs are.
+    #[test]
+    fn runs_are_reproducible(seed in any::<u64>(), n in 3usize..6) {
+        let mk = || {
+            let setup = ProtocolConfig::new(n, (n - 1) / 2).seed(seed).setup();
+            let props = proposals(n);
+            Simulation::build_boxed(SimConfig::new(n).seed(seed), move |id| {
+                Box::new(ByzantineConsensus::new(&setup, id, props[id.index()]))
+            })
+            .run()
+        };
+        let (a, b) = (mk(), mk());
+        prop_assert_eq!(a.decisions, b.decisions);
+        prop_assert_eq!(a.end_time, b.end_time);
+        prop_assert_eq!(a.metrics.messages_sent, b.metrics.messages_sent);
+        prop_assert_eq!(a.metrics.bytes_sent, b.metrics.bytes_sent);
+    }
+}
