@@ -1,7 +1,7 @@
 //! Certificate construction and full analyzer verification vs. quorum size
 //! — the dominant per-message cost of the transformed protocol.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ftm_bench::timing::{black_box, Group};
 use ftm_certify::analyzer::CertChecker;
 use ftm_certify::{Certificate, Core, Envelope, MessageCore, SignedCore, ValueVector};
 use ftm_crypto::keydir::KeyDirectory;
@@ -23,27 +23,36 @@ fn coordinator_current(n: usize, keys: &[KeyPair]) -> Envelope {
     for s in 0..quorum as u32 {
         vect.set(s as usize, 100 + s as u64);
         cert.insert(SignedCore::sign(
-            MessageCore::new(ProcessId(s), Core::Init { value: 100 + s as u64 }),
+            MessageCore::new(
+                ProcessId(s),
+                Core::Init {
+                    value: 100 + s as u64,
+                },
+            ),
             &keys[s as usize],
         ));
     }
-    Envelope::make(ProcessId(0), Core::Current { round: 1, vector: vect }, cert, &keys[0])
+    Envelope::make(
+        ProcessId(0),
+        Core::Current {
+            round: 1,
+            vector: vect,
+        },
+        cert,
+        &keys[0],
+    )
 }
 
-fn bench_certificates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("certificates");
+fn main() {
+    let mut group = Group::new("certificates");
     for n in [4usize, 7, 13, 21] {
         let (checker, keys) = fixture(n);
-        group.bench_function(format!("build_current_n{n}"), |b| {
-            b.iter(|| coordinator_current(black_box(n), &keys))
+        group.bench(&format!("build_current_n{n}"), || {
+            coordinator_current(black_box(n), &keys)
         });
         let env = coordinator_current(n, &keys);
-        group.bench_function(format!("verify_current_n{n}"), |b| {
-            b.iter(|| checker.check_envelope(black_box(&env)).expect("valid"))
+        group.bench(&format!("verify_current_n{n}"), || {
+            checker.check_envelope(black_box(&env)).expect("valid")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_certificates);
-criterion_main!(benches);

@@ -1,38 +1,29 @@
 //! End-to-end consensus runs: the crash protocol vs. the transformed
 //! protocol at equal n — the headline overhead numbers of experiment E6.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use ftm_bench::experiments::common::{run_byz_honest, run_crash};
+use ftm_bench::timing::Group;
 
-fn bench_consensus(c: &mut Criterion) {
-    let mut group = c.benchmark_group("consensus_e2e");
-    group.sample_size(10);
+fn main() {
+    let mut group = Group::new("consensus_e2e");
     for n in [4usize, 7] {
-        group.bench_function(format!("crash_n{n}"), |b| {
-            let mut seed = 0u64;
-            b.iter_batched(
-                || {
-                    seed += 1;
-                    seed
-                },
-                |s| run_crash(n, s, &[]),
-                BatchSize::SmallInput,
-            )
-        });
-        group.bench_function(format!("byzantine_n{n}"), |b| {
-            let mut seed = 0u64;
-            b.iter_batched(
-                || {
-                    seed += 1;
-                    seed
-                },
-                |s| run_byz_honest(n, (n - 1) / 2, s),
-                BatchSize::SmallInput,
-            )
-        });
+        let mut seed = 0u64;
+        group.bench_batched(
+            &format!("crash_n{n}"),
+            || {
+                seed += 1;
+                seed
+            },
+            |s| run_crash(n, s, &[]),
+        );
+        let mut seed = 0u64;
+        group.bench_batched(
+            &format!("byzantine_n{n}"),
+            || {
+                seed += 1;
+                seed
+            },
+            |s| run_byz_honest(n, (n - 1) / 2, s),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_consensus);
-criterion_main!(benches);

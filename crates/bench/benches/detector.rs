@@ -1,14 +1,14 @@
 //! Receive-pipeline throughput: how fast the module stack (signature →
 //! muteness → state machine → certificates) admits one valid message.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use ftm_bench::timing::{black_box, Group};
 use ftm_certify::analyzer::CertChecker;
 use ftm_certify::{Certificate, Core, Envelope};
 use ftm_core::transform::ModuleStack;
 use ftm_crypto::keydir::KeyDirectory;
 use ftm_sim::{Duration, ProcessId, VirtualTime};
 
-fn bench_stack(c: &mut Criterion) {
+fn main() {
     let n = 4;
     let mut rng = ftm_crypto::rng_from_seed(3);
     let (dir, keys) = KeyDirectory::generate(&mut rng, n, 128);
@@ -20,14 +20,12 @@ fn bench_stack(c: &mut Criterion) {
         &keys[1],
     );
 
-    let mut group = c.benchmark_group("detector");
-    group.bench_function("admit_valid_init", |b| {
-        b.iter_batched(
-            || ModuleStack::new(checker.clone(), Duration::of(100)),
-            |mut stack| stack.admit(ProcessId(1), black_box(&env), VirtualTime::ZERO),
-            BatchSize::SmallInput,
-        )
-    });
+    let mut group = Group::new("detector");
+    group.bench_batched(
+        "admit_valid_init",
+        || ModuleStack::new(checker.clone(), Duration::of(100)),
+        |mut stack| stack.admit(ProcessId(1), black_box(&env), VirtualTime::ZERO),
+    );
 
     // A forged envelope: rejected at the signature step.
     let forged = Envelope::make(
@@ -36,15 +34,9 @@ fn bench_stack(c: &mut Criterion) {
         Certificate::new(),
         &keys[2],
     );
-    group.bench_function("reject_forged_init", |b| {
-        b.iter_batched(
-            || ModuleStack::new(checker.clone(), Duration::of(100)),
-            |mut stack| stack.admit(ProcessId(1), black_box(&forged), VirtualTime::ZERO),
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+    group.bench_batched(
+        "reject_forged_init",
+        || ModuleStack::new(checker.clone(), Duration::of(100)),
+        |mut stack| stack.admit(ProcessId(1), black_box(&forged), VirtualTime::ZERO),
+    );
 }
-
-criterion_group!(benches, bench_stack);
-criterion_main!(benches);

@@ -1,58 +1,49 @@
 //! Reliable-broadcast end-to-end cost: eager relay (crash model) vs.
 //! Bracha double echo (arbitrary-fault model) at equal n.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ftm_bench::timing::Group;
 use ftm_rbcast::{BrachaActor, EagerActor};
 use ftm_sim::{SimConfig, Simulation};
 
-fn bench_rbcast(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rbcast");
-    group.sample_size(20);
+fn main() {
+    let mut group = Group::new("rbcast");
     for n in [4usize, 7, 10] {
-        group.bench_function(format!("eager_n{n}"), |b| {
-            let mut seed = 0u64;
-            b.iter_batched(
-                || {
-                    seed += 1;
-                    seed
-                },
-                |s| {
-                    Simulation::build(SimConfig::new(n).seed(s), |id| {
-                        if id.0 == 0 {
-                            EagerActor::broadcaster(7)
-                        } else {
-                            EagerActor::relay()
-                        }
-                    })
-                    .run()
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        let mut seed = 0u64;
+        group.bench_batched(
+            &format!("eager_n{n}"),
+            || {
+                seed += 1;
+                seed
+            },
+            |s| {
+                Simulation::build(SimConfig::new(n).seed(s), |id| {
+                    if id.0 == 0 {
+                        EagerActor::broadcaster(7)
+                    } else {
+                        EagerActor::relay()
+                    }
+                })
+                .run()
+            },
+        );
         let f = (n - 1) / 3;
-        group.bench_function(format!("bracha_n{n}"), |b| {
-            let mut seed = 0u64;
-            b.iter_batched(
-                || {
-                    seed += 1;
-                    seed
-                },
-                |s| {
-                    Simulation::build(SimConfig::new(n).seed(s), |id| {
-                        if id.0 == 0 {
-                            BrachaActor::broadcaster(n, f, 7)
-                        } else {
-                            BrachaActor::relay(n, f)
-                        }
-                    })
-                    .run()
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        let mut seed = 0u64;
+        group.bench_batched(
+            &format!("bracha_n{n}"),
+            || {
+                seed += 1;
+                seed
+            },
+            |s| {
+                Simulation::build(SimConfig::new(n).seed(s), |id| {
+                    if id.0 == 0 {
+                        BrachaActor::broadcaster(n, f, 7)
+                    } else {
+                        BrachaActor::relay(n, f)
+                    }
+                })
+                .run()
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_rbcast);
-criterion_main!(benches);

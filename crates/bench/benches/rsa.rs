@@ -1,35 +1,30 @@
 //! RSA key generation, signing and verification cost per modulus width —
 //! the per-message cryptographic overhead of the transformed protocol.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ftm_bench::timing::{black_box, Group};
 use ftm_crypto::rsa::KeyPair;
 use ftm_crypto::sha256::Sha256;
 
-fn bench_rsa(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rsa");
+fn main() {
+    let mut group = Group::new("rsa");
     for bits in [128usize, 256] {
         let mut rng = ftm_crypto::rng_from_seed(1);
         let keys = KeyPair::generate(&mut rng, bits);
         let digest = Sha256::digest(b"CURRENT(r=3, vect)");
         let sig = keys.sign_digest(&digest);
 
-        group.bench_function(format!("sign_{bits}b"), |b| {
-            b.iter(|| keys.sign_digest(black_box(&digest)))
+        group.bench(&format!("sign_{bits}b"), || {
+            keys.sign_digest(black_box(&digest))
         });
-        group.bench_function(format!("verify_{bits}b"), |b| {
-            b.iter(|| keys.public().verify_digest(black_box(&digest), black_box(&sig)))
+        group.bench(&format!("verify_{bits}b"), || {
+            keys.public()
+                .verify_digest(black_box(&digest), black_box(&sig))
         });
-        group.bench_function(format!("keygen_{bits}b"), |b| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let mut rng = ftm_crypto::rng_from_seed(seed);
-                KeyPair::generate(&mut rng, bits)
-            })
+        let mut seed = 0u64;
+        group.bench(&format!("keygen_{bits}b"), || {
+            seed += 1;
+            let mut rng = ftm_crypto::rng_from_seed(seed);
+            KeyPair::generate(&mut rng, bits)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_rsa);
-criterion_main!(benches);

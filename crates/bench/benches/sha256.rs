@@ -1,20 +1,15 @@
 //! Throughput of the from-scratch SHA-256 (feeds E6's signature-cost
 //! interpretation: every signed core is hashed once on each side).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ftm_bench::timing::{black_box, Group};
 use ftm_crypto::sha256::Sha256;
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sha256");
+fn main() {
+    let mut group = Group::new("sha256");
     for size in [64usize, 1024, 65536] {
         let data = vec![0xabu8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(format!("digest_{size}B"), |b| {
-            b.iter(|| Sha256::digest(black_box(&data)))
+        group.bench(&format!("digest_{size}B"), || {
+            Sha256::digest(black_box(&data))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_sha256);
-criterion_main!(benches);

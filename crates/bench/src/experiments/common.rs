@@ -69,7 +69,12 @@ pub fn run_byz(
     crashes: &[(usize, u64)],
     attacker: Option<(u32, Box<dyn Tamper>)>,
 ) -> (RunReport<ValueVector>, Outcome) {
-    run_byz_with_config(ProtocolConfig::new(n, f).seed(seed), seed, crashes, attacker)
+    run_byz_with_config(
+        ProtocolConfig::new(n, f).seed(seed),
+        seed,
+        crashes,
+        attacker,
+    )
 }
 
 /// Like [`run_byz`] with an explicit protocol configuration (ablation,
@@ -150,11 +155,7 @@ pub fn verdict_with_faulty(
 }
 
 /// Re-judges a finished crash-protocol run with an explicit faulty mask.
-pub fn crash_verdict_with_faulty(
-    report: &RunReport<Value>,
-    n: usize,
-    faulty: &[usize],
-) -> Verdict {
+pub fn crash_verdict_with_faulty(report: &RunReport<Value>, n: usize, faulty: &[usize]) -> Verdict {
     let mut mask = vec![false; n];
     for &i in faulty {
         mask[i] = true;

@@ -35,13 +35,19 @@ pub fn run() -> String {
          the coordinators of the first k rounds at t = 0; `1 late` crashes p0 at\n\
          t = 60 (after its CURRENT broadcast is typically in flight).\n\n",
     );
-    let mut t = Table::new(["n", "crashes", "all ok", "mean rounds", "max latency", "mean latency", "mean msgs"]);
+    let mut t = Table::new([
+        "n",
+        "crashes",
+        "all ok",
+        "mean rounds",
+        "max latency",
+        "mean latency",
+        "mean msgs",
+    ]);
     for n in [3usize, 4, 5, 7, 9, 13] {
         let fmax = (n - 1) / 2;
-        let mut schedules: Vec<(String, Vec<(usize, u64)>)> = vec![
-            ("none".into(), vec![]),
-            ("1 early".into(), vec![(0, 0)]),
-        ];
+        let mut schedules: Vec<(String, Vec<(usize, u64)>)> =
+            vec![("none".into(), vec![]), ("1 early".into(), vec![(0, 0)])];
         if fmax > 1 {
             schedules.push((format!("{fmax} early"), (0..fmax).map(|i| (i, 0)).collect()));
         }
@@ -51,15 +57,7 @@ pub fn run() -> String {
                 .map(|seed| run_crash(n, seed, &crashes).1)
                 .collect();
             let (ok, rounds, maxlat, lat, msgs) = aggregate(&outcomes);
-            t.row([
-                n.to_string(),
-                label,
-                ok,
-                rounds,
-                maxlat,
-                lat,
-                msgs,
-            ]);
+            t.row([n.to_string(), label, ok, rounds, maxlat, lat, msgs]);
         }
     }
     out.push_str(&t.to_string());
@@ -76,16 +74,40 @@ pub fn run() -> String {
          coordinator is correct); CT's phases 1 and 3 are point-to-point to\n\
          the coordinator (O(n) per phase, but more exchanges end-to-end).\n\n",
     );
-    let mut t = Table::new(["n", "crashes", "protocol", "all ok", "mean rounds", "mean latency", "mean msgs"]);
+    let mut t = Table::new([
+        "n",
+        "crashes",
+        "protocol",
+        "all ok",
+        "mean rounds",
+        "mean latency",
+        "mean msgs",
+    ]);
     for n in [4usize, 7, 9] {
         for (label, crashes) in [("none", vec![]), ("1 early", vec![(0usize, 0u64)])] {
             let hr: Vec<Outcome> = (0..SEEDS).map(|s| run_crash(n, s, &crashes).1).collect();
             let (ok, rounds, _maxlat, lat, msgs) = aggregate(&hr);
-            t.row([n.to_string(), label.to_string(), "Hurfin–Raynal".into(), ok, rounds, lat, msgs]);
+            t.row([
+                n.to_string(),
+                label.to_string(),
+                "Hurfin–Raynal".into(),
+                ok,
+                rounds,
+                lat,
+                msgs,
+            ]);
 
             let ct: Vec<Outcome> = (0..SEEDS).map(|s| run_ct(n, s, &crashes)).collect();
             let (ok, rounds, _maxlat, lat, msgs) = aggregate(&ct);
-            t.row([n.to_string(), label.to_string(), "Chandra–Toueg".into(), ok, rounds, lat, msgs]);
+            t.row([
+                n.to_string(),
+                label.to_string(),
+                "Chandra–Toueg".into(),
+                ok,
+                rounds,
+                lat,
+                msgs,
+            ]);
         }
     }
     out.push_str(&t.to_string());

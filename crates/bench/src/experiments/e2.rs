@@ -1,9 +1,9 @@
 //! E2 — the paper's motivation: the crash protocol is not Byzantine-
 //! tolerant; the transformed protocol is, under the same attacks.
 
+use ftm_certify::Value;
 use ftm_core::crash::{CrashConsensus, CrashMsg};
 use ftm_core::spec::Resilience;
-use ftm_certify::Value;
 use ftm_faults::attacks::{DecideForger, VectorCorruptor};
 use ftm_faults::crash_attacks::{CrashAttack, CrashSaboteur};
 use ftm_fd::TimeoutDetector;
@@ -58,7 +58,13 @@ pub fn run() -> String {
                 1,
                 s,
                 &[],
-                Some((0, Box::new(VectorCorruptor { entry: 2, poison: 31337 }))),
+                Some((
+                    0,
+                    Box::new(VectorCorruptor {
+                        entry: 2,
+                        poison: 31337,
+                    }),
+                )),
             );
             verdict_with_faulty(&report, N, 1, &[0]).ok()
         })

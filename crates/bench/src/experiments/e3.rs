@@ -23,17 +23,18 @@ pub fn run() -> String {
          processes no longer exist.\n\n",
     );
     let mut t = Table::new([
-        "n", "F", "scenario", "termination", "agreement+validity", "mean rounds",
+        "n",
+        "F",
+        "scenario",
+        "termination",
+        "agreement+validity",
+        "mean rounds",
     ]);
 
     for (n, f) in [(4usize, 1usize), (5, 2), (7, 3)] {
         let scenarios: Vec<Scenario> = vec![
             ("all honest".into(), vec![], None),
-            (
-                format!("{f} crash"),
-                (0..f).map(|i| (i, 0)).collect(),
-                None,
-            ),
+            (format!("{f} crash"), (0..f).map(|i| (i, 0)).collect(), None),
             (
                 format!("1 byz + {} crash", f - 1),
                 (1..f).map(|i| (i, 0)).collect(),
@@ -48,8 +49,10 @@ pub fn run() -> String {
                 let attacker = byz.map(|a| {
                     (
                         a,
-                        Box::new(VectorCorruptor { entry: n - 1, poison: 666 })
-                            as Box<dyn ftm_faults::Tamper>,
+                        Box::new(VectorCorruptor {
+                            entry: n - 1,
+                            poison: 666,
+                        }) as Box<dyn ftm_faults::Tamper>,
                     )
                 });
                 let (report, outcome) = run_byz(n, f, seed, &crashes, attacker);

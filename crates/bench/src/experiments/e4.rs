@@ -31,7 +31,12 @@ pub fn run() -> String {
             expected_class: "bad-certificate",
             attacker: 0,
             kill_coordinator: false,
-            mk: |n| Box::new(VectorCorruptor { entry: n - 2, poison: 666 }),
+            mk: |n| {
+                Box::new(VectorCorruptor {
+                    entry: n - 2,
+                    poison: 666,
+                })
+            },
         },
         Case {
             name: "forged DECIDE",
@@ -64,7 +69,11 @@ pub fn run() -> String {
             expected_class: "bad-signature",
             attacker: 3,
             kill_coordinator: false,
-            mk: |_| Box::new(IdentityThief { victim: ProcessId(1) }),
+            mk: |_| {
+                Box::new(IdentityThief {
+                    victim: ProcessId(1),
+                })
+            },
         },
         Case {
             name: "round jumping (+5)",
@@ -161,7 +170,12 @@ pub fn run() -> String {
          below 100% is the seeds in which p0's CURRENT beat the t = 5 gag\n\
          out the door — the round then completes and nothing needs detecting.\n\n",
     );
-    let mut t = Table::new(["runs", "suspicion coverage", "mean suspicion latency", "properties"]);
+    let mut t = Table::new([
+        "runs",
+        "suspicion coverage",
+        "mean suspicion latency",
+        "properties",
+    ]);
     let mut covered = 0;
     let mut ok = 0;
     let mut latencies = Vec::new();
@@ -171,7 +185,12 @@ pub fn run() -> String {
             1,
             seed,
             &[],
-            Some((0, Box::new(MuteAfter { after: VirtualTime::at(5) }))),
+            Some((
+                0,
+                Box::new(MuteAfter {
+                    after: VirtualTime::at(5),
+                }),
+            )),
         );
         if verdict_with_faulty(&report, 4, 1, &[0]).ok() {
             ok += 1;

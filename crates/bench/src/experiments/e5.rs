@@ -37,7 +37,11 @@ pub fn run() -> String {
         let psi = (n as i64 - 2 * f as i64).max(1) as usize;
         let scenarios: Vec<Scenario> = vec![
             ("all honest".into(), vec![], None),
-            (format!("{f} crash @ t=0"), (0..f).map(|i| (i, 0)).collect(), None),
+            (
+                format!("{f} crash @ t=0"),
+                (0..f).map(|i| (i, 0)).collect(),
+                None,
+            ),
             ("1 equivocator".into(), vec![], Some((n - 1) as u32)),
         ];
         for (label, crashes, byz) in scenarios {
@@ -46,7 +50,10 @@ pub fn run() -> String {
             let mut ok = 0;
             for seed in 0..SEEDS {
                 let attacker = byz.map(|a| {
-                    (a, Box::new(InitEquivocator { alt: 1313 }) as Box<dyn Tamper>)
+                    (
+                        a,
+                        Box::new(InitEquivocator { alt: 1313 }) as Box<dyn Tamper>,
+                    )
                 });
                 let (report, _) = run_byz(n, f, seed, &crashes, attacker);
                 let mut faulty: Vec<usize> = crashes.iter().map(|&(p, _)| p).collect();
@@ -61,10 +68,7 @@ pub fn run() -> String {
                     ok += 1;
                 }
                 for d in report.decisions.iter().flatten() {
-                    let correct_entries = d
-                        .iter_set()
-                        .filter(|(k, _)| !faulty.contains(k))
-                        .count();
+                    let correct_entries = d.iter_set().filter(|(k, _)| !faulty.contains(k)).count();
                     min_correct = min_correct.min(correct_entries);
                 }
             }

@@ -80,12 +80,7 @@ pub fn run() -> String {
             .collect();
         let rounds: Vec<f64> = outcomes.iter().map(|o| o.rounds as f64).collect();
         let (m, _b, per, _lat) = means(&outcomes);
-        t.row([
-            format!("Δ={timeout}"),
-            mean(&rounds),
-            m,
-            per,
-        ]);
+        t.row([format!("Δ={timeout}"), mean(&rounds), m, per]);
     }
     out.push_str(&t.to_string());
     out.push('\n');

@@ -35,16 +35,29 @@ pub fn run() -> String {
     ]);
     for timeout in [10u64, 25, 50, 100, 200, 400, 800] {
         let mut a1 = TimeoutDetector::new(1, Duration::of(timeout));
-        let da = replay_quality(&mut a1, peer, &mute, Some(VirtualTime::at(1_000)), horizon, q);
+        let da = replay_quality(
+            &mut a1,
+            peer,
+            &mute,
+            Some(VirtualTime::at(1_000)),
+            horizon,
+            q,
+        );
         let mut a2 = TimeoutDetector::new(1, Duration::of(timeout));
         let ma = replay_quality(&mut a2, peer, &slow, None, horizon, q);
         let mut q1 = QuietDetector::new(1, Duration::of(timeout));
-        let dq = replay_quality(&mut q1, peer, &mute, Some(VirtualTime::at(1_000)), horizon, q);
+        let dq = replay_quality(
+            &mut q1,
+            peer,
+            &mute,
+            Some(VirtualTime::at(1_000)),
+            horizon,
+            q,
+        );
         let mut q2 = QuietDetector::new(1, Duration::of(timeout));
         let mq = replay_quality(&mut q2, peer, &slow, None, horizon, q);
-        let fmt = |d: Option<Duration>| {
-            d.map(|x| format!("{x}")).unwrap_or_else(|| "missed".into())
-        };
+        let fmt =
+            |d: Option<Duration>| d.map(|x| format!("{x}")).unwrap_or_else(|| "missed".into());
         t.row([
             format!("{timeout}"),
             fmt(da.detection_time),

@@ -17,17 +17,31 @@ const SEEDS: u64 = 15;
 fn checks(name: &str) -> Checks {
     match name {
         "full stack" => Checks::default(),
-        "no signatures" => Checks { signatures: false, ..Checks::default() },
-        "no certificates" => Checks { certificates: false, ..Checks::default() },
-        "no state machines" => Checks { timing: false, ..Checks::default() },
+        "no signatures" => Checks {
+            signatures: false,
+            ..Checks::default()
+        },
+        "no certificates" => Checks {
+            certificates: false,
+            ..Checks::default()
+        },
+        "no state machines" => Checks {
+            timing: false,
+            ..Checks::default()
+        },
         other => panic!("unknown stack configuration {other:?}"),
     }
 }
 
 fn attack(name: &str) -> Box<dyn Tamper> {
     match name {
-        "vector corruption" => Box::new(VectorCorruptor { entry: 2, poison: 666 }),
-        "identity theft" => Box::new(IdentityThief { victim: ProcessId(1) }),
+        "vector corruption" => Box::new(VectorCorruptor {
+            entry: 2,
+            poison: 666,
+        }),
+        "identity theft" => Box::new(IdentityThief {
+            victim: ProcessId(1),
+        }),
         "vote duplication" => Box::new(VoteDuplicator),
         other => panic!("unknown attack {other:?}"),
     }
@@ -54,7 +68,12 @@ pub fn run() -> String {
     );
     let mut t = Table::new(["stack", "attack", "all properties", "honest framed"]);
 
-    for stack_name in ["full stack", "no signatures", "no certificates", "no state machines"] {
+    for stack_name in [
+        "full stack",
+        "no signatures",
+        "no certificates",
+        "no state machines",
+    ] {
         for attack_name in ["vector corruption", "identity theft", "vote duplication"] {
             let attacker = attacker_for(attack_name);
             let mut ok = 0;
@@ -66,7 +85,9 @@ pub fn run() -> String {
                     } else {
                         (N, 1, vec![], attacker)
                     };
-                let config = ProtocolConfig::new(n, f).seed(seed).checks(checks(stack_name));
+                let config = ProtocolConfig::new(n, f)
+                    .seed(seed)
+                    .checks(checks(stack_name));
                 let (report, _) =
                     run_byz_with_config(config, seed, &crashes, Some((att, attack(attack_name))));
                 let mut faulty: Vec<usize> = crashes.iter().map(|&(p, _)| p).collect();

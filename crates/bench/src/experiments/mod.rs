@@ -2,6 +2,7 @@
 
 pub mod common;
 pub mod e1;
+pub mod e10;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -12,7 +13,7 @@ pub mod e8;
 pub mod e9;
 
 /// All experiment ids in order.
-pub const ALL: [&str; 9] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+pub const ALL: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
 
 /// Runs one experiment by id, returning its markdown section.
 ///
@@ -30,6 +31,7 @@ pub fn run(id: &str) -> String {
         "e7" => e7::run(),
         "e8" => e8::run(),
         "e9" => e9::run(),
-        other => panic!("unknown experiment id {other:?} (expected e1..e9)"),
+        "e10" => e10::run(),
+        other => panic!("unknown experiment id {other:?} (expected e1..e10)"),
     }
 }

@@ -13,5 +13,6 @@
 
 pub mod experiments;
 pub mod report;
+pub mod timing;
 
 pub use report::Table;

@@ -1,0 +1,95 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace builds with no external crates (the toolchain image is
+//! offline), so the `benches/` targets cannot use a benchmarking
+//! framework. This module is the replacement: calibrated inner-loop
+//! timing with [`std::time::Instant`], reporting the median and best of a
+//! handful of samples. It is deliberately simple — good enough to compare
+//! orders of magnitude across commits on the same machine, which is all
+//! the experiment write-ups need.
+
+use std::time::Instant;
+
+/// Re-exported so bench targets keep the familiar optimization barrier.
+pub use std::hint::black_box;
+
+/// Wall-clock budget per sample: long enough to drown out timer noise.
+const TARGET_SAMPLE_NANOS: u64 = 20_000_000;
+
+/// Samples per benchmark; the median is robust to a couple of outliers.
+const SAMPLES: usize = 7;
+
+/// A named group of benchmarks printing aligned `ns/op` lines.
+pub struct Group {
+    name: String,
+}
+
+impl Group {
+    /// Starts a group and prints its header.
+    pub fn new(name: &str) -> Self {
+        println!("\n== {name} ==");
+        Group { name: name.into() }
+    }
+
+    /// Benchmarks `f` by inner-loop batching: the per-op cost is the
+    /// sample time divided by the iteration count, so per-call timer
+    /// overhead vanishes. Use for operations without per-iteration setup.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        let started = Instant::now();
+        black_box(f());
+        let once = (started.elapsed().as_nanos() as u64).max(1);
+        let iters = (TARGET_SAMPLE_NANOS / once).clamp(1, 1_000_000);
+
+        let mut samples = [0u64; SAMPLES];
+        for s in samples.iter_mut() {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            *s = t.elapsed().as_nanos() as u64 / iters;
+        }
+        self.report(name, &mut samples, iters);
+    }
+
+    /// Benchmarks `f` with a fresh `setup()` value per call, timing only
+    /// `f`. Each call is timed individually, so the per-op figure carries
+    /// ~tens of nanoseconds of timer overhead — negligible for the
+    /// microsecond-and-up operations this is used on.
+    pub fn bench_batched<S, T>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> T,
+    ) {
+        let input = setup();
+        let started = Instant::now();
+        black_box(f(input));
+        let once = (started.elapsed().as_nanos() as u64).max(1);
+        let iters = (TARGET_SAMPLE_NANOS / once).clamp(1, 10_000);
+
+        let mut samples = [0u64; SAMPLES];
+        for s in samples.iter_mut() {
+            let mut total = 0u64;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                black_box(f(input));
+                total += t.elapsed().as_nanos() as u64;
+            }
+            *s = total / iters;
+        }
+        self.report(name, &mut samples, iters);
+    }
+
+    fn report(&self, name: &str, samples: &mut [u64], iters: u64) {
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let best = samples[0];
+        println!(
+            "{:<30} {:>12} ns/op   (best {:>12}, {iters} iters x {SAMPLES} samples)",
+            format!("{}/{name}", self.name),
+            median,
+            best,
+        );
+    }
+}

@@ -393,9 +393,15 @@ mod tests {
 
     /// INIT items from p0..p2 (a quorum of 3) with value = 10 + sender.
     fn init_quorum(f: &Fixture) -> Certificate {
-        Certificate::from_items(
-            (0..3u32).map(|s| signed(f, s, Core::Init { value: 10 + s as u64 })),
-        )
+        Certificate::from_items((0..3u32).map(|s| {
+            signed(
+                f,
+                s,
+                Core::Init {
+                    value: 10 + s as u64,
+                },
+            )
+        }))
     }
 
     /// The vector those INITs witness.
@@ -484,7 +490,10 @@ mod tests {
         vect.set(3, 999); // no INIT from p3 in the certificate
         let env = Envelope::make(
             ProcessId(0),
-            Core::Current { round: 1, vector: vect },
+            Core::Current {
+                round: 1,
+                vector: vect,
+            },
             init_quorum(&f),
             &f.keys[0],
         );
@@ -500,7 +509,10 @@ mod tests {
         vect.set(1, 999); // p1's INIT said 11
         let env = Envelope::make(
             ProcessId(0),
-            Core::Current { round: 1, vector: vect },
+            Core::Current {
+                round: 1,
+                vector: vect,
+            },
             init_quorum(&f),
             &f.keys[0],
         );
@@ -514,7 +526,10 @@ mod tests {
         // Round 2's coordinator is p1. Without NEXT(1) quorum: rejected.
         let env = Envelope::make(
             ProcessId(1),
-            Core::Current { round: 2, vector: vect.clone() },
+            Core::Current {
+                round: 2,
+                vector: vect.clone(),
+            },
             init_quorum(&f),
             &f.keys[1],
         );
@@ -523,7 +538,10 @@ mod tests {
         // With the quorum: accepted.
         let env = Envelope::make(
             ProcessId(1),
-            Core::Current { round: 2, vector: vect },
+            Core::Current {
+                round: 2,
+                vector: vect,
+            },
             init_quorum(&f).union(&next_quorum(&f, 1)),
             &f.keys[1],
         );
@@ -547,7 +565,10 @@ mod tests {
         cert.insert(coord_current);
         let env = Envelope::make(
             ProcessId(2),
-            Core::Current { round: 1, vector: vect.clone() },
+            Core::Current {
+                round: 1,
+                vector: vect.clone(),
+            },
             cert,
             &f.keys[2],
         );
@@ -555,7 +576,10 @@ mod tests {
         // Without the coordinator's CURRENT: substituted message, rejected.
         let env = Envelope::make(
             ProcessId(2),
-            Core::Current { round: 1, vector: vect },
+            Core::Current {
+                round: 1,
+                vector: vect,
+            },
             init_quorum(&f),
             &f.keys[2],
         );
@@ -600,15 +624,32 @@ mod tests {
         let f = fixture();
         let vect = witnessed_vector();
         // (c) End of round.
-        let env = Envelope::make(ProcessId(3), Core::Next { round: 1 }, next_quorum(&f, 1), &f.keys[3]);
+        let env = Envelope::make(
+            ProcessId(3),
+            Core::Next { round: 1 },
+            next_quorum(&f, 1),
+            &f.keys[3],
+        );
         assert_eq!(f.checker.check_next(&env).unwrap(), NextTrigger::EndOfRound);
         // (a) Suspicion: empty certificate.
-        let env = Envelope::make(ProcessId(3), Core::Next { round: 1 }, Certificate::new(), &f.keys[3]);
+        let env = Envelope::make(
+            ProcessId(3),
+            Core::Next { round: 1 },
+            Certificate::new(),
+            &f.keys[3],
+        );
         assert_eq!(f.checker.check_next(&env).unwrap(), NextTrigger::Suspicion);
         // (b) change_mind: one CURRENT + two NEXT = 3 voters, no quorum of
         // either kind.
         let mut cert = Certificate::from_items([
-            signed(&f, 0, Core::Current { round: 1, vector: vect }),
+            signed(
+                &f,
+                0,
+                Core::Current {
+                    round: 1,
+                    vector: vect,
+                },
+            ),
             signed(&f, 1, Core::Next { round: 1 }),
             signed(&f, 2, Core::Next { round: 1 }),
         ]);
@@ -646,7 +687,10 @@ mod tests {
         }));
         let env = Envelope::make(
             ProcessId(0),
-            Core::Decide { round: 1, vector: vect.clone() },
+            Core::Decide {
+                round: 1,
+                vector: vect.clone(),
+            },
             current_quorum.clone(),
             &f.keys[0],
         );
@@ -656,7 +700,10 @@ mod tests {
         let other = ValueVector::from_entries(vec![Some(10), Some(11), Some(99), None]);
         let env = Envelope::make(
             ProcessId(0),
-            Core::Decide { round: 1, vector: other },
+            Core::Decide {
+                round: 1,
+                vector: other,
+            },
             current_quorum,
             &f.keys[0],
         );
@@ -675,8 +722,8 @@ mod tests {
             MessageCore::new(ProcessId(0), Core::Init { value: 66 }),
             // Signature over the *honest* core — invalid for the new core.
             {
-                let digest = MessageCore::new(ProcessId(0), Core::Init { value: 10 })
-                    .canonical_digest();
+                let digest =
+                    MessageCore::new(ProcessId(0), Core::Init { value: 10 }).canonical_digest();
                 let _ = honest;
                 f.keys[0].sign_digest(&digest)
             },
@@ -684,7 +731,10 @@ mod tests {
         cert.insert(tampered);
         let env = Envelope::make(
             ProcessId(0),
-            Core::Current { round: 1, vector: vect },
+            Core::Current {
+                round: 1,
+                vector: vect,
+            },
             cert,
             &f.keys[0],
         );

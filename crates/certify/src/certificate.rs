@@ -104,7 +104,9 @@ impl Certificate {
 
     /// Distinct senders of items of a given kind and round.
     pub fn senders_of(&self, kind: MessageKind, round: Round) -> HashSet<ProcessId> {
-        self.iter_kind_round(kind, round).map(|i| i.sender()).collect()
+        self.iter_kind_round(kind, round)
+            .map(|i| i.sender())
+            .collect()
     }
 
     /// Count of distinct senders of `(kind, round)` items — the
@@ -148,9 +150,8 @@ impl Certificate {
         round: Round,
         vector: &ValueVector,
     ) -> Option<&SignedCore> {
-        self.iter_kind_round(MessageKind::Current, round).find(|i| {
-            i.sender() == sender && i.core().core.vector() == Some(vector)
-        })
+        self.iter_kind_round(MessageKind::Current, round)
+            .find(|i| i.sender() == sender && i.core().core.vector() == Some(vector))
     }
 
     /// Distinct senders that contributed a CURRENT or NEXT item for
@@ -271,7 +272,14 @@ mod tests {
         let ks = keys();
         let v = ValueVector::empty(2);
         let cert = Certificate::from_items([
-            signed(0, Core::Current { round: 1, vector: v }, &ks),
+            signed(
+                0,
+                Core::Current {
+                    round: 1,
+                    vector: v,
+                },
+                &ks,
+            ),
             signed(1, Core::Next { round: 1 }, &ks),
             signed(2, Core::Next { round: 2 }, &ks),
         ]);

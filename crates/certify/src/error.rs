@@ -78,7 +78,11 @@ mod tests {
 
     #[test]
     fn display_names_culprit_and_class() {
-        let e = CertifyError::new(ProcessId(3), FaultClass::BadCertificate, "too few INIT items");
+        let e = CertifyError::new(
+            ProcessId(3),
+            FaultClass::BadCertificate,
+            "too few INIT items",
+        );
         let s = e.to_string();
         assert!(s.contains("p3"));
         assert!(s.contains("bad-certificate"));

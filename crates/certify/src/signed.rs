@@ -7,7 +7,7 @@ use ftm_crypto::keydir::KeyDirectory;
 use ftm_crypto::rsa::{KeyPair, Signature};
 use ftm_crypto::sha256::Digest;
 use ftm_crypto::wire::{CanonicalDecode, CanonicalEncode, DecodeError, Decoder, Encoder};
-use ftm_sim::{Payload, ProcessId};
+use ftm_sim::{LayerSplit, Payload, ProcessId};
 
 use crate::certificate::Certificate;
 use crate::error::{CertifyError, FaultClass};
@@ -245,6 +245,21 @@ impl Payload for Envelope {
     fn label(&self) -> String {
         format!("{} cert={}", self.signed.core().label(), self.cert.len())
     }
+
+    fn layer_split(&self) -> LayerSplit {
+        // The wire envelope decomposes exactly: the protocol core's
+        // canonical bytes, the signature layer's bytes over that core, and
+        // the certification layer's carried evidence (certificate items,
+        // cores *and* their signatures — the evidence only exists because
+        // of certification).
+        let signature_bytes = self.signed.signature.size_bytes();
+        let certificate_bytes = self.cert.size_bytes();
+        LayerSplit {
+            signature_bytes,
+            certificate_bytes,
+            protocol_bytes: self.size_bytes() - signature_bytes - certificate_bytes,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -337,6 +352,41 @@ mod tests {
                 "accepted truncation at {cut}"
             );
         }
+    }
+
+    #[test]
+    fn layer_split_decomposes_wire_bytes_exactly() {
+        let (_, keys) = setup();
+        let core = MessageCore::new(ProcessId(1), Core::Init { value: 5 });
+        let witness = SignedCore::sign(core, &keys[1]);
+        let mut cert = Certificate::new();
+        cert.insert(witness);
+        let env = Envelope::make(
+            ProcessId(0),
+            Core::Current {
+                round: 1,
+                vector: ValueVector::empty(3),
+            },
+            cert,
+            &keys[0],
+        );
+        let split = env.layer_split();
+        assert_eq!(split.total(), env.size_bytes());
+        assert!(split.signature_bytes > 0, "signature layer unaccounted");
+        assert!(split.certificate_bytes > 0, "certificate layer unaccounted");
+        assert!(split.protocol_bytes > 0, "protocol core unaccounted");
+
+        // A certificate-free INIT still pays the signature layer.
+        let bare = Envelope::make(
+            ProcessId(0),
+            Core::Init { value: 9 },
+            Certificate::new(),
+            &keys[0],
+        );
+        let bare_split = bare.layer_split();
+        assert_eq!(bare_split.certificate_bytes, 0);
+        assert!(bare_split.signature_bytes > 0);
+        assert_eq!(bare_split.total(), bare.size_bytes());
     }
 
     #[test]

@@ -4,13 +4,16 @@
 //! executable form of the paper's reliability requirement on the
 //! certification module: no process can tamper with a message or its
 //! certificate without being detected.
+//!
+//! Mutations are drawn from the in-tree seeded PRNG, so each failing case
+//! is identified by its iteration number and replays identically.
 
 use ftm_certify::analyzer::CertChecker;
 use ftm_certify::{Certificate, Core, Envelope, MessageCore, SignedCore, ValueVector};
 use ftm_crypto::keydir::KeyDirectory;
+use ftm_crypto::prng::{Rng64, SplitMix64};
 use ftm_crypto::rsa::KeyPair;
 use ftm_sim::ProcessId;
-use proptest::prelude::*;
 
 const N: usize = 4;
 const F: usize = 1;
@@ -34,12 +37,21 @@ fn valid_current(keys: &[KeyPair]) -> (Envelope, ValueVector) {
     let mut cert = Certificate::new();
     for s in 0..(N - F) as u32 {
         vect.set(s as usize, 100 + s as u64);
-        cert.insert(signed(keys, s, Core::Init { value: 100 + s as u64 }));
+        cert.insert(signed(
+            keys,
+            s,
+            Core::Init {
+                value: 100 + s as u64,
+            },
+        ));
     }
     (
         Envelope::make(
             ProcessId(0),
-            Core::Current { round: 1, vector: vect.clone() },
+            Core::Current {
+                round: 1,
+                vector: vect.clone(),
+            },
             cert,
             &keys[0],
         ),
@@ -61,82 +73,107 @@ fn valid_decide(keys: &[KeyPair], vect: &ValueVector) -> Envelope {
     }));
     Envelope::make(
         ProcessId(0),
-        Core::Decide { round: 1, vector: vect.clone() },
+        Core::Decide {
+            round: 1,
+            vector: vect.clone(),
+        },
         cert,
         &keys[0],
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Mutating any vector entry of a signed CURRENT — with a re-sign by
+/// the sender, as a Byzantine process would — must be rejected unless
+/// the mutation is the identity.
+#[test]
+fn mutated_current_vectors_are_rejected() {
+    let (checker, keys) = fixture();
+    let (env, vect) = valid_current(&keys);
+    assert!(checker.check_envelope(&env).is_ok());
 
-    /// Mutating any vector entry of a signed CURRENT — with a re-sign by
-    /// the sender, as a Byzantine process would — must be rejected unless
-    /// the mutation is the identity.
-    #[test]
-    fn mutated_current_vectors_are_rejected(entry in 0usize..N, value in 0u64..2000) {
-        let (checker, keys) = fixture();
-        let (env, vect) = valid_current(&keys);
-        prop_assert!(checker.check_envelope(&env).is_ok());
+    let mut rng = SplitMix64::from_seed(0xF0221);
+    for case in 0..64 {
+        let entry = rng.gen_range_u64(0, N as u64 - 1) as usize;
+        let value = rng.gen_range_u64(0, 1999);
 
         let mut mutated = vect.clone();
         mutated.set(entry, value);
         let forged = Envelope::make(
             ProcessId(0),
-            Core::Current { round: 1, vector: mutated.clone() },
+            Core::Current {
+                round: 1,
+                vector: mutated.clone(),
+            },
             env.cert.clone(),
             &keys[0],
         );
         if mutated == vect {
-            prop_assert!(checker.check_envelope(&forged).is_ok());
+            assert!(checker.check_envelope(&forged).is_ok(), "case {case}");
         } else {
-            prop_assert!(checker.check_envelope(&forged).is_err());
+            assert!(checker.check_envelope(&forged).is_err(), "case {case}");
         }
     }
+}
 
-    /// Claiming any other sender for a valid envelope must be rejected
-    /// (even with a re-sign by the claimed sender's *actual* key being
-    /// unavailable, the attacker can only sign as itself).
-    #[test]
-    fn reattributed_messages_are_rejected(claimed in 1u32..N as u32) {
-        let (checker, keys) = fixture();
-        let (env, vect) = valid_current(&keys);
+/// Claiming any other sender for a valid envelope must be rejected
+/// (even with a re-sign by the claimed sender's *actual* key being
+/// unavailable, the attacker can only sign as itself).
+#[test]
+fn reattributed_messages_are_rejected() {
+    let (checker, keys) = fixture();
+    let (env, vect) = valid_current(&keys);
+    for claimed in 1..N as u32 {
         // The attacker (p3) re-signs the coordinator's message claiming
         // `claimed`'s identity with its own key.
         let forged = Envelope::make(
             ProcessId(claimed),
-            Core::Current { round: 1, vector: vect },
+            Core::Current {
+                round: 1,
+                vector: vect.clone(),
+            },
             env.cert.clone(),
             &keys[3],
         );
-        prop_assert!(checker.check_envelope(&forged).is_err());
+        assert!(
+            checker.check_envelope(&forged).is_err(),
+            "claimed={claimed}"
+        );
     }
+}
 
-    /// Changing the round of a valid CURRENT invalidates its round-entry
-    /// evidence.
-    #[test]
-    fn round_shifted_currents_are_rejected(round in 2u64..50) {
-        let (checker, keys) = fixture();
-        let (env, vect) = valid_current(&keys);
+/// Changing the round of a valid CURRENT invalidates its round-entry
+/// evidence.
+#[test]
+fn round_shifted_currents_are_rejected() {
+    let (checker, keys) = fixture();
+    let (env, vect) = valid_current(&keys);
+    let mut rng = SplitMix64::from_seed(0xF0223);
+    for case in 0..48 {
+        let round = rng.gen_range_u64(2, 49);
         let coord = checker.coordinator(round);
         let forged = Envelope::make(
             coord,
-            Core::Current { round, vector: vect },
+            Core::Current {
+                round,
+                vector: vect.clone(),
+            },
             env.cert.clone(),
             &keys[coord.index()],
         );
-        prop_assert!(checker.check_envelope(&forged).is_err());
+        assert!(checker.check_envelope(&forged).is_err(), "case {case}");
     }
+}
 
-    /// Dropping any single item from a DECIDE's quorum certificate drops
-    /// it below n − F and must be rejected.
-    #[test]
-    fn thinned_decide_quorums_are_rejected(drop_idx in 0usize..(N - F)) {
-        let (checker, keys) = fixture();
-        let (_, vect) = valid_current(&keys);
-        let env = valid_decide(&keys, &vect);
-        prop_assert!(checker.check_envelope(&env).is_ok());
+/// Dropping any single item from a DECIDE's quorum certificate drops
+/// it below n − F and must be rejected.
+#[test]
+fn thinned_decide_quorums_are_rejected() {
+    let (checker, keys) = fixture();
+    let (_, vect) = valid_current(&keys);
+    let env = valid_decide(&keys, &vect);
+    assert!(checker.check_envelope(&env).is_ok());
 
+    for drop_idx in 0..(N - F) {
         let thinned: Certificate = env
             .cert
             .iter()
@@ -144,83 +181,107 @@ proptest! {
             .filter(|(i, _)| *i != drop_idx)
             .map(|(_, item)| item.clone())
             .collect();
-        let forged = Envelope::make(
-            ProcessId(0),
-            env.core().clone(),
-            thinned,
-            &keys[0],
+        let forged = Envelope::make(ProcessId(0), env.core().clone(), thinned, &keys[0]);
+        assert!(
+            checker.check_envelope(&forged).is_err(),
+            "drop_idx={drop_idx}"
         );
-        prop_assert!(checker.check_envelope(&forged).is_err());
     }
+}
 
-    /// A DECIDE whose vector differs from the quorum's vector in any entry
-    /// must be rejected.
-    #[test]
-    fn decide_vector_must_match_quorum(entry in 0usize..N, value in 0u64..2000) {
-        let (checker, keys) = fixture();
-        let (_, vect) = valid_current(&keys);
-        let env = valid_decide(&keys, &vect);
+/// A DECIDE whose vector differs from the quorum's vector in any entry
+/// must be rejected.
+#[test]
+fn decide_vector_must_match_quorum() {
+    let (checker, keys) = fixture();
+    let (_, vect) = valid_current(&keys);
+    let env = valid_decide(&keys, &vect);
+    let mut rng = SplitMix64::from_seed(0xF0225);
+    for case in 0..64 {
+        let entry = rng.gen_range_u64(0, N as u64 - 1) as usize;
+        let value = rng.gen_range_u64(0, 1999);
         let mut mutated = vect.clone();
         mutated.set(entry, value);
         let forged = Envelope::make(
             ProcessId(0),
-            Core::Decide { round: 1, vector: mutated.clone() },
+            Core::Decide {
+                round: 1,
+                vector: mutated.clone(),
+            },
             env.cert.clone(),
             &keys[0],
         );
         if mutated == vect {
-            prop_assert!(checker.check_envelope(&forged).is_ok());
+            assert!(checker.check_envelope(&forged).is_ok(), "case {case}");
         } else {
-            prop_assert!(checker.check_envelope(&forged).is_err());
+            assert!(checker.check_envelope(&forged).is_err(), "case {case}");
         }
-    }
-
-    /// Swapping a certificate item's signature for another item's (mix and
-    /// match of genuine parts) must be rejected.
-    #[test]
-    fn franken_certificates_are_rejected(a in 0usize..(N - F), b in 0usize..(N - F)) {
-        prop_assume!(a != b);
-        let (checker, keys) = fixture();
-        let (env, vect) = valid_current(&keys);
-        let items: Vec<&SignedCore> = env.cert.iter().collect();
-        // Rebuild item `a`'s core with item `b`'s signature bytes: both are
-        // genuine, but the pair is not.
-        let franken = SignedCore::from_parts(
-            items[a].core().clone(),
-            ftm_crypto::rsa::Signature::from_bytes(&items[b].signature_bytes()),
-        );
-        let mut cert: Certificate = env
-            .cert
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != a)
-            .map(|(_, item)| item.clone())
-            .collect();
-        cert.insert(franken);
-        let forged = Envelope::make(
-            ProcessId(0),
-            Core::Current { round: 1, vector: vect },
-            cert,
-            &keys[0],
-        );
-        prop_assert!(checker.check_envelope(&forged).is_err());
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Swapping a certificate item's signature for another item's (mix and
+/// match of genuine parts) must be rejected.
+#[test]
+fn franken_certificates_are_rejected() {
+    let (checker, keys) = fixture();
+    let (env, vect) = valid_current(&keys);
+    for a in 0..(N - F) {
+        for b in 0..(N - F) {
+            if a == b {
+                continue;
+            }
+            let items: Vec<&SignedCore> = env.cert.iter().collect();
+            // Rebuild item `a`'s core with item `b`'s signature bytes: both
+            // are genuine, but the pair is not.
+            let franken = SignedCore::from_parts(
+                items[a].core().clone(),
+                ftm_crypto::rsa::Signature::from_bytes(&items[b].signature_bytes()),
+            );
+            let mut cert: Certificate = env
+                .cert
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != a)
+                .map(|(_, item)| item.clone())
+                .collect();
+            cert.insert(franken);
+            let forged = Envelope::make(
+                ProcessId(0),
+                Core::Current {
+                    round: 1,
+                    vector: vect.clone(),
+                },
+                cert,
+                &keys[0],
+            );
+            assert!(checker.check_envelope(&forged).is_err(), "a={a} b={b}");
+        }
+    }
+}
 
-    /// Wire round-trip: any structurally valid envelope survives
-    /// serialization bit-exactly, signature included.
-    #[test]
-    fn envelopes_roundtrip_through_wire_bytes(
-        sender in 0u32..N as u32,
-        kind in 0u8..4,
-        round in 1u64..50,
-        entries in proptest::collection::vec(proptest::option::of(any::<u64>()), 0..6),
-        cert_values in proptest::collection::vec(any::<u64>(), 0..4),
-    ) {
-        let (_checker, keys) = fixture();
+/// Wire round-trip: any structurally valid envelope survives
+/// serialization bit-exactly, signature included.
+#[test]
+fn envelopes_roundtrip_through_wire_bytes() {
+    let (_checker, keys) = fixture();
+    let mut rng = SplitMix64::from_seed(0xF0227);
+    for case in 0..48 {
+        let sender = rng.gen_range_u64(0, N as u64 - 1) as u32;
+        let kind = rng.gen_range_u64(0, 3) as u8;
+        let round = rng.gen_range_u64(1, 49);
+        let entries: Vec<Option<u64>> = (0..rng.gen_range_u64(0, 5))
+            .map(|_| {
+                if rng.next_u64() & 1 == 0 {
+                    None
+                } else {
+                    Some(rng.next_u64())
+                }
+            })
+            .collect();
+        let cert_values: Vec<u64> = (0..rng.gen_range_u64(0, 3))
+            .map(|_| rng.next_u64())
+            .collect();
+
         let vector = ValueVector::from_entries(entries);
         let core = match kind {
             0 => Core::Init { value: round },
@@ -236,19 +297,23 @@ proptest! {
         );
         let env = Envelope::make(ProcessId(sender), core, cert, &keys[sender as usize]);
         let back = Envelope::from_bytes(&env.to_bytes()).expect("roundtrip");
-        prop_assert_eq!(&back, &env);
-        prop_assert_eq!(back.signed.digest(), env.signed.digest());
+        assert_eq!(back, env, "case {case}");
+        assert_eq!(back.signed.digest(), env.signed.digest(), "case {case}");
     }
+}
 
-    /// Bit-flips in wire bytes never produce an envelope that both decodes
-    /// AND passes the analyzer as someone else's message: either decoding
-    /// fails, or the signature check pins the blame correctly.
-    #[test]
-    fn bitflipped_envelopes_never_forge(flip_byte in 0usize..200, flip_bit in 0u8..8) {
-        let (checker, keys) = fixture();
-        let (env, _) = valid_current(&keys);
+/// Bit-flips in wire bytes never produce an envelope that both decodes
+/// AND passes the analyzer as someone else's message: either decoding
+/// fails, or the signature check pins the blame correctly.
+#[test]
+fn bitflipped_envelopes_never_forge() {
+    let (checker, keys) = fixture();
+    let (env, _) = valid_current(&keys);
+    let mut rng = SplitMix64::from_seed(0xF0228);
+    for case in 0..48 {
         let mut bytes = env.to_bytes();
-        let idx = flip_byte % bytes.len();
+        let idx = rng.gen_range_u64(0, bytes.len() as u64 - 1) as usize;
+        let flip_bit = rng.gen_range_u64(0, 7) as u8;
         bytes[idx] ^= 1 << flip_bit;
         match Envelope::from_bytes(&bytes) {
             Err(_) => {} // structural corruption caught by the codec
@@ -259,7 +324,10 @@ proptest! {
                 } else {
                     // Semantically different message: the analyzer must
                     // reject it (bad signature or bad certificate).
-                    prop_assert!(checker.check_envelope(&decoded).is_err());
+                    assert!(
+                        checker.check_envelope(&decoded).is_err(),
+                        "case {case}: flipped bit {flip_bit} of byte {idx} forged"
+                    );
                 }
             }
         }

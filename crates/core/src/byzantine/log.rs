@@ -155,7 +155,11 @@ impl ReplicatedLog {
     /// Records a slot decision and opens the next slot (or finishes).
     fn advance(&mut self, decided: ValueVector, ctx: &mut Context<'_, SlotMsg, Vec<ValueVector>>) {
         self.log.push(decided);
-        ctx.note(format!("slot-decided={} total={}", self.current, self.log.len()));
+        ctx.note(format!(
+            "slot-decided={} total={}",
+            self.current,
+            self.log.len()
+        ));
         if self.log.len() as u64 == self.slots {
             self.done = true;
             ctx.decide(self.log.clone());
@@ -283,7 +287,13 @@ mod tests {
         1000 * slot + 100 + p as u64
     }
 
-    fn run(n: usize, f: usize, slots: u64, seed: u64, crashes: &[(usize, u64)]) -> ftm_sim::RunReport<Vec<ValueVector>> {
+    fn run(
+        n: usize,
+        f: usize,
+        slots: u64,
+        seed: u64,
+        crashes: &[(usize, u64)],
+    ) -> ftm_sim::RunReport<Vec<ValueVector>> {
         let setup = ProtocolConfig::new(n, f).seed(seed).setup();
         let mut cfg = SimConfig::new(n).seed(seed);
         for &(p, t) in crashes {
@@ -298,8 +308,8 @@ mod tests {
     #[test]
     fn honest_replicas_agree_on_a_multi_slot_log() {
         let report = run(4, 1, 3, 1, &[]);
-        let log = check_log_consistency(&report.decisions, &report.crashed, 3)
-            .expect("consistent log");
+        let log =
+            check_log_consistency(&report.decisions, &report.crashed, 3).expect("consistent log");
         assert_eq!(log.len(), 3);
         // Slot k's entries are slot-k commands.
         for (slot, vect) in log.iter().enumerate() {
@@ -346,8 +356,18 @@ mod tests {
 
     #[test]
     fn consistency_checker_flags_divergence() {
-        let v1 = vec![ValueVector::from_entries(vec![Some(1), Some(2), Some(3), None])];
-        let v2 = vec![ValueVector::from_entries(vec![Some(9), Some(2), Some(3), None])];
+        let v1 = vec![ValueVector::from_entries(vec![
+            Some(1),
+            Some(2),
+            Some(3),
+            None,
+        ])];
+        let v2 = vec![ValueVector::from_entries(vec![
+            Some(9),
+            Some(2),
+            Some(3),
+            None,
+        ])];
         let err = check_log_consistency(
             &[Some(v1), Some(v2), None, None],
             &[false, false, true, true],

@@ -7,13 +7,15 @@
 
 use ftm_certify::analyzer::CertChecker;
 use ftm_certify::vector::VectorBuilder;
-use ftm_certify::{Certificate, Core, Envelope, MessageKind, Round, SignedCore, Value, ValueVector};
+use ftm_certify::{
+    Certificate, Core, Envelope, MessageKind, Round, SignedCore, Value, ValueVector,
+};
 use ftm_crypto::rsa::KeyPair;
 use ftm_sim::{Actor, Context, Duration, ProcessId, TimerTag};
 
+use crate::config::MutenessMode;
 use crate::config::ProtocolSetup;
 use crate::spec::Resilience;
-use crate::config::MutenessMode;
 use crate::transform::rules::{change_mind_from_certificates, state_from_certificates, PaperState};
 use crate::transform::{Admit, ModuleStack, MutenessFd};
 
@@ -90,16 +92,17 @@ impl ByzantineConsensus {
                 checker,
                 setup.config.checks,
                 match setup.config.muteness_mode {
-                    MutenessMode::Adaptive => MutenessFd::Adaptive(
-                        ftm_fd::TimeoutDetector::new(res.n(), setup.config.muteness_timeout),
-                    ),
-                    MutenessMode::RoundAware { per_round } => MutenessFd::RoundAware(
-                        ftm_fd::MutenessDetector::new(
+                    MutenessMode::Adaptive => MutenessFd::Adaptive(ftm_fd::TimeoutDetector::new(
+                        res.n(),
+                        setup.config.muteness_timeout,
+                    )),
+                    MutenessMode::RoundAware { per_round } => {
+                        MutenessFd::RoundAware(ftm_fd::MutenessDetector::new(
                             res.n(),
                             setup.config.muteness_timeout,
                             per_round,
-                        ),
-                    ),
+                        ))
+                    }
                 },
             ),
             poll_interval: setup.config.poll_interval,
@@ -133,7 +136,12 @@ impl ByzantineConsensus {
 
     /// Signs and broadcasts a message, mirroring the send path of Fig. 1
     /// (certification module appends `cert`, signature module signs).
-    fn send_all(&self, core: Core, cert: Certificate, ctx: &mut Context<'_, Envelope, ValueVector>) {
+    fn send_all(
+        &self,
+        core: Core,
+        cert: Certificate,
+        ctx: &mut Context<'_, Envelope, ValueVector>,
+    ) {
         ctx.broadcast(Envelope::make(self.me, core, cert, &self.keys));
     }
 
@@ -217,7 +225,26 @@ impl ByzantineConsensus {
         ctx: &mut Context<'_, Envelope, ValueVector>,
     ) {
         self.decided = true;
-        self.send_all(Core::Decide { round, vector: vector.clone() }, cert, ctx);
+        self.send_all(
+            Core::Decide {
+                round,
+                vector: vector.clone(),
+            },
+            cert,
+            ctx,
+        );
+        // Final per-layer receive-side tally, in note form so trace
+        // consumers (the sweep harness) can collect it without reaching
+        // into actor state.
+        let stats = self.stack.stats();
+        ctx.note(format!(
+            "stack-stats admitted={} sig-rejects={} cert-rejects={} auto-rejects={} syntax-rejects={}",
+            stats.admitted,
+            stats.signature_rejects,
+            stats.certificate_rejects,
+            stats.automaton_rejects,
+            stats.syntax_rejects,
+        ));
         ctx.decide(vector);
         ctx.halt();
     }
@@ -378,7 +405,10 @@ impl Actor for ByzantineConsensus {
         match self.stack.admit(from, &env, ctx.now()) {
             Admit::Accepted(_trigger) => self.handle_admitted(from, env, ctx),
             Admit::Discarded(e) => {
-                ctx.note(format!("detected={} class={} reason={}", e.culprit, e.class, e.reason));
+                ctx.note(format!(
+                    "detected={} class={} reason={}",
+                    e.culprit, e.class, e.reason
+                ));
             }
         }
     }
@@ -388,9 +418,7 @@ impl Actor for ByzantineConsensus {
             return;
         }
         // Lines 22–25: upon p_c ∈ (suspected ∪ faulty) while in q0.
-        if self.phase == Phase::Rounds
-            && self.derived_state() == PaperState::Q0
-        {
+        if self.phase == Phase::Rounds && self.derived_state() == PaperState::Q0 {
             let coord = self.coordinator();
             if self.stack.suspected_or_faulty(coord, ctx.now()) {
                 ctx.note(format!("suspect={} r={}", coord, self.r));

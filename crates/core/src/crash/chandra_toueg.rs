@@ -294,9 +294,7 @@ impl<FD: FailureDetector> ChandraToueg<FD> {
         if self.acks.len() >= self.majority() {
             // Phase 4: decide and reliably broadcast.
             self.decide(self.est, ctx);
-        } else if self.acks.len() + self.nacks.len() >= self.majority()
-            && !self.nacks.is_empty()
-        {
+        } else if self.acks.len() + self.nacks.len() >= self.majority() && !self.nacks.is_empty() {
             // The round cannot succeed; move on as a regular process.
             self.begin_round(ctx);
         }
@@ -441,27 +439,32 @@ mod tests {
     fn message_pattern_is_leaner_than_hr() {
         // CT phase 1/3 are point-to-point (to the coordinator) while HR
         // broadcasts everything: CT should use fewer messages at equal n.
-        let ct = run(5, 3, &[]);
-        let hr = {
-            let res = Resilience::new(5, 2);
-            Simulation::build(SimConfig::new(5).seed(3), |id| {
-                crate::crash::CrashConsensus::new(
-                    res,
-                    id,
-                    100 + id.0 as u64,
-                    TimeoutDetector::new(5, Duration::of(150)),
-                    Duration::of(25),
-                    Some(Duration::of(40)),
-                )
-            })
-            .run()
-        };
-        assert!(ct.all_decided() && hr.all_decided());
+        // Any single schedule can tie, so compare totals across seeds.
+        let mut ct_total = 0;
+        let mut hr_total = 0;
+        for seed in 0..5 {
+            let ct = run(5, seed, &[]);
+            let hr = {
+                let res = Resilience::new(5, 2);
+                Simulation::build(SimConfig::new(5).seed(seed), |id| {
+                    crate::crash::CrashConsensus::new(
+                        res,
+                        id,
+                        100 + id.0 as u64,
+                        TimeoutDetector::new(5, Duration::of(150)),
+                        Duration::of(25),
+                        Some(Duration::of(40)),
+                    )
+                })
+                .run()
+            };
+            assert!(ct.all_decided() && hr.all_decided(), "seed {seed}");
+            ct_total += ct.metrics.messages_sent;
+            hr_total += hr.metrics.messages_sent;
+        }
         assert!(
-            ct.metrics.messages_sent < hr.metrics.messages_sent,
-            "CT {} vs HR {}",
-            ct.metrics.messages_sent,
-            hr.metrics.messages_sent
+            ct_total < hr_total,
+            "CT {ct_total} vs HR {hr_total} across seeds"
         );
     }
 }

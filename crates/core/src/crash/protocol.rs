@@ -245,7 +245,12 @@ impl<FD: FailureDetector + 'static> Actor for CrashConsensus<FD> {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: CrashMsg, ctx: &mut Context<'_, CrashMsg, Value>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: CrashMsg,
+        ctx: &mut Context<'_, CrashMsg, Value>,
+    ) {
         if self.decided {
             return;
         }

@@ -40,4 +40,4 @@
 pub mod rules;
 pub mod stack;
 
-pub use stack::{Admit, ModuleStack, MutenessFd};
+pub use stack::{Admit, ModuleStack, MutenessFd, StackStats};

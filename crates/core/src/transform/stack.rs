@@ -2,7 +2,7 @@
 //! muteness failure detection, non-muteness failure detection.
 
 use ftm_certify::analyzer::{CertChecker, NextTrigger};
-use ftm_certify::{CertifyError, Envelope};
+use ftm_certify::{CertifyError, Envelope, FaultClass};
 use ftm_detect::observer::Checks;
 use ftm_detect::Observer;
 use ftm_fd::{FailureDetector, MutenessDetector, TimeoutDetector};
@@ -90,10 +90,53 @@ impl MutenessFd {
     }
 }
 
+/// Per-layer activity counters for one process's receive-side stack.
+///
+/// Every incoming envelope either clears all modules (`admitted`) or is
+/// charged to the module that rejected it, so [`StackStats::total`]
+/// equals the number of envelopes pushed through [`ModuleStack::admit`].
+/// The sweep harness sums these across processes into the per-scenario
+/// metrics record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StackStats {
+    /// Envelopes accepted by all modules (these feed ◇M).
+    pub admitted: u64,
+    /// Rejections by the signature module (`bad-signature`).
+    pub signature_rejects: u64,
+    /// Rejections by the certification analyzer (`bad-certificate`).
+    pub certificate_rejects: u64,
+    /// Rejections by the non-muteness automaton (`out-of-order` /
+    /// wrong-expected receipts).
+    pub automaton_rejects: u64,
+    /// Rejections for malformed content (`wrong-syntax`).
+    pub syntax_rejects: u64,
+}
+
+impl StackStats {
+    /// Total envelopes pushed through the stack.
+    pub fn total(&self) -> u64 {
+        self.admitted
+            + self.signature_rejects
+            + self.certificate_rejects
+            + self.automaton_rejects
+            + self.syntax_rejects
+    }
+
+    fn on_reject(&mut self, class: FaultClass) {
+        match class {
+            FaultClass::BadSignature => self.signature_rejects += 1,
+            FaultClass::BadCertificate => self.certificate_rejects += 1,
+            FaultClass::OutOfOrder => self.automaton_rejects += 1,
+            FaultClass::WrongSyntax => self.syntax_rejects += 1,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 pub struct ModuleStack {
     observer: Observer,
     muteness: MutenessFd,
+    stats: StackStats,
 }
 
 impl ModuleStack {
@@ -119,6 +162,7 @@ impl ModuleStack {
         ModuleStack {
             observer: Observer::with_checks(checker, checks),
             muteness,
+            stats: StackStats::default(),
         }
     }
 
@@ -134,9 +178,13 @@ impl ModuleStack {
             Ok(trigger) => {
                 // Only *accepted* protocol messages count against muteness.
                 self.muteness.observe_message(from, now);
+                self.stats.admitted += 1;
                 Admit::Accepted(trigger)
             }
-            Err(e) => Admit::Discarded(e),
+            Err(e) => {
+                self.stats.on_reject(e.class);
+                Admit::Discarded(e)
+            }
         }
     }
 
@@ -168,6 +216,11 @@ impl ModuleStack {
     /// The underlying analyzer (quorum sizes, coordinator rule).
     pub fn checker(&self) -> &CertChecker {
         self.observer.checker()
+    }
+
+    /// Per-layer admit/reject counters accumulated so far.
+    pub fn stats(&self) -> StackStats {
+        self.stats
     }
 }
 
@@ -237,5 +290,28 @@ mod tests {
         assert_eq!(stack.observer().faults().len(), 0);
         assert_eq!(stack.muteness().mistakes(), 0);
         assert_eq!(stack.checker().quorum(), 2);
+    }
+
+    #[test]
+    fn stats_charge_each_layer_for_its_rejections() {
+        let (mut stack, keys) = fixture();
+        // One clean INIT: admitted.
+        let _ = stack.admit(ProcessId(1), &init(&keys, 1), VirtualTime::ZERO);
+        // Same INIT again: a duplicate, rejected by the automaton.
+        let _ = stack.admit(ProcessId(1), &init(&keys, 1), VirtualTime::at(1));
+        // Signed with the wrong key: rejected by the signature module.
+        let bad_sig = Envelope::make(
+            ProcessId(2),
+            Core::Init { value: 0 },
+            Certificate::new(),
+            &keys[0],
+        );
+        let _ = stack.admit(ProcessId(2), &bad_sig, VirtualTime::at(2));
+        let stats = stack.stats();
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.automaton_rejects, 1);
+        assert_eq!(stats.signature_rejects, 1);
+        assert_eq!(stats.certificate_rejects, 0);
+        assert_eq!(stats.total(), 3);
     }
 }

@@ -59,9 +59,7 @@ pub fn check_crash_consensus(
         violations.push(format!("agreement: correct processes decided {decided:?}"));
     }
 
-    let validity = decided
-        .iter()
-        .all(|v| proposals.contains(v));
+    let validity = decided.iter().all(|v| proposals.contains(v));
     if !validity {
         violations.push(format!(
             "validity: decided value not among proposals {decided:?}"
@@ -195,8 +193,8 @@ pub fn detections(trace: &Trace) -> Vec<Detection> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftm_sim::runner::StopReason;
     use ftm_sim::metrics::Metrics;
+    use ftm_sim::runner::StopReason;
 
     fn mk_report(decisions: Vec<Option<Value>>, crashed: Vec<bool>) -> RunReport<Value> {
         let n = decisions.len();

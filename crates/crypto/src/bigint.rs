@@ -10,7 +10,7 @@
 use std::cmp::Ordering;
 use std::fmt;
 
-use rand::Rng;
+use crate::prng::Rng64;
 
 /// An arbitrary-precision unsigned integer.
 ///
@@ -492,10 +492,10 @@ impl BigUint {
     /// # Panics
     ///
     /// Panics if `bits == 0`.
-    pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    pub fn random_bits<R: Rng64 + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
         assert!(bits > 0, "cannot draw a 0-bit number");
         let limbs_needed = bits.div_ceil(64);
-        let mut limbs: Vec<u64> = (0..limbs_needed).map(|_| rng.gen()).collect();
+        let mut limbs: Vec<u64> = (0..limbs_needed).map(|_| rng.next_u64()).collect();
         let top_bits = bits - (limbs_needed - 1) * 64;
         let top = &mut limbs[limbs_needed - 1];
         if top_bits < 64 {
@@ -512,12 +512,12 @@ impl BigUint {
     /// # Panics
     ///
     /// Panics if `bound` is zero.
-    pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+    pub fn random_below<R: Rng64 + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
         assert!(!bound.is_zero(), "empty range");
         let bits = bound.bits();
         loop {
             let limbs_needed = bits.div_ceil(64);
-            let mut limbs: Vec<u64> = (0..limbs_needed).map(|_| rng.gen()).collect();
+            let mut limbs: Vec<u64> = (0..limbs_needed).map(|_| rng.next_u64()).collect();
             let top_bits = bits - (limbs_needed - 1) * 64;
             if top_bits < 64 {
                 limbs[limbs_needed - 1] &= (1u64 << top_bits) - 1;
@@ -562,7 +562,6 @@ fn signed_sub(a: &Signed, b: &Signed) -> Signed {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn big(v: u128) -> BigUint {
         BigUint::from(v)
@@ -680,9 +679,12 @@ mod tests {
         assert_eq!(big(3).modinv(&big(11)), Some(big(4)));
         assert_eq!(big(10).modinv(&big(17)), Some(big(12)));
         assert_eq!(big(6).modinv(&big(9)), None); // gcd = 3
-        assert_eq!(big(65537).modinv(&big(1_000_000_007)).map(|x| {
-            x.mul(&big(65537)).rem(&big(1_000_000_007))
-        }), Some(BigUint::one()));
+        assert_eq!(
+            big(65537)
+                .modinv(&big(1_000_000_007))
+                .map(|x| { x.mul(&big(65537)).rem(&big(1_000_000_007)) }),
+            Some(BigUint::one())
+        );
     }
 
     #[test]
@@ -703,70 +705,126 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_add_sub_roundtrip(a in any::<u128>(), b in any::<u128>()) {
-            let (x, y) = (BigUint::from(a), BigUint::from(b));
-            prop_assert_eq!(x.add(&y).sub(&y), x);
+    /// Deterministic seeded fuzzing replacing the former proptest suite:
+    /// the in-tree PRNG generates the cases, so every failure is
+    /// replayable from the printed iteration number alone.
+    mod fuzz {
+        use super::*;
+        use crate::prng::{Rng64, SplitMix64};
+
+        fn u128_of(rng: &mut SplitMix64) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
         }
 
         #[test]
-        fn prop_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
-            let expected = a as u128 * b as u128;
-            prop_assert_eq!(BigUint::from(a).mul(&BigUint::from(b)), BigUint::from(expected));
-        }
-
-        #[test]
-        fn prop_divrem_invariant(a in any::<u128>(), b in 1u128..) {
-            let (x, y) = (BigUint::from(a), BigUint::from(b));
-            let (q, r) = x.divrem(&y);
-            prop_assert_eq!(q.mul(&y).add(&r), x);
-            prop_assert!(r < y);
-        }
-
-        #[test]
-        fn prop_divrem_multi_limb_invariant(
-            a in proptest::collection::vec(any::<u64>(), 1..6),
-            b in proptest::collection::vec(any::<u64>(), 1..4),
-        ) {
-            let mut x = BigUint { limbs: a };
-            x.normalize();
-            let mut y = BigUint { limbs: b };
-            y.normalize();
-            prop_assume!(!y.is_zero());
-            let (q, r) = x.divrem(&y);
-            prop_assert_eq!(q.mul(&y).add(&r), x);
-            prop_assert!(r < y);
-        }
-
-        #[test]
-        fn prop_bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..40)) {
-            let n = BigUint::from_bytes_be(&bytes);
-            prop_assert_eq!(BigUint::from_bytes_be(&n.to_bytes_be()), n);
-        }
-
-        #[test]
-        fn prop_modinv_is_inverse(a in 1u128.., m in 2u128..) {
-            let (x, modulus) = (BigUint::from(a), BigUint::from(m));
-            if let Some(inv) = x.modinv(&modulus) {
-                prop_assert_eq!(x.mul(&inv).rem(&modulus), BigUint::one().rem(&modulus));
-                prop_assert!(inv < modulus);
-            } else {
-                prop_assert!(x.gcd(&modulus) != BigUint::one());
+        fn add_sub_roundtrip() {
+            let mut rng = SplitMix64::from_seed(0xB161);
+            for i in 0..500 {
+                let (a, b) = (u128_of(&mut rng), u128_of(&mut rng));
+                let (x, y) = (BigUint::from(a), BigUint::from(b));
+                assert_eq!(x.add(&y).sub(&y), x, "case {i}: a={a} b={b}");
             }
         }
 
         #[test]
-        fn prop_modpow_matches_naive(a in 0u128..1000, e in 0u32..24, m in 1u128..10_000) {
-            let expected = {
-                let mut acc: u128 = 1 % m;
-                for _ in 0..e {
-                    acc = acc * (a % m) % m;
+        fn mul_matches_u128() {
+            let mut rng = SplitMix64::from_seed(0xB162);
+            for i in 0..500 {
+                let (a, b) = (rng.next_u64(), rng.next_u64());
+                let expected = a as u128 * b as u128;
+                assert_eq!(
+                    BigUint::from(a).mul(&BigUint::from(b)),
+                    BigUint::from(expected),
+                    "case {i}: a={a} b={b}"
+                );
+            }
+        }
+
+        #[test]
+        fn divrem_invariant() {
+            let mut rng = SplitMix64::from_seed(0xB163);
+            for i in 0..500 {
+                let a = u128_of(&mut rng);
+                let b = u128_of(&mut rng).max(1);
+                let (x, y) = (BigUint::from(a), BigUint::from(b));
+                let (q, r) = x.divrem(&y);
+                assert_eq!(q.mul(&y).add(&r), x, "case {i}: a={a} b={b}");
+                assert!(r < y, "case {i}: a={a} b={b}");
+            }
+        }
+
+        #[test]
+        fn divrem_multi_limb_invariant() {
+            let mut rng = SplitMix64::from_seed(0xB164);
+            for i in 0..300 {
+                let na = 1 + (rng.next_u64() % 5) as usize;
+                let nb = 1 + (rng.next_u64() % 3) as usize;
+                let mut x = BigUint {
+                    limbs: (0..na).map(|_| rng.next_u64()).collect(),
+                };
+                x.normalize();
+                let mut y = BigUint {
+                    limbs: (0..nb).map(|_| rng.next_u64()).collect(),
+                };
+                y.normalize();
+                if y.is_zero() {
+                    continue;
                 }
-                acc
-            };
-            let got = BigUint::from(a).modpow(&BigUint::from(e as u64), &BigUint::from(m));
-            prop_assert_eq!(got, BigUint::from(expected));
+                let (q, r) = x.divrem(&y);
+                assert_eq!(q.mul(&y).add(&r), x, "case {i}");
+                assert!(r < y, "case {i}");
+            }
+        }
+
+        #[test]
+        fn bytes_roundtrip() {
+            let mut rng = SplitMix64::from_seed(0xB165);
+            for i in 0..300 {
+                let len = (rng.next_u64() % 40) as usize;
+                let mut bytes = vec![0u8; len];
+                rng.fill_bytes(&mut bytes);
+                let n = BigUint::from_bytes_be(&bytes);
+                assert_eq!(BigUint::from_bytes_be(&n.to_bytes_be()), n, "case {i}");
+            }
+        }
+
+        #[test]
+        fn modinv_is_inverse() {
+            let mut rng = SplitMix64::from_seed(0xB166);
+            for i in 0..300 {
+                let a = u128_of(&mut rng).max(1);
+                let m = u128_of(&mut rng).max(2);
+                let (x, modulus) = (BigUint::from(a), BigUint::from(m));
+                if let Some(inv) = x.modinv(&modulus) {
+                    assert_eq!(
+                        x.mul(&inv).rem(&modulus),
+                        BigUint::one().rem(&modulus),
+                        "case {i}: a={a} m={m}"
+                    );
+                    assert!(inv < modulus, "case {i}");
+                } else {
+                    assert_ne!(x.gcd(&modulus), BigUint::one(), "case {i}: a={a} m={m}");
+                }
+            }
+        }
+
+        #[test]
+        fn modpow_matches_naive() {
+            let mut rng = SplitMix64::from_seed(0xB167);
+            for i in 0..300 {
+                let a = (rng.next_u64() % 1000) as u128;
+                let e = (rng.next_u64() % 24) as u32;
+                let m = (1 + rng.next_u64() % 9999) as u128;
+                let expected = {
+                    let mut acc: u128 = 1 % m;
+                    for _ in 0..e {
+                        acc = acc * (a % m) % m;
+                    }
+                    acc
+                };
+                let got = BigUint::from(a).modpow(&BigUint::from(e as u64), &BigUint::from(m));
+                assert_eq!(got, BigUint::from(expected), "case {i}: a={a} e={e} m={m}");
+            }
         }
     }
 }

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use rand::Rng;
+use crate::prng::Rng64;
 
 use crate::error::CryptoError;
 use crate::rsa::{KeyPair, PublicKey, Signature};
@@ -46,12 +46,14 @@ impl KeyDirectory {
 
     /// Generates `n` key pairs of `modulus_bits` bits and the matching
     /// directory. Returns `(directory, private_key_pairs)`.
-    pub fn generate<R: Rng + ?Sized>(
+    pub fn generate<R: Rng64 + ?Sized>(
         rng: &mut R,
         n: usize,
         modulus_bits: usize,
     ) -> (KeyDirectory, Vec<KeyPair>) {
-        let pairs: Vec<KeyPair> = (0..n).map(|_| KeyPair::generate(rng, modulus_bits)).collect();
+        let pairs: Vec<KeyPair> = (0..n)
+            .map(|_| KeyPair::generate(rng, modulus_bits))
+            .collect();
         let dir = KeyDirectory::new(pairs.iter().map(|kp| kp.public().clone()).collect());
         (dir, pairs)
     }
@@ -145,7 +147,10 @@ mod tests {
     fn unknown_signer_reported() {
         let (dir, keys) = setup();
         let sig = keys[0].sign(b"m");
-        assert_eq!(dir.verify(9, b"m", &sig), Err(CryptoError::UnknownSigner(9)));
+        assert_eq!(
+            dir.verify(9, b"m", &sig),
+            Err(CryptoError::UnknownSigner(9))
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   operations RSA needs: add/sub/mul/divrem/modpow/modinv);
 //! * [`prime`] — Miller–Rabin probabilistic primality testing and random
 //!   prime generation;
+//! * [`prng`] — in-tree deterministic generators (SplitMix64,
+//!   xoshiro256++) and per-scenario seed derivation;
 //! * [`rsa`] — RSA key generation, signing and verification over SHA-256
 //!   digests;
 //! * [`keydir`] — a public-key directory mapping signer identities to
@@ -47,29 +49,29 @@ pub mod bigint;
 pub mod error;
 pub mod keydir;
 pub mod prime;
+pub mod prng;
 pub mod rsa;
 pub mod sha256;
 pub mod wire;
 
 pub use error::CryptoError;
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+pub use prng::{derive_seed, Rng64, SplitMix64, Xoshiro256PlusPlus};
 
 /// Creates a deterministic random number generator from a 64-bit seed.
 ///
 /// All randomness in the workspace (key generation, simulated network
-/// delays, workloads) flows from explicitly seeded generators so that every
-/// run — including every counterexample found by a sweep — is replayable.
+/// delays, workloads) flows from explicitly seeded in-tree generators
+/// (see [`prng`]) so that every run — including every counterexample found
+/// by a sweep — is replayable with zero external dependencies.
 ///
 /// # Example
 ///
 /// ```
+/// use ftm_crypto::prng::Rng64;
 /// let mut a = ftm_crypto::rng_from_seed(7);
 /// let mut b = ftm_crypto::rng_from_seed(7);
-/// use rand::RngCore;
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
-pub fn rng_from_seed(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng_from_seed(seed: u64) -> Xoshiro256PlusPlus {
+    Xoshiro256PlusPlus::from_seed(seed)
 }

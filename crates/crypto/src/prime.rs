@@ -4,7 +4,7 @@
 //! process's modulus. Witness counts are chosen so the error probability is
 //! negligible at simulation scale (`4^-rounds`).
 
-use rand::Rng;
+use crate::prng::Rng64;
 
 use crate::bigint::BigUint;
 
@@ -30,7 +30,7 @@ pub const DEFAULT_MR_ROUNDS: u32 = 24;
 /// assert!(is_probable_prime(&BigUint::from(1_000_000_007u64), 16, &mut rng));
 /// assert!(!is_probable_prime(&BigUint::from(1_000_000_008u64), 16, &mut rng));
 /// ```
-pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rounds: u32, rng: &mut R) -> bool {
+pub fn is_probable_prime<R: Rng64 + ?Sized>(n: &BigUint, rounds: u32, rng: &mut R) -> bool {
     if n < &BigUint::from(2u64) {
         return false;
     }
@@ -83,7 +83,7 @@ pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rounds: u32, rng: &mut R)
 ///
 /// Panics if `bits < 3` (no room for an odd prime with the top bit set
 /// other than degenerate cases the RSA layer cannot use).
-pub fn random_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+pub fn random_prime<R: Rng64 + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
     assert!(bits >= 3, "prime width must be at least 3 bits");
     loop {
         let mut candidate = BigUint::random_bits(rng, bits);

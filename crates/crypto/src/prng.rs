@@ -1,0 +1,232 @@
+//! In-tree deterministic pseudo-random number generation.
+//!
+//! The workspace is built hermetically (no external crates), so randomness
+//! comes from two classic, tiny generators implemented here:
+//!
+//! * [`SplitMix64`] — Steele–Lea–Flood's 64-bit mixer. One multiplication
+//!   chain per output; used for seed derivation and quick test streams.
+//! * [`Xoshiro256PlusPlus`] — Blackman–Vigna's xoshiro256++, seeded through
+//!   SplitMix64 as its authors recommend. This is the workhorse generator
+//!   behind [`crate::rng_from_seed`] and every simulation run.
+//!
+//! Both are fully deterministic: a stream is a pure function of its 64-bit
+//! seed, so every simulated schedule, generated key and fuzz case is
+//! replayable bit-for-bit on any platform. [`derive_seed`] gives each
+//! scenario of a sweep its own statistically independent stream from a
+//! `(base seed, scenario index)` pair, which is what makes parallel sweeps
+//! independent of thread interleaving.
+//!
+//! # Example
+//!
+//! ```
+//! use ftm_crypto::prng::{derive_seed, Rng64, Xoshiro256PlusPlus};
+//! let mut a = Xoshiro256PlusPlus::from_seed(7);
+//! let mut b = Xoshiro256PlusPlus::from_seed(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! assert_ne!(derive_seed(7, 0), derive_seed(7, 1));
+//! ```
+
+/// A deterministic 64-bit random stream.
+///
+/// The single required method is [`next_u64`](Rng64::next_u64); everything
+/// else is derived from it, so any implementor yields identical derived
+/// draws for identical raw streams.
+pub trait Rng64 {
+    /// The next 64 raw pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 pseudo-random bits (the upper half of a 64-bit draw —
+    /// the high bits are the best-mixed ones in both generators here).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform draw from the inclusive range `[lo, hi]` via Lemire's
+    /// widening-multiply map (one draw, no rejection loop, deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        let span = hi.wrapping_sub(lo).wrapping_add(1);
+        if span == 0 {
+            // Full 2^64 range.
+            return self.next_u64();
+        }
+        lo + (((self.next_u64() as u128) * (span as u128)) >> 64) as u64
+    }
+
+    /// Fills `buf` with pseudo-random bytes (little-endian draw order).
+    fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: Rng64 + ?Sized> Rng64 for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// The SplitMix64 step function: mixes `state + γ` through two
+/// xor-multiply rounds. Exposed so seed-derivation code can use a single
+/// stateless step.
+pub const fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Steele–Lea–Flood SplitMix64.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the stream seeded by `seed`.
+    pub const fn from_seed(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng64 for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Blackman–Vigna xoshiro256++ (the general-purpose variant).
+#[derive(Debug, Clone)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Creates the stream seeded by `seed`, expanding the 64-bit seed into
+    /// the 256-bit state through SplitMix64 (the authors' recommendation;
+    /// also guarantees a nonzero state).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = SplitMix64::from_seed(seed);
+        Xoshiro256PlusPlus {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+impl Rng64 for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Derives the seed of stream `index` from a base seed.
+///
+/// Two SplitMix64 steps over `base ⊕ mix(index)` decorrelate adjacent
+/// indices completely — `derive_seed(s, i)` and `derive_seed(s, i + 1)`
+/// share no low-dimensional structure, so every scenario of a sweep gets a
+/// statistically independent generator while remaining a pure function of
+/// `(base seed, index)`.
+pub const fn derive_seed(base: u64, index: u64) -> u64 {
+    splitmix64(splitmix64(base ^ splitmix64(index)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First three outputs for seed 0, cross-checked against the
+        // published reference implementation.
+        let mut rng = SplitMix64::from_seed(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(rng.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn xoshiro_streams_are_reproducible_and_seed_sensitive() {
+        let mut a = Xoshiro256PlusPlus::from_seed(42);
+        let mut b = Xoshiro256PlusPlus::from_seed(42);
+        let mut c = Xoshiro256PlusPlus::from_seed(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_is_inclusive_and_in_bounds() {
+        let mut rng = Xoshiro256PlusPlus::from_seed(1);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = rng.gen_range_u64(3, 10);
+            assert!((3..=10).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 10;
+        }
+        assert!(seen_lo && seen_hi, "inclusive bounds never drawn");
+        // Degenerate and full ranges.
+        assert_eq!(rng.gen_range_u64(9, 9), 9);
+        let _ = rng.gen_range_u64(0, u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_rejects_inverted_bounds() {
+        SplitMix64::from_seed(0).gen_range_u64(2, 1);
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut a = SplitMix64::from_seed(5);
+        let mut buf = [0u8; 11];
+        a.fill_bytes(&mut buf);
+        let mut b = SplitMix64::from_seed(5);
+        let first = b.next_u64().to_le_bytes();
+        assert_eq!(&buf[..8], &first);
+        assert!(buf.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn derived_seeds_decorrelate_indices() {
+        let seeds: Vec<u64> = (0..100).map(|i| derive_seed(7, i)).collect();
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seeds.len(), "derived seed collision");
+        // Different bases give different derivations for the same index.
+        assert_ne!(derive_seed(7, 0), derive_seed(8, 0));
+    }
+
+    #[test]
+    fn trait_object_and_reference_forwarding_work() {
+        let mut base = SplitMix64::from_seed(3);
+        let expected = SplitMix64::from_seed(3).next_u64();
+        let via_ref: &mut dyn Rng64 = &mut base;
+        assert_eq!(via_ref.next_u64(), expected);
+    }
+}

@@ -7,10 +7,10 @@
 //! unforgeable against the simulation's protocol-level adversary.
 //!
 //! Key widths default to 256 bits (see the crate-level security
-//! disclaimer); the `rsa` Criterion bench measures sign/verify cost per
+//! disclaimer); the `rsa` bench measures sign/verify cost per
 //! width so the transformation-overhead experiment (E6) can report it.
 
-use rand::Rng;
+use crate::prng::Rng64;
 
 use crate::bigint::BigUint;
 use crate::error::CryptoError;
@@ -108,7 +108,7 @@ impl KeyPair {
     /// Panics if `modulus_bits < 32` (the padding needs room for the hash
     /// prefix) or if no valid exponent pair is found within the retry
     /// budget (astronomically unlikely).
-    pub fn generate<R: Rng + ?Sized>(rng: &mut R, modulus_bits: usize) -> KeyPair {
+    pub fn generate<R: Rng64 + ?Sized>(rng: &mut R, modulus_bits: usize) -> KeyPair {
         Self::try_generate(rng, modulus_bits).expect("rsa key generation exhausted retry budget")
     }
 
@@ -118,7 +118,7 @@ impl KeyPair {
     ///
     /// Returns [`CryptoError::KeyGeneration`] if no suitable prime pair is
     /// found within the retry budget.
-    pub fn try_generate<R: Rng + ?Sized>(
+    pub fn try_generate<R: Rng64 + ?Sized>(
         rng: &mut R,
         modulus_bits: usize,
     ) -> Result<KeyPair, CryptoError> {
@@ -135,9 +135,7 @@ impl KeyPair {
             if n.bits() != modulus_bits {
                 continue;
             }
-            let lambda = p
-                .sub(&BigUint::one())
-                .lcm(&q.sub(&BigUint::one()));
+            let lambda = p.sub(&BigUint::one()).lcm(&q.sub(&BigUint::one()));
             let Some(d) = e.modinv(&lambda) else {
                 continue; // gcd(e, λ) ≠ 1; redraw primes
             };

@@ -3,7 +3,7 @@
 //! Used for message digests (the value actually signed by [`crate::rsa`])
 //! and for content-addressing certificates. The implementation is the
 //! straightforward single-block compression loop; throughput is measured by
-//! the `sha256` Criterion bench.
+//! the `sha256` bench.
 
 use std::fmt;
 

@@ -327,12 +327,16 @@ impl<'a> Decoder<'a> {
 
     /// Reads a big-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a big-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads a length-prefixed byte string.
@@ -385,9 +389,7 @@ impl CanonicalDecode for Vec<u8> {
 impl CanonicalDecode for Digest {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         let bytes = dec.bytes()?;
-        let arr: [u8; 32] = bytes
-            .try_into()
-            .map_err(|_| DecodeError::BadLength(32))?;
+        let arr: [u8; 32] = bytes.try_into().map_err(|_| DecodeError::BadLength(32))?;
         Ok(Digest(arr))
     }
 }
@@ -440,7 +442,10 @@ mod decode_tests {
         buf.truncate(6);
         let mut d = Decoder::new(&buf);
         assert!(matches!(d.bytes(), Err(DecodeError::BadLength(5))));
-        assert!(matches!(Decoder::new(&[]).u64(), Err(DecodeError::UnexpectedEnd)));
+        assert!(matches!(
+            Decoder::new(&[]).u64(),
+            Err(DecodeError::UnexpectedEnd)
+        ));
     }
 
     #[test]

@@ -211,9 +211,7 @@ impl PeerAutomaton {
                     (PeerPhase::Q1, MessageKind::Current) => {
                         self.fault("duplicate CURRENT in one round")
                     }
-                    (PeerPhase::Q2, MessageKind::Next) => {
-                        self.fault("duplicate NEXT in one round")
-                    }
+                    (PeerPhase::Q2, MessageKind::Next) => self.fault("duplicate NEXT in one round"),
                     (PeerPhase::Q2, MessageKind::Current) => {
                         self.fault("CURRENT after NEXT in one round")
                     }
@@ -262,21 +260,42 @@ mod tests {
         assert!(a.on_message(&env(&ks, 1, Core::Init { value: 1 })).is_ok());
         assert_eq!(a.phase(), PeerPhase::Q0);
         assert!(a
-            .on_message(&env(&ks, 1, Core::Current { round: 1, vector: vect() }))
+            .on_message(&env(
+                &ks,
+                1,
+                Core::Current {
+                    round: 1,
+                    vector: vect()
+                }
+            ))
             .is_ok());
         assert_eq!(a.phase(), PeerPhase::Q1);
         assert!(a.on_message(&env(&ks, 1, Core::Next { round: 1 })).is_ok());
         assert_eq!(a.phase(), PeerPhase::Q2);
         // Round advance with a CURRENT(2) asks for round-entry evidence.
         let req = a
-            .on_message(&env(&ks, 1, Core::Current { round: 2, vector: vect() }))
+            .on_message(&env(
+                &ks,
+                1,
+                Core::Current {
+                    round: 2,
+                    vector: vect(),
+                },
+            ))
             .unwrap();
         assert_eq!(req, Requirement::RoundEntry(2));
         assert_eq!(a.phase(), PeerPhase::Q1);
         assert_eq!(a.round(), 2);
         // Decide from q1.
         assert!(a
-            .on_message(&env(&ks, 1, Core::Decide { round: 2, vector: vect() }))
+            .on_message(&env(
+                &ks,
+                1,
+                Core::Decide {
+                    round: 2,
+                    vector: vect()
+                }
+            ))
             .is_ok());
         assert_eq!(a.phase(), PeerPhase::Final);
     }
@@ -286,11 +305,25 @@ mod tests {
         let ks = keys();
         let mut a = PeerAutomaton::new(ProcessId(1));
         a.on_message(&env(&ks, 1, Core::Init { value: 1 })).unwrap();
-        a.on_message(&env(&ks, 1, Core::Current { round: 1, vector: vect() }))
-            .unwrap();
+        a.on_message(&env(
+            &ks,
+            1,
+            Core::Current {
+                round: 1,
+                vector: vect(),
+            },
+        ))
+        .unwrap();
         // Jumps to round 2 from q1 — never sent NEXT(1).
         let err = a
-            .on_message(&env(&ks, 1, Core::Current { round: 2, vector: vect() }))
+            .on_message(&env(
+                &ks,
+                1,
+                Core::Current {
+                    round: 2,
+                    vector: vect(),
+                },
+            ))
             .unwrap_err();
         assert!(err.reason.contains("without sending NEXT"));
         assert!(a.is_faulty());
@@ -301,10 +334,24 @@ mod tests {
         let ks = keys();
         let mut a = PeerAutomaton::new(ProcessId(1));
         a.on_message(&env(&ks, 1, Core::Init { value: 1 })).unwrap();
-        a.on_message(&env(&ks, 1, Core::Current { round: 1, vector: vect() }))
-            .unwrap();
+        a.on_message(&env(
+            &ks,
+            1,
+            Core::Current {
+                round: 1,
+                vector: vect(),
+            },
+        ))
+        .unwrap();
         let err = a
-            .on_message(&env(&ks, 1, Core::Current { round: 1, vector: vect() }))
+            .on_message(&env(
+                &ks,
+                1,
+                Core::Current {
+                    round: 1,
+                    vector: vect(),
+                },
+            ))
             .unwrap_err();
         assert_eq!(err.class, FaultClass::OutOfOrder);
         assert!(err.reason.contains("duplicate CURRENT"));
@@ -327,7 +374,9 @@ mod tests {
         a.on_message(&env(&ks, 1, Core::Init { value: 1 })).unwrap();
         a.on_message(&env(&ks, 1, Core::Next { round: 1 })).unwrap();
         a.on_message(&env(&ks, 1, Core::Next { round: 2 })).unwrap();
-        let err = a.on_message(&env(&ks, 1, Core::Next { round: 1 })).unwrap_err();
+        let err = a
+            .on_message(&env(&ks, 1, Core::Next { round: 1 }))
+            .unwrap_err();
         assert!(err.reason.contains("past round"));
     }
 
@@ -337,7 +386,9 @@ mod tests {
         let mut a = PeerAutomaton::new(ProcessId(1));
         a.on_message(&env(&ks, 1, Core::Init { value: 1 })).unwrap();
         a.on_message(&env(&ks, 1, Core::Next { round: 1 })).unwrap();
-        let err = a.on_message(&env(&ks, 1, Core::Next { round: 3 })).unwrap_err();
+        let err = a
+            .on_message(&env(&ks, 1, Core::Next { round: 3 }))
+            .unwrap_err();
         assert!(err.reason.contains("skipped a round"));
     }
 
@@ -364,9 +415,18 @@ mod tests {
         let ks = keys();
         let mut a = PeerAutomaton::new(ProcessId(1));
         a.on_message(&env(&ks, 1, Core::Init { value: 1 })).unwrap();
-        a.on_message(&env(&ks, 1, Core::Decide { round: 1, vector: vect() }))
-            .unwrap();
-        let err = a.on_message(&env(&ks, 1, Core::Next { round: 1 })).unwrap_err();
+        a.on_message(&env(
+            &ks,
+            1,
+            Core::Decide {
+                round: 1,
+                vector: vect(),
+            },
+        ))
+        .unwrap();
+        let err = a
+            .on_message(&env(&ks, 1, Core::Next { round: 1 }))
+            .unwrap_err();
         assert!(err.reason.contains("after DECIDE"));
     }
 
@@ -377,7 +437,14 @@ mod tests {
         a.on_message(&env(&ks, 1, Core::Init { value: 1 })).unwrap();
         a.on_message(&env(&ks, 1, Core::Next { round: 1 })).unwrap();
         let err = a
-            .on_message(&env(&ks, 1, Core::Current { round: 1, vector: vect() }))
+            .on_message(&env(
+                &ks,
+                1,
+                Core::Current {
+                    round: 1,
+                    vector: vect(),
+                },
+            ))
             .unwrap_err();
         assert!(err.reason.contains("CURRENT after NEXT"));
     }

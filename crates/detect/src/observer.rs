@@ -154,7 +154,11 @@ impl Observer {
         // 4. Timing: is this receipt event enabled in SM_p(q)? With the
         // signature module on, the claimed sender IS the channel source;
         // ablated, the receiver can only trust the claim (see Checks).
-        let subject = if self.checks.signatures { from } else { env.sender() };
+        let subject = if self.checks.signatures {
+            from
+        } else {
+            env.sender()
+        };
         let subject_idx = subject.index().min(self.automata.len() - 1);
         let requirement = if self.checks.timing {
             match self.automata[subject_idx].on_message(env) {
@@ -228,9 +232,7 @@ impl Observer {
 
     /// Whether `p` is convicted.
     pub fn is_faulty(&self, p: ProcessId) -> bool {
-        self.automata
-            .get(p.index())
-            .is_some_and(|a| a.is_faulty())
+        self.automata.get(p.index()).is_some_and(|a| a.is_faulty())
     }
 
     /// The evidence log, in conviction order.
@@ -348,7 +350,10 @@ mod tests {
         vect.set(2, 3);
         let env = Envelope::make(
             ProcessId(0),
-            Core::Current { round: 1, vector: vect },
+            Core::Current {
+                round: 1,
+                vector: vect,
+            },
             Certificate::new(), // no INIT backing at all
             &keys[0],
         );
@@ -370,9 +375,7 @@ mod tests {
             Certificate::new(),
             &keys[1],
         );
-        let trigger = obs
-            .observe(ProcessId(1), &env, VirtualTime::at(1))
-            .unwrap();
+        let trigger = obs.observe(ProcessId(1), &env, VirtualTime::at(1)).unwrap();
         assert_eq!(trigger, Some(NextTrigger::Suspicion));
         assert_eq!(obs.phase_of(ProcessId(1)), PeerPhase::Q2);
     }

@@ -195,8 +195,15 @@ impl Tamper for DecideForger {
         for k in 0..self.n {
             vector.set(k, self.poison);
         }
-        let env = resign(me, Core::Decide { round: 1, vector }, Certificate::new(), keys);
-        (0..self.n as u32).map(|p| (ProcessId(p), env.clone())).collect()
+        let env = resign(
+            me,
+            Core::Decide { round: 1, vector },
+            Certificate::new(),
+            keys,
+        );
+        (0..self.n as u32)
+            .map(|p| (ProcessId(p), env.clone()))
+            .collect()
     }
 }
 
@@ -288,7 +295,11 @@ pub struct SpuriousCurrent {
 impl SpuriousCurrent {
     /// Creates the one-shot injector.
     pub fn new(at: VirtualTime, n: usize) -> Self {
-        SpuriousCurrent { at, n, fired: false }
+        SpuriousCurrent {
+            at,
+            n,
+            fired: false,
+        }
     }
 }
 
@@ -322,7 +333,9 @@ impl Tamper for SpuriousCurrent {
             Certificate::new(),
             keys,
         );
-        (0..self.n as u32).map(|p| (ProcessId(p), env.clone())).collect()
+        (0..self.n as u32)
+            .map(|p| (ProcessId(p), env.clone()))
+            .collect()
     }
 }
 
@@ -349,7 +362,9 @@ mod tests {
     #[test]
     fn mute_after_silences_only_past_deadline() {
         let k = keys(1);
-        let mut t = MuteAfter { after: VirtualTime::at(50) };
+        let mut t = MuteAfter {
+            after: VirtualTime::at(50),
+        };
         let mut staged = staged_init(ProcessId(0), 2, &k);
         t.tamper(ProcessId(0), &k, &mut staged, VirtualTime::at(10));
         assert_eq!(staged.len(), 2);
@@ -360,11 +375,22 @@ mod tests {
     #[test]
     fn vector_corruptor_rewrites_and_resigns() {
         let k = keys(2);
-        let mut t = VectorCorruptor { entry: 1, poison: 666 };
+        let mut t = VectorCorruptor {
+            entry: 1,
+            poison: 666,
+        };
         let vect = ValueVector::from_entries(vec![Some(1), Some(2), None]);
         let mut staged = vec![(
             ProcessId(1),
-            Envelope::make(ProcessId(0), Core::Current { round: 1, vector: vect }, Certificate::new(), &k),
+            Envelope::make(
+                ProcessId(0),
+                Core::Current {
+                    round: 1,
+                    vector: vect,
+                },
+                Certificate::new(),
+                &k,
+            ),
         )];
         t.tamper(ProcessId(0), &k, &mut staged, VirtualTime::ZERO);
         let Core::Current { vector, .. } = staged[0].1.core() else {
@@ -381,8 +407,24 @@ mod tests {
         let k = keys(3);
         let mut t = RoundJumper { jump: 5 };
         let mut staged = vec![
-            (ProcessId(1), Envelope::make(ProcessId(0), Core::Next { round: 2 }, Certificate::new(), &k)),
-            (ProcessId(1), Envelope::make(ProcessId(0), Core::Init { value: 1 }, Certificate::new(), &k)),
+            (
+                ProcessId(1),
+                Envelope::make(
+                    ProcessId(0),
+                    Core::Next { round: 2 },
+                    Certificate::new(),
+                    &k,
+                ),
+            ),
+            (
+                ProcessId(1),
+                Envelope::make(
+                    ProcessId(0),
+                    Core::Init { value: 1 },
+                    Certificate::new(),
+                    &k,
+                ),
+            ),
         ];
         t.tamper(ProcessId(0), &k, &mut staged, VirtualTime::ZERO);
         assert_eq!(staged[0].1.round(), 7);
@@ -394,8 +436,24 @@ mod tests {
         let k = keys(4);
         let mut t = VoteDuplicator;
         let mut staged = vec![
-            (ProcessId(1), Envelope::make(ProcessId(0), Core::Next { round: 1 }, Certificate::new(), &k)),
-            (ProcessId(1), Envelope::make(ProcessId(0), Core::Init { value: 1 }, Certificate::new(), &k)),
+            (
+                ProcessId(1),
+                Envelope::make(
+                    ProcessId(0),
+                    Core::Next { round: 1 },
+                    Certificate::new(),
+                    &k,
+                ),
+            ),
+            (
+                ProcessId(1),
+                Envelope::make(
+                    ProcessId(0),
+                    Core::Init { value: 1 },
+                    Certificate::new(),
+                    &k,
+                ),
+            ),
         ];
         t.tamper(ProcessId(0), &k, &mut staged, VirtualTime::ZERO);
         assert_eq!(staged.len(), 3);
@@ -415,7 +473,9 @@ mod tests {
     #[test]
     fn identity_thief_changes_claimed_sender() {
         let k = keys(6);
-        let mut t = IdentityThief { victim: ProcessId(2) };
+        let mut t = IdentityThief {
+            victim: ProcessId(2),
+        };
         let mut staged = staged_init(ProcessId(0), 1, &k);
         t.tamper(ProcessId(0), &k, &mut staged, VirtualTime::ZERO);
         assert_eq!(staged[0].1.sender(), ProcessId(2));
@@ -451,7 +511,9 @@ mod tests {
     fn wrong_key_signer_breaks_verification() {
         let right = keys(9);
         let wrong = keys(10);
-        let mut t = WrongKeySigner { wrong: wrong.clone() };
+        let mut t = WrongKeySigner {
+            wrong: wrong.clone(),
+        };
         let mut staged = staged_init(ProcessId(0), 1, &right);
         t.tamper(ProcessId(0), &right, &mut staged, VirtualTime::ZERO);
         let dir = ftm_crypto::keydir::KeyDirectory::new(vec![right.public().clone()]);
@@ -576,7 +638,12 @@ mod late_attack_tests {
         let mut t = Replayer::new(VirtualTime::at(50));
         let mut staged = vec![(
             ProcessId(1),
-            Envelope::make(ProcessId(0), Core::Init { value: 3 }, Certificate::new(), &k),
+            Envelope::make(
+                ProcessId(0),
+                Core::Init { value: 3 },
+                Certificate::new(),
+                &k,
+            ),
         )];
         t.tamper(ProcessId(0), &k, &mut staged, VirtualTime::at(10));
         assert!(t.inject(ProcessId(0), &k, VirtualTime::at(20)).is_empty());
@@ -614,7 +681,12 @@ mod late_attack_tests {
             .map(|p| {
                 (
                     ProcessId(p),
-                    Envelope::make(ProcessId(0), Core::Init { value: 1 }, Certificate::new(), &k),
+                    Envelope::make(
+                        ProcessId(0),
+                        Core::Init { value: 1 },
+                        Certificate::new(),
+                        &k,
+                    ),
                 )
             })
             .collect();

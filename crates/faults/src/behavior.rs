@@ -57,7 +57,12 @@ where
 {
     /// Wraps `inner` with a strategy. `inject_interval` paces the
     /// strategy's spontaneous sends.
-    pub fn new(inner: A, tamper: Box<dyn Tamper>, keys: KeyPair, inject_interval: Duration) -> Self {
+    pub fn new(
+        inner: A,
+        tamper: Box<dyn Tamper>,
+        keys: KeyPair,
+        inject_interval: Duration,
+    ) -> Self {
         ByzantineWrapper {
             inner,
             tamper,
@@ -69,7 +74,8 @@ where
     fn post(&mut self, ctx: &mut Context<'_, Envelope, ValueVector>) {
         let me = ctx.me();
         let now = ctx.now();
-        self.tamper.tamper(me, &self.keys, ctx.staged_sends_mut(), now);
+        self.tamper
+            .tamper(me, &self.keys, ctx.staged_sends_mut(), now);
     }
 }
 
@@ -140,10 +146,21 @@ mod tests {
         type Msg = Envelope;
         type Decision = ValueVector;
         fn on_start(&mut self, ctx: &mut Context<'_, Envelope, ValueVector>) {
-            let env = Envelope::make(ctx.me(), Core::Init { value: 1 }, Certificate::new(), &self.keys);
+            let env = Envelope::make(
+                ctx.me(),
+                Core::Init { value: 1 },
+                Certificate::new(),
+                &self.keys,
+            );
             ctx.broadcast(env);
         }
-        fn on_message(&mut self, _: ProcessId, _: Envelope, _: &mut Context<'_, Envelope, ValueVector>) {}
+        fn on_message(
+            &mut self,
+            _: ProcessId,
+            _: Envelope,
+            _: &mut Context<'_, Envelope, ValueVector>,
+        ) {
+        }
     }
 
     #[test]
@@ -172,8 +189,20 @@ mod tests {
             keys: KeyPair,
         }
         impl Tamper for Spammer {
-            fn tamper(&mut self, _: ProcessId, _: &KeyPair, _: &mut Vec<(ProcessId, Envelope)>, _: VirtualTime) {}
-            fn inject(&mut self, me: ProcessId, _keys: &KeyPair, _now: VirtualTime) -> Vec<(ProcessId, Envelope)> {
+            fn tamper(
+                &mut self,
+                _: ProcessId,
+                _: &KeyPair,
+                _: &mut Vec<(ProcessId, Envelope)>,
+                _: VirtualTime,
+            ) {
+            }
+            fn inject(
+                &mut self,
+                me: ProcessId,
+                _keys: &KeyPair,
+                _now: VirtualTime,
+            ) -> Vec<(ProcessId, Envelope)> {
                 vec![(
                     ProcessId(1),
                     Envelope::make(me, Core::Next { round: 9 }, Certificate::new(), &self.keys),

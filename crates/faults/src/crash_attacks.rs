@@ -77,7 +77,12 @@ where
         self.post(ctx);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: CrashMsg, ctx: &mut Context<'_, CrashMsg, Value>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: CrashMsg,
+        ctx: &mut Context<'_, CrashMsg, Value>,
+    ) {
         self.inner.on_message(from, msg, ctx);
         self.post(ctx);
     }
@@ -142,8 +147,7 @@ mod tests {
             })
             .run();
             let proposals = [100, 101, 102, 103];
-            let verdict =
-                check_crash_consensus(&report, &proposals, &[false, false, false, true]);
+            let verdict = check_crash_consensus(&report, &proposals, &[false, false, false, true]);
             if !verdict.ok() {
                 violated += 1;
             }

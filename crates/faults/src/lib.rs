@@ -24,5 +24,9 @@
 pub mod attacks;
 pub mod behavior;
 pub mod crash_attacks;
+pub mod scenario;
 
 pub use behavior::{ByzantineWrapper, Tamper};
+pub use scenario::{
+    run_scenario, sweep_matrix, sweep_matrix_repeated, FaultBehavior, Scenario, ScenarioMatrix,
+};

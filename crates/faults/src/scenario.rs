@@ -1,0 +1,472 @@
+//! Scenario enumeration and execution glue for the sweep harness.
+//!
+//! The paper's experiments (E3/E4) run the transformed protocol against
+//! every fault class in the taxonomy, over a grid of system sizes. This
+//! module names those cells — a [`Scenario`] is one `(n, F, fault
+//! behavior)` triple — and turns each into a single deterministic run:
+//! [`run_scenario`] builds the full stack (keys, transformed actors, one
+//! wrapped attacker), executes it under the seeded simulator, checks the
+//! vector-consensus properties, and flattens everything the run produced
+//! into the flat counter map of an [`ftm_sim::harness::RunRecord`].
+//!
+//! The counters decompose cost by module layer, mirroring Fig. 1:
+//!
+//! * `bytes-signature` / `bytes-certificate` / `bytes-protocol` — wire
+//!   bytes attributed to the signature module, the certification module
+//!   and the protocol core (they sum to `bytes-total`);
+//! * `suspicions` — muteness-FD activity (◇M suspicion events);
+//! * `stack-*` — receive-side admit/reject counts per module, from each
+//!   process's [`ftm_core::transform::StackStats`] note;
+//! * `detections-*` — convictions per fault class (`out-of-order` is the
+//!   non-muteness automaton's wrong-expected count);
+//! * `cert-items-*` — certificate sizes carried on sent messages.
+//!
+//! Everything is a pure function of `(scenario, seed)`: the same pair
+//! reproduces the same trace fingerprint bit for bit, which is what lets
+//! [`sweep_matrix`] fan runs across threads without losing replayability.
+
+use ftm_certify::{Value, ValueVector};
+use ftm_core::byzantine::ByzantineConsensus;
+use ftm_core::config::ProtocolConfig;
+use ftm_core::validator::{check_vector_consensus, detections};
+use ftm_crypto::rsa::KeyPair;
+use ftm_sim::harness::{sweep, RunRecord, SweepReport};
+use ftm_sim::runner::BoxedActor;
+use ftm_sim::trace::TraceEvent;
+use ftm_sim::{Duration, ProcessId, RunReport, SimConfig, Simulation, VirtualTime};
+
+use crate::attacks;
+use crate::{ByzantineWrapper, Tamper};
+
+/// One fault behavior the attacker process may exhibit — the paper's
+/// taxonomy (§2–3) plus the honest baseline and the benign crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultBehavior {
+    /// No fault: every process runs the honest protocol.
+    Honest,
+    /// Benign crash at t = 0 (muteness by the simplest means).
+    Crash,
+    /// Permanent omission from t = 30 on (muteness without crashing).
+    Mute,
+    /// Corruption of a variable value: one vector entry poisoned.
+    VectorCorrupt,
+    /// Misevaluation of an expression: round numbers jumped ahead.
+    RoundJump,
+    /// Duplication of a statement: every vote sent twice.
+    DuplicateVotes,
+    /// Spurious statement: a fabricated DECIDE with no certificate.
+    ForgeDecide,
+    /// Forged signatures: messages signed with a key not in the directory.
+    WrongKey,
+    /// Identity falsification: messages claim to come from a victim.
+    StealIdentity,
+    /// Equivocation: different INIT values to different receivers.
+    EquivocateInit,
+    /// Spurious statement: an uncertified CURRENT out of the blue.
+    SpuriousCurrent,
+    /// Replay: the attacker's own honest output recorded and resent.
+    Replay,
+    /// Evidence suppression: certificates stripped from every message.
+    StripCertificates,
+    /// Transient omission: the attacker talks only to low-numbered peers.
+    SelectiveOmission,
+}
+
+impl FaultBehavior {
+    /// Every behavior, in a stable order (the matrix enumeration order).
+    pub fn all() -> Vec<FaultBehavior> {
+        use FaultBehavior::*;
+        vec![
+            Honest,
+            Crash,
+            Mute,
+            VectorCorrupt,
+            RoundJump,
+            DuplicateVotes,
+            ForgeDecide,
+            WrongKey,
+            StealIdentity,
+            EquivocateInit,
+            SpuriousCurrent,
+            Replay,
+            StripCertificates,
+            SelectiveOmission,
+        ]
+    }
+
+    /// Stable kebab-case name used in cell keys and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultBehavior::Honest => "honest",
+            FaultBehavior::Crash => "crash",
+            FaultBehavior::Mute => "mute",
+            FaultBehavior::VectorCorrupt => "vector-corrupt",
+            FaultBehavior::RoundJump => "round-jump",
+            FaultBehavior::DuplicateVotes => "duplicate-votes",
+            FaultBehavior::ForgeDecide => "forge-decide",
+            FaultBehavior::WrongKey => "wrong-key",
+            FaultBehavior::StealIdentity => "steal-identity",
+            FaultBehavior::EquivocateInit => "equivocate-init",
+            FaultBehavior::SpuriousCurrent => "spurious-current",
+            FaultBehavior::Replay => "replay",
+            FaultBehavior::StripCertificates => "strip-certificates",
+            FaultBehavior::SelectiveOmission => "selective-omission",
+        }
+    }
+
+    /// Builds the outgoing-message tamper for this behavior, or `None`
+    /// when the behavior needs no wrapper (honest runs, benign crashes).
+    pub fn make_tamper(&self, n: usize, attacker: u32, seed: u64) -> Option<Box<dyn Tamper>> {
+        let t: Box<dyn Tamper> = match self {
+            FaultBehavior::Honest | FaultBehavior::Crash => return None,
+            FaultBehavior::Mute => Box::new(attacks::MuteAfter {
+                after: VirtualTime::at(30),
+            }),
+            FaultBehavior::VectorCorrupt => Box::new(attacks::VectorCorruptor {
+                // Poison an honest process's entry, never the attacker's own.
+                entry: (attacker as usize + 1) % n,
+                poison: 666,
+            }),
+            FaultBehavior::RoundJump => Box::new(attacks::RoundJumper { jump: 5 }),
+            FaultBehavior::DuplicateVotes => Box::new(attacks::VoteDuplicator),
+            FaultBehavior::ForgeDecide => {
+                Box::new(attacks::DecideForger::new(VirtualTime::at(1), n, 999))
+            }
+            FaultBehavior::WrongKey => {
+                let mut rng = ftm_crypto::rng_from_seed(0xBAD ^ seed);
+                Box::new(attacks::WrongKeySigner {
+                    wrong: KeyPair::generate(&mut rng, 128),
+                })
+            }
+            FaultBehavior::StealIdentity => Box::new(attacks::IdentityThief {
+                victim: ProcessId(((attacker as usize + 1) % n) as u32),
+            }),
+            FaultBehavior::EquivocateInit => Box::new(attacks::InitEquivocator { alt: 1313 }),
+            FaultBehavior::SpuriousCurrent => {
+                Box::new(attacks::SpuriousCurrent::new(VirtualTime::at(1), n))
+            }
+            FaultBehavior::Replay => Box::new(attacks::Replayer::new(VirtualTime::at(30))),
+            FaultBehavior::StripCertificates => Box::new(attacks::CertStripper),
+            FaultBehavior::SelectiveOmission => {
+                Box::new(attacks::SelectiveSender { cutoff: n / 2 })
+            }
+        };
+        Some(t)
+    }
+}
+
+/// One cell of the sweep: system size, resilience bound and the fault the
+/// last process exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// Number of processes.
+    pub n: usize,
+    /// Resilience bound F (at most F arbitrary-faulty processes).
+    pub f: usize,
+    /// The behavior of the attacker process.
+    pub behavior: FaultBehavior,
+}
+
+impl Scenario {
+    /// The attacker is always the highest-numbered process — never the
+    /// round-1 coordinator (p0), so honest progress stays representative.
+    pub fn attacker(&self) -> u32 {
+        (self.n - 1) as u32
+    }
+
+    /// Cell key used to group runs for aggregation.
+    pub fn cell(&self) -> String {
+        format!("n={} f={} fault={}", self.n, self.f, self.behavior.label())
+    }
+}
+
+/// A scenario grid: the cross product of system configurations and fault
+/// behaviors, enumerated in a stable row-major order.
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrix {
+    /// `(n, F)` pairs, the grid's rows.
+    pub systems: Vec<(usize, usize)>,
+    /// Fault behaviors, the grid's columns.
+    pub behaviors: Vec<FaultBehavior>,
+}
+
+impl ScenarioMatrix {
+    /// Builds a matrix from explicit rows and columns.
+    pub fn new(systems: Vec<(usize, usize)>, behaviors: Vec<FaultBehavior>) -> Self {
+        ScenarioMatrix { systems, behaviors }
+    }
+
+    /// The given systems crossed with *every* behavior in the taxonomy.
+    pub fn full(systems: Vec<(usize, usize)>) -> Self {
+        ScenarioMatrix::new(systems, FaultBehavior::all())
+    }
+
+    /// Enumerates the cells row-major: systems outer, behaviors inner.
+    /// The position in this list is the scenario index the harness feeds
+    /// to [`ftm_sim::prng::derive_seed`].
+    pub fn enumerate(&self) -> Vec<Scenario> {
+        self.enumerate_repeated(1)
+    }
+
+    /// Like [`enumerate`](Self::enumerate), but each cell appears
+    /// `repeats` consecutive times. Repeats share a cell key and distinct
+    /// indices, so they get distinct derived seeds and aggregate into the
+    /// same cell — this is how a sweep gets percentiles per cell.
+    pub fn enumerate_repeated(&self, repeats: usize) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.systems.len() * self.behaviors.len() * repeats);
+        for &(n, f) in &self.systems {
+            for &behavior in &self.behaviors {
+                for _ in 0..repeats {
+                    out.push(Scenario { n, f, behavior });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Runs one scenario under one derived seed and flattens the outcome into
+/// a [`RunRecord`]. Matches the signature [`ftm_sim::harness::sweep`]
+/// expects, so it can be passed directly as the worker function.
+pub fn run_scenario(index: usize, sc: &Scenario, seed: u64) -> RunRecord {
+    let n = sc.n;
+    let attacker = sc.attacker();
+    let setup = ProtocolConfig::new(n, sc.f).seed(seed).setup();
+    let props: Vec<Value> = (0..n as u64).map(|i| 100 + i).collect();
+
+    let mut cfg = SimConfig::new(n).seed(seed);
+    if sc.behavior == FaultBehavior::Crash {
+        cfg = cfg.crash(attacker as usize, VirtualTime::ZERO);
+    }
+
+    let report = Simulation::build_boxed(cfg, |id| {
+        let honest = ByzantineConsensus::new(&setup, id, props[id.index()]);
+        if id.0 == attacker {
+            if let Some(tamper) = sc.behavior.make_tamper(n, attacker, seed) {
+                // The injection timer must beat the fastest honest decision
+                // (t ≈ 10 under the default delay range), or timed attacks
+                // fire into an already-halted system.
+                return Box::new(ByzantineWrapper::new(
+                    honest,
+                    tamper,
+                    setup.keys[attacker as usize].clone(),
+                    Duration::of(3),
+                )) as BoxedActor<_, _>;
+            }
+        }
+        Box::new(honest)
+    })
+    .run();
+
+    let mut faulty = vec![false; n];
+    if sc.behavior != FaultBehavior::Honest {
+        faulty[attacker as usize] = true;
+    }
+    let verdict = check_vector_consensus(&report, &props, &faulty, sc.f);
+
+    let mut rec = RunRecord::new(sc.cell(), index, seed);
+    rec.ok = verdict.ok();
+    record_metrics(&mut rec, &report);
+    rec
+}
+
+/// Flattens a finished run's metrics, trace notes and detections into the
+/// record's counter map. Every counter listed in the module docs is set
+/// (zero when the run never exercised that layer), so each cell of the
+/// aggregated report carries the full per-layer breakdown.
+fn record_metrics(rec: &mut RunRecord, report: &RunReport<ValueVector>) {
+    // Send-side cost, decomposed by module layer (see `Payload::layer_split`).
+    rec.set("messages-sent", report.metrics.messages_sent);
+    rec.set("bytes-total", report.metrics.bytes_sent);
+    rec.set("bytes-signature", report.metrics.signature_bytes);
+    rec.set("bytes-certificate", report.metrics.certificate_bytes);
+    rec.set("bytes-protocol", report.metrics.protocol_bytes);
+    rec.set("messages-delivered", report.metrics.messages_delivered);
+    rec.set("end-time", report.end_time.ticks());
+    rec.set("decided", report.decisions.iter().flatten().count() as u64);
+    rec.set("trace-fingerprint", report.trace.fingerprint());
+
+    // Receive-side and FD counters start at zero so every record exposes
+    // the same key set regardless of which layers fired.
+    for key in [
+        "suspicions",
+        "detections",
+        "detections-bad-signature",
+        "detections-bad-certificate",
+        "detections-out-of-order",
+        "detections-wrong-syntax",
+        "stack-admitted",
+        "stack-sig-rejects",
+        "stack-cert-rejects",
+        "stack-auto-rejects",
+        "stack-syntax-rejects",
+        "cert-items-sum",
+        "cert-items-max",
+    ] {
+        rec.add(key, 0);
+    }
+
+    let mut rounds = 0u64;
+    for entry in report.trace.entries() {
+        match &entry.event {
+            TraceEvent::Note { text, .. } => {
+                if let Some(r) = text.strip_prefix("round=") {
+                    rounds = rounds.max(r.parse().unwrap_or(0));
+                } else if text.starts_with("suspect=") {
+                    rec.add("suspicions", 1);
+                } else if let Some(rest) = text.strip_prefix("stack-stats ") {
+                    for tok in rest.split_whitespace() {
+                        if let Some((key, val)) = tok.split_once('=') {
+                            if let Ok(v) = val.parse::<u64>() {
+                                rec.add(format!("stack-{key}"), v);
+                            }
+                        }
+                    }
+                }
+            }
+            TraceEvent::Send { label, .. } => {
+                if let Some(pos) = label.rfind("cert=") {
+                    if let Ok(items) = label[pos + 5..].trim().parse::<u64>() {
+                        rec.add("cert-items-sum", items);
+                        let max = rec.get("cert-items-max").max(items);
+                        rec.set("cert-items-max", max);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    rec.set("rounds", rounds);
+
+    for d in detections(&report.trace) {
+        rec.add("detections", 1);
+        rec.add(format!("detections-{}", d.class), 1);
+    }
+}
+
+/// Enumerates `matrix`, fans the runs across `threads` workers and
+/// aggregates the records into a [`SweepReport`]. The output is a pure
+/// function of `(matrix, base_seed)` — thread count only changes wall
+/// clock, never a byte of the report.
+pub fn sweep_matrix(matrix: &ScenarioMatrix, base_seed: u64, threads: usize) -> SweepReport {
+    sweep_matrix_repeated(matrix, 1, base_seed, threads)
+}
+
+/// [`sweep_matrix`] with `repeats` runs per cell, each under its own
+/// derived seed, so per-cell summaries are real percentiles rather than
+/// single observations.
+pub fn sweep_matrix_repeated(
+    matrix: &ScenarioMatrix,
+    repeats: usize,
+    base_seed: u64,
+    threads: usize,
+) -> SweepReport {
+    let scenarios = matrix.enumerate_repeated(repeats);
+    let records = sweep(&scenarios, base_seed, threads, run_scenario);
+    SweepReport::new(base_seed, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_enumerates_row_major_with_distinct_cells() {
+        let m = ScenarioMatrix::new(
+            vec![(4, 1), (5, 1)],
+            vec![FaultBehavior::Honest, FaultBehavior::Crash],
+        );
+        let cells: Vec<String> = m.enumerate().iter().map(Scenario::cell).collect();
+        assert_eq!(
+            cells,
+            [
+                "n=4 f=1 fault=honest",
+                "n=4 f=1 fault=crash",
+                "n=5 f=1 fault=honest",
+                "n=5 f=1 fault=crash",
+            ]
+        );
+    }
+
+    #[test]
+    fn full_matrix_covers_the_whole_taxonomy() {
+        let m = ScenarioMatrix::full(vec![(4, 1)]);
+        assert_eq!(m.enumerate().len(), FaultBehavior::all().len());
+        let labels: std::collections::BTreeSet<&str> =
+            FaultBehavior::all().iter().map(|b| b.label()).collect();
+        assert_eq!(labels.len(), FaultBehavior::all().len(), "labels collide");
+    }
+
+    #[test]
+    fn honest_run_decomposes_bytes_by_layer() {
+        let sc = Scenario {
+            n: 4,
+            f: 1,
+            behavior: FaultBehavior::Honest,
+        };
+        let rec = run_scenario(0, &sc, 7);
+        assert!(rec.ok, "honest run failed: {rec:?}");
+        assert_eq!(rec.get("decided"), 4);
+        assert!(rec.get("rounds") >= 1);
+        assert!(rec.get("bytes-signature") > 0);
+        assert!(rec.get("bytes-protocol") > 0);
+        assert_eq!(
+            rec.get("bytes-signature") + rec.get("bytes-certificate") + rec.get("bytes-protocol"),
+            rec.get("bytes-total"),
+            "layer bytes must sum to the wire total"
+        );
+        assert!(rec.get("stack-admitted") > 0);
+        assert_eq!(rec.get("detections"), 0);
+    }
+
+    #[test]
+    fn vector_corruption_is_survived_and_charged_to_certification() {
+        let sc = Scenario {
+            n: 4,
+            f: 1,
+            behavior: FaultBehavior::VectorCorrupt,
+        };
+        let rec = run_scenario(0, &sc, 3);
+        assert!(rec.ok, "corrupted run violated the spec: {rec:?}");
+        assert!(
+            rec.get("detections-bad-certificate") > 0,
+            "certification module never convicted: {rec:?}"
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_record_exactly() {
+        let sc = Scenario {
+            n: 4,
+            f: 1,
+            behavior: FaultBehavior::ForgeDecide,
+        };
+        let a = run_scenario(2, &sc, 0xD5);
+        let b = run_scenario(2, &sc, 0xD5);
+        assert_eq!(a, b);
+        let c = run_scenario(2, &sc, 0xD6);
+        assert_ne!(
+            a.get("trace-fingerprint"),
+            c.get("trace-fingerprint"),
+            "distinct seeds should give distinct traces"
+        );
+    }
+
+    #[test]
+    fn small_sweep_is_all_ok_and_reports_layer_metrics() {
+        let m = ScenarioMatrix::new(
+            vec![(4, 1)],
+            vec![
+                FaultBehavior::Honest,
+                FaultBehavior::Mute,
+                FaultBehavior::StripCertificates,
+            ],
+        );
+        let rep = sweep_matrix(&m, 11, 2);
+        assert!(rep.all_ok(), "sweep had failures: {rep:?}");
+        let json = rep.to_json().render();
+        for key in ["bytes-signature", "bytes-certificate", "bytes-protocol"] {
+            assert!(json.contains(key), "report lost layer metric {key}");
+        }
+    }
+}

@@ -64,7 +64,10 @@ pub fn replay_quality<F: FailureDetector>(
     horizon: VirtualTime,
     query_interval: Duration,
 ) -> DetectorQuality {
-    assert!(query_interval > Duration::ZERO, "query interval must be positive");
+    assert!(
+        query_interval > Duration::ZERO,
+        "query interval must be positive"
+    );
 
     let mut mistakes = 0u64;
     let mut last_flip_to_suspected: Option<VirtualTime> = None;
@@ -156,7 +159,11 @@ mod tests {
             Duration::of(1),
         );
         assert!(!q.suspected_at_horizon);
-        assert!(q.mistakes >= 1 && q.mistakes <= 3, "mistakes={}", q.mistakes);
+        assert!(
+            q.mistakes >= 1 && q.mistakes <= 3,
+            "mistakes={}",
+            q.mistakes
+        );
         assert_eq!(q.detection_time, None);
     }
 

@@ -186,7 +186,12 @@ impl Actor for BrachaActor {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: BrachaMsg, ctx: &mut Context<'_, BrachaMsg, u64>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: BrachaMsg,
+        ctx: &mut Context<'_, BrachaMsg, u64>,
+    ) {
         for cmd in self.state.on_message(from, &msg) {
             match cmd {
                 BrachaOutput::Send(m) => ctx.broadcast(m),
@@ -274,7 +279,12 @@ mod tests {
             }
         }
 
-        fn on_message(&mut self, from: ProcessId, msg: BrachaMsg, ctx: &mut Context<'_, BrachaMsg, u64>) {
+        fn on_message(
+            &mut self,
+            from: ProcessId,
+            msg: BrachaMsg,
+            ctx: &mut Context<'_, BrachaMsg, u64>,
+        ) {
             for cmd in self.state.on_message(from, &msg) {
                 match cmd {
                     BrachaOutput::Send(m) => ctx.broadcast(m),
@@ -299,9 +309,7 @@ mod tests {
                 }
             })
             .run();
-            let delivered: Vec<u64> = (1..N)
-                .filter_map(|p| report.decisions[p])
-                .collect();
+            let delivered: Vec<u64> = (1..N).filter_map(|p| report.decisions[p]).collect();
             assert!(
                 delivered.windows(2).all(|w| w[0] == w[1]),
                 "seed {seed}: correct processes delivered {delivered:?}"

@@ -117,7 +117,12 @@ impl Actor for EagerActor {
         }
     }
 
-    fn on_message(&mut self, _from: ProcessId, msg: EagerMsg, ctx: &mut Context<'_, EagerMsg, u64>) {
+    fn on_message(
+        &mut self,
+        _from: ProcessId,
+        msg: EagerMsg,
+        ctx: &mut Context<'_, EagerMsg, u64>,
+    ) {
         if let Some(body) = self.state.on_receive(&msg) {
             ctx.broadcast(msg); // relay before delivering
             ctx.decide(body);
@@ -173,7 +178,11 @@ mod tests {
     #[test]
     fn duplicates_are_delivered_once() {
         let mut st = EagerState::new();
-        let m = EagerMsg { origin: ProcessId(3), tag: 9, body: 5 };
+        let m = EagerMsg {
+            origin: ProcessId(3),
+            tag: 9,
+            body: 5,
+        };
         assert_eq!(st.on_receive(&m), Some(5));
         for _ in 0..10 {
             assert_eq!(st.on_receive(&m), None);
@@ -184,9 +193,21 @@ mod tests {
     #[test]
     fn distinct_instances_are_independent() {
         let mut st = EagerState::new();
-        let a = EagerMsg { origin: ProcessId(0), tag: 0, body: 1 };
-        let b = EagerMsg { origin: ProcessId(0), tag: 1, body: 2 };
-        let c = EagerMsg { origin: ProcessId(1), tag: 0, body: 3 };
+        let a = EagerMsg {
+            origin: ProcessId(0),
+            tag: 0,
+            body: 1,
+        };
+        let b = EagerMsg {
+            origin: ProcessId(0),
+            tag: 1,
+            body: 2,
+        };
+        let c = EagerMsg {
+            origin: ProcessId(1),
+            tag: 0,
+            body: 3,
+        };
         assert!(st.on_receive(&a).is_some());
         assert!(st.on_receive(&b).is_some());
         assert!(st.on_receive(&c).is_some());

@@ -70,7 +70,10 @@ impl fmt::Debug for SimConfig {
             .field("max_time", &self.max_time)
             .field("max_events", &self.max_events)
             .field("crashes", &self.crashes)
-            .field("delay_script", &self.delay_script.as_ref().map(|_| "<script>"))
+            .field(
+                "delay_script",
+                &self.delay_script.as_ref().map(|_| "<script>"),
+            )
             .finish()
     }
 }

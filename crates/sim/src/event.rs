@@ -119,7 +119,9 @@ mod tests {
         q.push(VirtualTime::at(5), ProcessId(0), EventKind::Start);
         q.push(VirtualTime::at(1), ProcessId(1), EventKind::Start);
         q.push(VirtualTime::at(3), ProcessId(2), EventKind::Start);
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.ticks()).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.ticks())
+            .collect();
         assert_eq!(order, vec![1, 3, 5]);
     }
 

@@ -50,9 +50,12 @@
 
 pub mod config;
 pub mod event;
+pub mod harness;
 pub mod metrics;
 pub mod network;
+pub mod prng;
 pub mod process;
+pub mod report;
 pub mod runner;
 pub mod time;
 pub mod trace;
@@ -60,12 +63,15 @@ pub mod trace;
 /// Convenient glob import for simulator users.
 pub mod prelude {
     pub use crate::config::SimConfig;
-    pub use crate::process::{Actor, Context, Payload, ProcessId, TimerTag};
+    pub use crate::harness::{sweep, RunRecord, SweepReport};
+    pub use crate::process::{Actor, Context, LayerSplit, Payload, ProcessId, TimerTag};
     pub use crate::runner::{RunReport, Simulation};
     pub use crate::time::{Duration, VirtualTime};
 }
 
 pub use config::SimConfig;
-pub use process::{Actor, Context, Payload, ProcessId, TimerTag};
+pub use harness::{sweep, RunRecord, SweepReport};
+pub use process::{Actor, Context, LayerSplit, Payload, ProcessId, TimerTag};
+pub use report::Json;
 pub use runner::{RunReport, Simulation};
 pub use time::{Duration, VirtualTime};

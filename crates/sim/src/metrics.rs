@@ -1,9 +1,11 @@
 //! Per-run cost accounting: message counts, bytes, callback counts.
 //!
 //! Experiment E6 ("the price of arbitrary-fault tolerance") compares these
-//! numbers between the crash-model protocol and its transformed version.
+//! numbers between the crash-model protocol and its transformed version,
+//! and the sweep harness reports the per-module-layer byte breakdown
+//! (signature / certification / protocol) for every scenario cell.
 
-use crate::process::ProcessId;
+use crate::process::{LayerSplit, ProcessId};
 
 /// Aggregated counters for one run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -12,6 +14,14 @@ pub struct Metrics {
     pub messages_sent: u64,
     /// Total payload bytes handed to the network.
     pub bytes_sent: u64,
+    /// Of [`bytes_sent`](Metrics::bytes_sent): bytes added by the signature
+    /// layer.
+    pub signature_bytes: u64,
+    /// Of [`bytes_sent`](Metrics::bytes_sent): bytes added by the
+    /// certification layer (carried certificates).
+    pub certificate_bytes: u64,
+    /// Of [`bytes_sent`](Metrics::bytes_sent): protocol-core bytes.
+    pub protocol_bytes: u64,
     /// Total messages delivered.
     pub messages_delivered: u64,
     /// Timer callbacks fired.
@@ -34,10 +44,14 @@ impl Metrics {
         }
     }
 
-    /// Records one send of `bytes` bytes by `src`.
-    pub fn on_send(&mut self, src: ProcessId, bytes: usize) {
+    /// Records one send by `src`, attributing its bytes per layer.
+    pub fn on_send(&mut self, src: ProcessId, split: LayerSplit) {
+        let bytes = split.total();
         self.messages_sent += 1;
         self.bytes_sent += bytes as u64;
+        self.signature_bytes += split.signature_bytes as u64;
+        self.certificate_bytes += split.certificate_bytes as u64;
+        self.protocol_bytes += split.protocol_bytes as u64;
         if let Some(c) = self.sent_per_process.get_mut(src.index()) {
             *c += 1;
         }
@@ -73,8 +87,8 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let mut m = Metrics::new(2);
-        m.on_send(ProcessId(0), 10);
-        m.on_send(ProcessId(1), 30);
+        m.on_send(ProcessId(0), LayerSplit::protocol_only(10));
+        m.on_send(ProcessId(1), LayerSplit::protocol_only(30));
         m.on_deliver();
         m.on_timer();
         assert_eq!(m.messages_sent, 2);
@@ -87,6 +101,28 @@ mod tests {
     }
 
     #[test]
+    fn layered_sends_split_bytes_by_module() {
+        let mut m = Metrics::new(1);
+        m.on_send(
+            ProcessId(0),
+            LayerSplit {
+                signature_bytes: 32,
+                certificate_bytes: 100,
+                protocol_bytes: 24,
+            },
+        );
+        m.on_send(ProcessId(0), LayerSplit::protocol_only(8));
+        assert_eq!(m.bytes_sent, 164);
+        assert_eq!(m.signature_bytes, 32);
+        assert_eq!(m.certificate_bytes, 100);
+        assert_eq!(m.protocol_bytes, 32);
+        assert_eq!(
+            m.signature_bytes + m.certificate_bytes + m.protocol_bytes,
+            m.bytes_sent
+        );
+    }
+
+    #[test]
     fn mean_of_zero_messages_is_zero() {
         assert_eq!(Metrics::new(1).mean_message_bytes(), 0.0);
     }
@@ -94,7 +130,7 @@ mod tests {
     #[test]
     fn out_of_range_sender_is_ignored_gracefully() {
         let mut m = Metrics::new(1);
-        m.on_send(ProcessId(9), 5);
+        m.on_send(ProcessId(9), LayerSplit::protocol_only(5));
         assert_eq!(m.messages_sent, 1);
         assert_eq!(m.sent_per_process, vec![0]);
     }

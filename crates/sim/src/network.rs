@@ -13,9 +13,8 @@
 
 use std::sync::Arc;
 
-use rand::Rng;
-
 use crate::config::{DelayScript, SimConfig};
+use crate::prng::Rng64;
 use crate::process::ProcessId;
 use crate::time::{Duration, VirtualTime};
 
@@ -58,7 +57,7 @@ impl Network {
     ///
     /// The result is strictly later than both `now` and any previous
     /// delivery on the same channel (FIFO).
-    pub fn delivery_time<R: Rng + ?Sized>(
+    pub fn delivery_time<R: Rng64 + ?Sized>(
         &mut self,
         rng: &mut R,
         src: ProcessId,
@@ -74,7 +73,7 @@ impl Network {
             };
             let lo = self.min_delay.ticks().max(1);
             let hi = max.ticks().max(lo);
-            Duration::of(rng.gen_range(lo..=hi))
+            Duration::of(rng.gen_range_u64(lo, hi))
         };
         let slot = src.index() * self.n + dst.index();
         let fifo_floor = self.last_delivery[slot] + Duration::of(1);
@@ -87,10 +86,10 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use crate::prng::Xoshiro256PlusPlus;
 
-    fn net(cfg: &SimConfig) -> (Network, rand::rngs::StdRng) {
-        (Network::new(cfg), rand::rngs::StdRng::seed_from_u64(1))
+    fn net(cfg: &SimConfig) -> (Network, Xoshiro256PlusPlus) {
+        (Network::new(cfg), Xoshiro256PlusPlus::from_seed(1))
     }
 
     #[test]
@@ -147,13 +146,7 @@ mod tests {
 
     #[test]
     fn scripted_delays_override_random_draws() {
-        let cfg = SimConfig::new(2).delay_script(|src, _dst, _now| {
-            if src.0 == 0 {
-                7
-            } else {
-                3
-            }
-        });
+        let cfg = SimConfig::new(2).delay_script(|src, _dst, _now| if src.0 == 0 { 7 } else { 3 });
         let (mut n, mut rng) = net(&cfg);
         let a = n.delivery_time(&mut rng, ProcessId(0), ProcessId(1), VirtualTime::at(10));
         let b = n.delivery_time(&mut rng, ProcessId(1), ProcessId(0), VirtualTime::at(10));
@@ -164,8 +157,7 @@ mod tests {
     #[test]
     fn scripted_delays_still_respect_fifo() {
         // A script that would invert order is corrected by the FIFO floor.
-        let cfg = SimConfig::new(2)
-            .delay_script(|_, _, now| if now.ticks() == 0 { 50 } else { 1 });
+        let cfg = SimConfig::new(2).delay_script(|_, _, now| if now.ticks() == 0 { 50 } else { 1 });
         let (mut n, mut rng) = net(&cfg);
         let first = n.delivery_time(&mut rng, ProcessId(0), ProcessId(1), VirtualTime::ZERO);
         let second = n.delivery_time(&mut rng, ProcessId(0), ProcessId(1), VirtualTime::at(5));

@@ -1,0 +1,12 @@
+//! Deterministic pseudo-random number generation for simulation runs.
+//!
+//! The generators themselves live in [`ftm_crypto::prng`] (the workspace's
+//! dependency-free base crate); this module re-exports them so simulator
+//! users write `ftm_sim::prng::...` without caring about the layering. Every
+//! run draws all of its randomness — network delays, actor `random_u64`
+//! calls — from one [`Xoshiro256PlusPlus`] stream seeded by
+//! [`crate::SimConfig::seed`], and the sweep harness derives per-scenario
+//! seeds with [`derive_seed`] so parallel runs stay independent of thread
+//! interleaving.
+
+pub use ftm_crypto::prng::{derive_seed, splitmix64, Rng64, SplitMix64, Xoshiro256PlusPlus};

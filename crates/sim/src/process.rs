@@ -40,6 +40,38 @@ impl From<u32> for ProcessId {
 /// An application-chosen label distinguishing a process's timers.
 pub type TimerTag = u64;
 
+/// Per-module-layer decomposition of one message's wire bytes.
+///
+/// The transformation stack wraps protocol messages in signatures and
+/// certificates; sweep reports attribute each message's bytes to the layer
+/// that added them. Plain payloads are all protocol; `ftm-certify`'s
+/// envelope overrides [`Payload::layer_split`] to separate the three parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LayerSplit {
+    /// Bytes added by the signature layer (the RSA signature itself).
+    pub signature_bytes: usize,
+    /// Bytes added by the certification layer (the carried certificate).
+    pub certificate_bytes: usize,
+    /// Bytes of the protocol-level message core.
+    pub protocol_bytes: usize,
+}
+
+impl LayerSplit {
+    /// A split attributing everything to the protocol layer (the default
+    /// for unwrapped payloads).
+    pub fn protocol_only(bytes: usize) -> Self {
+        LayerSplit {
+            protocol_bytes: bytes,
+            ..LayerSplit::default()
+        }
+    }
+
+    /// Total bytes across all layers.
+    pub fn total(&self) -> usize {
+        self.signature_bytes + self.certificate_bytes + self.protocol_bytes
+    }
+}
+
 /// Message payloads carried by the simulated network.
 ///
 /// `size_bytes` feeds the byte-accounting metrics (experiment E6 reports
@@ -49,6 +81,16 @@ pub type TimerTag = u64;
 pub trait Payload: Clone + fmt::Debug {
     /// Approximate on-the-wire size of this message in bytes.
     fn size_bytes(&self) -> usize;
+
+    /// Attribution of [`size_bytes`](Payload::size_bytes) to the module
+    /// layers that produced them. The default charges everything to the
+    /// protocol layer; wrapped message types (signed envelopes) override
+    /// this so sweeps can report the per-layer price of the transformation.
+    ///
+    /// Implementations must keep `layer_split().total() == size_bytes()`.
+    fn layer_split(&self) -> LayerSplit {
+        LayerSplit::protocol_only(self.size_bytes())
+    }
 
     /// Short human-readable label used in run traces (defaults to the
     /// `Debug` rendering, truncated). Protocol messages override this with
@@ -336,5 +378,14 @@ mod tests {
     fn process_id_display_and_index() {
         assert_eq!(ProcessId(4).to_string(), "p4");
         assert_eq!(ProcessId::from(3u32).index(), 3);
+    }
+
+    #[test]
+    fn default_layer_split_is_all_protocol() {
+        let split = 7u64.layer_split();
+        assert_eq!(split, LayerSplit::protocol_only(8));
+        assert_eq!(split.total(), 7u64.size_bytes());
+        assert_eq!(split.signature_bytes, 0);
+        assert_eq!(split.certificate_bytes, 0);
     }
 }

@@ -1,0 +1,163 @@
+//! A minimal, byte-stable JSON document model for sweep reports.
+//!
+//! The harness promises that the same `(base seed, scenario matrix)` pair
+//! produces *byte-identical* reports regardless of worker-thread count or
+//! host platform. That rules out floating-point serialization quirks and
+//! hash-map iteration order, so this module keeps the value model tiny:
+//! integers only, objects as ordered key/value vectors, deterministic
+//! string escaping. No external serializer, no reflection — a report is
+//! built explicitly and rendered with [`Json::render`].
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value restricted to what deterministic reports need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer (all sweep counters are `u64`).
+    U64(u64),
+    /// String.
+    Str(String),
+    /// Array, in insertion order.
+    Arr(Vec<Json>),
+    /// Object, in insertion order (build from a `BTreeMap` for sorted keys).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from sorted map entries (stable key order).
+    pub fn from_map(map: &BTreeMap<String, u64>) -> Json {
+        Json::Obj(
+            map.iter()
+                .map(|(k, v)| (k.clone(), Json::U64(*v)))
+                .collect(),
+        )
+    }
+
+    /// Renders the value as pretty-printed JSON (2-space indent, `\n`
+    /// separators), byte-stable across platforms.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_plainly() {
+        assert_eq!(Json::Null.render(), "null\n");
+        assert_eq!(Json::Bool(true).render(), "true\n");
+        assert_eq!(Json::U64(42).render(), "42\n");
+        assert_eq!(Json::Str("hi".into()).render(), "\"hi\"\n");
+    }
+
+    #[test]
+    fn escaping_covers_quotes_and_control_chars() {
+        let s = Json::Str("a\"b\\c\nd\u{1}".into()).render();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn nested_structures_render_with_stable_layout() {
+        let doc = Json::Obj(vec![
+            ("empty".into(), Json::Arr(vec![])),
+            ("xs".into(), Json::Arr(vec![Json::U64(1), Json::U64(2)])),
+        ]);
+        assert_eq!(
+            doc.render(),
+            "{\n  \"empty\": [],\n  \"xs\": [\n    1,\n    2\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn from_map_sorts_keys() {
+        let mut m = BTreeMap::new();
+        m.insert("zz".to_string(), 1);
+        m.insert("aa".to_string(), 2);
+        let doc = Json::from_map(&m);
+        let rendered = doc.render();
+        assert!(rendered.find("aa").unwrap() < rendered.find("zz").unwrap());
+    }
+}

@@ -2,13 +2,11 @@
 
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::config::SimConfig;
 use crate::event::{EventKind, EventQueue};
 use crate::metrics::Metrics;
 use crate::network::Network;
+use crate::prng::{Rng64, Xoshiro256PlusPlus};
 use crate::process::{Actor, Context, Payload, ProcessId};
 use crate::time::VirtualTime;
 use crate::trace::{Trace, TraceEvent};
@@ -129,7 +127,7 @@ where
     pub fn run(self) -> RunReport<D> {
         let Simulation { cfg, mut actors } = self;
         let n = cfg.n;
-        let mut rng = StdRng::seed_from_u64(cfg.rng_seed);
+        let mut rng = Xoshiro256PlusPlus::from_seed(cfg.rng_seed);
         let mut network = Network::new(&cfg);
         let mut queue: EventQueue<M> = EventQueue::new();
         let mut trace = Trace::new();
@@ -180,7 +178,7 @@ where
 
             // Run the callback with a context borrowing the run RNG.
             let effects = {
-                let mut draw = || rng.gen::<u64>();
+                let mut draw = || rng.next_u64();
                 let mut ctx: Context<'_, M, D> = Context::new(now, pid, n, &mut draw);
                 match ev.kind {
                     EventKind::Start => actors[idx].on_start(&mut ctx),
@@ -213,7 +211,7 @@ where
             };
 
             for (to, msg) in effects.sends {
-                metrics.on_send(pid, msg.size_bytes());
+                metrics.on_send(pid, msg.layer_split());
                 trace.record(
                     now,
                     TraceEvent::Send {
@@ -342,7 +340,9 @@ mod tests {
 
     #[test]
     fn run_ends_before_a_late_crash_fires() {
-        let cfg = SimConfig::new(3).seed(5).crash(2, VirtualTime::at(1_000_000));
+        let cfg = SimConfig::new(3)
+            .seed(5)
+            .crash(2, VirtualTime::at(1_000_000));
         let report = Simulation::build(cfg, summer).run();
         assert!(report.all_decided());
         // Everyone halted long before the scheduled crash, so the run ends
@@ -387,8 +387,7 @@ mod tests {
 
     #[test]
     fn timers_rearm_and_fire_in_order() {
-        let report =
-            Simulation::build(SimConfig::new(2).seed(0), |_| TimerLoop { fired: 0 }).run();
+        let report = Simulation::build(SimConfig::new(2).seed(0), |_| TimerLoop { fired: 0 }).run();
         assert_eq!(report.unanimous(), Some(3));
         assert_eq!(report.end_time, VirtualTime::at(30));
         assert_eq!(report.metrics.timers_fired, 6);

@@ -109,10 +109,7 @@ impl Trace {
     where
         F: Fn(&TraceEvent) -> bool,
     {
-        self.entries
-            .iter()
-            .find(|e| pred(&e.event))
-            .map(|e| e.at)
+        self.entries.iter().find(|e| pred(&e.event)).map(|e| e.at)
     }
 
     /// All `Note` texts emitted by `process`, in order.
@@ -124,6 +121,30 @@ impl Trace {
                 _ => None,
             })
             .collect()
+    }
+
+    /// A 64-bit FNV-1a digest of the full trace (timestamps and a canonical
+    /// rendering of every event).
+    ///
+    /// Two traces are equal iff their entry sequences are equal, and the
+    /// fingerprint is a cheap, order-sensitive proxy for that comparison —
+    /// the sweep harness uses it to assert that distinct seeds produce
+    /// distinct schedules without storing whole traces.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        for entry in &self.entries {
+            eat(&entry.at.ticks().to_le_bytes());
+            eat(format!("{:?}", entry.event).as_bytes());
+        }
+        hash
     }
 
     /// Number of entries.
@@ -153,7 +174,12 @@ mod tests {
     #[test]
     fn records_in_order_and_filters() {
         let mut t = Trace::new();
-        t.record(VirtualTime::at(1), TraceEvent::Crash { process: ProcessId(0) });
+        t.record(
+            VirtualTime::at(1),
+            TraceEvent::Crash {
+                process: ProcessId(0),
+            },
+        );
         t.record(
             VirtualTime::at(2),
             TraceEvent::Decide {
@@ -193,9 +219,37 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_is_stable_and_order_sensitive() {
+        let mk = |first: u32, second: u32| {
+            let mut t = Trace::new();
+            t.record(
+                VirtualTime::at(1),
+                TraceEvent::Crash {
+                    process: ProcessId(first),
+                },
+            );
+            t.record(
+                VirtualTime::at(2),
+                TraceEvent::Halt {
+                    process: ProcessId(second),
+                },
+            );
+            t
+        };
+        assert_eq!(mk(0, 1).fingerprint(), mk(0, 1).fingerprint());
+        assert_ne!(mk(0, 1).fingerprint(), mk(1, 0).fingerprint());
+        assert_ne!(Trace::new().fingerprint(), mk(0, 1).fingerprint());
+    }
+
+    #[test]
     fn display_renders_every_entry() {
         let mut t = Trace::new();
-        t.record(VirtualTime::at(3), TraceEvent::Halt { process: ProcessId(2) });
+        t.record(
+            VirtualTime::at(3),
+            TraceEvent::Halt {
+                process: ProcessId(2),
+            },
+        );
         let s = t.to_string();
         assert!(s.contains("Halt"));
         assert!(!t.is_empty());

@@ -64,7 +64,10 @@ fn main() {
         if id.0 == 0 {
             Box::new(ByzantineWrapper::new(
                 honest,
-                Box::new(VectorCorruptor { entry: 2, poison: 31337 }),
+                Box::new(VectorCorruptor {
+                    entry: 2,
+                    poison: 31337,
+                }),
                 setup.keys[0].clone(),
                 Duration::of(30),
             )) as BoxedActor<_, ValueVector>
@@ -84,7 +87,10 @@ fn main() {
     println!("  verdict: {}", render(&verdict.violations));
     println!("  convictions of the attacker:");
     for d in detections(&report.trace) {
-        println!("    t={} {} convicted {} ({})", d.at, d.observer, d.culprit, d.class);
+        println!(
+            "    t={} {} convicted {} ({})",
+            d.at, d.observer, d.culprit, d.class
+        );
     }
 }
 

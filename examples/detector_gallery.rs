@@ -14,21 +14,25 @@ use ft_modular::sim::{Duration, ProcessId, VirtualTime};
 fn main() {
     // A peer that speaks every 25 ticks for a while, then goes mute at
     // t = 1000 — the muteness case the detector must catch…
-    let mute_deliveries: Vec<VirtualTime> =
-        (1..=40).map(|i| VirtualTime::at(i * 25)).collect();
+    let mute_deliveries: Vec<VirtualTime> = (1..=40).map(|i| VirtualTime::at(i * 25)).collect();
     // …and a peer that speaks every 60 ticks forever — the slow-but-
     // correct case it must learn to trust.
-    let slow_deliveries: Vec<VirtualTime> =
-        (1..=200).map(|i| VirtualTime::at(i * 60)).collect();
+    let slow_deliveries: Vec<VirtualTime> = (1..=200).map(|i| VirtualTime::at(i * 60)).collect();
 
     let horizon = VirtualTime::at(12_000);
     let peer = ProcessId(0);
 
-    println!("peer A: speaks every 25 ticks, mute from t=1000; peer B: speaks every 60 ticks, correct");
+    println!(
+        "peer A: speaks every 25 ticks, mute from t=1000; peer B: speaks every 60 ticks, correct"
+    );
     println!("horizon t=12000, queries every 5 ticks\n");
     println!(
         "{:<10} {:<22} {:<22} {:<24} {:<10}",
-        "timeout", "A: detection latency", "A: false suspicions", "B: false suspicions", "B: trusted at end"
+        "timeout",
+        "A: detection latency",
+        "A: false suspicions",
+        "B: false suspicions",
+        "B: trusted at end"
     );
     println!("{}", "-".repeat(92));
 
@@ -74,9 +78,28 @@ fn main() {
     println!("{}", "-".repeat(66));
     for timeout in [10u64, 25, 50] {
         let mut adaptive = TimeoutDetector::new(1, Duration::of(timeout));
-        let qa = replay_quality(&mut adaptive, peer, &slow_deliveries, None, horizon, Duration::of(5));
+        let qa = replay_quality(
+            &mut adaptive,
+            peer,
+            &slow_deliveries,
+            None,
+            horizon,
+            Duration::of(5),
+        );
         let mut fixed = QuietDetector::new(1, Duration::of(timeout));
-        let qf = replay_quality(&mut fixed, peer, &slow_deliveries, None, horizon, Duration::of(5));
-        println!("{:<10} {:<28} {:<28}", format!("Δ={timeout}"), qa.mistakes, qf.mistakes);
+        let qf = replay_quality(
+            &mut fixed,
+            peer,
+            &slow_deliveries,
+            None,
+            horizon,
+            Duration::of(5),
+        );
+        println!(
+            "{:<10} {:<28} {:<28}",
+            format!("Δ={timeout}"),
+            qa.mistakes,
+            qf.mistakes
+        );
     }
 }

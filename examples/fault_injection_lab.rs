@@ -26,18 +26,57 @@ type AttackEntry = (&'static str, Box<dyn Fn(&ProtocolSetup) -> Box<dyn Tamper>>
 
 fn main() {
     let gallery: Vec<AttackEntry> = vec![
-        ("muteness (silent after t=30)", Box::new(|_| Box::new(MuteAfter { after: VirtualTime::at(30) }))),
-        ("vector corruption", Box::new(|_| Box::new(VectorCorruptor { entry: 1, poison: 666 }))),
-        ("round jumping (+5)", Box::new(|_| Box::new(RoundJumper { jump: 5 }))),
+        (
+            "muteness (silent after t=30)",
+            Box::new(|_| {
+                Box::new(MuteAfter {
+                    after: VirtualTime::at(30),
+                })
+            }),
+        ),
+        (
+            "vector corruption",
+            Box::new(|_| {
+                Box::new(VectorCorruptor {
+                    entry: 1,
+                    poison: 666,
+                })
+            }),
+        ),
+        (
+            "round jumping (+5)",
+            Box::new(|_| Box::new(RoundJumper { jump: 5 })),
+        ),
         ("vote duplication", Box::new(|_| Box::new(VoteDuplicator))),
-        ("forged DECIDE", Box::new(|_| Box::new(DecideForger::new(VirtualTime::at(1), N, 999)))),
-        ("wrong signing key", Box::new(|_| {
-            let mut rng = ft_modular::crypto::rng_from_seed(0xBAD);
-            Box::new(WrongKeySigner { wrong: ft_modular::crypto::rsa::KeyPair::generate(&mut rng, 128) })
-        })),
-        ("identity theft (claims p1)", Box::new(|_| Box::new(IdentityThief { victim: ProcessId(1) }))),
-        ("INIT equivocation", Box::new(|_| Box::new(InitEquivocator { alt: 1313 }))),
-        ("spurious CURRENT", Box::new(|_| Box::new(SpuriousCurrent::new(VirtualTime::at(1), N)))),
+        (
+            "forged DECIDE",
+            Box::new(|_| Box::new(DecideForger::new(VirtualTime::at(1), N, 999))),
+        ),
+        (
+            "wrong signing key",
+            Box::new(|_| {
+                let mut rng = ft_modular::crypto::rng_from_seed(0xBAD);
+                Box::new(WrongKeySigner {
+                    wrong: ft_modular::crypto::rsa::KeyPair::generate(&mut rng, 128),
+                })
+            }),
+        ),
+        (
+            "identity theft (claims p1)",
+            Box::new(|_| {
+                Box::new(IdentityThief {
+                    victim: ProcessId(1),
+                })
+            }),
+        ),
+        (
+            "INIT equivocation",
+            Box::new(|_| Box::new(InitEquivocator { alt: 1313 })),
+        ),
+        (
+            "spurious CURRENT",
+            Box::new(|_| Box::new(SpuriousCurrent::new(VirtualTime::at(1), N))),
+        ),
     ];
 
     println!("n = {N}, F = 1, attacker = p{ATTACKER}; every row is one simulated run\n");
@@ -88,13 +127,41 @@ fn main() {
             yes(v.agreement && v.termination),
             yes(v.validity),
             first,
-            if classes.is_empty() { "-".to_string() } else { classes.join(", ") },
+            if classes.is_empty() {
+                "-".to_string()
+            } else {
+                classes.join(", ")
+            },
         );
     }
     println!(
         "\n'(none needed)' marks faults that are either handled by the muteness detector\n\
          alone or are not locally detectable (equivocation) — properties hold regardless."
     );
+
+    sweep_demo();
+}
+
+/// The same gallery, harness-style: a scenario matrix fanned across
+/// worker threads, aggregated into the structured JSON report. The report
+/// is a pure function of `(matrix, base seed)` — rerun it on any number
+/// of threads and the bytes do not change.
+fn sweep_demo() {
+    use ft_modular::faults::{sweep_matrix, FaultBehavior, ScenarioMatrix};
+
+    let matrix = ScenarioMatrix::new(
+        vec![(4, 1), (5, 2), (7, 3)],
+        vec![
+            FaultBehavior::Honest,
+            FaultBehavior::VectorCorrupt,
+            FaultBehavior::ForgeDecide,
+        ],
+    );
+    let report = sweep_matrix(&matrix, 0x1AB, 4);
+    println!("\n== scenario sweep (3 systems x 3 behaviors, 4 worker threads) ==\n");
+    println!("{}", report.to_json().render());
+    assert!(report.all_ok(), "a sweep cell violated the spec");
+    println!("\nall {} runs satisfied the spec", report.records.len());
 }
 
 fn yes(b: bool) -> &'static str {

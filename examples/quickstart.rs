@@ -16,8 +16,14 @@ fn main() {
 
     // Shared setup: RSA key pairs for everyone plus the public directory.
     let setup = ProtocolConfig::new(n, f).seed(2026).setup();
-    println!("system: n = {n}, F = {f}, quorum = {}", setup.resilience.quorum());
-    println!("psi bound: decided vector carries >= {} correct entries\n", setup.resilience.psi());
+    println!(
+        "system: n = {n}, F = {f}, quorum = {}",
+        setup.resilience.quorum()
+    );
+    println!(
+        "psi bound: decided vector carries >= {} correct entries\n",
+        setup.resilience.psi()
+    );
 
     // Everyone proposes 100 + its index; the network delivers with random
     // delays in [1, 10] and stabilizes after GST.
@@ -34,7 +40,11 @@ fn main() {
     }
     println!(
         "\nagreement: {}",
-        if report.unanimous().is_some() { "yes" } else { "NO" }
+        if report.unanimous().is_some() {
+            "yes"
+        } else {
+            "NO"
+        }
     );
     println!("rounds used: {}", max_round(&report.trace, n));
     println!(

@@ -65,8 +65,13 @@ fn main() {
         // "client requests" 1000*slot + client id.
         let setup = ProtocolConfig::new(N, 1).seed(slot).setup();
         let attack: Box<dyn Tamper> = match slot % 4 {
-            0 => Box::new(VectorCorruptor { entry: 1, poison: 31337 }),
-            1 => Box::new(MuteAfter { after: VirtualTime::at(5) }),
+            0 => Box::new(VectorCorruptor {
+                entry: 1,
+                poison: 31337,
+            }),
+            1 => Box::new(MuteAfter {
+                after: VirtualTime::at(5),
+            }),
             2 => Box::new(DecideForger::new(VirtualTime::at(1), N, 999)),
             _ => Box::new(VoteDuplicator),
         };
@@ -80,8 +85,7 @@ fn main() {
         // the boxed strategy out of this Option.
         let mut attack = Some(attack);
         let report = Simulation::build_boxed(SimConfig::new(N).seed(slot), |id| {
-            let honest =
-                ByzantineConsensus::new(&setup, id, 1000 * slot + 100 + id.0 as u64);
+            let honest = ByzantineConsensus::new(&setup, id, 1000 * slot + 100 + id.0 as u64);
             if id.0 == 3 {
                 Box::new(ByzantineWrapper::new(
                     honest,
@@ -102,9 +106,7 @@ fn main() {
         let consistent = (0..3)
             .filter_map(|p| report.decisions[p].as_ref())
             .all(|v| *v == decided);
-        println!(
-            "slot {slot}: {attack_name:<18} decided {decided:?}  consistent={consistent}"
-        );
+        println!("slot {slot}: {attack_name:<18} decided {decided:?}  consistent={consistent}");
         assert!(consistent, "log diverged at slot {slot}");
         log.push(decided);
     }

@@ -37,7 +37,10 @@ fn main() {
         if corrupt && id.0 == 0 {
             Box::new(ByzantineWrapper::new(
                 honest,
-                Box::new(VectorCorruptor { entry: 1, poison: 666 }),
+                Box::new(VectorCorruptor {
+                    entry: 1,
+                    poison: 666,
+                }),
                 setup.keys[0].clone(),
                 Duration::of(30),
             )) as BoxedActor<_, ValueVector>
@@ -49,7 +52,12 @@ fn main() {
 
     for entry in report.trace.entries() {
         let line = match &entry.event {
-            TraceEvent::Send { src, dst, label, bytes } => {
+            TraceEvent::Send {
+                src,
+                dst,
+                label,
+                bytes,
+            } => {
                 format!("{src} ──▶ {dst}  {label}  ({bytes}B)")
             }
             TraceEvent::Deliver { src, dst, label } => {

@@ -38,11 +38,15 @@ fn run_with_attack(
     Simulation::build_boxed(SimConfig::new(N).seed(seed), |id| {
         let honest = ByzantineConsensus::new(&setup, id, props[id.index()]);
         if id.0 == attacker {
+            // The injection timer must beat the fastest honest decision
+            // (t ≈ 10 under the default delay range), or timed attacks like
+            // DecideForger fire into an already-halted system and the
+            // detection assertions become vacuous.
             Box::new(ByzantineWrapper::new(
                 honest,
                 mk_tamper(&setup),
                 setup.keys[attacker as usize].clone(),
-                Duration::of(10),
+                Duration::of(3),
             )) as BoxedActor<_, _>
         } else {
             Box::new(honest)
@@ -99,9 +103,8 @@ fn assert_detected_by_some(report: &RunReport<ValueVector>, attacker: u32, class
     let det = detections(&report.trace);
     let culprit = format!("p{attacker}");
     assert!(
-        det.iter().any(|d| d.observer.0 != attacker
-            && d.culprit == culprit
-            && d.class == class),
+        det.iter()
+            .any(|d| d.observer.0 != attacker && d.culprit == culprit && d.class == class),
         "no correct process convicted p{attacker} of {class}; detections: {det:?}"
     );
 }
@@ -127,10 +130,7 @@ fn assert_detected_by_all(report: &RunReport<ValueVector>, attacker: u32, class:
 fn assert_no_honest_convicted(report: &RunReport<ValueVector>, attacker: u32) {
     let culprit = format!("p{attacker}");
     for d in detections(&report.trace) {
-        assert_eq!(
-            d.culprit, culprit,
-            "an honest process was convicted: {d:?}"
-        );
+        assert_eq!(d.culprit, culprit, "an honest process was convicted: {d:?}");
     }
 }
 
@@ -197,8 +197,9 @@ fn vote_duplication_is_survived_and_detected() {
 #[test]
 fn forged_decide_is_survived_and_detected() {
     for seed in 0..5 {
-        let report =
-            run_with_attack(seed, 3, |_| Box::new(DecideForger::new(VirtualTime::at(1), N, 999)));
+        let report = run_with_attack(seed, 3, |_| {
+            Box::new(DecideForger::new(VirtualTime::at(1), N, 999))
+        });
         let v = verdict(&report, 3);
         assert!(v.ok(), "seed {seed}: {:?}", v.violations);
         assert_detected_by_some(&report, 3, "bad-certificate");
@@ -206,7 +207,11 @@ fn forged_decide_is_survived_and_detected() {
         // Nobody decided the fabricated vector.
         for d in report.decisions.iter().enumerate().filter(|(i, _)| *i != 3) {
             if let Some(vect) = d.1 {
-                assert_ne!(vect.get(0), Some(999), "seed {seed}: forged decide accepted");
+                assert_ne!(
+                    vect.get(0),
+                    Some(999),
+                    "seed {seed}: forged decide accepted"
+                );
             }
         }
     }
@@ -266,8 +271,9 @@ fn init_equivocation_cannot_break_agreement() {
 #[test]
 fn spurious_current_is_survived_and_detected() {
     for seed in 0..5 {
-        let report =
-            run_with_attack(seed, 3, |_| Box::new(SpuriousCurrent::new(VirtualTime::at(1), N)));
+        let report = run_with_attack(seed, 3, |_| {
+            Box::new(SpuriousCurrent::new(VirtualTime::at(1), N))
+        });
         let v = verdict(&report, 3);
         assert!(v.ok(), "seed {seed}: {:?}", v.violations);
         // Either the bogus CURRENT arrives while the receiver still expects
@@ -337,7 +343,10 @@ fn two_simultaneous_different_attackers_within_the_budget() {
             match id.0 {
                 0 => Box::new(ByzantineWrapper::new(
                     honest,
-                    Box::new(VectorCorruptor { entry: 2, poison: 666 }),
+                    Box::new(VectorCorruptor {
+                        entry: 2,
+                        poison: 666,
+                    }),
                     setup.keys[0].clone(),
                     Duration::of(10),
                 )) as BoxedActor<_, _>,
@@ -352,12 +361,7 @@ fn two_simultaneous_different_attackers_within_the_budget() {
         })
         .run();
         let props: Vec<Value> = (0..5).map(|i| 100 + i).collect();
-        let v = check_vector_consensus(
-            &report,
-            &props,
-            &[true, false, false, false, true],
-            2,
-        );
+        let v = check_vector_consensus(&report, &props, &[true, false, false, false, true], 2);
         assert!(v.ok(), "seed {seed}: {:?}", v.violations);
         // Only the two attackers may appear as culprits.
         for d in detections(&report.trace) {
@@ -366,6 +370,52 @@ fn two_simultaneous_different_attackers_within_the_budget() {
                 "framed an honest process: {d:?}"
             );
         }
+    }
+}
+
+#[test]
+fn scenario_sweep_covers_the_matrix_with_layer_metrics() {
+    // The harness-native fault matrix: 3 system sizes x 3 behaviors, every
+    // run surviving the spec check, and the aggregated JSON carrying the
+    // per-module-layer byte breakdown for every cell.
+    use ft_modular::faults::{sweep_matrix, FaultBehavior, ScenarioMatrix};
+
+    let m = ScenarioMatrix::new(
+        vec![(4, 1), (5, 2), (7, 3)],
+        vec![
+            FaultBehavior::Honest,
+            FaultBehavior::VectorCorrupt,
+            FaultBehavior::WrongKey,
+        ],
+    );
+    let report = sweep_matrix(&m, 0x3A3, 4);
+    assert!(report.all_ok(), "some cell violated the spec: {report:?}");
+
+    let cells = report.cells();
+    assert_eq!(cells.len(), 9, "expected a full 3x3 matrix");
+    for (cell, stats) in &cells {
+        for layer in ["bytes-signature", "bytes-certificate", "bytes-protocol"] {
+            assert!(
+                stats.stats.contains_key(layer),
+                "cell {cell} lost layer counter {layer}"
+            );
+        }
+        let total = stats.stats["bytes-total"].p50;
+        let sum = stats.stats["bytes-signature"].p50
+            + stats.stats["bytes-certificate"].p50
+            + stats.stats["bytes-protocol"].p50;
+        assert_eq!(sum, total, "cell {cell}: layer bytes do not decompose");
+    }
+
+    // The rendered JSON exposes the same breakdown for downstream tooling.
+    let json = report.to_json().render();
+    for key in [
+        "bytes-signature",
+        "bytes-certificate",
+        "bytes-protocol",
+        "detections",
+    ] {
+        assert!(json.contains(key), "JSON report lost {key}");
     }
 }
 

@@ -6,6 +6,10 @@
 //! from the library, the validators must report Agreement and the
 //! respective Validity property intact. Termination is also asserted —
 //! the simulator's GST default makes every run eventually synchronous.
+//!
+//! Cases are drawn from the in-tree seeded PRNG (not an external fuzzing
+//! framework), so every case is identified by its iteration number and
+//! replays identically everywhere.
 
 use ft_modular::certify::{Value, ValueVector};
 use ft_modular::core::byzantine::ByzantineConsensus;
@@ -13,30 +17,29 @@ use ft_modular::core::config::ProtocolConfig;
 use ft_modular::core::crash::CrashConsensus;
 use ft_modular::core::spec::Resilience;
 use ft_modular::core::validator::{check_crash_consensus, check_vector_consensus};
+use ft_modular::crypto::prng::{Rng64, SplitMix64};
 use ft_modular::faults::attacks::{DecideForger, RoundJumper, VectorCorruptor, VoteDuplicator};
 use ft_modular::faults::{ByzantineWrapper, Tamper};
 use ft_modular::fd::TimeoutDetector;
 use ft_modular::sim::runner::BoxedActor;
 use ft_modular::sim::{Duration, SimConfig, Simulation, VirtualTime};
-use proptest::prelude::*;
 
 fn proposals(n: usize) -> Vec<Value> {
     (0..n as u64).map(|i| 100 + i).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
+/// Crash-model protocol: random seed, size, delay spread, crash set
+/// within the bound.
+#[test]
+fn crash_protocol_safe_under_random_conditions() {
+    let mut gen = SplitMix64::from_seed(0x91091);
+    for case in 0..20 {
+        let seed = gen.next_u64();
+        let n = gen.gen_range_u64(3, 7) as usize;
+        let max_delay = gen.gen_range_u64(5, 79);
+        let crash_bits = gen.next_u64() as u8;
+        let crash_time = gen.gen_range_u64(0, 299);
 
-    /// Crash-model protocol: random seed, size, delay spread, crash set
-    /// within the bound.
-    #[test]
-    fn crash_protocol_safe_under_random_conditions(
-        seed in any::<u64>(),
-        n in 3usize..8,
-        max_delay in 5u64..80,
-        crash_bits in any::<u8>(),
-        crash_time in 0u64..300,
-    ) {
         let fmax = (n - 1) / 2;
         let crashed: Vec<usize> = (0..n)
             .filter(|i| crash_bits & (1 << i) != 0)
@@ -62,19 +65,25 @@ proptest! {
         })
         .run();
         let v = check_crash_consensus(&report, &proposals(n), &vec![false; n]);
-        prop_assert!(v.ok(), "seed={seed} n={n} crashed={crashed:?}: {:?}", v.violations);
+        assert!(
+            v.ok(),
+            "case {case}: seed={seed} n={n} crashed={crashed:?}: {:?}",
+            v.violations
+        );
     }
+}
 
-    /// Transformed protocol, all honest: random seed, size/budget, delays.
-    #[test]
-    fn byzantine_protocol_safe_under_random_conditions(
-        seed in any::<u64>(),
-        nf in prop_oneof![Just((3usize, 1usize)), Just((4, 1)), Just((5, 2))],
-        max_delay in 5u64..50,
-        crash_time in 0u64..200,
-        crash_someone in any::<bool>(),
-    ) {
-        let (n, f) = nf;
+/// Transformed protocol, all honest: random seed, size/budget, delays.
+#[test]
+fn byzantine_protocol_safe_under_random_conditions() {
+    let mut gen = SplitMix64::from_seed(0x91092);
+    for case in 0..20 {
+        let seed = gen.next_u64();
+        let (n, f) = [(3usize, 1usize), (4, 1), (5, 2)][gen.gen_range_u64(0, 2) as usize];
+        let max_delay = gen.gen_range_u64(5, 49);
+        let crash_time = gen.gen_range_u64(0, 199);
+        let crash_someone = gen.next_u64() & 1 == 1;
+
         let setup = ProtocolConfig::new(n, f).seed(seed).setup();
         let mut cfg = SimConfig::new(n)
             .seed(seed)
@@ -90,18 +99,25 @@ proptest! {
         })
         .run();
         let v = check_vector_consensus(&report, &props, &vec![false; n], f);
-        prop_assert!(v.ok(), "seed={seed} n={n} f={f}: {:?}", v.violations);
+        assert!(
+            v.ok(),
+            "case {case}: seed={seed} n={n} f={f}: {:?}",
+            v.violations
+        );
     }
+}
 
-    /// Transformed protocol under a random attack at a random position:
-    /// safety and liveness must hold regardless.
-    #[test]
-    fn byzantine_protocol_safe_under_random_attacks(
-        seed in any::<u64>(),
-        attacker in 0u32..4,
-        attack_kind in 0u8..4,
-        fire_at in 1u64..120,
-    ) {
+/// Transformed protocol under a random attack at a random position:
+/// safety and liveness must hold regardless.
+#[test]
+fn byzantine_protocol_safe_under_random_attacks() {
+    let mut gen = SplitMix64::from_seed(0x91093);
+    for case in 0..20 {
+        let seed = gen.next_u64();
+        let attacker = gen.gen_range_u64(0, 3) as u32;
+        let attack_kind = gen.gen_range_u64(0, 3) as u8;
+        let fire_at = gen.gen_range_u64(1, 119);
+
         let n = 4;
         let setup = ProtocolConfig::new(n, 1).seed(seed).setup();
         let props = proposals(n);
@@ -110,7 +126,10 @@ proptest! {
             let honest = ByzantineConsensus::new(&setup, id, p2[id.index()]);
             if id.0 == attacker {
                 let tamper: Box<dyn Tamper> = match attack_kind {
-                    0 => Box::new(VectorCorruptor { entry: (attacker as usize + 1) % n, poison: 666 }),
+                    0 => Box::new(VectorCorruptor {
+                        entry: (attacker as usize + 1) % n,
+                        poison: 666,
+                    }),
                     1 => Box::new(RoundJumper { jump: 3 }),
                     2 => Box::new(VoteDuplicator),
                     _ => Box::new(DecideForger::new(VirtualTime::at(fire_at), n, 999)),
@@ -129,21 +148,30 @@ proptest! {
         let mut faulty = vec![false; n];
         faulty[attacker as usize] = true;
         let v = check_vector_consensus(&report, &props, &faulty, 1);
-        prop_assert!(
+        assert!(
             v.ok(),
-            "seed={seed} attacker={attacker} kind={attack_kind}: {:?}",
+            "case {case}: seed={seed} attacker={attacker} kind={attack_kind}: {:?}",
             v.violations
         );
         // No honest process is ever convicted, whatever the schedule.
         for d in ft_modular::core::validator::detections(&report.trace) {
-            prop_assert_eq!(&d.culprit, &format!("p{attacker}"), "framed an honest process");
+            assert_eq!(
+                d.culprit,
+                format!("p{attacker}"),
+                "case {case}: framed an honest process"
+            );
         }
     }
+}
 
-    /// Determinism as a property: two runs with identical inputs are
-    /// bit-identical, whatever those inputs are.
-    #[test]
-    fn runs_are_reproducible(seed in any::<u64>(), n in 3usize..6) {
+/// Determinism as a property: two runs with identical inputs are
+/// bit-identical, whatever those inputs are.
+#[test]
+fn runs_are_reproducible() {
+    let mut gen = SplitMix64::from_seed(0x91094);
+    for case in 0..10 {
+        let seed = gen.next_u64();
+        let n = gen.gen_range_u64(3, 5) as usize;
         let mk = || {
             let setup = ProtocolConfig::new(n, (n - 1) / 2).seed(seed).setup();
             let props = proposals(n);
@@ -153,9 +181,13 @@ proptest! {
             .run()
         };
         let (a, b) = (mk(), mk());
-        prop_assert_eq!(a.decisions, b.decisions);
-        prop_assert_eq!(a.end_time, b.end_time);
-        prop_assert_eq!(a.metrics.messages_sent, b.metrics.messages_sent);
-        prop_assert_eq!(a.metrics.bytes_sent, b.metrics.bytes_sent);
+        assert_eq!(a.decisions, b.decisions, "case {case}");
+        assert_eq!(a.end_time, b.end_time, "case {case}");
+        assert_eq!(
+            a.metrics.messages_sent, b.metrics.messages_sent,
+            "case {case}"
+        );
+        assert_eq!(a.metrics.bytes_sent, b.metrics.bytes_sent, "case {case}");
+        assert_eq!(a.trace.fingerprint(), b.trace.fingerprint(), "case {case}");
     }
 }

@@ -65,7 +65,10 @@ fn e2_crash_protocol_falls_to_estimate_corruption_transformed_survives() {
             if id.0 == 0 {
                 Box::new(ByzantineWrapper::new(
                     honest,
-                    Box::new(VectorCorruptor { entry: 2, poison: 31337 }),
+                    Box::new(VectorCorruptor {
+                        entry: 2,
+                        poison: 31337,
+                    }),
                     setup.keys[0].clone(),
                     Duration::of(30),
                 )) as BoxedActor<_, ValueVector>
@@ -131,7 +134,10 @@ fn byz_corruption_survives(checks: Checks, seed: u64) -> bool {
         if id.0 == 0 {
             Box::new(ByzantineWrapper::new(
                 honest,
-                Box::new(VectorCorruptor { entry: 2, poison: 666 }),
+                Box::new(VectorCorruptor {
+                    entry: 2,
+                    poison: 666,
+                }),
                 setup.keys[0].clone(),
                 Duration::of(30),
             )) as BoxedActor<_, ValueVector>
