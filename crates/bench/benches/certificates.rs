@@ -52,7 +52,8 @@ fn main() {
         });
         let env = coordinator_current(n, &keys);
         group.bench(&format!("verify_current_n{n}"), || {
-            checker.check_envelope(black_box(&env)).expect("valid")
+            checker.check_envelope(black_box(&env)).expect("valid");
         });
     }
+    ftm_bench::timing::emit();
 }

@@ -26,4 +26,5 @@ fn main() {
             |s| run_byz_honest(n, (n - 1) / 2, s),
         );
     }
+    ftm_bench::timing::emit();
 }

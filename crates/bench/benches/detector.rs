@@ -39,4 +39,5 @@ fn main() {
         || ModuleStack::new(checker.clone(), Duration::of(100)),
         |mut stack| stack.admit(ProcessId(1), black_box(&forged), VirtualTime::ZERO),
     );
+    ftm_bench::timing::emit();
 }

@@ -46,4 +46,5 @@ fn main() {
             },
         );
     }
+    ftm_bench::timing::emit();
 }

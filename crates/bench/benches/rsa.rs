@@ -27,4 +27,5 @@ fn main() {
             KeyPair::generate(&mut rng, bits)
         });
     }
+    ftm_bench::timing::emit();
 }

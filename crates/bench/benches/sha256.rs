@@ -12,4 +12,5 @@ fn main() {
             Sha256::digest(black_box(&data))
         });
     }
+    ftm_bench::timing::emit();
 }

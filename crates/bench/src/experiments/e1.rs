@@ -20,7 +20,7 @@ fn aggregate(outcomes: &[Outcome]) -> (String, String, String, String, String) {
     (
         pct(ok, total),
         mean(&rounds),
-        latency.iter().cloned().fold(f64::MIN, f64::max).to_string(),
+        latency.iter().copied().fold(f64::MIN, f64::max).to_string(),
         mean(&latency),
         mean(&msgs),
     )

@@ -55,8 +55,7 @@ pub fn run() -> String {
             stats
                 .stats
                 .get(name)
-                .map(|s| s.p50.to_string())
-                .unwrap_or_else(|| "0".into())
+                .map_or_else(|| "0".into(), |s| s.p50.to_string())
         };
         t.row([
             cell.clone(),

@@ -56,8 +56,7 @@ pub fn run() -> String {
         );
         let mut q2 = QuietDetector::new(1, Duration::of(timeout));
         let mq = replay_quality(&mut q2, peer, &slow, None, horizon, q);
-        let fmt =
-            |d: Option<Duration>| d.map(|x| format!("{x}")).unwrap_or_else(|| "missed".into());
+        let fmt = |d: Option<Duration>| d.map_or_else(|| "missed".into(), |x| format!("{x}"));
         t.row([
             format!("{timeout}"),
             fmt(da.detection_time),

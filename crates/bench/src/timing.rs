@@ -7,8 +7,26 @@
 //! handful of samples. It is deliberately simple — good enough to compare
 //! orders of magnitude across commits on the same machine, which is all
 //! the experiment write-ups need.
+//!
+//! # Machine-readable output
+//!
+//! Setting `FTM_BENCH_JSON=1` switches every bench target from the
+//! aligned-text lines to one no-float JSON document per target (the same
+//! [`ftm_sim::report::Json`] model the sweep harness and `ftm-verify`
+//! emit), so downstream tooling can diff timings across commits:
+//!
+//! ```text
+//! FTM_BENCH_JSON=1 cargo bench --bench sha256
+//! ```
+//!
+//! Results accumulate in a process-wide registry; each target's `main`
+//! ends with [`emit`], which prints the document and is a no-op in text
+//! mode.
 
+use std::sync::Mutex;
 use std::time::Instant;
+
+use ftm_sim::report::Json;
 
 /// Re-exported so bench targets keep the familiar optimization barrier.
 pub use std::hint::black_box;
@@ -19,7 +37,66 @@ const TARGET_SAMPLE_NANOS: u64 = 20_000_000;
 /// Samples per benchmark; the median is robust to a couple of outliers.
 const SAMPLES: usize = 7;
 
-/// A named group of benchmarks printing aligned `ns/op` lines.
+/// One finished measurement, in integer nanoseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchResult {
+    /// Group the benchmark ran under.
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Median of the per-op samples.
+    pub median_ns: u64,
+    /// Best (smallest) per-op sample.
+    pub best_ns: u64,
+    /// Inner-loop iterations per sample.
+    pub iters: u64,
+    /// Number of samples taken.
+    pub samples: u64,
+}
+
+/// Process-wide registry of finished measurements, for [`emit`].
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// `true` when `FTM_BENCH_JSON` is set: suppress text lines, emit JSON.
+pub fn json_mode() -> bool {
+    std::env::var_os("FTM_BENCH_JSON").is_some()
+}
+
+/// Renders measurements as the no-float JSON document [`emit`] prints.
+pub fn results_to_json(results: &[BenchResult]) -> Json {
+    Json::Obj(vec![(
+        "benchmarks".into(),
+        Json::Arr(
+            results
+                .iter()
+                .map(|r| {
+                    Json::Obj(vec![
+                        ("group".into(), Json::Str(r.group.clone())),
+                        ("name".into(), Json::Str(r.name.clone())),
+                        ("median-ns".into(), Json::U64(r.median_ns)),
+                        ("best-ns".into(), Json::U64(r.best_ns)),
+                        ("iters".into(), Json::U64(r.iters)),
+                        ("samples".into(), Json::U64(r.samples)),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+/// In JSON mode, prints every recorded measurement as one document and
+/// clears the registry; in text mode, a no-op (the lines already printed).
+/// Bench targets call this at the end of `main`.
+pub fn emit() {
+    if !json_mode() {
+        return;
+    }
+    let results: Vec<BenchResult> = std::mem::take(&mut *RESULTS.lock().unwrap());
+    println!("{}", results_to_json(&results).render());
+}
+
+/// A named group of benchmarks printing aligned `ns/op` lines (or, under
+/// `FTM_BENCH_JSON`, silently recording for [`emit`]).
 pub struct Group {
     name: String,
 }
@@ -27,7 +104,9 @@ pub struct Group {
 impl Group {
     /// Starts a group and prints its header.
     pub fn new(name: &str) -> Self {
-        println!("\n== {name} ==");
+        if !json_mode() {
+            println!("\n== {name} ==");
+        }
         Group { name: name.into() }
     }
 
@@ -41,7 +120,7 @@ impl Group {
         let iters = (TARGET_SAMPLE_NANOS / once).clamp(1, 1_000_000);
 
         let mut samples = [0u64; SAMPLES];
-        for s in samples.iter_mut() {
+        for s in &mut samples {
             let t = Instant::now();
             for _ in 0..iters {
                 black_box(f());
@@ -68,7 +147,7 @@ impl Group {
         let iters = (TARGET_SAMPLE_NANOS / once).clamp(1, 10_000);
 
         let mut samples = [0u64; SAMPLES];
-        for s in samples.iter_mut() {
+        for s in &mut samples {
             let mut total = 0u64;
             for _ in 0..iters {
                 let input = setup();
@@ -85,11 +164,57 @@ impl Group {
         samples.sort_unstable();
         let median = samples[samples.len() / 2];
         let best = samples[0];
-        println!(
-            "{:<30} {:>12} ns/op   (best {:>12}, {iters} iters x {SAMPLES} samples)",
-            format!("{}/{name}", self.name),
-            median,
-            best,
-        );
+        RESULTS.lock().unwrap().push(BenchResult {
+            group: self.name.clone(),
+            name: name.into(),
+            median_ns: median,
+            best_ns: best,
+            iters,
+            samples: samples.len() as u64,
+        });
+        if !json_mode() {
+            println!(
+                "{:<30} {:>12} ns/op   (best {:>12}, {iters} iters x {SAMPLES} samples)",
+                format!("{}/{name}", self.name),
+                median,
+                best,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_render_as_integer_only_json() {
+        let results = vec![BenchResult {
+            group: "g".into(),
+            name: "op".into(),
+            median_ns: 1234,
+            best_ns: 1100,
+            iters: 64,
+            samples: 7,
+        }];
+        let doc = results_to_json(&results).render();
+        for key in ["benchmarks", "median-ns", "best-ns", "iters", "samples"] {
+            assert!(doc.contains(key), "document lost {key}:\n{doc}");
+        }
+        assert!(doc.contains("1234"));
+        assert!(!doc.contains('.'), "no-float model leaked a dot:\n{doc}");
+    }
+
+    #[test]
+    fn bench_records_into_the_registry() {
+        let before = RESULTS.lock().unwrap().len();
+        let mut g = Group::new("registry-test");
+        g.bench("noop", || black_box(1u64 + 1));
+        let results = RESULTS.lock().unwrap();
+        assert!(results.len() > before);
+        let r = results.last().unwrap();
+        assert_eq!(r.group, "registry-test");
+        assert_eq!(r.name, "noop");
+        assert_eq!(r.samples, SAMPLES as u64);
     }
 }

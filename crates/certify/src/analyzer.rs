@@ -345,7 +345,7 @@ impl CertChecker {
             .cert
             .iter_kind_round(MessageKind::Current, *round)
             .filter(|i| i.core().core.vector() == Some(vector))
-            .map(|i| i.sender())
+            .map(super::signed::SignedCore::sender)
             .collect();
         if matching.len() < self.quorum() {
             return Err(CertifyError::new(

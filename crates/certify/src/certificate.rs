@@ -105,7 +105,7 @@ impl Certificate {
     /// Distinct senders of items of a given kind and round.
     pub fn senders_of(&self, kind: MessageKind, round: Round) -> HashSet<ProcessId> {
         self.iter_kind_round(kind, round)
-            .map(|i| i.sender())
+            .map(super::signed::SignedCore::sender)
             .collect()
     }
 
@@ -164,7 +164,10 @@ impl Certificate {
 
     /// Approximate wire size: sum of item sizes.
     pub fn size_bytes(&self) -> usize {
-        self.items.iter().map(|i| i.size_bytes()).sum()
+        self.items
+            .iter()
+            .map(super::signed::SignedCore::size_bytes)
+            .sum()
     }
 }
 

@@ -35,6 +35,7 @@ pub mod analyzer;
 pub mod certificate;
 pub mod error;
 pub mod message;
+pub mod rules;
 pub mod signed;
 pub mod vector;
 

@@ -140,7 +140,7 @@ impl CanonicalDecode for ValueVector {
 }
 
 /// Discriminates the four wire message kinds.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum MessageKind {
     /// Vector-certification proposal.
     Init,

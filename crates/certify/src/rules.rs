@@ -1,0 +1,140 @@
+//! Introspection over the certification rules the analyzer implements.
+//!
+//! The paper's §5 discipline is that every *conditional send* of the
+//! protocol has a certification rule letting receivers re-derive the
+//! enabling condition from the attached certificate. [`CertChecker`]
+//! implements those rules as code; this module names them as *data*, so
+//! static tooling (`ftm-verify`) can cross-check the rule set against the
+//! protocol description in `ftm_core::spec` — if a send condition is added
+//! without a rule (or a rule goes dead), the coverage diff fails instead
+//! of a simulation sweep having to stumble over the hole.
+//!
+//! The list is maintained *here*, next to the analyzer, and deliberately
+//! not generated from the spec: the whole point is that two independently
+//! maintained artifacts must agree.
+
+use crate::analyzer::CertChecker;
+use crate::message::MessageKind;
+
+/// One certification rule of the analyzer, as checkable data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleInfo {
+    /// Stable identifier, matched against
+    /// `ftm_core::spec::ConditionalSend::route`.
+    pub id: &'static str,
+    /// The message kind whose certificates the rule audits.
+    pub kind: MessageKind,
+    /// What the rule re-derives from the certificate.
+    pub checks: &'static str,
+}
+
+/// Every certification rule [`CertChecker`] implements, in the order the
+/// analyzer's dispatch tries them.
+///
+/// # Example
+///
+/// ```
+/// use ftm_certify::rules::certification_rules;
+/// use ftm_certify::MessageKind;
+/// let next_rules: Vec<_> = certification_rules()
+///     .iter()
+///     .filter(|r| r.kind == MessageKind::Next)
+///     .collect();
+/// assert_eq!(next_rules.len(), 3); // suspicion, change-mind, end-of-round
+/// ```
+pub fn certification_rules() -> &'static [RuleInfo] {
+    &[
+        RuleInfo {
+            id: "init-empty",
+            kind: MessageKind::Init,
+            checks: "INIT carries an empty certificate (initial values are \
+                     vouched by vector certification, not certificates)",
+        },
+        RuleInfo {
+            id: "current-coordinator",
+            kind: MessageKind::Current,
+            checks: "INIT-portion witnesses the vector (≥ n−F signed INITs) \
+                     and NEXT-portion witnesses the round (≥ n−F signed \
+                     NEXT(r−1), or nothing for r = 1)",
+        },
+        RuleInfo {
+            id: "current-relay",
+            kind: MessageKind::Current,
+            checks: "certificate contains the round coordinator's own signed \
+                     CURRENT(r, vect) plus the INIT backing of vect",
+        },
+        RuleInfo {
+            id: "next-suspicion",
+            kind: MessageKind::Next,
+            checks: "no CURRENT adopted (suspicion is local and unverifiable; \
+                     structure only: absence of a CURRENT quorum claim)",
+        },
+        RuleInfo {
+            id: "next-change-mind",
+            kind: MessageKind::Next,
+            checks: "≥ 1 CURRENT seen and a quorum of round-r votes, but \
+                     neither a CURRENT quorum nor a NEXT quorum",
+        },
+        RuleInfo {
+            id: "next-end-of-round",
+            kind: MessageKind::Next,
+            checks: "a full quorum of signed NEXT(r)",
+        },
+        RuleInfo {
+            id: "decide-current-quorum",
+            kind: MessageKind::Decide,
+            checks: "≥ n−F distinct signed CURRENT(r, vect) matching the \
+                     decided vector",
+        },
+    ]
+}
+
+/// The rules auditing messages of `kind`.
+pub fn rules_for_kind(kind: MessageKind) -> Vec<&'static RuleInfo> {
+    certification_rules()
+        .iter()
+        .filter(|r| r.kind == kind)
+        .collect()
+}
+
+impl CertChecker {
+    /// The rule table this analyzer enforces (see
+    /// [`certification_rules`]).
+    pub fn rules(&self) -> &'static [RuleInfo] {
+        certification_rules()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_unique() {
+        let ids: std::collections::BTreeSet<&str> =
+            certification_rules().iter().map(|r| r.id).collect();
+        assert_eq!(ids.len(), certification_rules().len());
+    }
+
+    #[test]
+    fn every_wire_kind_has_at_least_one_rule() {
+        for kind in [
+            MessageKind::Init,
+            MessageKind::Current,
+            MessageKind::Next,
+            MessageKind::Decide,
+        ] {
+            assert!(
+                !rules_for_kind(kind).is_empty(),
+                "{kind} has no certification rule"
+            );
+        }
+    }
+
+    #[test]
+    fn next_rules_mirror_the_three_triggers() {
+        // One rule per `NextTrigger` variant: the analyzer's classification
+        // and the rule table must not drift apart.
+        assert_eq!(rules_for_kind(MessageKind::Next).len(), 3);
+    }
+}

@@ -149,7 +149,11 @@ pub fn check_vector_validity(
     }
     let from_correct = decided
         .iter_set()
-        .filter(|(k, _)| correct_values.get(*k).is_some_and(|cv| cv.is_some()))
+        .filter(|(k, _)| {
+            correct_values
+                .get(*k)
+                .is_some_and(std::option::Option::is_some)
+        })
         .count();
     let psi = n.saturating_sub(2 * f).max(1);
     if from_correct < psi {

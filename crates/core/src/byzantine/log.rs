@@ -172,7 +172,7 @@ impl ReplicatedLog {
             self.me,
             (self.command)(self.current, self.me.0),
         );
-        if let Some(d) = self.drive(ctx, |inner, ictx| inner.on_start(ictx)) {
+        if let Some(d) = self.drive(ctx, ftm_sim::Actor::on_start) {
             // A 1-process system can decide instantly; recurse.
             self.advance(d, ctx);
             return;
@@ -202,7 +202,7 @@ impl Actor for ReplicatedLog {
     type Decision = Vec<ValueVector>;
 
     fn on_start(&mut self, ctx: &mut Context<'_, SlotMsg, Vec<ValueVector>>) {
-        if let Some(d) = self.drive(ctx, |inner, ictx| inner.on_start(ictx)) {
+        if let Some(d) = self.drive(ctx, ftm_sim::Actor::on_start) {
             self.advance(d, ctx);
         }
     }

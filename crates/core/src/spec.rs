@@ -17,7 +17,177 @@
 //! * at least `ψ ≥ 1` entries of `vect` are initial values of correct
 //!   processes, with `ψ = n − 2F` under the paper's resilience bound.
 
-use ftm_certify::Round;
+use ftm_certify::{MessageKind, Round};
+
+/// One per-round send slot of the protocol's send discipline.
+///
+/// A correct process works through the slots of a round *in order*, sending
+/// each slot's kind at most once; `mandatory` slots must be sent before the
+/// process may leave the round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendSlot {
+    /// The message kind this slot emits.
+    pub kind: MessageKind,
+    /// Whether a correct process must send this before advancing rounds.
+    pub mandatory: bool,
+}
+
+/// How a conditional send is audited by the certification module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertRoute {
+    /// The send's enabling condition is certifiable: the named
+    /// `ftm-certify` rule re-derives it from the attached certificate.
+    Rule(&'static str),
+    /// The value itself cannot be certified (nobody can audit what a
+    /// process's initial value "should" be); the round-0 vector
+    /// certification phase bounds the damage instead. The named rule
+    /// still audits the send's *structure*.
+    VectorCertification(&'static str),
+}
+
+impl CertRoute {
+    /// The id of the `ftm-certify` rule auditing this send.
+    pub fn rule_id(&self) -> &'static str {
+        match self {
+            CertRoute::Rule(id) | CertRoute::VectorCertification(id) => id,
+        }
+    }
+
+    /// `true` when the enabling condition itself is certifiable.
+    pub fn condition_certifiable(&self) -> bool {
+        matches!(self, CertRoute::Rule(_))
+    }
+}
+
+/// One conditional send of the protocol: a message a correct process emits
+/// only when a stated condition holds (paper §5: every such condition needs
+/// a certification rule, or the send is unauditable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConditionalSend {
+    /// Stable identifier, matched against rule coverage reports.
+    pub id: &'static str,
+    /// The kind of message sent.
+    pub kind: MessageKind,
+    /// The enabling condition, as stated in Fig. 3.
+    pub condition: &'static str,
+    /// The certification route auditing the send.
+    pub route: CertRoute,
+}
+
+/// Declarative description of the transformed protocol's *send discipline*
+/// (paper Fig. 3): which kinds open and close a peer's lifetime, what a
+/// round's legal vote sequence is, and how rounds advance.
+///
+/// This is the artifact the paper's non-muteness module is built "from the
+/// program text" (§4): `ftm-verify` *derives* the per-peer observer
+/// automaton (Fig. 4) from this description and cross-checks it against
+/// the hand-written [`ftm_detect::PeerAutomaton`] — so the spec below is
+/// deliberately independent of that implementation.
+///
+/// # Example
+///
+/// ```
+/// use ftm_core::spec::ProtocolSpec;
+/// use ftm_certify::MessageKind;
+/// let spec = ProtocolSpec::transformed();
+/// assert_eq!(spec.opening, MessageKind::Init);
+/// assert_eq!(spec.round_slots.len(), 2);
+/// assert!(spec.round_slots[1].mandatory); // NEXT before leaving a round
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolSpec {
+    /// The kind that opens a peer's lifetime: sent first, exactly once.
+    pub opening: MessageKind,
+    /// The per-round vote sequence, in send order.
+    pub round_slots: Vec<SendSlot>,
+    /// The kind that closes a peer's lifetime: legal at any time after the
+    /// opening (decisions are relayed), after which the peer is silent.
+    pub terminal: MessageKind,
+    /// How many rounds a correct process advances at a time.
+    pub round_advance: Round,
+}
+
+impl ProtocolSpec {
+    /// The transformed Hurfin–Raynal protocol (Fig. 3): `INIT` opens,
+    /// each round sends at most one `CURRENT` then at most one `NEXT`
+    /// (the `NEXT` is mandatory before leaving the round, Fig. 3 line 31),
+    /// `DECIDE` terminates, rounds advance one at a time.
+    pub fn transformed() -> Self {
+        ProtocolSpec {
+            opening: MessageKind::Init,
+            round_slots: vec![
+                SendSlot {
+                    kind: MessageKind::Current,
+                    mandatory: false,
+                },
+                SendSlot {
+                    kind: MessageKind::Next,
+                    mandatory: true,
+                },
+            ],
+            terminal: MessageKind::Decide,
+            round_advance: 1,
+        }
+    }
+
+    /// The slot index of `kind` in the round vote sequence, if any.
+    pub fn slot_of(&self, kind: MessageKind) -> Option<usize> {
+        self.round_slots.iter().position(|s| s.kind == kind)
+    }
+
+    /// Every conditional send of Fig. 3 with its certification route.
+    ///
+    /// This is the §5 obligation table: `ftm-verify` checks that each
+    /// route's rule exists in `ftm-certify` (same kind, no dead rules) and
+    /// that the *only* send whose condition is uncertifiable is the
+    /// initial-value broadcast, routed through vector certification.
+    pub fn conditional_sends(&self) -> Vec<ConditionalSend> {
+        vec![
+            ConditionalSend {
+                id: "init-broadcast",
+                kind: MessageKind::Init,
+                condition: "protocol start: broadcast the signed initial value",
+                route: CertRoute::VectorCertification("init-empty"),
+            },
+            ConditionalSend {
+                id: "current-coordinator",
+                kind: MessageKind::Current,
+                condition: "round-r coordinator entered r with a witnessed estimate vector",
+                route: CertRoute::Rule("current-coordinator"),
+            },
+            ConditionalSend {
+                id: "current-relay",
+                kind: MessageKind::Current,
+                condition: "received the round-r coordinator's CURRENT and adopted it",
+                route: CertRoute::Rule("current-relay"),
+            },
+            ConditionalSend {
+                id: "next-suspicion",
+                kind: MessageKind::Next,
+                condition: "in q0, the muteness detector suspects the round coordinator",
+                route: CertRoute::Rule("next-suspicion"),
+            },
+            ConditionalSend {
+                id: "next-change-mind",
+                kind: MessageKind::Next,
+                condition: "in q1, a quorum of votes arrived but no decisive quorum",
+                route: CertRoute::Rule("next-change-mind"),
+            },
+            ConditionalSend {
+                id: "next-end-of-round",
+                kind: MessageKind::Next,
+                condition: "a full NEXT quorum for the round was observed",
+                route: CertRoute::Rule("next-end-of-round"),
+            },
+            ConditionalSend {
+                id: "decide-announce",
+                kind: MessageKind::Decide,
+                condition: "n−F CURRENT votes for one vector were collected",
+                route: CertRoute::Rule("decide-current-quorum"),
+            },
+        ]
+    }
+}
 
 /// Resilience parameters of a system instance.
 ///
@@ -135,5 +305,41 @@ mod tests {
         let r = Resilience::new(7, 3);
         assert_eq!(r.quorum(), 4);
         assert_eq!(r.psi(), 1);
+    }
+
+    #[test]
+    fn transformed_spec_names_every_wire_kind_once() {
+        let spec = ProtocolSpec::transformed();
+        assert_eq!(spec.opening, MessageKind::Init);
+        assert_eq!(spec.terminal, MessageKind::Decide);
+        assert_eq!(spec.slot_of(MessageKind::Current), Some(0));
+        assert_eq!(spec.slot_of(MessageKind::Next), Some(1));
+        assert_eq!(spec.slot_of(MessageKind::Init), None);
+        // The opening and terminal kinds never appear as round slots.
+        assert!(spec
+            .round_slots
+            .iter()
+            .all(|s| s.kind != spec.opening && s.kind != spec.terminal));
+        // The last slot is the mandatory one: leaving a round is witnessed.
+        assert!(spec.round_slots.last().unwrap().mandatory);
+    }
+
+    #[test]
+    fn conditional_sends_are_distinct_and_init_is_the_only_uncertifiable() {
+        let spec = ProtocolSpec::transformed();
+        let sends = spec.conditional_sends();
+        let ids: std::collections::BTreeSet<&str> = sends.iter().map(|s| s.id).collect();
+        assert_eq!(ids.len(), sends.len(), "send ids collide");
+        let rules: std::collections::BTreeSet<&str> =
+            sends.iter().map(|s| s.route.rule_id()).collect();
+        assert_eq!(rules.len(), sends.len(), "rule references collide");
+        for s in &sends {
+            if !s.route.condition_certifiable() {
+                assert_eq!(
+                    s.kind, spec.opening,
+                    "only initial values are uncertifiable"
+                );
+            }
+        }
     }
 }

@@ -132,6 +132,9 @@ impl StackStats {
     }
 }
 
+/// The receive-side module stack of the transformation (Fig. 1): syntax,
+/// signature, certificate, and automaton checks feeding the muteness
+/// detector, with per-class rejection statistics.
 #[derive(Debug, Clone)]
 pub struct ModuleStack {
     observer: Observer,

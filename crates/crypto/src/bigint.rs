@@ -76,9 +76,9 @@ impl Ord for BigUint {
             return self.limbs.len().cmp(&other.limbs.len());
         }
         for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
-            match a.cmp(b) {
-                Ordering::Equal => continue,
-                ord => return ord,
+            let ord = a.cmp(b);
+            if ord != Ordering::Equal {
+                return ord;
             }
         }
         Ordering::Equal

@@ -95,6 +95,16 @@ impl PeerAutomaton {
         }
     }
 
+    /// Creates the automaton in an arbitrary `(phase, round)` state.
+    ///
+    /// This exists for *static analysis*: `ftm-verify` enumerates the
+    /// transition function state by state, which requires placing the
+    /// automaton in each state directly instead of replaying a history
+    /// that reaches it. Protocol code should use [`PeerAutomaton::new`].
+    pub fn at(peer: ProcessId, phase: PeerPhase, round: Round) -> Self {
+        PeerAutomaton { peer, phase, round }
+    }
+
     /// The observed peer.
     pub fn peer(&self) -> ProcessId {
         self.peer
@@ -134,9 +144,21 @@ impl PeerAutomaton {
         // signature module is ablated (experiment E8) the observer routes
         // by the *claimed* sender, so an impersonator's messages land here
         // and frame the victim — which is the point of that experiment.
-        let kind = env.kind();
-        let r = env.round();
+        self.step(env.kind(), env.round())
+    }
 
+    /// The bare transition function: classifies the receipt of a message
+    /// of `kind` carrying round `r` and advances the phase.
+    ///
+    /// [`PeerAutomaton::on_message`] is a thin wrapper over this; the
+    /// symbol-level entry point exists so `ftm-verify` can model-check the
+    /// automaton over its whole alphabet without fabricating signed
+    /// envelopes.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PeerAutomaton::on_message`].
+    pub fn step(&mut self, kind: MessageKind, r: Round) -> Result<Requirement, CertifyError> {
         match self.phase {
             PeerPhase::Faulty => Err(CertifyError::new(
                 self.peer,
@@ -447,6 +469,48 @@ mod tests {
             ))
             .unwrap_err();
         assert!(err.reason.contains("CURRENT after NEXT"));
+    }
+
+    #[test]
+    fn decide_received_in_final_is_caught() {
+        // A second DECIDE after the first: the halted process spoke again.
+        // Regression guard — DECIDE is enabled from every in-round phase,
+        // so it is easy to accidentally enable it from Final too.
+        let mut a = PeerAutomaton::at(ProcessId(1), PeerPhase::Final, 2);
+        let err = a.step(MessageKind::Decide, 2).unwrap_err();
+        assert_eq!(err.class, FaultClass::OutOfOrder);
+        assert!(err.reason.contains("after DECIDE"));
+        assert!(a.is_faulty());
+    }
+
+    #[test]
+    fn round_jump_at_q2_re_dispatches_next_into_q2() {
+        // At q2(r), NEXT(r+1) is the round-advance path: the message must
+        // be re-dispatched into the NEW round (landing in q2 again) and the
+        // observer must be asked for round-entry evidence — not Standard.
+        let mut a = PeerAutomaton::at(ProcessId(1), PeerPhase::Q2, 3);
+        let req = a.step(MessageKind::Next, 4).unwrap();
+        assert_eq!(req, Requirement::RoundEntry(4));
+        assert_eq!(a.phase(), PeerPhase::Q2);
+        assert_eq!(a.round(), 4);
+        // The advanced automaton keeps advancing: NEXT(5) is legal again.
+        assert_eq!(
+            a.step(MessageKind::Next, 5).unwrap(),
+            Requirement::RoundEntry(5)
+        );
+        assert_eq!(a.round(), 5);
+    }
+
+    #[test]
+    fn duplicate_current_in_q1_is_caught_at_the_step_level() {
+        // Same divergence as `duplicate_votes_are_caught`, but pinned at
+        // the bare transition function: q1(r) + CURRENT(r) must convict
+        // regardless of envelope plumbing.
+        let mut a = PeerAutomaton::at(ProcessId(1), PeerPhase::Q1, 2);
+        let err = a.step(MessageKind::Current, 2).unwrap_err();
+        assert_eq!(err.class, FaultClass::OutOfOrder);
+        assert!(err.reason.contains("duplicate CURRENT"));
+        assert!(a.is_faulty());
     }
 
     #[test]

@@ -232,7 +232,9 @@ impl Observer {
 
     /// Whether `p` is convicted.
     pub fn is_faulty(&self, p: ProcessId) -> bool {
-        self.automata.get(p.index()).is_some_and(|a| a.is_faulty())
+        self.automata
+            .get(p.index())
+            .is_some_and(super::automaton::PeerAutomaton::is_faulty)
     }
 
     /// The evidence log, in conviction order.

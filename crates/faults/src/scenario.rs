@@ -27,8 +27,8 @@
 
 use ftm_certify::{Value, ValueVector};
 use ftm_core::byzantine::ByzantineConsensus;
-use ftm_core::config::ProtocolConfig;
-use ftm_core::validator::{check_vector_consensus, detections};
+use ftm_core::config::{ProtocolConfig, ProtocolSetup};
+use ftm_core::validator::{check_vector_consensus, detections, Verdict};
 use ftm_crypto::rsa::KeyPair;
 use ftm_sim::harness::{sweep, RunRecord, SweepReport};
 use ftm_sim::runner::BoxedActor;
@@ -225,44 +225,118 @@ impl ScenarioMatrix {
     }
 }
 
+/// One hand-configured adversarial run: the stack-building glue (keys,
+/// transformed actors, one wrapped attacker, optional coordinator crash)
+/// shared by [`run_scenario`] and the repo's integration tests, which used
+/// to duplicate it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackRun {
+    /// Number of processes.
+    pub n: usize,
+    /// Resilience bound F (at most F arbitrary-faulty processes).
+    pub f: usize,
+    /// Simulator and key-generation seed.
+    pub seed: u64,
+    /// The Byzantine process.
+    pub attacker: u32,
+    /// Injection-timer delay for the wrapper. The default (3 ticks) beats
+    /// the fastest honest decision (t ≈ 10 under the default delay range);
+    /// a timed attack injected later fires into an already-halted system
+    /// and detection assertions become vacuous.
+    pub injection_delay: Duration,
+    /// Process crashed at t = 0, if any — crash the round-1 coordinator to
+    /// force NEXT-vote traffic.
+    pub crash_at_start: Option<u32>,
+}
+
+impl AttackRun {
+    /// An `(n, F)` system under `seed` with one attacker, default
+    /// injection delay and nobody crashed.
+    pub fn new(n: usize, f: usize, seed: u64, attacker: u32) -> Self {
+        AttackRun {
+            n,
+            f,
+            seed,
+            attacker,
+            injection_delay: Duration::of(3),
+            crash_at_start: None,
+        }
+    }
+
+    /// Overrides the wrapper's injection-timer delay.
+    pub fn injection_delay(mut self, delay: Duration) -> Self {
+        self.injection_delay = delay;
+        self
+    }
+
+    /// Crashes process `p` at t = 0.
+    pub fn crash_at_start(mut self, p: u32) -> Self {
+        self.crash_at_start = Some(p);
+        self
+    }
+
+    /// The canonical proposal vector: process `i` proposes `100 + i`.
+    pub fn proposals(&self) -> Vec<Value> {
+        (0..self.n as u64).map(|i| 100 + i).collect()
+    }
+
+    /// Builds the full stack and executes the run. `mk_tamper` may return
+    /// `None` for an honest (or merely crashed) system.
+    pub fn run(
+        &self,
+        mk_tamper: impl FnOnce(&ProtocolSetup) -> Option<Box<dyn Tamper>>,
+    ) -> RunReport<ValueVector> {
+        let setup = ProtocolConfig::new(self.n, self.f).seed(self.seed).setup();
+        let props = self.proposals();
+        let mut tamper = mk_tamper(&setup);
+
+        let mut cfg = SimConfig::new(self.n).seed(self.seed);
+        if let Some(p) = self.crash_at_start {
+            cfg = cfg.crash(p as usize, VirtualTime::ZERO);
+        }
+
+        Simulation::build_boxed(cfg, |id| {
+            let honest = ByzantineConsensus::new(&setup, id, props[id.index()]);
+            if id.0 == self.attacker {
+                if let Some(tamper) = tamper.take() {
+                    return Box::new(ByzantineWrapper::new(
+                        honest,
+                        tamper,
+                        setup.keys[self.attacker as usize].clone(),
+                        self.injection_delay,
+                    )) as BoxedActor<_, _>;
+                }
+            }
+            Box::new(honest)
+        })
+        .run()
+    }
+
+    /// Checks the vector-consensus properties with only the attacker
+    /// marked faulty.
+    pub fn verdict(&self, report: &RunReport<ValueVector>) -> Verdict {
+        let mut faulty = vec![false; self.n];
+        faulty[self.attacker as usize] = true;
+        check_vector_consensus(report, &self.proposals(), &faulty, self.f)
+    }
+}
+
 /// Runs one scenario under one derived seed and flattens the outcome into
 /// a [`RunRecord`]. Matches the signature [`ftm_sim::harness::sweep`]
 /// expects, so it can be passed directly as the worker function.
 pub fn run_scenario(index: usize, sc: &Scenario, seed: u64) -> RunRecord {
-    let n = sc.n;
     let attacker = sc.attacker();
-    let setup = ProtocolConfig::new(n, sc.f).seed(seed).setup();
-    let props: Vec<Value> = (0..n as u64).map(|i| 100 + i).collect();
-
-    let mut cfg = SimConfig::new(n).seed(seed);
+    let mut run = AttackRun::new(sc.n, sc.f, seed, attacker);
     if sc.behavior == FaultBehavior::Crash {
-        cfg = cfg.crash(attacker as usize, VirtualTime::ZERO);
+        run = run.crash_at_start(attacker);
     }
+    let report = run.run(|_| sc.behavior.make_tamper(sc.n, attacker, seed));
 
-    let report = Simulation::build_boxed(cfg, |id| {
-        let honest = ByzantineConsensus::new(&setup, id, props[id.index()]);
-        if id.0 == attacker {
-            if let Some(tamper) = sc.behavior.make_tamper(n, attacker, seed) {
-                // The injection timer must beat the fastest honest decision
-                // (t ≈ 10 under the default delay range), or timed attacks
-                // fire into an already-halted system.
-                return Box::new(ByzantineWrapper::new(
-                    honest,
-                    tamper,
-                    setup.keys[attacker as usize].clone(),
-                    Duration::of(3),
-                )) as BoxedActor<_, _>;
-            }
-        }
-        Box::new(honest)
-    })
-    .run();
-
-    let mut faulty = vec![false; n];
+    let mut faulty = vec![false; sc.n];
     if sc.behavior != FaultBehavior::Honest {
         faulty[attacker as usize] = true;
     }
-    let verdict = check_vector_consensus(&report, &props, &faulty, sc.f);
+    let verdict = check_vector_consensus(&report, &run.proposals(), &faulty, sc.f);
 
     let mut rec = RunRecord::new(sc.cell(), index, seed);
     rec.ok = verdict.ok();
@@ -392,8 +466,10 @@ mod tests {
     fn full_matrix_covers_the_whole_taxonomy() {
         let m = ScenarioMatrix::full(vec![(4, 1)]);
         assert_eq!(m.enumerate().len(), FaultBehavior::all().len());
-        let labels: std::collections::BTreeSet<&str> =
-            FaultBehavior::all().iter().map(|b| b.label()).collect();
+        let labels: std::collections::BTreeSet<&str> = FaultBehavior::all()
+            .iter()
+            .map(super::FaultBehavior::label)
+            .collect();
         assert_eq!(labels.len(), FaultBehavior::all().len(), "labels collide");
     }
 

@@ -14,9 +14,17 @@ use crate::time::VirtualTime;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EventKind<M> {
     /// Deliver `msg` from `from` to the event's target process.
-    Deliver { from: ProcessId, msg: M },
+    Deliver {
+        /// Sender of the message.
+        from: ProcessId,
+        /// The message payload.
+        msg: M,
+    },
     /// Fire the timer `tag` at the target process.
-    Timer { tag: TimerTag },
+    Timer {
+        /// The process-chosen timer identity being fired.
+        tag: TimerTag,
+    },
     /// Crash the target process (scheduled from [`crate::SimConfig`]).
     Crash,
     /// Invoke `on_start` at the target process.

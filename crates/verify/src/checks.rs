@@ -1,0 +1,116 @@
+//! Determinism and totality of the derived transition relation.
+//!
+//! The derivation in [`crate::derived`] applies its rules as independent
+//! clauses, so nothing *constructs* the result to be an automaton — these
+//! checks *prove* it is one:
+//!
+//! * **determinism** — no `(state, symbol)` pair is matched by two rules
+//!   with different outcomes (a peer's fate never depends on rule order);
+//! * **totality** — every realizable `(state, symbol)` pair is matched by
+//!   at least one rule, i.e. every receipt event is classified (expected,
+//!   round-advance, or one of the Fig. 4 fault classes); nothing falls
+//!   through to undefined behavior.
+
+use crate::derived::DerivedAutomaton;
+use crate::symbol::Symbol;
+
+/// Result of the determinism check.
+#[derive(Debug, Clone, Default)]
+pub struct DeterminismReport {
+    /// `(state, symbol)` pairs examined.
+    pub pairs: u64,
+    /// Human-readable descriptions of conflicting pairs (empty = proven).
+    pub conflicts: Vec<String>,
+}
+
+/// Result of the totality check.
+#[derive(Debug, Clone, Default)]
+pub struct TotalityReport {
+    /// Realizable `(state, symbol)` pairs examined.
+    pub pairs: u64,
+    /// Pairs no rule classified (empty = proven).
+    pub gaps: Vec<String>,
+}
+
+/// Proves that no `(state, symbol)` pair has two rules assigning
+/// different outcomes.
+pub fn check_determinism(auto: &DerivedAutomaton) -> DeterminismReport {
+    let spec = auto.spec();
+    let mut report = DeterminismReport::default();
+    for &state in auto.states() {
+        for symbol in Symbol::alphabet(spec) {
+            report.pairs += 1;
+            let edges = auto.edges_for(state, symbol);
+            let disagree = edges
+                .iter()
+                .any(|e| e.outcome != edges[0].outcome || e.rule != edges[0].rule);
+            if edges.len() > 1 && disagree {
+                let rules: Vec<&str> = edges.iter().map(|e| e.rule).collect();
+                report.conflicts.push(format!(
+                    "{} × {} matched by {} rules: {}",
+                    state.label(),
+                    symbol.label(spec),
+                    edges.len(),
+                    rules.join(", ")
+                ));
+            }
+        }
+    }
+    report
+}
+
+/// Proves that every realizable `(state, symbol)` pair is classified.
+pub fn check_totality(auto: &DerivedAutomaton) -> TotalityReport {
+    let spec = auto.spec();
+    let mut report = TotalityReport::default();
+    for &state in auto.states() {
+        for symbol in Symbol::alphabet(spec) {
+            if !auto.realizable(state, symbol) {
+                continue;
+            }
+            report.pairs += 1;
+            if auto.edges_for(state, symbol).is_empty() {
+                report.gaps.push(format!(
+                    "{} × {} classified by no rule",
+                    state.label(),
+                    symbol.label(spec)
+                ));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftm_core::spec::ProtocolSpec;
+
+    #[test]
+    fn transformed_spec_is_deterministic_and_total() {
+        let auto = DerivedAutomaton::from_spec(&ProtocolSpec::transformed());
+        let det = check_determinism(&auto);
+        assert!(det.conflicts.is_empty(), "{:?}", det.conflicts);
+        assert_eq!(det.pairs, 6 * 13);
+        let tot = check_totality(&auto);
+        assert!(tot.gaps.is_empty(), "{:?}", tot.gaps);
+        // `start` excludes the three `Past` symbols.
+        assert_eq!(tot.pairs, 6 * 13 - 3);
+    }
+
+    #[test]
+    fn a_spec_with_a_gap_is_caught_by_totality() {
+        // A malformed spec: the mandatory slot comes first, so a same-round
+        // CURRENT in q0 skips a mandatory slot — the rules still classify
+        // it (vote-past-mandatory), but entering a round with CURRENT after
+        // an advance hits `round-entry-past-mandatory`. Both paths must
+        // stay classified: totality holds even for odd specs.
+        let mut spec = ProtocolSpec::transformed();
+        spec.round_slots.swap(0, 1);
+        let auto = DerivedAutomaton::from_spec(&spec);
+        let tot = check_totality(&auto);
+        assert!(tot.gaps.is_empty(), "{:?}", tot.gaps);
+        let det = check_determinism(&auto);
+        assert!(det.conflicts.is_empty(), "{:?}", det.conflicts);
+    }
+}

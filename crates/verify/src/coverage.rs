@@ -1,0 +1,114 @@
+//! Certificate-rule coverage: §5's obligation table, checked statically.
+//!
+//! The paper's certification discipline demands that every *conditional
+//! send* of the protocol be auditable: the receiver must be able to
+//! re-derive the enabling condition from the attached certificate. Two
+//! artifacts state the two sides of that contract — the conditional-send
+//! table in `ftm_core::spec` (what the protocol sends and when) and the
+//! rule table in `ftm_certify::rules` (what the analyzer can audit). They
+//! are maintained independently, next to the code they describe; this
+//! module diffs them:
+//!
+//! * every conditional send names an existing rule of the same kind
+//!   (no unaudited send);
+//! * every rule is named by some send (no dead rule);
+//! * the only sends whose *condition* is uncertifiable are initial-value
+//!   broadcasts, routed through vector certification (paper §5.2).
+
+use std::collections::BTreeMap;
+
+use ftm_certify::rules::certification_rules;
+use ftm_core::spec::ProtocolSpec;
+
+/// Result of the coverage diff.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageReport {
+    /// Conditional sends in the spec.
+    pub sends: u64,
+    /// Certification rules in the analyzer.
+    pub rules: u64,
+    /// Sends naming a missing or kind-mismatched rule (must be empty).
+    pub uncovered_sends: Vec<String>,
+    /// Rules no send references (must be empty).
+    pub dead_rules: Vec<String>,
+    /// Uncertifiable sends that are not initial-value broadcasts (must be
+    /// empty).
+    pub uncertified_noninitial: Vec<String>,
+}
+
+impl CoverageReport {
+    /// `true` when every check passed and the tables are non-empty.
+    pub fn ok(&self) -> bool {
+        self.sends > 0
+            && self.rules > 0
+            && self.uncovered_sends.is_empty()
+            && self.dead_rules.is_empty()
+            && self.uncertified_noninitial.is_empty()
+    }
+}
+
+/// Diffs the spec's conditional-send table against the analyzer's rule
+/// table.
+pub fn check_coverage(spec: &ProtocolSpec) -> CoverageReport {
+    let sends = spec.conditional_sends();
+    let rules = certification_rules();
+    let mut report = CoverageReport {
+        sends: sends.len() as u64,
+        rules: rules.len() as u64,
+        ..CoverageReport::default()
+    };
+
+    let rule_by_id: BTreeMap<&str, _> = rules.iter().map(|r| (r.id, r)).collect();
+    let mut referenced: BTreeMap<&str, u64> = rules.iter().map(|r| (r.id, 0)).collect();
+
+    for send in &sends {
+        let rule_id = send.route.rule_id();
+        match rule_by_id.get(rule_id) {
+            None => report.uncovered_sends.push(format!(
+                "send `{}` ({}) names missing rule `{rule_id}`",
+                send.id, send.kind
+            )),
+            Some(rule) => {
+                *referenced.entry(rule_id).or_default() += 1;
+                if rule.kind != send.kind {
+                    report.uncovered_sends.push(format!(
+                        "send `{}` is {} but rule `{rule_id}` audits {}",
+                        send.id, send.kind, rule.kind
+                    ));
+                }
+            }
+        }
+        if !send.route.condition_certifiable() && send.kind != spec.opening {
+            report.uncertified_noninitial.push(format!(
+                "send `{}` ({}) is uncertifiable but not an initial value",
+                send.id, send.kind
+            ));
+        }
+    }
+    for (id, count) in referenced {
+        if count == 0 {
+            report
+                .dead_rules
+                .push(format!("rule `{id}` audits no conditional send"));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transformed_spec_is_fully_covered() {
+        let report = check_coverage(&ProtocolSpec::transformed());
+        assert!(
+            report.ok(),
+            "coverage failed: uncovered={:?} dead={:?} uncertified={:?}",
+            report.uncovered_sends,
+            report.dead_rules,
+            report.uncertified_noninitial
+        );
+        assert_eq!(report.sends, report.rules, "tables should be a bijection");
+    }
+}

@@ -1,0 +1,196 @@
+//! Cross-check: derived automaton vs. the hand-written `PeerAutomaton`.
+//!
+//! `ftm-detect`'s Fig. 4 automaton is hand-written; the one in
+//! [`crate::derived`] is generated from the declarative spec. This module
+//! diffs them state by state and edge by edge: for every state, every
+//! alphabet symbol, and several concrete round witnesses per symbol, the
+//! hand-written automaton is placed in the state
+//! ([`PeerAutomaton::at`]), fed the concrete receipt
+//! ([`PeerAutomaton::step`]), and its verdict — accept/convict, target
+//! phase, believed round, demanded requirement — is compared against the
+//! derived edge. Any disagreement is a finding: one of the two artifacts
+//! mis-states the protocol.
+
+use ftm_certify::Round;
+use ftm_detect::{PeerAutomaton, PeerPhase, Requirement};
+use ftm_sim::ProcessId;
+
+use crate::derived::{DerivedAutomaton, Outcome, ReqKind, RoundEffect, State};
+use crate::symbol::Symbol;
+
+/// Result of the automaton diff.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Symbolic edges compared.
+    pub edges: u64,
+    /// Concrete probes executed (≥ edges: several round witnesses each).
+    pub probes: u64,
+    /// Disagreements between the two automata (empty = equivalent on the
+    /// probed alphabet).
+    pub mismatches: Vec<String>,
+}
+
+/// Maps a derived state onto the hand-written automaton's phase. Only
+/// specs with exactly two round slots project onto the Fig. 4 state names.
+fn phase_of(state: State) -> PeerPhase {
+    match state {
+        State::Start => PeerPhase::Start,
+        State::Slot(0) => PeerPhase::Q0,
+        State::Slot(1) => PeerPhase::Q1,
+        State::Slot(2) => PeerPhase::Q2,
+        State::Slot(i) => panic!("spec has more slots ({i}) than Fig. 4 states"),
+        State::Final => PeerPhase::Final,
+        State::Faulty => PeerPhase::Faulty,
+    }
+}
+
+/// Observer rounds a state is probed at: `start` is only meaningful at
+/// round 0, everything else is probed at several rounds to catch
+/// round-dependent behavior.
+fn probe_rounds(state: State) -> Vec<Round> {
+    match state {
+        State::Start => vec![0],
+        _ => vec![1, 2, 7],
+    }
+}
+
+/// Diffs the derived automaton against the hand-written one over the full
+/// alphabet.
+///
+/// # Panics
+///
+/// Panics when the spec's slot count does not project onto the Fig. 4
+/// phases (nothing to diff against, a configuration error).
+pub fn diff_against_detect(auto: &DerivedAutomaton) -> DiffReport {
+    let spec = auto.spec();
+    assert_eq!(
+        spec.round_slots.len(),
+        2,
+        "the hand-written automaton models exactly two round slots"
+    );
+    let mut report = DiffReport::default();
+
+    for &state in auto.states() {
+        for symbol in Symbol::alphabet(spec) {
+            if !auto.realizable(state, symbol) {
+                continue;
+            }
+            report.edges += 1;
+            let edges = auto.edges_for(state, symbol);
+            let Some(edge) = edges.first() else {
+                // Totality gaps are reported by `checks`; nothing to diff.
+                continue;
+            };
+
+            for obs in probe_rounds(state) {
+                for msg_round in symbol.realizations(spec, obs) {
+                    report.probes += 1;
+                    let mut hand = PeerAutomaton::at(ProcessId(0), phase_of(state), obs);
+                    let got = hand.step(symbol.kind(spec), msg_round);
+                    let ctx = format!(
+                        "{} (round {obs}) × {} (r={msg_round})",
+                        state.label(),
+                        symbol.label(spec)
+                    );
+                    match (&edge.outcome, got) {
+                        (Outcome::Accept { to, round, req }, Ok(hand_req)) => {
+                            if hand.phase() != phase_of(*to) {
+                                report.mismatches.push(format!(
+                                    "{ctx}: derived target {} but hand-written moved to {}",
+                                    to.label(),
+                                    hand.phase()
+                                ));
+                            }
+                            let want_round = round.apply(spec, obs);
+                            if hand.round() != want_round {
+                                report.mismatches.push(format!(
+                                    "{ctx}: derived round {want_round} but hand-written \
+                                     believes {}",
+                                    hand.round()
+                                ));
+                            }
+                            let req_matches = match req {
+                                ReqKind::Standard => hand_req == Requirement::Standard,
+                                ReqKind::RoundEntry => {
+                                    hand_req
+                                        == Requirement::RoundEntry(
+                                            RoundEffect::Advance.apply(spec, obs),
+                                        )
+                                }
+                            };
+                            if !req_matches {
+                                report.mismatches.push(format!(
+                                    "{ctx}: derived requirement {req:?} but hand-written \
+                                     demanded {hand_req:?}"
+                                ));
+                            }
+                        }
+                        (Outcome::Convict { .. }, Err(_)) => {
+                            if hand.phase() != PeerPhase::Faulty {
+                                report.mismatches.push(format!(
+                                    "{ctx}: hand-written convicted without entering faulty \
+                                     (phase {})",
+                                    hand.phase()
+                                ));
+                            }
+                        }
+                        (Outcome::Accept { to, .. }, Err(e)) => {
+                            report.mismatches.push(format!(
+                                "{ctx}: derived accepts into {} but hand-written convicts \
+                                 ({})",
+                                to.label(),
+                                e.reason
+                            ));
+                        }
+                        (Outcome::Convict { why }, Ok(_)) => {
+                            report.mismatches.push(format!(
+                                "{ctx}: derived convicts ({why}) but hand-written accepts \
+                                 into {}",
+                                hand.phase()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftm_core::spec::ProtocolSpec;
+
+    #[test]
+    fn derived_and_hand_written_automata_agree() {
+        let auto = DerivedAutomaton::from_spec(&ProtocolSpec::transformed());
+        let report = diff_against_detect(&auto);
+        assert!(
+            report.mismatches.is_empty(),
+            "automata disagree:\n{}",
+            report.mismatches.join("\n")
+        );
+        assert!(
+            report.edges >= 75,
+            "suspiciously few edges: {}",
+            report.edges
+        );
+        assert!(report.probes > report.edges);
+    }
+
+    #[test]
+    fn a_spec_divergence_is_caught() {
+        // Claim CURRENT is mandatory before leaving a round: the derived
+        // automaton then convicts NEXT-only rounds that the hand-written
+        // one (faithful to Fig. 3) accepts — the diff must notice.
+        let mut spec = ProtocolSpec::transformed();
+        spec.round_slots[0].mandatory = true;
+        let auto = DerivedAutomaton::from_spec(&spec);
+        let report = diff_against_detect(&auto);
+        assert!(
+            !report.mismatches.is_empty(),
+            "diff failed to catch a divergent spec"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! # ftm-verify — static protocol analyzer
+//!
+//! The paper's non-muteness module (§4, Fig. 4) is built "from the program
+//! text": the per-peer observer automaton is a *static* artifact of the
+//! protocol, not of any execution. Until now the repo validated it only
+//! dynamically — simulation sweeps over fault scenarios. This crate checks
+//! the static artifact statically, over the *whole* bounded behavior
+//! space instead of the sampled one:
+//!
+//! 1. **Spec-derived extraction** ([`derived`]) — the observer automaton
+//!    is derived mechanically from the declarative send discipline in
+//!    [`ftm_core::spec::ProtocolSpec`], and [`diff`] cross-checks it
+//!    against the hand-written [`ftm_detect::PeerAutomaton`] state by
+//!    state, edge by edge.
+//! 2. **Bounded model checking** — [`checks`] proves the derived relation
+//!    deterministic and total over the receipt alphabet; [`soundness`]
+//!    enumerates every compliant sender trace up to a round bound and
+//!    proves none is convicted; [`mutation`] generates every
+//!    single-divergence mutant (kind swap, phase skip, duplicate send,
+//!    round jump, send-after-decide) and proves each is convicted,
+//!    reporting the kill matrix.
+//! 3. **Certificate-rule coverage** ([`coverage`]) — §5's obligation
+//!    table: every conditional send in the spec is audited by a matching
+//!    rule in `ftm-certify`, no rule is dead, and the only uncertifiable
+//!    sends are initial values routed through vector certification.
+//!
+//! The `ftm-verify` binary runs everything and emits the same no-float,
+//! byte-stable JSON as `ftm_sim::report`; CI treats a non-`ok` report as
+//! a hard gate failure.
+//!
+//! # Example
+//!
+//! ```
+//! use ftm_verify::{verify_transformed, Bounds};
+//! let report = verify_transformed(&Bounds::default());
+//! assert!(report.ok(), "{}", report.to_json().render());
+//! ```
+
+pub mod checks;
+pub mod coverage;
+pub mod derived;
+pub mod diff;
+pub mod mutation;
+pub mod report;
+pub mod soundness;
+pub mod symbol;
+
+pub use derived::DerivedAutomaton;
+pub use report::VerifyReport;
+
+use ftm_core::spec::ProtocolSpec;
+
+/// Bounds for the exhaustive checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bounds {
+    /// Round bound for the compliant-trace enumeration (soundness).
+    pub soundness_rounds: u64,
+    /// Round bound for mutation bases (mutants multiply fast; a smaller
+    /// bound keeps the matrix readable while still covering every operator
+    /// at every automaton state).
+    pub mutation_rounds: u64,
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Bounds {
+            soundness_rounds: 6,
+            mutation_rounds: 3,
+        }
+    }
+}
+
+/// Runs every check against `spec`.
+pub fn verify_spec(spec: &ProtocolSpec, bounds: &Bounds) -> VerifyReport {
+    let auto = DerivedAutomaton::from_spec(spec);
+    VerifyReport {
+        determinism: checks::check_determinism(&auto),
+        totality: checks::check_totality(&auto),
+        diff: diff::diff_against_detect(&auto),
+        soundness: soundness::check_soundness(&auto, bounds.soundness_rounds),
+        mutation: mutation::check_mutations(&auto, bounds.mutation_rounds),
+        coverage: coverage::check_coverage(spec),
+    }
+}
+
+/// Runs every check against the transformed protocol (Fig. 3) — the
+/// configuration the CI gate uses.
+pub fn verify_transformed(bounds: &Bounds) -> VerifyReport {
+    verify_spec(&ProtocolSpec::transformed(), bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_transformed_protocol_verifies_clean() {
+        let report = verify_transformed(&Bounds::default());
+        assert!(report.ok(), "{}", report.to_json().render());
+    }
+
+    #[test]
+    fn report_json_is_reproducible_and_carries_every_section() {
+        let report = verify_transformed(&Bounds {
+            soundness_rounds: 3,
+            mutation_rounds: 2,
+        });
+        let a = report.to_json().render();
+        let b = report.to_json().render();
+        assert_eq!(a, b);
+        for key in [
+            "determinism",
+            "totality",
+            "automaton-diff",
+            "soundness",
+            "mutation",
+            "certificate-coverage",
+            "kind-swap",
+            "\"ok\": true",
+        ] {
+            assert!(a.contains(key), "report lost section {key}:\n{a}");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! The `ftm-verify` CLI: run every static check, print the report, gate CI.
+//!
+//! ```text
+//! ftm-verify [--json] [--rounds N] [--mutation-rounds N]
+//! ```
+//!
+//! Exit status 0 when every check passed, 1 when any finding exists
+//! (conflict, gap, diff mismatch, false conviction, surviving mutant, or
+//! coverage hole), 2 on usage errors. `--json` prints only the byte-stable
+//! JSON document; the default adds a human summary to stderr.
+
+use std::process::ExitCode;
+
+use ftm_verify::{verify_transformed, Bounds};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: ftm-verify [--json] [--rounds N] [--mutation-rounds N]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut json_only = false;
+    let mut bounds = Bounds::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_only = true,
+            "--rounds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => bounds.soundness_rounds = n,
+                None => return usage(),
+            },
+            "--mutation-rounds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => bounds.mutation_rounds = n,
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                eprintln!("ftm-verify: static analysis of the observer automaton");
+                return usage();
+            }
+            _ => return usage(),
+        }
+    }
+    if bounds.soundness_rounds == 0 || bounds.mutation_rounds == 0 {
+        eprintln!("ftm-verify: round bounds must be at least 1");
+        return usage();
+    }
+
+    let report = verify_transformed(&bounds);
+    print!("{}", report.to_json().render());
+
+    if !json_only {
+        let m = &report.mutation;
+        eprintln!(
+            "ftm-verify: {} edges diffed ({} probes), {} compliant traces sound to round {}, \
+             {} divergent mutants / {} survivors, {} sends vs {} rules",
+            report.diff.edges,
+            report.diff.probes,
+            report.soundness.traces,
+            report.soundness.max_rounds,
+            m.divergent(),
+            m.survivors.len(),
+            report.coverage.sends,
+            report.coverage.rules,
+        );
+    }
+
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("ftm-verify: FINDINGS PRESENT — see report");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,309 @@
+//! Static mutation analysis: detection completeness of the automaton.
+//!
+//! Soundness ([`crate::soundness`]) proves compliant senders are never
+//! convicted; this module attacks the other direction. Every compliant
+//! trace up to a bound is mutated with one *single-divergence* operator —
+//! kind swap, phase skip (message deletion), duplicate send, round jump,
+//! send-after-decide — and the mutant is replayed against the hand-written
+//! automaton. A mutant that is still spec-compliant (e.g. deleting an
+//! optional CURRENT, or a swap that lands on another legal vote) is
+//! *equivalent* and filtered out by the derived automaton; every genuinely
+//! divergent mutant must be convicted — a surviving mutant is a concrete
+//! cheating trace the detector would let through.
+//!
+//! The muteness caveat applies by construction: deletion mutants whose
+//! remainder is a compliant prefix are equivalent here, because silence is
+//! the muteness detector's domain (paper §3), not the automaton's.
+
+use std::collections::BTreeSet;
+
+use ftm_certify::{MessageKind, Round};
+use ftm_detect::PeerAutomaton;
+use ftm_sim::ProcessId;
+
+use crate::derived::{DerivedAutomaton, Outcome, State};
+use crate::soundness::{compliant_traces, trace_label, Trace};
+
+/// The single-divergence mutation operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Operator {
+    /// Replace one message's kind, keeping its position and round.
+    KindSwap,
+    /// Delete one message (a skipped phase; FIFO hides nothing else).
+    PhaseSkip,
+    /// Send one message twice.
+    DuplicateSend,
+    /// Move one message's round number ahead.
+    RoundJump,
+    /// Keep talking after the terminal announcement.
+    SendAfterDecide,
+}
+
+impl Operator {
+    /// All operators, in report order.
+    pub fn all() -> [Operator; 5] {
+        [
+            Operator::KindSwap,
+            Operator::PhaseSkip,
+            Operator::DuplicateSend,
+            Operator::RoundJump,
+            Operator::SendAfterDecide,
+        ]
+    }
+
+    /// Stable kebab-case label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Operator::KindSwap => "kind-swap",
+            Operator::PhaseSkip => "phase-skip",
+            Operator::DuplicateSend => "duplicate-send",
+            Operator::RoundJump => "round-jump",
+            Operator::SendAfterDecide => "send-after-decide",
+        }
+    }
+
+    /// Generates every mutant this operator derives from `base`.
+    fn mutants(&self, base: &Trace, kinds: &[MessageKind]) -> Vec<Trace> {
+        let mut out = Vec::new();
+        match self {
+            Operator::KindSwap => {
+                for p in 0..base.len() {
+                    let (orig, r) = base[p];
+                    for &k in kinds {
+                        if k == orig {
+                            continue;
+                        }
+                        let mut t = base.clone();
+                        // INIT's wire round is structurally 0; anything
+                        // swapped in at position 0 claims round 1, and an
+                        // INIT swapped in mid-trace claims its fixed 0.
+                        t[p] = (k, if k == MessageKind::Init { 0 } else { r.max(1) });
+                        out.push(t);
+                    }
+                }
+            }
+            Operator::PhaseSkip => {
+                for p in 0..base.len() {
+                    let mut t = base.clone();
+                    t.remove(p);
+                    if !t.is_empty() {
+                        out.push(t);
+                    }
+                }
+            }
+            Operator::DuplicateSend => {
+                for p in 0..base.len() {
+                    let mut t = base.clone();
+                    t.insert(p + 1, base[p]);
+                    out.push(t);
+                }
+            }
+            Operator::RoundJump => {
+                for p in 0..base.len() {
+                    let (k, r) = base[p];
+                    if k == MessageKind::Init {
+                        continue; // INIT carries no round to jump
+                    }
+                    for jump in [1, 4] {
+                        let mut t = base.clone();
+                        t[p] = (k, r + jump);
+                        out.push(t);
+                    }
+                }
+            }
+            Operator::SendAfterDecide => {
+                if let Some(&(last, r)) = base.last() {
+                    if last == MessageKind::Decide {
+                        for &k in kinds {
+                            let mut t = base.clone();
+                            t.push((k, if k == MessageKind::Init { 0 } else { r }));
+                            out.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Kill statistics for one operator.
+#[derive(Debug, Clone, Default)]
+pub struct OperatorStats {
+    /// Distinct mutants generated.
+    pub generated: u64,
+    /// Mutants that are still spec-compliant (no divergence to detect).
+    pub equivalent: u64,
+    /// Divergent mutants the automaton convicted.
+    pub killed: u64,
+    /// Divergent mutants that escaped conviction. Must be zero.
+    pub survived: u64,
+}
+
+/// The full mutation report: the kill matrix plus surviving traces.
+#[derive(Debug, Clone, Default)]
+pub struct MutationReport {
+    /// Round bound the base traces were enumerated to.
+    pub max_rounds: u64,
+    /// Base traces mutated.
+    pub bases: u64,
+    /// Per-operator kill statistics, in [`Operator::all`] order.
+    pub operators: Vec<(Operator, OperatorStats)>,
+    /// Surviving mutants, rendered (empty = 100% kill rate).
+    pub survivors: Vec<String>,
+}
+
+impl MutationReport {
+    /// Total divergent mutants across operators.
+    pub fn divergent(&self) -> u64 {
+        self.operators
+            .iter()
+            .map(|(_, s)| s.killed + s.survived)
+            .sum()
+    }
+
+    /// `true` when every divergent mutant was killed and the run was not
+    /// vacuous.
+    pub fn all_killed(&self) -> bool {
+        self.survivors.is_empty() && self.divergent() > 0
+    }
+}
+
+/// `true` when the derived automaton accepts the whole trace — the mutant
+/// is equivalent to compliant behavior and carries nothing to detect.
+fn spec_compliant(auto: &DerivedAutomaton, trace: &Trace) -> bool {
+    let mut st = State::Start;
+    let mut round = 0;
+    for &(kind, r) in trace {
+        let (outcome, next_state, next_round) = auto.classify(st, round, kind, r);
+        if matches!(outcome, Outcome::Convict { .. }) {
+            return false;
+        }
+        st = next_state;
+        round = next_round;
+    }
+    true
+}
+
+/// `true` when the hand-written automaton convicts somewhere in the trace.
+fn hand_kills(trace: &Trace) -> bool {
+    let mut hand = PeerAutomaton::new(ProcessId(0));
+    for &(kind, r) in trace {
+        if hand.step(kind, r).is_err() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Runs the full mutation analysis: every operator over every compliant
+/// base trace up to `max_rounds`, deduplicated per operator.
+pub fn check_mutations(auto: &DerivedAutomaton, max_rounds: Round) -> MutationReport {
+    let spec = auto.spec();
+    let kinds = [
+        MessageKind::Init,
+        MessageKind::Current,
+        MessageKind::Next,
+        MessageKind::Decide,
+    ];
+    let bases = compliant_traces(spec, max_rounds);
+    let mut report = MutationReport {
+        max_rounds,
+        bases: bases.len() as u64,
+        ..MutationReport::default()
+    };
+
+    for op in Operator::all() {
+        let mut stats = OperatorStats::default();
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        for base in &bases {
+            for mutant in op.mutants(base, &kinds) {
+                if !seen.insert(trace_label(&mutant)) {
+                    continue; // the same mutant arises from several bases
+                }
+                stats.generated += 1;
+                if spec_compliant(auto, &mutant) {
+                    stats.equivalent += 1;
+                } else if hand_kills(&mutant) {
+                    stats.killed += 1;
+                } else {
+                    stats.survived += 1;
+                    report
+                        .survivors
+                        .push(format!("{}: {}", op.label(), trace_label(&mutant)));
+                }
+            }
+        }
+        report.operators.push((op, stats));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftm_core::spec::ProtocolSpec;
+
+    #[test]
+    fn every_divergent_mutant_is_killed() {
+        let auto = DerivedAutomaton::from_spec(&ProtocolSpec::transformed());
+        let report = check_mutations(&auto, 3);
+        assert!(
+            report.survivors.is_empty(),
+            "surviving mutants:\n{}",
+            report.survivors.join("\n")
+        );
+        assert!(report.all_killed());
+        for (op, stats) in &report.operators {
+            assert!(stats.generated > 0, "{} generated no mutants", op.label());
+            assert_eq!(
+                stats.generated,
+                stats.equivalent + stats.killed + stats.survived,
+                "{} stats do not decompose",
+                op.label()
+            );
+        }
+    }
+
+    #[test]
+    fn deleting_an_optional_current_is_equivalent_not_survived() {
+        // INIT C(1) N(1) with the CURRENT deleted is a legal NEXT-only
+        // round: the equivalence filter must classify it, not count it as
+        // a surviving mutant.
+        let auto = DerivedAutomaton::from_spec(&ProtocolSpec::transformed());
+        let mutant = vec![(MessageKind::Init, 0), (MessageKind::Next, 1)];
+        assert!(spec_compliant(&auto, &mutant));
+        assert!(!hand_kills(&mutant));
+    }
+
+    #[test]
+    fn known_divergences_are_killed_directly() {
+        let cases: Vec<Trace> = vec![
+            // Duplicate CURRENT.
+            vec![
+                (MessageKind::Init, 0),
+                (MessageKind::Current, 1),
+                (MessageKind::Current, 1),
+            ],
+            // Round jump without NEXT.
+            vec![
+                (MessageKind::Init, 0),
+                (MessageKind::Current, 1),
+                (MessageKind::Current, 2),
+            ],
+            // Send after decide.
+            vec![
+                (MessageKind::Init, 0),
+                (MessageKind::Decide, 1),
+                (MessageKind::Next, 1),
+            ],
+            // Opening skipped.
+            vec![(MessageKind::Current, 1)],
+        ];
+        let auto = DerivedAutomaton::from_spec(&ProtocolSpec::transformed());
+        for t in cases {
+            assert!(!spec_compliant(&auto, &t), "{}", trace_label(&t));
+            assert!(hand_kills(&t), "not killed: {}", trace_label(&t));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Aggregation of every check into one no-float JSON report.
+//!
+//! The document is built with [`ftm_sim::report::Json`], the same
+//! byte-stable integer-only model the sweep harness emits — CI treats the
+//! two uniformly and can diff reports across commits.
+
+use ftm_sim::report::Json;
+
+use crate::checks::{DeterminismReport, TotalityReport};
+use crate::coverage::CoverageReport;
+use crate::diff::DiffReport;
+use crate::mutation::MutationReport;
+use crate::soundness::SoundnessReport;
+
+/// Everything `ftm-verify` proved (or failed to prove) in one run.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Determinism of the derived transition relation.
+    pub determinism: DeterminismReport,
+    /// Totality of the derived transition relation.
+    pub totality: TotalityReport,
+    /// Derived vs. hand-written automaton diff.
+    pub diff: DiffReport,
+    /// Bounded soundness over compliant traces.
+    pub soundness: SoundnessReport,
+    /// Static mutation analysis (detection completeness).
+    pub mutation: MutationReport,
+    /// Certificate-rule coverage.
+    pub coverage: CoverageReport,
+}
+
+impl VerifyReport {
+    /// `true` when every check passed with nothing vacuous: the CI gate.
+    pub fn ok(&self) -> bool {
+        self.determinism.conflicts.is_empty()
+            && self.determinism.pairs > 0
+            && self.totality.gaps.is_empty()
+            && self.totality.pairs > 0
+            && self.diff.mismatches.is_empty()
+            && self.diff.probes > 0
+            && self.soundness.false_convictions.is_empty()
+            && self.soundness.requirement_mismatches.is_empty()
+            && self.soundness.traces > 0
+            && self.mutation.all_killed()
+            && self.coverage.ok()
+    }
+
+    /// Renders the report as the byte-stable JSON document.
+    pub fn to_json(&self) -> Json {
+        let strings = |v: &[String]| Json::Arr(v.iter().map(|s| Json::Str(s.clone())).collect());
+
+        let mutation_ops = Json::Obj(
+            self.mutation
+                .operators
+                .iter()
+                .map(|(op, s)| {
+                    (
+                        op.label().to_string(),
+                        Json::Obj(vec![
+                            ("generated".into(), Json::U64(s.generated)),
+                            ("equivalent".into(), Json::U64(s.equivalent)),
+                            ("killed".into(), Json::U64(s.killed)),
+                            ("survived".into(), Json::U64(s.survived)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+
+        Json::Obj(vec![
+            (
+                "determinism".into(),
+                Json::Obj(vec![
+                    ("pairs".into(), Json::U64(self.determinism.pairs)),
+                    ("conflicts".into(), strings(&self.determinism.conflicts)),
+                ]),
+            ),
+            (
+                "totality".into(),
+                Json::Obj(vec![
+                    ("pairs".into(), Json::U64(self.totality.pairs)),
+                    ("gaps".into(), strings(&self.totality.gaps)),
+                ]),
+            ),
+            (
+                "automaton-diff".into(),
+                Json::Obj(vec![
+                    ("edges".into(), Json::U64(self.diff.edges)),
+                    ("probes".into(), Json::U64(self.diff.probes)),
+                    ("mismatches".into(), strings(&self.diff.mismatches)),
+                ]),
+            ),
+            (
+                "soundness".into(),
+                Json::Obj(vec![
+                    ("round-bound".into(), Json::U64(self.soundness.max_rounds)),
+                    ("traces".into(), Json::U64(self.soundness.traces)),
+                    ("steps".into(), Json::U64(self.soundness.steps)),
+                    (
+                        "false-convictions".into(),
+                        strings(&self.soundness.false_convictions),
+                    ),
+                    (
+                        "requirement-mismatches".into(),
+                        strings(&self.soundness.requirement_mismatches),
+                    ),
+                ]),
+            ),
+            (
+                "mutation".into(),
+                Json::Obj(vec![
+                    ("round-bound".into(), Json::U64(self.mutation.max_rounds)),
+                    ("bases".into(), Json::U64(self.mutation.bases)),
+                    ("divergent".into(), Json::U64(self.mutation.divergent())),
+                    ("operators".into(), mutation_ops),
+                    ("survivors".into(), strings(&self.mutation.survivors)),
+                ]),
+            ),
+            (
+                "certificate-coverage".into(),
+                Json::Obj(vec![
+                    ("sends".into(), Json::U64(self.coverage.sends)),
+                    ("rules".into(), Json::U64(self.coverage.rules)),
+                    (
+                        "uncovered-sends".into(),
+                        strings(&self.coverage.uncovered_sends),
+                    ),
+                    ("dead-rules".into(), strings(&self.coverage.dead_rules)),
+                    (
+                        "uncertified-noninitial".into(),
+                        strings(&self.coverage.uncertified_noninitial),
+                    ),
+                ]),
+            ),
+            ("ok".into(), Json::Bool(self.ok())),
+        ])
+    }
+}

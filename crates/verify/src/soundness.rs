@@ -1,0 +1,208 @@
+//! Bounded soundness: no compliant sender is ever convicted.
+//!
+//! The reliability half of the paper's detector contract (§4): if a
+//! correct process declares `q` faulty, `q` really deviated. Statically,
+//! that means *no trace a spec-compliant sender can produce drives the
+//! automaton into `faulty`*. This module enumerates every compliant send
+//! trace up to a round bound — every interleaving of optional and
+//! mandatory slots, every round-advance, every decide point, and every
+//! stop point (prefixes are compliant: a silent peer is the muteness
+//! detector's business, never this automaton's) — and replays each against
+//! both the hand-written automaton and the derived one. A conviction is a
+//! false positive; a requirement disagreement means the certificate
+//! predicates would be consulted differently by the two artifacts.
+
+use ftm_certify::{MessageKind, Round};
+use ftm_core::spec::ProtocolSpec;
+use ftm_detect::{PeerAutomaton, Requirement};
+use ftm_sim::ProcessId;
+
+use crate::derived::{DerivedAutomaton, Outcome, ReqKind, State};
+
+/// A send trace: the sequence of `(kind, round)` receipts one peer's
+/// channel delivers (FIFO, so receipt order is send order).
+pub type Trace = Vec<(MessageKind, Round)>;
+
+/// Renders a trace for reports, e.g. `INIT(0) CURRENT(1) NEXT(1)`.
+pub fn trace_label(trace: &Trace) -> String {
+    trace
+        .iter()
+        .map(|(k, r)| format!("{k}({r})"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn entry_legal(spec: &ProtocolSpec, from: usize, j: usize) -> bool {
+    spec.round_slots[from..j].iter().all(|s| !s.mandatory)
+}
+
+fn advance_ready(spec: &ProtocolSpec, i: usize) -> bool {
+    spec.round_slots[i..].iter().all(|s| !s.mandatory)
+}
+
+/// Enumerates every compliant trace with at most `max_rounds` rounds.
+///
+/// Each recursion point contributes the trace-so-far (stopping is
+/// compliant) and its decide-terminated variant; branches extend with
+/// every legal same-round vote and every legal round entry.
+pub fn compliant_traces(spec: &ProtocolSpec, max_rounds: Round) -> Vec<Trace> {
+    let mut out = Vec::new();
+    let opening = vec![(spec.opening, 0)];
+    rec(spec, 1, 0, &opening, max_rounds, &mut out);
+    out
+}
+
+fn rec(
+    spec: &ProtocolSpec,
+    round: Round,
+    progress: usize,
+    trace: &Trace,
+    max_rounds: Round,
+    out: &mut Vec<Trace>,
+) {
+    // Stopping here is compliant (muteness is out of scope)…
+    out.push(trace.clone());
+    // …and so is deciding here.
+    let mut decided = trace.clone();
+    decided.push((spec.terminal, round));
+    out.push(decided);
+
+    // Same-round votes: any not-yet-passed slot reachable over optional
+    // slots only.
+    for j in progress..spec.round_slots.len() {
+        if entry_legal(spec, progress, j) {
+            let mut t = trace.clone();
+            t.push((spec.round_slots[j].kind, round));
+            rec(spec, round, j + 1, &t, max_rounds, out);
+        }
+    }
+
+    // Round advance: only once every mandatory slot is done, and only to
+    // the immediate successor round.
+    if advance_ready(spec, progress) && round < max_rounds {
+        let next = round + spec.round_advance;
+        for j in 0..spec.round_slots.len() {
+            if entry_legal(spec, 0, j) {
+                let mut t = trace.clone();
+                t.push((spec.round_slots[j].kind, next));
+                rec(spec, next, j + 1, &t, max_rounds, out);
+            }
+        }
+    }
+}
+
+/// Result of the bounded soundness check.
+#[derive(Debug, Clone, Default)]
+pub struct SoundnessReport {
+    /// Round bound the enumeration ran to.
+    pub max_rounds: u64,
+    /// Compliant traces replayed.
+    pub traces: u64,
+    /// Individual receipts stepped through the automata.
+    pub steps: u64,
+    /// Compliant traces the hand-written automaton convicted (must be
+    /// empty: each is a false positive).
+    pub false_convictions: Vec<String>,
+    /// Steps where the two automata demanded different certificate
+    /// requirements (must be empty).
+    pub requirement_mismatches: Vec<String>,
+}
+
+/// Replays every compliant trace (up to `max_rounds`) against the
+/// hand-written automaton and the derived one.
+pub fn check_soundness(auto: &DerivedAutomaton, max_rounds: Round) -> SoundnessReport {
+    let spec = auto.spec();
+    let mut report = SoundnessReport {
+        max_rounds,
+        ..SoundnessReport::default()
+    };
+    for trace in compliant_traces(spec, max_rounds) {
+        report.traces += 1;
+        let mut hand = PeerAutomaton::new(ProcessId(0));
+        let mut st = State::Start;
+        let mut round = 0;
+        for (idx, &(kind, r)) in trace.iter().enumerate() {
+            report.steps += 1;
+            let (outcome, next_state, next_round) = auto.classify(st, round, kind, r);
+            match hand.step(kind, r) {
+                Err(e) => {
+                    report.false_convictions.push(format!(
+                        "step {idx} of [{}]: compliant {kind}({r}) convicted: {}",
+                        trace_label(&trace),
+                        e.reason
+                    ));
+                    break;
+                }
+                Ok(hand_req) => {
+                    let derived_req = match &outcome {
+                        Outcome::Accept { req, .. } => *req,
+                        Outcome::Convict { why } => {
+                            report.false_convictions.push(format!(
+                                "step {idx} of [{}]: derived automaton convicted a \
+                                 compliant trace: {why}",
+                                trace_label(&trace)
+                            ));
+                            break;
+                        }
+                    };
+                    let agree = match derived_req {
+                        ReqKind::Standard => hand_req == Requirement::Standard,
+                        ReqKind::RoundEntry => hand_req == Requirement::RoundEntry(next_round),
+                    };
+                    if !agree {
+                        report.requirement_mismatches.push(format!(
+                            "step {idx} of [{}]: derived {derived_req:?} vs hand-written \
+                             {hand_req:?}",
+                            trace_label(&trace)
+                        ));
+                    }
+                }
+            }
+            st = next_state;
+            round = next_round;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_compliant_trace_up_to_six_rounds_is_accepted() {
+        let auto = DerivedAutomaton::from_spec(&ProtocolSpec::transformed());
+        let report = check_soundness(&auto, 6);
+        assert!(
+            report.false_convictions.is_empty(),
+            "{:?}",
+            report.false_convictions
+        );
+        assert!(
+            report.requirement_mismatches.is_empty(),
+            "{:?}",
+            report.requirement_mismatches
+        );
+        assert!(
+            report.traces > 300,
+            "bound 6 should enumerate hundreds of traces, got {}",
+            report.traces
+        );
+    }
+
+    #[test]
+    fn trace_enumeration_is_duplicate_free() {
+        let spec = ProtocolSpec::transformed();
+        let traces = compliant_traces(&spec, 3);
+        let set: std::collections::BTreeSet<String> = traces.iter().map(trace_label).collect();
+        assert_eq!(set.len(), traces.len(), "duplicate compliant traces");
+    }
+
+    #[test]
+    fn compliant_traces_respect_the_round_bound() {
+        let spec = ProtocolSpec::transformed();
+        for t in compliant_traces(&spec, 2) {
+            assert!(t.iter().all(|&(_, r)| r <= 2), "{}", trace_label(&t));
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! The observer alphabet: message kind × round position.
+//!
+//! The Fig. 4 automaton never inspects payloads — a receipt event is
+//! classified by the message's *kind* and by where its round number stands
+//! relative to the round the observer believes the peer is in. That makes
+//! the automaton's input alphabet finite: one symbol for the opening kind
+//! (whose round is structurally 0), one per `(vote kind, round delta)`
+//! pair, and one per `(terminal, round delta)` pair. Model checking runs
+//! over this alphabet instead of over unbounded concrete round numbers.
+
+use ftm_certify::{MessageKind, Round};
+use ftm_core::spec::ProtocolSpec;
+
+/// Where a message's round stands relative to the observer's belief.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RoundDelta {
+    /// Strictly before the peer's current round.
+    Past,
+    /// The peer's current round.
+    Same,
+    /// Exactly one legal advance ahead (`round + round_advance`).
+    Successor,
+    /// More than one advance ahead.
+    Skip,
+}
+
+impl RoundDelta {
+    /// All deltas, in a stable order.
+    pub fn all() -> [RoundDelta; 4] {
+        [
+            RoundDelta::Past,
+            RoundDelta::Same,
+            RoundDelta::Successor,
+            RoundDelta::Skip,
+        ]
+    }
+
+    /// Classifies `msg_round` relative to `observer_round`.
+    pub fn of(spec: &ProtocolSpec, observer_round: Round, msg_round: Round) -> RoundDelta {
+        if msg_round < observer_round {
+            RoundDelta::Past
+        } else if msg_round == observer_round {
+            RoundDelta::Same
+        } else if msg_round == observer_round + spec.round_advance {
+            RoundDelta::Successor
+        } else {
+            RoundDelta::Skip
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoundDelta::Past => "past",
+            RoundDelta::Same => "same",
+            RoundDelta::Successor => "succ",
+            RoundDelta::Skip => "skip",
+        }
+    }
+}
+
+/// One symbol of the observer alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Symbol {
+    /// The opening kind (INIT); its round is structurally 0.
+    Opening,
+    /// A round-slot vote (CURRENT / NEXT) at a relative round.
+    Vote(MessageKind, RoundDelta),
+    /// The terminal kind (DECIDE) at a relative round. The automaton is
+    /// round-insensitive for it, but totality must still cover every
+    /// position a concrete message can occupy.
+    Terminal(RoundDelta),
+}
+
+impl Symbol {
+    /// The full alphabet for `spec`: opening + slots × deltas + terminal
+    /// × deltas.
+    pub fn alphabet(spec: &ProtocolSpec) -> Vec<Symbol> {
+        let mut out = vec![Symbol::Opening];
+        for slot in &spec.round_slots {
+            for d in RoundDelta::all() {
+                out.push(Symbol::Vote(slot.kind, d));
+            }
+        }
+        for d in RoundDelta::all() {
+            out.push(Symbol::Terminal(d));
+        }
+        out
+    }
+
+    /// Classifies a concrete `(kind, round)` receipt into a symbol, given
+    /// the round the observer believes the peer is in.
+    pub fn of_message(
+        spec: &ProtocolSpec,
+        observer_round: Round,
+        kind: MessageKind,
+        msg_round: Round,
+    ) -> Symbol {
+        if kind == spec.opening {
+            Symbol::Opening
+        } else if kind == spec.terminal {
+            Symbol::Terminal(RoundDelta::of(spec, observer_round, msg_round))
+        } else {
+            Symbol::Vote(kind, RoundDelta::of(spec, observer_round, msg_round))
+        }
+    }
+
+    /// The delta carried by the symbol, if any.
+    pub fn delta(&self) -> Option<RoundDelta> {
+        match self {
+            Symbol::Opening => None,
+            Symbol::Vote(_, d) | Symbol::Terminal(d) => Some(*d),
+        }
+    }
+
+    /// The wire kind the symbol stands for.
+    pub fn kind(&self, spec: &ProtocolSpec) -> MessageKind {
+        match self {
+            Symbol::Opening => spec.opening,
+            Symbol::Vote(k, _) => *k,
+            Symbol::Terminal(_) => spec.terminal,
+        }
+    }
+
+    /// Concrete message rounds realizing this symbol when the observer is
+    /// at `observer_round` (empty when unrealizable, e.g. `Past` at round
+    /// 0). Several witnesses are produced where the delta is a range.
+    pub fn realizations(&self, spec: &ProtocolSpec, observer_round: Round) -> Vec<Round> {
+        let Some(delta) = self.delta() else {
+            return vec![0];
+        };
+        let mut rounds = match delta {
+            RoundDelta::Past => {
+                let mut v = Vec::new();
+                if observer_round >= 1 {
+                    v.push(observer_round - 1);
+                    v.push(0);
+                    v.push(observer_round / 2);
+                }
+                v.retain(|r| *r < observer_round);
+                v
+            }
+            RoundDelta::Same => vec![observer_round],
+            RoundDelta::Successor => vec![observer_round + spec.round_advance],
+            RoundDelta::Skip => vec![
+                observer_round + spec.round_advance + 1,
+                observer_round + spec.round_advance + 7,
+            ],
+        };
+        rounds.sort_unstable();
+        rounds.dedup();
+        rounds
+    }
+
+    /// Report label, e.g. `CURRENT@succ`.
+    pub fn label(&self, spec: &ProtocolSpec) -> String {
+        match self {
+            Symbol::Opening => format!("{}@open", spec.opening),
+            Symbol::Vote(k, d) => format!("{k}@{}", d.label()),
+            Symbol::Terminal(d) => format!("{}@{}", spec.terminal, d.label()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alphabet_has_one_symbol_per_kind_and_delta() {
+        let spec = ProtocolSpec::transformed();
+        let a = Symbol::alphabet(&spec);
+        // 1 opening + 2 slots × 4 deltas + terminal × 4 deltas.
+        assert_eq!(a.len(), 13);
+        let set: std::collections::BTreeSet<_> = a.iter().collect();
+        assert_eq!(set.len(), a.len(), "alphabet has duplicate symbols");
+    }
+
+    #[test]
+    fn classification_roundtrips_through_realization() {
+        let spec = ProtocolSpec::transformed();
+        for obs in [0u64, 1, 2, 7] {
+            for sym in Symbol::alphabet(&spec) {
+                for r in sym.realizations(&spec, obs) {
+                    assert_eq!(
+                        Symbol::of_message(&spec, obs, sym.kind(&spec), r),
+                        sym,
+                        "symbol {} at obs={obs} realized as r={r} does not roundtrip",
+                        sym.label(&spec)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn past_is_unrealizable_at_round_zero() {
+        let spec = ProtocolSpec::transformed();
+        let sym = Symbol::Vote(MessageKind::Current, RoundDelta::Past);
+        assert!(sym.realizations(&spec, 0).is_empty());
+        assert_eq!(sym.realizations(&spec, 1), vec![0]);
+    }
+}

@@ -59,8 +59,7 @@ fn main() {
             "{:<10} {:<22} {:<22} {:<24} {:<10}",
             format!("Δ={timeout}"),
             qa.detection_time
-                .map(|d| format!("{d} ticks"))
-                .unwrap_or_else(|| "missed!".to_string()),
+                .map_or_else(|| "missed!".to_string(), |d| format!("{d} ticks")),
             qa.mistakes,
             qb.mistakes,
             if qb.suspected_at_horizon { "NO" } else { "yes" },

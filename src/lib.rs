@@ -24,7 +24,10 @@
 //!   validators;
 //! * [`faults`] — the Byzantine fault-injection library;
 //! * [`rbcast`] — reliable broadcast substrates (eager relay for the
-//!   crash model, Bracha's double echo for the arbitrary-fault model).
+//!   crash model, Bracha's double echo for the arbitrary-fault model);
+//! * [`verify`] — static protocol analyzer: model-checks the observer
+//!   automaton (determinism, totality, bounded soundness, mutation kill
+//!   matrix) and the certificate-rule coverage table.
 //!
 //! See `README.md` for a guided tour, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for the reproduced results.
@@ -73,3 +76,4 @@ pub use ftm_faults as faults;
 pub use ftm_fd as fd;
 pub use ftm_rbcast as rbcast;
 pub use ftm_sim as sim;
+pub use ftm_verify as verify;

@@ -9,56 +9,32 @@
 //!    process (where the class is locally detectable at all).
 
 use ft_modular::certify::{Value, ValueVector};
-use ft_modular::core::byzantine::ByzantineConsensus;
-use ft_modular::core::config::{ProtocolConfig, ProtocolSetup};
-use ft_modular::core::validator::{check_vector_consensus, detections, Verdict};
+use ft_modular::core::config::ProtocolSetup;
+use ft_modular::core::validator::{detections, Verdict};
 use ft_modular::faults::attacks::{
     CertStripper, DecideForger, IdentityThief, InitEquivocator, MuteAfter, Replayer, RoundJumper,
     SelectiveSender, SpuriousCurrent, VectorCorruptor, VoteDuplicator, WrongKeySigner,
 };
-use ft_modular::faults::{ByzantineWrapper, Tamper};
-use ft_modular::sim::runner::BoxedActor;
-use ft_modular::sim::{Duration, ProcessId, RunReport, SimConfig, Simulation, VirtualTime};
+use ft_modular::faults::{AttackRun, Tamper};
+use ft_modular::sim::{Duration, ProcessId, RunReport, VirtualTime};
 
 const N: usize = 4;
 const F: usize = 1;
 
-fn proposals() -> Vec<Value> {
-    (0..N as u64).map(|i| 100 + i).collect()
-}
-
-/// Runs the transformed protocol with `attacker` running `tamper`.
+/// Runs the transformed protocol with `attacker` running `tamper`, through
+/// the shared [`AttackRun`] glue (the injection timer defaults to 3 ticks,
+/// beating the fastest honest decision so timed attacks never fire into an
+/// already-halted system).
 fn run_with_attack(
     seed: u64,
     attacker: u32,
-    mk_tamper: impl Fn(&ProtocolSetup) -> Box<dyn Tamper>,
+    mk_tamper: impl FnOnce(&ProtocolSetup) -> Box<dyn Tamper>,
 ) -> RunReport<ValueVector> {
-    let setup = ProtocolConfig::new(N, F).seed(seed).setup();
-    let props = proposals();
-    Simulation::build_boxed(SimConfig::new(N).seed(seed), |id| {
-        let honest = ByzantineConsensus::new(&setup, id, props[id.index()]);
-        if id.0 == attacker {
-            // The injection timer must beat the fastest honest decision
-            // (t ≈ 10 under the default delay range), or timed attacks like
-            // DecideForger fire into an already-halted system and the
-            // detection assertions become vacuous.
-            Box::new(ByzantineWrapper::new(
-                honest,
-                mk_tamper(&setup),
-                setup.keys[attacker as usize].clone(),
-                Duration::of(3),
-            )) as BoxedActor<_, _>
-        } else {
-            Box::new(honest)
-        }
-    })
-    .run()
+    AttackRun::new(N, F, seed, attacker).run(|setup| Some(mk_tamper(setup)))
 }
 
 fn verdict(report: &RunReport<ValueVector>, attacker: u32) -> Verdict {
-    let mut faulty = vec![false; N];
-    faulty[attacker as usize] = true;
-    check_vector_consensus(report, &proposals(), &faulty, F)
+    AttackRun::new(N, F, 0, attacker).verdict(report)
 }
 
 /// Runs with `attacker` Byzantine AND the round-1 coordinator p0 crashed
@@ -66,34 +42,16 @@ fn verdict(report: &RunReport<ValueVector>, attacker: u32) -> Verdict {
 fn run_with_attack_and_dead_coordinator(
     seed: u64,
     attacker: u32,
-    mk_tamper: impl Fn(&ProtocolSetup) -> Box<dyn Tamper>,
+    mk_tamper: impl FnOnce(&ProtocolSetup) -> Box<dyn Tamper>,
 ) -> RunReport<ValueVector> {
-    let n = 5;
-    let setup = ProtocolConfig::new(n, 2).seed(seed).setup();
-    Simulation::build_boxed(
-        SimConfig::new(n).seed(seed).crash(0, VirtualTime::ZERO),
-        |id| {
-            let honest = ByzantineConsensus::new(&setup, id, 100 + id.0 as u64);
-            if id.0 == attacker {
-                Box::new(ByzantineWrapper::new(
-                    honest,
-                    mk_tamper(&setup),
-                    setup.keys[attacker as usize].clone(),
-                    Duration::of(10),
-                )) as BoxedActor<_, _>
-            } else {
-                Box::new(honest)
-            }
-        },
-    )
-    .run()
+    AttackRun::new(5, 2, seed, attacker)
+        .crash_at_start(0)
+        .injection_delay(Duration::of(10))
+        .run(|setup| Some(mk_tamper(setup)))
 }
 
 fn verdict5(report: &RunReport<ValueVector>, attacker: u32) -> Verdict {
-    let mut faulty = vec![false; 5];
-    faulty[attacker as usize] = true;
-    let props: Vec<Value> = (0..5).map(|i| 100 + i).collect();
-    check_vector_consensus(report, &props, &faulty, 2)
+    AttackRun::new(5, 2, 0, attacker).verdict(report)
 }
 
 /// Asserts that at least one correct process convicted the attacker with
@@ -335,7 +293,15 @@ fn selective_omission_is_survived() {
 fn two_simultaneous_different_attackers_within_the_budget() {
     // n = 5, F = 2: one vector corruptor AND one forged-decide injector at
     // once. Both convicted, properties intact for the three correct
-    // processes.
+    // processes. Two attackers means the shared single-attacker glue does
+    // not apply; this test builds its stack by hand.
+    use ft_modular::core::byzantine::ByzantineConsensus;
+    use ft_modular::core::config::ProtocolConfig;
+    use ft_modular::core::validator::check_vector_consensus;
+    use ft_modular::faults::ByzantineWrapper;
+    use ft_modular::sim::runner::BoxedActor;
+    use ft_modular::sim::{SimConfig, Simulation};
+
     for seed in 0..5 {
         let setup = ProtocolConfig::new(5, 2).seed(seed).setup();
         let report = Simulation::build_boxed(SimConfig::new(5).seed(seed), |id| {
