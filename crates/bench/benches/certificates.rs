@@ -6,7 +6,7 @@ use ftm_certify::analyzer::CertChecker;
 use ftm_certify::{Certificate, Core, Envelope, MessageCore, SignedCore, ValueVector};
 use ftm_crypto::keydir::KeyDirectory;
 use ftm_crypto::rsa::KeyPair;
-use ftm_sim::ProcessId;
+use ftm_sim::{Payload, ProcessId};
 
 fn fixture(n: usize) -> (CertChecker, Vec<KeyPair>) {
     let mut rng = ftm_crypto::rng_from_seed(7);
@@ -51,9 +51,15 @@ fn main() {
             coordinator_current(black_box(n), &keys)
         });
         let env = coordinator_current(n, &keys);
-        group.bench(&format!("verify_current_n{n}"), || {
-            checker.check_envelope(black_box(&env)).expect("valid");
-        });
+        // Declaring the envelope's wire size turns the timing into a
+        // bytes/s verification-throughput column in the JSON output.
+        group.bench_bytes(
+            &format!("verify_current_n{n}"),
+            env.size_bytes() as u64,
+            || {
+                checker.check_envelope(black_box(&env)).expect("valid");
+            },
+        );
     }
     ftm_bench::timing::emit();
 }

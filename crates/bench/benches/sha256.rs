@@ -8,7 +8,7 @@ fn main() {
     let mut group = Group::new("sha256");
     for size in [64usize, 1024, 65536] {
         let data = vec![0xabu8; size];
-        group.bench(&format!("digest_{size}B"), || {
+        group.bench_bytes(&format!("digest_{size}B"), size as u64, || {
             Sha256::digest(black_box(&data))
         });
     }

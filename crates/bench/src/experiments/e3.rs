@@ -1,24 +1,58 @@
 //! E3 — Fig. 3: the transformed protocol across fault budgets, up to and
 //! beyond the resilience bound F ≤ min(⌊(n−1)/2⌋, C).
+//!
+//! The rows are [`Scenario`] cells run through the deterministic parallel
+//! sweep harness ([`ftm_faults::scenario::sweep_scenarios`]) — the same
+//! machinery as E10 and the fault-matrix tests — rather than a bespoke
+//! seed loop. Multi-crash budgets use [`Scenario::extra_crashes`], which
+//! crashes low-numbered processes at t = 0 on top of the attacker's own
+//! behavior.
 
-use ftm_faults::attacks::VectorCorruptor;
-use ftm_sim::VirtualTime;
+use ftm_faults::{sweep_scenarios, FaultBehavior, Scenario};
+use ftm_sim::harness::RunRecord;
 
-use crate::experiments::common::{proposals, run_byz, verdict_with_faulty};
 use crate::report::{mean, pct, Table};
 
-const SEEDS: u64 = 15;
-
-/// (label, crash schedule, optional Byzantine attacker).
-type Scenario = (String, Vec<(usize, u64)>, Option<u32>);
+const SEEDS: usize = 15;
+const BASE_SEED: u64 = 0xE3;
+const THREADS: usize = 4;
 
 /// Runs E3 and renders its markdown section.
 pub fn run() -> String {
+    // One table row per scenario cell: (row label, scenario).
+    let mut rows: Vec<(String, Scenario)> = Vec::new();
+    for (n, f) in [(4usize, 1usize), (5, 2), (7, 3)] {
+        rows.push((
+            "all honest".into(),
+            Scenario::new(n, f, FaultBehavior::Honest),
+        ));
+        rows.push((
+            format!("{f} crash"),
+            Scenario::new(n, f, FaultBehavior::Crash).extra_crashes(f - 1),
+        ));
+        rows.push((
+            format!("1 byz + {} crash", f - 1),
+            Scenario::new(n, f, FaultBehavior::VectorCorrupt).extra_crashes(f - 1),
+        ));
+    }
+    // Beyond the bound: F + 1 processes crash in an (n, F) system.
+    for (n, f) in [(4usize, 1usize), (5, 2)] {
+        rows.push((
+            format!("{} crash (beyond bound)", f + 1),
+            Scenario::new(n, f, FaultBehavior::Crash).extra_crashes(f),
+        ));
+    }
+
+    let scenarios: Vec<Scenario> = rows.iter().map(|(_, sc)| *sc).collect();
+    let report = sweep_scenarios(&scenarios, SEEDS, BASE_SEED, THREADS);
+
     let mut out = String::from(
         "## E3 — Transformed vector consensus under faults (paper Fig. 3)\n\n\
-         15 seeds per row. `byz` marks a Byzantine process running the\n\
-         vector-corruption strategy; crashes happen at t = 0. The final rows\n\
-         exceed the bound F ≤ ⌊(n−1)/2⌋ on purpose: safety must still hold, but\n\
+         15 seeded runs per row via the parallel sweep harness (base seed\n\
+         0xE3). `byz` marks a Byzantine process running the vector-corruption\n\
+         strategy; crashes happen at t = 0 (low-numbered processes plus, in\n\
+         the pure-crash rows, the attacker slot). The final rows exceed the\n\
+         bound F ≤ ⌊(n−1)/2⌋ on purpose: safety must still hold, but\n\
          termination is forfeited (the run times out) because n − F correct\n\
          processes no longer exist.\n\n",
     );
@@ -31,82 +65,30 @@ pub fn run() -> String {
         "mean rounds",
     ]);
 
-    for (n, f) in [(4usize, 1usize), (5, 2), (7, 3)] {
-        let scenarios: Vec<Scenario> = vec![
-            ("all honest".into(), vec![], None),
-            (format!("{f} crash"), (0..f).map(|i| (i, 0)).collect(), None),
-            (
-                format!("1 byz + {} crash", f - 1),
-                (1..f).map(|i| (i, 0)).collect(),
-                Some(0),
-            ),
-        ];
-        for (label, crashes, byz) in scenarios {
-            let mut term = 0;
-            let mut safe = 0;
-            let mut rounds = Vec::new();
-            for seed in 0..SEEDS {
-                let attacker = byz.map(|a| {
-                    (
-                        a,
-                        Box::new(VectorCorruptor {
-                            entry: n - 1,
-                            poison: 666,
-                        }) as Box<dyn ftm_faults::Tamper>,
-                    )
-                });
-                let (report, outcome) = run_byz(n, f, seed, &crashes, attacker);
-                let mut faulty: Vec<usize> = crashes.iter().map(|&(p, _)| p).collect();
-                if let Some(a) = byz {
-                    faulty.push(a as usize);
-                }
-                let v = verdict_with_faulty(&report, n, f, &faulty);
-                if v.termination {
-                    term += 1;
-                }
-                if v.agreement && v.validity {
-                    safe += 1;
-                }
-                rounds.push(outcome.rounds as f64);
-            }
-            t.row([
-                n.to_string(),
-                f.to_string(),
-                label,
-                pct(term, SEEDS as usize),
-                pct(safe, SEEDS as usize),
-                mean(&rounds),
-            ]);
-        }
-    }
-
-    // Beyond the bound: F+1 processes crash in an (n, F) system.
-    for (n, f) in [(4usize, 1usize), (5, 2)] {
-        let crashes: Vec<(usize, u64)> = (0..=f).map(|i| (i, 0)).collect();
-        let mut term = 0;
-        let mut safe = 0;
-        for seed in 0..SEEDS {
-            let (report, _) = run_byz(n, f, seed, &crashes, None);
-            let faulty: Vec<usize> = crashes.iter().map(|&(p, _)| p).collect();
-            let v = verdict_with_faulty(&report, n, f, &faulty);
-            // Exclude the trivially-true case: nobody decided is fine for
-            // agreement/validity, so count safety as "no bad decision".
-            if v.termination {
-                term += 1;
-            }
-            if v.agreement && v.validity {
-                safe += 1;
-            }
-            let _ = proposals(n);
-            let _ = VirtualTime::ZERO;
-        }
+    for (label, sc) in rows {
+        let cell = sc.cell();
+        let recs: Vec<&RunRecord> = report.records.iter().filter(|r| r.cell == cell).collect();
+        let term = recs
+            .iter()
+            .filter(|r| r.get("prop-termination") == 1)
+            .count();
+        let safe = recs
+            .iter()
+            .filter(|r| r.get("prop-agreement") == 1 && r.get("prop-validity") == 1)
+            .count();
+        let rounds: Vec<f64> = recs.iter().map(|r| r.get("rounds") as f64).collect();
+        let beyond_bound = sc.extra_crashes + 1 > sc.f;
         t.row([
-            n.to_string(),
-            f.to_string(),
-            format!("{} crash (beyond bound)", f + 1),
-            pct(term, SEEDS as usize),
-            pct(safe, SEEDS as usize),
-            "-".to_string(),
+            sc.n.to_string(),
+            sc.f.to_string(),
+            label,
+            pct(term, recs.len()),
+            pct(safe, recs.len()),
+            if beyond_bound {
+                "-".to_string()
+            } else {
+                mean(&rounds)
+            },
         ]);
     }
 

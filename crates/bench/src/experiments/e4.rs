@@ -1,106 +1,82 @@
 //! E4 — Fig. 4: detection coverage and latency per fault class.
+//!
+//! Every fault class is a [`Scenario`] cell run through the deterministic
+//! parallel sweep harness ([`ftm_faults::scenario::sweep_scenarios`]); the
+//! coverage/observers/latency columns come from the harness's
+//! attacker-conviction counters (`convicted-<class>`,
+//! `conviction-at-<class>`) instead of a bespoke per-seed loop.
 
-use ftm_core::validator::detections;
-use ftm_faults::attacks::MuteAfter;
-use ftm_faults::attacks::{
-    DecideForger, IdentityThief, RoundJumper, SpuriousCurrent, VectorCorruptor, VoteDuplicator,
-    WrongKeySigner,
-};
-use ftm_faults::Tamper;
-use ftm_sim::{ProcessId, VirtualTime};
+use ftm_faults::{sweep_scenarios, FaultBehavior, Scenario};
+use ftm_sim::harness::RunRecord;
 
-use crate::experiments::common::{run_byz, verdict_with_faulty};
 use crate::report::{mean, pct, Table};
 
-const SEEDS: u64 = 15;
+const SEEDS: usize = 15;
+const BASE_SEED: u64 = 0xE4;
+const THREADS: usize = 4;
 
 struct Case {
     name: &'static str,
     expected_class: &'static str,
-    attacker: u32,
-    /// Crash p0 at t=0 to force NEXT traffic (for vote-pattern attacks).
-    kill_coordinator: bool,
-    mk: fn(usize) -> Box<dyn Tamper>,
+    scenario: Scenario,
 }
 
 /// Runs E4 and renders its markdown section.
 pub fn run() -> String {
+    // Vote-pattern attacks (round jumping, duplication) only show up in
+    // NEXT traffic, so those cells crash the round-1 coordinator at t = 0
+    // (`extra_crashes(1)`) in a (5, 2) system; the rest use (4, 1).
     let cases = [
         Case {
-            name: "vector corruption (coordinator)",
+            name: "vector corruption",
             expected_class: "bad-certificate",
-            attacker: 0,
-            kill_coordinator: false,
-            mk: |n| {
-                Box::new(VectorCorruptor {
-                    entry: n - 2,
-                    poison: 666,
-                })
-            },
+            scenario: Scenario::new(4, 1, FaultBehavior::VectorCorrupt),
         },
         Case {
             name: "forged DECIDE",
             expected_class: "bad-certificate",
-            attacker: 3,
-            kill_coordinator: false,
-            mk: |n| Box::new(DecideForger::new(VirtualTime::at(1), n, 999)),
+            scenario: Scenario::new(4, 1, FaultBehavior::ForgeDecide),
         },
         Case {
             name: "spurious CURRENT",
             expected_class: "bad-certificate",
-            attacker: 3,
-            kill_coordinator: false,
-            mk: |n| Box::new(SpuriousCurrent::new(VirtualTime::at(1), n)),
+            scenario: Scenario::new(4, 1, FaultBehavior::SpuriousCurrent),
         },
         Case {
             name: "wrong signing key",
             expected_class: "bad-signature",
-            attacker: 3,
-            kill_coordinator: false,
-            mk: |_| {
-                let mut rng = ftm_crypto::rng_from_seed(0xBAD);
-                Box::new(WrongKeySigner {
-                    wrong: ftm_crypto::rsa::KeyPair::generate(&mut rng, 128),
-                })
-            },
+            scenario: Scenario::new(4, 1, FaultBehavior::WrongKey),
         },
         Case {
             name: "identity theft",
             expected_class: "bad-signature",
-            attacker: 3,
-            kill_coordinator: false,
-            mk: |_| {
-                Box::new(IdentityThief {
-                    victim: ProcessId(1),
-                })
-            },
+            scenario: Scenario::new(4, 1, FaultBehavior::StealIdentity),
         },
         Case {
             name: "round jumping (+5)",
             expected_class: "out-of-order",
-            attacker: 4,
-            kill_coordinator: true,
-            mk: |_| Box::new(RoundJumper { jump: 5 }),
+            scenario: Scenario::new(5, 2, FaultBehavior::RoundJump).extra_crashes(1),
         },
         Case {
             name: "vote duplication",
             expected_class: "out-of-order",
-            attacker: 4,
-            kill_coordinator: true,
-            mk: |_| Box::new(VoteDuplicator),
+            scenario: Scenario::new(5, 2, FaultBehavior::DuplicateVotes).extra_crashes(1),
         },
     ];
 
+    let scenarios: Vec<Scenario> = cases.iter().map(|c| c.scenario).collect();
+    let report = sweep_scenarios(&scenarios, SEEDS, BASE_SEED, THREADS);
+
     let mut out = String::from(
         "## E4 — Non-muteness detection coverage and latency (paper Fig. 4)\n\n\
-         15 seeds per row. `coverage` = fraction of runs in which at least one\n\
-         correct process convicted the attacker with the expected class;\n\
-         `observers` = mean number of distinct correct convictors per detecting\n\
-         run (processes that decide before the faulty message arrives never see\n\
-         it); `latency` = mean virtual time of the first conviction. Vote-pattern\n\
-         attacks run with the round-1 coordinator crashed so NEXT votes flow\n\
-         (n = 5, F = 2); the rest use n = 4, F = 1. Properties held in every\n\
-         run of every row.\n\n",
+         15 seeded runs per row via the parallel sweep harness (base seed\n\
+         0xE4). The attacker is always the highest-numbered process.\n\
+         `coverage` = fraction of runs in which at least one correct process\n\
+         convicted the attacker with the expected class; `observers` = mean\n\
+         number of distinct correct convictors per detecting run (processes\n\
+         that decide before the faulty message arrives never see it);\n\
+         `latency` = mean virtual time of the first conviction. Properties\n\
+         held in every run of every row.\n\n",
     );
     let mut t = Table::new([
         "fault class injected",
@@ -112,47 +88,28 @@ pub fn run() -> String {
     ]);
 
     for case in &cases {
-        let (n, f, crashes): (usize, usize, Vec<(usize, u64)>) = if case.kill_coordinator {
-            (5, 2, vec![(0, 0)])
-        } else {
-            (4, 1, vec![])
-        };
+        let cell = case.scenario.cell();
+        let recs: Vec<&RunRecord> = report.records.iter().filter(|r| r.cell == cell).collect();
+        let convicted = format!("convicted-{}", case.expected_class);
+        let at = format!("conviction-at-{}", case.expected_class);
         let mut covered = 0;
-        let mut all_ok = 0;
         let mut observers = Vec::new();
         let mut latencies = Vec::new();
-        for seed in 0..SEEDS {
-            let (report, _) = run_byz(n, f, seed, &crashes, Some((case.attacker, (case.mk)(n))));
-            let mut faulty: Vec<usize> = crashes.iter().map(|&(p, _)| p).collect();
-            faulty.push(case.attacker as usize);
-            if verdict_with_faulty(&report, n, f, &faulty).ok() {
-                all_ok += 1;
-            }
-            let det = detections(&report.trace);
-            let culprit = format!("p{}", case.attacker);
-            let matching: Vec<_> = det
-                .iter()
-                .filter(|d| {
-                    d.culprit == culprit
-                        && d.class == case.expected_class
-                        && d.observer != ProcessId(case.attacker)
-                })
-                .collect();
-            if !matching.is_empty() {
+        for rec in &recs {
+            if rec.get(&convicted) > 0 {
                 covered += 1;
-                let distinct: std::collections::HashSet<_> =
-                    matching.iter().map(|d| d.observer).collect();
-                observers.push(distinct.len() as f64);
-                latencies.push(matching.iter().map(|d| d.at.ticks()).min().unwrap() as f64);
+                observers.push(rec.get(&convicted) as f64);
+                latencies.push(rec.get(&at) as f64);
             }
         }
+        let all_ok = recs.iter().filter(|r| r.ok).count();
         t.row([
             case.name.to_string(),
             case.expected_class.to_string(),
-            pct(covered, SEEDS as usize),
+            pct(covered, recs.len()),
             mean(&observers),
             mean(&latencies),
-            pct(all_ok, SEEDS as usize),
+            pct(all_ok, recs.len()),
         ]);
     }
 
@@ -161,15 +118,16 @@ pub fn run() -> String {
     // Muteness: detected by the ◇M module (suspicion), not by conviction.
     out.push_str(
         "\n### Muteness (the ◇M module's half of the detection work)\n\n\
-         The mute process is p0, the round-1 coordinator, silenced at t = 5\n\
-         (after its honest INIT, before its CURRENT). Muteness produces *suspicion*, not\n\
-         conviction — the table reports the first `suspect=p0` event at a\n\
-         correct process and the fraction of runs that then decided without\n\
-         p0. The suspicion latency is dominated by the ◇M initial timeout\n\
-         (150) plus the poll interval (25), exactly as configured. Coverage\n\
-         below 100% is the seeds in which p0's CURRENT beat the t = 5 gag\n\
-         out the door — the round then completes and nothing needs detecting.\n\n",
+         The mute process is p0, the round-1 coordinator, crashed at t = 0 —\n\
+         muteness by the simplest means (§2), injected via the harness's\n\
+         `extra_crashes` axis. Muteness produces *suspicion*, not\n\
+         conviction — the table reports the first `suspect=` event raised by\n\
+         a correct process and the fraction of runs that then decided\n\
+         without p0. The suspicion latency is dominated by the ◇M initial\n\
+         timeout (150) plus the poll interval (25), exactly as configured.\n\n",
     );
+    let mute = Scenario::new(4, 1, FaultBehavior::Honest).extra_crashes(1);
+    let mute_report = sweep_scenarios(&[mute], SEEDS, 0x4E4, THREADS);
     let mut t = Table::new([
         "runs",
         "suspicion coverage",
@@ -179,45 +137,20 @@ pub fn run() -> String {
     let mut covered = 0;
     let mut ok = 0;
     let mut latencies = Vec::new();
-    for seed in 0..SEEDS {
-        let (report, _) = run_byz(
-            4,
-            1,
-            seed,
-            &[],
-            Some((
-                0,
-                Box::new(MuteAfter {
-                    after: VirtualTime::at(5),
-                }),
-            )),
-        );
-        if verdict_with_faulty(&report, 4, 1, &[0]).ok() {
+    for rec in &mute_report.records {
+        if rec.ok {
             ok += 1;
         }
-        let first_suspicion = report
-            .trace
-            .entries()
-            .iter()
-            .filter_map(|e| match &e.event {
-                ftm_sim::trace::TraceEvent::Note { process, text }
-                    if process.0 != 0 && text.starts_with("suspect=p0") =>
-                {
-                    Some(e.at.ticks())
-                }
-                _ => None,
-            })
-            .min();
-        if let Some(at) = first_suspicion {
+        if rec.get("suspicion-covered") == 1 {
             covered += 1;
-            latencies.push(at as f64);
+            latencies.push(rec.get("suspicion-first-at") as f64);
         }
     }
     t.row([
         SEEDS.to_string(),
-        pct(covered, SEEDS as usize),
+        pct(covered, SEEDS),
         mean(&latencies),
-        pct(ok, SEEDS as usize),
+        pct(ok, SEEDS),
     ]);
     out.push_str(&t.to_string());
     out.push('\n');

@@ -52,6 +52,19 @@ pub struct BenchResult {
     pub iters: u64,
     /// Number of samples taken.
     pub samples: u64,
+    /// Bytes each operation processes, when the benchmark declared it
+    /// (via [`Group::bench_bytes`]); drives the throughput columns.
+    pub bytes_per_op: Option<u64>,
+}
+
+impl BenchResult {
+    /// Median throughput in bytes per second, as an exact integer ratio
+    /// `bytes · 10⁹ / median_ns` (widened through `u128`, so no float
+    /// enters the report). `None` when the benchmark declared no size.
+    pub fn bytes_per_sec(&self) -> Option<u64> {
+        self.bytes_per_op
+            .map(|b| (u128::from(b) * 1_000_000_000 / u128::from(self.median_ns.max(1))) as u64)
+    }
 }
 
 /// Process-wide registry of finished measurements, for [`emit`].
@@ -70,6 +83,7 @@ pub fn results_to_json(results: &[BenchResult]) -> Json {
             results
                 .iter()
                 .map(|r| {
+                    let opt = |v: Option<u64>| v.map_or(Json::Null, Json::U64);
                     Json::Obj(vec![
                         ("group".into(), Json::Str(r.group.clone())),
                         ("name".into(), Json::Str(r.name.clone())),
@@ -77,6 +91,8 @@ pub fn results_to_json(results: &[BenchResult]) -> Json {
                         ("best-ns".into(), Json::U64(r.best_ns)),
                         ("iters".into(), Json::U64(r.iters)),
                         ("samples".into(), Json::U64(r.samples)),
+                        ("bytes-per-op".into(), opt(r.bytes_per_op)),
+                        ("bytes-per-sec".into(), opt(r.bytes_per_sec())),
                     ])
                 })
                 .collect(),
@@ -113,7 +129,18 @@ impl Group {
     /// Benchmarks `f` by inner-loop batching: the per-op cost is the
     /// sample time divided by the iteration count, so per-call timer
     /// overhead vanishes. Use for operations without per-iteration setup.
-    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+    pub fn bench<T>(&mut self, name: &str, f: impl FnMut() -> T) {
+        self.bench_sized(name, None, f);
+    }
+
+    /// Like [`bench`](Self::bench), declaring that each call of `f`
+    /// processes `bytes` bytes. The result then carries `bytes-per-op` and
+    /// the derived integer-ratio `bytes-per-sec` throughput column.
+    pub fn bench_bytes<T>(&mut self, name: &str, bytes: u64, f: impl FnMut() -> T) {
+        self.bench_sized(name, Some(bytes), f);
+    }
+
+    fn bench_sized<T>(&mut self, name: &str, bytes: Option<u64>, mut f: impl FnMut() -> T) {
         let started = Instant::now();
         black_box(f());
         let once = (started.elapsed().as_nanos() as u64).max(1);
@@ -127,7 +154,7 @@ impl Group {
             }
             *s = t.elapsed().as_nanos() as u64 / iters;
         }
-        self.report(name, &mut samples, iters);
+        self.report(name, &mut samples, iters, bytes);
     }
 
     /// Benchmarks `f` with a fresh `setup()` value per call, timing only
@@ -157,29 +184,34 @@ impl Group {
             }
             *s = total / iters;
         }
-        self.report(name, &mut samples, iters);
+        self.report(name, &mut samples, iters, None);
     }
 
-    fn report(&self, name: &str, samples: &mut [u64], iters: u64) {
+    fn report(&self, name: &str, samples: &mut [u64], iters: u64, bytes: Option<u64>) {
         samples.sort_unstable();
         let median = samples[samples.len() / 2];
         let best = samples[0];
-        RESULTS.lock().unwrap().push(BenchResult {
+        let result = BenchResult {
             group: self.name.clone(),
             name: name.into(),
             median_ns: median,
             best_ns: best,
             iters,
             samples: samples.len() as u64,
-        });
+            bytes_per_op: bytes,
+        };
         if !json_mode() {
+            let throughput = result
+                .bytes_per_sec()
+                .map_or(String::new(), |bps| format!("   {bps} B/s"));
             println!(
-                "{:<30} {:>12} ns/op   (best {:>12}, {iters} iters x {SAMPLES} samples)",
+                "{:<30} {:>12} ns/op   (best {:>12}, {iters} iters x {SAMPLES} samples){throughput}",
                 format!("{}/{name}", self.name),
                 median,
                 best,
             );
         }
+        RESULTS.lock().unwrap().push(result);
     }
 }
 
@@ -196,13 +228,57 @@ mod tests {
             best_ns: 1100,
             iters: 64,
             samples: 7,
+            bytes_per_op: None,
         }];
         let doc = results_to_json(&results).render();
-        for key in ["benchmarks", "median-ns", "best-ns", "iters", "samples"] {
+        for key in [
+            "benchmarks",
+            "median-ns",
+            "best-ns",
+            "iters",
+            "samples",
+            "bytes-per-op",
+            "bytes-per-sec",
+        ] {
             assert!(doc.contains(key), "document lost {key}:\n{doc}");
         }
         assert!(doc.contains("1234"));
         assert!(!doc.contains('.'), "no-float model leaked a dot:\n{doc}");
+    }
+
+    #[test]
+    fn throughput_is_an_exact_integer_ratio() {
+        let mut r = BenchResult {
+            group: "g".into(),
+            name: "op".into(),
+            median_ns: 2_000,
+            best_ns: 1_900,
+            iters: 64,
+            samples: 7,
+            bytes_per_op: Some(1024),
+        };
+        // 1024 B / 2 µs = 512 MB/s, computed without floats.
+        assert_eq!(r.bytes_per_sec(), Some(512_000_000));
+        r.bytes_per_op = None;
+        assert_eq!(r.bytes_per_sec(), None);
+        // Large sizes must not overflow the widened intermediate.
+        r.bytes_per_op = Some(u64::MAX / 2);
+        r.median_ns = 1;
+        assert!(r.bytes_per_sec().is_some());
+    }
+
+    #[test]
+    fn bench_bytes_records_the_declared_size() {
+        let mut g = Group::new("throughput-test");
+        g.bench_bytes("digest", 4096, || black_box(1u64 + 1));
+        let results = RESULTS.lock().unwrap();
+        let r = results
+            .iter()
+            .rev()
+            .find(|r| r.group == "throughput-test")
+            .unwrap();
+        assert_eq!(r.bytes_per_op, Some(4096));
+        assert!(r.bytes_per_sec().unwrap() > 0);
     }
 
     #[test]

@@ -11,7 +11,12 @@
 //!
 //! The list is maintained *here*, next to the analyzer, and deliberately
 //! not generated from the spec: the whole point is that two independently
-//! maintained artifacts must agree.
+//! maintained artifacts must agree. The rule ids double as the
+//! *obligation table* of the crash→Byzantine transformation
+//! (`ftm_core::spec::transform`): the mechanical rewrite routes each crash
+//! send through the rule named here, and `ftm-verify` checks both the
+//! local bijection (coverage) and the global evidence chains the rules
+//! induce (certificate lineage).
 
 use crate::analyzer::CertChecker;
 use crate::message::MessageKind;

@@ -14,7 +14,7 @@
 //! the inner decision instead of halting).
 
 use ftm_certify::{Envelope, Value, ValueVector};
-use ftm_sim::{Actor, Context, Payload, ProcessId, TimerTag};
+use ftm_sim::{Actor, Context, Payload, ProcessId, StagedSend, TimerTag};
 
 use crate::byzantine::ByzantineConsensus;
 use crate::config::ProtocolSetup;
@@ -138,8 +138,11 @@ impl ReplicatedLog {
             call(&mut self.inner, &mut inner_ctx);
             inner_ctx.into_effects()
         };
-        for (to, env) in fx.sends {
-            ctx.send(to, SlotMsg { slot, env });
+        for staged in fx.sends {
+            match staged {
+                StagedSend::To(to, env) => ctx.send(to, SlotMsg { slot, env }),
+                StagedSend::ToAll(env) => ctx.broadcast(SlotMsg { slot, env }),
+            }
         }
         for (delay, tag) in fx.timers {
             ctx.set_timer(delay, slot * TAGS_PER_SLOT + tag);
@@ -190,7 +193,7 @@ impl ReplicatedLog {
                 return;
             };
             let (from, msg) = self.buffered.remove(pos);
-            if let Some(d) = self.drive(ctx, |inner, ictx| inner.on_message(from, msg.env, ictx)) {
+            if let Some(d) = self.drive(ctx, |inner, ictx| inner.on_message(from, &msg.env, ictx)) {
                 self.advance(d, ctx);
             }
         }
@@ -210,20 +213,20 @@ impl Actor for ReplicatedLog {
     fn on_message(
         &mut self,
         from: ProcessId,
-        msg: SlotMsg,
+        msg: &SlotMsg,
         ctx: &mut Context<'_, SlotMsg, Vec<ValueVector>>,
     ) {
         if self.done {
             return;
         }
         if msg.slot > self.current {
-            self.buffered.push((from, msg));
+            self.buffered.push((from, msg.clone()));
             return;
         }
         if msg.slot < self.current {
             return; // the slot is sealed at this replica
         }
-        if let Some(d) = self.drive(ctx, |inner, ictx| inner.on_message(from, msg.env, ictx)) {
+        if let Some(d) = self.drive(ctx, |inner, ictx| inner.on_message(from, &msg.env, ictx)) {
             self.advance(d, ctx);
         }
         self.drain(ctx);

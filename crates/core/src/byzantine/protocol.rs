@@ -395,15 +395,15 @@ impl Actor for ByzantineConsensus {
     fn on_message(
         &mut self,
         from: ProcessId,
-        env: Envelope,
+        env: &Envelope,
         ctx: &mut Context<'_, Envelope, ValueVector>,
     ) {
         if self.decided {
             return;
         }
         // The receive path of Fig. 1: signature → muteness → non-muteness.
-        match self.stack.admit(from, &env, ctx.now()) {
-            Admit::Accepted(_trigger) => self.handle_admitted(from, env, ctx),
+        match self.stack.admit(from, env, ctx.now()) {
+            Admit::Accepted(_trigger) => self.handle_admitted(from, env.clone(), ctx),
             Admit::Discarded(e) => {
                 ctx.note(format!(
                     "detected={} class={} reason={}",

@@ -314,25 +314,25 @@ impl<FD: FailureDetector + 'static> Actor for ChandraToueg<FD> {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: CtMsg, ctx: &mut Context<'_, CtMsg, Value>) {
+    fn on_message(&mut self, from: ProcessId, msg: &CtMsg, ctx: &mut Context<'_, CtMsg, Value>) {
         if self.decided {
             return;
         }
         self.fd.observe_message(from, ctx.now());
         match msg {
             CtMsg::Heartbeat => {}
-            CtMsg::Decide { est } => self.decide(est, ctx),
+            CtMsg::Decide { est } => self.decide(*est, ctx),
             CtMsg::Estimate { round, .. }
             | CtMsg::Propose { round, .. }
             | CtMsg::Ack { round }
             | CtMsg::Nack { round } => {
-                if round < self.r {
+                if *round < self.r {
                     // Stale; drop. (Estimates for future rounds arrive when
                     // a peer outpaces us — buffer them.)
-                } else if round > self.r {
-                    self.buffered.push((from, msg));
+                } else if *round > self.r {
+                    self.buffered.push((from, msg.clone()));
                 } else {
-                    self.handle_current(from, msg, ctx);
+                    self.handle_current(from, msg.clone(), ctx);
                 }
             }
         }

@@ -248,7 +248,7 @@ impl<FD: FailureDetector + 'static> Actor for CrashConsensus<FD> {
     fn on_message(
         &mut self,
         from: ProcessId,
-        msg: CrashMsg,
+        msg: &CrashMsg,
         ctx: &mut Context<'_, CrashMsg, Value>,
     ) {
         if self.decided {
@@ -261,15 +261,15 @@ impl<FD: FailureDetector + 'static> Actor for CrashConsensus<FD> {
             CrashMsg::Heartbeat => {}
             CrashMsg::Decide { est } => {
                 // Line 2: relay and decide.
-                self.decide(est, ctx);
+                self.decide(*est, ctx);
             }
             CrashMsg::Current { round, .. } | CrashMsg::Next { round } => {
-                if round < self.r {
+                if *round < self.r {
                     // Footnote 5: stale votes are discarded.
-                } else if round > self.r {
-                    self.buffered.push((from, msg));
+                } else if *round > self.r {
+                    self.buffered.push((from, msg.clone()));
                 } else {
-                    self.handle_vote(from, msg, ctx);
+                    self.handle_vote(from, msg.clone(), ctx);
                 }
             }
         }

@@ -16,6 +16,14 @@
 //! * for every correct `p_i`: `vect[i] = v_i` or `vect[i] = null`;
 //! * at least `ψ ≥ 1` entries of `vect` are initial values of correct
 //!   processes, with `ψ = n − 2F` under the paper's resilience bound.
+//!
+//! This module also holds both ends of the transformation *as data*:
+//! [`ProtocolSpec::crash_hr`] describes the un-transformed Hurfin–Raynal
+//! send discipline (Fig. 2), [`ProtocolSpec::transformed`] the Fig. 3
+//! discipline, and [`transform`] turns the former into the latter
+//! mechanically by applying the paper's module stack at the spec level —
+//! so the hand-written transformed spec can be *checked* against its
+//! derivation instead of being trusted.
 
 use ftm_certify::{MessageKind, Round};
 
@@ -43,13 +51,20 @@ pub enum CertRoute {
     /// certification phase bounds the damage instead. The named rule
     /// still audits the send's *structure*.
     VectorCertification(&'static str),
+    /// No audit at all: the receiver trusts the sender. This is the crash
+    /// model's discipline — benign processes never lie, so every send of
+    /// an un-transformed spec is routed here. The transformation replaces
+    /// every `Trusted` route with a certified one.
+    Trusted,
 }
 
 impl CertRoute {
-    /// The id of the `ftm-certify` rule auditing this send.
-    pub fn rule_id(&self) -> &'static str {
+    /// The id of the `ftm-certify` rule auditing this send, if any
+    /// (`Trusted` routes are audited by nobody).
+    pub fn rule_id(&self) -> Option<&'static str> {
         match self {
-            CertRoute::Rule(id) | CertRoute::VectorCertification(id) => id,
+            CertRoute::Rule(id) | CertRoute::VectorCertification(id) => Some(id),
+            CertRoute::Trusted => None,
         }
     }
 
@@ -59,24 +74,95 @@ impl CertRoute {
     }
 }
 
+/// When the evidence behind a justification edge was produced, relative to
+/// the round of the send it justifies.
+///
+/// The distinction keeps the justification graph well-founded: a cycle is
+/// only vicious when every edge on it is [`EvidencePhase::SameRound`] —
+/// `PrevRound` evidence strictly decreases the round and `Initial`
+/// evidence bottoms out at the round-0 vector-certification phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EvidencePhase {
+    /// Round-0 evidence: signed initial-value broadcasts.
+    Initial,
+    /// Evidence from the previous round (e.g. the `NEXT(r−1)` quorum that
+    /// witnesses entry into round `r`).
+    PrevRound,
+    /// Evidence from the same round the send belongs to.
+    SameRound,
+}
+
+impl EvidencePhase {
+    /// Stable kebab-case label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EvidencePhase::Initial => "initial",
+            EvidencePhase::PrevRound => "prev-round",
+            EvidencePhase::SameRound => "same-round",
+        }
+    }
+}
+
+/// One edge of the justification graph: the send named `by` produced
+/// (signed) messages that appear in this send's certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Justification {
+    /// The id of the conditional send whose output is cited as evidence.
+    pub by: &'static str,
+    /// When that evidence was produced relative to this send's round.
+    pub phase: EvidencePhase,
+}
+
+impl Justification {
+    /// Same-round evidence from `by`.
+    pub fn same(by: &'static str) -> Self {
+        Justification {
+            by,
+            phase: EvidencePhase::SameRound,
+        }
+    }
+
+    /// Previous-round evidence from `by`.
+    pub fn prev(by: &'static str) -> Self {
+        Justification {
+            by,
+            phase: EvidencePhase::PrevRound,
+        }
+    }
+
+    /// Round-0 evidence from `by`.
+    pub fn initial(by: &'static str) -> Self {
+        Justification {
+            by,
+            phase: EvidencePhase::Initial,
+        }
+    }
+}
+
 /// One conditional send of the protocol: a message a correct process emits
 /// only when a stated condition holds (paper §5: every such condition needs
 /// a certification rule, or the send is unauditable).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConditionalSend {
     /// Stable identifier, matched against rule coverage reports.
     pub id: &'static str,
     /// The kind of message sent.
     pub kind: MessageKind,
-    /// The enabling condition, as stated in Fig. 3.
-    pub condition: &'static str,
+    /// The enabling condition, as stated in the protocol figure.
+    pub condition: String,
     /// The certification route auditing the send.
     pub route: CertRoute,
+    /// Whether the message body carries protocol *values* (estimates /
+    /// vectors) as opposed to pure control structure.
+    pub carries_value: bool,
+    /// The sends whose (signed) output justifies this one — the static
+    /// shape of this send's certificate.
+    pub justified_by: Vec<Justification>,
 }
 
-/// Declarative description of the transformed protocol's *send discipline*
-/// (paper Fig. 3): which kinds open and close a peer's lifetime, what a
-/// round's legal vote sequence is, and how rounds advance.
+/// Declarative description of a protocol's *send discipline*: which kind
+/// (if any) opens a peer's lifetime, what a round's legal vote sequence is,
+/// how rounds advance, and which conditional sends exist.
 ///
 /// This is the artifact the paper's non-muteness module is built "from the
 /// program text" (§4): `ftm-verify` *derives* the per-peer observer
@@ -90,14 +176,20 @@ pub struct ConditionalSend {
 /// use ftm_core::spec::ProtocolSpec;
 /// use ftm_certify::MessageKind;
 /// let spec = ProtocolSpec::transformed();
-/// assert_eq!(spec.opening, MessageKind::Init);
+/// assert_eq!(spec.opening, Some(MessageKind::Init));
 /// assert_eq!(spec.round_slots.len(), 2);
 /// assert!(spec.round_slots[1].mandatory); // NEXT before leaving a round
+///
+/// // The crash-model spec has no opening: nothing certifies round 0.
+/// let crash = ProtocolSpec::crash_hr();
+/// assert_eq!(crash.opening, None);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtocolSpec {
     /// The kind that opens a peer's lifetime: sent first, exactly once.
-    pub opening: MessageKind,
+    /// `None` for un-transformed crash-model protocols — the round-0
+    /// vector-certification phase is what *adds* an opening.
+    pub opening: Option<MessageKind>,
     /// The per-round vote sequence, in send order.
     pub round_slots: Vec<SendSlot>,
     /// The kind that closes a peer's lifetime: legal at any time after the
@@ -105,6 +197,8 @@ pub struct ProtocolSpec {
     pub terminal: MessageKind,
     /// How many rounds a correct process advances at a time.
     pub round_advance: Round,
+    /// The conditional-send table (§5 obligation table once transformed).
+    pub sends: Vec<ConditionalSend>,
 }
 
 impl ProtocolSpec {
@@ -112,9 +206,13 @@ impl ProtocolSpec {
     /// each round sends at most one `CURRENT` then at most one `NEXT`
     /// (the `NEXT` is mandatory before leaving the round, Fig. 3 line 31),
     /// `DECIDE` terminates, rounds advance one at a time.
+    ///
+    /// The conditional-send table is hand-written from the figure; the CI
+    /// gate checks it equals [`transform`]`(`[`ProtocolSpec::crash_hr`]`)`
+    /// edge-by-edge, so it is *derived*, not trusted.
     pub fn transformed() -> Self {
         ProtocolSpec {
-            opening: MessageKind::Init,
+            opening: Some(MessageKind::Init),
             round_slots: vec![
                 SendSlot {
                     kind: MessageKind::Current,
@@ -127,6 +225,171 @@ impl ProtocolSpec {
             ],
             terminal: MessageKind::Decide,
             round_advance: 1,
+            sends: vec![
+                ConditionalSend {
+                    id: "init-broadcast",
+                    kind: MessageKind::Init,
+                    condition: "protocol start: broadcast the signed initial value".into(),
+                    route: CertRoute::VectorCertification("init-empty"),
+                    carries_value: true,
+                    justified_by: vec![],
+                },
+                ConditionalSend {
+                    id: "current-coordinator",
+                    kind: MessageKind::Current,
+                    condition: "round-r coordinator entered r with a witnessed estimate vector"
+                        .into(),
+                    route: CertRoute::Rule("current-coordinator"),
+                    carries_value: true,
+                    justified_by: vec![
+                        Justification::initial("init-broadcast"),
+                        Justification::prev("next-suspicion"),
+                        Justification::prev("next-change-mind"),
+                        Justification::prev("next-end-of-round"),
+                    ],
+                },
+                ConditionalSend {
+                    id: "current-relay",
+                    kind: MessageKind::Current,
+                    condition: "received the round-r coordinator's CURRENT and adopted it".into(),
+                    route: CertRoute::Rule("current-relay"),
+                    carries_value: true,
+                    justified_by: vec![
+                        Justification::initial("init-broadcast"),
+                        Justification::same("current-coordinator"),
+                    ],
+                },
+                ConditionalSend {
+                    id: "next-suspicion",
+                    kind: MessageKind::Next,
+                    condition: "in q0, the muteness detector suspects the round coordinator".into(),
+                    route: CertRoute::Rule("next-suspicion"),
+                    carries_value: false,
+                    justified_by: vec![],
+                },
+                ConditionalSend {
+                    id: "next-change-mind",
+                    kind: MessageKind::Next,
+                    condition: "in q1, a quorum of votes arrived but no decisive quorum".into(),
+                    route: CertRoute::Rule("next-change-mind"),
+                    carries_value: false,
+                    justified_by: vec![
+                        Justification::same("current-coordinator"),
+                        Justification::same("current-relay"),
+                        Justification::same("next-suspicion"),
+                    ],
+                },
+                ConditionalSend {
+                    id: "next-end-of-round",
+                    kind: MessageKind::Next,
+                    condition: "a full NEXT quorum for the round was observed".into(),
+                    route: CertRoute::Rule("next-end-of-round"),
+                    carries_value: false,
+                    justified_by: vec![
+                        Justification::same("next-suspicion"),
+                        Justification::same("next-change-mind"),
+                    ],
+                },
+                ConditionalSend {
+                    id: "decide-announce",
+                    kind: MessageKind::Decide,
+                    condition: "a quorum of CURRENT votes for one vector were collected".into(),
+                    route: CertRoute::Rule("decide-current-quorum"),
+                    carries_value: true,
+                    justified_by: vec![
+                        Justification::same("current-coordinator"),
+                        Justification::same("current-relay"),
+                    ],
+                },
+            ],
+        }
+    }
+
+    /// The un-transformed Hurfin–Raynal crash protocol (Fig. 2): no
+    /// opening kind (round 1 starts immediately — there is no history to
+    /// certify), the same CURRENT/NEXT round discipline, `DECIDE`
+    /// terminates. Every send is [`CertRoute::Trusted`]: receivers in the
+    /// crash model believe what they are told, which is exactly why
+    /// classical Validity is vacuous once failures become arbitrary.
+    pub fn crash_hr() -> Self {
+        ProtocolSpec {
+            opening: None,
+            round_slots: vec![
+                SendSlot {
+                    kind: MessageKind::Current,
+                    mandatory: false,
+                },
+                SendSlot {
+                    kind: MessageKind::Next,
+                    mandatory: true,
+                },
+            ],
+            terminal: MessageKind::Decide,
+            round_advance: 1,
+            sends: vec![
+                ConditionalSend {
+                    id: "current-coordinator",
+                    kind: MessageKind::Current,
+                    condition: "round-r coordinator entered r with its estimate".into(),
+                    route: CertRoute::Trusted,
+                    carries_value: true,
+                    justified_by: vec![
+                        Justification::prev("next-suspicion"),
+                        Justification::prev("next-change-mind"),
+                        Justification::prev("next-end-of-round"),
+                    ],
+                },
+                ConditionalSend {
+                    id: "current-relay",
+                    kind: MessageKind::Current,
+                    condition: "received the round-r coordinator's CURRENT and adopted it".into(),
+                    route: CertRoute::Trusted,
+                    carries_value: true,
+                    justified_by: vec![Justification::same("current-coordinator")],
+                },
+                ConditionalSend {
+                    id: "next-suspicion",
+                    kind: MessageKind::Next,
+                    condition: "in q0, the crash detector suspects the round coordinator".into(),
+                    route: CertRoute::Trusted,
+                    carries_value: false,
+                    justified_by: vec![],
+                },
+                ConditionalSend {
+                    id: "next-change-mind",
+                    kind: MessageKind::Next,
+                    condition: "in q1, a majority of votes arrived but no decisive majority".into(),
+                    route: CertRoute::Trusted,
+                    carries_value: false,
+                    justified_by: vec![
+                        Justification::same("current-coordinator"),
+                        Justification::same("current-relay"),
+                        Justification::same("next-suspicion"),
+                    ],
+                },
+                ConditionalSend {
+                    id: "next-end-of-round",
+                    kind: MessageKind::Next,
+                    condition: "a full NEXT majority for the round was observed".into(),
+                    route: CertRoute::Trusted,
+                    carries_value: false,
+                    justified_by: vec![
+                        Justification::same("next-suspicion"),
+                        Justification::same("next-change-mind"),
+                    ],
+                },
+                ConditionalSend {
+                    id: "decide-announce",
+                    kind: MessageKind::Decide,
+                    condition: "a majority of CURRENT votes for one value were collected".into(),
+                    route: CertRoute::Trusted,
+                    carries_value: true,
+                    justified_by: vec![
+                        Justification::same("current-coordinator"),
+                        Justification::same("current-relay"),
+                    ],
+                },
+            ],
         }
     }
 
@@ -135,57 +398,128 @@ impl ProtocolSpec {
         self.round_slots.iter().position(|s| s.kind == kind)
     }
 
-    /// Every conditional send of Fig. 3 with its certification route.
+    /// `true` when `kind` appears anywhere in this spec's wire alphabet.
+    pub fn knows_kind(&self, kind: MessageKind) -> bool {
+        self.opening == Some(kind) || kind == self.terminal || self.slot_of(kind).is_some()
+    }
+
+    /// Every conditional send with its certification route.
     ///
-    /// This is the §5 obligation table: `ftm-verify` checks that each
-    /// route's rule exists in `ftm-certify` (same kind, no dead rules) and
-    /// that the *only* send whose condition is uncertifiable is the
-    /// initial-value broadcast, routed through vector certification.
+    /// For the transformed spec this is the §5 obligation table:
+    /// `ftm-verify` checks that each route's rule exists in `ftm-certify`
+    /// (same kind, no dead rules) and that the *only* send whose condition
+    /// is uncertifiable is the initial-value broadcast, routed through
+    /// vector certification.
     pub fn conditional_sends(&self) -> Vec<ConditionalSend> {
-        vec![
-            ConditionalSend {
-                id: "init-broadcast",
-                kind: MessageKind::Init,
-                condition: "protocol start: broadcast the signed initial value",
-                route: CertRoute::VectorCertification("init-empty"),
-            },
-            ConditionalSend {
-                id: "current-coordinator",
-                kind: MessageKind::Current,
-                condition: "round-r coordinator entered r with a witnessed estimate vector",
-                route: CertRoute::Rule("current-coordinator"),
-            },
-            ConditionalSend {
-                id: "current-relay",
-                kind: MessageKind::Current,
-                condition: "received the round-r coordinator's CURRENT and adopted it",
-                route: CertRoute::Rule("current-relay"),
-            },
-            ConditionalSend {
-                id: "next-suspicion",
-                kind: MessageKind::Next,
-                condition: "in q0, the muteness detector suspects the round coordinator",
-                route: CertRoute::Rule("next-suspicion"),
-            },
-            ConditionalSend {
-                id: "next-change-mind",
-                kind: MessageKind::Next,
-                condition: "in q1, a quorum of votes arrived but no decisive quorum",
-                route: CertRoute::Rule("next-change-mind"),
-            },
-            ConditionalSend {
-                id: "next-end-of-round",
-                kind: MessageKind::Next,
-                condition: "a full NEXT quorum for the round was observed",
-                route: CertRoute::Rule("next-end-of-round"),
-            },
-            ConditionalSend {
-                id: "decide-announce",
-                kind: MessageKind::Decide,
-                condition: "n−F CURRENT votes for one vector were collected",
-                route: CertRoute::Rule("decide-current-quorum"),
-            },
-        ]
+        self.sends.clone()
+    }
+
+    /// The send with the given id, if any.
+    pub fn send(&self, id: &str) -> Option<&ConditionalSend> {
+        self.sends.iter().find(|s| s.id == id)
+    }
+}
+
+/// The §5 certification-obligation table of the transformation: which
+/// `ftm-certify` rule each crash-model send is routed through. The paper
+/// is explicit that certificate *design* is protocol-specific — this table
+/// is that design, and [`transform`] is its mechanical application.
+pub const OBLIGATIONS: &[(&str, &str)] = &[
+    ("current-coordinator", "current-coordinator"),
+    ("current-relay", "current-relay"),
+    ("next-suspicion", "next-suspicion"),
+    ("next-change-mind", "next-change-mind"),
+    ("next-end-of-round", "next-end-of-round"),
+    ("decide-announce", "decide-current-quorum"),
+];
+
+/// The vocabulary substitutions the module stack performs on send
+/// conditions, applied left to right:
+///
+/// * module 2 replaces the crash detector with the muteness detector ◇M;
+/// * module 4 replaces crash majorities (`⌈(n+1)/2⌉`) with certificate
+///   quorums (`n − F`);
+/// * module 5 replaces bare values with certified estimate vectors.
+pub const VOCABULARY: &[(&str, &str)] = &[
+    ("crash detector", "muteness detector"),
+    ("majority", "quorum"),
+    ("its estimate", "a witnessed estimate vector"),
+    ("one value", "one vector"),
+];
+
+/// Applies the paper's module stack to an un-transformed spec, producing
+/// the Byzantine-resilient spec mechanically:
+///
+/// 1. **Vector certification (module 5)** adds the `INIT` opening and the
+///    `init-broadcast` send — initial values become a certified vector —
+///    and re-roots the value lineage: every value-carrying *round-slot*
+///    send gains round-0 `init-broadcast` backing (the terminal relays an
+///    already-quorum-backed vector and needs no direct backing).
+/// 2. **Certification (module 4)** replaces every [`CertRoute::Trusted`]
+///    route with the certified route from the [`OBLIGATIONS`] table.
+/// 3. Both modules rewrite the condition wording through [`VOCABULARY`]
+///    (crash detector → muteness detector, majority → quorum,
+///    values → certified vectors).
+///
+/// The round discipline itself (slots, mandatory flags, advance) is
+/// untouched: the transformation adds auditability, not new protocol
+/// structure — which is precisely what the refinement check then verifies.
+///
+/// # Panics
+///
+/// Panics when `spec` already has an opening (it is already transformed)
+/// or when a send is missing from the obligation table — both are
+/// configuration errors, not runtime conditions.
+pub fn transform(spec: &ProtocolSpec) -> ProtocolSpec {
+    assert!(
+        spec.opening.is_none(),
+        "transform() takes an un-transformed spec; this one already opens with {:?}",
+        spec.opening
+    );
+
+    let reword = |condition: &str| -> String {
+        let mut out = condition.to_string();
+        for (from, to) in VOCABULARY {
+            out = out.replace(from, to);
+        }
+        out
+    };
+
+    let mut sends = vec![ConditionalSend {
+        id: "init-broadcast",
+        kind: MessageKind::Init,
+        condition: "protocol start: broadcast the signed initial value".into(),
+        route: CertRoute::VectorCertification("init-empty"),
+        carries_value: true,
+        justified_by: vec![],
+    }];
+
+    for send in &spec.sends {
+        let (_, rule) = OBLIGATIONS
+            .iter()
+            .find(|(id, _)| *id == send.id)
+            .unwrap_or_else(|| panic!("send `{}` has no certification obligation", send.id));
+        let mut justified_by = Vec::new();
+        if send.carries_value && spec.slot_of(send.kind).is_some() {
+            justified_by.push(Justification::initial("init-broadcast"));
+        }
+        justified_by.extend(send.justified_by.iter().copied());
+        sends.push(ConditionalSend {
+            id: send.id,
+            kind: send.kind,
+            condition: reword(&send.condition),
+            route: CertRoute::Rule(rule),
+            carries_value: send.carries_value,
+            justified_by,
+        });
+    }
+
+    ProtocolSpec {
+        opening: Some(MessageKind::Init),
+        round_slots: spec.round_slots.clone(),
+        terminal: spec.terminal,
+        round_advance: spec.round_advance,
+        sends,
     }
 }
 
@@ -310,7 +644,7 @@ mod tests {
     #[test]
     fn transformed_spec_names_every_wire_kind_once() {
         let spec = ProtocolSpec::transformed();
-        assert_eq!(spec.opening, MessageKind::Init);
+        assert_eq!(spec.opening, Some(MessageKind::Init));
         assert_eq!(spec.terminal, MessageKind::Decide);
         assert_eq!(spec.slot_of(MessageKind::Current), Some(0));
         assert_eq!(spec.slot_of(MessageKind::Next), Some(1));
@@ -319,7 +653,7 @@ mod tests {
         assert!(spec
             .round_slots
             .iter()
-            .all(|s| s.kind != spec.opening && s.kind != spec.terminal));
+            .all(|s| Some(s.kind) != spec.opening && s.kind != spec.terminal));
         // The last slot is the mandatory one: leaving a round is witnessed.
         assert!(spec.round_slots.last().unwrap().mandatory);
     }
@@ -331,15 +665,48 @@ mod tests {
         let ids: std::collections::BTreeSet<&str> = sends.iter().map(|s| s.id).collect();
         assert_eq!(ids.len(), sends.len(), "send ids collide");
         let rules: std::collections::BTreeSet<&str> =
-            sends.iter().map(|s| s.route.rule_id()).collect();
+            sends.iter().filter_map(|s| s.route.rule_id()).collect();
         assert_eq!(rules.len(), sends.len(), "rule references collide");
         for s in &sends {
             if !s.route.condition_certifiable() {
                 assert_eq!(
-                    s.kind, spec.opening,
+                    Some(s.kind),
+                    spec.opening,
                     "only initial values are uncertifiable"
                 );
             }
         }
+    }
+
+    #[test]
+    fn crash_spec_is_the_transformed_spec_minus_auditability() {
+        let crash = ProtocolSpec::crash_hr();
+        let trans = ProtocolSpec::transformed();
+        assert_eq!(crash.opening, None);
+        assert_eq!(crash.round_slots, trans.round_slots);
+        assert_eq!(crash.terminal, trans.terminal);
+        assert_eq!(crash.round_advance, trans.round_advance);
+        assert!(crash.sends.iter().all(|s| s.route == CertRoute::Trusted));
+        assert_eq!(crash.sends.len() + 1, trans.sends.len());
+    }
+
+    #[test]
+    fn transform_reproduces_the_hand_written_transformed_spec() {
+        let derived = transform(&ProtocolSpec::crash_hr());
+        let hand = ProtocolSpec::transformed();
+        assert_eq!(derived.opening, hand.opening);
+        assert_eq!(derived.round_slots, hand.round_slots);
+        assert_eq!(derived.terminal, hand.terminal);
+        assert_eq!(derived.round_advance, hand.round_advance);
+        for (d, h) in derived.sends.iter().zip(hand.sends.iter()) {
+            assert_eq!(d, h, "send `{}` diverges from the hand-written table", h.id);
+        }
+        assert_eq!(derived, hand);
+    }
+
+    #[test]
+    #[should_panic(expected = "already opens")]
+    fn transforming_twice_is_rejected() {
+        let _ = transform(&ProtocolSpec::transformed());
     }
 }

@@ -74,8 +74,13 @@ where
     fn post(&mut self, ctx: &mut Context<'_, Envelope, ValueVector>) {
         let me = ctx.me();
         let now = ctx.now();
-        self.tamper
-            .tamper(me, &self.keys, ctx.staged_sends_mut(), now);
+        // Tamper strategies see the flat per-target view (a broadcast
+        // expanded to its `n` deliveries, in target order), exactly as
+        // before payload sharing: a Byzantine process may send different
+        // corruptions to different receivers.
+        let mut flat = ctx.take_staged_sends();
+        self.tamper.tamper(me, &self.keys, &mut flat, now);
+        ctx.restore_staged_sends(flat);
     }
 }
 
@@ -95,7 +100,7 @@ where
     fn on_message(
         &mut self,
         from: ProcessId,
-        msg: Envelope,
+        msg: &Envelope,
         ctx: &mut Context<'_, Envelope, ValueVector>,
     ) {
         self.inner.on_message(from, msg, ctx);
@@ -157,7 +162,7 @@ mod tests {
         fn on_message(
             &mut self,
             _: ProcessId,
-            _: Envelope,
+            _: &Envelope,
             _: &mut Context<'_, Envelope, ValueVector>,
         ) {
         }
@@ -223,6 +228,9 @@ mod tests {
         wrapper.on_timer(INJECT_TIMER, &mut ctx);
         let fx = ctx.into_effects();
         assert_eq!(fx.sends.len(), 1);
-        assert_eq!(fx.sends[0].0, ProcessId(1));
+        assert!(
+            matches!(fx.sends[0], ftm_sim::StagedSend::To(ProcessId(1), _)),
+            "inject sends are unicasts to the chosen target"
+        );
     }
 }

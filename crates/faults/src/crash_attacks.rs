@@ -54,12 +54,14 @@ where
 
     fn post(&mut self, ctx: &mut Context<'_, CrashMsg, Value>) {
         if let CrashAttack::CorruptEstimate { poison } = self.attack {
-            for (_, msg) in ctx.staged_sends_mut().iter_mut() {
+            let mut flat = ctx.take_staged_sends();
+            for (_, msg) in &mut flat {
                 match msg {
                     CrashMsg::Current { est, .. } | CrashMsg::Decide { est } => *est = poison,
                     _ => {}
                 }
             }
+            ctx.restore_staged_sends(flat);
         }
     }
 }
@@ -80,7 +82,7 @@ where
     fn on_message(
         &mut self,
         from: ProcessId,
-        msg: CrashMsg,
+        msg: &CrashMsg,
         ctx: &mut Context<'_, CrashMsg, Value>,
     ) {
         self.inner.on_message(from, msg, ctx);

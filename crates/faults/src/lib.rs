@@ -28,6 +28,6 @@ pub mod scenario;
 
 pub use behavior::{ByzantineWrapper, Tamper};
 pub use scenario::{
-    run_scenario, sweep_matrix, sweep_matrix_repeated, AttackRun, FaultBehavior, Scenario,
-    ScenarioMatrix,
+    run_scenario, sweep_matrix, sweep_matrix_repeated, sweep_scenarios, AttackRun, FaultBehavior,
+    Scenario, ScenarioMatrix,
 };

@@ -165,9 +165,31 @@ pub struct Scenario {
     pub f: usize,
     /// The behavior of the attacker process.
     pub behavior: FaultBehavior,
+    /// How many *additional* low-numbered processes (`p0`, `p1`, …) crash
+    /// benignly at t = 0, on top of whatever the behavior does to the
+    /// attacker. `1` kills the round-1 coordinator (forcing NEXT-vote
+    /// traffic); `F − 1` plus a [`FaultBehavior::Crash`] attacker exhausts
+    /// the fault budget; `F` plus a crashed attacker exceeds it on purpose.
+    pub extra_crashes: usize,
 }
 
 impl Scenario {
+    /// A cell with no extra crashes (the plain taxonomy grid).
+    pub fn new(n: usize, f: usize, behavior: FaultBehavior) -> Self {
+        Scenario {
+            n,
+            f,
+            behavior,
+            extra_crashes: 0,
+        }
+    }
+
+    /// Additionally crashes processes `p0..p{k-1}` at t = 0.
+    pub fn extra_crashes(mut self, k: usize) -> Self {
+        self.extra_crashes = k;
+        self
+    }
+
     /// The attacker is always the highest-numbered process — never the
     /// round-1 coordinator (p0), so honest progress stays representative.
     pub fn attacker(&self) -> u32 {
@@ -176,7 +198,11 @@ impl Scenario {
 
     /// Cell key used to group runs for aggregation.
     pub fn cell(&self) -> String {
-        format!("n={} f={} fault={}", self.n, self.f, self.behavior.label())
+        let mut key = format!("n={} f={} fault={}", self.n, self.f, self.behavior.label());
+        if self.extra_crashes > 0 {
+            key.push_str(&format!(" extra-crashes={}", self.extra_crashes));
+        }
+        key
     }
 }
 
@@ -217,7 +243,7 @@ impl ScenarioMatrix {
         for &(n, f) in &self.systems {
             for &behavior in &self.behaviors {
                 for _ in 0..repeats {
-                    out.push(Scenario { n, f, behavior });
+                    out.push(Scenario::new(n, f, behavior));
                 }
             }
         }
@@ -247,6 +273,9 @@ pub struct AttackRun {
     /// Process crashed at t = 0, if any — crash the round-1 coordinator to
     /// force NEXT-vote traffic.
     pub crash_at_start: Option<u32>,
+    /// Crash processes `p0..p{k-1}` at t = 0 as well (multi-crash rows:
+    /// fault budgets up to and beyond F).
+    pub crash_low: usize,
 }
 
 impl AttackRun {
@@ -260,6 +289,7 @@ impl AttackRun {
             attacker,
             injection_delay: Duration::of(3),
             crash_at_start: None,
+            crash_low: 0,
         }
     }
 
@@ -272,6 +302,12 @@ impl AttackRun {
     /// Crashes process `p` at t = 0.
     pub fn crash_at_start(mut self, p: u32) -> Self {
         self.crash_at_start = Some(p);
+        self
+    }
+
+    /// Crashes processes `p0..p{k-1}` at t = 0.
+    pub fn crash_low(mut self, k: usize) -> Self {
+        self.crash_low = k;
         self
     }
 
@@ -293,6 +329,9 @@ impl AttackRun {
         let mut cfg = SimConfig::new(self.n).seed(self.seed);
         if let Some(p) = self.crash_at_start {
             cfg = cfg.crash(p as usize, VirtualTime::ZERO);
+        }
+        for p in 0..self.crash_low {
+            cfg = cfg.crash(p, VirtualTime::ZERO);
         }
 
         Simulation::build_boxed(cfg, |id| {
@@ -326,7 +365,7 @@ impl AttackRun {
 /// expects, so it can be passed directly as the worker function.
 pub fn run_scenario(index: usize, sc: &Scenario, seed: u64) -> RunRecord {
     let attacker = sc.attacker();
-    let mut run = AttackRun::new(sc.n, sc.f, seed, attacker);
+    let mut run = AttackRun::new(sc.n, sc.f, seed, attacker).crash_low(sc.extra_crashes);
     if sc.behavior == FaultBehavior::Crash {
         run = run.crash_at_start(attacker);
     }
@@ -340,7 +379,13 @@ pub fn run_scenario(index: usize, sc: &Scenario, seed: u64) -> RunRecord {
 
     let mut rec = RunRecord::new(sc.cell(), index, seed);
     rec.ok = verdict.ok();
+    // Individual property verdicts, so experiment tables can separate
+    // termination (forfeited beyond the bound) from safety (never).
+    rec.set("prop-termination", u64::from(verdict.termination));
+    rec.set("prop-agreement", u64::from(verdict.agreement));
+    rec.set("prop-validity", u64::from(verdict.validity));
     record_metrics(&mut rec, &report);
+    record_attacker_metrics(&mut rec, &report, attacker);
     rec
 }
 
@@ -418,6 +463,54 @@ fn record_metrics(rec: &mut RunRecord, report: &RunReport<ValueVector>) {
     }
 }
 
+/// Attacker-focused detection outcomes: which classes correct observers
+/// convicted the attacker under, how many distinct observers did, and when
+/// the first conviction (and first ◇M suspicion) landed. These drive the
+/// coverage/observers/latency columns of the E4 table.
+fn record_attacker_metrics(rec: &mut RunRecord, report: &RunReport<ValueVector>, attacker: u32) {
+    use std::collections::{BTreeMap, BTreeSet};
+
+    let culprit = format!("p{attacker}");
+    let mut observers: BTreeMap<String, BTreeSet<ProcessId>> = BTreeMap::new();
+    let mut first: BTreeMap<String, u64> = BTreeMap::new();
+    for d in detections(&report.trace) {
+        if d.culprit != culprit || d.observer == ProcessId(attacker) {
+            continue;
+        }
+        observers
+            .entry(d.class.clone())
+            .or_default()
+            .insert(d.observer);
+        let at = first.entry(d.class.clone()).or_insert(u64::MAX);
+        *at = (*at).min(d.at.ticks());
+    }
+    for (class, obs) in &observers {
+        rec.set(format!("convicted-{class}"), obs.len() as u64);
+        rec.set(format!("conviction-at-{class}"), first[class]);
+    }
+
+    // First muteness suspicion raised by one process about another: the
+    // ◇M module's half of the detection work (suspicion, not conviction).
+    let suspicion = report
+        .trace
+        .entries()
+        .iter()
+        .filter_map(|e| match &e.event {
+            TraceEvent::Note { process, text } if text.starts_with("suspect=") => {
+                let target = text[8..].split_whitespace().next().unwrap_or("");
+                (format!("p{}", process.0) != target).then(|| e.at.ticks())
+            }
+            _ => None,
+        })
+        .min();
+    if let Some(at) = suspicion {
+        rec.set("suspicion-covered", 1);
+        rec.set("suspicion-first-at", at);
+    } else {
+        rec.set("suspicion-covered", 0);
+    }
+}
+
 /// Enumerates `matrix`, fans the runs across `threads` workers and
 /// aggregates the records into a [`SweepReport`]. The output is a pure
 /// function of `(matrix, base_seed)` — thread count only changes wall
@@ -435,8 +528,27 @@ pub fn sweep_matrix_repeated(
     base_seed: u64,
     threads: usize,
 ) -> SweepReport {
-    let scenarios = matrix.enumerate_repeated(repeats);
-    let records = sweep(&scenarios, base_seed, threads, run_scenario);
+    sweep_scenarios(&matrix.enumerate(), repeats, base_seed, threads)
+}
+
+/// Runs an explicit scenario list through the parallel harness — the entry
+/// point for experiment tables whose rows are not a plain cross product
+/// (multi-crash budgets, per-row system sizes). Each scenario appears
+/// `repeats` consecutive times under its own derived seed, exactly like
+/// [`ScenarioMatrix::enumerate_repeated`], so cells aggregate into real
+/// percentiles. The output is a pure function of
+/// `(scenarios, repeats, base_seed)`.
+pub fn sweep_scenarios(
+    scenarios: &[Scenario],
+    repeats: usize,
+    base_seed: u64,
+    threads: usize,
+) -> SweepReport {
+    let expanded: Vec<Scenario> = scenarios
+        .iter()
+        .flat_map(|sc| (0..repeats).map(move |_| *sc))
+        .collect();
+    let records = sweep(&expanded, base_seed, threads, run_scenario);
     SweepReport::new(base_seed, records)
 }
 
@@ -475,11 +587,7 @@ mod tests {
 
     #[test]
     fn honest_run_decomposes_bytes_by_layer() {
-        let sc = Scenario {
-            n: 4,
-            f: 1,
-            behavior: FaultBehavior::Honest,
-        };
+        let sc = Scenario::new(4, 1, FaultBehavior::Honest);
         let rec = run_scenario(0, &sc, 7);
         assert!(rec.ok, "honest run failed: {rec:?}");
         assert_eq!(rec.get("decided"), 4);
@@ -497,11 +605,7 @@ mod tests {
 
     #[test]
     fn vector_corruption_is_survived_and_charged_to_certification() {
-        let sc = Scenario {
-            n: 4,
-            f: 1,
-            behavior: FaultBehavior::VectorCorrupt,
-        };
+        let sc = Scenario::new(4, 1, FaultBehavior::VectorCorrupt);
         let rec = run_scenario(0, &sc, 3);
         assert!(rec.ok, "corrupted run violated the spec: {rec:?}");
         assert!(
@@ -512,11 +616,7 @@ mod tests {
 
     #[test]
     fn same_seed_reproduces_the_record_exactly() {
-        let sc = Scenario {
-            n: 4,
-            f: 1,
-            behavior: FaultBehavior::ForgeDecide,
-        };
+        let sc = Scenario::new(4, 1, FaultBehavior::ForgeDecide);
         let a = run_scenario(2, &sc, 0xD5);
         let b = run_scenario(2, &sc, 0xD5);
         assert_eq!(a, b);
@@ -526,6 +626,51 @@ mod tests {
             c.get("trace-fingerprint"),
             "distinct seeds should give distinct traces"
         );
+    }
+
+    #[test]
+    fn extra_crashes_change_the_cell_key_and_exhaust_the_budget() {
+        let base = Scenario::new(5, 2, FaultBehavior::Crash);
+        assert_eq!(base.cell(), "n=5 f=2 fault=crash");
+        let full_budget = base.extra_crashes(1);
+        assert_eq!(full_budget.cell(), "n=5 f=2 fault=crash extra-crashes=1");
+
+        // F = 2 total crashes (p0 and the attacker p4): still terminates.
+        let rec = run_scenario(0, &full_budget, 21);
+        assert!(
+            rec.ok,
+            "within-budget crashes must not break consensus: {rec:?}"
+        );
+        assert_eq!(rec.get("prop-termination"), 1);
+
+        // F + 1 crashes: termination is forfeited, safety must survive.
+        let beyond = base.extra_crashes(2);
+        let rec = run_scenario(0, &beyond, 21);
+        assert_eq!(rec.get("prop-termination"), 0, "{rec:?}");
+        assert_eq!(rec.get("prop-agreement"), 1, "{rec:?}");
+        assert_eq!(rec.get("prop-validity"), 1, "{rec:?}");
+    }
+
+    #[test]
+    fn scenario_lists_sweep_like_the_matrix_does() {
+        let scenarios = vec![
+            Scenario::new(4, 1, FaultBehavior::Honest),
+            Scenario::new(4, 1, FaultBehavior::Honest).extra_crashes(1),
+        ];
+        let rep = sweep_scenarios(&scenarios, 2, 0xE3, 2);
+        assert_eq!(rep.records.len(), 4);
+        // Matrix-equivalent lists produce identical reports.
+        let m = ScenarioMatrix::new(vec![(4, 1)], vec![FaultBehavior::Honest]);
+        let via_matrix = sweep_matrix_repeated(&m, 2, 7, 2);
+        let via_list = sweep_scenarios(&m.enumerate(), 2, 7, 2);
+        assert_eq!(
+            via_matrix.to_json().render(),
+            via_list.to_json().render(),
+            "sweep_scenarios must be the matrix sweep's primitive"
+        );
+        // The coordinator-crash cell forces ◇M suspicions before progress.
+        let crashed_cell = &rep.cells()["n=4 f=1 fault=honest extra-crashes=1"];
+        assert!(crashed_cell.stats["suspicion-covered"].max >= 1, "{rep:?}");
     }
 
     #[test]

@@ -189,10 +189,10 @@ impl Actor for BrachaActor {
     fn on_message(
         &mut self,
         from: ProcessId,
-        msg: BrachaMsg,
+        msg: &BrachaMsg,
         ctx: &mut Context<'_, BrachaMsg, u64>,
     ) {
-        for cmd in self.state.on_message(from, &msg) {
+        for cmd in self.state.on_message(from, msg) {
             match cmd {
                 BrachaOutput::Send(m) => ctx.broadcast(m),
                 BrachaOutput::Deliver(v) => ctx.decide(v),
@@ -282,10 +282,10 @@ mod tests {
         fn on_message(
             &mut self,
             from: ProcessId,
-            msg: BrachaMsg,
+            msg: &BrachaMsg,
             ctx: &mut Context<'_, BrachaMsg, u64>,
         ) {
-            for cmd in self.state.on_message(from, &msg) {
+            for cmd in self.state.on_message(from, msg) {
                 match cmd {
                     BrachaOutput::Send(m) => ctx.broadcast(m),
                     BrachaOutput::Deliver(v) => ctx.decide(v),

@@ -120,11 +120,11 @@ impl Actor for EagerActor {
     fn on_message(
         &mut self,
         _from: ProcessId,
-        msg: EagerMsg,
+        msg: &EagerMsg,
         ctx: &mut Context<'_, EagerMsg, u64>,
     ) {
-        if let Some(body) = self.state.on_receive(&msg) {
-            ctx.broadcast(msg); // relay before delivering
+        if let Some(body) = self.state.on_receive(msg) {
+            ctx.broadcast(msg.clone()); // relay before delivering
             ctx.decide(body);
         }
     }

@@ -35,7 +35,7 @@
 //!     fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Decision>) {
 //!         ctx.broadcast("ping");
 //!     }
-//!     fn on_message(&mut self, _from: ProcessId, _msg: &'static str,
+//!     fn on_message(&mut self, _from: ProcessId, _msg: &Self::Msg,
 //!                   ctx: &mut Context<'_, Self::Msg, Self::Decision>) {
 //!         self.seen += 1;
 //!         if self.seen == ctx.process_count() {
@@ -64,14 +64,16 @@ pub mod trace;
 pub mod prelude {
     pub use crate::config::SimConfig;
     pub use crate::harness::{sweep, RunRecord, SweepReport};
-    pub use crate::process::{Actor, Context, LayerSplit, Payload, ProcessId, TimerTag};
+    pub use crate::process::{
+        Actor, Context, LayerSplit, Payload, ProcessId, StagedSend, TimerTag,
+    };
     pub use crate::runner::{RunReport, Simulation};
     pub use crate::time::{Duration, VirtualTime};
 }
 
 pub use config::SimConfig;
 pub use harness::{sweep, RunRecord, SweepReport};
-pub use process::{Actor, Context, LayerSplit, Payload, ProcessId, TimerTag};
+pub use process::{Actor, Context, LayerSplit, Payload, ProcessId, StagedSend, TimerTag};
 pub use report::Json;
 pub use runner::{RunReport, Simulation};
 pub use time::{Duration, VirtualTime};

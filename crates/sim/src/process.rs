@@ -139,10 +139,14 @@ pub trait Actor {
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Decision>);
 
     /// Invoked for each delivered message.
+    ///
+    /// The message is borrowed: a broadcast payload is shared (one
+    /// allocation for all `n` receivers), so an actor that needs to keep
+    /// the message — or a part of it — clones exactly what it stores.
     fn on_message(
         &mut self,
         from: ProcessId,
-        msg: Self::Msg,
+        msg: &Self::Msg,
         ctx: &mut Context<'_, Self::Msg, Self::Decision>,
     );
 
@@ -152,6 +156,21 @@ pub trait Actor {
     fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<'_, Self::Msg, Self::Decision>) {
         let _ = (tag, ctx);
     }
+}
+
+/// One staged outgoing message: a unicast or a whole-group broadcast.
+///
+/// [`Context::broadcast`] stages a single [`StagedSend::ToAll`] entry
+/// instead of `n` per-target clones; the runner expands it at effect
+/// application, sharing one reference-counted payload across all `n`
+/// deliveries. With every process broadcasting every round, that removes
+/// the ~n² payload clones per round the flat representation paid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StagedSend<M> {
+    /// To one process.
+    To(ProcessId, M),
+    /// To every process including the sender — the paper's `send … to Π`.
+    ToAll(M),
 }
 
 /// Effects an actor may stage during one callback.
@@ -165,7 +184,7 @@ pub struct Context<'a, M, D> {
     me: ProcessId,
     n: usize,
     rng_draw: &'a mut dyn FnMut() -> u64,
-    staged_sends: Vec<(ProcessId, M)>,
+    staged_sends: Vec<StagedSend<M>>,
     staged_timers: Vec<(Duration, TimerTag)>,
     staged_notes: Vec<String>,
     decision: Option<D>,
@@ -189,8 +208,9 @@ impl<M: fmt::Debug, D: fmt::Debug> fmt::Debug for Context<'_, M, D> {
 /// Effects staged by one callback, as consumed by the runner.
 #[derive(Debug)]
 pub struct Effects<M, D> {
-    /// Messages to hand to the network, in staging order.
-    pub sends: Vec<(ProcessId, M)>,
+    /// Messages to hand to the network, in staging order (broadcasts as
+    /// single [`StagedSend::ToAll`] entries).
+    pub sends: Vec<StagedSend<M>>,
     /// Timers to schedule, as `(delay, tag)` pairs.
     pub timers: Vec<(Duration, TimerTag)>,
     /// Trace annotations emitted by the actor.
@@ -245,15 +265,14 @@ impl<'a, M: Payload, D: Clone + fmt::Debug + PartialEq> Context<'a, M, D> {
 
     /// Stages a message to `to` (self-sends are delivered like any other).
     pub fn send(&mut self, to: ProcessId, msg: M) {
-        self.staged_sends.push((to, msg));
+        self.staged_sends.push(StagedSend::To(to, msg));
     }
 
     /// Stages `msg` to every process **including the sender** — the paper's
-    /// `send … to Π`.
+    /// `send … to Π`. One staged entry, one payload: the runner shares it
+    /// across all `n` deliveries.
     pub fn broadcast(&mut self, msg: M) {
-        for p in 0..self.n as u32 {
-            self.staged_sends.push((ProcessId(p), msg.clone()));
-        }
+        self.staged_sends.push(StagedSend::ToAll(msg));
     }
 
     /// Schedules `on_timer(tag)` to fire `delay` from now.
@@ -282,13 +301,40 @@ impl<'a, M: Payload, D: Clone + fmt::Debug + PartialEq> Context<'a, M, D> {
         (self.rng_draw)()
     }
 
-    /// Mutable view of the sends staged so far in this callback.
+    /// Takes the staged sends, flattened to per-target `(to, msg)` pairs
+    /// (each broadcast expands to `n` clones, targets `p_0 … p_{n-1}` at
+    /// its staged position).
     ///
     /// Intended for fault-injection wrappers (`ftm-faults`), which corrupt,
     /// drop or duplicate a wrapped actor's output *before* it reaches the
-    /// honest network.
-    pub fn staged_sends_mut(&mut self) -> &mut Vec<(ProcessId, M)> {
-        &mut self.staged_sends
+    /// honest network and need per-copy access; pair with
+    /// [`restore_staged_sends`](Context::restore_staged_sends). Honest runs
+    /// never call this, so their broadcasts stay shared all the way to
+    /// delivery.
+    pub fn take_staged_sends(&mut self) -> Vec<(ProcessId, M)> {
+        let staged = std::mem::take(&mut self.staged_sends);
+        let mut flat = Vec::with_capacity(staged.len());
+        for s in staged {
+            match s {
+                StagedSend::To(to, msg) => flat.push((to, msg)),
+                StagedSend::ToAll(msg) => {
+                    for p in 0..self.n as u32 {
+                        flat.push((ProcessId(p), msg.clone()));
+                    }
+                }
+            }
+        }
+        flat
+    }
+
+    /// Puts back a (possibly rewritten) flat send list obtained from
+    /// [`take_staged_sends`](Context::take_staged_sends), replacing
+    /// whatever is currently staged.
+    pub fn restore_staged_sends(&mut self, flat: Vec<(ProcessId, M)>) {
+        self.staged_sends = flat
+            .into_iter()
+            .map(|(to, msg)| StagedSend::To(to, msg))
+            .collect();
     }
 
     /// Emits a free-form trace annotation (`key=value` style by convention).
@@ -320,12 +366,28 @@ mod tests {
     }
 
     #[test]
-    fn broadcast_reaches_everyone_including_self() {
+    fn broadcast_stages_one_shared_entry() {
         let mut draw = || 0u64;
         let mut c = ctx(&mut draw);
         c.broadcast("m");
-        let targets: Vec<u32> = c.into_effects().sends.iter().map(|(p, _)| p.0).collect();
-        assert_eq!(targets, vec![0, 1, 2]);
+        assert_eq!(c.into_effects().sends, vec![StagedSend::ToAll("m")]);
+    }
+
+    #[test]
+    fn taking_staged_sends_expands_broadcasts_in_order() {
+        let mut draw = || 0u64;
+        let mut c = ctx(&mut draw);
+        c.send(ProcessId(2), "pre");
+        c.broadcast("m");
+        c.send(ProcessId(0), "post");
+        let flat = c.take_staged_sends();
+        let targets: Vec<(u32, &str)> = flat.iter().map(|(p, m)| (p.0, *m)).collect();
+        assert_eq!(
+            targets,
+            vec![(2, "pre"), (0, "m"), (1, "m"), (2, "m"), (0, "post")]
+        );
+        c.restore_staged_sends(flat);
+        assert_eq!(c.into_effects().sends.len(), 5);
     }
 
     #[test]
@@ -342,8 +404,13 @@ mod tests {
         let mut draw = || 0u64;
         let mut c = ctx(&mut draw);
         c.send(ProcessId(0), "honest");
-        c.staged_sends_mut()[0].1 = "corrupted";
-        assert_eq!(c.into_effects().sends[0].1, "corrupted");
+        let mut flat = c.take_staged_sends();
+        flat[0].1 = "corrupted";
+        c.restore_staged_sends(flat);
+        assert_eq!(
+            c.into_effects().sends[0],
+            StagedSend::To(ProcessId(0), "corrupted")
+        );
     }
 
     #[test]

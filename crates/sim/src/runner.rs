@@ -1,13 +1,18 @@
 //! The simulation runner: event loop, effect application, run reports.
+//!
+//! Payloads travel the event queue behind [`Arc`]: a broadcast allocates
+//! its message once and every pending delivery shares it, so large
+//! envelopes (signature + certificate) are not cloned per receiver.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::config::SimConfig;
 use crate::event::{EventKind, EventQueue};
 use crate::metrics::Metrics;
 use crate::network::Network;
 use crate::prng::{Rng64, Xoshiro256PlusPlus};
-use crate::process::{Actor, Context, Payload, ProcessId};
+use crate::process::{Actor, Context, Payload, ProcessId, StagedSend};
 use crate::time::VirtualTime;
 use crate::trace::{Trace, TraceEvent};
 
@@ -129,7 +134,9 @@ where
         let n = cfg.n;
         let mut rng = Xoshiro256PlusPlus::from_seed(cfg.rng_seed);
         let mut network = Network::new(&cfg);
-        let mut queue: EventQueue<M> = EventQueue::new();
+        // The queue carries `Arc<M>` so one broadcast payload backs all of
+        // its pending deliveries.
+        let mut queue: EventQueue<Arc<M>> = EventQueue::new();
         let mut trace = Trace::new();
         let mut metrics = Metrics::new(n);
         let mut decisions: Vec<Option<D>> = vec![None; n];
@@ -192,7 +199,7 @@ where
                                 label: msg.label(),
                             },
                         );
-                        actors[idx].on_message(from, msg, &mut ctx);
+                        actors[idx].on_message(from, msg.as_ref(), &mut ctx);
                     }
                     EventKind::Timer { tag } => {
                         metrics.on_timer();
@@ -210,19 +217,34 @@ where
                 ctx.into_effects()
             };
 
-            for (to, msg) in effects.sends {
-                metrics.on_send(pid, msg.layer_split());
-                trace.record(
-                    now,
-                    TraceEvent::Send {
-                        src: pid,
-                        dst: to,
-                        bytes: msg.size_bytes(),
-                        label: msg.label(),
-                    },
-                );
-                let at = network.delivery_time(&mut rng, pid, to, now);
-                queue.push(at, to, EventKind::Deliver { from: pid, msg });
+            for staged in effects.sends {
+                let (targets, msg) = match staged {
+                    StagedSend::To(to, msg) => (vec![to], Arc::new(msg)),
+                    StagedSend::ToAll(msg) => {
+                        ((0..n as u32).map(ProcessId).collect(), Arc::new(msg))
+                    }
+                };
+                for to in targets {
+                    metrics.on_send(pid, msg.layer_split());
+                    trace.record(
+                        now,
+                        TraceEvent::Send {
+                            src: pid,
+                            dst: to,
+                            bytes: msg.size_bytes(),
+                            label: msg.label(),
+                        },
+                    );
+                    let at = network.delivery_time(&mut rng, pid, to, now);
+                    queue.push(
+                        at,
+                        to,
+                        EventKind::Deliver {
+                            from: pid,
+                            msg: Arc::clone(&msg),
+                        },
+                    );
+                }
             }
             for (delay, tag) in effects.timers {
                 queue.push(now + delay, pid, EventKind::Timer { tag });
@@ -287,8 +309,8 @@ mod tests {
             ctx.broadcast(ctx.me().0 as u64);
         }
 
-        fn on_message(&mut self, _from: ProcessId, msg: u64, ctx: &mut Context<'_, u64, u64>) {
-            self.sum += msg;
+        fn on_message(&mut self, _from: ProcessId, msg: &u64, ctx: &mut Context<'_, u64, u64>) {
+            self.sum += *msg;
             self.got += 1;
             if self.got == ctx.process_count() {
                 ctx.decide(self.sum);
@@ -371,7 +393,7 @@ mod tests {
             ctx.set_timer(Duration::of(10), 1);
         }
 
-        fn on_message(&mut self, _: ProcessId, _: u64, _: &mut Context<'_, u64, u64>) {}
+        fn on_message(&mut self, _: ProcessId, _: &u64, _: &mut Context<'_, u64, u64>) {}
 
         fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, u64, u64>) {
             assert_eq!(tag, 1);
@@ -403,7 +425,7 @@ mod tests {
             ctx.send(ctx.me(), 0);
         }
 
-        fn on_message(&mut self, _: ProcessId, msg: u64, ctx: &mut Context<'_, u64, u64>) {
+        fn on_message(&mut self, _: ProcessId, msg: &u64, ctx: &mut Context<'_, u64, u64>) {
             ctx.send(ctx.me(), msg + 1); // ping-pong with self forever
         }
     }
@@ -438,7 +460,7 @@ mod tests {
                 ctx.note("round=1");
                 ctx.halt();
             }
-            fn on_message(&mut self, _: ProcessId, _: u64, _: &mut Context<'_, u64, u64>) {}
+            fn on_message(&mut self, _: ProcessId, _: &u64, _: &mut Context<'_, u64, u64>) {}
         }
         let report = Simulation::build(SimConfig::new(1).seed(0), |_| Noter).run();
         assert_eq!(report.trace.notes_of(ProcessId(0)), vec!["round=1"]);
@@ -454,7 +476,7 @@ mod tests {
                 ctx.send(ctx.me(), 0);
                 ctx.decide(1);
             }
-            fn on_message(&mut self, _: ProcessId, _: u64, ctx: &mut Context<'_, u64, u64>) {
+            fn on_message(&mut self, _: ProcessId, _: &u64, ctx: &mut Context<'_, u64, u64>) {
                 ctx.decide(2); // contradicts the earlier decision
                 ctx.halt();
             }

@@ -11,12 +11,30 @@
 //! derived edge. Any disagreement is a finding: one of the two artifacts
 //! mis-states the protocol.
 
-use ftm_certify::Round;
+use ftm_certify::{MessageKind, Round};
+use ftm_core::spec::ProtocolSpec;
 use ftm_detect::{PeerAutomaton, PeerPhase, Requirement};
 use ftm_sim::ProcessId;
 
 use crate::derived::{DerivedAutomaton, Outcome, ReqKind, RoundEffect, State};
 use crate::symbol::Symbol;
+
+/// `true` when the hand-written Fig. 4 [`PeerAutomaton`] is a valid
+/// reference for `spec`: INIT opens, the round discipline is an optional
+/// CURRENT followed by a mandatory NEXT, DECIDE terminates, rounds advance
+/// one at a time. The transformed spec and anything derived from
+/// [`ftm_core::spec::transform`] qualify; the opening-less crash spec does
+/// not — its traces would all be convicted for skipping INIT.
+pub fn hand_reference_applies(spec: &ProtocolSpec) -> bool {
+    spec.opening == Some(MessageKind::Init)
+        && spec.terminal == MessageKind::Decide
+        && spec.round_advance == 1
+        && spec.round_slots.len() == 2
+        && spec.round_slots[0].kind == MessageKind::Current
+        && !spec.round_slots[0].mandatory
+        && spec.round_slots[1].kind == MessageKind::Next
+        && spec.round_slots[1].mandatory
+}
 
 /// Result of the automaton diff.
 #[derive(Debug, Clone, Default)]

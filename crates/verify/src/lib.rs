@@ -1,17 +1,19 @@
-//! # ftm-verify — static protocol analyzer
+//! # ftm-verify — static analyzer of the transformation itself
 //!
 //! The paper's non-muteness module (§4, Fig. 4) is built "from the program
 //! text": the per-peer observer automaton is a *static* artifact of the
 //! protocol, not of any execution. Until now the repo validated it only
 //! dynamically — simulation sweeps over fault scenarios. This crate checks
 //! the static artifact statically, over the *whole* bounded behavior
-//! space instead of the sampled one:
+//! space instead of the sampled one — and, since the paper's whole point
+//! is a *transformation*, it checks the transformation too, not just its
+//! output:
 //!
 //! 1. **Spec-derived extraction** ([`derived`]) — the observer automaton
 //!    is derived mechanically from the declarative send discipline in
 //!    [`ftm_core::spec::ProtocolSpec`], and [`diff`] cross-checks it
 //!    against the hand-written [`ftm_detect::PeerAutomaton`] state by
-//!    state, edge by edge.
+//!    state, edge by edge (for specs of the hand-written Fig. 3 shape).
 //! 2. **Bounded model checking** — [`checks`] proves the derived relation
 //!    deterministic and total over the receipt alphabet; [`soundness`]
 //!    enumerates every compliant sender trace up to a round bound and
@@ -23,16 +25,28 @@
 //!    table: every conditional send in the spec is audited by a matching
 //!    rule in `ftm-certify`, no rule is dead, and the only uncertifiable
 //!    sends are initial values routed through vector certification.
+//! 4. **Certificate-lineage flow** ([`lineage`]) — the global side of the
+//!    same obligation: the justification graph over the send table has no
+//!    dangling evidence, no dead route, no same-round cycle, and every
+//!    value traces back to a vector-certified root.
+//! 5. **Transformation refinement** ([`refinement`]) — the crash→Byzantine
+//!    step itself: [`ftm_core::spec::transform`] applied to the crash spec
+//!    must reproduce the hand-written transformed spec edge by edge; every
+//!    compliant crash trace must lift to a compliant transformed trace
+//!    (completeness); and a product walk of the two observers must show
+//!    the transformed one convicts *strictly more*, never less
+//!    (soundness gain), with machine-diffed witness traces.
 //!
-//! The `ftm-verify` binary runs everything and emits the same no-float,
+//! The `ftm-verify` binary runs everything over the transformed, crash,
+//! and derived (`transform(crash)`) specs and emits the same no-float,
 //! byte-stable JSON as `ftm_sim::report`; CI treats a non-`ok` report as
 //! a hard gate failure.
 //!
 //! # Example
 //!
 //! ```
-//! use ftm_verify::{verify_transformed, Bounds};
-//! let report = verify_transformed(&Bounds::default());
+//! use ftm_verify::{verify_all, Bounds};
+//! let report = verify_all(&Bounds::default());
 //! assert!(report.ok(), "{}", report.to_json().render());
 //! ```
 
@@ -40,20 +54,24 @@ pub mod checks;
 pub mod coverage;
 pub mod derived;
 pub mod diff;
+pub mod lineage;
 pub mod mutation;
+pub mod perturb;
+pub mod refinement;
 pub mod report;
 pub mod soundness;
 pub mod symbol;
 
 pub use derived::DerivedAutomaton;
-pub use report::VerifyReport;
+pub use report::{SpecReport, VerifyReport};
 
-use ftm_core::spec::ProtocolSpec;
+use ftm_core::spec::{transform, ProtocolSpec};
 
 /// Bounds for the exhaustive checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Bounds {
-    /// Round bound for the compliant-trace enumeration (soundness).
+    /// Round bound for the compliant-trace enumerations (soundness and
+    /// refinement).
     pub soundness_rounds: u64,
     /// Round bound for mutation bases (mutants multiply fast; a smaller
     /// bound keeps the matrix readable while still covering every operator
@@ -70,23 +88,94 @@ impl Default for Bounds {
     }
 }
 
-/// Runs every check against `spec`.
-pub fn verify_spec(spec: &ProtocolSpec, bounds: &Bounds) -> VerifyReport {
-    let auto = DerivedAutomaton::from_spec(spec);
-    VerifyReport {
-        determinism: checks::check_determinism(&auto),
-        totality: checks::check_totality(&auto),
-        diff: diff::diff_against_detect(&auto),
-        soundness: soundness::check_soundness(&auto, bounds.soundness_rounds),
-        mutation: mutation::check_mutations(&auto, bounds.mutation_rounds),
-        coverage: coverage::check_coverage(spec),
+/// The specs the driver knows how to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecSelect {
+    /// The hand-written transformed protocol (paper Fig. 3).
+    Transformed,
+    /// The un-transformed crash-model protocol (paper Fig. 1 shape).
+    Crash,
+    /// `transform(crash)` — the mechanically derived transformed spec.
+    Derived,
+}
+
+impl SpecSelect {
+    /// Every spec, in report order.
+    pub fn all() -> [SpecSelect; 3] {
+        [
+            SpecSelect::Transformed,
+            SpecSelect::Crash,
+            SpecSelect::Derived,
+        ]
+    }
+
+    /// Stable label, used as the JSON key and the CLI argument.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpecSelect::Transformed => "transformed",
+            SpecSelect::Crash => "crash",
+            SpecSelect::Derived => "derived",
+        }
+    }
+
+    /// Parses a CLI `--spec` argument.
+    pub fn parse(s: &str) -> Option<SpecSelect> {
+        SpecSelect::all().into_iter().find(|x| x.label() == s)
+    }
+
+    /// Builds the selected spec.
+    pub fn spec(&self) -> ProtocolSpec {
+        match self {
+            SpecSelect::Transformed => ProtocolSpec::transformed(),
+            SpecSelect::Crash => ProtocolSpec::crash_hr(),
+            SpecSelect::Derived => transform(&ProtocolSpec::crash_hr()),
+        }
     }
 }
 
-/// Runs every check against the transformed protocol (Fig. 3) — the
-/// configuration the CI gate uses.
-pub fn verify_transformed(bounds: &Bounds) -> VerifyReport {
-    verify_spec(&ProtocolSpec::transformed(), bounds)
+/// Runs every applicable check against one `spec`.
+///
+/// The hand-written-reference checks (automaton diff and mutation
+/// analysis, which uses the hand-written automaton as the killer) only run
+/// when the spec projects onto the Fig. 3 shape
+/// ([`diff::hand_reference_applies`]); for other specs those sections are
+/// `None` and the derived automaton is the sole oracle.
+pub fn verify_spec(spec: &ProtocolSpec, bounds: &Bounds) -> SpecReport {
+    let auto = DerivedAutomaton::from_spec(spec);
+    let hand = diff::hand_reference_applies(spec);
+    SpecReport {
+        determinism: checks::check_determinism(&auto),
+        totality: checks::check_totality(&auto),
+        diff: hand.then(|| diff::diff_against_detect(&auto)),
+        soundness: soundness::check_soundness(&auto, bounds.soundness_rounds),
+        mutation: hand.then(|| mutation::check_mutations(&auto, bounds.mutation_rounds)),
+        coverage: coverage::check_coverage(spec),
+        lineage: lineage::check_lineage(spec),
+    }
+}
+
+/// Runs the per-spec checks for `selected` plus the cross-spec refinement
+/// check (which always compares the crash spec against the transformed
+/// one, regardless of selection — the refinement is the point of the
+/// tool).
+pub fn verify_selected(selected: &[SpecSelect], bounds: &Bounds) -> VerifyReport {
+    VerifyReport {
+        specs: selected
+            .iter()
+            .map(|sel| (sel.label(), verify_spec(&sel.spec(), bounds)))
+            .collect(),
+        refinement: refinement::check_refinement(
+            &ProtocolSpec::crash_hr(),
+            &ProtocolSpec::transformed(),
+            bounds.soundness_rounds,
+        ),
+    }
+}
+
+/// Runs every check against every spec — the configuration the CI gate
+/// uses.
+pub fn verify_all(bounds: &Bounds) -> VerifyReport {
+    verify_selected(&SpecSelect::all(), bounds)
 }
 
 #[cfg(test)]
@@ -94,14 +183,37 @@ mod tests {
     use super::*;
 
     #[test]
-    fn the_transformed_protocol_verifies_clean() {
-        let report = verify_transformed(&Bounds::default());
+    fn every_spec_verifies_clean() {
+        let report = verify_all(&Bounds::default());
         assert!(report.ok(), "{}", report.to_json().render());
+        assert_eq!(report.specs.len(), 3);
+    }
+
+    #[test]
+    fn hand_reference_checks_run_only_where_they_apply() {
+        let report = verify_all(&Bounds {
+            soundness_rounds: 3,
+            mutation_rounds: 2,
+        });
+        let transformed = report.spec("transformed").unwrap();
+        assert!(transformed.diff.is_some());
+        assert!(transformed.mutation.is_some());
+        assert!(transformed.soundness.hand_checked);
+        let crash = report.spec("crash").unwrap();
+        assert!(crash.diff.is_none());
+        assert!(crash.mutation.is_none());
+        assert!(!crash.soundness.hand_checked);
+        // The derived spec reproduces the Fig. 3 shape, so the hand
+        // reference applies to it too — the strongest form of the
+        // derivation check.
+        let derived = report.spec("derived").unwrap();
+        assert!(derived.diff.is_some());
+        assert!(derived.mutation.is_some());
     }
 
     #[test]
     fn report_json_is_reproducible_and_carries_every_section() {
-        let report = verify_transformed(&Bounds {
+        let report = verify_all(&Bounds {
             soundness_rounds: 3,
             mutation_rounds: 2,
         });
@@ -109,16 +221,50 @@ mod tests {
         let b = report.to_json().render();
         assert_eq!(a, b);
         for key in [
+            "\"specs\"",
+            "\"transformed\"",
+            "\"crash\"",
+            "\"derived\"",
             "determinism",
             "totality",
             "automaton-diff",
             "soundness",
+            "hand-checked",
             "mutation",
             "certificate-coverage",
+            "lineage",
             "kind-swap",
+            "\"refinement\"",
+            "derivation",
+            "completeness",
+            "soundness-gain",
+            "gain-witnesses",
             "\"ok\": true",
         ] {
             assert!(a.contains(key), "report lost section {key}:\n{a}");
         }
+    }
+
+    #[test]
+    fn spec_selection_narrows_the_report_but_keeps_the_refinement() {
+        let report = verify_selected(
+            &[SpecSelect::Crash],
+            &Bounds {
+                soundness_rounds: 3,
+                mutation_rounds: 2,
+            },
+        );
+        assert_eq!(report.specs.len(), 1);
+        assert!(report.spec("transformed").is_none());
+        assert!(report.refinement.ok());
+        assert!(report.ok());
+    }
+
+    #[test]
+    fn spec_select_parses_its_own_labels() {
+        for sel in SpecSelect::all() {
+            assert_eq!(SpecSelect::parse(sel.label()), Some(sel));
+        }
+        assert_eq!(SpecSelect::parse("bogus"), None);
     }
 }

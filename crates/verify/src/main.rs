@@ -2,25 +2,34 @@
 //!
 //! ```text
 //! ftm-verify [--json] [--rounds N] [--mutation-rounds N]
+//!            [--spec {transformed|crash|derived}]...
 //! ```
 //!
-//! Exit status 0 when every check passed, 1 when any finding exists
-//! (conflict, gap, diff mismatch, false conviction, surviving mutant, or
-//! coverage hole), 2 on usage errors. `--json` prints only the byte-stable
-//! JSON document; the default adds a human summary to stderr.
+//! `--spec` narrows the per-spec sections (repeatable; default: all
+//! three). The cross-spec refinement section is always present — the
+//! crash→Byzantine refinement is what the tool exists to check. Exit
+//! status 0 when every check passed, 1 when any finding exists (conflict,
+//! gap, diff mismatch, false conviction, surviving mutant, coverage hole,
+//! lineage break, or refinement violation), 2 on usage errors. `--json`
+//! prints only the byte-stable JSON document; the default adds a human
+//! summary to stderr.
 
 use std::process::ExitCode;
 
-use ftm_verify::{verify_transformed, Bounds};
+use ftm_verify::{verify_selected, Bounds, SpecSelect};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: ftm-verify [--json] [--rounds N] [--mutation-rounds N]");
+    eprintln!(
+        "usage: ftm-verify [--json] [--rounds N] [--mutation-rounds N] \
+         [--spec {{transformed|crash|derived}}]..."
+    );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut json_only = false;
     let mut bounds = Bounds::default();
+    let mut selected: Vec<SpecSelect> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -34,8 +43,17 @@ fn main() -> ExitCode {
                 Some(n) => bounds.mutation_rounds = n,
                 None => return usage(),
             },
+            "--spec" => match args.next().as_deref().and_then(SpecSelect::parse) {
+                Some(sel) => {
+                    if !selected.contains(&sel) {
+                        selected.push(sel);
+                    }
+                }
+                None => return usage(),
+            },
             "--help" | "-h" => {
-                eprintln!("ftm-verify: static analysis of the observer automaton");
+                eprintln!("ftm-verify: static analysis of the observer automaton and the");
+                eprintln!("crash->Byzantine transformation that produces it");
                 return usage();
             }
             _ => return usage(),
@@ -45,23 +63,51 @@ fn main() -> ExitCode {
         eprintln!("ftm-verify: round bounds must be at least 1");
         return usage();
     }
+    if selected.is_empty() {
+        selected.extend(SpecSelect::all());
+    }
 
-    let report = verify_transformed(&bounds);
+    let report = verify_selected(&selected, &bounds);
     print!("{}", report.to_json().render());
 
     if !json_only {
-        let m = &report.mutation;
+        for (label, spec) in &report.specs {
+            let diffed = spec.diff.as_ref().map_or_else(
+                || "no hand reference".to_string(),
+                |d| format!("{} edges diffed ({} probes)", d.edges, d.probes),
+            );
+            let mutated = spec.mutation.as_ref().map_or_else(
+                || "mutation skipped".to_string(),
+                |m| {
+                    format!(
+                        "{} divergent mutants / {} survivors",
+                        m.divergent(),
+                        m.survivors.len()
+                    )
+                },
+            );
+            eprintln!(
+                "ftm-verify[{label}]: {diffed}, {} compliant traces sound to round {}, \
+                 {mutated}, {} sends vs {} rules, lineage {} edges from {} roots",
+                spec.soundness.traces,
+                spec.soundness.max_rounds,
+                spec.coverage.sends,
+                spec.coverage.rules,
+                spec.lineage.edges,
+                spec.lineage.roots,
+            );
+        }
+        let r = &report.refinement;
         eprintln!(
-            "ftm-verify: {} edges diffed ({} probes), {} compliant traces sound to round {}, \
-             {} divergent mutants / {} survivors, {} sends vs {} rules",
-            report.diff.edges,
-            report.diff.probes,
-            report.soundness.traces,
-            report.soundness.max_rounds,
-            m.divergent(),
-            m.survivors.len(),
-            report.coverage.sends,
-            report.coverage.rules,
+            "ftm-verify[refinement]: derivation {} sends / {} edges, {} crash traces \
+             lifted over {} steps, {} product states, gain {} ({} witnesses)",
+            r.derivation_sends,
+            r.derivation_edges,
+            r.crash_traces,
+            r.lifted_steps,
+            r.product_states,
+            r.gain,
+            r.gain_witnesses.len(),
         );
     }
 

@@ -18,10 +18,11 @@
 use std::collections::BTreeSet;
 
 use ftm_certify::{MessageKind, Round};
+use ftm_core::spec::ProtocolSpec;
 use ftm_detect::PeerAutomaton;
 use ftm_sim::ProcessId;
 
-use crate::derived::{DerivedAutomaton, Outcome, State};
+use crate::derived::{DerivedAutomaton, Outcome};
 use crate::soundness::{compliant_traces, trace_label, Trace};
 
 /// The single-divergence mutation operators.
@@ -63,7 +64,8 @@ impl Operator {
     }
 
     /// Generates every mutant this operator derives from `base`.
-    fn mutants(&self, base: &Trace, kinds: &[MessageKind]) -> Vec<Trace> {
+    fn mutants(&self, spec: &ProtocolSpec, base: &Trace, kinds: &[MessageKind]) -> Vec<Trace> {
+        let opening = spec.opening;
         let mut out = Vec::new();
         match self {
             Operator::KindSwap => {
@@ -74,10 +76,11 @@ impl Operator {
                             continue;
                         }
                         let mut t = base.clone();
-                        // INIT's wire round is structurally 0; anything
-                        // swapped in at position 0 claims round 1, and an
-                        // INIT swapped in mid-trace claims its fixed 0.
-                        t[p] = (k, if k == MessageKind::Init { 0 } else { r.max(1) });
+                        // The opening's wire round is structurally 0;
+                        // anything swapped in at position 0 claims round 1,
+                        // and an opening swapped in mid-trace claims its
+                        // fixed 0.
+                        t[p] = (k, if Some(k) == opening { 0 } else { r.max(1) });
                         out.push(t);
                     }
                 }
@@ -101,8 +104,8 @@ impl Operator {
             Operator::RoundJump => {
                 for p in 0..base.len() {
                     let (k, r) = base[p];
-                    if k == MessageKind::Init {
-                        continue; // INIT carries no round to jump
+                    if Some(k) == opening {
+                        continue; // the opening carries no round to jump
                     }
                     for jump in [1, 4] {
                         let mut t = base.clone();
@@ -113,10 +116,10 @@ impl Operator {
             }
             Operator::SendAfterDecide => {
                 if let Some(&(last, r)) = base.last() {
-                    if last == MessageKind::Decide {
+                    if last == spec.terminal {
                         for &k in kinds {
                             let mut t = base.clone();
-                            t.push((k, if k == MessageKind::Init { 0 } else { r }));
+                            t.push((k, if Some(k) == opening { 0 } else { r }));
                             out.push(t);
                         }
                     }
@@ -172,8 +175,7 @@ impl MutationReport {
 /// `true` when the derived automaton accepts the whole trace — the mutant
 /// is equivalent to compliant behavior and carries nothing to detect.
 fn spec_compliant(auto: &DerivedAutomaton, trace: &Trace) -> bool {
-    let mut st = State::Start;
-    let mut round = 0;
+    let (mut st, mut round) = auto.initial();
     for &(kind, r) in trace {
         let (outcome, next_state, next_round) = auto.classify(st, round, kind, r);
         if matches!(outcome, Outcome::Convict { .. }) {
@@ -200,12 +202,12 @@ fn hand_kills(trace: &Trace) -> bool {
 /// base trace up to `max_rounds`, deduplicated per operator.
 pub fn check_mutations(auto: &DerivedAutomaton, max_rounds: Round) -> MutationReport {
     let spec = auto.spec();
-    let kinds = [
-        MessageKind::Init,
-        MessageKind::Current,
-        MessageKind::Next,
-        MessageKind::Decide,
-    ];
+    let mut kinds: Vec<MessageKind> = Vec::new();
+    if let Some(k) = spec.opening {
+        kinds.push(k);
+    }
+    kinds.extend(spec.round_slots.iter().map(|s| s.kind));
+    kinds.push(spec.terminal);
     let bases = compliant_traces(spec, max_rounds);
     let mut report = MutationReport {
         max_rounds,
@@ -217,7 +219,7 @@ pub fn check_mutations(auto: &DerivedAutomaton, max_rounds: Round) -> MutationRe
         let mut stats = OperatorStats::default();
         let mut seen: BTreeSet<String> = BTreeSet::new();
         for base in &bases {
-            for mutant in op.mutants(base, &kinds) {
+            for mutant in op.mutants(spec, base, &kinds) {
                 if !seen.insert(trace_label(&mutant)) {
                     continue; // the same mutant arises from several bases
                 }
@@ -242,7 +244,6 @@ pub fn check_mutations(auto: &DerivedAutomaton, max_rounds: Round) -> MutationRe
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftm_core::spec::ProtocolSpec;
 
     #[test]
     fn every_divergent_mutant_is_killed() {

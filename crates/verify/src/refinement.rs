@@ -1,0 +1,508 @@
+//! Refinement: model-checking the crash→Byzantine transformation itself.
+//!
+//! The paper's contribution is a *transformation*, not one protocol — so
+//! checking only the transformed instance leaves the central claim
+//! untested. This module checks the relation between the two specs three
+//! ways:
+//!
+//! 1. **Derivation** — [`ftm_core::spec::transform`] applied to the crash
+//!    spec must reproduce the hand-written transformed spec field by
+//!    field, send by send, and the automata derived from both must agree
+//!    edge by edge. The hand-written Fig. 3 spec is thereby *derived*,
+//!    not trusted.
+//! 2. **Completeness** (no new false positives) — every compliant trace
+//!    of the crash spec, *lifted* into the transformed alphabet by
+//!    prepending the round-0 opening, must be accepted by the transformed
+//!    observer: the transformation never convicts a process that was
+//!    correct under crash semantics. Violations come with a machine-diffed
+//!    witness trace.
+//! 3. **Soundness gain** (strictly more convictions) — a product
+//!    automaton runs both observers in lockstep over the bounded
+//!    reachable state space. Receipts foreign to the crash alphabet
+//!    (INIT) are *projected away* on the crash side; every receipt the
+//!    transformed observer convicts while the crash observer cannot even
+//!    see it — plus every vote the transformed observer rejects before
+//!    the opening — is counted as gain. The gate demands gain > 0 and
+//!    zero simulation breaks (receipts the crash observer accepts but the
+//!    transformed one convicts).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use ftm_certify::{MessageKind, Round};
+use ftm_core::spec::{transform, ProtocolSpec};
+
+use crate::derived::{DerivedAutomaton, Outcome, State};
+use crate::soundness::{compliant_traces, trace_label, Trace};
+use crate::symbol::Symbol;
+
+/// How many gain / violation witnesses are rendered in full (all are
+/// counted; rendering every one would drown the report).
+pub const WITNESS_CAP: usize = 8;
+
+/// Result of the refinement check.
+#[derive(Debug, Clone, Default)]
+pub struct RefinementReport {
+    /// Round bound for trace enumeration and product exploration.
+    pub bound: u64,
+    /// Conditional sends compared between `transform(crash)` and the
+    /// hand-written transformed spec.
+    pub derivation_sends: u64,
+    /// Automaton edges compared between the two derivations.
+    pub derivation_edges: u64,
+    /// Differences between the mechanical derivation and the hand-written
+    /// spec (must be empty).
+    pub derivation_mismatches: Vec<String>,
+    /// Compliant crash traces lifted and replayed.
+    pub crash_traces: u64,
+    /// Receipts stepped during the lifted replay.
+    pub lifted_steps: u64,
+    /// Lifted compliant crash traces the transformed observer convicted
+    /// (must be empty), each with the machine-diffed witness.
+    pub completeness_violations: Vec<String>,
+    /// Product states explored.
+    pub product_states: u64,
+    /// Receipts the crash observer accepts but the transformed observer
+    /// convicts, from a mutually reachable state (must be empty).
+    pub containment_breaks: Vec<String>,
+    /// Receipts the crash observer convicts but the transformed observer
+    /// accepts — lost detection power on the shared alphabet (must be
+    /// empty).
+    pub detection_regressions: Vec<String>,
+    /// Behaviors only the transformed observer convicts (must be > 0:
+    /// the transformation strictly gains detection power).
+    pub gain: u64,
+    /// Rendered gain witnesses (first [`WITNESS_CAP`]).
+    pub gain_witnesses: Vec<String>,
+}
+
+impl RefinementReport {
+    /// `true` when the derivation matches, completeness holds, the
+    /// product simulation never breaks, and the gain is strict.
+    pub fn ok(&self) -> bool {
+        self.derivation_mismatches.is_empty()
+            && self.derivation_sends > 0
+            && self.derivation_edges > 0
+            && self.completeness_violations.is_empty()
+            && self.crash_traces > 0
+            && self.containment_breaks.is_empty()
+            && self.detection_regressions.is_empty()
+            && self.product_states > 0
+            && self.gain > 0
+    }
+}
+
+/// Runs the full refinement check between `crash` and `transformed`.
+pub fn check_refinement(
+    crash: &ProtocolSpec,
+    transformed: &ProtocolSpec,
+    bound: Round,
+) -> RefinementReport {
+    let mut report = RefinementReport {
+        bound,
+        ..RefinementReport::default()
+    };
+    check_derivation(crash, transformed, &mut report);
+    check_completeness(crash, transformed, bound, &mut report);
+    check_product(crash, transformed, bound, &mut report);
+    report
+}
+
+/// `transform(crash) ≡ transformed`, field by field and edge by edge.
+fn check_derivation(crash: &ProtocolSpec, hand: &ProtocolSpec, report: &mut RefinementReport) {
+    let derived = transform(crash);
+
+    if derived.opening != hand.opening {
+        report.derivation_mismatches.push(format!(
+            "opening: derived {:?}, hand-written {:?}",
+            derived.opening, hand.opening
+        ));
+    }
+    if derived.terminal != hand.terminal {
+        report.derivation_mismatches.push(format!(
+            "terminal: derived {}, hand-written {}",
+            derived.terminal, hand.terminal
+        ));
+    }
+    if derived.round_advance != hand.round_advance {
+        report.derivation_mismatches.push(format!(
+            "round-advance: derived {}, hand-written {}",
+            derived.round_advance, hand.round_advance
+        ));
+    }
+    if derived.round_slots != hand.round_slots {
+        report.derivation_mismatches.push(format!(
+            "round slots: derived {:?}, hand-written {:?}",
+            derived.round_slots, hand.round_slots
+        ));
+    }
+
+    report.derivation_sends = hand.sends.len().max(derived.sends.len()) as u64;
+    if derived.sends.len() != hand.sends.len() {
+        report.derivation_mismatches.push(format!(
+            "send table size: derived {}, hand-written {}",
+            derived.sends.len(),
+            hand.sends.len()
+        ));
+    }
+    for (d, h) in derived.sends.iter().zip(hand.sends.iter()) {
+        if d != h {
+            report.derivation_mismatches.push(format!(
+                "send `{}`: derived {d:?}, hand-written {h:?}",
+                h.id
+            ));
+        }
+    }
+
+    // Edge-by-edge automaton diff — only meaningful once the alphabets
+    // agree, which the scalar comparison above establishes.
+    if derived.opening == hand.opening
+        && derived.round_slots == hand.round_slots
+        && derived.terminal == hand.terminal
+    {
+        let auto_d = DerivedAutomaton::from_spec(&derived);
+        let auto_h = DerivedAutomaton::from_spec(hand);
+        for &state in auto_h.states() {
+            for symbol in Symbol::alphabet(hand) {
+                report.derivation_edges += 1;
+                let ed = auto_d.edges_for(state, symbol);
+                let eh = auto_h.edges_for(state, symbol);
+                if ed.len() != eh.len() || ed.iter().zip(eh.iter()).any(|(a, b)| a != b) {
+                    report.derivation_mismatches.push(format!(
+                        "edge {} × {}: derived and hand-written automata disagree",
+                        state.label(),
+                        symbol.label(hand)
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Lifts a crash trace into the transformed alphabet: the round-0 opening
+/// is prepended (the vector-certification phase every transformed process
+/// runs before round 1).
+pub fn lift(transformed: &ProtocolSpec, crash_trace: &Trace) -> Trace {
+    let mut out: Trace = transformed
+        .opening
+        .map(|k| vec![(k, 0)])
+        .unwrap_or_default();
+    out.extend(crash_trace.iter().copied());
+    out
+}
+
+/// Every compliant crash trace, lifted, must be transformed-compliant.
+fn check_completeness(
+    crash: &ProtocolSpec,
+    hand: &ProtocolSpec,
+    bound: Round,
+    report: &mut RefinementReport,
+) {
+    let trans_auto = DerivedAutomaton::from_spec(hand);
+    for trace in compliant_traces(crash, bound) {
+        report.crash_traces += 1;
+        let lifted = lift(hand, &trace);
+        let (mut st, mut round) = trans_auto.initial();
+        for (idx, &(kind, r)) in lifted.iter().enumerate() {
+            report.lifted_steps += 1;
+            let (outcome, ns, nr) = trans_auto.classify(st, round, kind, r);
+            if let Outcome::Convict { why } = outcome {
+                report.completeness_violations.push(format!(
+                    "crash [{}] lifts to [{}]: step {idx} {kind}({r}) convicted in {}@{round}: \
+                     {why}",
+                    trace_label(&trace),
+                    trace_label(&lifted),
+                    st.label(),
+                ));
+                break;
+            }
+            st = ns;
+            round = nr;
+        }
+    }
+}
+
+/// One product state: the crash observer's `(state, round)` paired with
+/// the transformed observer's.
+type ProductKey = ((State, Round), (State, Round));
+
+/// Product-automaton exploration: containment breaks, regressions, gain.
+fn check_product(
+    crash: &ProtocolSpec,
+    hand: &ProtocolSpec,
+    bound: Round,
+    report: &mut RefinementReport,
+) {
+    let crash_auto = DerivedAutomaton::from_spec(crash);
+    let trans_auto = DerivedAutomaton::from_spec(hand);
+
+    // Pre-round gain: votes and decisions before the opening. These sit
+    // outside the lift image (the product below pairs states *after* the
+    // opening), so they are checked directly: the transformed observer
+    // must convict any kind arriving at `start` that is not the opening,
+    // while the crash observer — which has no notion of "unopened" —
+    // accepts the same receipt from its initial state.
+    if hand.opening.is_some() {
+        let (ts, tr) = trans_auto.initial();
+        let (cs, cr) = crash_auto.initial();
+        for slot in &hand.round_slots {
+            let (t_out, _, _) = trans_auto.classify(ts, tr, slot.kind, 1);
+            let (c_out, _, _) = crash_auto.classify(cs, cr, slot.kind, 1);
+            if let (Outcome::Convict { why }, Outcome::Accept { .. }) = (&t_out, &c_out) {
+                report.gain += 1;
+                if report.gain_witnesses.len() < WITNESS_CAP {
+                    report.gain_witnesses.push(format!(
+                        "[{}(1)] before the opening: transformed convicts ({why}), crash \
+                         accepts",
+                        slot.kind
+                    ));
+                }
+            }
+        }
+    }
+
+    // The transformed side consumes the lifted opening before lockstep.
+    let mut trans_state = trans_auto.initial();
+    if let Some(k) = hand.opening {
+        let (out, ns, nr) = trans_auto.classify(trans_state.0, trans_state.1, k, 0);
+        assert!(
+            matches!(out, Outcome::Accept { .. }),
+            "the transformed observer rejects its own opening"
+        );
+        trans_state = (ns, nr);
+    }
+    let start: ProductKey = (crash_auto.initial(), trans_state);
+
+    // The receipt kinds of the *transformed* alphabet (the superset).
+    let mut kinds: Vec<MessageKind> = Vec::new();
+    if let Some(k) = hand.opening {
+        kinds.push(k);
+    }
+    kinds.extend(hand.round_slots.iter().map(|s| s.kind));
+    kinds.push(hand.terminal);
+
+    let mut visited: BTreeSet<ProductKey> = BTreeSet::new();
+    let mut parent: BTreeMap<ProductKey, (ProductKey, (MessageKind, Round))> = BTreeMap::new();
+    let mut queue: VecDeque<ProductKey> = VecDeque::new();
+    visited.insert(start);
+    queue.push_back(start);
+
+    while let Some(key) = queue.pop_front() {
+        report.product_states += 1;
+        let ((cs, cr), (ts, tr)) = key;
+        for &kind in &kinds {
+            for r in receipt_rounds(cr, tr, bound, Some(kind) == hand.opening) {
+                let (t_out, tns, tnr) = trans_auto.classify(ts, tr, kind, r);
+                let crash_sees = crash.knows_kind(kind);
+                let c_step = if crash_sees {
+                    Some(crash_auto.classify(cs, cr, kind, r))
+                } else {
+                    None
+                };
+                match (&c_step, &t_out) {
+                    // Foreign receipt convicted by the transformed
+                    // observer alone: pure gain.
+                    (None, Outcome::Convict { why }) => {
+                        report.gain += 1;
+                        if report.gain_witnesses.len() < WITNESS_CAP {
+                            report.gain_witnesses.push(render_witness(
+                                &parent,
+                                key,
+                                kind,
+                                r,
+                                &format!("transformed convicts ({why}), crash cannot see {kind}"),
+                            ));
+                        }
+                    }
+                    // Foreign receipt accepted: only the transformed side
+                    // moves.
+                    (None, Outcome::Accept { .. }) => {
+                        let next = ((cs, cr), (tns, tnr));
+                        if tnr <= bound && visited.insert(next) {
+                            parent.insert(next, (key, (kind, r)));
+                            queue.push_back(next);
+                        }
+                    }
+                    (Some((Outcome::Accept { .. }, cns, cnr)), Outcome::Convict { why }) => {
+                        report.containment_breaks.push(render_witness(
+                            &parent,
+                            key,
+                            kind,
+                            r,
+                            &format!(
+                                "crash accepts into {}@{cnr}, transformed convicts ({why})",
+                                cns.label()
+                            ),
+                        ));
+                    }
+                    (Some((Outcome::Convict { why }, _, _)), Outcome::Accept { .. }) => {
+                        report.detection_regressions.push(render_witness(
+                            &parent,
+                            key,
+                            kind,
+                            r,
+                            &format!(
+                                "crash convicts ({why}), transformed accepts into {}@{tnr}",
+                                tns.label()
+                            ),
+                        ));
+                    }
+                    (Some((Outcome::Accept { .. }, cns, cnr)), Outcome::Accept { .. }) => {
+                        let next = ((*cns, *cnr), (tns, tnr));
+                        if *cnr <= bound && tnr <= bound && visited.insert(next) {
+                            parent.insert(next, (key, (kind, r)));
+                            queue.push_back(next);
+                        }
+                    }
+                    // Both convict: the observers agree the receipt is
+                    // faulty — no refinement information.
+                    (Some((Outcome::Convict { .. }, _, _)), Outcome::Convict { .. }) => {}
+                }
+            }
+        }
+    }
+}
+
+/// Concrete message rounds probing every round delta of both observers.
+fn receipt_rounds(cr: Round, tr: Round, bound: Round, is_opening: bool) -> Vec<Round> {
+    if is_opening {
+        return vec![0]; // the opening's wire round is structurally 0
+    }
+    let mut out: Vec<Round> = [
+        0,
+        cr.saturating_sub(1),
+        cr,
+        cr + 1,
+        cr + 2,
+        tr.saturating_sub(1),
+        tr,
+        tr + 1,
+        tr + 2,
+    ]
+    .into_iter()
+    .filter(|r| *r <= bound + 2)
+    .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Renders the receipt path leading to `key` plus the offending receipt —
+/// the machine-diffed witness trace.
+fn render_witness(
+    parent: &BTreeMap<ProductKey, (ProductKey, (MessageKind, Round))>,
+    key: ProductKey,
+    kind: MessageKind,
+    r: Round,
+    verdict: &str,
+) -> String {
+    let mut path: Trace = Vec::new();
+    let mut cur = key;
+    while let Some((prev, receipt)) = parent.get(&cur) {
+        path.push(*receipt);
+        cur = *prev;
+    }
+    path.reverse();
+    let ((cs, cr), (ts, tr)) = key;
+    format!(
+        "after [{}] (crash {}@{cr}, transformed {}@{tr}): {kind}({r}) — {verdict}",
+        trace_label(&path),
+        cs.label(),
+        ts.label(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_report() -> RefinementReport {
+        check_refinement(&ProtocolSpec::crash_hr(), &ProtocolSpec::transformed(), 4)
+    }
+
+    #[test]
+    fn the_hr_transformation_refines_clean_with_strict_gain() {
+        let report = default_report();
+        assert!(
+            report.derivation_mismatches.is_empty(),
+            "{:?}",
+            report.derivation_mismatches
+        );
+        assert!(
+            report.completeness_violations.is_empty(),
+            "{:?}",
+            report.completeness_violations
+        );
+        assert!(
+            report.containment_breaks.is_empty(),
+            "{:?}",
+            report.containment_breaks
+        );
+        assert!(
+            report.detection_regressions.is_empty(),
+            "{:?}",
+            report.detection_regressions
+        );
+        assert!(report.gain > 0, "the transformation must gain detections");
+        assert!(report.ok());
+        assert!(report.crash_traces > 50, "got {}", report.crash_traces);
+        assert!(report.product_states > 10, "got {}", report.product_states);
+    }
+
+    #[test]
+    fn gain_witnesses_include_the_opening_discipline() {
+        let report = default_report();
+        let all = report.gain_witnesses.join("\n");
+        assert!(
+            all.contains("before the opening"),
+            "expected a pre-opening gain witness:\n{all}"
+        );
+        assert!(
+            all.contains("crash cannot see INIT"),
+            "expected a duplicate-INIT gain witness:\n{all}"
+        );
+    }
+
+    #[test]
+    fn witness_rendering_is_byte_stable() {
+        let a = default_report();
+        let b = default_report();
+        assert_eq!(a.gain_witnesses, b.gain_witnesses);
+        assert_eq!(a.gain, b.gain);
+        assert_eq!(a.product_states, b.product_states);
+    }
+
+    #[test]
+    fn a_round_advance_divergence_breaks_completeness_with_a_witness() {
+        // A crash spec that legally advances two rounds at a time produces
+        // compliant traces the transformed observer convicts as round
+        // skips — refinement must fail with a lifted witness trace.
+        let mut crash = ProtocolSpec::crash_hr();
+        crash.round_advance = 2;
+        let report = check_refinement(&crash, &ProtocolSpec::transformed(), 4);
+        assert!(!report.ok());
+        assert!(
+            !report.completeness_violations.is_empty(),
+            "expected completeness violations"
+        );
+        assert!(
+            report.completeness_violations[0].contains("lifts to"),
+            "witness must show the lift: {}",
+            report.completeness_violations[0]
+        );
+    }
+
+    #[test]
+    fn a_send_table_divergence_is_a_derivation_mismatch() {
+        let mut crash = ProtocolSpec::crash_hr();
+        crash.sends[0].carries_value = false;
+        let report = check_refinement(&crash, &ProtocolSpec::transformed(), 3);
+        assert!(
+            report
+                .derivation_mismatches
+                .iter()
+                .any(|m| m.contains("current-coordinator")),
+            "{:?}",
+            report.derivation_mismatches
+        );
+    }
+}

@@ -2,70 +2,109 @@
 //!
 //! The document is built with [`ftm_sim::report::Json`], the same
 //! byte-stable integer-only model the sweep harness emits — CI treats the
-//! two uniformly and can diff reports across commits.
+//! two uniformly and can diff reports across commits. The top level holds
+//! one section per verified spec plus the cross-spec refinement section:
+//!
+//! ```text
+//! { "specs": { "transformed": {…}, "crash": {…}, "derived": {…} },
+//!   "refinement": {…}, "ok": true }
+//! ```
 
 use ftm_sim::report::Json;
 
 use crate::checks::{DeterminismReport, TotalityReport};
 use crate::coverage::CoverageReport;
 use crate::diff::DiffReport;
+use crate::lineage::LineageReport;
 use crate::mutation::MutationReport;
+use crate::refinement::RefinementReport;
 use crate::soundness::SoundnessReport;
 
-/// Everything `ftm-verify` proved (or failed to prove) in one run.
+fn strings(v: &[String]) -> Json {
+    Json::Arr(v.iter().map(|s| Json::Str(s.clone())).collect())
+}
+
+/// Everything `ftm-verify` proved (or failed to prove) about one spec.
 #[derive(Debug, Clone)]
-pub struct VerifyReport {
+pub struct SpecReport {
     /// Determinism of the derived transition relation.
     pub determinism: DeterminismReport,
     /// Totality of the derived transition relation.
     pub totality: TotalityReport,
-    /// Derived vs. hand-written automaton diff.
-    pub diff: DiffReport,
+    /// Derived vs. hand-written automaton diff — only for specs that
+    /// project onto the hand-written Fig. 4 shape.
+    pub diff: Option<DiffReport>,
     /// Bounded soundness over compliant traces.
     pub soundness: SoundnessReport,
-    /// Static mutation analysis (detection completeness).
-    pub mutation: MutationReport,
+    /// Static mutation analysis (detection completeness) — needs the
+    /// hand-written reference as the killer, so only for Fig. 4 specs.
+    pub mutation: Option<MutationReport>,
     /// Certificate-rule coverage.
     pub coverage: CoverageReport,
+    /// Certificate-lineage flow analysis.
+    pub lineage: LineageReport,
 }
 
-impl VerifyReport {
-    /// `true` when every check passed with nothing vacuous: the CI gate.
+impl SpecReport {
+    /// `true` when every check that ran passed with nothing vacuous.
     pub fn ok(&self) -> bool {
         self.determinism.conflicts.is_empty()
             && self.determinism.pairs > 0
             && self.totality.gaps.is_empty()
             && self.totality.pairs > 0
-            && self.diff.mismatches.is_empty()
-            && self.diff.probes > 0
+            && self
+                .diff
+                .as_ref()
+                .is_none_or(|d| d.mismatches.is_empty() && d.probes > 0)
             && self.soundness.false_convictions.is_empty()
             && self.soundness.requirement_mismatches.is_empty()
             && self.soundness.traces > 0
-            && self.mutation.all_killed()
+            && self
+                .mutation
+                .as_ref()
+                .is_none_or(MutationReport::all_killed)
             && self.coverage.ok()
+            && self.lineage.ok()
     }
 
-    /// Renders the report as the byte-stable JSON document.
+    /// Renders this spec's section of the JSON document.
     pub fn to_json(&self) -> Json {
-        let strings = |v: &[String]| Json::Arr(v.iter().map(|s| Json::Str(s.clone())).collect());
-
-        let mutation_ops = Json::Obj(
-            self.mutation
-                .operators
-                .iter()
-                .map(|(op, s)| {
-                    (
-                        op.label().to_string(),
-                        Json::Obj(vec![
-                            ("generated".into(), Json::U64(s.generated)),
-                            ("equivalent".into(), Json::U64(s.equivalent)),
-                            ("killed".into(), Json::U64(s.killed)),
-                            ("survived".into(), Json::U64(s.survived)),
-                        ]),
-                    )
-                })
-                .collect(),
-        );
+        let diff = match &self.diff {
+            None => Json::Null,
+            Some(d) => Json::Obj(vec![
+                ("edges".into(), Json::U64(d.edges)),
+                ("probes".into(), Json::U64(d.probes)),
+                ("mismatches".into(), strings(&d.mismatches)),
+            ]),
+        };
+        let mutation = match &self.mutation {
+            None => Json::Null,
+            Some(m) => {
+                let ops = Json::Obj(
+                    m.operators
+                        .iter()
+                        .map(|(op, s)| {
+                            (
+                                op.label().to_string(),
+                                Json::Obj(vec![
+                                    ("generated".into(), Json::U64(s.generated)),
+                                    ("equivalent".into(), Json::U64(s.equivalent)),
+                                    ("killed".into(), Json::U64(s.killed)),
+                                    ("survived".into(), Json::U64(s.survived)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                );
+                Json::Obj(vec![
+                    ("round-bound".into(), Json::U64(m.max_rounds)),
+                    ("bases".into(), Json::U64(m.bases)),
+                    ("divergent".into(), Json::U64(m.divergent())),
+                    ("operators".into(), ops),
+                    ("survivors".into(), strings(&m.survivors)),
+                ])
+            }
+        };
 
         Json::Obj(vec![
             (
@@ -82,20 +121,17 @@ impl VerifyReport {
                     ("gaps".into(), strings(&self.totality.gaps)),
                 ]),
             ),
-            (
-                "automaton-diff".into(),
-                Json::Obj(vec![
-                    ("edges".into(), Json::U64(self.diff.edges)),
-                    ("probes".into(), Json::U64(self.diff.probes)),
-                    ("mismatches".into(), strings(&self.diff.mismatches)),
-                ]),
-            ),
+            ("automaton-diff".into(), diff),
             (
                 "soundness".into(),
                 Json::Obj(vec![
                     ("round-bound".into(), Json::U64(self.soundness.max_rounds)),
                     ("traces".into(), Json::U64(self.soundness.traces)),
                     ("steps".into(), Json::U64(self.soundness.steps)),
+                    (
+                        "hand-checked".into(),
+                        Json::Bool(self.soundness.hand_checked),
+                    ),
                     (
                         "false-convictions".into(),
                         strings(&self.soundness.false_convictions),
@@ -106,21 +142,16 @@ impl VerifyReport {
                     ),
                 ]),
             ),
-            (
-                "mutation".into(),
-                Json::Obj(vec![
-                    ("round-bound".into(), Json::U64(self.mutation.max_rounds)),
-                    ("bases".into(), Json::U64(self.mutation.bases)),
-                    ("divergent".into(), Json::U64(self.mutation.divergent())),
-                    ("operators".into(), mutation_ops),
-                    ("survivors".into(), strings(&self.mutation.survivors)),
-                ]),
-            ),
+            ("mutation".into(), mutation),
             (
                 "certificate-coverage".into(),
                 Json::Obj(vec![
                     ("sends".into(), Json::U64(self.coverage.sends)),
                     ("rules".into(), Json::U64(self.coverage.rules)),
+                    (
+                        "trusted-sends".into(),
+                        Json::U64(self.coverage.trusted_sends),
+                    ),
                     (
                         "uncovered-sends".into(),
                         strings(&self.coverage.uncovered_sends),
@@ -132,6 +163,90 @@ impl VerifyReport {
                     ),
                 ]),
             ),
+            (
+                "lineage".into(),
+                Json::Obj(vec![
+                    ("sends".into(), Json::U64(self.lineage.sends)),
+                    ("edges".into(), Json::U64(self.lineage.edges)),
+                    ("roots".into(), Json::U64(self.lineage.roots)),
+                    ("trusted".into(), Json::Bool(self.lineage.trusted)),
+                    ("dangling".into(), strings(&self.lineage.dangling)),
+                    ("unjustified".into(), strings(&self.lineage.unjustified)),
+                    ("dead-routes".into(), strings(&self.lineage.dead_routes)),
+                    ("cycles".into(), strings(&self.lineage.cycles)),
+                ]),
+            ),
+            ("ok".into(), Json::Bool(self.ok())),
+        ])
+    }
+}
+
+/// The full multi-spec run: one section per spec plus the refinement.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Per-spec reports, keyed by spec label, in CLI order.
+    pub specs: Vec<(&'static str, SpecReport)>,
+    /// The cross-spec refinement check.
+    pub refinement: RefinementReport,
+}
+
+impl VerifyReport {
+    /// `true` when every per-spec check and the refinement passed: the CI
+    /// gate.
+    pub fn ok(&self) -> bool {
+        !self.specs.is_empty() && self.specs.iter().all(|(_, s)| s.ok()) && self.refinement.ok()
+    }
+
+    /// The report for the spec labelled `label`, if it was verified.
+    pub fn spec(&self, label: &str) -> Option<&SpecReport> {
+        self.specs.iter().find(|(l, _)| *l == label).map(|(_, s)| s)
+    }
+
+    /// Renders the report as the byte-stable JSON document.
+    pub fn to_json(&self) -> Json {
+        let specs = Json::Obj(
+            self.specs
+                .iter()
+                .map(|(label, s)| ((*label).to_string(), s.to_json()))
+                .collect(),
+        );
+        let r = &self.refinement;
+        let refinement = Json::Obj(vec![
+            ("bound".into(), Json::U64(r.bound)),
+            (
+                "derivation".into(),
+                Json::Obj(vec![
+                    ("sends".into(), Json::U64(r.derivation_sends)),
+                    ("edges".into(), Json::U64(r.derivation_edges)),
+                    ("mismatches".into(), strings(&r.derivation_mismatches)),
+                ]),
+            ),
+            (
+                "completeness".into(),
+                Json::Obj(vec![
+                    ("crash-traces".into(), Json::U64(r.crash_traces)),
+                    ("lifted-steps".into(), Json::U64(r.lifted_steps)),
+                    ("violations".into(), strings(&r.completeness_violations)),
+                ]),
+            ),
+            (
+                "soundness-gain".into(),
+                Json::Obj(vec![
+                    ("product-states".into(), Json::U64(r.product_states)),
+                    ("containment-breaks".into(), strings(&r.containment_breaks)),
+                    (
+                        "detection-regressions".into(),
+                        strings(&r.detection_regressions),
+                    ),
+                    ("gain".into(), Json::U64(r.gain)),
+                    ("gain-witnesses".into(), strings(&r.gain_witnesses)),
+                ]),
+            ),
+            ("ok".into(), Json::Bool(r.ok())),
+        ]);
+        Json::Obj(vec![
+            ("specs".into(), specs),
+            ("refinement".into(), refinement),
             ("ok".into(), Json::Bool(self.ok())),
         ])
     }

@@ -73,10 +73,13 @@ pub enum Symbol {
 }
 
 impl Symbol {
-    /// The full alphabet for `spec`: opening + slots × deltas + terminal
-    /// × deltas.
+    /// The full alphabet for `spec`: opening (when the spec has one) +
+    /// slots × deltas + terminal × deltas.
     pub fn alphabet(spec: &ProtocolSpec) -> Vec<Symbol> {
-        let mut out = vec![Symbol::Opening];
+        let mut out = Vec::new();
+        if spec.opening.is_some() {
+            out.push(Symbol::Opening);
+        }
         for slot in &spec.round_slots {
             for d in RoundDelta::all() {
                 out.push(Symbol::Vote(slot.kind, d));
@@ -96,7 +99,7 @@ impl Symbol {
         kind: MessageKind,
         msg_round: Round,
     ) -> Symbol {
-        if kind == spec.opening {
+        if Some(kind) == spec.opening {
             Symbol::Opening
         } else if kind == spec.terminal {
             Symbol::Terminal(RoundDelta::of(spec, observer_round, msg_round))
@@ -114,9 +117,14 @@ impl Symbol {
     }
 
     /// The wire kind the symbol stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Symbol::Opening`] against a spec with no opening kind
+    /// (the symbol is not in that spec's alphabet).
     pub fn kind(&self, spec: &ProtocolSpec) -> MessageKind {
         match self {
-            Symbol::Opening => spec.opening,
+            Symbol::Opening => spec.opening.expect("opening symbol needs an opening kind"),
             Symbol::Vote(k, _) => *k,
             Symbol::Terminal(_) => spec.terminal,
         }
@@ -153,9 +161,16 @@ impl Symbol {
     }
 
     /// Report label, e.g. `CURRENT@succ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Symbol::Opening`] against a spec with no opening kind.
     pub fn label(&self, spec: &ProtocolSpec) -> String {
         match self {
-            Symbol::Opening => format!("{}@open", spec.opening),
+            Symbol::Opening => format!(
+                "{}@open",
+                spec.opening.expect("opening symbol needs an opening kind")
+            ),
             Symbol::Vote(k, d) => format!("{k}@{}", d.label()),
             Symbol::Terminal(d) => format!("{}@{}", spec.terminal, d.label()),
         }
@@ -191,6 +206,17 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn an_opening_less_spec_drops_the_opening_symbol() {
+        let crash = ProtocolSpec::crash_hr();
+        let a = Symbol::alphabet(&crash);
+        // 2 slots × 4 deltas + terminal × 4 deltas, no opening.
+        assert_eq!(a.len(), 12);
+        assert!(!a.contains(&Symbol::Opening));
+        // INIT is foreign to the crash alphabet: classified as nothing.
+        assert!(!crash.knows_kind(MessageKind::Init));
     }
 
     #[test]
