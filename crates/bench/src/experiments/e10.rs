@@ -18,7 +18,7 @@ const THREADS: usize = 4;
 /// Runs E10 and renders its markdown section.
 pub fn run() -> String {
     let matrix = ScenarioMatrix::new(
-        vec![(4, 1), (5, 2), (7, 3)],
+        ScenarioMatrix::default_systems(),
         vec![
             FaultBehavior::Honest,
             FaultBehavior::Crash,
@@ -27,17 +27,20 @@ pub fn run() -> String {
             FaultBehavior::WrongKey,
             FaultBehavior::StripCertificates,
         ],
-    );
+    )
+    .cross_protocols();
     let report = sweep_matrix_repeated(&matrix, REPEATS, BASE_SEED, THREADS);
 
     let mut out = String::from(
         "## E10 — Scenario sweep: per-layer cost across the fault matrix\n\n\
          5 seeded runs per cell via the parallel sweep harness (base seed\n\
-         0xE10). Byte columns are medians, split by module layer: the\n\
-         signature module, the certification module (carried evidence) and\n\
-         the protocol core. `detect` is the median conviction count; `ok`\n\
-         counts runs where Agreement, Termination and Vector Validity all\n\
-         held for the correct processes.\n\n",
+         0xE10), over the default system ladder up to n = 31 and both\n\
+         transformed protocol instances (`hr` = Hurfin–Raynal, `ct` =\n\
+         Chandra–Toueg). Byte columns are medians, split by module layer:\n\
+         the signature module, the certification module (carried evidence)\n\
+         and the protocol core. `detect` is the median conviction count;\n\
+         `ok` counts runs where Agreement, Termination and Vector Validity\n\
+         all held for the correct processes.\n\n",
     );
 
     let mut t = Table::new([

@@ -30,7 +30,7 @@ use ftm_sim::ProcessId;
 
 use crate::certificate::Certificate;
 use crate::error::{CertifyError, FaultClass};
-use crate::message::{Core, MessageKind, Round, ValueVector};
+use crate::message::{Core, MessageKind, ProtocolId, Round, ValueVector};
 use crate::signed::Envelope;
 
 /// Which of the three legal conditions triggered a `NEXT` message.
@@ -63,10 +63,13 @@ pub struct CertChecker {
     n: usize,
     f: usize,
     dir: KeyDirectory,
+    protocol: ProtocolId,
 }
 
 impl CertChecker {
-    /// Creates a checker for `n` processes tolerating `f` faults.
+    /// Creates a checker for `n` processes tolerating `f` faults,
+    /// enforcing the Hurfin–Raynal rule table (see
+    /// [`CertChecker::new_for`] for other protocols).
     ///
     /// # Panics
     ///
@@ -74,13 +77,32 @@ impl CertChecker {
     /// bound; beyond it quorums of size `n−F` stop intersecting in a
     /// correct process).
     pub fn new(n: usize, f: usize, dir: KeyDirectory) -> Self {
+        CertChecker::new_for(ProtocolId::HurfinRaynal, n, f, dir)
+    }
+
+    /// Creates a checker enforcing the rule table of `protocol`.
+    ///
+    /// # Panics
+    ///
+    /// Same bounds as [`CertChecker::new`].
+    pub fn new_for(protocol: ProtocolId, n: usize, f: usize, dir: KeyDirectory) -> Self {
         assert!(n >= 1, "need at least one process");
         assert!(
             f <= (n - 1) / 2,
             "F = {f} exceeds the resilience bound ⌊(n−1)/2⌋ = {}",
             (n - 1) / 2
         );
-        CertChecker { n, f, dir }
+        CertChecker {
+            n,
+            f,
+            dir,
+            protocol,
+        }
+    }
+
+    /// The protocol whose rule table this checker enforces.
+    pub fn protocol(&self) -> ProtocolId {
+        self.protocol
     }
 
     /// Number of processes.
@@ -132,6 +154,10 @@ impl CertChecker {
             Core::Current { .. } => self.check_current(env),
             Core::Next { .. } => self.check_next(env).map(|_| ()),
             Core::Decide { .. } => self.check_decide(env),
+            Core::Estimate { .. } => self.check_estimate(env),
+            Core::Propose { .. } => self.check_propose(env),
+            Core::Ack { .. } => self.check_ack(env),
+            Core::Nack { .. } => self.check_nack(env),
         }
     }
 
@@ -145,16 +171,25 @@ impl CertChecker {
         }
         match env.core() {
             Core::Init { .. } => Ok(()),
-            Core::Current { round, vector } | Core::Decide { round, vector } => {
+            Core::Current { round, vector }
+            | Core::Decide { round, vector }
+            | Core::Estimate { round, vector, .. }
+            | Core::Propose { round, vector }
+            | Core::Ack { round, vector } => {
                 if *round < 1 {
                     return bad("round 0 carries no votes");
                 }
                 if vector.len() != self.n {
                     return bad("estimate vector has wrong width");
                 }
+                if let Core::Estimate { ts, .. } = env.core() {
+                    if *ts >= *round {
+                        return bad("estimate timestamp is not from an earlier round");
+                    }
+                }
                 Ok(())
             }
-            Core::Next { round } => {
+            Core::Next { round } | Core::Nack { round } => {
                 if *round < 1 {
                     return bad("round 0 carries no votes");
                 }
@@ -239,6 +274,29 @@ impl CertChecker {
                 culprit,
                 FaultClass::BadCertificate,
                 "round entry lacks n−F signed NEXT votes for the previous round",
+            ));
+        }
+        Ok(())
+    }
+
+    /// CT round-entry evidence: entering round `round > 1` requires `n−F`
+    /// distinct signed `ACK(round−1)` or `NACK(round−1)` (the CT analogue
+    /// of [`CertChecker::next_portion_well_formed`]); round 1 needs
+    /// nothing.
+    pub fn ct_round_entry_well_formed(
+        &self,
+        cert: &Certificate,
+        round: Round,
+        culprit: ProcessId,
+    ) -> Result<(), CertifyError> {
+        if round <= 1 {
+            return Ok(());
+        }
+        if cert.ct_votes(round - 1).len() < self.quorum() {
+            return Err(CertifyError::new(
+                culprit,
+                FaultClass::BadCertificate,
+                "round entry lacks n−F signed ACK/NACK votes for the previous round",
             ));
         }
         Ok(())
@@ -331,8 +389,147 @@ impl CertChecker {
         ))
     }
 
-    /// DECIDE rule: `n−F` distinct signed `CURRENT(round, vect)` with the
-    /// decided vector (§5.1; see module docs for the Fig. 3 discrepancy).
+    /// ESTIMATE rules: the INIT-portion witnesses the vector; a claimed
+    /// adoption timestamp `ts > 0` must be backed by `coordinator(ts)`'s
+    /// own signed `PROPOSE(ts, vect)` (this is what makes CT's
+    /// max-timestamp adoption rule auditable); entering round `r > 1`
+    /// requires the ACK/NACK round-entry evidence.
+    pub fn check_estimate(&self, env: &Envelope) -> Result<(), CertifyError> {
+        let Core::Estimate { round, vector, ts } = env.core() else {
+            return Err(CertifyError::new(
+                env.sender(),
+                FaultClass::WrongSyntax,
+                "check_estimate on a non-ESTIMATE message",
+            ));
+        };
+        let culprit = env.sender();
+        self.init_portion_well_formed(&env.cert, vector, culprit)?;
+        if *ts > 0
+            && env
+                .cert
+                .find_vouching(MessageKind::Propose, self.coordinator(*ts), *ts, vector)
+                .is_none()
+        {
+            return Err(CertifyError::new(
+                culprit,
+                FaultClass::BadCertificate,
+                "estimate timestamp lacks the ts-coordinator's signed PROPOSE for this vector",
+            ));
+        }
+        self.ct_round_entry_well_formed(&env.cert, *round, culprit)
+    }
+
+    /// PROPOSE rules: only the round coordinator proposes; the certificate
+    /// carries `n−F` signed `ESTIMATE(r)` and the proposed vector equals
+    /// the vector of a maximum-timestamp estimate among them (CT's
+    /// adoption rule), with its INIT backing.
+    pub fn check_propose(&self, env: &Envelope) -> Result<(), CertifyError> {
+        let Core::Propose { round, vector } = env.core() else {
+            return Err(CertifyError::new(
+                env.sender(),
+                FaultClass::WrongSyntax,
+                "check_propose on a non-PROPOSE message",
+            ));
+        };
+        let culprit = env.sender();
+        if env.sender() != self.coordinator(*round) {
+            return Err(CertifyError::new(
+                culprit,
+                FaultClass::BadCertificate,
+                "PROPOSE from a process that is not the round coordinator",
+            ));
+        }
+        self.init_portion_well_formed(&env.cert, vector, culprit)?;
+        if env.cert.count(MessageKind::Estimate, *round) < self.quorum() {
+            return Err(CertifyError::new(
+                culprit,
+                FaultClass::BadCertificate,
+                "PROPOSE lacks n−F signed ESTIMATE votes for this round",
+            ));
+        }
+        let max_ts = env
+            .cert
+            .iter_kind_round(MessageKind::Estimate, *round)
+            .filter_map(|i| match &i.core().core {
+                Core::Estimate { ts, .. } => Some(*ts),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let adopted = env
+            .cert
+            .iter_kind_round(MessageKind::Estimate, *round)
+            .any(|i| {
+                matches!(&i.core().core, Core::Estimate { ts, vector: v, .. }
+                    if *ts == max_ts && v == vector)
+            });
+        if !adopted {
+            return Err(CertifyError::new(
+                culprit,
+                FaultClass::BadCertificate,
+                "proposed vector is not a maximum-timestamp estimate from the certificate",
+            ));
+        }
+        Ok(())
+    }
+
+    /// ACK rules: the echo must quote the round coordinator's own signed
+    /// `PROPOSE(r, vect)` for exactly the acknowledged vector (no
+    /// substituted proposal).
+    pub fn check_ack(&self, env: &Envelope) -> Result<(), CertifyError> {
+        let Core::Ack { round, vector } = env.core() else {
+            return Err(CertifyError::new(
+                env.sender(),
+                FaultClass::WrongSyntax,
+                "check_ack on a non-ACK message",
+            ));
+        };
+        if env
+            .cert
+            .find_vouching(
+                MessageKind::Propose,
+                self.coordinator(*round),
+                *round,
+                vector,
+            )
+            .is_none()
+        {
+            return Err(CertifyError::new(
+                env.sender(),
+                FaultClass::BadCertificate,
+                "ACK lacks the coordinator's signed PROPOSE for this vector",
+            ));
+        }
+        Ok(())
+    }
+
+    /// NACK rules: coordinator suspicion is failure-detector output and
+    /// cannot be audited; the only structural requirement is that no
+    /// certificate item comes from a future round.
+    pub fn check_nack(&self, env: &Envelope) -> Result<(), CertifyError> {
+        let Core::Nack { round } = env.core() else {
+            return Err(CertifyError::new(
+                env.sender(),
+                FaultClass::WrongSyntax,
+                "check_nack on a non-NACK message",
+            ));
+        };
+        for item in env.cert.iter() {
+            if item.round() > *round {
+                return Err(CertifyError::new(
+                    env.sender(),
+                    FaultClass::BadCertificate,
+                    "NACK certificate contains items from a future round",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// DECIDE rule: `n−F` distinct signed votes for the decided vector —
+    /// `CURRENT(round, vect)` under Hurfin–Raynal (§5.1; see module docs
+    /// for the Fig. 3 discrepancy), `ACK(round, vect)` under
+    /// Chandra–Toueg.
     pub fn check_decide(&self, env: &Envelope) -> Result<(), CertifyError> {
         let Core::Decide { round, vector } = env.core() else {
             return Err(CertifyError::new(
@@ -341,9 +538,19 @@ impl CertChecker {
                 "check_decide on a non-DECIDE message",
             ));
         };
+        let (vote_kind, reason) = match self.protocol {
+            ProtocolId::HurfinRaynal => (
+                MessageKind::Current,
+                "DECIDE lacks n−F signed CURRENT votes for the decided vector",
+            ),
+            ProtocolId::ChandraToueg => (
+                MessageKind::Ack,
+                "DECIDE lacks n−F signed ACK votes for the decided vector",
+            ),
+        };
         let matching: std::collections::HashSet<ProcessId> = env
             .cert
-            .iter_kind_round(MessageKind::Current, *round)
+            .iter_kind_round(vote_kind, *round)
             .filter(|i| i.core().core.vector() == Some(vector))
             .map(super::signed::SignedCore::sender)
             .collect();
@@ -351,7 +558,7 @@ impl CertChecker {
             return Err(CertifyError::new(
                 env.sender(),
                 FaultClass::BadCertificate,
-                "DECIDE lacks n−F signed CURRENT votes for the decided vector",
+                reason,
             ));
         }
         Ok(())
@@ -741,6 +948,346 @@ mod tests {
         let err = f.checker.check_envelope(&env).unwrap_err();
         assert_eq!(err.class, FaultClass::BadCertificate);
         assert!(err.reason.contains("invalid signature"));
+    }
+
+    fn ct_fixture() -> Fixture {
+        let mut rng = ftm_crypto::rng_from_seed(41);
+        let (dir, keys) = KeyDirectory::generate(&mut rng, N, 128);
+        Fixture {
+            checker: CertChecker::new_for(ProtocolId::ChandraToueg, N, F, dir),
+            keys,
+        }
+    }
+
+    /// ESTIMATE(r=1, ts=0) items from p0..p2 carrying the witnessed vector.
+    fn estimate_quorum(f: &Fixture, round: Round) -> Certificate {
+        Certificate::from_items((0..3u32).map(|s| {
+            signed(
+                f,
+                s,
+                Core::Estimate {
+                    round,
+                    vector: witnessed_vector(),
+                    ts: 0,
+                },
+            )
+        }))
+    }
+
+    #[test]
+    fn ct_estimate_round1_valid() {
+        let f = ct_fixture();
+        let env = Envelope::make(
+            ProcessId(2),
+            Core::Estimate {
+                round: 1,
+                vector: witnessed_vector(),
+                ts: 0,
+            },
+            init_quorum(&f),
+            &f.keys[2],
+        );
+        assert!(f.checker.check_envelope(&env).is_ok());
+    }
+
+    #[test]
+    fn ct_estimate_round2_needs_ack_nack_quorum() {
+        let f = ct_fixture();
+        // Without round-entry evidence: rejected.
+        let env = Envelope::make(
+            ProcessId(2),
+            Core::Estimate {
+                round: 2,
+                vector: witnessed_vector(),
+                ts: 0,
+            },
+            init_quorum(&f),
+            &f.keys[2],
+        );
+        let err = f.checker.check_envelope(&env).unwrap_err();
+        assert!(err.reason.contains("round entry"));
+        // With a mixed ACK/NACK quorum for round 1: accepted.
+        let votes = Certificate::from_items([
+            signed(
+                &f,
+                0,
+                Core::Ack {
+                    round: 1,
+                    vector: witnessed_vector(),
+                },
+            ),
+            signed(&f, 1, Core::Nack { round: 1 }),
+            signed(&f, 2, Core::Nack { round: 1 }),
+        ]);
+        let env = Envelope::make(
+            ProcessId(2),
+            Core::Estimate {
+                round: 2,
+                vector: witnessed_vector(),
+                ts: 0,
+            },
+            init_quorum(&f).union(&votes),
+            &f.keys[2],
+        );
+        assert!(f.checker.check_envelope(&env).is_ok());
+    }
+
+    #[test]
+    fn ct_estimate_timestamp_needs_propose_backing() {
+        let f = ct_fixture();
+        let nack_quorum =
+            Certificate::from_items((0..3u32).map(|s| signed(&f, s, Core::Nack { round: 1 })));
+        let base = init_quorum(&f).union(&nack_quorum);
+        // ts = 1 claimed without coordinator(1)'s PROPOSE: rejected.
+        let env = Envelope::make(
+            ProcessId(2),
+            Core::Estimate {
+                round: 2,
+                vector: witnessed_vector(),
+                ts: 1,
+            },
+            base.clone(),
+            &f.keys[2],
+        );
+        let err = f.checker.check_envelope(&env).unwrap_err();
+        assert!(err.reason.contains("timestamp"), "{}", err.reason);
+        // With p0's (coordinator of round 1) signed PROPOSE: accepted.
+        let mut cert = base;
+        cert.insert(signed(
+            &f,
+            0,
+            Core::Propose {
+                round: 1,
+                vector: witnessed_vector(),
+            },
+        ));
+        let env = Envelope::make(
+            ProcessId(2),
+            Core::Estimate {
+                round: 2,
+                vector: witnessed_vector(),
+                ts: 1,
+            },
+            cert,
+            &f.keys[2],
+        );
+        assert!(f.checker.check_envelope(&env).is_ok());
+    }
+
+    #[test]
+    fn ct_estimate_future_timestamp_is_syntax_fault() {
+        let f = ct_fixture();
+        let env = Envelope::make(
+            ProcessId(2),
+            Core::Estimate {
+                round: 2,
+                vector: witnessed_vector(),
+                ts: 2,
+            },
+            init_quorum(&f),
+            &f.keys[2],
+        );
+        let err = f.checker.check_envelope(&env).unwrap_err();
+        assert_eq!(err.class, FaultClass::WrongSyntax);
+    }
+
+    #[test]
+    fn ct_propose_requires_coordinator_and_estimate_quorum() {
+        let f = ct_fixture();
+        let cert = init_quorum(&f).union(&estimate_quorum(&f, 1));
+        // p0 is coordinator of round 1: valid.
+        let env = Envelope::make(
+            ProcessId(0),
+            Core::Propose {
+                round: 1,
+                vector: witnessed_vector(),
+            },
+            cert.clone(),
+            &f.keys[0],
+        );
+        assert!(f.checker.check_envelope(&env).is_ok());
+        // p2 is not: rejected.
+        let env = Envelope::make(
+            ProcessId(2),
+            Core::Propose {
+                round: 1,
+                vector: witnessed_vector(),
+            },
+            cert,
+            &f.keys[2],
+        );
+        let err = f.checker.check_envelope(&env).unwrap_err();
+        assert!(err.reason.contains("not the round coordinator"));
+        // Coordinator without the estimate quorum: rejected.
+        let env = Envelope::make(
+            ProcessId(0),
+            Core::Propose {
+                round: 1,
+                vector: witnessed_vector(),
+            },
+            init_quorum(&f),
+            &f.keys[0],
+        );
+        let err = f.checker.check_envelope(&env).unwrap_err();
+        assert!(err.reason.contains("ESTIMATE"));
+    }
+
+    #[test]
+    fn ct_propose_must_adopt_a_max_timestamp_estimate() {
+        let f = ct_fixture();
+        let locked = witnessed_vector();
+        let other = ValueVector::from_entries(vec![Some(10), Some(11), Some(12), Some(13)]);
+        // p1 locked `locked` at ts=1; the others are fresh (ts=0) with a
+        // different (also witnessed) vector.
+        let mut init_backing = init_quorum(&f);
+        init_backing.insert(signed(&f, 3, Core::Init { value: 13 }));
+        let ests = Certificate::from_items([
+            signed(
+                &f,
+                1,
+                Core::Estimate {
+                    round: 2,
+                    vector: locked.clone(),
+                    ts: 1,
+                },
+            ),
+            signed(
+                &f,
+                0,
+                Core::Estimate {
+                    round: 2,
+                    vector: other.clone(),
+                    ts: 0,
+                },
+            ),
+            signed(
+                &f,
+                2,
+                Core::Estimate {
+                    round: 2,
+                    vector: other.clone(),
+                    ts: 0,
+                },
+            ),
+        ]);
+        let cert = init_backing.union(&ests);
+        // Round 2's coordinator is p1. Proposing the locked (max-ts)
+        // vector: valid.
+        let env = Envelope::make(
+            ProcessId(1),
+            Core::Propose {
+                round: 2,
+                vector: locked,
+            },
+            cert.clone(),
+            &f.keys[1],
+        );
+        assert!(f.checker.check_envelope(&env).is_ok());
+        // Proposing the fresher-but-lower-ts vector: rejected.
+        let env = Envelope::make(
+            ProcessId(1),
+            Core::Propose {
+                round: 2,
+                vector: other,
+            },
+            cert,
+            &f.keys[1],
+        );
+        let err = f.checker.check_envelope(&env).unwrap_err();
+        assert!(err.reason.contains("maximum-timestamp"));
+    }
+
+    #[test]
+    fn ct_ack_requires_coordinator_propose_echo() {
+        let f = ct_fixture();
+        let vect = witnessed_vector();
+        let mut cert = Certificate::new();
+        cert.insert(signed(
+            &f,
+            0,
+            Core::Propose {
+                round: 1,
+                vector: vect.clone(),
+            },
+        ));
+        let env = Envelope::make(
+            ProcessId(2),
+            Core::Ack {
+                round: 1,
+                vector: vect.clone(),
+            },
+            cert,
+            &f.keys[2],
+        );
+        assert!(f.checker.check_envelope(&env).is_ok());
+        // Without the coordinator's PROPOSE: substituted message.
+        let env = Envelope::make(
+            ProcessId(2),
+            Core::Ack {
+                round: 1,
+                vector: vect,
+            },
+            Certificate::new(),
+            &f.keys[2],
+        );
+        let err = f.checker.check_envelope(&env).unwrap_err();
+        assert!(err.reason.contains("PROPOSE"));
+    }
+
+    #[test]
+    fn ct_nack_rejects_future_items() {
+        let f = ct_fixture();
+        let env = Envelope::make(
+            ProcessId(3),
+            Core::Nack { round: 1 },
+            Certificate::new(),
+            &f.keys[3],
+        );
+        assert!(f.checker.check_envelope(&env).is_ok());
+        let future = Certificate::from_items([signed(&f, 0, Core::Nack { round: 2 })]);
+        let env = Envelope::make(ProcessId(3), Core::Nack { round: 1 }, future, &f.keys[3]);
+        let err = f.checker.check_envelope(&env).unwrap_err();
+        assert!(err.reason.contains("future round"));
+    }
+
+    #[test]
+    fn ct_decide_requires_matching_ack_quorum() {
+        let f = ct_fixture();
+        let vect = witnessed_vector();
+        let ack_quorum = Certificate::from_items((0..3u32).map(|s| {
+            signed(
+                &f,
+                s,
+                Core::Ack {
+                    round: 1,
+                    vector: vect.clone(),
+                },
+            )
+        }));
+        let env = Envelope::make(
+            ProcessId(0),
+            Core::Decide {
+                round: 1,
+                vector: vect.clone(),
+            },
+            ack_quorum.clone(),
+            &f.keys[0],
+        );
+        assert!(f.checker.check_envelope(&env).is_ok());
+        // The same certificate under the HR table is a forgery: HR decides
+        // on CURRENT votes, which the certificate lacks.
+        let hr = fixture();
+        let env_hr = Envelope::make(
+            ProcessId(0),
+            Core::Decide {
+                round: 1,
+                vector: vect,
+            },
+            ack_quorum,
+            &hr.keys[0],
+        );
+        let err = hr.checker.check_envelope(&env_hr).unwrap_err();
+        assert!(err.reason.contains("CURRENT"));
     }
 
     #[test]

@@ -142,6 +142,21 @@ impl Certificate {
         )
     }
 
+    /// Finds an item of `kind` from `sender` for `round` carrying exactly
+    /// `vector` — the generic "the named process itself signed this
+    /// statement" lookup behind relayed-CURRENT (HR) and ACK-echo /
+    /// timestamp-backing (CT) validation.
+    pub fn find_vouching(
+        &self,
+        kind: MessageKind,
+        sender: ProcessId,
+        round: Round,
+        vector: &ValueVector,
+    ) -> Option<&SignedCore> {
+        self.iter_kind_round(kind, round)
+            .find(|i| i.sender() == sender && i.core().core.vector() == Some(vector))
+    }
+
     /// Finds a CURRENT item from `sender` for `round` carrying exactly
     /// `vector` (used to validate relayed CURRENT messages).
     pub fn find_current(
@@ -150,8 +165,16 @@ impl Certificate {
         round: Round,
         vector: &ValueVector,
     ) -> Option<&SignedCore> {
-        self.iter_kind_round(MessageKind::Current, round)
-            .find(|i| i.sender() == sender && i.core().core.vector() == Some(vector))
+        self.find_vouching(MessageKind::Current, sender, round, vector)
+    }
+
+    /// Distinct senders that contributed an ACK or NACK item for `round`
+    /// — the CT round-progression vote set (the CT analogue of
+    /// [`Certificate::rec_from`]).
+    pub fn ct_votes(&self, round: Round) -> HashSet<ProcessId> {
+        let mut s = self.senders_of(MessageKind::Ack, round);
+        s.extend(self.senders_of(MessageKind::Nack, round));
+        s
     }
 
     /// Distinct senders that contributed a CURRENT or NEXT item for

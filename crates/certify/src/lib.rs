@@ -42,5 +42,5 @@ pub mod vector;
 pub use analyzer::CertChecker;
 pub use certificate::Certificate;
 pub use error::{CertifyError, FaultClass};
-pub use message::{Core, MessageCore, MessageKind, Round, Value, ValueVector};
+pub use message::{Core, MessageCore, MessageKind, ProtocolId, Round, Value, ValueVector};
 pub use signed::{Envelope, SignedCore};

@@ -139,17 +139,64 @@ impl CanonicalDecode for ValueVector {
     }
 }
 
-/// Discriminates the four wire message kinds.
+/// Identifies which crash protocol a transformed instance derives from.
+///
+/// Every per-protocol table in the stack (certification rules, observer
+/// automaton shape, round-entry evidence) is selected by this id, so a
+/// third protocol plugs in by adding a variant and the matching tables.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ProtocolId {
+    /// Hurfin–Raynal (paper Fig. 2/3): CURRENT/NEXT proposal-vote rounds.
+    HurfinRaynal,
+    /// Chandra–Toueg: ESTIMATE/PROPOSE/ACK/NACK coordinator-echo rounds.
+    ChandraToueg,
+}
+
+impl ProtocolId {
+    /// Every supported protocol, in sweep order.
+    pub fn all() -> [ProtocolId; 2] {
+        [ProtocolId::HurfinRaynal, ProtocolId::ChandraToueg]
+    }
+
+    /// Short stable label used in scenario cell keys and report sections.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolId::HurfinRaynal => "hr",
+            ProtocolId::ChandraToueg => "ct",
+        }
+    }
+}
+
+impl fmt::Display for ProtocolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Discriminates the wire message kinds.
+///
+/// `Init`, `Current`, `Next` and `Decide` belong to the transformed
+/// Hurfin–Raynal protocol; `Estimate`, `Propose`, `Ack` and `Nack` belong
+/// to the transformed Chandra–Toueg protocol (which shares `Init` for
+/// vector certification and `Decide` for the announcement).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum MessageKind {
     /// Vector-certification proposal.
     Init,
-    /// Vote for deciding in the current round.
+    /// Vote for deciding in the current round (HR).
     Current,
-    /// Vote for moving to the next round.
+    /// Vote for moving to the next round (HR).
     Next,
     /// Decision announcement.
     Decide,
+    /// Round-opening estimate sent to the coordinator (CT).
+    Estimate,
+    /// Coordinator's proposal for the round (CT).
+    Propose,
+    /// Positive echo of the coordinator's proposal (CT).
+    Ack,
+    /// Negative vote after suspecting the coordinator (CT).
+    Nack,
 }
 
 impl fmt::Display for MessageKind {
@@ -159,6 +206,10 @@ impl fmt::Display for MessageKind {
             MessageKind::Current => "CURRENT",
             MessageKind::Next => "NEXT",
             MessageKind::Decide => "DECIDE",
+            MessageKind::Estimate => "ESTIMATE",
+            MessageKind::Propose => "PROPOSE",
+            MessageKind::Ack => "ACK",
+            MessageKind::Nack => "NACK",
         };
         f.write_str(s)
     }
@@ -193,6 +244,41 @@ pub enum Core {
         /// The decided vector.
         vector: ValueVector,
     },
+    /// `ESTIMATE(r, vect, ts)` — CT round opening: the sender's estimate
+    /// vector plus the round `ts` in which it was adopted (`ts = 0` means
+    /// the INIT-witnessed original). A claimed `ts > 0` must be backed by
+    /// the `ts`-coordinator's signed PROPOSE carrying exactly `vect`,
+    /// which makes the max-timestamp adoption rule auditable.
+    Estimate {
+        /// The round this estimate opens.
+        round: Round,
+        /// The estimate vector.
+        vector: ValueVector,
+        /// The round the vector was adopted in (0 = initial).
+        ts: Round,
+    },
+    /// `PROPOSE(r, vect)` — the round coordinator's proposal, justified by
+    /// a quorum of round-`r` estimates.
+    Propose {
+        /// The round being coordinated.
+        round: Round,
+        /// The proposed vector.
+        vector: ValueVector,
+    },
+    /// `ACK(r, vect)` — echo of the coordinator's PROPOSE; binds the voter
+    /// to the proposed vector so a DECIDE certificate can quote it.
+    Ack {
+        /// The round being acknowledged.
+        round: Round,
+        /// The acknowledged vector.
+        vector: ValueVector,
+    },
+    /// `NACK(r)` — vote to abandon round `r` after suspecting its
+    /// coordinator (local suspicion, structurally unverifiable).
+    Nack {
+        /// The round being abandoned.
+        round: Round,
+    },
 }
 
 impl Core {
@@ -203,6 +289,10 @@ impl Core {
             Core::Current { .. } => MessageKind::Current,
             Core::Next { .. } => MessageKind::Next,
             Core::Decide { .. } => MessageKind::Decide,
+            Core::Estimate { .. } => MessageKind::Estimate,
+            Core::Propose { .. } => MessageKind::Propose,
+            Core::Ack { .. } => MessageKind::Ack,
+            Core::Nack { .. } => MessageKind::Nack,
         }
     }
 
@@ -210,16 +300,24 @@ impl Core {
     pub fn round(&self) -> Round {
         match self {
             Core::Init { .. } => 0,
-            Core::Current { round, .. } | Core::Next { round } | Core::Decide { round, .. } => {
-                *round
-            }
+            Core::Current { round, .. }
+            | Core::Next { round }
+            | Core::Decide { round, .. }
+            | Core::Estimate { round, .. }
+            | Core::Propose { round, .. }
+            | Core::Ack { round, .. }
+            | Core::Nack { round } => *round,
         }
     }
 
     /// The vector carried, if the kind carries one.
     pub fn vector(&self) -> Option<&ValueVector> {
         match self {
-            Core::Current { vector, .. } | Core::Decide { vector, .. } => Some(vector),
+            Core::Current { vector, .. }
+            | Core::Decide { vector, .. }
+            | Core::Estimate { vector, .. }
+            | Core::Propose { vector, .. }
+            | Core::Ack { vector, .. } => Some(vector),
             _ => None,
         }
     }
@@ -249,6 +347,10 @@ impl MessageCore {
             Core::Current { round, .. } => format!("CURRENT(r={round})"),
             Core::Next { round } => format!("NEXT(r={round})"),
             Core::Decide { round, .. } => format!("DECIDE(r={round})"),
+            Core::Estimate { round, ts, .. } => format!("ESTIMATE(r={round},ts={ts})"),
+            Core::Propose { round, .. } => format!("PROPOSE(r={round})"),
+            Core::Ack { round, .. } => format!("ACK(r={round})"),
+            Core::Nack { round } => format!("NACK(r={round})"),
         }
     }
 }
@@ -275,6 +377,26 @@ impl CanonicalEncode for MessageCore {
                 enc.u64(*round);
                 vector.encode(enc);
             }
+            Core::Estimate { round, vector, ts } => {
+                enc.tag(5);
+                enc.u64(*round);
+                vector.encode(enc);
+                enc.u64(*ts);
+            }
+            Core::Propose { round, vector } => {
+                enc.tag(6);
+                enc.u64(*round);
+                vector.encode(enc);
+            }
+            Core::Ack { round, vector } => {
+                enc.tag(7);
+                enc.u64(*round);
+                vector.encode(enc);
+            }
+            Core::Nack { round } => {
+                enc.tag(8);
+                enc.u64(*round);
+            }
         }
     }
 }
@@ -293,6 +415,20 @@ impl CanonicalDecode for MessageCore {
                 round: dec.u64()?,
                 vector: ValueVector::decode(dec)?,
             },
+            5 => Core::Estimate {
+                round: dec.u64()?,
+                vector: ValueVector::decode(dec)?,
+                ts: dec.u64()?,
+            },
+            6 => Core::Propose {
+                round: dec.u64()?,
+                vector: ValueVector::decode(dec)?,
+            },
+            7 => Core::Ack {
+                round: dec.u64()?,
+                vector: ValueVector::decode(dec)?,
+            },
+            8 => Core::Nack { round: dec.u64()? },
             t => return Err(DecodeError::BadTag(t)),
         };
         Ok(MessageCore { sender, core })
@@ -375,6 +511,29 @@ mod tests {
                     vector: ValueVector::empty(2),
                 },
             ),
+            MessageCore::new(
+                ProcessId(0),
+                Core::Estimate {
+                    round: 2,
+                    vector: ValueVector::from_entries(vec![Some(4), None]),
+                    ts: 1,
+                },
+            ),
+            MessageCore::new(
+                ProcessId(1),
+                Core::Propose {
+                    round: 2,
+                    vector: ValueVector::empty(3),
+                },
+            ),
+            MessageCore::new(
+                ProcessId(2),
+                Core::Ack {
+                    round: 2,
+                    vector: ValueVector::empty(3),
+                },
+            ),
+            MessageCore::new(ProcessId(3), Core::Nack { round: 2 }),
         ];
         for core in cases {
             let bytes = core.canonical_bytes();
@@ -398,5 +557,50 @@ mod tests {
         let m = MessageCore::new(ProcessId(0), Core::Next { round: 9 });
         assert_eq!(m.label(), "NEXT(r=9)");
         assert_eq!(MessageKind::Decide.to_string(), "DECIDE");
+        let e = MessageCore::new(
+            ProcessId(0),
+            Core::Estimate {
+                round: 3,
+                vector: ValueVector::empty(1),
+                ts: 1,
+            },
+        );
+        assert_eq!(e.label(), "ESTIMATE(r=3,ts=1)");
+        assert_eq!(MessageKind::Nack.to_string(), "NACK");
+    }
+
+    #[test]
+    fn ct_core_accessors() {
+        let v = ValueVector::from_entries(vec![Some(1)]);
+        let e = Core::Estimate {
+            round: 4,
+            vector: v.clone(),
+            ts: 2,
+        };
+        assert_eq!(e.kind(), MessageKind::Estimate);
+        assert_eq!(e.round(), 4);
+        assert_eq!(e.vector(), Some(&v));
+        let a = Core::Ack {
+            round: 4,
+            vector: v.clone(),
+        };
+        assert_eq!(a.kind(), MessageKind::Ack);
+        assert_eq!(a.vector(), Some(&v));
+        assert_eq!(Core::Nack { round: 4 }.vector(), None);
+        assert_eq!(
+            Core::Propose {
+                round: 4,
+                vector: v
+            }
+            .round(),
+            4
+        );
+    }
+
+    #[test]
+    fn protocol_ids_label_and_enumerate() {
+        assert_eq!(ProtocolId::HurfinRaynal.to_string(), "hr");
+        assert_eq!(ProtocolId::ChandraToueg.to_string(), "ct");
+        assert_eq!(ProtocolId::all().len(), 2);
     }
 }

@@ -19,7 +19,7 @@
 //! induce (certificate lineage).
 
 use crate::analyzer::CertChecker;
-use crate::message::MessageKind;
+use crate::message::{MessageKind, ProtocolId};
 
 /// One certification rule of the analyzer, as checkable data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,8 +33,10 @@ pub struct RuleInfo {
     pub checks: &'static str,
 }
 
-/// Every certification rule [`CertChecker`] implements, in the order the
-/// analyzer's dispatch tries them.
+/// Every certification rule [`CertChecker`] implements for the
+/// Hurfin–Raynal instance, in the order the analyzer's dispatch tries
+/// them. Shorthand for
+/// [`certification_rules_for`]`(ProtocolId::HurfinRaynal)`.
 ///
 /// # Example
 ///
@@ -48,53 +50,109 @@ pub struct RuleInfo {
 /// assert_eq!(next_rules.len(), 3); // suspicion, change-mind, end-of-round
 /// ```
 pub fn certification_rules() -> &'static [RuleInfo] {
-    &[
-        RuleInfo {
-            id: "init-empty",
-            kind: MessageKind::Init,
-            checks: "INIT carries an empty certificate (initial values are \
-                     vouched by vector certification, not certificates)",
-        },
-        RuleInfo {
-            id: "current-coordinator",
-            kind: MessageKind::Current,
-            checks: "INIT-portion witnesses the vector (≥ n−F signed INITs) \
-                     and NEXT-portion witnesses the round (≥ n−F signed \
-                     NEXT(r−1), or nothing for r = 1)",
-        },
-        RuleInfo {
-            id: "current-relay",
-            kind: MessageKind::Current,
-            checks: "certificate contains the round coordinator's own signed \
-                     CURRENT(r, vect) plus the INIT backing of vect",
-        },
-        RuleInfo {
-            id: "next-suspicion",
-            kind: MessageKind::Next,
-            checks: "no CURRENT adopted (suspicion is local and unverifiable; \
-                     structure only: absence of a CURRENT quorum claim)",
-        },
-        RuleInfo {
-            id: "next-change-mind",
-            kind: MessageKind::Next,
-            checks: "≥ 1 CURRENT seen and a quorum of round-r votes, but \
-                     neither a CURRENT quorum nor a NEXT quorum",
-        },
-        RuleInfo {
-            id: "next-end-of-round",
-            kind: MessageKind::Next,
-            checks: "a full quorum of signed NEXT(r)",
-        },
-        RuleInfo {
-            id: "decide-current-quorum",
-            kind: MessageKind::Decide,
-            checks: "≥ n−F distinct signed CURRENT(r, vect) matching the \
-                     decided vector",
-        },
-    ]
+    certification_rules_for(ProtocolId::HurfinRaynal)
 }
 
-/// The rules auditing messages of `kind`.
+/// The certification-rule table of the given transformed protocol.
+///
+/// Each table is maintained by hand next to the analyzer code that
+/// enforces it; `ftm-verify` diffs it against the matching
+/// `ProtocolSpec`'s conditional-send table per protocol.
+pub fn certification_rules_for(protocol: ProtocolId) -> &'static [RuleInfo] {
+    match protocol {
+        ProtocolId::HurfinRaynal => HR_RULES,
+        ProtocolId::ChandraToueg => CT_RULES,
+    }
+}
+
+const HR_RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "init-empty",
+        kind: MessageKind::Init,
+        checks: "INIT carries an empty certificate (initial values are \
+                     vouched by vector certification, not certificates)",
+    },
+    RuleInfo {
+        id: "current-coordinator",
+        kind: MessageKind::Current,
+        checks: "INIT-portion witnesses the vector (≥ n−F signed INITs) \
+                     and NEXT-portion witnesses the round (≥ n−F signed \
+                     NEXT(r−1), or nothing for r = 1)",
+    },
+    RuleInfo {
+        id: "current-relay",
+        kind: MessageKind::Current,
+        checks: "certificate contains the round coordinator's own signed \
+                     CURRENT(r, vect) plus the INIT backing of vect",
+    },
+    RuleInfo {
+        id: "next-suspicion",
+        kind: MessageKind::Next,
+        checks: "no CURRENT adopted (suspicion is local and unverifiable; \
+                     structure only: absence of a CURRENT quorum claim)",
+    },
+    RuleInfo {
+        id: "next-change-mind",
+        kind: MessageKind::Next,
+        checks: "≥ 1 CURRENT seen and a quorum of round-r votes, but \
+                     neither a CURRENT quorum nor a NEXT quorum",
+    },
+    RuleInfo {
+        id: "next-end-of-round",
+        kind: MessageKind::Next,
+        checks: "a full quorum of signed NEXT(r)",
+    },
+    RuleInfo {
+        id: "decide-current-quorum",
+        kind: MessageKind::Decide,
+        checks: "≥ n−F distinct signed CURRENT(r, vect) matching the \
+                     decided vector",
+    },
+];
+
+const CT_RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "init-empty",
+        kind: MessageKind::Init,
+        checks: "INIT carries an empty certificate (initial values are \
+                 vouched by vector certification, not certificates)",
+    },
+    RuleInfo {
+        id: "estimate-roundstart",
+        kind: MessageKind::Estimate,
+        checks: "INIT-portion witnesses the vector; a claimed adoption \
+                 timestamp ts > 0 is backed by coordinator(ts)'s signed \
+                 PROPOSE(ts, vect); round entry r > 1 is backed by ≥ n−F \
+                 signed ACK/NACK(r−1)",
+    },
+    RuleInfo {
+        id: "propose-coordinator",
+        kind: MessageKind::Propose,
+        checks: "sender is coordinator(r); ≥ n−F signed ESTIMATE(r) and \
+                 the proposed vector equals the vector of a maximum-ts \
+                 estimate in the certificate, with its INIT backing",
+    },
+    RuleInfo {
+        id: "ack-echo",
+        kind: MessageKind::Ack,
+        checks: "certificate contains the round coordinator's own signed \
+                 PROPOSE(r, vect) carrying exactly the echoed vector",
+    },
+    RuleInfo {
+        id: "nack-suspicion",
+        kind: MessageKind::Nack,
+        checks: "coordinator suspicion is local and unverifiable; \
+                 structure only: no quorum claim is made",
+    },
+    RuleInfo {
+        id: "decide-ack-quorum",
+        kind: MessageKind::Decide,
+        checks: "≥ n−F distinct signed ACK(r, vect) matching the decided \
+                 vector",
+    },
+];
+
+/// The rules auditing messages of `kind` (HR table).
 pub fn rules_for_kind(kind: MessageKind) -> Vec<&'static RuleInfo> {
     certification_rules()
         .iter()
@@ -104,9 +162,10 @@ pub fn rules_for_kind(kind: MessageKind) -> Vec<&'static RuleInfo> {
 
 impl CertChecker {
     /// The rule table this analyzer enforces (see
-    /// [`certification_rules`]).
+    /// [`certification_rules_for`]): the table of the protocol the checker
+    /// was constructed for.
     pub fn rules(&self) -> &'static [RuleInfo] {
-        certification_rules()
+        certification_rules_for(self.protocol())
     }
 }
 
@@ -116,9 +175,30 @@ mod tests {
 
     #[test]
     fn rule_ids_are_unique() {
-        let ids: std::collections::BTreeSet<&str> =
-            certification_rules().iter().map(|r| r.id).collect();
-        assert_eq!(ids.len(), certification_rules().len());
+        for protocol in ProtocolId::all() {
+            let rules = certification_rules_for(protocol);
+            let ids: std::collections::BTreeSet<&str> = rules.iter().map(|r| r.id).collect();
+            assert_eq!(ids.len(), rules.len(), "{protocol}");
+        }
+    }
+
+    #[test]
+    fn ct_table_covers_its_wire_kinds() {
+        let rules = certification_rules_for(ProtocolId::ChandraToueg);
+        for kind in [
+            MessageKind::Init,
+            MessageKind::Estimate,
+            MessageKind::Propose,
+            MessageKind::Ack,
+            MessageKind::Nack,
+            MessageKind::Decide,
+        ] {
+            assert!(
+                rules.iter().any(|r| r.kind == kind),
+                "{kind} has no CT certification rule"
+            );
+        }
+        assert_eq!(rules.len(), 6);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! replicated log deciding one certified vector per slot.
 //!
 //! This is the application layer the consensus literature motivates: each
-//! log slot runs one instance of [`ByzantineConsensus`]; a process moves to
+//! log slot runs one instance of any [`TransformedProtocol`] (Hurfin–Raynal
+//! by default); a process moves to
 //! slot `k + 1` once slot `k` decides locally. Instances are isolated by
 //! tagging every wire message with its slot — a faulty process replaying
 //! slot-3 traffic into slot 5 changes nothing, because each slot has its
@@ -16,7 +17,7 @@
 use ftm_certify::{Envelope, Value, ValueVector};
 use ftm_sim::{Actor, Context, Payload, ProcessId, StagedSend, TimerTag};
 
-use crate::byzantine::ByzantineConsensus;
+use crate::byzantine::{ByzantineConsensus, TransformedProtocol};
 use crate::config::ProtocolSetup;
 
 /// A slot-tagged consensus message.
@@ -44,7 +45,9 @@ const TAGS_PER_SLOT: TimerTag = 16;
 
 /// A replicated log of `slots` entries, one consensus instance per slot.
 ///
-/// Decides the full log (a `Vec<ValueVector>`) once every slot has decided
+/// Generic over the [`TransformedProtocol`] running each slot (defaulting
+/// to the Hurfin–Raynal instance). Decides the full log (a
+/// `Vec<ValueVector>`) once every slot has decided
 /// locally. Commands are supplied per slot by a deterministic function of
 /// `(slot, process)` so all runs are replayable.
 ///
@@ -52,30 +55,33 @@ const TAGS_PER_SLOT: TimerTag = 16;
 ///
 /// ```
 /// use ftm_core::byzantine::log::ReplicatedLog;
+/// use ftm_core::byzantine::ByzantineConsensus;
 /// use ftm_core::config::ProtocolConfig;
 /// use ftm_sim::{SimConfig, Simulation};
 ///
 /// let setup = ProtocolConfig::new(4, 1).seed(9).setup();
 /// let report = Simulation::build_boxed(SimConfig::new(4).seed(9), |id| {
-///     Box::new(ReplicatedLog::new(&setup, id, 2, |slot, p| 1000 * slot + p as u64))
+///     Box::new(ReplicatedLog::<ByzantineConsensus>::new(
+///         &setup, id, 2, |slot, p| 1000 * slot + p as u64,
+///     ))
 /// })
 /// .run();
 /// let log = report.unanimous().expect("all replicas hold the same log");
 /// assert_eq!(log.len(), 2);
 /// ```
-pub struct ReplicatedLog {
+pub struct ReplicatedLog<P: TransformedProtocol = ByzantineConsensus> {
     setup: ProtocolSetup,
     me: ProcessId,
     slots: u64,
     command: fn(u64, u32) -> Value,
     current: u64,
-    inner: ByzantineConsensus,
+    inner: P,
     log: Vec<ValueVector>,
     buffered: Vec<(ProcessId, SlotMsg)>,
     done: bool,
 }
 
-impl std::fmt::Debug for ReplicatedLog {
+impl<P: TransformedProtocol> std::fmt::Debug for ReplicatedLog<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReplicatedLog")
             .field("me", &self.me)
@@ -85,7 +91,7 @@ impl std::fmt::Debug for ReplicatedLog {
     }
 }
 
-impl ReplicatedLog {
+impl<P: TransformedProtocol> ReplicatedLog<P> {
     /// Creates a replica deciding `slots` entries; `command(slot, process)`
     /// is the value this process proposes for `slot`.
     ///
@@ -99,7 +105,7 @@ impl ReplicatedLog {
         command: fn(u64, u32) -> Value,
     ) -> Self {
         assert!(slots > 0, "a log needs at least one slot");
-        let inner = ByzantineConsensus::new(setup, me, command(0, me.0));
+        let inner = P::build(setup, me, command(0, me.0));
         ReplicatedLog {
             setup: setup.clone(),
             me,
@@ -126,7 +132,7 @@ impl ReplicatedLog {
         call: F,
     ) -> Option<ValueVector>
     where
-        F: FnOnce(&mut ByzantineConsensus, &mut Context<'_, Envelope, ValueVector>),
+        F: FnOnce(&mut P, &mut Context<'_, Envelope, ValueVector>),
     {
         let slot = self.current;
         let fx = {
@@ -170,7 +176,7 @@ impl ReplicatedLog {
             return;
         }
         self.current += 1;
-        self.inner = ByzantineConsensus::new(
+        self.inner = P::build(
             &self.setup,
             self.me,
             (self.command)(self.current, self.me.0),
@@ -200,7 +206,7 @@ impl ReplicatedLog {
     }
 }
 
-impl Actor for ReplicatedLog {
+impl<P: TransformedProtocol> Actor for ReplicatedLog<P> {
     type Msg = SlotMsg;
     type Decision = Vec<ValueVector>;
 
@@ -303,9 +309,30 @@ mod tests {
             cfg = cfg.crash(p, VirtualTime::at(t));
         }
         Simulation::build_boxed(cfg, |id| {
-            Box::new(ReplicatedLog::new(&setup, id, slots, cmd))
+            Box::new(ReplicatedLog::<ByzantineConsensus>::new(
+                &setup, id, slots, cmd,
+            ))
         })
         .run()
+    }
+
+    #[test]
+    fn chandra_toueg_replicas_agree_on_a_multi_slot_log() {
+        let setup = ProtocolConfig::new(4, 1).seed(5).setup();
+        let report = Simulation::build_boxed(SimConfig::new(4).seed(5), |id| {
+            Box::new(
+                ReplicatedLog::<crate::byzantine::ByzantineChandraToueg>::new(&setup, id, 2, cmd),
+            )
+        })
+        .run();
+        let log =
+            check_log_consistency(&report.decisions, &report.crashed, 3).expect("consistent log");
+        assert_eq!(log.len(), 2);
+        for (slot, vect) in log.iter().enumerate() {
+            for (p, v) in vect.iter_set() {
+                assert_eq!(v, cmd(slot as u64, p as u32));
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
-//! The transformed protocol (paper Fig. 3): Vector Consensus resilient to
+//! The transformed protocols (paper Fig. 3): Vector Consensus resilient to
 //! arbitrary failures.
 //!
-//! Obtained from the crash-model protocol of [`crate::crash`] by applying
+//! Obtained from the crash-model protocols of [`crate::crash`] by applying
 //! the transformation rules of [`crate::transform`]:
 //!
 //! * a preliminary **vector-certification phase** replaces raw initial
@@ -17,12 +17,113 @@
 //!   `state`) are replaced by certificate expressions, which the
 //!   implementation asserts against its explicit state at every step.
 //!
-//! The protocol tolerates `F ≤ min(⌊(n−1)/2⌋, C)` arbitrary faults and
-//! decides a vector with at least `ψ = n − 2F ≥ 1` entries from correct
+//! The transformation is protocol-generic: the same module stack hosts the
+//! Hurfin–Raynal instance ([`ByzantineConsensus`]) and the Chandra–Toueg
+//! instance ([`ByzantineChandraToueg`]); the [`TransformedProtocol`] trait
+//! is the seam layers above (the replicated log, the fault harness) build
+//! against. Both tolerate `F ≤ min(⌊(n−1)/2⌋, C)` arbitrary faults and
+//! decide a vector with at least `ψ = n − 2F ≥ 1` entries from correct
 //! processes.
 
+pub mod chandra_toueg;
 pub mod log;
 pub mod protocol;
 
+use ftm_certify::{Envelope, ProtocolId, Value, ValueVector};
+use ftm_sim::{Actor, ProcessId};
+
+use crate::config::ProtocolSetup;
+use crate::spec::ProtocolSpec;
+use crate::transform::ModuleStack;
+
+pub use chandra_toueg::ByzantineChandraToueg;
 pub use log::ReplicatedLog;
 pub use protocol::ByzantineConsensus;
+
+/// A protocol produced by the crash→arbitrary transformation: an actor
+/// speaking signed [`Envelope`]s and deciding a certified [`ValueVector`],
+/// with an embedded module stack and a declarative spec.
+///
+/// This is the seam that makes the runtime protocol-generic: the
+/// replicated log, the fault-injection harness and the sweep runner are
+/// written against this trait and instantiated per [`ProtocolId`].
+pub trait TransformedProtocol: Actor<Msg = Envelope, Decision = ValueVector> {
+    /// The base protocol's identity — selects the observer automaton
+    /// table, the §5 certification-rule table and the decision predicate.
+    const ID: ProtocolId;
+
+    /// Builds one process proposing `value`.
+    fn build(setup: &ProtocolSetup, me: ProcessId, value: Value) -> Self
+    where
+        Self: Sized;
+
+    /// The hand-written transformed spec this runtime implements (checked
+    /// against its derivation by `ftm-verify`).
+    fn spec() -> ProtocolSpec
+    where
+        Self: Sized,
+    {
+        ProtocolSpec::transformed_for(Self::ID)
+    }
+
+    /// Read access to the module stack (evidence logs, detector state).
+    fn stack(&self) -> &ModuleStack;
+}
+
+impl TransformedProtocol for ByzantineConsensus {
+    const ID: ProtocolId = ProtocolId::HurfinRaynal;
+
+    fn build(setup: &ProtocolSetup, me: ProcessId, value: Value) -> Self {
+        ByzantineConsensus::new(setup, me, value)
+    }
+
+    fn stack(&self) -> &ModuleStack {
+        ByzantineConsensus::stack(self)
+    }
+}
+
+impl TransformedProtocol for ByzantineChandraToueg {
+    const ID: ProtocolId = ProtocolId::ChandraToueg;
+
+    fn build(setup: &ProtocolSetup, me: ProcessId, value: Value) -> Self {
+        ByzantineChandraToueg::new(setup, me, value)
+    }
+
+    fn stack(&self) -> &ModuleStack {
+        ByzantineChandraToueg::stack(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolConfig;
+    use ftm_sim::{SimConfig, Simulation};
+
+    fn run_generic<P: TransformedProtocol + 'static>(n: usize, f: usize, seed: u64) -> bool {
+        let setup = ProtocolConfig::new(n, f).seed(seed).setup();
+        Simulation::build_boxed(SimConfig::new(n).seed(seed), |id| {
+            Box::new(P::build(&setup, id, 100 + id.0 as u64))
+        })
+        .run()
+        .all_decided()
+    }
+
+    #[test]
+    fn both_protocols_run_through_the_trait_seam() {
+        assert!(run_generic::<ByzantineConsensus>(4, 1, 5));
+        assert!(run_generic::<ByzantineChandraToueg>(4, 1, 5));
+    }
+
+    #[test]
+    fn trait_spec_matches_the_protocol_id() {
+        assert_eq!(
+            <ByzantineConsensus as TransformedProtocol>::spec().protocol,
+            ProtocolId::HurfinRaynal
+        );
+        assert_eq!(
+            <ByzantineChandraToueg as TransformedProtocol>::spec().protocol,
+            ProtocolId::ChandraToueg
+        );
+    }
+}

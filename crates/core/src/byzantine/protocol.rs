@@ -5,7 +5,6 @@
 //! the INIT phase, certificates on every send, the module-stack receive
 //! pipeline, quorums of `n − F`, and the `suspected ∪ faulty` guard.
 
-use ftm_certify::analyzer::CertChecker;
 use ftm_certify::vector::VectorBuilder;
 use ftm_certify::{
     Certificate, Core, Envelope, MessageKind, Round, SignedCore, Value, ValueVector,
@@ -13,11 +12,10 @@ use ftm_certify::{
 use ftm_crypto::rsa::KeyPair;
 use ftm_sim::{Actor, Context, Duration, ProcessId, TimerTag};
 
-use crate::config::MutenessMode;
 use crate::config::ProtocolSetup;
 use crate::spec::Resilience;
 use crate::transform::rules::{change_mind_from_certificates, state_from_certificates, PaperState};
-use crate::transform::{Admit, ModuleStack, MutenessFd};
+use crate::transform::{Admit, ModuleStack};
 
 const POLL_TIMER: TimerTag = 1;
 
@@ -82,29 +80,12 @@ impl ByzantineConsensus {
     /// Panics if `me` has no key pair in `setup`.
     pub fn new(setup: &ProtocolSetup, me: ProcessId, value: Value) -> Self {
         let res = setup.resilience;
-        let checker = CertChecker::new(res.n(), res.f(), setup.dir.clone());
         ByzantineConsensus {
             res,
             me,
             value,
             keys: setup.keys[me.index()].clone(),
-            stack: ModuleStack::with_options(
-                checker,
-                setup.config.checks,
-                match setup.config.muteness_mode {
-                    MutenessMode::Adaptive => MutenessFd::Adaptive(ftm_fd::TimeoutDetector::new(
-                        res.n(),
-                        setup.config.muteness_timeout,
-                    )),
-                    MutenessMode::RoundAware { per_round } => {
-                        MutenessFd::RoundAware(ftm_fd::MutenessDetector::new(
-                            res.n(),
-                            setup.config.muteness_timeout,
-                            per_round,
-                        ))
-                    }
-                },
-            ),
+            stack: ModuleStack::for_setup(ftm_certify::ProtocolId::HurfinRaynal, setup),
             poll_interval: setup.config.poll_interval,
             phase: Phase::VectorCert,
             builder: Some(VectorBuilder::new(res.n(), res.f())),
@@ -238,12 +219,13 @@ impl ByzantineConsensus {
         // into actor state.
         let stats = self.stack.stats();
         ctx.note(format!(
-            "stack-stats admitted={} sig-rejects={} cert-rejects={} auto-rejects={} syntax-rejects={}",
+            "stack-stats admitted={} sig-rejects={} cert-rejects={} auto-rejects={} syntax-rejects={} fd-mistakes={}",
             stats.admitted,
             stats.signature_rejects,
             stats.certificate_rejects,
             stats.automaton_rejects,
             stats.syntax_rejects,
+            self.stack.muteness().mistakes(),
         ));
         ctx.decide(vector);
         ctx.halt();
@@ -346,6 +328,11 @@ impl ByzantineConsensus {
                 // Lines 2–3: relay with the same certificate and decide.
                 self.decide(round, vector, env.cert.clone(), ctx);
             }
+            Core::Estimate { .. } | Core::Propose { .. } | Core::Ack { .. } | Core::Nack { .. } => {
+                // Chandra–Toueg kinds: the observer convicts them as
+                // outside Hurfin–Raynal's alphabet before admission.
+                debug_assert!(false, "HR stack admitted a CT-kind message");
+            }
         }
     }
 
@@ -402,13 +389,20 @@ impl Actor for ByzantineConsensus {
             return;
         }
         // The receive path of Fig. 1: signature → muteness → non-muteness.
+        let was_faulty = self.stack.is_faulty(env.sender());
         match self.stack.admit(from, env, ctx.now()) {
             Admit::Accepted(_trigger) => self.handle_admitted(from, env.clone(), ctx),
             Admit::Discarded(e) => {
-                ctx.note(format!(
-                    "detected={} class={} reason={}",
-                    e.culprit, e.class, e.reason
-                ));
+                // Messages from an already convicted peer are quarantined
+                // silently — the detection already happened; re-noting every
+                // dropped straggler would inflate the detection metrics with
+                // protocol-dependent traffic-volume artifacts.
+                if !was_faulty {
+                    ctx.note(format!(
+                        "detected={} class={} reason={}",
+                        e.culprit, e.class, e.reason
+                    ));
+                }
             }
         }
     }

@@ -49,10 +49,12 @@ pub enum CtMsg {
         /// The proposed estimate.
         est: Value,
     },
-    /// Phase 3: positive acknowledgment.
+    /// Phase 3: positive acknowledgment, echoing the adopted estimate.
     Ack {
         /// Current round.
         round: Round,
+        /// The estimate being acknowledged (the coordinator's proposal).
+        est: Value,
     },
     /// Phase 3: negative acknowledgment (coordinator suspected).
     Nack {
@@ -72,8 +74,8 @@ impl Payload for CtMsg {
     fn size_bytes(&self) -> usize {
         match self {
             CtMsg::Estimate { .. } => 1 + 8 + 8 + 8,
-            CtMsg::Propose { .. } => 1 + 8 + 8,
-            CtMsg::Ack { .. } | CtMsg::Nack { .. } => 1 + 8,
+            CtMsg::Propose { .. } | CtMsg::Ack { .. } => 1 + 8 + 8,
+            CtMsg::Nack { .. } => 1 + 8,
             CtMsg::Decide { .. } => 1 + 8,
             CtMsg::Heartbeat => 1,
         }
@@ -83,7 +85,7 @@ impl Payload for CtMsg {
         match self {
             CtMsg::Estimate { round, .. } => format!("EST(r={round})"),
             CtMsg::Propose { round, est } => format!("PROP(r={round},est={est})"),
-            CtMsg::Ack { round } => format!("ACK(r={round})"),
+            CtMsg::Ack { round, est } => format!("ACK(r={round},est={est})"),
             CtMsg::Nack { round } => format!("NACK(r={round})"),
             CtMsg::Decide { est } => format!("DECIDE(est={est})"),
             CtMsg::Heartbeat => "HB".to_string(),
@@ -215,7 +217,7 @@ impl<FD: FailureDetector> ChandraToueg<FD> {
             let Some(pos) = self.buffered.iter().position(|(_, m)| match m {
                 CtMsg::Estimate { round, .. }
                 | CtMsg::Propose { round, .. }
-                | CtMsg::Ack { round }
+                | CtMsg::Ack { round, .. }
                 | CtMsg::Nack { round } => *round == r,
                 _ => false,
             }) else {
@@ -268,10 +270,10 @@ impl<FD: FailureDetector> ChandraToueg<FD> {
                     }
                     return;
                 }
-                // Phase 3: adopt and ACK.
+                // Phase 3: adopt and ACK, echoing the adopted estimate.
                 self.est = est;
                 self.ts = self.r;
-                ctx.send(self.coordinator(), CtMsg::Ack { round: self.r });
+                ctx.send(self.coordinator(), CtMsg::Ack { round: self.r, est });
                 self.begin_round(ctx);
             }
             CtMsg::Ack { .. } => {
@@ -324,7 +326,7 @@ impl<FD: FailureDetector + 'static> Actor for ChandraToueg<FD> {
             CtMsg::Decide { est } => self.decide(*est, ctx),
             CtMsg::Estimate { round, .. }
             | CtMsg::Propose { round, .. }
-            | CtMsg::Ack { round }
+            | CtMsg::Ack { round, .. }
             | CtMsg::Nack { round } => {
                 if *round < self.r {
                     // Stale; drop. (Estimates for future rounds arrive when

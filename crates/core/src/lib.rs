@@ -48,6 +48,6 @@ pub mod spec;
 pub mod transform;
 pub mod validator;
 
-pub use byzantine::ByzantineConsensus;
+pub use byzantine::{ByzantineChandraToueg, ByzantineConsensus, TransformedProtocol};
 pub use config::{ProtocolConfig, ProtocolSetup};
 pub use crash::CrashConsensus;

@@ -25,7 +25,7 @@
 //! so the hand-written transformed spec can be *checked* against its
 //! derivation instead of being trusted.
 
-use ftm_certify::{MessageKind, Round};
+use ftm_certify::{MessageKind, ProtocolId, Round};
 
 /// One per-round send slot of the protocol's send discipline.
 ///
@@ -186,6 +186,11 @@ pub struct ConditionalSend {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtocolSpec {
+    /// Which base protocol this spec describes. The transformation is
+    /// protocol-generic; everything protocol-specific (the automaton
+    /// table, the §5 obligation table, the decision predicate) is keyed
+    /// off this id.
+    pub protocol: ProtocolId,
     /// The kind that opens a peer's lifetime: sent first, exactly once.
     /// `None` for un-transformed crash-model protocols — the round-0
     /// vector-certification phase is what *adds* an opening.
@@ -212,6 +217,7 @@ impl ProtocolSpec {
     /// edge-by-edge, so it is *derived*, not trusted.
     pub fn transformed() -> Self {
         ProtocolSpec {
+            protocol: ProtocolId::HurfinRaynal,
             opening: Some(MessageKind::Init),
             round_slots: vec![
                 SendSlot {
@@ -313,6 +319,7 @@ impl ProtocolSpec {
     /// classical Validity is vacuous once failures become arbitrary.
     pub fn crash_hr() -> Self {
         ProtocolSpec {
+            protocol: ProtocolId::HurfinRaynal,
             opening: None,
             round_slots: vec![
                 SendSlot {
@@ -393,6 +400,213 @@ impl ProtocolSpec {
         }
     }
 
+    /// The transformed Chandra–Toueg protocol: `INIT` opens, each round
+    /// sends one mandatory `ESTIMATE` (carrying the adoption timestamp),
+    /// then at most one coordinator `PROPOSE`, one `ACK` and one `NACK`,
+    /// `DECIDE` terminates, rounds advance one at a time.
+    ///
+    /// The send discipline differs from Hurfin–Raynal in a load-bearing
+    /// way: the value-carrying echo (`ACK`) is justified by the round
+    /// coordinator's *own signed* `PROPOSE` — a coordinator-echo
+    /// discipline — where HR's `CURRENT` relay chain re-certifies the
+    /// vector at every hop. As with HR, this table is hand-written and
+    /// checked equal to [`transform`]`(`[`ProtocolSpec::crash_ct`]`)`.
+    pub fn transformed_ct() -> Self {
+        ProtocolSpec {
+            protocol: ProtocolId::ChandraToueg,
+            opening: Some(MessageKind::Init),
+            round_slots: vec![
+                SendSlot {
+                    kind: MessageKind::Estimate,
+                    mandatory: true,
+                },
+                SendSlot {
+                    kind: MessageKind::Propose,
+                    mandatory: false,
+                },
+                SendSlot {
+                    kind: MessageKind::Ack,
+                    mandatory: false,
+                },
+                SendSlot {
+                    kind: MessageKind::Nack,
+                    mandatory: false,
+                },
+            ],
+            terminal: MessageKind::Decide,
+            round_advance: 1,
+            sends: vec![
+                ConditionalSend {
+                    id: "init-broadcast",
+                    kind: MessageKind::Init,
+                    condition: "protocol start: broadcast the signed initial value".into(),
+                    route: CertRoute::VectorCertification("init-empty"),
+                    carries_value: true,
+                    justified_by: vec![],
+                },
+                ConditionalSend {
+                    id: "estimate-roundstart",
+                    kind: MessageKind::Estimate,
+                    condition:
+                        "entered round r and re-broadcast a witnessed estimate vector with its \
+                         adoption timestamp"
+                            .into(),
+                    route: CertRoute::Rule("estimate-roundstart"),
+                    carries_value: true,
+                    justified_by: vec![
+                        Justification::initial("init-broadcast"),
+                        Justification::prev("ack-echo"),
+                        Justification::prev("nack-suspicion"),
+                        Justification::prev("propose-coordinator"),
+                    ],
+                },
+                ConditionalSend {
+                    id: "propose-coordinator",
+                    kind: MessageKind::Propose,
+                    condition:
+                        "round-r coordinator collected a quorum of ESTIMATE votes and adopted a \
+                         maximum-timestamp estimate"
+                            .into(),
+                    route: CertRoute::Rule("propose-coordinator"),
+                    carries_value: true,
+                    justified_by: vec![
+                        Justification::initial("init-broadcast"),
+                        Justification::same("estimate-roundstart"),
+                    ],
+                },
+                ConditionalSend {
+                    id: "ack-echo",
+                    kind: MessageKind::Ack,
+                    condition: "received the round-r coordinator's PROPOSE and echoed it".into(),
+                    route: CertRoute::Rule("ack-echo"),
+                    carries_value: true,
+                    justified_by: vec![
+                        Justification::initial("init-broadcast"),
+                        Justification::same("propose-coordinator"),
+                    ],
+                },
+                ConditionalSend {
+                    id: "nack-suspicion",
+                    kind: MessageKind::Nack,
+                    condition: "waiting on the proposal, the muteness detector suspects the \
+                                round coordinator"
+                        .into(),
+                    route: CertRoute::Rule("nack-suspicion"),
+                    carries_value: false,
+                    justified_by: vec![],
+                },
+                ConditionalSend {
+                    id: "decide-announce",
+                    kind: MessageKind::Decide,
+                    condition: "a quorum of ACK votes for one vector were collected".into(),
+                    route: CertRoute::Rule("decide-ack-quorum"),
+                    carries_value: true,
+                    justified_by: vec![Justification::same("ack-echo")],
+                },
+            ],
+        }
+    }
+
+    /// The un-transformed Chandra–Toueg crash protocol (the ◇S rotating
+    /// coordinator protocol): no opening kind, a round sends one mandatory
+    /// `ESTIMATE`, then at most one coordinator `PROPOSE`, one `ACK`, one
+    /// `NACK`; `DECIDE` terminates. Every send is [`CertRoute::Trusted`],
+    /// exactly as in [`ProtocolSpec::crash_hr`].
+    pub fn crash_ct() -> Self {
+        ProtocolSpec {
+            protocol: ProtocolId::ChandraToueg,
+            opening: None,
+            round_slots: vec![
+                SendSlot {
+                    kind: MessageKind::Estimate,
+                    mandatory: true,
+                },
+                SendSlot {
+                    kind: MessageKind::Propose,
+                    mandatory: false,
+                },
+                SendSlot {
+                    kind: MessageKind::Ack,
+                    mandatory: false,
+                },
+                SendSlot {
+                    kind: MessageKind::Nack,
+                    mandatory: false,
+                },
+            ],
+            terminal: MessageKind::Decide,
+            round_advance: 1,
+            sends: vec![
+                ConditionalSend {
+                    id: "estimate-roundstart",
+                    kind: MessageKind::Estimate,
+                    condition: "entered round r and re-broadcast its estimate with its adoption \
+                                timestamp"
+                        .into(),
+                    route: CertRoute::Trusted,
+                    carries_value: true,
+                    justified_by: vec![
+                        Justification::prev("ack-echo"),
+                        Justification::prev("nack-suspicion"),
+                        Justification::prev("propose-coordinator"),
+                    ],
+                },
+                ConditionalSend {
+                    id: "propose-coordinator",
+                    kind: MessageKind::Propose,
+                    condition: "round-r coordinator collected a majority of ESTIMATE votes and \
+                                adopted a maximum-timestamp estimate"
+                        .into(),
+                    route: CertRoute::Trusted,
+                    carries_value: true,
+                    justified_by: vec![Justification::same("estimate-roundstart")],
+                },
+                ConditionalSend {
+                    id: "ack-echo",
+                    kind: MessageKind::Ack,
+                    condition: "received the round-r coordinator's PROPOSE and echoed it".into(),
+                    route: CertRoute::Trusted,
+                    carries_value: true,
+                    justified_by: vec![Justification::same("propose-coordinator")],
+                },
+                ConditionalSend {
+                    id: "nack-suspicion",
+                    kind: MessageKind::Nack,
+                    condition: "waiting on the proposal, the crash detector suspects the round \
+                                coordinator"
+                        .into(),
+                    route: CertRoute::Trusted,
+                    carries_value: false,
+                    justified_by: vec![],
+                },
+                ConditionalSend {
+                    id: "decide-announce",
+                    kind: MessageKind::Decide,
+                    condition: "a majority of ACK votes for one value were collected".into(),
+                    route: CertRoute::Trusted,
+                    carries_value: true,
+                    justified_by: vec![Justification::same("ack-echo")],
+                },
+            ],
+        }
+    }
+
+    /// The hand-written transformed spec for `protocol`.
+    pub fn transformed_for(protocol: ProtocolId) -> Self {
+        match protocol {
+            ProtocolId::HurfinRaynal => ProtocolSpec::transformed(),
+            ProtocolId::ChandraToueg => ProtocolSpec::transformed_ct(),
+        }
+    }
+
+    /// The un-transformed crash-model spec for `protocol`.
+    pub fn crash_for(protocol: ProtocolId) -> Self {
+        match protocol {
+            ProtocolId::HurfinRaynal => ProtocolSpec::crash_hr(),
+            ProtocolId::ChandraToueg => ProtocolSpec::crash_ct(),
+        }
+    }
+
     /// The slot index of `kind` in the round vote sequence, if any.
     pub fn slot_of(&self, kind: MessageKind) -> Option<usize> {
         self.round_slots.iter().position(|s| s.kind == kind)
@@ -432,6 +646,26 @@ pub const OBLIGATIONS: &[(&str, &str)] = &[
     ("next-end-of-round", "next-end-of-round"),
     ("decide-announce", "decide-current-quorum"),
 ];
+
+/// The §5 certification-obligation table for Chandra–Toueg: same shape as
+/// [`OBLIGATIONS`], different certificate design — the `ack-echo` rule
+/// demands the coordinator's *own* signed `PROPOSE` (a one-hop echo) where
+/// HR's relay rule re-derives the quorum at every hop.
+pub const OBLIGATIONS_CT: &[(&str, &str)] = &[
+    ("estimate-roundstart", "estimate-roundstart"),
+    ("propose-coordinator", "propose-coordinator"),
+    ("ack-echo", "ack-echo"),
+    ("nack-suspicion", "nack-suspicion"),
+    ("decide-announce", "decide-ack-quorum"),
+];
+
+/// The obligation table for `protocol`.
+pub fn obligations_for(protocol: ProtocolId) -> &'static [(&'static str, &'static str)] {
+    match protocol {
+        ProtocolId::HurfinRaynal => OBLIGATIONS,
+        ProtocolId::ChandraToueg => OBLIGATIONS_CT,
+    }
+}
 
 /// The vocabulary substitutions the module stack performs on send
 /// conditions, applied left to right:
@@ -494,8 +728,9 @@ pub fn transform(spec: &ProtocolSpec) -> ProtocolSpec {
         justified_by: vec![],
     }];
 
+    let obligations = obligations_for(spec.protocol);
     for send in &spec.sends {
-        let (_, rule) = OBLIGATIONS
+        let (_, rule) = obligations
             .iter()
             .find(|(id, _)| *id == send.id)
             .unwrap_or_else(|| panic!("send `{}` has no certification obligation", send.id));
@@ -515,6 +750,7 @@ pub fn transform(spec: &ProtocolSpec) -> ProtocolSpec {
     }
 
     ProtocolSpec {
+        protocol: spec.protocol,
         opening: Some(MessageKind::Init),
         round_slots: spec.round_slots.clone(),
         terminal: spec.terminal,
@@ -708,5 +944,79 @@ mod tests {
     #[should_panic(expected = "already opens")]
     fn transforming_twice_is_rejected() {
         let _ = transform(&ProtocolSpec::transformed());
+    }
+
+    #[test]
+    fn ct_transformed_spec_names_every_wire_kind_once() {
+        let spec = ProtocolSpec::transformed_ct();
+        assert_eq!(spec.protocol, ProtocolId::ChandraToueg);
+        assert_eq!(spec.opening, Some(MessageKind::Init));
+        assert_eq!(spec.terminal, MessageKind::Decide);
+        assert_eq!(spec.slot_of(MessageKind::Estimate), Some(0));
+        assert_eq!(spec.slot_of(MessageKind::Propose), Some(1));
+        assert_eq!(spec.slot_of(MessageKind::Ack), Some(2));
+        assert_eq!(spec.slot_of(MessageKind::Nack), Some(3));
+        assert!(spec
+            .round_slots
+            .iter()
+            .all(|s| Some(s.kind) != spec.opening && s.kind != spec.terminal));
+        // CT's mandatory slot is the *first* one: every round opens with
+        // an ESTIMATE re-broadcast, the coordinator-echo tail is optional.
+        assert!(spec.round_slots[0].mandatory);
+        assert!(spec.round_slots[1..].iter().all(|s| !s.mandatory));
+    }
+
+    #[test]
+    fn ct_conditional_sends_are_distinct_and_init_is_the_only_uncertifiable() {
+        let spec = ProtocolSpec::transformed_ct();
+        let sends = spec.conditional_sends();
+        let ids: std::collections::BTreeSet<&str> = sends.iter().map(|s| s.id).collect();
+        assert_eq!(ids.len(), sends.len(), "send ids collide");
+        let rules: std::collections::BTreeSet<&str> =
+            sends.iter().filter_map(|s| s.route.rule_id()).collect();
+        assert_eq!(rules.len(), sends.len(), "rule references collide");
+        for s in &sends {
+            if !s.route.condition_certifiable() {
+                assert_eq!(
+                    Some(s.kind),
+                    spec.opening,
+                    "only initial values are uncertifiable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ct_crash_spec_is_the_transformed_spec_minus_auditability() {
+        let crash = ProtocolSpec::crash_ct();
+        let trans = ProtocolSpec::transformed_ct();
+        assert_eq!(crash.opening, None);
+        assert_eq!(crash.round_slots, trans.round_slots);
+        assert_eq!(crash.terminal, trans.terminal);
+        assert_eq!(crash.round_advance, trans.round_advance);
+        assert!(crash.sends.iter().all(|s| s.route == CertRoute::Trusted));
+        assert_eq!(crash.sends.len() + 1, trans.sends.len());
+    }
+
+    #[test]
+    fn transform_reproduces_the_hand_written_ct_spec() {
+        let derived = transform(&ProtocolSpec::crash_ct());
+        let hand = ProtocolSpec::transformed_ct();
+        for (d, h) in derived.sends.iter().zip(hand.sends.iter()) {
+            assert_eq!(d, h, "send `{}` diverges from the hand-written table", h.id);
+        }
+        assert_eq!(derived, hand);
+    }
+
+    #[test]
+    fn protocol_selectors_agree_with_the_named_constructors() {
+        for p in ProtocolId::all() {
+            assert_eq!(ProtocolSpec::transformed_for(p).protocol, p);
+            assert_eq!(ProtocolSpec::crash_for(p).protocol, p);
+            assert_eq!(
+                transform(&ProtocolSpec::crash_for(p)),
+                ProtocolSpec::transformed_for(p)
+            );
+        }
     }
 }

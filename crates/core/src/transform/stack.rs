@@ -2,11 +2,13 @@
 //! muteness failure detection, non-muteness failure detection.
 
 use ftm_certify::analyzer::{CertChecker, NextTrigger};
-use ftm_certify::{CertifyError, Envelope, FaultClass};
+use ftm_certify::{CertifyError, Envelope, FaultClass, ProtocolId};
 use ftm_detect::observer::Checks;
 use ftm_detect::Observer;
 use ftm_fd::{FailureDetector, MutenessDetector, TimeoutDetector};
 use ftm_sim::{Duration, ProcessId, VirtualTime};
+
+use crate::config::{MutenessMode, ProtocolSetup};
 
 /// Outcome of pushing one incoming envelope through the stack.
 #[derive(Debug)]
@@ -157,6 +159,23 @@ impl ModuleStack {
             checks,
             MutenessFd::Adaptive(TimeoutDetector::new(n, muteness_timeout)),
         )
+    }
+
+    /// Builds the stack a transformed-protocol process embeds: the
+    /// analyzer keyed to `protocol`'s rule table, the checks and ◇M
+    /// implementation selected by the setup's configuration.
+    pub fn for_setup(protocol: ProtocolId, setup: &ProtocolSetup) -> Self {
+        let res = setup.resilience;
+        let checker = CertChecker::new_for(protocol, res.n(), res.f(), setup.dir.clone());
+        let muteness = match setup.config.muteness_mode {
+            MutenessMode::Adaptive => {
+                MutenessFd::Adaptive(TimeoutDetector::new(res.n(), setup.config.muteness_timeout))
+            }
+            MutenessMode::RoundAware { per_round } => MutenessFd::RoundAware(
+                MutenessDetector::new(res.n(), setup.config.muteness_timeout, per_round),
+            ),
+        };
+        Self::with_options(checker, setup.config.checks, muteness)
     }
 
     /// Fully explicit constructor: check configuration plus the muteness

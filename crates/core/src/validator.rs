@@ -132,12 +132,25 @@ pub fn check_vector_consensus(
     }
 }
 
+/// Strips the replicated-log workload's `s<slot>:` note prefix, so the
+/// note parsers below work on one-shot and per-slot notes alike.
+fn strip_slot_prefix(text: &str) -> &str {
+    if let Some(rest) = text.strip_prefix('s') {
+        if let Some((digits, tail)) = rest.split_once(':') {
+            if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+                return tail;
+            }
+        }
+    }
+    text
+}
+
 /// Number of rounds `p` opened during the run (counts `round=` notes).
 pub fn rounds_used(trace: &Trace, p: ProcessId) -> usize {
     trace
         .notes_of(p)
         .iter()
-        .filter(|s| s.starts_with("round="))
+        .filter(|s| strip_slot_prefix(s).starts_with("round="))
         .count()
 }
 
@@ -163,12 +176,13 @@ pub struct Detection {
 }
 
 /// Extracts all non-muteness detections from a trace (notes emitted by the
-/// transformed protocol as `detected=<p> class=<c> reason=<r>`).
+/// transformed protocol as `detected=<p> class=<c> reason=<r>`, optionally
+/// behind a replicated-log slot prefix).
 pub fn detections(trace: &Trace) -> Vec<Detection> {
     let mut out = Vec::new();
     for entry in trace.entries() {
         if let TraceEvent::Note { process, text } = &entry.event {
-            if let Some(rest) = text.strip_prefix("detected=") {
+            if let Some(rest) = strip_slot_prefix(text).strip_prefix("detected=") {
                 let mut culprit = String::new();
                 let mut class = String::new();
                 for tok in rest.split_whitespace() {

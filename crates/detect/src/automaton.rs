@@ -1,9 +1,15 @@
-//! The per-peer observer automaton (paper Fig. 4).
+//! The per-peer observer automaton (paper Fig. 4), table-driven.
 //!
 //! `SM_p(q)` tracks what a correct `q` may send next over the FIFO channel
-//! `q → p`. Because every correct process sends, per round, at most one
-//! CURRENT followed by at most one NEXT — and always a NEXT before leaving
-//! the round (Fig. 3 line 31) — the legal per-round patterns are:
+//! `q → p`. The *shape* of the automaton is per-protocol data — a
+//! [`ProtocolTable`] names the opening kind, the ordered per-round send
+//! slots (each mandatory or optional) and the terminal kind — while the
+//! transition logic is generic: slots fire in order at most once per
+//! round, a round may only be left once every remaining mandatory slot was
+//! sent, and rounds advance one at a time.
+//!
+//! For Hurfin–Raynal (slots `[CURRENT?, NEXT!]`) this instantiates to the
+//! paper's Fig. 4:
 //!
 //! ```text
 //! start ──INIT──▶ q0(r=1)
@@ -13,6 +19,10 @@
 //! anything else ──▶ faulty   (terminal)
 //! ```
 //!
+//! For Chandra–Toueg (slots `[ESTIMATE!, PROPOSE?, ACK?, NACK?]`) the same
+//! logic yields a five-position round automaton in which a PROPOSE before
+//! the sender's own ESTIMATE, or a round entered without one, convicts.
+//!
 //! The automaton checks *timing* (enabled receipt events); content and
 //! certificate checks (`PF` predicates) are the
 //! [`ftm_certify::CertChecker`]'s and [`crate::predicates`]'s job and are
@@ -20,38 +30,131 @@
 
 use std::fmt;
 
-use ftm_certify::{CertifyError, Envelope, FaultClass, MessageKind, Round};
+use ftm_certify::{CertifyError, Envelope, FaultClass, MessageKind, ProtocolId, Round};
 use ftm_sim::ProcessId;
+
+/// The per-protocol shape of the observer automaton: which kind opens a
+/// peer's lifetime, which kinds it may send per round and in what order
+/// (each at most once; `true` marks a mandatory slot), and which kind
+/// terminates it.
+///
+/// The table is static data maintained next to the automaton, mirrored by
+/// `ftm_core::spec::ProtocolSpec`'s `round_slots`; `ftm-verify` diffs the
+/// two artifacts edge-by-edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolTable {
+    /// The protocol this table describes.
+    pub protocol: ProtocolId,
+    /// The kind that opens a peer's lifetime (sent exactly once).
+    pub opening: MessageKind,
+    /// Ordered per-round send slots as `(kind, mandatory)`.
+    pub slots: &'static [(MessageKind, bool)],
+    /// The kind that terminates a peer's lifetime (relayable any time).
+    pub terminal: MessageKind,
+}
+
+static HR_TABLE: ProtocolTable = ProtocolTable {
+    protocol: ProtocolId::HurfinRaynal,
+    opening: MessageKind::Init,
+    slots: &[(MessageKind::Current, false), (MessageKind::Next, true)],
+    terminal: MessageKind::Decide,
+};
+
+static CT_TABLE: ProtocolTable = ProtocolTable {
+    protocol: ProtocolId::ChandraToueg,
+    opening: MessageKind::Init,
+    slots: &[
+        (MessageKind::Estimate, true),
+        (MessageKind::Propose, false),
+        (MessageKind::Ack, false),
+        (MessageKind::Nack, false),
+    ],
+    terminal: MessageKind::Decide,
+};
+
+impl ProtocolTable {
+    /// The transformed Hurfin–Raynal table (paper Fig. 4).
+    pub fn hurfin_raynal() -> &'static ProtocolTable {
+        &HR_TABLE
+    }
+
+    /// The transformed Chandra–Toueg table (coordinator-echo rounds).
+    pub fn chandra_toueg() -> &'static ProtocolTable {
+        &CT_TABLE
+    }
+
+    /// The table of the given protocol.
+    pub fn for_protocol(protocol: ProtocolId) -> &'static ProtocolTable {
+        match protocol {
+            ProtocolId::HurfinRaynal => &HR_TABLE,
+            ProtocolId::ChandraToueg => &CT_TABLE,
+        }
+    }
+
+    /// The slot index of `kind`, or `None` for non-slot kinds.
+    pub fn slot_of(&self, kind: MessageKind) -> Option<usize> {
+        self.slots.iter().position(|(k, _)| *k == kind)
+    }
+
+    /// `true` when a correct peer may leave the round from slot progress
+    /// `pos`: every remaining slot is optional.
+    pub fn advance_ready(&self, pos: usize) -> bool {
+        self.slots[pos.min(self.slots.len())..]
+            .iter()
+            .all(|(_, mandatory)| !mandatory)
+    }
+
+    /// `true` when a vote may land on slot `j` directly from progress
+    /// `from`: every slot in between is optional.
+    pub fn entry_legal(&self, from: usize, j: usize) -> bool {
+        self.slots[from..j].iter().all(|(_, mandatory)| !mandatory)
+    }
+
+    /// The first mandatory slot kind at or after `pos` (what a peer still
+    /// owes the round before leaving it).
+    pub fn first_mandatory_from(&self, pos: usize) -> Option<MessageKind> {
+        self.slots[pos.min(self.slots.len())..]
+            .iter()
+            .find(|(_, mandatory)| *mandatory)
+            .map(|(k, _)| *k)
+    }
+}
 
 /// Observer-side phases of a peer, mirroring the protocol automaton's
 /// states plus the observer-specific `start`, `final` and `faulty`.
+///
+/// `InRound(i)` means the peer is believed in-round with the first `i`
+/// send slots passed; the paper's `q0`/`q1`/`q2` for Hurfin–Raynal are
+/// [`PeerPhase::Q0`]/[`PeerPhase::Q1`]/[`PeerPhase::Q2`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PeerPhase {
-    /// Nothing received yet; an INIT is expected.
+    /// Nothing received yet; the opening kind is expected.
     Start,
-    /// In a round, no vote seen yet.
-    Q0,
-    /// Voted CURRENT in this round.
-    Q1,
-    /// Voted NEXT in this round.
-    Q2,
-    /// Decided (DECIDE seen); nothing further may arrive.
+    /// In a round with the first `i` send slots passed.
+    InRound(usize),
+    /// Decided (the terminal kind seen); nothing further may arrive.
     Final,
     /// Convicted: a fault was observed. Terminal.
     Faulty,
 }
 
+impl PeerPhase {
+    /// The paper's `q0`: in-round, no vote seen yet.
+    pub const Q0: PeerPhase = PeerPhase::InRound(0);
+    /// The paper's `q1` (HR): voted CURRENT in this round.
+    pub const Q1: PeerPhase = PeerPhase::InRound(1);
+    /// The paper's `q2` (HR): voted NEXT in this round.
+    pub const Q2: PeerPhase = PeerPhase::InRound(2);
+}
+
 impl fmt::Display for PeerPhase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            PeerPhase::Start => "start",
-            PeerPhase::Q0 => "q0",
-            PeerPhase::Q1 => "q1",
-            PeerPhase::Q2 => "q2",
-            PeerPhase::Final => "final",
-            PeerPhase::Faulty => "faulty",
-        };
-        f.write_str(s)
+        match self {
+            PeerPhase::Start => f.write_str("start"),
+            PeerPhase::InRound(i) => write!(f, "q{i}"),
+            PeerPhase::Final => f.write_str("final"),
+            PeerPhase::Faulty => f.write_str("faulty"),
+        }
     }
 }
 
@@ -65,6 +168,63 @@ pub enum Requirement {
     /// Message opens round `new_round` for this peer: additionally check
     /// round-entry evidence ([`crate::predicates::round_entry_justified`]).
     RoundEntry(Round),
+}
+
+/// "duplicate {kind}" / "duplicate {kind} in one round" per kind, kept as
+/// static strings so convictions stay allocation-free.
+fn duplicate_reason(kind: MessageKind) -> &'static str {
+    match kind {
+        MessageKind::Init => "duplicate INIT",
+        MessageKind::Current => "duplicate CURRENT in one round",
+        MessageKind::Next => "duplicate NEXT in one round",
+        MessageKind::Decide => "duplicate DECIDE in one round",
+        MessageKind::Estimate => "duplicate ESTIMATE in one round",
+        MessageKind::Propose => "duplicate PROPOSE in one round",
+        MessageKind::Ack => "duplicate ACK in one round",
+        MessageKind::Nack => "duplicate NACK in one round",
+    }
+}
+
+/// "{kind} after {last}" for the realizable backwards-slot pairs.
+fn order_reason(kind: MessageKind, last: MessageKind) -> &'static str {
+    use MessageKind::{Ack, Current, Estimate, Nack, Next, Propose};
+    match (kind, last) {
+        (Current, Next) => "CURRENT after NEXT in one round",
+        (Estimate, Propose) => "ESTIMATE after PROPOSE in one round",
+        (Estimate, Ack) => "ESTIMATE after ACK in one round",
+        (Estimate, Nack) => "ESTIMATE after NACK in one round",
+        (Propose, Ack) => "PROPOSE after ACK in one round",
+        (Propose, Nack) => "PROPOSE after NACK in one round",
+        (Ack, Nack) => "ACK after NACK in one round",
+        _ => "vote out of slot order in one round",
+    }
+}
+
+/// "left round without sending {kind}" for the mandatory slot kinds.
+fn left_round_reason(owed: MessageKind) -> &'static str {
+    match owed {
+        MessageKind::Next => "left round without sending NEXT",
+        MessageKind::Estimate => "left round without sending ESTIMATE",
+        _ => "left round without a mandatory vote",
+    }
+}
+
+/// Same-round vote landing past an unsent mandatory slot.
+fn skip_mandatory_reason(owed: MessageKind) -> &'static str {
+    match owed {
+        MessageKind::Estimate => "vote before the mandatory ESTIMATE in one round",
+        MessageKind::Next => "vote before the mandatory NEXT in one round",
+        _ => "vote skips a mandatory slot in one round",
+    }
+}
+
+/// New round opened with a vote past an unsent mandatory slot.
+fn entry_past_mandatory_reason(owed: MessageKind) -> &'static str {
+    match owed {
+        MessageKind::Estimate => "round entered without its mandatory ESTIMATE",
+        MessageKind::Next => "round entered without its mandatory NEXT",
+        _ => "round entered past a mandatory slot",
+    }
 }
 
 /// The timing automaton for one peer.
@@ -83,26 +243,50 @@ pub struct PeerAutomaton {
     peer: ProcessId,
     phase: PeerPhase,
     round: Round,
+    table: &'static ProtocolTable,
 }
 
 impl PeerAutomaton {
-    /// Creates the automaton in `start`, before any receipt.
+    /// Creates the automaton in `start`, before any receipt, with the
+    /// Hurfin–Raynal table (see [`PeerAutomaton::new_for`]).
     pub fn new(peer: ProcessId) -> Self {
+        PeerAutomaton::new_for(ProtocolTable::hurfin_raynal(), peer)
+    }
+
+    /// Creates the automaton in `start` with an explicit protocol table.
+    pub fn new_for(table: &'static ProtocolTable, peer: ProcessId) -> Self {
         PeerAutomaton {
             peer,
             phase: PeerPhase::Start,
             round: 0,
+            table,
         }
     }
 
-    /// Creates the automaton in an arbitrary `(phase, round)` state.
+    /// Creates a Hurfin–Raynal automaton in an arbitrary `(phase, round)`
+    /// state.
     ///
     /// This exists for *static analysis*: `ftm-verify` enumerates the
     /// transition function state by state, which requires placing the
     /// automaton in each state directly instead of replaying a history
     /// that reaches it. Protocol code should use [`PeerAutomaton::new`].
     pub fn at(peer: ProcessId, phase: PeerPhase, round: Round) -> Self {
-        PeerAutomaton { peer, phase, round }
+        PeerAutomaton::at_for(ProtocolTable::hurfin_raynal(), peer, phase, round)
+    }
+
+    /// [`PeerAutomaton::at`] with an explicit protocol table.
+    pub fn at_for(
+        table: &'static ProtocolTable,
+        peer: ProcessId,
+        phase: PeerPhase,
+        round: Round,
+    ) -> Self {
+        PeerAutomaton {
+            peer,
+            phase,
+            round,
+            table,
+        }
     }
 
     /// The observed peer.
@@ -110,12 +294,18 @@ impl PeerAutomaton {
         self.peer
     }
 
+    /// The protocol table driving this automaton.
+    pub fn table(&self) -> &'static ProtocolTable {
+        self.table
+    }
+
     /// Current phase.
     pub fn phase(&self) -> PeerPhase {
         self.phase
     }
 
-    /// The round the peer is believed to be in (0 until its INIT arrives).
+    /// The round the peer is believed to be in (0 until its opening
+    /// message arrives).
     pub fn round(&self) -> Round {
         self.round
     }
@@ -166,79 +356,79 @@ impl PeerAutomaton {
                 "message from an already convicted peer",
             )),
             PeerPhase::Final => self.fault("message after DECIDE (halted process spoke)"),
-            PeerPhase::Start => match kind {
-                MessageKind::Init => {
-                    self.phase = PeerPhase::Q0;
+            PeerPhase::Start => {
+                if kind == self.table.opening {
+                    self.phase = PeerPhase::InRound(0);
                     self.round = 1;
                     Ok(Requirement::Standard)
+                } else {
+                    // A process that decides before sending the opening
+                    // never ran the vector-certification phase — relayed
+                    // DECIDEs are possible only after INIT, since the
+                    // protocol starts with the INIT broadcast.
+                    self.fault("first message is not INIT")
                 }
-                // A process that decides before sending INIT never ran the
-                // vector-certification phase — but relayed DECIDEs are
-                // possible only after INIT, since the protocol starts with
-                // the INIT broadcast. Anything but INIT first is faulty.
-                _ => self.fault("first message is not INIT"),
-            },
-            PeerPhase::Q0 | PeerPhase::Q1 | PeerPhase::Q2 => {
-                if kind == MessageKind::Decide {
-                    // DECIDE is enabled from any in-round phase (a process
-                    // may relay a DECIDE it received at any time).
+            }
+            PeerPhase::InRound(pos) => {
+                if kind == self.table.terminal {
+                    // The terminal kind is enabled from any in-round phase
+                    // (a process may relay a DECIDE it received any time).
                     self.phase = PeerPhase::Final;
                     return Ok(Requirement::Standard);
                 }
-                if kind == MessageKind::Init {
-                    return self.fault("duplicate INIT");
+                if kind == self.table.opening {
+                    return self.fault(duplicate_reason(self.table.opening));
                 }
+                let Some(j) = self.table.slot_of(kind) else {
+                    // A kind the protocol's program text never produces.
+                    return self.fault("message kind outside the protocol's alphabet");
+                };
                 if r < self.round {
                     return self.fault("message for a past round (replay or duplication)");
                 }
                 if r > self.round {
-                    // FIFO: the peer left its round without our seeing the
-                    // mandatory NEXT unless it was in q2; and correct
+                    // FIFO: the peer left its round without our seeing
+                    // every mandatory slot, or skipped ahead — correct
                     // processes advance one round at a time.
-                    if self.phase != PeerPhase::Q2 {
-                        return self.fault("left round without sending NEXT");
+                    if !self.table.advance_ready(pos) {
+                        let owed = self
+                            .table
+                            .first_mandatory_from(pos)
+                            .expect("not advance-ready implies an owed mandatory slot");
+                        return self.fault(left_round_reason(owed));
                     }
                     if r != self.round + 1 {
                         return self.fault("skipped a round");
                     }
-                    // Round advance: re-enter q0 and re-dispatch.
+                    if !self.table.entry_legal(0, j) {
+                        let owed = self
+                            .table
+                            .first_mandatory_from(0)
+                            .expect("entry past a mandatory slot implies one exists");
+                        return self.fault(entry_past_mandatory_reason(owed));
+                    }
+                    // Round advance: re-enter the new round at slot j.
                     self.round = r;
-                    self.phase = PeerPhase::Q0;
-                    return match kind {
-                        MessageKind::Current => {
-                            self.phase = PeerPhase::Q1;
-                            Ok(Requirement::RoundEntry(r))
-                        }
-                        MessageKind::Next => {
-                            self.phase = PeerPhase::Q2;
-                            Ok(Requirement::RoundEntry(r))
-                        }
-                        _ => unreachable!("INIT/DECIDE handled above"),
-                    };
+                    self.phase = PeerPhase::InRound(j + 1);
+                    return Ok(Requirement::RoundEntry(r));
                 }
-                // Same round.
-                match (self.phase, kind) {
-                    (PeerPhase::Q0, MessageKind::Current) => {
-                        self.phase = PeerPhase::Q1;
-                        Ok(Requirement::Standard)
+                // Same round: slots fire in order, at most once.
+                if j < pos {
+                    if j + 1 == pos {
+                        return self.fault(duplicate_reason(kind));
                     }
-                    (PeerPhase::Q0, MessageKind::Next) => {
-                        self.phase = PeerPhase::Q2;
-                        Ok(Requirement::Standard)
-                    }
-                    (PeerPhase::Q1, MessageKind::Next) => {
-                        self.phase = PeerPhase::Q2;
-                        Ok(Requirement::Standard)
-                    }
-                    (PeerPhase::Q1, MessageKind::Current) => {
-                        self.fault("duplicate CURRENT in one round")
-                    }
-                    (PeerPhase::Q2, MessageKind::Next) => self.fault("duplicate NEXT in one round"),
-                    (PeerPhase::Q2, MessageKind::Current) => {
-                        self.fault("CURRENT after NEXT in one round")
-                    }
-                    _ => unreachable!("all kinds covered"),
+                    let (last, _) = self.table.slots[pos - 1];
+                    return self.fault(order_reason(kind, last));
                 }
+                if !self.table.entry_legal(pos, j) {
+                    let owed = self
+                        .table
+                        .first_mandatory_from(pos)
+                        .expect("skipping a mandatory slot implies one exists");
+                    return self.fault(skip_mandatory_reason(owed));
+                }
+                self.phase = PeerPhase::InRound(j + 1);
+                Ok(Requirement::Standard)
             }
         }
     }
@@ -520,5 +710,124 @@ mod tests {
         a.convict();
         assert!(a.is_faulty());
         assert!(a.on_message(&env(&ks, 1, Core::Init { value: 1 })).is_err());
+    }
+
+    #[test]
+    fn foreign_kind_convicts() {
+        // An HR observer receiving a CT vote: the program text of HR never
+        // produces an ESTIMATE, so the sender is convicted on timing.
+        let mut a = PeerAutomaton::at(ProcessId(1), PeerPhase::Q0, 1);
+        let err = a.step(MessageKind::Estimate, 1).unwrap_err();
+        assert!(err.reason.contains("outside the protocol's alphabet"));
+        assert!(a.is_faulty());
+    }
+
+    fn ct() -> &'static ProtocolTable {
+        ProtocolTable::chandra_toueg()
+    }
+
+    #[test]
+    fn ct_honest_coordinator_round_is_accepted() {
+        // Coordinator: ESTIMATE, PROPOSE, ACK, then advance into round 2.
+        let mut a = PeerAutomaton::new_for(ct(), ProcessId(0));
+        assert!(a.step(MessageKind::Init, 0).is_ok());
+        assert_eq!(a.phase(), PeerPhase::InRound(0));
+        assert_eq!(a.round(), 1);
+        assert!(a.step(MessageKind::Estimate, 1).is_ok());
+        assert_eq!(a.phase(), PeerPhase::InRound(1));
+        assert!(a.step(MessageKind::Propose, 1).is_ok());
+        assert_eq!(a.phase(), PeerPhase::InRound(2));
+        assert!(a.step(MessageKind::Ack, 1).is_ok());
+        assert_eq!(a.phase(), PeerPhase::InRound(3));
+        let req = a.step(MessageKind::Estimate, 2).unwrap();
+        assert_eq!(req, Requirement::RoundEntry(2));
+        assert_eq!(a.phase(), PeerPhase::InRound(1));
+        assert_eq!(a.round(), 2);
+        assert!(a.step(MessageKind::Decide, 2).is_ok());
+        assert_eq!(a.phase(), PeerPhase::Final);
+    }
+
+    #[test]
+    fn ct_non_coordinator_skips_propose() {
+        // A replica: ESTIMATE then ACK (slot 2) directly — PROPOSE is an
+        // optional slot, so skipping it is legal.
+        let mut a = PeerAutomaton::at_for(ct(), ProcessId(1), PeerPhase::InRound(0), 1);
+        assert!(a.step(MessageKind::Estimate, 1).is_ok());
+        assert!(a.step(MessageKind::Ack, 1).is_ok());
+        assert_eq!(a.phase(), PeerPhase::InRound(3));
+    }
+
+    #[test]
+    fn ct_propose_before_estimate_convicts() {
+        // The coordinator-echo discipline: even the coordinator opens with
+        // its own ESTIMATE; a PROPOSE first skips the mandatory slot.
+        let mut a = PeerAutomaton::at_for(ct(), ProcessId(0), PeerPhase::InRound(0), 1);
+        let err = a.step(MessageKind::Propose, 1).unwrap_err();
+        assert!(err.reason.contains("mandatory ESTIMATE"), "{}", err.reason);
+        assert!(a.is_faulty());
+    }
+
+    #[test]
+    fn ct_ack_after_nack_convicts() {
+        let mut a = PeerAutomaton::at_for(ct(), ProcessId(1), PeerPhase::InRound(0), 1);
+        a.step(MessageKind::Estimate, 1).unwrap();
+        a.step(MessageKind::Nack, 1).unwrap();
+        assert_eq!(a.phase(), PeerPhase::InRound(4));
+        let err = a.step(MessageKind::Ack, 1).unwrap_err();
+        assert!(err.reason.contains("ACK after NACK"), "{}", err.reason);
+    }
+
+    #[test]
+    fn ct_round_left_without_estimate_convicts() {
+        // A peer in q0 of round 1 jumping to round 2 never sent its
+        // mandatory ESTIMATE(1).
+        let mut a = PeerAutomaton::at_for(ct(), ProcessId(1), PeerPhase::InRound(0), 1);
+        let err = a.step(MessageKind::Estimate, 2).unwrap_err();
+        assert!(
+            err.reason.contains("without sending ESTIMATE"),
+            "{}",
+            err.reason
+        );
+    }
+
+    #[test]
+    fn ct_round_entered_past_estimate_convicts() {
+        // Advance-ready in round 1, but the first message of round 2 is an
+        // ACK — the peer's own ESTIMATE(2) must come first (FIFO).
+        let mut a = PeerAutomaton::at_for(ct(), ProcessId(1), PeerPhase::InRound(4), 1);
+        let err = a.step(MessageKind::Ack, 2).unwrap_err();
+        assert!(
+            err.reason.contains("without its mandatory ESTIMATE"),
+            "{}",
+            err.reason
+        );
+    }
+
+    #[test]
+    fn ct_duplicate_estimate_convicts() {
+        let mut a = PeerAutomaton::at_for(ct(), ProcessId(1), PeerPhase::InRound(0), 1);
+        a.step(MessageKind::Estimate, 1).unwrap();
+        let err = a.step(MessageKind::Estimate, 1).unwrap_err();
+        assert!(err.reason.contains("duplicate ESTIMATE"), "{}", err.reason);
+    }
+
+    #[test]
+    fn table_helpers_expose_slot_structure() {
+        let t = ProtocolTable::chandra_toueg();
+        assert_eq!(t.slot_of(MessageKind::Estimate), Some(0));
+        assert_eq!(t.slot_of(MessageKind::Nack), Some(3));
+        assert_eq!(t.slot_of(MessageKind::Current), None);
+        assert!(!t.advance_ready(0));
+        assert!(t.advance_ready(1));
+        assert!(t.entry_legal(1, 3));
+        assert!(!t.entry_legal(0, 1));
+        assert_eq!(t.first_mandatory_from(0), Some(MessageKind::Estimate));
+        assert_eq!(t.first_mandatory_from(1), None);
+        assert_eq!(
+            ProtocolTable::for_protocol(ProtocolId::HurfinRaynal)
+                .slots
+                .len(),
+            2
+        );
     }
 }

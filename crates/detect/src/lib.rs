@@ -23,5 +23,5 @@ pub mod automaton;
 pub mod observer;
 pub mod predicates;
 
-pub use automaton::{PeerAutomaton, PeerPhase, Requirement};
+pub use automaton::{PeerAutomaton, PeerPhase, ProtocolTable, Requirement};
 pub use observer::{FaultRecord, Observer};

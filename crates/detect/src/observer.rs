@@ -18,7 +18,7 @@ use ftm_certify::analyzer::{CertChecker, NextTrigger};
 use ftm_certify::{CertifyError, Envelope, FaultClass, MessageKind};
 use ftm_sim::{ProcessId, VirtualTime};
 
-use crate::automaton::{PeerAutomaton, PeerPhase, Requirement};
+use crate::automaton::{PeerAutomaton, PeerPhase, ProtocolTable, Requirement};
 use crate::predicates::round_entry_justified;
 
 /// One conviction with its evidence.
@@ -86,10 +86,12 @@ pub struct Observer {
 }
 
 impl Observer {
-    /// Creates an observer for all `n` peers of `checker`.
+    /// Creates an observer for all `n` peers of `checker`, with the
+    /// automaton table of the checker's protocol.
     pub fn new(checker: CertChecker) -> Self {
+        let table = ProtocolTable::for_protocol(checker.protocol());
         let automata = (0..checker.n() as u32)
-            .map(|i| PeerAutomaton::new(ProcessId(i)))
+            .map(|i| PeerAutomaton::new_for(table, ProcessId(i)))
             .collect();
         Observer {
             checker,
@@ -195,6 +197,30 @@ impl Observer {
             },
             MessageKind::Decide => {
                 if let Err(e) = self.checker.check_decide(env) {
+                    return Err(self.convict(e, now));
+                }
+                None
+            }
+            MessageKind::Estimate => {
+                if let Err(e) = self.checker.check_estimate(env) {
+                    return Err(self.convict(e, now));
+                }
+                None
+            }
+            MessageKind::Propose => {
+                if let Err(e) = self.checker.check_propose(env) {
+                    return Err(self.convict(e, now));
+                }
+                None
+            }
+            MessageKind::Ack => {
+                if let Err(e) = self.checker.check_ack(env) {
+                    return Err(self.convict(e, now));
+                }
+                None
+            }
+            MessageKind::Nack => {
+                if let Err(e) = self.checker.check_nack(env) {
                     return Err(self.convict(e, now));
                 }
                 None

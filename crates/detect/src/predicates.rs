@@ -8,12 +8,12 @@
 //! claimed transition).
 
 use ftm_certify::analyzer::CertChecker;
-use ftm_certify::{CertifyError, Envelope, FaultClass, MessageKind, Round};
+use ftm_certify::{CertifyError, Envelope, FaultClass, MessageKind, ProtocolId, Round};
 
 /// Checks that an envelope justifies the peer *entering* `round`.
 ///
 /// A correct process's first message of round `r > 1` can prove its round
-/// entry in one of three ways:
+/// entry in one of three protocol-specific ways. Under Hurfin–Raynal:
 ///
 /// 1. a NEXT-portion of `n−F` signed `NEXT(r−1)` (it saw the previous
 ///    round end — coordinators must use this form, enforced separately by
@@ -22,6 +22,10 @@ use ftm_certify::{CertifyError, Envelope, FaultClass, MessageKind, Round};
 ///    vouches for the round — the relayed-CURRENT case);
 /// 3. a full quorum of `NEXT(r)` items (others are already leaving `r`,
 ///    which subsumes the evidence that `r` started).
+///
+/// Under Chandra–Toueg the same three shapes read: `n−F` signed
+/// `ACK/NACK(r−1)`; the round-`r` coordinator's own signed `PROPOSE(r)`;
+/// a full quorum of `ACK/NACK(r)`.
 ///
 /// # Errors
 ///
@@ -34,25 +38,50 @@ pub fn round_entry_justified(
     if round <= 1 {
         return Ok(());
     }
-    // (1) n−F NEXT(round−1).
-    if checker
-        .next_portion_well_formed(&env.cert, round, env.sender())
-        .is_ok()
-    {
-        return Ok(());
-    }
-    // (2) the coordinator's signed CURRENT for this round.
     let coord = checker.coordinator(round);
-    let coord_current = env
-        .cert
-        .iter_kind_round(MessageKind::Current, round)
-        .any(|i| i.sender() == coord);
-    if coord_current {
-        return Ok(());
-    }
-    // (3) a NEXT(round) quorum.
-    if env.cert.count(MessageKind::Next, round) >= checker.quorum() {
-        return Ok(());
+    match checker.protocol() {
+        ProtocolId::HurfinRaynal => {
+            // (1) n−F NEXT(round−1).
+            if checker
+                .next_portion_well_formed(&env.cert, round, env.sender())
+                .is_ok()
+            {
+                return Ok(());
+            }
+            // (2) the coordinator's signed CURRENT for this round.
+            let coord_current = env
+                .cert
+                .iter_kind_round(MessageKind::Current, round)
+                .any(|i| i.sender() == coord);
+            if coord_current {
+                return Ok(());
+            }
+            // (3) a NEXT(round) quorum.
+            if env.cert.count(MessageKind::Next, round) >= checker.quorum() {
+                return Ok(());
+            }
+        }
+        ProtocolId::ChandraToueg => {
+            // (1) n−F ACK/NACK(round−1).
+            if checker
+                .ct_round_entry_well_formed(&env.cert, round, env.sender())
+                .is_ok()
+            {
+                return Ok(());
+            }
+            // (2) the coordinator's signed PROPOSE for this round.
+            let coord_propose = env
+                .cert
+                .iter_kind_round(MessageKind::Propose, round)
+                .any(|i| i.sender() == coord);
+            if coord_propose {
+                return Ok(());
+            }
+            // (3) an ACK/NACK(round) quorum.
+            if env.cert.ct_votes(round).len() >= checker.quorum() {
+                return Ok(());
+            }
+        }
     }
     Err(CertifyError::new(
         env.sender(),
@@ -140,6 +169,80 @@ mod tests {
         let env = next_env(&keys, 3, 2, Certificate::new());
         let err = round_entry_justified(&checker, &env, 2).unwrap_err();
         assert_eq!(err.class, FaultClass::BadCertificate);
+        assert!(err.reason.contains("round-entry"));
+    }
+
+    fn ct_fixture() -> (CertChecker, Vec<KeyPair>) {
+        let mut rng = ftm_crypto::rng_from_seed(61);
+        let (dir, keys) = KeyDirectory::generate(&mut rng, N, 128);
+        (
+            CertChecker::new_for(ftm_certify::ProtocolId::ChandraToueg, N, 1, dir),
+            keys,
+        )
+    }
+
+    #[test]
+    fn ct_ack_nack_quorum_of_previous_round_justifies() {
+        let (checker, keys) = ct_fixture();
+        let cert = Certificate::from_items([
+            signed(
+                &keys,
+                0,
+                Core::Ack {
+                    round: 1,
+                    vector: ValueVector::empty(N),
+                },
+            ),
+            signed(&keys, 1, Core::Nack { round: 1 }),
+            signed(&keys, 2, Core::Nack { round: 1 }),
+        ]);
+        let env = Envelope::make(
+            ProcessId(3),
+            Core::Estimate {
+                round: 2,
+                vector: ValueVector::empty(N),
+                ts: 0,
+            },
+            cert,
+            &keys[3],
+        );
+        assert!(round_entry_justified(&checker, &env, 2).is_ok());
+    }
+
+    #[test]
+    fn ct_coordinator_propose_vouches() {
+        let (checker, keys) = ct_fixture();
+        // Round 2's coordinator is p1.
+        let cert = Certificate::from_items([signed(
+            &keys,
+            1,
+            Core::Propose {
+                round: 2,
+                vector: ValueVector::empty(N),
+            },
+        )]);
+        let env = Envelope::make(
+            ProcessId(3),
+            Core::Ack {
+                round: 2,
+                vector: ValueVector::empty(N),
+            },
+            cert,
+            &keys[3],
+        );
+        assert!(round_entry_justified(&checker, &env, 2).is_ok());
+    }
+
+    #[test]
+    fn ct_bare_round_jump_is_rejected() {
+        let (checker, keys) = ct_fixture();
+        let env = Envelope::make(
+            ProcessId(3),
+            Core::Nack { round: 2 },
+            Certificate::new(),
+            &keys[3],
+        );
+        let err = round_entry_justified(&checker, &env, 2).unwrap_err();
         assert!(err.reason.contains("round-entry"));
     }
 

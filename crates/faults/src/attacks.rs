@@ -52,8 +52,11 @@ impl Tamper for MuteAfter {
     }
 }
 
-/// Corrupts one entry of every outgoing estimate vector (CURRENT and
-/// DECIDE) to `poison` — the paper's "corruption of a local variable".
+/// Corrupts one entry of every outgoing estimate vector to `poison` — the
+/// paper's "corruption of a local variable". Covers the vector-carrying
+/// kinds of both transformed protocols (CURRENT/DECIDE under Hurfin–Raynal,
+/// ESTIMATE/PROPOSE/ACK under Chandra–Toueg); a run only ever stages its
+/// own protocol's kinds, so the extra arms are inert for the other one.
 /// The signature is valid (the process signs its own lie); only the
 /// certificate analysis can catch the mismatch with the INIT witnesses.
 #[derive(Debug)]
@@ -86,6 +89,28 @@ impl Tamper for VectorCorruptor {
                     }
                     Some(Core::Decide { round, vector })
                 }
+                Core::Estimate {
+                    round,
+                    mut vector,
+                    ts,
+                } => {
+                    if self.entry < vector.len() {
+                        vector.set(self.entry, self.poison);
+                    }
+                    Some(Core::Estimate { round, vector, ts })
+                }
+                Core::Propose { round, mut vector } => {
+                    if self.entry < vector.len() {
+                        vector.set(self.entry, self.poison);
+                    }
+                    Some(Core::Propose { round, vector })
+                }
+                Core::Ack { round, mut vector } => {
+                    if self.entry < vector.len() {
+                        vector.set(self.entry, self.poison);
+                    }
+                    Some(Core::Ack { round, vector })
+                }
                 _ => None,
             };
             if let Some(core) = new_core {
@@ -95,8 +120,10 @@ impl Tamper for VectorCorruptor {
     }
 }
 
-/// Corrupts the round number of outgoing NEXT votes by `jump` — modeling a
-/// corrupted `r_i` variable or a misevaluated round-advance condition.
+/// Corrupts the round number of outgoing round votes by `jump` — modeling
+/// a corrupted `r_i` variable or a misevaluated round-advance condition.
+/// Targets the vote kind of whichever protocol is running: NEXT under
+/// Hurfin–Raynal, ACK/NACK under Chandra–Toueg.
 #[derive(Debug)]
 pub struct RoundJumper {
     /// How many rounds to add.
@@ -112,19 +139,28 @@ impl Tamper for RoundJumper {
         _now: VirtualTime,
     ) {
         for (_, env) in staged.iter_mut() {
-            if let Core::Next { round } = env.core() {
-                let core = Core::Next {
+            let core = match env.core().clone() {
+                Core::Next { round } => Core::Next {
                     round: round + self.jump,
-                };
-                *env = resign(me, core, env.cert.clone(), keys);
-            }
+                },
+                Core::Ack { round, vector } => Core::Ack {
+                    round: round + self.jump,
+                    vector,
+                },
+                Core::Nack { round } => Core::Nack {
+                    round: round + self.jump,
+                },
+                _ => continue,
+            };
+            *env = resign(me, core, env.cert.clone(), keys);
         }
     }
 }
 
-/// Duplicates every outgoing NEXT vote — the paper's "duplication of a
-/// statement". The duplicate is byte-identical and validly signed; only
-/// the per-peer state machine notices the second receipt is not enabled.
+/// Duplicates every outgoing round vote (NEXT under Hurfin–Raynal, ACK and
+/// NACK under Chandra–Toueg) — the paper's "duplication of a statement".
+/// The duplicate is byte-identical and validly signed; only the per-peer
+/// state machine notices the second receipt is not enabled.
 #[derive(Debug)]
 pub struct VoteDuplicator;
 
@@ -138,7 +174,12 @@ impl Tamper for VoteDuplicator {
     ) {
         let dups: Vec<(ProcessId, Envelope)> = staged
             .iter()
-            .filter(|(_, env)| matches!(env.core(), Core::Next { .. }))
+            .filter(|(_, env)| {
+                matches!(
+                    env.core(),
+                    Core::Next { .. } | Core::Ack { .. } | Core::Nack { .. }
+                )
+            })
             .cloned()
             .collect();
         staged.extend(dups);
@@ -339,6 +380,61 @@ impl Tamper for SpuriousCurrent {
     }
 }
 
+/// The Chandra–Toueg rendering of the fake-coordinator attack: a spurious
+/// PROPOSE for round 1 with an unbacked vector and no estimate quorum,
+/// sent while not being the coordinator.
+///
+/// The PROPOSE slot sits *behind* the mandatory ESTIMATE in the CT
+/// observer automaton, so a free-floating injection would be convicted on
+/// timing alone — a different (and easier) catch than the fake-coordinator
+/// CURRENT under Hurfin–Raynal, whose slot is open from round entry. To
+/// exercise the same module, the attack piggybacks on the attacker's own
+/// round-1 ESTIMATE broadcast: each FIFO channel then carries
+/// `ESTIMATE(1), PROPOSE(1)`, which is timing-legal, and only the
+/// certificate analyzer (no estimate quorum, wrong coordinator) convicts.
+#[derive(Debug)]
+pub struct SpuriousPropose {
+    /// System size.
+    pub n: usize,
+    fired: bool,
+}
+
+impl SpuriousPropose {
+    /// Creates the one-shot injector.
+    pub fn new(n: usize) -> Self {
+        SpuriousPropose { n, fired: false }
+    }
+}
+
+impl Tamper for SpuriousPropose {
+    fn tamper(
+        &mut self,
+        me: ProcessId,
+        keys: &KeyPair,
+        staged: &mut Vec<(ProcessId, Envelope)>,
+        _now: VirtualTime,
+    ) {
+        let estimating = staged
+            .iter()
+            .any(|(_, env)| matches!(env.core(), Core::Estimate { round: 1, .. }));
+        if self.fired || !estimating {
+            return;
+        }
+        self.fired = true;
+        let mut vector = ValueVector::empty(self.n);
+        for k in 0..self.n {
+            vector.set(k, 4242);
+        }
+        let env = resign(
+            me,
+            Core::Propose { round: 1, vector },
+            Certificate::new(),
+            keys,
+        );
+        staged.extend((0..self.n as u32).map(|p| (ProcessId(p), env.clone())));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -505,6 +601,104 @@ mod tests {
         assert_eq!(msgs.len(), 3);
         assert!(matches!(msgs[0].1.core(), Core::Current { round: 1, .. }));
         assert!(t.inject(ProcessId(2), &k, VirtualTime::at(2)).is_empty());
+    }
+
+    #[test]
+    fn spurious_propose_rides_the_round_one_estimate() {
+        let k = keys(11);
+        let mut t = SpuriousPropose::new(3);
+        let estimate = |to: u32| {
+            (
+                ProcessId(to),
+                Envelope::make(
+                    ProcessId(2),
+                    Core::Estimate {
+                        round: 1,
+                        vector: ValueVector::empty(3),
+                        ts: 0,
+                    },
+                    Certificate::new(),
+                    &k,
+                ),
+            )
+        };
+        // Unrelated traffic (the INIT broadcast) leaves the attack dormant.
+        let mut init = vec![(
+            ProcessId(0),
+            Envelope::make(
+                ProcessId(2),
+                Core::Init { value: 5 },
+                Certificate::new(),
+                &k,
+            ),
+        )];
+        t.tamper(ProcessId(2), &k, &mut init, VirtualTime::ZERO);
+        assert_eq!(init.len(), 1);
+        // The round-1 ESTIMATE broadcast gets the fake PROPOSE appended,
+        // one per process, *after* the estimates (FIFO keeps it in-slot).
+        let mut staged: Vec<_> = (0..3).map(estimate).collect();
+        t.tamper(ProcessId(2), &k, &mut staged, VirtualTime::at(40));
+        assert_eq!(staged.len(), 6);
+        for (i, (to, env)) in staged[3..].iter().enumerate() {
+            assert_eq!(to.index(), i);
+            assert!(matches!(env.core(), Core::Propose { round: 1, .. }));
+        }
+        // One-shot: later estimates do not re-fire it.
+        let mut again: Vec<_> = (0..3).map(estimate).collect();
+        t.tamper(ProcessId(2), &k, &mut again, VirtualTime::at(80));
+        assert_eq!(again.len(), 3);
+    }
+
+    #[test]
+    fn round_jumper_and_duplicator_cover_ct_votes() {
+        let k = keys(12);
+        let vect = ValueVector::from_entries(vec![Some(1), None, None]);
+        let mut staged = vec![(
+            ProcessId(1),
+            Envelope::make(
+                ProcessId(0),
+                Core::Ack {
+                    round: 2,
+                    vector: vect,
+                },
+                Certificate::new(),
+                &k,
+            ),
+        )];
+        let mut jumper = RoundJumper { jump: 5 };
+        jumper.tamper(ProcessId(0), &k, &mut staged, VirtualTime::ZERO);
+        assert_eq!(staged[0].1.round(), 7);
+        let mut dup = VoteDuplicator;
+        dup.tamper(ProcessId(0), &k, &mut staged, VirtualTime::ZERO);
+        assert_eq!(staged.len(), 2);
+    }
+
+    #[test]
+    fn vector_corruptor_rewrites_ct_kinds() {
+        let k = keys(13);
+        let mut t = VectorCorruptor {
+            entry: 0,
+            poison: 666,
+        };
+        let vect = ValueVector::from_entries(vec![Some(1), Some(2), None]);
+        let mut staged = vec![(
+            ProcessId(1),
+            Envelope::make(
+                ProcessId(0),
+                Core::Estimate {
+                    round: 1,
+                    vector: vect,
+                    ts: 0,
+                },
+                Certificate::new(),
+                &k,
+            ),
+        )];
+        t.tamper(ProcessId(0), &k, &mut staged, VirtualTime::ZERO);
+        let Core::Estimate { vector, .. } = staged[0].1.core() else {
+            panic!("kind preserved");
+        };
+        assert_eq!(vector.get(0), Some(666));
     }
 
     #[test]

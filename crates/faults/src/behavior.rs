@@ -1,6 +1,7 @@
 //! The generic Byzantine actor wrapper.
 
 use ftm_certify::{Envelope, ValueVector};
+use ftm_core::byzantine::log::SlotMsg;
 use ftm_crypto::rsa::KeyPair;
 use ftm_sim::{Actor, Context, Duration, ProcessId, TimerTag, VirtualTime};
 
@@ -122,6 +123,113 @@ where
     }
 }
 
+/// The replicated-log rendering of [`ByzantineWrapper`]: wraps a
+/// [`ReplicatedLog`](ftm_core::byzantine::log::ReplicatedLog)-shaped actor
+/// and applies the *same* [`Tamper`] strategies used against one-shot
+/// consensus to the consensus envelope inside every staged [`SlotMsg`].
+///
+/// Tampering runs per slot group (a callback's sends almost always belong
+/// to the replica's current slot), so strategies that drop, duplicate or
+/// rewrite messages keep working unchanged; injected messages are tagged
+/// with the most recent slot the wrapper has seen going out.
+#[derive(Debug)]
+pub struct ByzantineLogWrapper<A> {
+    inner: A,
+    tamper: Box<dyn Tamper>,
+    keys: KeyPair,
+    inject_interval: Duration,
+    latest_slot: u64,
+}
+
+impl<A> ByzantineLogWrapper<A>
+where
+    A: Actor<Msg = SlotMsg, Decision = Vec<ValueVector>>,
+{
+    /// Wraps `inner` with a strategy; `inject_interval` paces the
+    /// strategy's spontaneous sends, exactly as for [`ByzantineWrapper`].
+    pub fn new(
+        inner: A,
+        tamper: Box<dyn Tamper>,
+        keys: KeyPair,
+        inject_interval: Duration,
+    ) -> Self {
+        ByzantineLogWrapper {
+            inner,
+            tamper,
+            keys,
+            inject_interval,
+            latest_slot: 0,
+        }
+    }
+
+    fn post(&mut self, ctx: &mut Context<'_, SlotMsg, Vec<ValueVector>>) {
+        let me = ctx.me();
+        let now = ctx.now();
+        let staged = ctx.take_staged_sends();
+        let mut slots: Vec<u64> = Vec::new();
+        for (_, m) in &staged {
+            if !slots.contains(&m.slot) {
+                slots.push(m.slot);
+            }
+        }
+        let mut out = Vec::with_capacity(staged.len());
+        for slot in slots {
+            self.latest_slot = self.latest_slot.max(slot);
+            let mut group: Vec<(ProcessId, Envelope)> = staged
+                .iter()
+                .filter(|(_, m)| m.slot == slot)
+                .map(|(to, m)| (*to, m.env.clone()))
+                .collect();
+            self.tamper.tamper(me, &self.keys, &mut group, now);
+            out.extend(
+                group
+                    .into_iter()
+                    .map(|(to, env)| (to, SlotMsg { slot, env })),
+            );
+        }
+        ctx.restore_staged_sends(out);
+    }
+}
+
+impl<A> Actor for ByzantineLogWrapper<A>
+where
+    A: Actor<Msg = SlotMsg, Decision = Vec<ValueVector>>,
+{
+    type Msg = SlotMsg;
+    type Decision = Vec<ValueVector>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, SlotMsg, Vec<ValueVector>>) {
+        self.inner.on_start(ctx);
+        ctx.set_timer(self.inject_interval, INJECT_TIMER);
+        self.post(ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: &SlotMsg,
+        ctx: &mut Context<'_, SlotMsg, Vec<ValueVector>>,
+    ) {
+        self.inner.on_message(from, msg, ctx);
+        self.post(ctx);
+    }
+
+    fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<'_, SlotMsg, Vec<ValueVector>>) {
+        if tag == INJECT_TIMER {
+            let me = ctx.me();
+            let now = ctx.now();
+            let slot = self.latest_slot;
+            for (to, env) in self.tamper.inject(me, &self.keys, now) {
+                ctx.send(to, SlotMsg { slot, env });
+            }
+            ctx.set_timer(self.inject_interval, INJECT_TIMER);
+            return;
+        }
+        self.inner.on_timer(tag, ctx);
+        self.post(ctx);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +293,51 @@ mod tests {
         let fx = ctx.into_effects();
         assert!(fx.sends.is_empty(), "DropAll must silence the broadcast");
         assert_eq!(fx.timers.len(), 1, "inject timer armed");
+    }
+
+    /// Minimal log-shaped actor: broadcasts one INIT tagged slot 2.
+    #[derive(Debug)]
+    struct OneSlot {
+        keys: KeyPair,
+    }
+    impl Actor for OneSlot {
+        type Msg = SlotMsg;
+        type Decision = Vec<ValueVector>;
+        fn on_start(&mut self, ctx: &mut Context<'_, SlotMsg, Vec<ValueVector>>) {
+            let env = Envelope::make(
+                ctx.me(),
+                Core::Init { value: 1 },
+                Certificate::new(),
+                &self.keys,
+            );
+            ctx.broadcast(SlotMsg { slot: 2, env });
+        }
+        fn on_message(
+            &mut self,
+            _: ProcessId,
+            _: &SlotMsg,
+            _: &mut Context<'_, SlotMsg, Vec<ValueVector>>,
+        ) {
+        }
+    }
+
+    #[test]
+    fn log_wrapper_tampers_inside_slot_messages() {
+        let mut rng = ftm_crypto::rng_from_seed(3);
+        let keys = KeyPair::generate(&mut rng, 128);
+        let mut wrapper = ByzantineLogWrapper::new(
+            OneSlot { keys: keys.clone() },
+            Box::new(DropAll),
+            keys,
+            Duration::of(10),
+        );
+        let mut draw = || 0u64;
+        let mut ctx: Context<'_, SlotMsg, Vec<ValueVector>> =
+            Context::new(VirtualTime::ZERO, ProcessId(0), 3, &mut draw);
+        wrapper.on_start(&mut ctx);
+        let fx = ctx.into_effects();
+        assert!(fx.sends.is_empty(), "DropAll must silence the slot traffic");
+        assert_eq!(wrapper.latest_slot, 2, "wrapper tracked the staged slot");
     }
 
     #[test]

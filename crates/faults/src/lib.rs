@@ -26,8 +26,8 @@ pub mod behavior;
 pub mod crash_attacks;
 pub mod scenario;
 
-pub use behavior::{ByzantineWrapper, Tamper};
+pub use behavior::{ByzantineLogWrapper, ByzantineWrapper, Tamper};
 pub use scenario::{
-    run_scenario, sweep_matrix, sweep_matrix_repeated, sweep_scenarios, AttackRun, FaultBehavior,
-    Scenario, ScenarioMatrix,
+    log_command, run_scenario, sweep_matrix, sweep_matrix_repeated, sweep_scenarios, AttackRun,
+    DetectorKind, FaultBehavior, Scenario, ScenarioMatrix, Workload,
 };

@@ -25,9 +25,11 @@
 //! reproduces the same trace fingerprint bit for bit, which is what lets
 //! [`sweep_matrix`] fan runs across threads without losing replayability.
 
-use ftm_certify::{Value, ValueVector};
-use ftm_core::byzantine::ByzantineConsensus;
-use ftm_core::config::{ProtocolConfig, ProtocolSetup};
+use ftm_certify::vector::check_vector_validity;
+use ftm_certify::{ProtocolId, Value, ValueVector};
+use ftm_core::byzantine::log::ReplicatedLog;
+use ftm_core::byzantine::{ByzantineChandraToueg, ByzantineConsensus, TransformedProtocol};
+use ftm_core::config::{MutenessMode, ProtocolConfig, ProtocolSetup};
 use ftm_core::validator::{check_vector_consensus, detections, Verdict};
 use ftm_crypto::rsa::KeyPair;
 use ftm_sim::harness::{sweep, RunRecord, SweepReport};
@@ -36,6 +38,7 @@ use ftm_sim::trace::TraceEvent;
 use ftm_sim::{Duration, ProcessId, RunReport, SimConfig, Simulation, VirtualTime};
 
 use crate::attacks;
+use crate::behavior::ByzantineLogWrapper;
 use crate::{ByzantineWrapper, Tamper};
 
 /// One fault behavior the attacker process may exhibit — the paper's
@@ -114,9 +117,26 @@ impl FaultBehavior {
         }
     }
 
-    /// Builds the outgoing-message tamper for this behavior, or `None`
-    /// when the behavior needs no wrapper (honest runs, benign crashes).
+    /// Builds the outgoing-message tamper for this behavior against the
+    /// Hurfin–Raynal instance, or `None` when the behavior needs no
+    /// wrapper (honest runs, benign crashes).
     pub fn make_tamper(&self, n: usize, attacker: u32, seed: u64) -> Option<Box<dyn Tamper>> {
+        self.make_tamper_for(ProtocolId::HurfinRaynal, n, attacker, seed)
+    }
+
+    /// Builds the tamper appropriate to `protocol`. Most strategies are
+    /// protocol-agnostic (they pattern-match the kinds of both transformed
+    /// protocols and a run only ever stages its own kinds); the fake
+    /// coordinator is the exception — it must forge the proposal kind the
+    /// victim protocol actually certifies (CURRENT under Hurfin–Raynal,
+    /// PROPOSE under Chandra–Toueg).
+    pub fn make_tamper_for(
+        &self,
+        protocol: ProtocolId,
+        n: usize,
+        attacker: u32,
+        seed: u64,
+    ) -> Option<Box<dyn Tamper>> {
         let t: Box<dyn Tamper> = match self {
             FaultBehavior::Honest | FaultBehavior::Crash => return None,
             FaultBehavior::Mute => Box::new(attacks::MuteAfter {
@@ -142,9 +162,12 @@ impl FaultBehavior {
                 victim: ProcessId(((attacker as usize + 1) % n) as u32),
             }),
             FaultBehavior::EquivocateInit => Box::new(attacks::InitEquivocator { alt: 1313 }),
-            FaultBehavior::SpuriousCurrent => {
-                Box::new(attacks::SpuriousCurrent::new(VirtualTime::at(1), n))
-            }
+            FaultBehavior::SpuriousCurrent => match protocol {
+                ProtocolId::HurfinRaynal => {
+                    Box::new(attacks::SpuriousCurrent::new(VirtualTime::at(1), n))
+                }
+                ProtocolId::ChandraToueg => Box::new(attacks::SpuriousPropose::new(n)),
+            },
             FaultBehavior::Replay => Box::new(attacks::Replayer::new(VirtualTime::at(30))),
             FaultBehavior::StripCertificates => Box::new(attacks::CertStripper),
             FaultBehavior::SelectiveOmission => {
@@ -155,8 +178,54 @@ impl FaultBehavior {
     }
 }
 
+/// Which ◇M implementation the scenario's processes embed — the sweep
+/// axis over [`MutenessMode`] (experiment E7's comparison, harness-native).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorKind {
+    /// The generic adaptive timeout detector (doubles on mistakes).
+    Adaptive,
+    /// The round-aware ◇M variant (allowance grows with the round).
+    RoundAware,
+}
+
+impl DetectorKind {
+    /// Stable kebab-case name used in cell keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DetectorKind::Adaptive => "adaptive",
+            DetectorKind::RoundAware => "round-aware",
+        }
+    }
+
+    /// The [`MutenessMode`] this axis value configures. The round-aware
+    /// per-round allowance is fixed (one poll interval) so a cell stays a
+    /// pure function of the scenario.
+    pub fn mode(&self) -> MutenessMode {
+        match self {
+            DetectorKind::Adaptive => MutenessMode::Adaptive,
+            DetectorKind::RoundAware => MutenessMode::RoundAware {
+                per_round: Duration::of(25),
+            },
+        }
+    }
+}
+
+/// What the scenario's processes run on top of the module stack: a single
+/// consensus instance, or the replicated-log application deciding several
+/// slots back to back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// One vector-consensus instance (the default).
+    OneShot,
+    /// A [`ReplicatedLog`] of `slots` entries, one instance per slot.
+    Log {
+        /// How many log slots each replica decides.
+        slots: u64,
+    },
+}
+
 /// One cell of the sweep: system size, resilience bound and the fault the
-/// last process exhibits.
+/// last process exhibits, plus the protocol/detector/workload axes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scenario {
     /// Number of processes.
@@ -171,16 +240,27 @@ pub struct Scenario {
     /// traffic); `F − 1` plus a [`FaultBehavior::Crash`] attacker exhausts
     /// the fault budget; `F` plus a crashed attacker exceeds it on purpose.
     pub extra_crashes: usize,
+    /// Which transformed protocol the processes run (Hurfin–Raynal by
+    /// default).
+    pub protocol: ProtocolId,
+    /// Which ◇M implementation the processes embed (adaptive by default).
+    pub detector: DetectorKind,
+    /// What runs on top of consensus (a single instance by default).
+    pub workload: Workload,
 }
 
 impl Scenario {
-    /// A cell with no extra crashes (the plain taxonomy grid).
+    /// A cell with no extra crashes (the plain taxonomy grid), running the
+    /// default axes: Hurfin–Raynal, adaptive ◇M, one-shot consensus.
     pub fn new(n: usize, f: usize, behavior: FaultBehavior) -> Self {
         Scenario {
             n,
             f,
             behavior,
             extra_crashes: 0,
+            protocol: ProtocolId::HurfinRaynal,
+            detector: DetectorKind::Adaptive,
+            workload: Workload::OneShot,
         }
     }
 
@@ -190,15 +270,44 @@ impl Scenario {
         self
     }
 
+    /// Selects the transformed protocol the processes run.
+    pub fn protocol(mut self, protocol: ProtocolId) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Selects the ◇M implementation the processes embed.
+    pub fn detector(mut self, detector: DetectorKind) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// Selects the workload running on top of consensus.
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
     /// The attacker is always the highest-numbered process — never the
     /// round-1 coordinator (p0), so honest progress stays representative.
     pub fn attacker(&self) -> u32 {
         (self.n - 1) as u32
     }
 
-    /// Cell key used to group runs for aggregation.
+    /// Cell key used to group runs for aggregation. Non-default axis
+    /// values append their own markers, so pre-existing cell keys (plain
+    /// Hurfin–Raynal one-shot cells) are unchanged.
     pub fn cell(&self) -> String {
         let mut key = format!("n={} f={} fault={}", self.n, self.f, self.behavior.label());
+        if self.protocol != ProtocolId::HurfinRaynal {
+            key.push_str(&format!(" proto={}", self.protocol.label()));
+        }
+        if self.detector != DetectorKind::Adaptive {
+            key.push_str(&format!(" fd={}", self.detector.label()));
+        }
+        if let Workload::Log { slots } = self.workload {
+            key.push_str(&format!(" workload=log{slots}"));
+        }
         if self.extra_crashes > 0 {
             key.push_str(&format!(" extra-crashes={}", self.extra_crashes));
         }
@@ -206,20 +315,37 @@ impl Scenario {
     }
 }
 
-/// A scenario grid: the cross product of system configurations and fault
-/// behaviors, enumerated in a stable row-major order.
+/// A scenario grid: the cross product of protocols, detectors, workloads,
+/// system configurations and fault behaviors, enumerated in a stable
+/// row-major order.
 #[derive(Debug, Clone)]
 pub struct ScenarioMatrix {
     /// `(n, F)` pairs, the grid's rows.
     pub systems: Vec<(usize, usize)>,
     /// Fault behaviors, the grid's columns.
     pub behaviors: Vec<FaultBehavior>,
+    /// Transformed protocols to run the grid over, the outermost axis
+    /// (just Hurfin–Raynal unless widened).
+    pub protocols: Vec<ProtocolId>,
+    /// ◇M implementations to run the grid over (just the adaptive
+    /// detector unless widened).
+    pub detectors: Vec<DetectorKind>,
+    /// Workloads to run the grid over (just one-shot consensus unless
+    /// widened).
+    pub workloads: Vec<Workload>,
 }
 
 impl ScenarioMatrix {
-    /// Builds a matrix from explicit rows and columns.
+    /// Builds a matrix from explicit rows and columns, over the default
+    /// axes: Hurfin–Raynal, adaptive ◇M, one-shot consensus.
     pub fn new(systems: Vec<(usize, usize)>, behaviors: Vec<FaultBehavior>) -> Self {
-        ScenarioMatrix { systems, behaviors }
+        ScenarioMatrix {
+            systems,
+            behaviors,
+            protocols: vec![ProtocolId::HurfinRaynal],
+            detectors: vec![DetectorKind::Adaptive],
+            workloads: vec![Workload::OneShot],
+        }
     }
 
     /// The given systems crossed with *every* behavior in the taxonomy.
@@ -227,9 +353,45 @@ impl ScenarioMatrix {
         ScenarioMatrix::new(systems, FaultBehavior::all())
     }
 
-    /// Enumerates the cells row-major: systems outer, behaviors inner.
-    /// The position in this list is the scenario index the harness feeds
-    /// to [`ftm_sim::prng::derive_seed`].
+    /// The default `(n, F)` grid for sweeps: small systems where every
+    /// taxonomy cell runs in milliseconds, plus larger ones — up to
+    /// (31, 10) — that exercise quorum sizes the paper's asymptotics care
+    /// about.
+    pub fn default_systems() -> Vec<(usize, usize)> {
+        vec![(4, 1), (5, 2), (7, 3), (13, 4), (21, 6), (31, 10)]
+    }
+
+    /// Overrides the protocol axis.
+    pub fn protocols(mut self, protocols: Vec<ProtocolId>) -> Self {
+        self.protocols = protocols;
+        self
+    }
+
+    /// Widens the protocol axis to every supported protocol, so each
+    /// `(system, behavior)` cell runs once per protocol.
+    pub fn cross_protocols(mut self) -> Self {
+        self.protocols = ProtocolId::all().to_vec();
+        self
+    }
+
+    /// Widens the detector axis to both ◇M implementations, so each cell
+    /// runs once per detector.
+    pub fn cross_detectors(mut self) -> Self {
+        self.detectors = vec![DetectorKind::Adaptive, DetectorKind::RoundAware];
+        self
+    }
+
+    /// Widens the workload axis to one-shot consensus plus a replicated
+    /// log of `slots` entries, so each cell runs once per workload.
+    pub fn cross_workloads(mut self, slots: u64) -> Self {
+        self.workloads = vec![Workload::OneShot, Workload::Log { slots }];
+        self
+    }
+
+    /// Enumerates the cells row-major: protocols outermost, then
+    /// detectors, workloads, systems, and innermost behaviors. The
+    /// position in this list is the scenario index the harness feeds to
+    /// [`ftm_sim::prng::derive_seed`].
     pub fn enumerate(&self) -> Vec<Scenario> {
         self.enumerate_repeated(1)
     }
@@ -239,11 +401,27 @@ impl ScenarioMatrix {
     /// indices, so they get distinct derived seeds and aggregate into the
     /// same cell — this is how a sweep gets percentiles per cell.
     pub fn enumerate_repeated(&self, repeats: usize) -> Vec<Scenario> {
-        let mut out = Vec::with_capacity(self.systems.len() * self.behaviors.len() * repeats);
-        for &(n, f) in &self.systems {
-            for &behavior in &self.behaviors {
-                for _ in 0..repeats {
-                    out.push(Scenario::new(n, f, behavior));
+        let cells = self.protocols.len()
+            * self.detectors.len()
+            * self.workloads.len()
+            * self.systems.len()
+            * self.behaviors.len();
+        let mut out = Vec::with_capacity(cells * repeats);
+        for &protocol in &self.protocols {
+            for &detector in &self.detectors {
+                for &workload in &self.workloads {
+                    for &(n, f) in &self.systems {
+                        for &behavior in &self.behaviors {
+                            for _ in 0..repeats {
+                                out.push(
+                                    Scenario::new(n, f, behavior)
+                                        .protocol(protocol)
+                                        .detector(detector)
+                                        .workload(workload),
+                                );
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -276,6 +454,11 @@ pub struct AttackRun {
     /// Crash processes `p0..p{k-1}` at t = 0 as well (multi-crash rows:
     /// fault budgets up to and beyond F).
     pub crash_low: usize,
+    /// Which transformed protocol the processes run (Hurfin–Raynal by
+    /// default).
+    pub protocol: ProtocolId,
+    /// Which ◇M implementation the processes embed (adaptive by default).
+    pub muteness: MutenessMode,
 }
 
 impl AttackRun {
@@ -290,7 +473,21 @@ impl AttackRun {
             injection_delay: Duration::of(3),
             crash_at_start: None,
             crash_low: 0,
+            protocol: ProtocolId::HurfinRaynal,
+            muteness: MutenessMode::Adaptive,
         }
+    }
+
+    /// Selects the transformed protocol the processes run.
+    pub fn protocol(mut self, protocol: ProtocolId) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Selects the ◇M implementation the processes embed.
+    pub fn muteness_mode(mut self, mode: MutenessMode) -> Self {
+        self.muteness = mode;
+        self
     }
 
     /// Overrides the wrapper's injection-timer delay.
@@ -316,16 +513,12 @@ impl AttackRun {
         (0..self.n as u64).map(|i| 100 + i).collect()
     }
 
-    /// Builds the full stack and executes the run. `mk_tamper` may return
-    /// `None` for an honest (or merely crashed) system.
-    pub fn run(
-        &self,
-        mk_tamper: impl FnOnce(&ProtocolSetup) -> Option<Box<dyn Tamper>>,
-    ) -> RunReport<ValueVector> {
-        let setup = ProtocolConfig::new(self.n, self.f).seed(self.seed).setup();
-        let props = self.proposals();
-        let mut tamper = mk_tamper(&setup);
-
+    /// The key material and simulator configuration this run is built on.
+    fn setup_and_cfg(&self) -> (ProtocolSetup, SimConfig) {
+        let setup = ProtocolConfig::new(self.n, self.f)
+            .seed(self.seed)
+            .muteness_mode(self.muteness)
+            .setup();
         let mut cfg = SimConfig::new(self.n).seed(self.seed);
         if let Some(p) = self.crash_at_start {
             cfg = cfg.crash(p as usize, VirtualTime::ZERO);
@@ -333,12 +526,78 @@ impl AttackRun {
         for p in 0..self.crash_low {
             cfg = cfg.crash(p, VirtualTime::ZERO);
         }
+        (setup, cfg)
+    }
+
+    /// Builds the full stack and executes the run, dispatching on the
+    /// configured [`ProtocolId`]. `mk_tamper` may return `None` for an
+    /// honest (or merely crashed) system.
+    pub fn run(
+        &self,
+        mk_tamper: impl FnOnce(&ProtocolSetup) -> Option<Box<dyn Tamper>>,
+    ) -> RunReport<ValueVector> {
+        match self.protocol {
+            ProtocolId::HurfinRaynal => self.run_as::<ByzantineConsensus>(mk_tamper),
+            ProtocolId::ChandraToueg => self.run_as::<ByzantineChandraToueg>(mk_tamper),
+        }
+    }
+
+    /// [`run`](Self::run) monomorphized over the transformed-protocol
+    /// actor, for callers that pick the type statically.
+    pub fn run_as<P: TransformedProtocol + 'static>(
+        &self,
+        mk_tamper: impl FnOnce(&ProtocolSetup) -> Option<Box<dyn Tamper>>,
+    ) -> RunReport<ValueVector> {
+        let (setup, cfg) = self.setup_and_cfg();
+        let props = self.proposals();
+        let mut tamper = mk_tamper(&setup);
 
         Simulation::build_boxed(cfg, |id| {
-            let honest = ByzantineConsensus::new(&setup, id, props[id.index()]);
+            let honest = P::build(&setup, id, props[id.index()]);
             if id.0 == self.attacker {
                 if let Some(tamper) = tamper.take() {
                     return Box::new(ByzantineWrapper::new(
+                        honest,
+                        tamper,
+                        setup.keys[self.attacker as usize].clone(),
+                        self.injection_delay,
+                    )) as BoxedActor<_, _>;
+                }
+            }
+            Box::new(honest)
+        })
+        .run()
+    }
+
+    /// Runs the replicated-log workload instead of one-shot consensus:
+    /// every process is a [`ReplicatedLog`] replica deciding `slots`
+    /// entries, the attacker's replica wrapped so the tamper strategy
+    /// rewrites the consensus envelope inside each slot message.
+    pub fn run_log(
+        &self,
+        slots: u64,
+        mk_tamper: impl FnOnce(&ProtocolSetup) -> Option<Box<dyn Tamper>>,
+    ) -> RunReport<Vec<ValueVector>> {
+        match self.protocol {
+            ProtocolId::HurfinRaynal => self.run_log_as::<ByzantineConsensus>(slots, mk_tamper),
+            ProtocolId::ChandraToueg => self.run_log_as::<ByzantineChandraToueg>(slots, mk_tamper),
+        }
+    }
+
+    /// [`run_log`](Self::run_log) monomorphized over the slot protocol.
+    pub fn run_log_as<P: TransformedProtocol + 'static>(
+        &self,
+        slots: u64,
+        mk_tamper: impl FnOnce(&ProtocolSetup) -> Option<Box<dyn Tamper>>,
+    ) -> RunReport<Vec<ValueVector>> {
+        let (setup, cfg) = self.setup_and_cfg();
+        let mut tamper = mk_tamper(&setup);
+
+        Simulation::build_boxed(cfg, |id| {
+            let honest = ReplicatedLog::<P>::new(&setup, id, slots, log_command);
+            if id.0 == self.attacker {
+                if let Some(tamper) = tamper.take() {
+                    return Box::new(ByzantineLogWrapper::new(
                         honest,
                         tamper,
                         setup.keys[self.attacker as usize].clone(),
@@ -360,40 +619,143 @@ impl AttackRun {
     }
 }
 
+/// The replicated-log workload's deterministic per-slot command: replica
+/// `p` proposes `1000·slot + 100 + p` for `slot`.
+pub fn log_command(slot: u64, p: u32) -> Value {
+    1000 * slot + 100 + p as u64
+}
+
 /// Runs one scenario under one derived seed and flattens the outcome into
 /// a [`RunRecord`]. Matches the signature [`ftm_sim::harness::sweep`]
 /// expects, so it can be passed directly as the worker function.
 pub fn run_scenario(index: usize, sc: &Scenario, seed: u64) -> RunRecord {
     let attacker = sc.attacker();
-    let mut run = AttackRun::new(sc.n, sc.f, seed, attacker).crash_low(sc.extra_crashes);
+    let mut run = AttackRun::new(sc.n, sc.f, seed, attacker)
+        .protocol(sc.protocol)
+        .muteness_mode(sc.detector.mode())
+        .crash_low(sc.extra_crashes);
     if sc.behavior == FaultBehavior::Crash {
         run = run.crash_at_start(attacker);
     }
-    let report = run.run(|_| sc.behavior.make_tamper(sc.n, attacker, seed));
 
     let mut faulty = vec![false; sc.n];
     if sc.behavior != FaultBehavior::Honest {
         faulty[attacker as usize] = true;
     }
-    let verdict = check_vector_consensus(&report, &run.proposals(), &faulty, sc.f);
 
     let mut rec = RunRecord::new(sc.cell(), index, seed);
-    rec.ok = verdict.ok();
-    // Individual property verdicts, so experiment tables can separate
-    // termination (forfeited beyond the bound) from safety (never).
-    rec.set("prop-termination", u64::from(verdict.termination));
-    rec.set("prop-agreement", u64::from(verdict.agreement));
-    rec.set("prop-validity", u64::from(verdict.validity));
-    record_metrics(&mut rec, &report);
-    record_attacker_metrics(&mut rec, &report, attacker);
+    match sc.workload {
+        Workload::OneShot => {
+            let report = run.run(|_| {
+                sc.behavior
+                    .make_tamper_for(sc.protocol, sc.n, attacker, seed)
+            });
+            let verdict = check_vector_consensus(&report, &run.proposals(), &faulty, sc.f);
+            rec.ok = verdict.ok();
+            // Individual property verdicts, so experiment tables can
+            // separate termination (forfeited beyond the bound) from
+            // safety (never).
+            rec.set("prop-termination", u64::from(verdict.termination));
+            rec.set("prop-agreement", u64::from(verdict.agreement));
+            rec.set("prop-validity", u64::from(verdict.validity));
+            record_metrics(&mut rec, &report);
+            record_attacker_metrics(&mut rec, &report, attacker);
+        }
+        Workload::Log { slots } => {
+            let report = run.run_log(slots, |_| {
+                sc.behavior
+                    .make_tamper_for(sc.protocol, sc.n, attacker, seed)
+            });
+            let verdict = check_log_verdict(&report, sc, &faulty, slots);
+            rec.ok = verdict.ok();
+            rec.set("prop-termination", u64::from(verdict.termination));
+            rec.set("prop-agreement", u64::from(verdict.agreement));
+            rec.set("prop-validity", u64::from(verdict.validity));
+            record_metrics(&mut rec, &report);
+            record_attacker_metrics(&mut rec, &report, attacker);
+        }
+    }
     rec
+}
+
+/// The vector-consensus properties lifted to the log workload: every
+/// correct replica completes all `slots` (termination), completed logs are
+/// identical (agreement), and each slot of the common log satisfies Vector
+/// Validity against that slot's true commands.
+fn check_log_verdict(
+    report: &RunReport<Vec<ValueVector>>,
+    sc: &Scenario,
+    faulty: &[bool],
+    slots: u64,
+) -> Verdict {
+    let mut violations = Vec::new();
+    let correct: Vec<usize> = (0..sc.n)
+        .filter(|&i| !faulty[i] && !report.crashed[i])
+        .collect();
+
+    let termination = correct
+        .iter()
+        .all(|&i| matches!(&report.decisions[i], Some(log) if log.len() as u64 == slots));
+    if !termination {
+        violations.push("termination: some correct replica never completed its log".into());
+    }
+
+    let logs: Vec<&Vec<ValueVector>> = correct
+        .iter()
+        .filter_map(|&i| report.decisions[i].as_ref())
+        .collect();
+    let agreement = logs.windows(2).all(|w| w[0] == w[1]);
+    if !agreement {
+        violations.push("agreement: correct replicas hold diverging logs".into());
+    }
+
+    let mut validity = true;
+    if let Some(log) = logs.first() {
+        for (slot, vect) in log.iter().enumerate() {
+            let truth: Vec<Option<Value>> = (0..sc.n)
+                .map(|i| {
+                    if faulty[i] || report.crashed[i] {
+                        None
+                    } else {
+                        Some(log_command(slot as u64, i as u32))
+                    }
+                })
+                .collect();
+            if let Err(e) = check_vector_validity(vect, &truth, sc.f) {
+                validity = false;
+                violations.push(format!("vector validity at slot {slot}: {e}"));
+                break;
+            }
+        }
+    }
+
+    Verdict {
+        termination,
+        agreement,
+        validity,
+        violations,
+    }
+}
+
+/// Strips the replicated-log workload's `s<slot>:` note prefix, so slot
+/// instances report into the same counters as one-shot runs.
+fn strip_slot_prefix(text: &str) -> &str {
+    if let Some(rest) = text.strip_prefix('s') {
+        if let Some((digits, tail)) = rest.split_once(':') {
+            if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+                return tail;
+            }
+        }
+    }
+    text
 }
 
 /// Flattens a finished run's metrics, trace notes and detections into the
 /// record's counter map. Every counter listed in the module docs is set
 /// (zero when the run never exercised that layer), so each cell of the
-/// aggregated report carries the full per-layer breakdown.
-fn record_metrics(rec: &mut RunRecord, report: &RunReport<ValueVector>) {
+/// aggregated report carries the full per-layer breakdown. Generic over
+/// the decision type so one-shot and log runs flatten identically.
+fn record_metrics<D>(rec: &mut RunRecord, report: &RunReport<D>) {
     // Send-side cost, decomposed by module layer (see `Payload::layer_split`).
     rec.set("messages-sent", report.metrics.messages_sent);
     rec.set("bytes-total", report.metrics.bytes_sent);
@@ -419,6 +781,7 @@ fn record_metrics(rec: &mut RunRecord, report: &RunReport<ValueVector>) {
         "stack-cert-rejects",
         "stack-auto-rejects",
         "stack-syntax-rejects",
+        "stack-fd-mistakes",
         "cert-items-sum",
         "cert-items-max",
     ] {
@@ -429,6 +792,7 @@ fn record_metrics(rec: &mut RunRecord, report: &RunReport<ValueVector>) {
     for entry in report.trace.entries() {
         match &entry.event {
             TraceEvent::Note { text, .. } => {
+                let text = strip_slot_prefix(text);
                 if let Some(r) = text.strip_prefix("round=") {
                     rounds = rounds.max(r.parse().unwrap_or(0));
                 } else if text.starts_with("suspect=") {
@@ -467,7 +831,7 @@ fn record_metrics(rec: &mut RunRecord, report: &RunReport<ValueVector>) {
 /// convicted the attacker under, how many distinct observers did, and when
 /// the first conviction (and first ◇M suspicion) landed. These drive the
 /// coverage/observers/latency columns of the E4 table.
-fn record_attacker_metrics(rec: &mut RunRecord, report: &RunReport<ValueVector>, attacker: u32) {
+fn record_attacker_metrics<D>(rec: &mut RunRecord, report: &RunReport<D>, attacker: u32) {
     use std::collections::{BTreeMap, BTreeSet};
 
     let culprit = format!("p{attacker}");
@@ -496,8 +860,10 @@ fn record_attacker_metrics(rec: &mut RunRecord, report: &RunReport<ValueVector>,
         .entries()
         .iter()
         .filter_map(|e| match &e.event {
-            TraceEvent::Note { process, text } if text.starts_with("suspect=") => {
-                let target = text[8..].split_whitespace().next().unwrap_or("");
+            TraceEvent::Note { process, text } => {
+                let text = strip_slot_prefix(text);
+                let rest = text.strip_prefix("suspect=")?;
+                let target = rest.split_whitespace().next().unwrap_or("");
                 (format!("p{}", process.0) != target).then(|| e.at.ticks())
             }
             _ => None,
@@ -572,6 +938,28 @@ mod tests {
                 "n=5 f=1 fault=crash",
             ]
         );
+    }
+
+    #[test]
+    fn crossed_axes_multiply_the_grid_and_mark_their_cells() {
+        let m = ScenarioMatrix::new(vec![(4, 1)], vec![FaultBehavior::Honest])
+            .cross_protocols()
+            .cross_detectors()
+            .cross_workloads(3);
+        let cells: Vec<String> = m.enumerate().iter().map(Scenario::cell).collect();
+        assert_eq!(cells.len(), 2 * 2 * 2);
+        assert_eq!(cells[0], "n=4 f=1 fault=honest");
+        assert!(cells.iter().any(|c| c.contains("proto=ct")));
+        assert!(cells.iter().any(|c| c.contains("fd=round-aware")));
+        assert!(cells.iter().any(|c| c.contains("workload=log3")));
+        assert!(
+            cells.iter().any(|c| c.contains("proto=ct")
+                && c.contains("fd=round-aware")
+                && c.contains("workload=log3")),
+            "the axes must cross, not just union: {cells:?}"
+        );
+        let distinct: std::collections::BTreeSet<&String> = cells.iter().collect();
+        assert_eq!(distinct.len(), cells.len(), "cell keys collide");
     }
 
     #[test]
@@ -671,6 +1059,106 @@ mod tests {
         // The coordinator-crash cell forces ◇M suspicions before progress.
         let crashed_cell = &rep.cells()["n=4 f=1 fault=honest extra-crashes=1"];
         assert!(crashed_cell.stats["suspicion-covered"].max >= 1, "{rep:?}");
+    }
+
+    #[test]
+    fn non_default_axes_extend_the_cell_key() {
+        let base = Scenario::new(4, 1, FaultBehavior::Honest);
+        assert_eq!(base.cell(), "n=4 f=1 fault=honest");
+        assert_eq!(
+            base.protocol(ProtocolId::ChandraToueg).cell(),
+            "n=4 f=1 fault=honest proto=ct"
+        );
+        assert_eq!(
+            base.detector(DetectorKind::RoundAware).cell(),
+            "n=4 f=1 fault=honest fd=round-aware"
+        );
+        assert_eq!(
+            base.workload(Workload::Log { slots: 2 }).cell(),
+            "n=4 f=1 fault=honest workload=log2"
+        );
+        assert_eq!(
+            base.protocol(ProtocolId::ChandraToueg)
+                .detector(DetectorKind::RoundAware)
+                .workload(Workload::Log { slots: 3 })
+                .extra_crashes(1)
+                .cell(),
+            "n=4 f=1 fault=honest proto=ct fd=round-aware workload=log3 extra-crashes=1"
+        );
+    }
+
+    #[test]
+    fn cross_protocol_matrix_doubles_the_cells() {
+        let m = ScenarioMatrix::new(vec![(4, 1)], vec![FaultBehavior::Honest]).cross_protocols();
+        let cells: Vec<String> = m.enumerate().iter().map(Scenario::cell).collect();
+        assert_eq!(
+            cells,
+            ["n=4 f=1 fault=honest", "n=4 f=1 fault=honest proto=ct"]
+        );
+    }
+
+    #[test]
+    fn chandra_toueg_cells_run_the_ct_stack() {
+        let sc = Scenario::new(4, 1, FaultBehavior::Honest).protocol(ProtocolId::ChandraToueg);
+        let rec = run_scenario(0, &sc, 7);
+        assert!(rec.ok, "honest CT run failed: {rec:?}");
+        assert_eq!(rec.get("decided"), 4);
+        assert!(rec.get("stack-admitted") > 0);
+        assert_eq!(rec.get("detections"), 0);
+    }
+
+    #[test]
+    fn ct_vector_corruption_is_survived_and_charged_to_certification() {
+        let sc =
+            Scenario::new(4, 1, FaultBehavior::VectorCorrupt).protocol(ProtocolId::ChandraToueg);
+        let rec = run_scenario(0, &sc, 3);
+        assert!(rec.ok, "corrupted CT run violated the spec: {rec:?}");
+        assert!(
+            rec.get("detections-bad-certificate") > 0,
+            "certification module never convicted under CT: {rec:?}"
+        );
+    }
+
+    #[test]
+    fn round_aware_detector_cells_run_and_report_fd_mistakes() {
+        // Crash the round-1 coordinator so the detector actually has to
+        // suspect someone before the system progresses.
+        let sc = Scenario::new(4, 1, FaultBehavior::Honest)
+            .detector(DetectorKind::RoundAware)
+            .extra_crashes(1);
+        let rec = run_scenario(0, &sc, 11);
+        assert!(rec.ok, "round-aware run failed: {rec:?}");
+        assert!(rec.get("suspicions") > 0, "{rec:?}");
+        // The counter key exists either way (zero is fine: suspecting an
+        // actually-crashed process is never corrected as a mistake).
+        assert!(rec.counters.contains_key("stack-fd-mistakes"), "{rec:?}");
+    }
+
+    #[test]
+    fn log_workload_cells_decide_every_slot_on_both_protocols() {
+        for protocol in ProtocolId::all() {
+            let sc = Scenario::new(4, 1, FaultBehavior::Honest)
+                .protocol(protocol)
+                .workload(Workload::Log { slots: 2 });
+            let rec = run_scenario(0, &sc, 5);
+            assert!(rec.ok, "honest {protocol} log run failed: {rec:?}");
+            assert_eq!(rec.get("decided"), 4, "{rec:?}");
+            // Slot notes still feed the shared counters.
+            assert!(rec.get("rounds") >= 1, "{rec:?}");
+            assert!(rec.get("stack-admitted") > 0, "{rec:?}");
+        }
+    }
+
+    #[test]
+    fn log_workload_survives_an_attacker() {
+        let sc =
+            Scenario::new(4, 1, FaultBehavior::VectorCorrupt).workload(Workload::Log { slots: 2 });
+        let rec = run_scenario(0, &sc, 9);
+        assert!(rec.ok, "corrupted log run violated the spec: {rec:?}");
+        assert!(
+            rec.get("detections-bad-certificate") > 0,
+            "no conviction across the log run: {rec:?}"
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@
 
 use std::collections::BTreeMap;
 
-use ftm_certify::rules::certification_rules;
+use ftm_certify::rules::certification_rules_for;
 use ftm_core::spec::{CertRoute, ProtocolSpec};
 
 /// Result of the coverage diff.
@@ -60,10 +60,10 @@ impl CoverageReport {
 }
 
 /// Diffs the spec's conditional-send table against the analyzer's rule
-/// table.
+/// table for the spec's protocol.
 pub fn check_coverage(spec: &ProtocolSpec) -> CoverageReport {
     let sends = spec.conditional_sends();
-    let rules = certification_rules();
+    let rules = certification_rules_for(spec.protocol);
     let mut report = CoverageReport {
         sends: sends.len() as u64,
         rules: rules.len() as u64,
@@ -138,6 +138,23 @@ mod tests {
         );
         assert_eq!(report.trusted_sends, 0);
         assert_eq!(report.sends, report.rules, "tables should be a bijection");
+    }
+
+    #[test]
+    fn transformed_ct_spec_is_fully_covered_by_its_own_rule_table() {
+        let report = check_coverage(&ProtocolSpec::transformed_ct());
+        assert!(
+            report.ok(),
+            "CT coverage failed: uncovered={:?} dead={:?} uncertified={:?}",
+            report.uncovered_sends,
+            report.dead_rules,
+            report.uncertified_noninitial
+        );
+        assert_eq!(report.trusted_sends, 0);
+        assert_eq!(
+            report.sends, report.rules,
+            "CT tables should be a bijection"
+        );
     }
 
     #[test]

@@ -11,29 +11,32 @@
 //! derived edge. Any disagreement is a finding: one of the two artifacts
 //! mis-states the protocol.
 
-use ftm_certify::{MessageKind, Round};
+use ftm_certify::Round;
 use ftm_core::spec::ProtocolSpec;
-use ftm_detect::{PeerAutomaton, PeerPhase, Requirement};
+use ftm_detect::{PeerAutomaton, PeerPhase, ProtocolTable, Requirement};
 use ftm_sim::ProcessId;
 
 use crate::derived::{DerivedAutomaton, Outcome, ReqKind, RoundEffect, State};
 use crate::symbol::Symbol;
 
-/// `true` when the hand-written Fig. 4 [`PeerAutomaton`] is a valid
-/// reference for `spec`: INIT opens, the round discipline is an optional
-/// CURRENT followed by a mandatory NEXT, DECIDE terminates, rounds advance
-/// one at a time. The transformed spec and anything derived from
-/// [`ftm_core::spec::transform`] qualify; the opening-less crash spec does
-/// not — its traces would all be convicted for skipping INIT.
+/// `true` when the hand-written [`PeerAutomaton`] is a valid reference for
+/// `spec`: the spec's send discipline projects exactly onto the static
+/// [`ProtocolTable`] registered for its protocol — same opening, same
+/// ordered `(kind, mandatory)` round slots, same terminal, single-round
+/// advance. Transformed specs and anything derived from
+/// [`ftm_core::spec::transform`] qualify; the opening-less crash specs do
+/// not — their traces would all be convicted for skipping the opening.
 pub fn hand_reference_applies(spec: &ProtocolSpec) -> bool {
-    spec.opening == Some(MessageKind::Init)
-        && spec.terminal == MessageKind::Decide
+    let table = ProtocolTable::for_protocol(spec.protocol);
+    spec.opening == Some(table.opening)
+        && spec.terminal == table.terminal
         && spec.round_advance == 1
-        && spec.round_slots.len() == 2
-        && spec.round_slots[0].kind == MessageKind::Current
-        && !spec.round_slots[0].mandatory
-        && spec.round_slots[1].kind == MessageKind::Next
-        && spec.round_slots[1].mandatory
+        && spec.round_slots.len() == table.slots.len()
+        && spec
+            .round_slots
+            .iter()
+            .zip(table.slots)
+            .all(|(slot, (kind, mandatory))| slot.kind == *kind && slot.mandatory == *mandatory)
 }
 
 /// Result of the automaton diff.
@@ -48,15 +51,14 @@ pub struct DiffReport {
     pub mismatches: Vec<String>,
 }
 
-/// Maps a derived state onto the hand-written automaton's phase. Only
-/// specs with exactly two round slots project onto the Fig. 4 state names.
+/// Maps a derived state onto the hand-written automaton's phase: the
+/// table-driven [`PeerAutomaton`] names in-round states by slot progress,
+/// exactly like [`State::Slot`] (for Hurfin–Raynal these are the paper's
+/// `q0`/`q1`/`q2`).
 fn phase_of(state: State) -> PeerPhase {
     match state {
         State::Start => PeerPhase::Start,
-        State::Slot(0) => PeerPhase::Q0,
-        State::Slot(1) => PeerPhase::Q1,
-        State::Slot(2) => PeerPhase::Q2,
-        State::Slot(i) => panic!("spec has more slots ({i}) than Fig. 4 states"),
+        State::Slot(i) => PeerPhase::InRound(i),
         State::Final => PeerPhase::Final,
         State::Faulty => PeerPhase::Faulty,
     }
@@ -77,14 +79,21 @@ fn probe_rounds(state: State) -> Vec<Round> {
 ///
 /// # Panics
 ///
-/// Panics when the spec's slot count does not project onto the Fig. 4
-/// phases (nothing to diff against, a configuration error).
+/// Panics when the spec's slot count does not project onto its protocol's
+/// hand-written table states (nothing to diff against, a configuration
+/// error). A spec that merely *disagrees* with the table — same shape,
+/// different discipline — is diffed and every disagreement reported;
+/// that asymmetry is what lets the perturbation tests watch a divergent
+/// spec get caught.
 pub fn diff_against_detect(auto: &DerivedAutomaton) -> DiffReport {
     let spec = auto.spec();
+    let table = ProtocolTable::for_protocol(spec.protocol);
     assert_eq!(
         spec.round_slots.len(),
-        2,
-        "the hand-written automaton models exactly two round slots"
+        table.slots.len(),
+        "the hand-written {} automaton models {} round slots",
+        spec.protocol,
+        table.slots.len()
     );
     let mut report = DiffReport::default();
 
@@ -103,7 +112,7 @@ pub fn diff_against_detect(auto: &DerivedAutomaton) -> DiffReport {
             for obs in probe_rounds(state) {
                 for msg_round in symbol.realizations(spec, obs) {
                     report.probes += 1;
-                    let mut hand = PeerAutomaton::at(ProcessId(0), phase_of(state), obs);
+                    let mut hand = PeerAutomaton::at_for(table, ProcessId(0), phase_of(state), obs);
                     let got = hand.step(symbol.kind(spec), msg_round);
                     let ctx = format!(
                         "{} (round {obs}) × {} (r={msg_round})",
@@ -195,6 +204,23 @@ mod tests {
             report.edges
         );
         assert!(report.probes > report.edges);
+    }
+
+    #[test]
+    fn derived_and_hand_written_automata_agree_for_chandra_toueg() {
+        let auto = DerivedAutomaton::from_spec(&ProtocolSpec::transformed_ct());
+        let report = diff_against_detect(&auto);
+        assert!(
+            report.mismatches.is_empty(),
+            "CT automata disagree:\n{}",
+            report.mismatches.join("\n")
+        );
+        // Four round slots make a larger automaton than HR's two.
+        assert!(
+            report.edges >= 100,
+            "suspiciously few CT edges: {}",
+            report.edges
+        );
     }
 
     #[test]

@@ -37,10 +37,11 @@
 //!    the transformed one convicts *strictly more*, never less
 //!    (soundness gain), with machine-diffed witness traces.
 //!
-//! The `ftm-verify` binary runs everything over the transformed, crash,
-//! and derived (`transform(crash)`) specs and emits the same no-float,
-//! byte-stable JSON as `ftm_sim::report`; CI treats a non-`ok` report as
-//! a hard gate failure.
+//! The `ftm-verify` binary runs everything over both protocols'
+//! transformed, crash, and derived (`transform(crash)`) specs — six in
+//! total, Hurfin–Raynal and Chandra–Toueg — plus one refinement section
+//! per protocol, and emits the same no-float, byte-stable JSON as
+//! `ftm_sim::report`; CI treats a non-`ok` report as a hard gate failure.
 //!
 //! # Example
 //!
@@ -65,7 +66,13 @@ pub mod symbol;
 pub use derived::DerivedAutomaton;
 pub use report::{SpecReport, VerifyReport};
 
+use ftm_certify::ProtocolId;
 use ftm_core::spec::{transform, ProtocolSpec};
+
+/// Trace budget governing the *effective* soundness bound per spec (see
+/// [`Bounds::soundness_rounds_for`]): the round bound is lowered until the
+/// compliant-trace enumeration fits this budget.
+pub const SOUNDNESS_TRACE_CAP: usize = 150_000;
 
 /// Bounds for the exhaustive checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,24 +95,59 @@ impl Default for Bounds {
     }
 }
 
+impl Bounds {
+    /// The effective soundness round bound for `spec`: the configured
+    /// [`Bounds::soundness_rounds`], lowered (never below 1) until the
+    /// compliant-trace count stays within [`SOUNDNESS_TRACE_CAP`].
+    ///
+    /// Per-round branching differs wildly between protocols — Hurfin–
+    /// Raynal's `[CURRENT?, NEXT!]` discipline admits 2 vote chains per
+    /// round, Chandra–Toueg's `[ESTIMATE!, PROPOSE?, ACK?, NACK?]` admits
+    /// 8 — so a fixed round bound either starves the narrow protocol or
+    /// explodes the wide one. Every automaton state and transition class
+    /// is already exercised within the first two rounds; deeper rounds
+    /// only re-walk the same structure, so trading depth for tractability
+    /// on wide protocols loses no state coverage. The report records the
+    /// bound actually used.
+    pub fn soundness_rounds_for(&self, spec: &ProtocolSpec) -> u64 {
+        let mut bound = 1;
+        while bound < self.soundness_rounds
+            && soundness::compliant_traces(spec, bound + 1).len() <= SOUNDNESS_TRACE_CAP
+        {
+            bound += 1;
+        }
+        bound
+    }
+}
+
 /// The specs the driver knows how to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpecSelect {
-    /// The hand-written transformed protocol (paper Fig. 3).
+    /// The hand-written transformed Hurfin–Raynal protocol (paper Fig. 3).
     Transformed,
-    /// The un-transformed crash-model protocol (paper Fig. 1 shape).
+    /// The un-transformed crash-model Hurfin–Raynal protocol (Fig. 1
+    /// shape).
     Crash,
-    /// `transform(crash)` — the mechanically derived transformed spec.
+    /// `transform(crash_hr)` — the mechanically derived transformed spec.
     Derived,
+    /// The hand-written transformed Chandra–Toueg protocol.
+    TransformedCt,
+    /// The un-transformed crash-model Chandra–Toueg protocol.
+    CrashCt,
+    /// `transform(crash_ct)` — the derived transformed CT spec.
+    DerivedCt,
 }
 
 impl SpecSelect {
     /// Every spec, in report order.
-    pub fn all() -> [SpecSelect; 3] {
+    pub fn all() -> [SpecSelect; 6] {
         [
             SpecSelect::Transformed,
             SpecSelect::Crash,
             SpecSelect::Derived,
+            SpecSelect::TransformedCt,
+            SpecSelect::CrashCt,
+            SpecSelect::DerivedCt,
         ]
     }
 
@@ -115,6 +157,9 @@ impl SpecSelect {
             SpecSelect::Transformed => "transformed",
             SpecSelect::Crash => "crash",
             SpecSelect::Derived => "derived",
+            SpecSelect::TransformedCt => "ct",
+            SpecSelect::CrashCt => "crash-ct",
+            SpecSelect::DerivedCt => "derived-ct",
         }
     }
 
@@ -129,6 +174,9 @@ impl SpecSelect {
             SpecSelect::Transformed => ProtocolSpec::transformed(),
             SpecSelect::Crash => ProtocolSpec::crash_hr(),
             SpecSelect::Derived => transform(&ProtocolSpec::crash_hr()),
+            SpecSelect::TransformedCt => ProtocolSpec::transformed_ct(),
+            SpecSelect::CrashCt => ProtocolSpec::crash_ct(),
+            SpecSelect::DerivedCt => transform(&ProtocolSpec::crash_ct()),
         }
     }
 }
@@ -147,28 +195,36 @@ pub fn verify_spec(spec: &ProtocolSpec, bounds: &Bounds) -> SpecReport {
         determinism: checks::check_determinism(&auto),
         totality: checks::check_totality(&auto),
         diff: hand.then(|| diff::diff_against_detect(&auto)),
-        soundness: soundness::check_soundness(&auto, bounds.soundness_rounds),
+        soundness: soundness::check_soundness(&auto, bounds.soundness_rounds_for(spec)),
         mutation: hand.then(|| mutation::check_mutations(&auto, bounds.mutation_rounds)),
         coverage: coverage::check_coverage(spec),
         lineage: lineage::check_lineage(spec),
     }
 }
 
+/// Runs the crash→Byzantine refinement check for one protocol's spec
+/// pair, at the effective bound of its crash spec.
+pub fn refine_protocol(protocol: ProtocolId, bounds: &Bounds) -> refinement::RefinementReport {
+    let crash = ProtocolSpec::crash_for(protocol);
+    let transformed = ProtocolSpec::transformed_for(protocol);
+    let bound = bounds.soundness_rounds_for(&crash);
+    refinement::check_refinement(&crash, &transformed, bound)
+}
+
 /// Runs the per-spec checks for `selected` plus the cross-spec refinement
-/// check (which always compares the crash spec against the transformed
-/// one, regardless of selection — the refinement is the point of the
-/// tool).
+/// checks (which always compare every protocol's crash spec against its
+/// transformed one, regardless of selection — the refinement is the point
+/// of the tool).
 pub fn verify_selected(selected: &[SpecSelect], bounds: &Bounds) -> VerifyReport {
     VerifyReport {
         specs: selected
             .iter()
             .map(|sel| (sel.label(), verify_spec(&sel.spec(), bounds)))
             .collect(),
-        refinement: refinement::check_refinement(
-            &ProtocolSpec::crash_hr(),
-            &ProtocolSpec::transformed(),
-            bounds.soundness_rounds,
-        ),
+        refinements: ProtocolId::all()
+            .into_iter()
+            .map(|p| (p.label(), refine_protocol(p, bounds)))
+            .collect(),
     }
 }
 
@@ -186,7 +242,8 @@ mod tests {
     fn every_spec_verifies_clean() {
         let report = verify_all(&Bounds::default());
         assert!(report.ok(), "{}", report.to_json().render());
-        assert_eq!(report.specs.len(), 3);
+        assert_eq!(report.specs.len(), 6);
+        assert_eq!(report.refinements.len(), 2);
     }
 
     #[test]
@@ -209,6 +266,33 @@ mod tests {
         let derived = report.spec("derived").unwrap();
         assert!(derived.diff.is_some());
         assert!(derived.mutation.is_some());
+        // The same split holds for the Chandra–Toueg triple.
+        let ct = report.spec("ct").unwrap();
+        assert!(ct.diff.is_some());
+        assert!(ct.mutation.is_some());
+        assert!(ct.soundness.hand_checked);
+        let crash_ct = report.spec("crash-ct").unwrap();
+        assert!(crash_ct.diff.is_none());
+        assert!(report.spec("derived-ct").unwrap().diff.is_some());
+    }
+
+    #[test]
+    fn the_soundness_bound_scales_to_the_protocols_branching() {
+        let bounds = Bounds::default();
+        // HR's narrow per-round discipline keeps the full bound; CT's
+        // eight vote chains per round would enumerate ~8^6 traces, so the
+        // effective bound shrinks until the cap holds.
+        assert_eq!(
+            bounds.soundness_rounds_for(&ProtocolSpec::transformed()),
+            bounds.soundness_rounds
+        );
+        let ct = bounds.soundness_rounds_for(&ProtocolSpec::transformed_ct());
+        assert!(ct >= 3, "CT bound over-shrunk: {ct}");
+        assert!(ct < bounds.soundness_rounds, "CT bound did not scale: {ct}");
+        assert!(
+            soundness::compliant_traces(&ProtocolSpec::transformed_ct(), ct).len()
+                <= SOUNDNESS_TRACE_CAP
+        );
     }
 
     #[test]
@@ -225,6 +309,10 @@ mod tests {
             "\"transformed\"",
             "\"crash\"",
             "\"derived\"",
+            "\"ct\"",
+            "\"crash-ct\"",
+            "\"derived-ct\"",
+            "\"hr\"",
             "determinism",
             "totality",
             "automaton-diff",
@@ -256,7 +344,9 @@ mod tests {
         );
         assert_eq!(report.specs.len(), 1);
         assert!(report.spec("transformed").is_none());
-        assert!(report.refinement.ok());
+        assert_eq!(report.refinements.len(), 2);
+        assert!(report.refinement("hr").unwrap().ok());
+        assert!(report.refinement("ct").unwrap().ok());
         assert!(report.ok());
     }
 

@@ -2,12 +2,13 @@
 //!
 //! ```text
 //! ftm-verify [--json] [--rounds N] [--mutation-rounds N]
-//!            [--spec {transformed|crash|derived}]...
+//!            [--spec {transformed|crash|derived|ct|crash-ct|derived-ct}]...
 //! ```
 //!
-//! `--spec` narrows the per-spec sections (repeatable; default: all
-//! three). The cross-spec refinement section is always present — the
-//! crash→Byzantine refinement is what the tool exists to check. Exit
+//! `--spec` narrows the per-spec sections (repeatable; default: all six —
+//! the Hurfin–Raynal and Chandra–Toueg triples). The per-protocol
+//! refinement sections are always present — the crash→Byzantine
+//! refinement is what the tool exists to check. Exit
 //! status 0 when every check passed, 1 when any finding exists (conflict,
 //! gap, diff mismatch, false conviction, surviving mutant, coverage hole,
 //! lineage break, or refinement violation), 2 on usage errors. `--json`
@@ -21,7 +22,7 @@ use ftm_verify::{verify_selected, Bounds, SpecSelect};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ftm-verify [--json] [--rounds N] [--mutation-rounds N] \
-         [--spec {{transformed|crash|derived}}]..."
+         [--spec {{transformed|crash|derived|ct|crash-ct|derived-ct}}]..."
     );
     ExitCode::from(2)
 }
@@ -97,18 +98,19 @@ fn main() -> ExitCode {
                 spec.lineage.roots,
             );
         }
-        let r = &report.refinement;
-        eprintln!(
-            "ftm-verify[refinement]: derivation {} sends / {} edges, {} crash traces \
-             lifted over {} steps, {} product states, gain {} ({} witnesses)",
-            r.derivation_sends,
-            r.derivation_edges,
-            r.crash_traces,
-            r.lifted_steps,
-            r.product_states,
-            r.gain,
-            r.gain_witnesses.len(),
-        );
+        for (label, r) in &report.refinements {
+            eprintln!(
+                "ftm-verify[refinement:{label}]: derivation {} sends / {} edges, {} crash \
+                 traces lifted over {} steps, {} product states, gain {} ({} witnesses)",
+                r.derivation_sends,
+                r.derivation_edges,
+                r.crash_traces,
+                r.lifted_steps,
+                r.product_states,
+                r.gain,
+                r.gain_witnesses.len(),
+            );
+        }
     }
 
     if report.ok() {

@@ -187,9 +187,11 @@ fn spec_compliant(auto: &DerivedAutomaton, trace: &Trace) -> bool {
     true
 }
 
-/// `true` when the hand-written automaton convicts somewhere in the trace.
-fn hand_kills(trace: &Trace) -> bool {
-    let mut hand = PeerAutomaton::new(ProcessId(0));
+/// `true` when the hand-written automaton of `spec`'s protocol convicts
+/// somewhere in the trace.
+fn hand_kills(spec: &ProtocolSpec, trace: &Trace) -> bool {
+    let table = ftm_detect::ProtocolTable::for_protocol(spec.protocol);
+    let mut hand = PeerAutomaton::new_for(table, ProcessId(0));
     for &(kind, r) in trace {
         if hand.step(kind, r).is_err() {
             return true;
@@ -226,7 +228,7 @@ pub fn check_mutations(auto: &DerivedAutomaton, max_rounds: Round) -> MutationRe
                 stats.generated += 1;
                 if spec_compliant(auto, &mutant) {
                     stats.equivalent += 1;
-                } else if hand_kills(&mutant) {
+                } else if hand_kills(spec, &mutant) {
                     stats.killed += 1;
                 } else {
                     stats.survived += 1;
@@ -274,7 +276,7 @@ mod tests {
         let auto = DerivedAutomaton::from_spec(&ProtocolSpec::transformed());
         let mutant = vec![(MessageKind::Init, 0), (MessageKind::Next, 1)];
         assert!(spec_compliant(&auto, &mutant));
-        assert!(!hand_kills(&mutant));
+        assert!(!hand_kills(auto.spec(), &mutant));
     }
 
     #[test]
@@ -304,7 +306,31 @@ mod tests {
         let auto = DerivedAutomaton::from_spec(&ProtocolSpec::transformed());
         for t in cases {
             assert!(!spec_compliant(&auto, &t), "{}", trace_label(&t));
-            assert!(hand_kills(&t), "not killed: {}", trace_label(&t));
+            assert!(
+                hand_kills(auto.spec(), &t),
+                "not killed: {}",
+                trace_label(&t)
+            );
         }
+    }
+
+    #[test]
+    fn chandra_toueg_divergent_mutants_are_killed() {
+        let auto = DerivedAutomaton::from_spec(&ProtocolSpec::transformed_ct());
+        let report = check_mutations(&auto, 2);
+        assert!(
+            report.survivors.is_empty(),
+            "surviving CT mutants:\n{}",
+            report.survivors.join("\n")
+        );
+        assert!(report.all_killed());
+        // A CT-specific divergence: ACK before the mandatory ESTIMATE.
+        let t: Trace = vec![
+            (MessageKind::Init, 0),
+            (MessageKind::Ack, 1),
+            (MessageKind::Estimate, 1),
+        ];
+        assert!(!spec_compliant(&auto, &t));
+        assert!(hand_kills(auto.spec(), &t));
     }
 }

@@ -181,20 +181,25 @@ impl SpecReport {
     }
 }
 
-/// The full multi-spec run: one section per spec plus the refinement.
+/// The full multi-spec run: one section per spec plus one refinement
+/// section per protocol.
 #[derive(Debug, Clone)]
 pub struct VerifyReport {
     /// Per-spec reports, keyed by spec label, in CLI order.
     pub specs: Vec<(&'static str, SpecReport)>,
-    /// The cross-spec refinement check.
-    pub refinement: RefinementReport,
+    /// The cross-spec refinement checks, keyed by protocol label
+    /// (`"hr"`, `"ct"`), in [`ftm_certify::ProtocolId::all`] order.
+    pub refinements: Vec<(&'static str, RefinementReport)>,
 }
 
 impl VerifyReport {
-    /// `true` when every per-spec check and the refinement passed: the CI
-    /// gate.
+    /// `true` when every per-spec check and every refinement passed: the
+    /// CI gate.
     pub fn ok(&self) -> bool {
-        !self.specs.is_empty() && self.specs.iter().all(|(_, s)| s.ok()) && self.refinement.ok()
+        !self.specs.is_empty()
+            && self.specs.iter().all(|(_, s)| s.ok())
+            && !self.refinements.is_empty()
+            && self.refinements.iter().all(|(_, r)| r.ok())
     }
 
     /// The report for the spec labelled `label`, if it was verified.
@@ -202,16 +207,17 @@ impl VerifyReport {
         self.specs.iter().find(|(l, _)| *l == label).map(|(_, s)| s)
     }
 
-    /// Renders the report as the byte-stable JSON document.
-    pub fn to_json(&self) -> Json {
-        let specs = Json::Obj(
-            self.specs
-                .iter()
-                .map(|(label, s)| ((*label).to_string(), s.to_json()))
-                .collect(),
-        );
-        let r = &self.refinement;
-        let refinement = Json::Obj(vec![
+    /// The refinement report for the protocol labelled `label` (`"hr"`,
+    /// `"ct"`), if present.
+    pub fn refinement(&self, label: &str) -> Option<&RefinementReport> {
+        self.refinements
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, r)| r)
+    }
+
+    fn refinement_json(r: &RefinementReport) -> Json {
+        Json::Obj(vec![
             ("bound".into(), Json::U64(r.bound)),
             (
                 "derivation".into(),
@@ -243,7 +249,23 @@ impl VerifyReport {
                 ]),
             ),
             ("ok".into(), Json::Bool(r.ok())),
-        ]);
+        ])
+    }
+
+    /// Renders the report as the byte-stable JSON document.
+    pub fn to_json(&self) -> Json {
+        let specs = Json::Obj(
+            self.specs
+                .iter()
+                .map(|(label, s)| ((*label).to_string(), s.to_json()))
+                .collect(),
+        );
+        let refinement = Json::Obj(
+            self.refinements
+                .iter()
+                .map(|(label, r)| ((*label).to_string(), Self::refinement_json(r)))
+                .collect(),
+        );
         Json::Obj(vec![
             ("specs".into(), specs),
             ("refinement".into(), refinement),

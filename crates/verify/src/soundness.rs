@@ -123,9 +123,10 @@ pub fn check_soundness(auto: &DerivedAutomaton, max_rounds: Round) -> SoundnessR
         hand_checked,
         ..SoundnessReport::default()
     };
+    let table = ftm_detect::ProtocolTable::for_protocol(spec.protocol);
     for trace in compliant_traces(spec, max_rounds) {
         report.traces += 1;
-        let mut hand = PeerAutomaton::new(ProcessId(0));
+        let mut hand = PeerAutomaton::new_for(table, ProcessId(0));
         let (mut st, mut round) = auto.initial();
         for (idx, &(kind, r)) in trace.iter().enumerate() {
             report.steps += 1;

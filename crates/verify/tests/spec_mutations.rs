@@ -117,6 +117,79 @@ fn round_skips_break_refinement_completeness_with_a_witness() {
 }
 
 #[test]
+fn chandra_toueg_perturbations_are_rejected_by_the_same_checkers() {
+    // The perturbation operators pick their targets from the spec's own
+    // send table, so the same negative suite must hold over the second
+    // protocol: a broken CT transformation may not pass the gate either.
+    for p in [
+        SpecPerturbation::DropRoute,
+        SpecPerturbation::OrphanSend,
+        SpecPerturbation::CyclicRoute,
+        SpecPerturbation::MissingRule,
+    ] {
+        for seed in SEEDS {
+            let mut spec = ProtocolSpec::transformed_ct();
+            let what = p.apply(&mut spec, seed);
+            let report = verify_spec(&spec, &small());
+            assert!(
+                !report.ok(),
+                "{} seed {seed}: {what} passed the CT gate",
+                p.label()
+            );
+            let caught = match p {
+                SpecPerturbation::DropRoute => {
+                    report
+                        .lineage
+                        .unjustified
+                        .iter()
+                        .any(|d| d.contains("no lineage back to a vector-certified root"))
+                        || !report.lineage.dead_routes.is_empty()
+                }
+                SpecPerturbation::OrphanSend => report
+                    .lineage
+                    .dangling
+                    .iter()
+                    .any(|d| d.contains("does not exist")),
+                SpecPerturbation::CyclicRoute => report
+                    .lineage
+                    .cycles
+                    .iter()
+                    .any(|c| c.contains("same-round justification cycle:")),
+                SpecPerturbation::MissingRule => report
+                    .coverage
+                    .uncovered_sends
+                    .iter()
+                    .any(|d| d.contains("names missing rule `no-such-rule`")),
+                SpecPerturbation::RoundSkip => unreachable!(),
+            };
+            assert!(
+                caught,
+                "{} seed {seed}: {what} not caught by its owning checker",
+                p.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn chandra_toueg_round_skips_break_refinement_completeness() {
+    for seed in SEEDS {
+        let mut crash = ProtocolSpec::crash_ct();
+        let what = SpecPerturbation::RoundSkip.apply(&mut crash, seed);
+        let report = check_refinement(&crash, &ProtocolSpec::transformed_ct(), 3);
+        assert!(!report.ok(), "seed {seed}: {what} passed CT refinement");
+        assert!(
+            report
+                .completeness_violations
+                .iter()
+                .any(|v| v.contains("lifts to") && v.contains("convicted")),
+            "seed {seed}: {what} produced no lift witness: {:?}",
+            report.completeness_violations
+        );
+    }
+}
+
+#[test]
 fn refinement_witnesses_render_byte_stable() {
     let a = check_refinement(&ProtocolSpec::crash_hr(), &ProtocolSpec::transformed(), 4);
     let b = check_refinement(&ProtocolSpec::crash_hr(), &ProtocolSpec::transformed(), 4);

@@ -143,9 +143,11 @@ fn main() {
 }
 
 /// The same gallery, harness-style: a scenario matrix fanned across
-/// worker threads, aggregated into the structured JSON report. The report
-/// is a pure function of `(matrix, base seed)` — rerun it on any number
-/// of threads and the bytes do not change.
+/// worker threads, aggregated into the structured JSON report. The matrix
+/// crosses the protocol axis, so every cell runs once under the
+/// transformed Hurfin–Raynal instance and once under transformed
+/// Chandra–Toueg. The report is a pure function of `(matrix, base seed)`
+/// — rerun it on any number of threads and the bytes do not change.
 fn sweep_demo() {
     use ft_modular::faults::{sweep_matrix, FaultBehavior, ScenarioMatrix};
 
@@ -156,9 +158,10 @@ fn sweep_demo() {
             FaultBehavior::VectorCorrupt,
             FaultBehavior::ForgeDecide,
         ],
-    );
+    )
+    .cross_protocols();
     let report = sweep_matrix(&matrix, 0x1AB, 4);
-    println!("\n== scenario sweep (3 systems x 3 behaviors, 4 worker threads) ==\n");
+    println!("\n== scenario sweep (3 systems x 3 behaviors x 2 protocols, 4 worker threads) ==\n");
     println!("{}", report.to_json().render());
     assert!(report.all_ok(), "a sweep cell violated the spec");
     println!("\nall {} runs satisfied the spec", report.records.len());

@@ -30,9 +30,12 @@ fn main() {
     let report = Simulation::build_boxed(
         SimConfig::new(N).seed(42).crash(2, VirtualTime::at(40)),
         |id| {
-            Box::new(ReplicatedLog::new(&setup, id, 4, |slot, p| {
-                1000 * slot + 100 + p as u64
-            }))
+            Box::new(ReplicatedLog::<ByzantineConsensus>::new(
+                &setup,
+                id,
+                4,
+                |slot, p| 1000 * slot + 100 + p as u64,
+            ))
         },
     )
     .run();

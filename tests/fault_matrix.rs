@@ -386,6 +386,76 @@ fn scenario_sweep_covers_the_matrix_with_layer_metrics() {
 }
 
 #[test]
+fn fault_classification_is_protocol_independent() {
+    // The transformation's promise is protocol-generic: each fault class
+    // must be caught by the *same module* whether the transformed protocol
+    // is Hurfin–Raynal or Chandra–Toueg. Counts and timings legitimately
+    // differ (the protocols exchange different message kinds); the
+    // classification — which conviction classes fire, and whether ◇M
+    // suspicion covers the muteness cases — must not.
+    //
+    // n = 5, F = 2 with the round-1 coordinator crashed: under HR this
+    // forces NEXT-vote traffic (so vote-targeting attacks have something
+    // to corrupt), under CT the NACK path; the budget (attacker + one
+    // crash = 2 = F) stays within bounds.
+    use ft_modular::certify::ProtocolId;
+    use ft_modular::faults::{run_scenario, FaultBehavior, Scenario};
+    use std::collections::BTreeSet;
+
+    let classify = |behavior: FaultBehavior, protocol: ProtocolId| -> (BTreeSet<&str>, bool) {
+        let mut classes = BTreeSet::new();
+        let mut suspicion = false;
+        // Union over seeds: classification is about which module *can*
+        // convict the behavior, not one execution's timing accidents.
+        for seed in 0..3u64 {
+            let sc = Scenario::new(5, 2, behavior)
+                .protocol(protocol)
+                .extra_crashes(1);
+            let rec = run_scenario(seed as usize, &sc, 0xC1A5 + seed);
+            assert!(
+                rec.ok,
+                "{} under {}: spec violated: {rec:?}",
+                behavior.label(),
+                protocol
+            );
+            for class in [
+                "bad-signature",
+                "bad-certificate",
+                "out-of-order",
+                "wrong-syntax",
+            ] {
+                if rec.get(&format!("convicted-{class}")) > 0 {
+                    classes.insert(class);
+                }
+            }
+            suspicion |= rec.get("suspicion-covered") > 0;
+        }
+        (classes, suspicion)
+    };
+
+    for behavior in FaultBehavior::all() {
+        let (hr_classes, hr_susp) = classify(behavior, ProtocolId::HurfinRaynal);
+        let (ct_classes, ct_susp) = classify(behavior, ProtocolId::ChandraToueg);
+        assert_eq!(
+            hr_classes,
+            ct_classes,
+            "behavior {}: conviction classes differ between protocols",
+            behavior.label()
+        );
+        assert_eq!(
+            hr_susp,
+            ct_susp,
+            "behavior {}: ◇M suspicion coverage differs between protocols",
+            behavior.label()
+        );
+        // The muteness cases must actually be covered by ◇M everywhere.
+        if matches!(behavior, FaultBehavior::Crash | FaultBehavior::Mute) {
+            assert!(hr_susp, "{}: muteness never suspected", behavior.label());
+        }
+    }
+}
+
+#[test]
 fn detection_latency_is_bounded() {
     // E4's quantitative claim: detection happens promptly after the
     // faulty message is delivered, not rounds later.

@@ -29,6 +29,25 @@ fn sweep_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn sweep_is_bit_identical_at_large_system_sizes() {
+    // The grown default grid tops out at (31, 10); determinism must hold
+    // there too, for both transformed protocols.
+    let systems: Vec<(usize, usize)> = ScenarioMatrix::default_systems()
+        .into_iter()
+        .filter(|&(n, _)| n >= 13)
+        .collect();
+    assert_eq!(systems, [(13, 4), (21, 6), (31, 10)]);
+    let m = ScenarioMatrix::new(
+        systems,
+        vec![FaultBehavior::Honest, FaultBehavior::VectorCorrupt],
+    )
+    .cross_protocols();
+    let single = sweep_matrix(&m, 0xB16, 1).to_json().render();
+    let eight = sweep_matrix(&m, 0xB16, 8).to_json().render();
+    assert_eq!(single, eight, "thread count leaked into the large-n report");
+}
+
+#[test]
 fn distinct_base_seeds_give_distinct_traces() {
     let m = ScenarioMatrix::new(vec![(4, 1)], vec![FaultBehavior::Honest]);
     let a = sweep_matrix(&m, 1, 2);
