@@ -43,7 +43,7 @@ pub fn run() -> String {
         ));
     }
 
-    let scenarios: Vec<Scenario> = rows.iter().map(|(_, sc)| *sc).collect();
+    let scenarios: Vec<Scenario> = rows.iter().map(|(_, sc)| sc.clone()).collect();
     let report = sweep_scenarios(&scenarios, SEEDS, BASE_SEED, THREADS);
 
     let mut out = String::from(

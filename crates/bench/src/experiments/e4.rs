@@ -64,13 +64,14 @@ pub fn run() -> String {
         },
     ];
 
-    let scenarios: Vec<Scenario> = cases.iter().map(|c| c.scenario).collect();
+    let scenarios: Vec<Scenario> = cases.iter().map(|c| c.scenario.clone()).collect();
     let report = sweep_scenarios(&scenarios, SEEDS, BASE_SEED, THREADS);
 
     let mut out = String::from(
         "## E4 — Non-muteness detection coverage and latency (paper Fig. 4)\n\n\
          15 seeded runs per row via the parallel sweep harness (base seed\n\
-         0xE4). The attacker is always the highest-numbered process.\n\
+         0xE4). Each row is a single-attacker cell at the default\n\
+         placement (the top-numbered process); E11 sweeps coalitions.\n\
          `coverage` = fraction of runs in which at least one correct process\n\
          convicted the attacker with the expected class; `observers` = mean\n\
          number of distinct correct convictors per detecting run (processes\n\

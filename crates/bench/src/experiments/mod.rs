@@ -3,6 +3,7 @@
 pub mod common;
 pub mod e1;
 pub mod e10;
+pub mod e11;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -13,7 +14,9 @@ pub mod e8;
 pub mod e9;
 
 /// All experiment ids in order.
-pub const ALL: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+pub const ALL: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+];
 
 /// Runs one experiment by id, returning its markdown section.
 ///
@@ -32,6 +35,7 @@ pub fn run(id: &str) -> String {
         "e8" => e8::run(),
         "e9" => e9::run(),
         "e10" => e10::run(),
-        other => panic!("unknown experiment id {other:?} (expected e1..e10)"),
+        "e11" => e11::run(),
+        other => panic!("unknown experiment id {other:?} (expected e1..e11)"),
     }
 }

@@ -182,6 +182,9 @@ impl ByzantineChandraToueg {
         self.sent_nack = false;
         self.stack.enter_round(self.r, ctx.now());
         ctx.note(format!("round={}", self.r));
+        // Per-round stack snapshot (last note per process wins in the
+        // harness) — see `ByzantineConsensus::begin_round`.
+        ctx.note(self.stack.stats_note());
         let mut cert = self.est_cert.union(&self.entry_cert);
         if let Some(backing) = &self.ts_backing {
             cert.insert(backing.clone());
@@ -233,16 +236,7 @@ impl ByzantineChandraToueg {
             cert,
             ctx,
         );
-        let stats = self.stack.stats();
-        ctx.note(format!(
-            "stack-stats admitted={} sig-rejects={} cert-rejects={} auto-rejects={} syntax-rejects={} fd-mistakes={}",
-            stats.admitted,
-            stats.signature_rejects,
-            stats.certificate_rejects,
-            stats.automaton_rejects,
-            stats.syntax_rejects,
-            self.stack.muteness().mistakes(),
-        ));
+        ctx.note(self.stack.stats_note());
         ctx.decide(vector);
         ctx.halt();
     }
@@ -479,6 +473,8 @@ impl Actor for ByzantineChandraToueg {
                         "detected={} class={} reason={}",
                         e.culprit, e.class, e.reason
                     ));
+                } else {
+                    self.stack.record_quarantine();
                 }
             }
         }

@@ -147,6 +147,10 @@ impl ByzantineConsensus {
         self.sent_next = false;
         self.stack.enter_round(self.r, ctx.now());
         ctx.note(format!("round={}", self.r));
+        // Per-round stack snapshot: the harness keeps the *last* note per
+        // process, so churn under adverse networks is visible even when
+        // the run never decides.
+        ctx.note(self.stack.stats_note());
         debug_assert_eq!(self.derived_state(), PaperState::Q0);
         if self.me == self.coordinator() {
             // Line 12: the coordinator proposes its certified vector,
@@ -217,16 +221,7 @@ impl ByzantineConsensus {
         // Final per-layer receive-side tally, in note form so trace
         // consumers (the sweep harness) can collect it without reaching
         // into actor state.
-        let stats = self.stack.stats();
-        ctx.note(format!(
-            "stack-stats admitted={} sig-rejects={} cert-rejects={} auto-rejects={} syntax-rejects={} fd-mistakes={}",
-            stats.admitted,
-            stats.signature_rejects,
-            stats.certificate_rejects,
-            stats.automaton_rejects,
-            stats.syntax_rejects,
-            self.stack.muteness().mistakes(),
-        ));
+        ctx.note(self.stack.stats_note());
         ctx.decide(vector);
         ctx.halt();
     }
@@ -402,6 +397,8 @@ impl Actor for ByzantineConsensus {
                         "detected={} class={} reason={}",
                         e.culprit, e.class, e.reason
                     ));
+                } else {
+                    self.stack.record_quarantine();
                 }
             }
         }

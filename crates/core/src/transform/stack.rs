@@ -90,6 +90,15 @@ impl MutenessFd {
             MutenessFd::RoundAware(d) => d.mistakes(),
         }
     }
+
+    /// Wrongful suspicions of `peer` corrected so far (per-peer breakdown
+    /// of [`mistakes`](Self::mistakes)).
+    pub fn mistakes_for(&self, peer: ProcessId) -> u64 {
+        match self {
+            MutenessFd::Adaptive(d) => d.mistakes_for(peer),
+            MutenessFd::RoundAware(d) => d.mistakes_for(peer),
+        }
+    }
 }
 
 /// Per-layer activity counters for one process's receive-side stack.
@@ -112,6 +121,12 @@ pub struct StackStats {
     pub automaton_rejects: u64,
     /// Rejections for malformed content (`wrong-syntax`).
     pub syntax_rejects: u64,
+    /// Envelopes dropped without inspection because the sender was
+    /// already convicted (quarantine). Not counted in [`total`]: the
+    /// stack never sees them.
+    ///
+    /// [`total`]: StackStats::total
+    pub quarantined: u64,
 }
 
 impl StackStats {
@@ -244,6 +259,41 @@ impl ModuleStack {
     pub fn stats(&self) -> StackStats {
         self.stats
     }
+
+    /// Records one envelope dropped because its sender was already
+    /// convicted. Quarantine bookkeeping lives with the protocol module
+    /// (the drop happens before [`admit`](Self::admit) is reached), but
+    /// the counter belongs here with the other per-layer statistics.
+    pub fn record_quarantine(&mut self) {
+        self.stats.quarantined += 1;
+    }
+
+    /// Renders the stack's counters as a `stack-stats` trace note, the
+    /// format the sweep harness parses into per-cell metrics. Includes
+    /// the ◇M mistake totals, split into mistakes about peers later
+    /// convicted anyway versus mistakes about (still-)honest peers.
+    pub fn stats_note(&self) -> String {
+        let n = self.checker().n();
+        let honest_mistakes: u64 = (0..n as u32)
+            .map(ProcessId)
+            .filter(|&p| !self.is_faulty(p))
+            .map(|p| self.muteness.mistakes_for(p))
+            .sum();
+        let s = self.stats;
+        format!(
+            "stack-stats admitted={} sig-rejects={} cert-rejects={} \
+             auto-rejects={} syntax-rejects={} fd-mistakes={} \
+             fd-honest-mistakes={} quarantined={}",
+            s.admitted,
+            s.signature_rejects,
+            s.certificate_rejects,
+            s.automaton_rejects,
+            s.syntax_rejects,
+            self.muteness.mistakes(),
+            honest_mistakes,
+            s.quarantined,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -335,5 +385,45 @@ mod tests {
         assert_eq!(stats.signature_rejects, 1);
         assert_eq!(stats.certificate_rejects, 0);
         assert_eq!(stats.total(), 3);
+    }
+
+    #[test]
+    fn stats_note_reports_all_counters_in_harness_format() {
+        let (mut stack, keys) = fixture();
+        let _ = stack.admit(ProcessId(1), &init(&keys, 1), VirtualTime::ZERO);
+        stack.record_quarantine();
+        stack.record_quarantine();
+        assert_eq!(stack.stats().quarantined, 2);
+        // Quarantined envelopes never reach the stack, so total() is
+        // unaffected.
+        assert_eq!(stack.stats().total(), 1);
+        assert_eq!(
+            stack.stats_note(),
+            "stack-stats admitted=1 sig-rejects=0 cert-rejects=0 \
+             auto-rejects=0 syntax-rejects=0 fd-mistakes=0 \
+             fd-honest-mistakes=0 quarantined=2"
+        );
+    }
+
+    #[test]
+    fn honest_mistakes_exclude_convicted_peers() {
+        let (mut stack, keys) = fixture();
+        // Force a muteness mistake on p1: suspect, then rehabilitate.
+        assert!(stack.suspects(ProcessId(1), VirtualTime::at(60)));
+        let _ = stack.admit(ProcessId(1), &init(&keys, 1), VirtualTime::at(61));
+        assert_eq!(stack.muteness().mistakes(), 1);
+        assert!(stack.stats_note().contains("fd-honest-mistakes=1"));
+        // Convict p1 via a forged signature: its past mistake no longer
+        // counts as a mistake about an honest peer.
+        let bad = Envelope::make(
+            ProcessId(1),
+            Core::Init { value: 0 },
+            Certificate::new(),
+            &keys[2],
+        );
+        let _ = stack.admit(ProcessId(1), &bad, VirtualTime::at(62));
+        assert!(stack.is_faulty(ProcessId(1)));
+        assert!(stack.stats_note().contains("fd-honest-mistakes=0"));
+        assert!(stack.stats_note().contains("fd-mistakes=1"));
     }
 }

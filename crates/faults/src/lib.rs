@@ -28,6 +28,10 @@ pub mod scenario;
 
 pub use behavior::{ByzantineLogWrapper, ByzantineWrapper, Tamper};
 pub use scenario::{
-    log_command, run_scenario, sweep_matrix, sweep_matrix_repeated, sweep_scenarios, AttackRun,
-    DetectorKind, FaultBehavior, Scenario, ScenarioMatrix, Workload,
+    coalition_faulty, log_command, run_scenario, sweep_matrix, sweep_matrix_repeated,
+    sweep_scenarios, AttackRun, CoalitionAxis, DetectorKind, FaultBehavior, Scenario,
+    ScenarioMatrix, Workload,
 };
+// Re-exported so scenario builders can name network profiles without
+// depending on ftm-sim directly.
+pub use ftm_sim::NetworkProfile;

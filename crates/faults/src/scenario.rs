@@ -2,10 +2,11 @@
 //!
 //! The paper's experiments (E3/E4) run the transformed protocol against
 //! every fault class in the taxonomy, over a grid of system sizes. This
-//! module names those cells — a [`Scenario`] is one `(n, F, fault
-//! behavior)` triple — and turns each into a single deterministic run:
-//! [`run_scenario`] builds the full stack (keys, transformed actors, one
-//! wrapped attacker), executes it under the seeded simulator, checks the
+//! module names those cells — a [`Scenario`] is one `(n, F, coalition)`
+//! triple — and turns each into a single deterministic run:
+//! [`run_scenario`] builds the full stack (keys, transformed actors, a
+//! wrapped attacker *coalition* of up to F members), executes it under the
+//! seeded simulator and the scenario's [`NetworkProfile`], checks the
 //! vector-consensus properties, and flattens everything the run produced
 //! into the flat counter map of an [`ftm_sim::harness::RunRecord`].
 //!
@@ -16,14 +17,19 @@
 //!   and the protocol core (they sum to `bytes-total`);
 //! * `suspicions` — muteness-FD activity (◇M suspicion events);
 //! * `stack-*` — receive-side admit/reject counts per module, from each
-//!   process's [`ftm_core::transform::StackStats`] note;
+//!   process's [`ftm_core::transform::StackStats`] note (the *last* note
+//!   per process and slot, so per-round snapshots don't double-count);
 //! * `detections-*` — convictions per fault class (`out-of-order` is the
 //!   non-muteness automaton's wrong-expected count);
-//! * `cert-items-*` — certificate sizes carried on sent messages.
+//! * `cert-items-*` — certificate sizes carried on sent messages;
+//! * `coalition-size` and `m<i>-*` — per-coalition-member detection
+//!   outcomes (conviction class, first-conviction round and time).
 //!
 //! Everything is a pure function of `(scenario, seed)`: the same pair
 //! reproduces the same trace fingerprint bit for bit, which is what lets
 //! [`sweep_matrix`] fan runs across threads without losing replayability.
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use ftm_certify::vector::check_vector_validity;
 use ftm_certify::{ProtocolId, Value, ValueVector};
@@ -35,13 +41,13 @@ use ftm_crypto::rsa::KeyPair;
 use ftm_sim::harness::{sweep, RunRecord, SweepReport};
 use ftm_sim::runner::BoxedActor;
 use ftm_sim::trace::TraceEvent;
-use ftm_sim::{Duration, ProcessId, RunReport, SimConfig, Simulation, VirtualTime};
+use ftm_sim::{Duration, NetworkProfile, ProcessId, RunReport, SimConfig, Simulation, VirtualTime};
 
 use crate::attacks;
 use crate::behavior::ByzantineLogWrapper;
 use crate::{ByzantineWrapper, Tamper};
 
-/// One fault behavior the attacker process may exhibit — the paper's
+/// One fault behavior a coalition member may exhibit — the paper's
 /// taxonomy (§2–3) plus the honest baseline and the benign crash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultBehavior {
@@ -224,21 +230,24 @@ pub enum Workload {
     },
 }
 
-/// One cell of the sweep: system size, resilience bound and the fault the
-/// last process exhibits, plus the protocol/detector/workload axes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One cell of the sweep: system size, resilience bound and the attacker
+/// coalition (up to F members, heterogeneous behaviors), plus the
+/// protocol/detector/workload/network axes.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Scenario {
     /// Number of processes.
     pub n: usize,
     /// Resilience bound F (at most F arbitrary-faulty processes).
     pub f: usize,
-    /// The behavior of the attacker process.
-    pub behavior: FaultBehavior,
+    /// The attacker coalition: `(member, behavior)` pairs. A single-member
+    /// coalition is the classic one-attacker cell; sizes beyond F exist to
+    /// document where the guarantees break.
+    pub attackers: Vec<(u32, FaultBehavior)>,
     /// How many *additional* low-numbered processes (`p0`, `p1`, …) crash
-    /// benignly at t = 0, on top of whatever the behavior does to the
-    /// attacker. `1` kills the round-1 coordinator (forcing NEXT-vote
-    /// traffic); `F − 1` plus a [`FaultBehavior::Crash`] attacker exhausts
-    /// the fault budget; `F` plus a crashed attacker exceeds it on purpose.
+    /// benignly at t = 0, on top of whatever the coalition does. `1` kills
+    /// the round-1 coordinator (forcing NEXT-vote traffic); combined with
+    /// coalition crashes it can exhaust — or deliberately exceed — the
+    /// fault budget.
     pub extra_crashes: usize,
     /// Which transformed protocol the processes run (Hurfin–Raynal by
     /// default).
@@ -247,21 +256,68 @@ pub struct Scenario {
     pub detector: DetectorKind,
     /// What runs on top of consensus (a single instance by default).
     pub workload: Workload,
+    /// The delay/GST regime the run executes under (calm by default —
+    /// exactly the simulator's historical defaults).
+    pub network: NetworkProfile,
 }
 
 impl Scenario {
-    /// A cell with no extra crashes (the plain taxonomy grid), running the
-    /// default axes: Hurfin–Raynal, adaptive ◇M, one-shot consensus.
+    /// A single-attacker cell with no extra crashes (the plain taxonomy
+    /// grid), running the default axes: Hurfin–Raynal, adaptive ◇M,
+    /// one-shot consensus, calm network. The attacker is the
+    /// highest-numbered process, never the round-1 coordinator.
     pub fn new(n: usize, f: usize, behavior: FaultBehavior) -> Self {
+        Scenario::coalition(n, f, vec![((n - 1) as u32, behavior)])
+    }
+
+    /// A cell with an explicit attacker coalition. Members may sit
+    /// anywhere (including the round-1 coordinator) and mix behaviors
+    /// freely; sizes ≤ F are the paper's tolerated regime, F + 1 the
+    /// documented breakage row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coalition is empty, names a process `≥ n`, or names
+    /// the same process twice.
+    pub fn coalition(n: usize, f: usize, members: Vec<(u32, FaultBehavior)>) -> Self {
+        assert!(!members.is_empty(), "a coalition needs at least one member");
+        let distinct: BTreeSet<u32> = members.iter().map(|&(m, _)| m).collect();
+        assert_eq!(distinct.len(), members.len(), "duplicate coalition member");
+        assert!(
+            members.iter().all(|&(m, _)| (m as usize) < n),
+            "coalition member out of range"
+        );
         Scenario {
             n,
             f,
-            behavior,
+            attackers: members,
             extra_crashes: 0,
             protocol: ProtocolId::HurfinRaynal,
             detector: DetectorKind::Adaptive,
             workload: Workload::OneShot,
+            network: NetworkProfile::calm(),
         }
+    }
+
+    /// A coalition at the default placement: member `i` is process
+    /// `n − 1 − i`, so the coalition grows downward from the top and the
+    /// round-1 coordinator stays honest (representative honest progress,
+    /// as in the single-attacker grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `behaviors` is empty or longer than `n − 1`.
+    pub fn coalition_of(n: usize, f: usize, behaviors: &[FaultBehavior]) -> Self {
+        assert!(
+            behaviors.len() < n,
+            "coalition would leave no honest coordinator"
+        );
+        let members = behaviors
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| ((n - 1 - i) as u32, b))
+            .collect();
+        Scenario::coalition(n, f, members)
     }
 
     /// Additionally crashes processes `p0..p{k-1}` at t = 0.
@@ -288,17 +344,45 @@ impl Scenario {
         self
     }
 
-    /// The attacker is always the highest-numbered process — never the
-    /// round-1 coordinator (p0), so honest progress stays representative.
+    /// Selects the delay/GST regime the run executes under.
+    pub fn network(mut self, network: NetworkProfile) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// The first coalition member. Historically every scenario had exactly
+    /// one attacker and it was always the highest-numbered process;
+    /// coalitions choose their members freely, so that invariant is
+    /// retired — read [`attackers`](Self::attackers) instead.
+    #[deprecated(note = "scenarios carry a coalition now; read `attackers` instead")]
     pub fn attacker(&self) -> u32 {
-        (self.n - 1) as u32
+        self.attackers[0].0
+    }
+
+    /// Whether the coalition sits at the default placement (member `i` is
+    /// process `n − 1 − i`) — the placement [`new`](Self::new) and
+    /// [`coalition_of`](Self::coalition_of) produce.
+    fn default_placement(&self) -> bool {
+        self.attackers
+            .iter()
+            .enumerate()
+            .all(|(i, &(m, _))| m as usize == self.n - 1 - i)
     }
 
     /// Cell key used to group runs for aggregation. Non-default axis
     /// values append their own markers, so pre-existing cell keys (plain
-    /// Hurfin–Raynal one-shot cells) are unchanged.
+    /// single-attacker Hurfin–Raynal one-shot cells under the calm
+    /// network) are unchanged.
     pub fn cell(&self) -> String {
-        let mut key = format!("n={} f={} fault={}", self.n, self.f, self.behavior.label());
+        let faults: Vec<&str> = self.attackers.iter().map(|(_, b)| b.label()).collect();
+        let mut key = format!("n={} f={} fault={}", self.n, self.f, faults.join("+"));
+        if self.attackers.len() > 1 {
+            key.push_str(&format!(" coalition={}", self.attackers.len()));
+        }
+        if !self.default_placement() {
+            let ids: Vec<String> = self.attackers.iter().map(|(m, _)| m.to_string()).collect();
+            key.push_str(&format!(" members={}", ids.join("+")));
+        }
         if self.protocol != ProtocolId::HurfinRaynal {
             key.push_str(&format!(" proto={}", self.protocol.label()));
         }
@@ -311,13 +395,30 @@ impl Scenario {
         if self.extra_crashes > 0 {
             key.push_str(&format!(" extra-crashes={}", self.extra_crashes));
         }
+        if self.network != NetworkProfile::calm() {
+            key.push_str(&format!(" net={}", self.network.label));
+        }
         key
     }
 }
 
+/// How [`ScenarioMatrix`] turns its fault-behavior columns into
+/// coalitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoalitionAxis {
+    /// One attacker per cell (the classic grid).
+    #[default]
+    Single,
+    /// For each `(n, F)` row, coalition sizes `1..=min(F + 1, n − 1)` —
+    /// every tolerated size plus the budget-exceeded row the paper
+    /// predicts breaks. Members share the cell's behavior and sit at the
+    /// default placement.
+    UpToBudgetPlusOne,
+}
+
 /// A scenario grid: the cross product of protocols, detectors, workloads,
-/// system configurations and fault behaviors, enumerated in a stable
-/// row-major order.
+/// network profiles, system configurations, coalition sizes and fault
+/// behaviors, enumerated in a stable row-major order.
 #[derive(Debug, Clone)]
 pub struct ScenarioMatrix {
     /// `(n, F)` pairs, the grid's rows.
@@ -333,11 +434,17 @@ pub struct ScenarioMatrix {
     /// Workloads to run the grid over (just one-shot consensus unless
     /// widened).
     pub workloads: Vec<Workload>,
+    /// Network profiles to run the grid over (just the calm profile
+    /// unless widened).
+    pub networks: Vec<NetworkProfile>,
+    /// How behaviors become coalitions (single attacker unless widened).
+    pub coalitions: CoalitionAxis,
 }
 
 impl ScenarioMatrix {
     /// Builds a matrix from explicit rows and columns, over the default
-    /// axes: Hurfin–Raynal, adaptive ◇M, one-shot consensus.
+    /// axes: Hurfin–Raynal, adaptive ◇M, one-shot consensus, calm
+    /// network, single attacker.
     pub fn new(systems: Vec<(usize, usize)>, behaviors: Vec<FaultBehavior>) -> Self {
         ScenarioMatrix {
             systems,
@@ -345,6 +452,8 @@ impl ScenarioMatrix {
             protocols: vec![ProtocolId::HurfinRaynal],
             detectors: vec![DetectorKind::Adaptive],
             workloads: vec![Workload::OneShot],
+            networks: vec![NetworkProfile::calm()],
+            coalitions: CoalitionAxis::Single,
         }
     }
 
@@ -388,10 +497,33 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Overrides the network axis.
+    pub fn networks(mut self, networks: Vec<NetworkProfile>) -> Self {
+        self.networks = networks;
+        self
+    }
+
+    /// Widens the network axis to every preset profile, so each cell runs
+    /// once per delay/GST regime.
+    pub fn cross_networks(mut self) -> Self {
+        self.networks = NetworkProfile::all().to_vec();
+        self
+    }
+
+    /// Widens the coalition axis: each `(n, F)` row runs at every
+    /// coalition size `1..=min(F + 1, n − 1)` — the tolerated regime plus
+    /// the budget-exceeded row.
+    pub fn cross_coalitions(mut self) -> Self {
+        self.coalitions = CoalitionAxis::UpToBudgetPlusOne;
+        self
+    }
+
     /// Enumerates the cells row-major: protocols outermost, then
-    /// detectors, workloads, systems, and innermost behaviors. The
-    /// position in this list is the scenario index the harness feeds to
-    /// [`ftm_sim::prng::derive_seed`].
+    /// detectors, workloads, networks, systems, coalition sizes, and
+    /// innermost behaviors. With the default axes this collapses to the
+    /// historical `protocols → detectors → workloads → systems →
+    /// behaviors` order. The position in this list is the scenario index
+    /// the harness feeds to [`ftm_sim::prng::derive_seed`].
     pub fn enumerate(&self) -> Vec<Scenario> {
         self.enumerate_repeated(1)
     }
@@ -401,24 +533,30 @@ impl ScenarioMatrix {
     /// indices, so they get distinct derived seeds and aggregate into the
     /// same cell — this is how a sweep gets percentiles per cell.
     pub fn enumerate_repeated(&self, repeats: usize) -> Vec<Scenario> {
-        let cells = self.protocols.len()
-            * self.detectors.len()
-            * self.workloads.len()
-            * self.systems.len()
-            * self.behaviors.len();
-        let mut out = Vec::with_capacity(cells * repeats);
+        let mut out = Vec::new();
         for &protocol in &self.protocols {
             for &detector in &self.detectors {
                 for &workload in &self.workloads {
-                    for &(n, f) in &self.systems {
-                        for &behavior in &self.behaviors {
-                            for _ in 0..repeats {
-                                out.push(
-                                    Scenario::new(n, f, behavior)
-                                        .protocol(protocol)
-                                        .detector(detector)
-                                        .workload(workload),
-                                );
+                    for &network in &self.networks {
+                        for &(n, f) in &self.systems {
+                            let sizes: Vec<usize> = match self.coalitions {
+                                CoalitionAxis::Single => vec![1],
+                                CoalitionAxis::UpToBudgetPlusOne => {
+                                    (1..=(f + 1).min(n - 1)).collect()
+                                }
+                            };
+                            for &size in &sizes {
+                                for &behavior in &self.behaviors {
+                                    for _ in 0..repeats {
+                                        out.push(
+                                            Scenario::coalition_of(n, f, &vec![behavior; size])
+                                                .protocol(protocol)
+                                                .detector(detector)
+                                                .workload(workload)
+                                                .network(network),
+                                        );
+                                    }
+                                }
                             }
                         }
                     }
@@ -430,7 +568,7 @@ impl ScenarioMatrix {
 }
 
 /// One hand-configured adversarial run: the stack-building glue (keys,
-/// transformed actors, one wrapped attacker, optional coordinator crash)
+/// transformed actors, wrapped attackers, optional coordinator crash)
 /// shared by [`run_scenario`] and the repo's integration tests, which used
 /// to duplicate it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -441,7 +579,8 @@ pub struct AttackRun {
     pub f: usize,
     /// Simulator and key-generation seed.
     pub seed: u64,
-    /// The Byzantine process.
+    /// The Byzantine process (single-attacker entry points; the
+    /// coalition runners take their member list explicitly).
     pub attacker: u32,
     /// Injection-timer delay for the wrapper. The default (3 ticks) beats
     /// the fastest honest decision (t ≈ 10 under the default delay range);
@@ -459,6 +598,9 @@ pub struct AttackRun {
     pub protocol: ProtocolId,
     /// Which ◇M implementation the processes embed (adaptive by default).
     pub muteness: MutenessMode,
+    /// The delay/GST regime (calm — the historical defaults — unless
+    /// overridden).
+    pub network: NetworkProfile,
 }
 
 impl AttackRun {
@@ -475,6 +617,7 @@ impl AttackRun {
             crash_low: 0,
             protocol: ProtocolId::HurfinRaynal,
             muteness: MutenessMode::Adaptive,
+            network: NetworkProfile::calm(),
         }
     }
 
@@ -508,6 +651,12 @@ impl AttackRun {
         self
     }
 
+    /// Selects the delay/GST regime the run executes under.
+    pub fn network(mut self, network: NetworkProfile) -> Self {
+        self.network = network;
+        self
+    }
+
     /// The canonical proposal vector: process `i` proposes `100 + i`.
     pub fn proposals(&self) -> Vec<Value> {
         (0..self.n as u64).map(|i| 100 + i).collect()
@@ -515,12 +664,23 @@ impl AttackRun {
 
     /// The key material and simulator configuration this run is built on.
     fn setup_and_cfg(&self) -> (ProtocolSetup, SimConfig) {
+        self.setup_and_cfg_with(&[])
+    }
+
+    /// [`setup_and_cfg`](Self::setup_and_cfg) with additional t = 0
+    /// crashes (coalition members whose behavior is the benign crash),
+    /// registered between `crash_at_start` and the low-numbered crashes so
+    /// single-member coalitions reproduce the historical event order.
+    fn setup_and_cfg_with(&self, coalition_crashes: &[u32]) -> (ProtocolSetup, SimConfig) {
         let setup = ProtocolConfig::new(self.n, self.f)
             .seed(self.seed)
             .muteness_mode(self.muteness)
             .setup();
-        let mut cfg = SimConfig::new(self.n).seed(self.seed);
+        let mut cfg = self.network.apply(SimConfig::new(self.n).seed(self.seed));
         if let Some(p) = self.crash_at_start {
+            cfg = cfg.crash(p as usize, VirtualTime::ZERO);
+        }
+        for &p in coalition_crashes {
             cfg = cfg.crash(p as usize, VirtualTime::ZERO);
         }
         for p in 0..self.crash_low {
@@ -569,6 +729,44 @@ impl AttackRun {
         .run()
     }
 
+    /// Executes the run with an attacker *coalition*: every member whose
+    /// behavior needs a wrapper is wrapped with its own tamper (built by
+    /// [`FaultBehavior::make_tamper_for`]), members behaving as
+    /// [`FaultBehavior::Crash`] are crashed at t = 0, and honest members
+    /// run untouched. A single-member coalition reproduces
+    /// [`run`](Self::run) bit for bit.
+    pub fn run_coalition(&self, members: &[(u32, FaultBehavior)]) -> RunReport<ValueVector> {
+        match self.protocol {
+            ProtocolId::HurfinRaynal => self.run_coalition_as::<ByzantineConsensus>(members),
+            ProtocolId::ChandraToueg => self.run_coalition_as::<ByzantineChandraToueg>(members),
+        }
+    }
+
+    /// [`run_coalition`](Self::run_coalition) monomorphized over the
+    /// transformed-protocol actor.
+    pub fn run_coalition_as<P: TransformedProtocol + 'static>(
+        &self,
+        members: &[(u32, FaultBehavior)],
+    ) -> RunReport<ValueVector> {
+        let (setup, cfg) = self.setup_and_cfg_with(&coalition_crashes(members));
+        let props = self.proposals();
+        let mut tampers = self.coalition_tampers(members);
+
+        Simulation::build_boxed(cfg, |id| {
+            let honest = P::build(&setup, id, props[id.index()]);
+            if let Some(tamper) = tampers.remove(&id.0) {
+                return Box::new(ByzantineWrapper::new(
+                    honest,
+                    tamper,
+                    setup.keys[id.index()].clone(),
+                    self.injection_delay,
+                )) as BoxedActor<_, _>;
+            }
+            Box::new(honest)
+        })
+        .run()
+    }
+
     /// Runs the replicated-log workload instead of one-shot consensus:
     /// every process is a [`ReplicatedLog`] replica deciding `slots`
     /// entries, the attacker's replica wrapped so the tamper strategy
@@ -610,6 +808,63 @@ impl AttackRun {
         .run()
     }
 
+    /// The replicated-log workload under an attacker coalition — the
+    /// log-shaped sibling of [`run_coalition`](Self::run_coalition).
+    pub fn run_coalition_log(
+        &self,
+        slots: u64,
+        members: &[(u32, FaultBehavior)],
+    ) -> RunReport<Vec<ValueVector>> {
+        match self.protocol {
+            ProtocolId::HurfinRaynal => {
+                self.run_coalition_log_as::<ByzantineConsensus>(slots, members)
+            }
+            ProtocolId::ChandraToueg => {
+                self.run_coalition_log_as::<ByzantineChandraToueg>(slots, members)
+            }
+        }
+    }
+
+    /// [`run_coalition_log`](Self::run_coalition_log) monomorphized over
+    /// the slot protocol.
+    pub fn run_coalition_log_as<P: TransformedProtocol + 'static>(
+        &self,
+        slots: u64,
+        members: &[(u32, FaultBehavior)],
+    ) -> RunReport<Vec<ValueVector>> {
+        let (setup, cfg) = self.setup_and_cfg_with(&coalition_crashes(members));
+        let mut tampers = self.coalition_tampers(members);
+
+        Simulation::build_boxed(cfg, |id| {
+            let honest = ReplicatedLog::<P>::new(&setup, id, slots, log_command);
+            if let Some(tamper) = tampers.remove(&id.0) {
+                return Box::new(ByzantineLogWrapper::new(
+                    honest,
+                    tamper,
+                    setup.keys[id.index()].clone(),
+                    self.injection_delay,
+                )) as BoxedActor<_, _>;
+            }
+            Box::new(honest)
+        })
+        .run()
+    }
+
+    /// Per-member tamper strategies for a coalition (honest and crashed
+    /// members need none).
+    fn coalition_tampers(
+        &self,
+        members: &[(u32, FaultBehavior)],
+    ) -> BTreeMap<u32, Box<dyn Tamper>> {
+        members
+            .iter()
+            .filter_map(|&(m, b)| {
+                b.make_tamper_for(self.protocol, self.n, m, self.seed)
+                    .map(|t| (m, t))
+            })
+            .collect()
+    }
+
     /// Checks the vector-consensus properties with only the attacker
     /// marked faulty.
     pub fn verdict(&self, report: &RunReport<ValueVector>) -> Verdict {
@@ -617,6 +872,43 @@ impl AttackRun {
         faulty[self.attacker as usize] = true;
         check_vector_consensus(report, &self.proposals(), &faulty, self.f)
     }
+
+    /// Checks the vector-consensus properties with every non-honest
+    /// coalition member marked faulty.
+    pub fn coalition_verdict(
+        &self,
+        members: &[(u32, FaultBehavior)],
+        report: &RunReport<ValueVector>,
+    ) -> Verdict {
+        check_vector_consensus(
+            report,
+            &self.proposals(),
+            &coalition_faulty(self.n, members),
+            self.f,
+        )
+    }
+}
+
+/// The t = 0 crash list a coalition implies (members behaving as the
+/// benign crash).
+fn coalition_crashes(members: &[(u32, FaultBehavior)]) -> Vec<u32> {
+    members
+        .iter()
+        .filter(|&&(_, b)| b == FaultBehavior::Crash)
+        .map(|&(m, _)| m)
+        .collect()
+}
+
+/// The faulty-process mask a coalition implies (honest members are not
+/// faulty).
+pub fn coalition_faulty(n: usize, members: &[(u32, FaultBehavior)]) -> Vec<bool> {
+    let mut faulty = vec![false; n];
+    for &(m, b) in members {
+        if b != FaultBehavior::Honest {
+            faulty[m as usize] = true;
+        }
+    }
+    faulty
 }
 
 /// The replicated-log workload's deterministic per-slot command: replica
@@ -629,27 +921,19 @@ pub fn log_command(slot: u64, p: u32) -> Value {
 /// a [`RunRecord`]. Matches the signature [`ftm_sim::harness::sweep`]
 /// expects, so it can be passed directly as the worker function.
 pub fn run_scenario(index: usize, sc: &Scenario, seed: u64) -> RunRecord {
-    let attacker = sc.attacker();
-    let mut run = AttackRun::new(sc.n, sc.f, seed, attacker)
+    let run = AttackRun::new(sc.n, sc.f, seed, sc.attackers[0].0)
         .protocol(sc.protocol)
         .muteness_mode(sc.detector.mode())
-        .crash_low(sc.extra_crashes);
-    if sc.behavior == FaultBehavior::Crash {
-        run = run.crash_at_start(attacker);
-    }
+        .crash_low(sc.extra_crashes)
+        .network(sc.network);
 
-    let mut faulty = vec![false; sc.n];
-    if sc.behavior != FaultBehavior::Honest {
-        faulty[attacker as usize] = true;
-    }
+    let faulty = coalition_faulty(sc.n, &sc.attackers);
 
     let mut rec = RunRecord::new(sc.cell(), index, seed);
+    rec.set("coalition-size", sc.attackers.len() as u64);
     match sc.workload {
         Workload::OneShot => {
-            let report = run.run(|_| {
-                sc.behavior
-                    .make_tamper_for(sc.protocol, sc.n, attacker, seed)
-            });
+            let report = run.run_coalition(&sc.attackers);
             let verdict = check_vector_consensus(&report, &run.proposals(), &faulty, sc.f);
             rec.ok = verdict.ok();
             // Individual property verdicts, so experiment tables can
@@ -659,20 +943,17 @@ pub fn run_scenario(index: usize, sc: &Scenario, seed: u64) -> RunRecord {
             rec.set("prop-agreement", u64::from(verdict.agreement));
             rec.set("prop-validity", u64::from(verdict.validity));
             record_metrics(&mut rec, &report);
-            record_attacker_metrics(&mut rec, &report, attacker);
+            record_coalition_metrics(&mut rec, &report, &sc.attackers);
         }
         Workload::Log { slots } => {
-            let report = run.run_log(slots, |_| {
-                sc.behavior
-                    .make_tamper_for(sc.protocol, sc.n, attacker, seed)
-            });
+            let report = run.run_coalition_log(slots, &sc.attackers);
             let verdict = check_log_verdict(&report, sc, &faulty, slots);
             rec.ok = verdict.ok();
             rec.set("prop-termination", u64::from(verdict.termination));
             rec.set("prop-agreement", u64::from(verdict.agreement));
             rec.set("prop-validity", u64::from(verdict.validity));
             record_metrics(&mut rec, &report);
-            record_attacker_metrics(&mut rec, &report, attacker);
+            record_coalition_metrics(&mut rec, &report, &sc.attackers);
         }
     }
     rec
@@ -737,17 +1018,24 @@ fn check_log_verdict(
     }
 }
 
-/// Strips the replicated-log workload's `s<slot>:` note prefix, so slot
-/// instances report into the same counters as one-shot runs.
-fn strip_slot_prefix(text: &str) -> &str {
+/// Splits the replicated-log workload's `s<slot>:` note prefix off, so
+/// slot instances report into the same counters as one-shot runs while
+/// per-slot bookkeeping (last stack-stats note per instance) stays
+/// possible.
+fn split_slot_prefix(text: &str) -> (Option<u64>, &str) {
     if let Some(rest) = text.strip_prefix('s') {
         if let Some((digits, tail)) = rest.split_once(':') {
             if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
-                return tail;
+                return (digits.parse().ok(), tail);
             }
         }
     }
-    text
+    (None, text)
+}
+
+/// Strips the replicated-log workload's `s<slot>:` note prefix.
+fn strip_slot_prefix(text: &str) -> &str {
+    split_slot_prefix(text).1
 }
 
 /// Flattens a finished run's metrics, trace notes and detections into the
@@ -782,29 +1070,29 @@ fn record_metrics<D>(rec: &mut RunRecord, report: &RunReport<D>) {
         "stack-auto-rejects",
         "stack-syntax-rejects",
         "stack-fd-mistakes",
+        "stack-fd-honest-mistakes",
+        "stack-quarantined",
         "cert-items-sum",
         "cert-items-max",
     ] {
         rec.add(key, 0);
     }
 
+    // The stack emits a cumulative stats note at every round entry and at
+    // decide, so only the *last* note per (process, slot instance) counts
+    // — summing them all would charge early rounds many times over.
+    let mut last_stats: BTreeMap<(u32, Option<u64>), &str> = BTreeMap::new();
     let mut rounds = 0u64;
     for entry in report.trace.entries() {
         match &entry.event {
-            TraceEvent::Note { text, .. } => {
-                let text = strip_slot_prefix(text);
+            TraceEvent::Note { process, text } => {
+                let (slot, text) = split_slot_prefix(text);
                 if let Some(r) = text.strip_prefix("round=") {
                     rounds = rounds.max(r.parse().unwrap_or(0));
                 } else if text.starts_with("suspect=") {
                     rec.add("suspicions", 1);
                 } else if let Some(rest) = text.strip_prefix("stack-stats ") {
-                    for tok in rest.split_whitespace() {
-                        if let Some((key, val)) = tok.split_once('=') {
-                            if let Ok(v) = val.parse::<u64>() {
-                                rec.add(format!("stack-{key}"), v);
-                            }
-                        }
-                    }
+                    last_stats.insert((process.0, slot), rest);
                 }
             }
             TraceEvent::Send { label, .. } => {
@@ -819,6 +1107,15 @@ fn record_metrics<D>(rec: &mut RunRecord, report: &RunReport<D>) {
             _ => {}
         }
     }
+    for rest in last_stats.values() {
+        for tok in rest.split_whitespace() {
+            if let Some((key, val)) = tok.split_once('=') {
+                if let Ok(v) = val.parse::<u64>() {
+                    rec.add(format!("stack-{key}"), v);
+                }
+            }
+        }
+    }
     rec.set("rounds", rounds);
 
     for d in detections(&report.trace) {
@@ -827,30 +1124,108 @@ fn record_metrics<D>(rec: &mut RunRecord, report: &RunReport<D>) {
     }
 }
 
-/// Attacker-focused detection outcomes: which classes correct observers
-/// convicted the attacker under, how many distinct observers did, and when
-/// the first conviction (and first ◇M suspicion) landed. These drive the
-/// coverage/observers/latency columns of the E4 table.
-fn record_attacker_metrics<D>(rec: &mut RunRecord, report: &RunReport<D>, attacker: u32) {
-    use std::collections::{BTreeMap, BTreeSet};
+/// Coalition-focused detection outcomes. Aggregate counters keep their
+/// historical meaning, now over the whole coalition: which classes honest
+/// observers convicted *any* member under (`convicted-<class>` distinct
+/// observers, `conviction-at-<class>` earliest time), plus the first ◇M
+/// suspicion. Per-member counters (`m<i>-…`, `i` the member's index in
+/// the coalition vector) break the same outcomes down: conviction class
+/// coverage, first-conviction time and the convicting observer's round at
+/// that moment, and whether ◇M ever suspected the member.
+fn record_coalition_metrics<D>(
+    rec: &mut RunRecord,
+    report: &RunReport<D>,
+    members: &[(u32, FaultBehavior)],
+) {
+    let member_ids: BTreeSet<u32> = members.iter().map(|&(m, _)| m).collect();
+    let index_of: BTreeMap<u32, usize> = members
+        .iter()
+        .enumerate()
+        .map(|(i, &(m, _))| (m, i))
+        .collect();
 
-    let culprit = format!("p{attacker}");
-    let mut observers: BTreeMap<String, BTreeSet<ProcessId>> = BTreeMap::new();
-    let mut first: BTreeMap<String, u64> = BTreeMap::new();
-    for d in detections(&report.trace) {
-        if d.culprit != culprit || d.observer == ProcessId(attacker) {
+    let mut agg_observers: BTreeMap<String, BTreeSet<ProcessId>> = BTreeMap::new();
+    let mut agg_first: BTreeMap<String, u64> = BTreeMap::new();
+    let mut mem_observers: Vec<BTreeMap<String, BTreeSet<ProcessId>>> =
+        vec![BTreeMap::new(); members.len()];
+    let mut mem_first_at: Vec<Option<u64>> = vec![None; members.len()];
+    let mut mem_first_round: Vec<u64> = vec![0; members.len()];
+    let mut mem_suspected: Vec<bool> = vec![false; members.len()];
+
+    // One sequential pass: track each (observer, slot instance)'s current
+    // round from its `round=` notes so a conviction can be stamped with
+    // the round it landed in.
+    let mut rounds: BTreeMap<(u32, Option<u64>), u64> = BTreeMap::new();
+    for entry in report.trace.entries() {
+        let TraceEvent::Note { process, text } = &entry.event else {
             continue;
+        };
+        let (slot, text) = split_slot_prefix(text);
+        if let Some(r) = text.strip_prefix("round=").and_then(|r| r.parse().ok()) {
+            rounds.insert((process.0, slot), r);
+        } else if let Some(rest) = text.strip_prefix("detected=") {
+            let mut culprit = "";
+            let mut class = "";
+            for tok in rest.split_whitespace() {
+                if let Some(c) = tok.strip_prefix("class=") {
+                    class = c;
+                } else if culprit.is_empty() {
+                    culprit = tok;
+                }
+            }
+            let Some(target) = culprit
+                .strip_prefix('p')
+                .and_then(|p| p.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            let target = target as u32;
+            // Convictions spoken by coalition members are not evidence.
+            if member_ids.contains(&process.0) || !member_ids.contains(&target) {
+                continue;
+            }
+            agg_observers
+                .entry(class.to_string())
+                .or_default()
+                .insert(*process);
+            let at = agg_first.entry(class.to_string()).or_insert(u64::MAX);
+            *at = (*at).min(entry.at.ticks());
+            let i = index_of[&target];
+            mem_observers[i]
+                .entry(class.to_string())
+                .or_default()
+                .insert(*process);
+            if mem_first_at[i].is_none() {
+                mem_first_at[i] = Some(entry.at.ticks());
+                mem_first_round[i] = rounds.get(&(process.0, slot)).copied().unwrap_or(0);
+            }
+        } else if let Some(rest) = text.strip_prefix("suspect=") {
+            let target = rest.split_whitespace().next().unwrap_or("");
+            let Some(target) = target.strip_prefix('p').and_then(|p| p.parse::<u64>().ok()) else {
+                continue;
+            };
+            let target = target as u32;
+            if let Some(&i) = index_of.get(&target) {
+                if !member_ids.contains(&process.0) {
+                    mem_suspected[i] = true;
+                }
+            }
         }
-        observers
-            .entry(d.class.clone())
-            .or_default()
-            .insert(d.observer);
-        let at = first.entry(d.class.clone()).or_insert(u64::MAX);
-        *at = (*at).min(d.at.ticks());
     }
-    for (class, obs) in &observers {
+
+    for (class, obs) in &agg_observers {
         rec.set(format!("convicted-{class}"), obs.len() as u64);
-        rec.set(format!("conviction-at-{class}"), first[class]);
+        rec.set(format!("conviction-at-{class}"), agg_first[class]);
+    }
+    for (i, _) in members.iter().enumerate() {
+        for (class, obs) in &mem_observers[i] {
+            rec.set(format!("m{i}-convicted-{class}"), obs.len() as u64);
+        }
+        if let Some(at) = mem_first_at[i] {
+            rec.set(format!("m{i}-conviction-at"), at);
+            rec.set(format!("m{i}-conviction-round"), mem_first_round[i]);
+        }
+        rec.set(format!("m{i}-suspected"), u64::from(mem_suspected[i]));
     }
 
     // First muteness suspicion raised by one process about another: the
@@ -899,10 +1274,10 @@ pub fn sweep_matrix_repeated(
 
 /// Runs an explicit scenario list through the parallel harness — the entry
 /// point for experiment tables whose rows are not a plain cross product
-/// (multi-crash budgets, per-row system sizes). Each scenario appears
-/// `repeats` consecutive times under its own derived seed, exactly like
-/// [`ScenarioMatrix::enumerate_repeated`], so cells aggregate into real
-/// percentiles. The output is a pure function of
+/// (multi-crash budgets, per-row system sizes, hand-built coalitions).
+/// Each scenario appears `repeats` consecutive times under its own derived
+/// seed, exactly like [`ScenarioMatrix::enumerate_repeated`], so cells
+/// aggregate into real percentiles. The output is a pure function of
 /// `(scenarios, repeats, base_seed)`.
 pub fn sweep_scenarios(
     scenarios: &[Scenario],
@@ -912,7 +1287,7 @@ pub fn sweep_scenarios(
 ) -> SweepReport {
     let expanded: Vec<Scenario> = scenarios
         .iter()
-        .flat_map(|sc| (0..repeats).map(move |_| *sc))
+        .flat_map(|sc| (0..repeats).map(move |_| sc.clone()))
         .collect();
     let records = sweep(&expanded, base_seed, threads, run_scenario);
     SweepReport::new(base_seed, records)
@@ -963,6 +1338,74 @@ mod tests {
     }
 
     #[test]
+    fn coalition_and_network_axes_multiply_the_grid() {
+        let m = ScenarioMatrix::new(vec![(5, 2)], vec![FaultBehavior::Mute])
+            .cross_coalitions()
+            .cross_networks();
+        let cells: Vec<String> = m.enumerate().iter().map(Scenario::cell).collect();
+        // 4 network profiles × coalition sizes 1..=3 (F + 1 = 3).
+        assert_eq!(cells.len(), 4 * 3);
+        assert_eq!(cells[0], "n=5 f=2 fault=mute");
+        assert!(cells.iter().any(|c| c.contains("coalition=2")));
+        assert!(
+            cells.iter().any(|c| c.contains("coalition=3")),
+            "the F + 1 breakage row must be enumerated: {cells:?}"
+        );
+        assert!(!cells.iter().any(|c| c.contains("coalition=4")));
+        for net in ["jittery", "adverse", "no-gst"] {
+            assert!(
+                cells.iter().any(|c| c.contains(&format!("net={net}"))),
+                "missing network {net}: {cells:?}"
+            );
+        }
+        let distinct: std::collections::BTreeSet<&String> = cells.iter().collect();
+        assert_eq!(distinct.len(), cells.len(), "cell keys collide");
+    }
+
+    #[test]
+    fn coalition_cells_key_by_member_behaviors_and_placement() {
+        let sc =
+            Scenario::coalition_of(7, 3, &[FaultBehavior::Mute, FaultBehavior::DuplicateVotes]);
+        assert_eq!(
+            sc.attackers,
+            vec![(6, FaultBehavior::Mute), (5, FaultBehavior::DuplicateVotes)]
+        );
+        assert_eq!(sc.cell(), "n=7 f=3 fault=mute+duplicate-votes coalition=2");
+        // Explicit non-default placement is part of the key.
+        let placed = Scenario::coalition(
+            7,
+            3,
+            vec![(2, FaultBehavior::Mute), (4, FaultBehavior::DuplicateVotes)],
+        );
+        assert_eq!(
+            placed.cell(),
+            "n=7 f=3 fault=mute+duplicate-votes coalition=2 members=2+4"
+        );
+        // A non-calm network is part of the key too.
+        let jittery = Scenario::new(4, 1, FaultBehavior::Honest).network(NetworkProfile::jittery());
+        assert_eq!(jittery.cell(), "n=4 f=1 fault=honest net=jittery");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn single_attacker_constructor_still_places_the_attacker_on_top() {
+        let sc = Scenario::new(5, 2, FaultBehavior::Mute);
+        assert_eq!(sc.attackers, vec![(4, FaultBehavior::Mute)]);
+        assert_eq!(sc.attacker(), 4);
+        assert_eq!(sc.cell(), "n=5 f=2 fault=mute");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_coalition_members_are_rejected() {
+        let _ = Scenario::coalition(
+            4,
+            1,
+            vec![(3, FaultBehavior::Mute), (3, FaultBehavior::Crash)],
+        );
+    }
+
+    #[test]
     fn full_matrix_covers_the_whole_taxonomy() {
         let m = ScenarioMatrix::full(vec![(4, 1)]);
         assert_eq!(m.enumerate().len(), FaultBehavior::all().len());
@@ -979,6 +1422,7 @@ mod tests {
         let rec = run_scenario(0, &sc, 7);
         assert!(rec.ok, "honest run failed: {rec:?}");
         assert_eq!(rec.get("decided"), 4);
+        assert_eq!(rec.get("coalition-size"), 1);
         assert!(rec.get("rounds") >= 1);
         assert!(rec.get("bytes-signature") > 0);
         assert!(rec.get("bytes-protocol") > 0);
@@ -1000,6 +1444,39 @@ mod tests {
             rec.get("detections-bad-certificate") > 0,
             "certification module never convicted: {rec:?}"
         );
+        // The per-member breakdown names the same conviction.
+        assert!(rec.get("m0-convicted-bad-certificate") > 0, "{rec:?}");
+        assert!(rec.get("m0-conviction-round") >= 1, "{rec:?}");
+    }
+
+    #[test]
+    fn mixed_coalition_convicts_each_member_under_its_own_class() {
+        // Two simultaneous attackers within the budget (F = 2), with
+        // *different* behaviors caught by *different* modules: a vector
+        // corrupter (certification module) and a wrong-key signer
+        // (signature module). Consensus must survive and the per-member
+        // breakdown must attribute each conviction class to the right
+        // member.
+        let sc = Scenario::coalition_of(
+            5,
+            2,
+            &[FaultBehavior::VectorCorrupt, FaultBehavior::WrongKey],
+        );
+        let rec = run_scenario(0, &sc, 17);
+        assert!(rec.ok, "within-budget coalition broke consensus: {rec:?}");
+        assert_eq!(rec.get("coalition-size"), 2);
+        assert!(
+            rec.get("m0-convicted-bad-certificate") > 0,
+            "vector corrupter (m0 = p4) never convicted: {rec:?}"
+        );
+        assert!(
+            rec.get("m1-convicted-bad-signature") > 0,
+            "wrong-key signer (m1 = p3) never convicted: {rec:?}"
+        );
+        // No cross-attribution: the corrupter's signatures are fine and
+        // the forger's vectors are fine.
+        assert_eq!(rec.get("m0-convicted-bad-signature"), 0, "{rec:?}");
+        assert_eq!(rec.get("m1-convicted-bad-certificate"), 0, "{rec:?}");
     }
 
     #[test]
@@ -1017,10 +1494,25 @@ mod tests {
     }
 
     #[test]
+    fn single_member_coalition_runs_reproduce_single_attacker_runs() {
+        // The coalition runner is the old single-attacker runner's
+        // superset: a size-1 coalition must give a bit-identical trace.
+        let run = AttackRun::new(4, 1, 9, 3);
+        let via_single = run.run(|_| {
+            FaultBehavior::DuplicateVotes.make_tamper_for(ProtocolId::HurfinRaynal, 4, 3, 9)
+        });
+        let via_coalition = run.run_coalition(&[(3, FaultBehavior::DuplicateVotes)]);
+        assert_eq!(
+            via_single.trace.fingerprint(),
+            via_coalition.trace.fingerprint()
+        );
+    }
+
+    #[test]
     fn extra_crashes_change_the_cell_key_and_exhaust_the_budget() {
         let base = Scenario::new(5, 2, FaultBehavior::Crash);
         assert_eq!(base.cell(), "n=5 f=2 fault=crash");
-        let full_budget = base.extra_crashes(1);
+        let full_budget = base.clone().extra_crashes(1);
         assert_eq!(full_budget.cell(), "n=5 f=2 fault=crash extra-crashes=1");
 
         // F = 2 total crashes (p0 and the attacker p4): still terminates.
@@ -1034,6 +1526,26 @@ mod tests {
         // F + 1 crashes: termination is forfeited, safety must survive.
         let beyond = base.extra_crashes(2);
         let rec = run_scenario(0, &beyond, 21);
+        assert_eq!(rec.get("prop-termination"), 0, "{rec:?}");
+        assert_eq!(rec.get("prop-agreement"), 1, "{rec:?}");
+        assert_eq!(rec.get("prop-validity"), 1, "{rec:?}");
+    }
+
+    #[test]
+    fn crash_coalition_beyond_the_budget_forfeits_termination_only() {
+        // Same budget arithmetic driven purely by the coalition axis:
+        // F + 1 = 3 crashed members out of n = 5.
+        let beyond = Scenario::coalition_of(
+            5,
+            2,
+            &[
+                FaultBehavior::Crash,
+                FaultBehavior::Crash,
+                FaultBehavior::Crash,
+            ],
+        );
+        let rec = run_scenario(0, &beyond, 21);
+        assert_eq!(rec.get("coalition-size"), 3);
         assert_eq!(rec.get("prop-termination"), 0, "{rec:?}");
         assert_eq!(rec.get("prop-agreement"), 1, "{rec:?}");
         assert_eq!(rec.get("prop-validity"), 1, "{rec:?}");
@@ -1066,15 +1578,15 @@ mod tests {
         let base = Scenario::new(4, 1, FaultBehavior::Honest);
         assert_eq!(base.cell(), "n=4 f=1 fault=honest");
         assert_eq!(
-            base.protocol(ProtocolId::ChandraToueg).cell(),
+            base.clone().protocol(ProtocolId::ChandraToueg).cell(),
             "n=4 f=1 fault=honest proto=ct"
         );
         assert_eq!(
-            base.detector(DetectorKind::RoundAware).cell(),
+            base.clone().detector(DetectorKind::RoundAware).cell(),
             "n=4 f=1 fault=honest fd=round-aware"
         );
         assert_eq!(
-            base.workload(Workload::Log { slots: 2 }).cell(),
+            base.clone().workload(Workload::Log { slots: 2 }).cell(),
             "n=4 f=1 fault=honest workload=log2"
         );
         assert_eq!(
@@ -1082,8 +1594,9 @@ mod tests {
                 .detector(DetectorKind::RoundAware)
                 .workload(Workload::Log { slots: 3 })
                 .extra_crashes(1)
+                .network(NetworkProfile::adverse())
                 .cell(),
-            "n=4 f=1 fault=honest proto=ct fd=round-aware workload=log3 extra-crashes=1"
+            "n=4 f=1 fault=honest proto=ct fd=round-aware workload=log3 extra-crashes=1 net=adverse"
         );
     }
 
@@ -1132,6 +1645,18 @@ mod tests {
         // The counter key exists either way (zero is fine: suspecting an
         // actually-crashed process is never corrected as a mistake).
         assert!(rec.counters.contains_key("stack-fd-mistakes"), "{rec:?}");
+        assert!(
+            rec.counters.contains_key("stack-fd-honest-mistakes"),
+            "{rec:?}"
+        );
+    }
+
+    #[test]
+    fn jittery_network_cells_still_decide() {
+        let sc = Scenario::new(4, 1, FaultBehavior::Honest).network(NetworkProfile::jittery());
+        let rec = run_scenario(0, &sc, 13);
+        assert!(rec.ok, "jittery honest run failed: {rec:?}");
+        assert_eq!(rec.get("decided"), 4);
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub struct MutenessDetector {
     round: u64,
     history: Vec<SuspicionChange>,
     mistakes: u64,
+    peer_mistakes: Vec<u64>,
 }
 
 impl MutenessDetector {
@@ -72,6 +73,7 @@ impl MutenessDetector {
             round: 0,
             history: Vec::new(),
             mistakes: 0,
+            peer_mistakes: vec![0; n],
         }
     }
 
@@ -83,6 +85,12 @@ impl MutenessDetector {
     /// Wrongful suspicions corrected so far.
     pub fn mistakes(&self) -> u64 {
         self.mistakes
+    }
+
+    /// Wrongful suspicions of `peer` corrected so far — the per-peer
+    /// breakdown of [`mistakes`](Self::mistakes).
+    pub fn mistakes_for(&self, peer: ProcessId) -> u64 {
+        self.peer_mistakes[peer.index()]
     }
 
     /// Current allowance of `peer`: `max(adaptive, Δ₀ + r·δ)`.
@@ -100,6 +108,7 @@ impl FailureDetector for MutenessDetector {
             // Back off: double whatever allowance proved insufficient.
             self.adaptive[i] = self.allowance_of(peer).saturating_mul(2);
             self.mistakes += 1;
+            self.peer_mistakes[i] += 1;
             self.history.push(SuspicionChange {
                 peer,
                 at: now,

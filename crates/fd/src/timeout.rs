@@ -18,6 +18,7 @@ struct PeerState {
     last_heard: VirtualTime,
     timeout: Duration,
     suspected: bool,
+    mistakes: u64,
 }
 
 /// Adaptive timeout-based failure detector (see module docs).
@@ -60,6 +61,7 @@ impl TimeoutDetector {
                     last_heard: VirtualTime::ZERO,
                     timeout: initial_timeout,
                     suspected: false,
+                    mistakes: 0,
                 };
                 n
             ],
@@ -72,6 +74,14 @@ impl TimeoutDetector {
     /// from a currently-suspected peer).
     pub fn mistakes(&self) -> u64 {
         self.mistakes
+    }
+
+    /// Wrongful suspicions of `peer` corrected so far — the per-peer
+    /// breakdown of [`mistakes`](Self::mistakes), so observers can
+    /// separate mistakes about honest peers from mistakes about peers
+    /// later convicted anyway.
+    pub fn mistakes_for(&self, peer: ProcessId) -> u64 {
+        self.peers[peer.index()].mistakes
     }
 
     /// Current timeout of `peer` (grows by doubling on each mistake).
@@ -95,6 +105,7 @@ impl FailureDetector for TimeoutDetector {
             // Premature suspicion: rehabilitate and back off.
             st.suspected = false;
             st.timeout = st.timeout.saturating_mul(2);
+            st.mistakes += 1;
             self.mistakes += 1;
             self.history.push(SuspicionChange {
                 peer,

@@ -56,6 +56,12 @@ pub struct SimConfig {
     pub crashes: Vec<(usize, VirtualTime)>,
     /// Optional scripted delays (replaces random draws when set).
     pub delay_script: Option<Arc<DelayScript>>,
+    /// Hard stop on protocol rounds: the run ends once any process notes
+    /// entry into a round beyond this cap (`round=N` with `N > max_rounds`).
+    /// `None` (the default) leaves rounds unbounded. This is the
+    /// termination backstop for never-stabilizing networks (`gst: None`),
+    /// where round churn may otherwise continue until `max_time`.
+    pub max_rounds: Option<u64>,
 }
 
 impl fmt::Debug for SimConfig {
@@ -94,6 +100,7 @@ impl SimConfig {
             max_events: 5_000_000,
             crashes: Vec::new(),
             delay_script: None,
+            max_rounds: None,
         }
     }
 
@@ -159,6 +166,135 @@ impl SimConfig {
         self.max_events = n;
         self
     }
+
+    /// Caps protocol rounds: the run stops once any process notes entry
+    /// into round `cap + 1` (see [`SimConfig::max_rounds`]).
+    pub fn max_rounds(mut self, cap: u64) -> Self {
+        self.max_rounds = Some(cap);
+        self
+    }
+}
+
+/// A named network-adversity level: one point on the delay/GST axis the
+/// sweep harness crosses scenarios with.
+///
+/// A profile bundles the simulator's partial-synchrony knobs — the pre-GST
+/// delay range, the Global Stabilization Time (or its absence), the
+/// post-GST delay cap — plus the round-cap backstop that keeps
+/// never-stabilizing runs finite. [`NetworkProfile::apply`] maps a profile
+/// onto a [`SimConfig`]; [`NetworkProfile::calm`] reproduces the
+/// `SimConfig::new` defaults exactly, so sweeps that only use the calm
+/// profile are byte-identical to sweeps that predate the axis.
+///
+/// # Example
+///
+/// ```
+/// use ftm_sim::{NetworkProfile, SimConfig};
+/// let cfg = NetworkProfile::adverse().apply(SimConfig::new(4).seed(7));
+/// assert!(cfg.max_delay > SimConfig::new(4).max_delay);
+/// let cfg = NetworkProfile::no_gst().apply(SimConfig::new(4));
+/// assert!(cfg.gst.is_none() && cfg.max_rounds.is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkProfile {
+    /// Stable kebab-case name used in sweep cell keys.
+    pub label: &'static str,
+    /// Minimum message delay.
+    pub min_delay: Duration,
+    /// Maximum message delay before GST.
+    pub max_delay: Duration,
+    /// Global Stabilization Time; `None` = the network never stabilizes.
+    pub gst: Option<VirtualTime>,
+    /// Delay cap after GST (ignored when `gst` is `None`).
+    pub post_gst_max_delay: Duration,
+    /// Round cap (termination backstop for `gst: None` profiles).
+    pub max_rounds: Option<u64>,
+}
+
+impl NetworkProfile {
+    /// The default network: delays in `[1, 10]`, GST at 2 000 with
+    /// post-GST cap 10 — exactly the [`SimConfig::new`] defaults, so calm
+    /// cells keep their historical keys and traces.
+    pub fn calm() -> Self {
+        NetworkProfile {
+            label: "calm",
+            min_delay: Duration::of(1),
+            max_delay: Duration::of(10),
+            gst: Some(VirtualTime::at(2_000)),
+            post_gst_max_delay: Duration::of(10),
+            max_rounds: None,
+        }
+    }
+
+    /// A jittery but benign network: delays in `[1, 60]`, same GST. Wide
+    /// enough to reorder messages aggressively, still below the default
+    /// muteness timeout, so detectors rarely err.
+    pub fn jittery() -> Self {
+        NetworkProfile {
+            label: "jittery",
+            min_delay: Duration::of(1),
+            max_delay: Duration::of(60),
+            gst: Some(VirtualTime::at(2_000)),
+            post_gst_max_delay: Duration::of(10),
+            max_rounds: None,
+        }
+    }
+
+    /// An adverse network: pre-GST delays in `[1, 250]` — beyond the
+    /// default muteness timeout, so ◇M detectors make real mistakes before
+    /// stabilization — with GST at 2 500 and a post-GST cap of 20.
+    /// Liveness is still guaranteed (GST exists); the mistake counters are
+    /// what this profile is for.
+    pub fn adverse() -> Self {
+        NetworkProfile {
+            label: "adverse",
+            min_delay: Duration::of(1),
+            max_delay: Duration::of(250),
+            gst: Some(VirtualTime::at(2_500)),
+            post_gst_max_delay: Duration::of(20),
+            max_rounds: None,
+        }
+    }
+
+    /// A never-stabilizing network (`gst: None`): delays stay in
+    /// `[1, 250]` forever. Termination cannot be promised (FLP territory) —
+    /// the round cap of 12 ends runs that churn without deciding, so a
+    /// sweep cell under this profile always terminates, via decision or
+    /// via [`crate::runner::StopReason::RoundLimit`].
+    pub fn no_gst() -> Self {
+        NetworkProfile {
+            label: "no-gst",
+            min_delay: Duration::of(1),
+            max_delay: Duration::of(250),
+            gst: None,
+            post_gst_max_delay: Duration::of(10),
+            max_rounds: Some(12),
+        }
+    }
+
+    /// Every built-in profile, in the stable sweep-axis order.
+    pub fn all() -> Vec<NetworkProfile> {
+        vec![
+            NetworkProfile::calm(),
+            NetworkProfile::jittery(),
+            NetworkProfile::adverse(),
+            NetworkProfile::no_gst(),
+        ]
+    }
+
+    /// Maps the profile onto `cfg`, overriding its delay range, GST and
+    /// round cap.
+    pub fn apply(&self, mut cfg: SimConfig) -> SimConfig {
+        cfg = cfg.delay_range(self.min_delay, self.max_delay);
+        cfg = match self.gst {
+            Some(at) => cfg.gst(at, self.post_gst_max_delay),
+            None => cfg.no_gst(),
+        };
+        if let Some(cap) = self.max_rounds {
+            cfg = cfg.max_rounds(cap);
+        }
+        cfg
+    }
 }
 
 #[cfg(test)]
@@ -191,5 +327,33 @@ mod tests {
     #[should_panic(expected = "min delay exceeds")]
     fn delay_range_validated() {
         let _ = SimConfig::new(3).delay_range(Duration::of(5), Duration::of(1));
+    }
+
+    #[test]
+    fn calm_profile_reproduces_the_defaults() {
+        let plain = SimConfig::new(4).seed(9);
+        let calm = NetworkProfile::calm().apply(SimConfig::new(4).seed(9));
+        assert_eq!(calm.min_delay, plain.min_delay);
+        assert_eq!(calm.max_delay, plain.max_delay);
+        assert_eq!(calm.gst, plain.gst);
+        assert_eq!(calm.post_gst_max_delay, plain.post_gst_max_delay);
+        assert_eq!(calm.max_rounds, plain.max_rounds);
+    }
+
+    #[test]
+    fn profiles_have_distinct_labels_and_no_gst_is_round_capped() {
+        let profiles = NetworkProfile::all();
+        let labels: std::collections::BTreeSet<&str> = profiles.iter().map(|p| p.label).collect();
+        assert_eq!(labels.len(), profiles.len(), "profile labels collide");
+        for p in &profiles {
+            assert!(
+                p.gst.is_some() || p.max_rounds.is_some(),
+                "{}: a never-stabilizing profile must carry a round cap",
+                p.label
+            );
+        }
+        let cfg = NetworkProfile::no_gst().apply(SimConfig::new(3));
+        assert!(cfg.gst.is_none());
+        assert_eq!(cfg.max_rounds, Some(12));
     }
 }

@@ -62,7 +62,7 @@ pub mod trace;
 
 /// Convenient glob import for simulator users.
 pub mod prelude {
-    pub use crate::config::SimConfig;
+    pub use crate::config::{NetworkProfile, SimConfig};
     pub use crate::harness::{sweep, RunRecord, SweepReport};
     pub use crate::process::{
         Actor, Context, LayerSplit, Payload, ProcessId, StagedSend, TimerTag,
@@ -71,7 +71,7 @@ pub mod prelude {
     pub use crate::time::{Duration, VirtualTime};
 }
 
-pub use config::SimConfig;
+pub use config::{NetworkProfile, SimConfig};
 pub use harness::{sweep, RunRecord, SweepReport};
 pub use process::{Actor, Context, LayerSplit, Payload, ProcessId, StagedSend, TimerTag};
 pub use report::Json;

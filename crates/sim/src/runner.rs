@@ -30,6 +30,23 @@ pub enum StopReason {
     TimeLimit,
     /// The configured `max_events` budget was exhausted.
     EventLimit,
+    /// A process entered a round beyond the configured `max_rounds` cap —
+    /// the termination backstop for never-stabilizing networks.
+    RoundLimit,
+}
+
+/// Parses the round number from a `round=N` trace note, tolerating the
+/// replicated-log workload's `s<slot>:` prefix.
+fn note_round(text: &str) -> Option<u64> {
+    let body = match text.strip_prefix('s').and_then(|rest| rest.split_once(':')) {
+        Some((digits, tail))
+            if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) =>
+        {
+            tail
+        }
+        _ => text,
+    };
+    body.strip_prefix("round=")?.parse().ok()
 }
 
 /// Outcome of one simulation run.
@@ -249,7 +266,11 @@ where
             for (delay, tag) in effects.timers {
                 queue.push(now + delay, pid, EventKind::Timer { tag });
             }
+            let mut round_cap_hit = false;
             for text in effects.notes {
+                if let (Some(cap), Some(round)) = (cfg.max_rounds, note_round(&text)) {
+                    round_cap_hit |= round > cap;
+                }
                 trace.record(now, TraceEvent::Note { process: pid, text });
             }
             if let Some(value) = effects.decision {
@@ -274,6 +295,9 @@ where
                 if crashed.iter().zip(&halted).all(|(c, h)| *c || *h) {
                     break StopReason::AllStopped;
                 }
+            }
+            if round_cap_hit {
+                break StopReason::RoundLimit;
             }
         };
 
@@ -447,6 +471,45 @@ mod tests {
         assert_eq!(report.stop, StopReason::AllStopped);
         let cfg = SimConfig::new(1).seed(0).max_time(VirtualTime::at(50));
         let report = Simulation::build(cfg, |_| Chatter).run();
+        assert_eq!(report.stop, StopReason::TimeLimit);
+    }
+
+    /// Notes entry into round `r + 1` on every timer tick, forever.
+    struct RoundChurner {
+        r: u64,
+    }
+
+    impl Actor for RoundChurner {
+        type Msg = u64;
+        type Decision = u64;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u64, u64>) {
+            ctx.set_timer(Duration::of(10), 1);
+        }
+
+        fn on_message(&mut self, _: ProcessId, _: &u64, _: &mut Context<'_, u64, u64>) {}
+
+        fn on_timer(&mut self, _: u64, ctx: &mut Context<'_, u64, u64>) {
+            self.r += 1;
+            ctx.note(format!("round={}", self.r));
+            ctx.set_timer(Duration::of(10), 1);
+        }
+    }
+
+    #[test]
+    fn round_cap_stops_churning_protocols() {
+        let cfg = SimConfig::new(1).seed(0).max_rounds(3);
+        let report = Simulation::build(cfg, |_| RoundChurner { r: 0 }).run();
+        assert_eq!(report.stop, StopReason::RoundLimit);
+        // The run ended right when round 4 was announced: t = 4 ticks of 10.
+        assert_eq!(report.end_time, VirtualTime::at(40));
+        // Slot-prefixed round notes (the log workload) hit the cap too.
+        assert_eq!(super::note_round("s2:round=7"), Some(7));
+        assert_eq!(super::note_round("round=7"), Some(7));
+        assert_eq!(super::note_round("suspect=p1 r=7"), None);
+        // Without the cap the same protocol runs to the time limit.
+        let cfg = SimConfig::new(1).seed(0).max_time(VirtualTime::at(500));
+        let report = Simulation::build(cfg, |_| RoundChurner { r: 0 }).run();
         assert_eq!(report.stop, StopReason::TimeLimit);
     }
 

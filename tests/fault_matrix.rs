@@ -472,3 +472,72 @@ fn detection_latency_is_bounded() {
         "first detection too late: {first:?}"
     );
 }
+
+#[test]
+fn mixed_coalition_classification_is_protocol_independent() {
+    // A heterogeneous coalition — one mute member and one double-speaker
+    // — must land in the same per-member conviction-class split whether
+    // the transformed protocol is Hurfin–Raynal or Chandra–Toueg: the
+    // duplicator is an automaton ("out-of-order") conviction, the mute
+    // member is ◇M suspicion territory and is never convicted of
+    // anything. n = 7, F = 3 with the round-1 coordinator crashed keeps
+    // the budget at 3 = F while forcing enough rounds that both members
+    // actually act; the adverse network profile stretches the run far
+    // past the mute member's onset (t = 30) plus the ◇M allowance, so
+    // the suspicion fires before the system can decide its way out.
+    use ft_modular::certify::ProtocolId;
+    use ft_modular::faults::{run_scenario, FaultBehavior, NetworkProfile, Scenario};
+    use std::collections::BTreeSet;
+
+    let split = |protocol: ProtocolId| -> (BTreeSet<&str>, BTreeSet<&str>, bool) {
+        let mut mute_classes = BTreeSet::new();
+        let mut dup_classes = BTreeSet::new();
+        let mut mute_suspected = false;
+        // Union over seeds: the split is about which module *can* convict
+        // each member, not one execution's timing accidents.
+        for seed in 0..3u64 {
+            let sc =
+                Scenario::coalition_of(7, 3, &[FaultBehavior::Mute, FaultBehavior::DuplicateVotes])
+                    .extra_crashes(1)
+                    .network(NetworkProfile::adverse())
+                    .protocol(protocol);
+            let rec = run_scenario(seed as usize, &sc, 0x5117 + seed);
+            assert!(rec.ok, "mixed coalition under {protocol}: {rec:?}");
+            for class in [
+                "bad-signature",
+                "bad-certificate",
+                "out-of-order",
+                "wrong-syntax",
+            ] {
+                if rec.get(&format!("m0-convicted-{class}")) > 0 {
+                    mute_classes.insert(class);
+                }
+                if rec.get(&format!("m1-convicted-{class}")) > 0 {
+                    dup_classes.insert(class);
+                }
+            }
+            mute_suspected |= rec.get("m0-suspected") > 0;
+        }
+        (mute_classes, dup_classes, mute_suspected)
+    };
+
+    let (hr_mute, hr_dup, hr_susp) = split(ProtocolId::HurfinRaynal);
+    let (ct_mute, ct_dup, ct_susp) = split(ProtocolId::ChandraToueg);
+
+    // The duplicator is convicted by the automaton under both protocols.
+    assert!(
+        hr_dup.contains("out-of-order"),
+        "HR never convicted the duplicator: {hr_dup:?}"
+    );
+    assert_eq!(hr_dup, ct_dup, "duplicator conviction split diverged");
+    // The mute member is suspicion-covered, never convicted, under both.
+    assert!(
+        hr_susp && ct_susp,
+        "mute member escaped suspicion (hr={hr_susp}, ct={ct_susp})"
+    );
+    assert!(
+        hr_mute.is_empty(),
+        "HR convicted the mute member: {hr_mute:?}"
+    );
+    assert_eq!(hr_mute, ct_mute, "mute-member conviction split diverged");
+}

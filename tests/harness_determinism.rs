@@ -74,3 +74,76 @@ fn scenario_indices_decorrelate_seeds_within_a_sweep() {
         rep.records[1].get("trace-fingerprint"),
     );
 }
+
+#[test]
+fn coalition_and_network_sweep_is_bit_identical_across_thread_counts() {
+    // The new sweep axes — multi-member coalitions and network profiles —
+    // must obey the same purity contract as the classic grid: 1, 2 and 8
+    // workers render byte-identical JSON.
+    use ft_modular::faults::{sweep_scenarios, NetworkProfile, Scenario};
+
+    let mut scenarios = Vec::new();
+    for network in NetworkProfile::all() {
+        scenarios.push(Scenario::new(4, 1, FaultBehavior::VectorCorrupt).network(network));
+        scenarios.push(
+            Scenario::coalition_of(5, 2, &[FaultBehavior::VectorCorrupt, FaultBehavior::Mute])
+                .network(network),
+        );
+    }
+    // One budget-exceeded row rides along (calm only: past the budget a
+    // parked run burns simulated time to the limit, which is pointless
+    // here — E11 documents those rows).
+    scenarios.push(Scenario::coalition_of(
+        5,
+        2,
+        &[
+            FaultBehavior::VectorCorrupt,
+            FaultBehavior::Mute,
+            FaultBehavior::DuplicateVotes,
+        ],
+    ));
+
+    let one = sweep_scenarios(&scenarios, 2, 0xC0DE, 1).to_json().render();
+    let two = sweep_scenarios(&scenarios, 2, 0xC0DE, 2).to_json().render();
+    let eight = sweep_scenarios(&scenarios, 2, 0xC0DE, 8).to_json().render();
+    assert_eq!(one, two, "thread count leaked into the coalition sweep");
+    assert_eq!(one, eight, "thread count leaked into the coalition sweep");
+}
+
+#[test]
+fn no_gst_cell_terminates_via_the_round_cap() {
+    // A profile with no GST makes termination unprovable — the simulator
+    // must not depend on it. With delays far beyond the muteness
+    // allowance, honest processes perpetually mis-suspect each other and
+    // churn rounds without deciding; the profile's round cap must stop
+    // the run (StopReason::RoundLimit), not the 2M-tick time limit.
+    use ft_modular::faults::{AttackRun, NetworkProfile};
+    use ft_modular::sim::runner::StopReason;
+    use ft_modular::sim::{Duration, VirtualTime};
+
+    let stress = NetworkProfile {
+        label: "stress",
+        min_delay: Duration::of(300),
+        max_delay: Duration::of(400),
+        gst: None,
+        post_gst_max_delay: Duration::of(400),
+        max_rounds: Some(2),
+    };
+    let run = AttackRun::new(4, 1, 0xCAFE, 3).network(stress);
+    let report = run.run(|_| None);
+    assert_eq!(
+        report.stop,
+        StopReason::RoundLimit,
+        "expected the round cap to fire (end={:?})",
+        report.end_time
+    );
+    assert!(
+        report.end_time < VirtualTime::at(100_000),
+        "round cap fired absurdly late: {:?}",
+        report.end_time
+    );
+
+    // And the cap is itself deterministic.
+    let again = run.run(|_| None);
+    assert_eq!(report.trace.fingerprint(), again.trace.fingerprint());
+}
