@@ -1,0 +1,81 @@
+//! The gated hot-path bench runner.
+//!
+//! ```text
+//! cargo run --release -p ftm-bench --bin ftm-bench              # run suite
+//! FTM_BENCH_JSON=1 cargo run --release -p ftm-bench --bin ftm-bench > BENCH_n.json
+//! cargo run --release -p ftm-bench --bin ftm-bench -- --compare BENCH_n.json
+//! ```
+//!
+//! Exit codes in `--compare` mode: `0` clean, `1` hard regression (any
+//! bytes-per-op growth, or a baseline benchmark missing from this run),
+//! `2` usage or parse error, `3` wall-clock-only regression (median beyond
+//! +25 % — machine-dependent, CI maps it to a warning).
+
+use std::process::ExitCode;
+
+use ftm_bench::compare::{compare, parse_baseline};
+use ftm_bench::suite::run_suite;
+use ftm_bench::timing::{emit, json_mode, take_results};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => {
+            run_suite();
+            emit(); // JSON document under FTM_BENCH_JSON, no-op otherwise
+            ExitCode::SUCCESS
+        }
+        [flag, path] if flag == "--compare" => run_compare(path),
+        _ => {
+            eprintln!("usage: ftm-bench [--compare <baseline.json>]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_compare(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("ftm-bench: cannot read baseline `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match parse_baseline(&text) {
+        Ok(baseline) => baseline,
+        Err(e) => {
+            eprintln!("ftm-bench: baseline `{path}` is malformed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    run_suite();
+    if json_mode() {
+        eprintln!("ftm-bench: note: FTM_BENCH_JSON is ignored in --compare mode");
+    }
+    let current = take_results();
+    let cmp = compare(&baseline, &current);
+
+    for line in &cmp.notes {
+        println!("note: {line}");
+    }
+    for line in &cmp.soft {
+        println!("wall-clock regression: {line}");
+    }
+    for line in &cmp.hard {
+        println!("REGRESSION: {line}");
+    }
+    match cmp.exit_code() {
+        0 => {
+            println!(
+                "ftm-bench: OK — {} benchmarks within baseline `{path}`",
+                current.len()
+            );
+            ExitCode::SUCCESS
+        }
+        code => {
+            println!("ftm-bench: comparison against `{path}` failed (exit {code})");
+            ExitCode::from(code as u8)
+        }
+    }
+}

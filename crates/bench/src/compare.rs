@@ -1,0 +1,464 @@
+//! Baseline comparison for the `ftm-bench` gate: parse a committed
+//! `BENCH_<n>.json`, diff a fresh suite run against it, decide the exit
+//! code.
+//!
+//! The workspace has no JSON dependency, so this module carries a minimal
+//! recursive-descent parser for exactly the dialect
+//! [`crate::timing::results_to_json`] renders: objects, arrays, strings
+//! (with the renderer's escapes), unsigned integers, booleans, `null`.
+//! Floats are rejected — the bench model is integer-only by design.
+//!
+//! # Gate policy
+//!
+//! * **bytes-per-op** is deterministic, so *any* increase over the
+//!   baseline — or a baseline benchmark missing from the current run — is
+//!   a hard failure (exit 1);
+//! * **wall-clock** is machine-dependent, so only a median regression
+//!   beyond 25 % is reported, and as a soft failure (exit 3) that CI maps
+//!   to a warning;
+//! * exit 0 when clean; exit 2 is reserved for usage/parse errors.
+
+use std::collections::BTreeMap;
+
+use crate::timing::BenchResult;
+
+/// A parsed JSON value (just enough for bench documents).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (the no-float model's only number).
+    Num(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object-field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// A human-readable message naming the byte offset of the first problem.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {pos}", b as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b'0'..=b'9') => parse_number(bytes, pos),
+        Some(b't') => parse_keyword(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", JsonValue::Null),
+        _ => Err(format!("unexpected input at byte {pos}")),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+    }
+    if matches!(bytes.get(*pos), Some(b'.' | b'e' | b'E' | b'-' | b'+')) {
+        return Err(format!(
+            "non-integer number at byte {start} (the bench model is integer-only)"
+        ));
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(JsonValue::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(&b) => {
+                // Multi-byte UTF-8 sequences pass through unchanged.
+                let ch_len = match b {
+                    0x00..=0x7F => 1,
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    _ => 4,
+                };
+                let s = std::str::from_utf8(&bytes[*pos..*pos + ch_len])
+                    .map_err(|_| format!("bad utf-8 at byte {pos}"))?;
+                out.push_str(s);
+                *pos += ch_len;
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        fields.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+        }
+    }
+}
+
+/// One baseline benchmark, keyed by `group/name`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Committed median wall-clock (soft gate).
+    pub median_ns: u64,
+    /// Committed deterministic bytes-per-op, when declared (hard gate).
+    pub bytes_per_op: Option<u64>,
+}
+
+/// Extracts the `group/name → entry` map from a bench JSON document.
+///
+/// # Errors
+///
+/// Reports a malformed document or a benchmark record missing its
+/// mandatory fields.
+pub fn parse_baseline(text: &str) -> Result<BTreeMap<String, BaselineEntry>, String> {
+    let doc = parse_json(text)?;
+    let benches = doc
+        .get("benchmarks")
+        .and_then(|b| match b {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        })
+        .ok_or("document has no `benchmarks` array")?;
+    let mut map = BTreeMap::new();
+    for (i, bench) in benches.iter().enumerate() {
+        let field_str = |key: &str| {
+            bench
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .ok_or(format!("benchmark {i} lacks string `{key}`"))
+        };
+        let key = format!("{}/{}", field_str("group")?, field_str("name")?);
+        let median_ns = bench
+            .get("median-ns")
+            .and_then(JsonValue::as_u64)
+            .ok_or(format!("benchmark {i} lacks `median-ns`"))?;
+        let bytes_per_op = bench.get("bytes-per-op").and_then(JsonValue::as_u64);
+        map.insert(
+            key,
+            BaselineEntry {
+                median_ns,
+                bytes_per_op,
+            },
+        );
+    }
+    Ok(map)
+}
+
+/// Result of diffing a fresh run against a baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Comparison {
+    /// Hard failures: bytes-per-op grew, or a baseline benchmark vanished.
+    pub hard: Vec<String>,
+    /// Soft failures: wall-clock medians beyond the 25 % allowance.
+    pub soft: Vec<String>,
+    /// Informational lines (improvements, new benchmarks).
+    pub notes: Vec<String>,
+}
+
+impl Comparison {
+    /// The gate's exit code: 1 on any hard failure, 3 on soft-only
+    /// regressions, 0 when clean.
+    pub fn exit_code(&self) -> i32 {
+        if !self.hard.is_empty() {
+            1
+        } else if !self.soft.is_empty() {
+            3
+        } else {
+            0
+        }
+    }
+}
+
+/// Wall-clock allowance: a current median beyond `baseline + 25 %` is a
+/// (soft) regression. Integer arithmetic: `cur * 4 > base * 5`.
+fn wallclock_regressed(baseline: u64, current: u64) -> bool {
+    u128::from(current) * 4 > u128::from(baseline) * 5
+}
+
+/// Diffs `current` (a fresh suite run) against `baseline`.
+pub fn compare(baseline: &BTreeMap<String, BaselineEntry>, current: &[BenchResult]) -> Comparison {
+    let mut cmp = Comparison::default();
+    let current_by_key: BTreeMap<String, &BenchResult> = current
+        .iter()
+        .map(|r| (format!("{}/{}", r.group, r.name), r))
+        .collect();
+
+    for (key, base) in baseline {
+        let Some(cur) = current_by_key.get(key) else {
+            cmp.hard
+                .push(format!("{key}: present in baseline, missing from this run"));
+            continue;
+        };
+        match (base.bytes_per_op, cur.bytes_per_op) {
+            (Some(b), Some(c)) if c > b => cmp
+                .hard
+                .push(format!("{key}: bytes-per-op grew {b} -> {c}")),
+            (Some(b), Some(c)) if c < b => cmp.notes.push(format!(
+                "{key}: bytes-per-op improved {b} -> {c} (refresh the baseline)"
+            )),
+            (Some(b), None) => cmp
+                .hard
+                .push(format!("{key}: bytes-per-op ({b}) no longer reported")),
+            _ => {}
+        }
+        if wallclock_regressed(base.median_ns, cur.median_ns) {
+            cmp.soft.push(format!(
+                "{key}: median {} ns -> {} ns (> +25%)",
+                base.median_ns, cur.median_ns
+            ));
+        }
+    }
+    for key in current_by_key.keys() {
+        if !baseline.contains_key(key) {
+            cmp.notes
+                .push(format!("{key}: new benchmark, not in baseline"));
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::results_to_json;
+
+    fn result(group: &str, name: &str, median: u64, bytes: Option<u64>) -> BenchResult {
+        BenchResult {
+            group: group.into(),
+            name: name.into(),
+            median_ns: median,
+            best_ns: median,
+            iters: 1,
+            samples: 7,
+            bytes_per_op: bytes,
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_the_renderer() {
+        let results = vec![
+            result("retention", "full", 5_000, Some(4096)),
+            result("signatures", "cached", 120, None),
+        ];
+        let doc = results_to_json(&results).render();
+        let baseline = parse_baseline(&doc).expect("parse our own rendering");
+        assert_eq!(baseline.len(), 2);
+        assert_eq!(
+            baseline["retention/full"],
+            BaselineEntry {
+                median_ns: 5_000,
+                bytes_per_op: Some(4096)
+            }
+        );
+        assert_eq!(baseline["signatures/cached"].bytes_per_op, None);
+    }
+
+    #[test]
+    fn identical_run_passes() {
+        let results = vec![result("g", "a", 1_000, Some(100))];
+        let baseline = parse_baseline(&results_to_json(&results).render()).unwrap();
+        let cmp = compare(&baseline, &results);
+        assert_eq!(cmp.exit_code(), 0, "{cmp:?}");
+    }
+
+    #[test]
+    fn byte_growth_is_a_hard_failure() {
+        let baseline =
+            parse_baseline(&results_to_json(&[result("g", "a", 1_000, Some(100))]).render())
+                .unwrap();
+        let cmp = compare(&baseline, &[result("g", "a", 1_000, Some(101))]);
+        assert_eq!(cmp.exit_code(), 1);
+        assert!(cmp.hard[0].contains("bytes-per-op grew 100 -> 101"));
+        // A byte *improvement* is informational, not a failure.
+        let better = compare(&baseline, &[result("g", "a", 1_000, Some(99))]);
+        assert_eq!(better.exit_code(), 0);
+        assert!(better.notes[0].contains("improved"));
+    }
+
+    #[test]
+    fn missing_benchmark_is_a_hard_failure() {
+        let baseline =
+            parse_baseline(&results_to_json(&[result("g", "a", 1_000, None)]).render()).unwrap();
+        let cmp = compare(&baseline, &[]);
+        assert_eq!(cmp.exit_code(), 1);
+        assert!(cmp.hard[0].contains("missing"));
+    }
+
+    #[test]
+    fn wallclock_beyond_25_percent_is_soft_only() {
+        let baseline =
+            parse_baseline(&results_to_json(&[result("g", "a", 1_000, Some(50))]).render())
+                .unwrap();
+        // +25% exactly is allowed; +26% is a soft failure.
+        assert_eq!(
+            compare(&baseline, &[result("g", "a", 1_250, Some(50))]).exit_code(),
+            0
+        );
+        let cmp = compare(&baseline, &[result("g", "a", 1_260, Some(50))]);
+        assert_eq!(cmp.exit_code(), 3);
+        assert!(cmp.soft[0].contains("+25%"));
+    }
+
+    #[test]
+    fn parser_rejects_floats_and_garbage() {
+        assert!(parse_json("{\"a\": 1.5}").is_err());
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(parse_json("{\"a\": 1} x").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let doc = parse_json(r#"{"k": ["a\"b", null, true, {"n": 7}]}"#).unwrap();
+        let arr = doc.get("k").unwrap();
+        match arr {
+            JsonValue::Arr(items) => {
+                assert_eq!(items[0], JsonValue::Str("a\"b".into()));
+                assert_eq!(items[1], JsonValue::Null);
+                assert_eq!(items[3].get("n").and_then(JsonValue::as_u64), Some(7));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+}

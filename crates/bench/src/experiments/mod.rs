@@ -4,6 +4,7 @@ pub mod common;
 pub mod e1;
 pub mod e10;
 pub mod e11;
+pub mod e12;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -14,8 +15,8 @@ pub mod e8;
 pub mod e9;
 
 /// All experiment ids in order.
-pub const ALL: [&str; 11] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+pub const ALL: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
 ];
 
 /// Runs one experiment by id, returning its markdown section.
@@ -36,6 +37,7 @@ pub fn run(id: &str) -> String {
         "e9" => e9::run(),
         "e10" => e10::run(),
         "e11" => e11::run(),
-        other => panic!("unknown experiment id {other:?} (expected e1..e11)"),
+        "e12" => e12::run(),
+        other => panic!("unknown experiment id {other:?} (expected e1..e12)"),
     }
 }

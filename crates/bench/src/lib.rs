@@ -11,8 +11,10 @@
 //! configurations — rerunning the binary reproduces `EXPERIMENTS.md`
 //! exactly.
 
+pub mod compare;
 pub mod experiments;
 pub mod report;
+pub mod suite;
 pub mod timing;
 
 pub use report::Table;

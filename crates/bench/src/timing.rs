@@ -100,6 +100,14 @@ pub fn results_to_json(results: &[BenchResult]) -> Json {
     )])
 }
 
+/// Drains the process-wide registry, returning every measurement recorded
+/// since the last drain. The `ftm-bench` gate binary uses this to compare
+/// a fresh run against a committed baseline without round-tripping through
+/// stdout.
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut *RESULTS.lock().unwrap())
+}
+
 /// In JSON mode, prints every recorded measurement as one document and
 /// clears the registry; in text mode, a no-op (the lines already printed).
 /// Bench targets call this at the end of `main`.

@@ -158,6 +158,7 @@ impl CertChecker {
             Core::Propose { .. } => self.check_propose(env),
             Core::Ack { .. } => self.check_ack(env),
             Core::Nack { .. } => self.check_nack(env),
+            Core::Checkpoint { .. } => self.check_checkpoint(env),
         }
     }
 
@@ -170,7 +171,9 @@ impl CertChecker {
             return bad("sender id out of range");
         }
         match env.core() {
-            Core::Init { .. } => Ok(()),
+            // A checkpoint's digest is fixed-width by construction and its
+            // slot is unconstrained here; the quorum rule does the auditing.
+            Core::Init { .. } | Core::Checkpoint { .. } => Ok(()),
             Core::Current { round, vector }
             | Core::Decide { round, vector }
             | Core::Estimate { round, vector, .. }
@@ -562,6 +565,59 @@ impl CertChecker {
             ));
         }
         Ok(())
+    }
+
+    /// CHECKPOINT rule (`checkpoint-quorum`, shared by both protocols): the
+    /// certificate must contain `n−F` distinct signed decide-votes
+    /// (`CURRENT` under Hurfin–Raynal, `ACK` under Chandra–Toueg) over a
+    /// single round and a single vector whose
+    /// [`crate::checkpoint::checkpoint_digest`] equals the digest the
+    /// checkpoint claims. A quorum over a *different* vector is a forged
+    /// digest; no quorum at all is a sub-quorum checkpoint — both are
+    /// `bad-certificate` convictions of the sender.
+    pub fn check_checkpoint(&self, env: &Envelope) -> Result<(), CertifyError> {
+        let Core::Checkpoint { slot, digest } = env.core() else {
+            return Err(CertifyError::new(
+                env.sender(),
+                FaultClass::WrongSyntax,
+                "check_checkpoint on a non-CHECKPOINT message",
+            ));
+        };
+        let vote_kind = crate::checkpoint::decide_vote_kind(self.protocol);
+        // Group the decide-votes by (round, vector); distinct senders only.
+        let mut groups: std::collections::HashMap<
+            (Round, &ValueVector),
+            std::collections::HashSet<ProcessId>,
+        > = std::collections::HashMap::new();
+        for item in env.cert.iter() {
+            if item.kind() == vote_kind {
+                if let Some(vector) = item.core().core.vector() {
+                    groups
+                        .entry((item.round(), vector))
+                        .or_default()
+                        .insert(item.sender());
+                }
+            }
+        }
+        let mut quorum_seen = false;
+        for ((_round, vector), senders) in &groups {
+            if senders.len() < self.quorum() {
+                continue;
+            }
+            quorum_seen = true;
+            if crate::checkpoint::checkpoint_digest(self.protocol, *slot, vector) == *digest {
+                return Ok(());
+            }
+        }
+        Err(CertifyError::new(
+            env.sender(),
+            FaultClass::BadCertificate,
+            if quorum_seen {
+                "checkpoint digest does not match the vector its quorum certifies"
+            } else {
+                "checkpoint lacks n−F signed decide-votes over a single vector"
+            },
+        ))
     }
 }
 
@@ -1304,5 +1360,163 @@ mod tests {
         );
         let err = f.checker.check_envelope(&env).unwrap_err();
         assert_eq!(err.class, FaultClass::WrongSyntax);
+    }
+
+    /// A quorum of signed CURRENT(round, vect) — the HR decide-vote
+    /// evidence a checkpoint carries.
+    fn current_quorum(f: &Fixture, round: Round, vect: &ValueVector) -> Certificate {
+        Certificate::from_items((0..3u32).map(|s| {
+            signed(
+                f,
+                s,
+                Core::Current {
+                    round,
+                    vector: vect.clone(),
+                },
+            )
+        }))
+    }
+
+    #[test]
+    fn valid_checkpoint_passes_under_both_protocols() {
+        let vect = witnessed_vector();
+        // HR: CURRENT quorum backs the checkpoint.
+        let f = fixture();
+        let env = crate::checkpoint::make_checkpoint(
+            ProtocolId::HurfinRaynal,
+            7,
+            &vect,
+            current_quorum(&f, 2, &vect),
+            ProcessId(1),
+            &f.keys[1],
+        );
+        assert!(f.checker.check_envelope(&env).is_ok());
+        // CT: ACK quorum backs the checkpoint.
+        let ct = ct_fixture();
+        let ack_quorum = Certificate::from_items((0..3u32).map(|s| {
+            signed(
+                &ct,
+                s,
+                Core::Ack {
+                    round: 2,
+                    vector: vect.clone(),
+                },
+            )
+        }));
+        let env_ct = crate::checkpoint::make_checkpoint(
+            ProtocolId::ChandraToueg,
+            7,
+            &vect,
+            ack_quorum,
+            ProcessId(1),
+            &ct.keys[1],
+        );
+        assert!(ct.checker.check_envelope(&env_ct).is_ok());
+    }
+
+    #[test]
+    fn forged_checkpoint_digest_is_convicted() {
+        let f = fixture();
+        let vect = witnessed_vector();
+        // The quorum certifies `vect`, but the digest commits to a
+        // different vector: the classic forged-compaction attack.
+        let mut other = vect.clone();
+        other.set(3, 99);
+        let env = crate::checkpoint::make_checkpoint(
+            ProtocolId::HurfinRaynal,
+            7,
+            &other,
+            current_quorum(&f, 2, &vect),
+            ProcessId(1),
+            &f.keys[1],
+        );
+        let err = f.checker.check_envelope(&env).unwrap_err();
+        assert_eq!(err.class, FaultClass::BadCertificate);
+        assert_eq!(err.culprit, ProcessId(1));
+        assert!(err.reason.contains("does not match"));
+    }
+
+    #[test]
+    fn sub_quorum_checkpoint_is_convicted() {
+        let f = fixture();
+        let vect = witnessed_vector();
+        // Two votes where n−F = 3 are required.
+        let sub = Certificate::from_items((0..2u32).map(|s| {
+            signed(
+                &f,
+                s,
+                Core::Current {
+                    round: 2,
+                    vector: vect.clone(),
+                },
+            )
+        }));
+        let env = crate::checkpoint::make_checkpoint(
+            ProtocolId::HurfinRaynal,
+            7,
+            &vect,
+            sub,
+            ProcessId(1),
+            &f.keys[1],
+        );
+        let err = f.checker.check_envelope(&env).unwrap_err();
+        assert_eq!(err.class, FaultClass::BadCertificate);
+        assert!(err.reason.contains("lacks n−F"));
+    }
+
+    #[test]
+    fn checkpoint_quorum_must_be_distinct_senders() {
+        let f = fixture();
+        let vect = witnessed_vector();
+        // Three votes but only two distinct signers: p0 repeated.
+        let dup = Certificate::from_items([0u32, 0, 1].into_iter().map(|s| {
+            signed(
+                &f,
+                s,
+                Core::Current {
+                    round: 2,
+                    vector: vect.clone(),
+                },
+            )
+        }));
+        let env = crate::checkpoint::make_checkpoint(
+            ProtocolId::HurfinRaynal,
+            7,
+            &vect,
+            dup,
+            ProcessId(1),
+            &f.keys[1],
+        );
+        assert!(f.checker.check_envelope(&env).is_err());
+    }
+
+    #[test]
+    fn checkpoint_quorum_must_not_straddle_rounds() {
+        let f = fixture();
+        let vect = witnessed_vector();
+        // Three distinct signers of the same vector, but across two rounds:
+        // no single round reaches n−F, so this is still sub-quorum.
+        let straddle = Certificate::from_items([(0u32, 1u64), (1, 1), (2, 2)].into_iter().map(
+            |(s, round)| {
+                signed(
+                    &f,
+                    s,
+                    Core::Current {
+                        round,
+                        vector: vect.clone(),
+                    },
+                )
+            },
+        ));
+        let env = crate::checkpoint::make_checkpoint(
+            ProtocolId::HurfinRaynal,
+            7,
+            &vect,
+            straddle,
+            ProcessId(1),
+            &f.keys[1],
+        );
+        let err = f.checker.check_envelope(&env).unwrap_err();
+        assert!(err.reason.contains("lacks n−F"));
     }
 }

@@ -1,0 +1,193 @@
+//! Batched envelope verification: amortizing signatures across a round.
+//!
+//! A round of the transformed protocol is a burst of envelopes whose
+//! certificates overlap heavily — the same signed decide-vote appears in
+//! every peer's quorum certificate, so a naive per-envelope sweep verifies
+//! each RSA signature `O(n)` times. This module verifies a batch the way a
+//! deployment's receive path would want to: collect the *distinct* signed
+//! cores across the whole batch (envelope heads and certificate items),
+//! verify each distinct core exactly once — fanned across the sweep
+//! harness's work-stealing workers ([`ftm_sim::harness::parallel_map`]) —
+//! and then assemble per-envelope verdicts from the shared
+//! [`KeyDirectory`] verdict memo, which the priming pass has filled.
+//!
+//! # Determinism contract
+//!
+//! The returned verdicts are a pure function of `(dir, envelopes)`: each
+//! verdict depends only on key material and signed bytes, never on which
+//! worker verified what, so output is byte-identical across thread counts
+//! (the same contract [`ftm_sim::harness::sweep`] keeps for reports).
+
+use std::collections::HashSet;
+
+use ftm_crypto::keydir::KeyDirectory;
+use ftm_crypto::sha256::Digest;
+use ftm_sim::harness::parallel_map;
+
+use crate::error::CertifyError;
+use crate::signed::{Envelope, SignedCore};
+
+/// Verifies every signature in `envelopes` (heads and certificate items),
+/// returning one verdict per envelope in input order.
+///
+/// An envelope's verdict is `Ok` only when its head signature *and* every
+/// certificate item's signature verify; the first failing statement's
+/// error is reported (head first, then certificate items in certificate
+/// order — deterministic, since certificates iterate in canonical order).
+///
+/// Distinct `(signer, digest, signature)` triples are verified exactly
+/// once for the whole batch, in parallel across `threads` work-stealing
+/// workers; everything else is answered from the directory's verdict
+/// memo. Thread count never changes a verdict.
+pub fn verify_envelopes_batched(
+    dir: &KeyDirectory,
+    envelopes: &[Envelope],
+    threads: usize,
+) -> Vec<Result<(), CertifyError>> {
+    // Collect the distinct signed statements across the batch. Dedup by
+    // (signer, digest, signature-bytes): `SignedCore` equality is by
+    // statement digest alone, but two different signatures over one
+    // statement are different verification jobs.
+    let mut seen: HashSet<(u32, Digest, Vec<u8>)> = HashSet::new();
+    let mut distinct: Vec<&SignedCore> = Vec::new();
+    for env in envelopes {
+        for sc in std::iter::once(&env.signed).chain(env.cert.iter()) {
+            if seen.insert((sc.sender().0, sc.digest(), sc.signature_bytes())) {
+                distinct.push(sc);
+            }
+        }
+    }
+
+    // Priming pass: verify each distinct core once, in parallel. The
+    // verdicts land in the directory's shared memo; the results here are
+    // only used to keep the pass observable in tests.
+    let _ = parallel_map(&distinct, threads, |_, sc| sc.verify(dir).is_ok());
+
+    // Assembly pass: per-envelope verdicts, all answered from the memo.
+    envelopes
+        .iter()
+        .map(|env| {
+            env.signed.verify(dir)?;
+            for item in env.cert.iter() {
+                item.verify(dir)?;
+            }
+            Ok(())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certificate::Certificate;
+    use crate::message::{Core, MessageCore, ValueVector};
+    use ftm_crypto::rsa::KeyPair;
+    use ftm_sim::ProcessId;
+
+    fn setup(n: usize) -> (KeyDirectory, Vec<KeyPair>) {
+        let mut rng = ftm_crypto::rng_from_seed(31);
+        KeyDirectory::generate(&mut rng, n, 128)
+    }
+
+    /// A round's worth of CURRENT envelopes whose certificates all carry
+    /// the same signed INIT statements — the overlap the batch exploits.
+    fn round_burst(keys: &[KeyPair]) -> Vec<Envelope> {
+        let inits: Vec<SignedCore> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, kp)| {
+                SignedCore::sign(
+                    MessageCore::new(ProcessId(i as u32), Core::Init { value: i as u64 }),
+                    kp,
+                )
+            })
+            .collect();
+        keys.iter()
+            .enumerate()
+            .map(|(i, kp)| {
+                Envelope::make(
+                    ProcessId(i as u32),
+                    Core::Current {
+                        round: 1,
+                        vector: ValueVector::from_entries(vec![Some(1); keys.len()]),
+                    },
+                    Certificate::from_items(inits.clone()),
+                    kp,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_verdicts_match_sequential_and_are_thread_independent() {
+        let (dir, keys) = setup(4);
+        let envs = round_burst(&keys);
+        let sequential: Vec<bool> = envs
+            .iter()
+            .map(|e| e.signed.verify(&dir).is_ok() && e.cert.iter().all(|i| i.verify(&dir).is_ok()))
+            .collect();
+        for threads in [1, 2, 8] {
+            // A fresh directory per thread count so each batch starts cold.
+            let fresh = KeyDirectory::new((0..4).map(|i| keys[i].public().clone()).collect());
+            let verdicts: Vec<bool> = verify_envelopes_batched(&fresh, &envs, threads)
+                .iter()
+                .map(Result::is_ok)
+                .collect();
+            assert_eq!(verdicts, sequential, "threads={threads}");
+            assert!(verdicts.iter().all(|&ok| ok));
+        }
+    }
+
+    #[test]
+    fn batch_verifies_each_distinct_signature_exactly_once() {
+        let (dir, keys) = setup(4);
+        let envs = round_burst(&keys);
+        // 4 envelope heads + 4 distinct INIT statements, though the INITs
+        // appear 16 times across the four certificates.
+        let verdicts = verify_envelopes_batched(&dir, &envs, 2);
+        assert!(verdicts.iter().all(Result::is_ok));
+        assert_eq!(
+            dir.cache_misses(),
+            8,
+            "one RSA computation per distinct core"
+        );
+        // 4×(1 head + 4 items) = 20 assembly lookups, all memo hits.
+        assert_eq!(dir.cache_hits(), 20);
+    }
+
+    #[test]
+    fn a_forged_item_fails_only_the_envelopes_that_carry_it() {
+        let (dir, keys) = setup(3);
+        // p2's INIT is forged (signed by p0's key).
+        let forged = SignedCore::sign(
+            MessageCore::new(ProcessId(2), Core::Init { value: 7 }),
+            &keys[0],
+        );
+        let clean = Envelope::make(
+            ProcessId(0),
+            Core::Init { value: 0 },
+            Certificate::new(),
+            &keys[0],
+        );
+        let tainted = Envelope::make(
+            ProcessId(1),
+            Core::Current {
+                round: 1,
+                vector: ValueVector::empty(3),
+            },
+            Certificate::from_items([forged]),
+            &keys[1],
+        );
+        let verdicts = verify_envelopes_batched(&dir, &[clean, tainted], 2);
+        assert!(verdicts[0].is_ok());
+        let err = verdicts[1].as_ref().unwrap_err();
+        assert_eq!(err.culprit, ProcessId(2), "blames the claimed signer");
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (dir, _) = setup(2);
+        assert!(verify_envelopes_batched(&dir, &[], 4).is_empty());
+        assert_eq!((dir.cache_hits(), dir.cache_misses()), (0, 0));
+    }
+}

@@ -32,7 +32,9 @@
 //! round numbers and send conditions.
 
 pub mod analyzer;
+pub mod batch;
 pub mod certificate;
+pub mod checkpoint;
 pub mod error;
 pub mod message;
 pub mod rules;
@@ -40,7 +42,9 @@ pub mod signed;
 pub mod vector;
 
 pub use analyzer::CertChecker;
+pub use batch::verify_envelopes_batched;
 pub use certificate::Certificate;
+pub use checkpoint::{checkpoint_digest, decide_vote_kind, make_checkpoint};
 pub use error::{CertifyError, FaultClass};
 pub use message::{Core, MessageCore, MessageKind, ProtocolId, Round, Value, ValueVector};
 pub use signed::{Envelope, SignedCore};

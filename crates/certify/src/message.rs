@@ -197,6 +197,10 @@ pub enum MessageKind {
     Ack,
     /// Negative vote after suspecting the coordinator (CT).
     Nack,
+    /// Quorum-backed compaction of a decided log slot's certificate
+    /// history (shared by both protocols; never part of a round's vote
+    /// sequence).
+    Checkpoint,
 }
 
 impl fmt::Display for MessageKind {
@@ -210,6 +214,7 @@ impl fmt::Display for MessageKind {
             MessageKind::Propose => "PROPOSE",
             MessageKind::Ack => "ACK",
             MessageKind::Nack => "NACK",
+            MessageKind::Checkpoint => "CHECKPOINT",
         };
         f.write_str(s)
     }
@@ -279,6 +284,19 @@ pub enum Core {
         /// The round being abandoned.
         round: Round,
     },
+    /// `CHECKPOINT(slot, digest)` — compaction marker for a decided log
+    /// slot: `digest` commits to `(protocol, slot, decided vector)` (see
+    /// [`crate::checkpoint::checkpoint_digest`]) and the attached
+    /// certificate must hold the `n − F` decide-vote quorum for exactly
+    /// that vector. Once checked, the checkpoint replaces the slot's
+    /// accumulated per-round certificates, so retained evidence stays flat
+    /// in the number of slots.
+    Checkpoint {
+        /// The decided log slot this checkpoint seals.
+        slot: u64,
+        /// Digest committing to the slot's decided vector.
+        digest: ftm_crypto::sha256::Digest,
+    },
 }
 
 impl Core {
@@ -293,13 +311,15 @@ impl Core {
             Core::Propose { .. } => MessageKind::Propose,
             Core::Ack { .. } => MessageKind::Ack,
             Core::Nack { .. } => MessageKind::Nack,
+            Core::Checkpoint { .. } => MessageKind::Checkpoint,
         }
     }
 
-    /// The round the message belongs to (INIT belongs to round 0).
+    /// The round the message belongs to (INIT and CHECKPOINT belong to
+    /// round 0 — both live outside the round structure).
     pub fn round(&self) -> Round {
         match self {
-            Core::Init { .. } => 0,
+            Core::Init { .. } | Core::Checkpoint { .. } => 0,
             Core::Current { round, .. }
             | Core::Next { round }
             | Core::Decide { round, .. }
@@ -351,6 +371,7 @@ impl MessageCore {
             Core::Propose { round, .. } => format!("PROPOSE(r={round})"),
             Core::Ack { round, .. } => format!("ACK(r={round})"),
             Core::Nack { round } => format!("NACK(r={round})"),
+            Core::Checkpoint { slot, .. } => format!("CHECKPOINT(s={slot})"),
         }
     }
 }
@@ -397,6 +418,11 @@ impl CanonicalEncode for MessageCore {
                 enc.tag(8);
                 enc.u64(*round);
             }
+            Core::Checkpoint { slot, digest } => {
+                enc.tag(9);
+                enc.u64(*slot);
+                digest.encode(enc);
+            }
         }
     }
 }
@@ -429,6 +455,10 @@ impl CanonicalDecode for MessageCore {
                 vector: ValueVector::decode(dec)?,
             },
             8 => Core::Nack { round: dec.u64()? },
+            9 => Core::Checkpoint {
+                slot: dec.u64()?,
+                digest: ftm_crypto::sha256::Digest::decode(dec)?,
+            },
             t => return Err(DecodeError::BadTag(t)),
         };
         Ok(MessageCore { sender, core })
@@ -534,6 +564,13 @@ mod tests {
                 },
             ),
             MessageCore::new(ProcessId(3), Core::Nack { round: 2 }),
+            MessageCore::new(
+                ProcessId(1),
+                Core::Checkpoint {
+                    slot: 17,
+                    digest: ftm_crypto::sha256::Sha256::digest(b"slot-17"),
+                },
+            ),
         ];
         for core in cases {
             let bytes = core.canonical_bytes();
@@ -567,6 +604,18 @@ mod tests {
         );
         assert_eq!(e.label(), "ESTIMATE(r=3,ts=1)");
         assert_eq!(MessageKind::Nack.to_string(), "NACK");
+        let cp = MessageCore::new(
+            ProcessId(2),
+            Core::Checkpoint {
+                slot: 4,
+                digest: ftm_crypto::sha256::Sha256::digest(b"x"),
+            },
+        );
+        assert_eq!(cp.label(), "CHECKPOINT(s=4)");
+        assert_eq!(MessageKind::Checkpoint.to_string(), "CHECKPOINT");
+        assert_eq!(cp.core.kind(), MessageKind::Checkpoint);
+        assert_eq!(cp.core.round(), 0);
+        assert_eq!(cp.core.vector(), None);
     }
 
     #[test]

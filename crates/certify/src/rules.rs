@@ -152,6 +152,28 @@ const CT_RULES: &[RuleInfo] = &[
     },
 ];
 
+/// The checkpoint-compaction rule, shared by both protocols: the message
+/// kind that seals a decided log slot is audited identically under HR and
+/// CT, differing only in which decide-vote kind backs the quorum (CURRENT
+/// vs ACK — see [`crate::checkpoint::decide_vote_kind`]).
+pub const CHECKPOINT_RULE: RuleInfo = RuleInfo {
+    id: "checkpoint-quorum",
+    kind: MessageKind::Checkpoint,
+    checks: "≥ n−F distinct signed decide-votes (CURRENT under HR, ACK \
+             under CT) over one round and one vector, whose vector hashes \
+             to the claimed checkpoint digest",
+};
+
+/// The rule table of `protocol` extended with the checkpoint-compaction
+/// rule — the table enforced over replicated-log runs with certificate
+/// compaction enabled. The base tables stay untouched so the transform's
+/// coverage bijection over single-shot consensus is unaffected.
+pub fn certification_rules_with_checkpoint(protocol: ProtocolId) -> Vec<RuleInfo> {
+    let mut rules = certification_rules_for(protocol).to_vec();
+    rules.push(CHECKPOINT_RULE);
+    rules
+}
+
 /// The rules auditing messages of `kind` (HR table).
 pub fn rules_for_kind(kind: MessageKind) -> Vec<&'static RuleInfo> {
     certification_rules()
@@ -213,6 +235,19 @@ mod tests {
                 !rules_for_kind(kind).is_empty(),
                 "{kind} has no certification rule"
             );
+        }
+    }
+
+    #[test]
+    fn checkpoint_table_extends_without_disturbing_the_base() {
+        for protocol in ProtocolId::all() {
+            let base = certification_rules_for(protocol);
+            let extended = certification_rules_with_checkpoint(protocol);
+            assert_eq!(extended.len(), base.len() + 1, "{protocol}");
+            assert_eq!(&extended[..base.len()], base, "{protocol}");
+            assert_eq!(extended.last(), Some(&CHECKPOINT_RULE), "{protocol}");
+            let ids: std::collections::BTreeSet<&str> = extended.iter().map(|r| r.id).collect();
+            assert_eq!(ids.len(), extended.len(), "{protocol}");
         }
     }
 

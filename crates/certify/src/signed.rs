@@ -316,6 +316,26 @@ mod tests {
     }
 
     #[test]
+    fn repeated_envelope_verification_is_amortized_by_the_directory_cache() {
+        let (dir, keys) = setup();
+        let sc = init(0, 5, &keys[0]);
+        // First verification computes; every later layer re-checking the
+        // same signed statement (analyzer, certificates, self-audit) is
+        // answered from the directory's verdict memo.
+        assert!(sc.verify(&dir).is_ok());
+        assert_eq!((dir.cache_hits(), dir.cache_misses()), (0, 1));
+        assert!(sc.verify(&dir).is_ok());
+        assert!(sc.verify(&dir.clone()).is_ok());
+        assert_eq!((dir.cache_hits(), dir.cache_misses()), (2, 1));
+        // A forgery over the same core is a different triple — and its
+        // rejection is memoized too.
+        let forged = init(0, 5, &keys[1]);
+        assert!(forged.verify(&dir).is_err());
+        assert!(forged.verify(&dir).is_err());
+        assert_eq!((dir.cache_hits(), dir.cache_misses()), (3, 2));
+    }
+
+    #[test]
     fn envelope_roundtrips_through_wire_bytes() {
         let (dir, keys) = setup();
         let inner = init(0, 5, &keys[0]);

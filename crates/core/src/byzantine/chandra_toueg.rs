@@ -101,6 +101,10 @@ pub struct ByzantineChandraToueg {
     sent_nack: bool,
     buffered: Vec<(ProcessId, Envelope)>,
     decided: bool,
+    /// The decide-vote quorum (ACK items) this decision rests on, kept
+    /// after halting so the log layer can compact it into a checkpoint
+    /// (see `ftm_certify::checkpoint`).
+    decide_evidence: Option<Certificate>,
 }
 
 impl ByzantineChandraToueg {
@@ -134,12 +138,18 @@ impl ByzantineChandraToueg {
             sent_nack: false,
             buffered: Vec::new(),
             decided: false,
+            decide_evidence: None,
         }
     }
 
     /// Read access to the module stack (evidence logs, detector state).
     pub fn stack(&self) -> &ModuleStack {
         &self.stack
+    }
+
+    /// The ACK quorum backing this process's decision, once decided.
+    pub fn decide_evidence(&self) -> Option<&Certificate> {
+        self.decide_evidence.as_ref()
     }
 
     fn quorum(&self) -> usize {
@@ -228,6 +238,7 @@ impl ByzantineChandraToueg {
         ctx: &mut Context<'_, Envelope, ValueVector>,
     ) {
         self.decided = true;
+        self.decide_evidence = Some(cert.clone());
         self.send_all(
             Core::Decide {
                 round,
@@ -439,6 +450,12 @@ impl ByzantineChandraToueg {
                 // Hurfin–Raynal kinds: the observer convicts them as
                 // outside Chandra–Toueg's alphabet before admission.
                 debug_assert!(false, "CT stack admitted an HR-kind message");
+            }
+            Core::Checkpoint { .. } => {
+                // Log-layer compaction metadata: valid (the analyzer
+                // audited its quorum), but a single consensus instance has
+                // nothing to do with it — slot retention is the
+                // `ReplicatedLog`'s business.
             }
         }
     }

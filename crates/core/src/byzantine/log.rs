@@ -14,11 +14,31 @@
 //! the staged effects (wrapping sends, remapping timer tags, intercepting
 //! the inner decision instead of halting).
 
-use ftm_certify::{Envelope, Value, ValueVector};
+use ftm_certify::analyzer::CertChecker;
+use ftm_certify::{make_checkpoint, Certificate, Envelope, Value, ValueVector};
 use ftm_sim::{Actor, Context, Payload, ProcessId, StagedSend, TimerTag};
 
 use crate::byzantine::{ByzantineConsensus, TransformedProtocol};
 use crate::config::ProtocolSetup;
+
+/// How a replica retains the decide evidence of sealed slots.
+///
+/// Retained evidence is what an auditor (or a recovering replica) can be
+/// shown to justify the log's contents; its growth is the memory cost the
+/// checkpointing program bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Retention {
+    /// Keep every sealed slot's decide-vote certificate verbatim: audit
+    /// bytes grow linearly in the number of slots.
+    #[default]
+    Full,
+    /// Compact each sealed slot into one quorum-signed checkpoint envelope
+    /// (see [`ftm_certify::checkpoint`]) and keep only the latest: audit
+    /// bytes stay flat no matter how long the log runs. Compaction is pure
+    /// local bookkeeping — no extra wire traffic — so decisions are
+    /// identical to [`Retention::Full`] runs of the same seed.
+    Checkpoint,
+}
 
 /// A slot-tagged consensus message.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +99,13 @@ pub struct ReplicatedLog<P: TransformedProtocol = ByzantineConsensus> {
     log: Vec<ValueVector>,
     buffered: Vec<(ProcessId, SlotMsg)>,
     done: bool,
+    retention: Retention,
+    /// Per-slot decide-vote certificates ([`Retention::Full`] only).
+    evidence: Vec<(u64, Certificate)>,
+    /// The latest checkpoint envelope ([`Retention::Checkpoint`] only).
+    checkpoint: Option<Envelope>,
+    /// Audits locally formed checkpoints before they replace evidence.
+    checker: CertChecker,
 }
 
 impl<P: TransformedProtocol> std::fmt::Debug for ReplicatedLog<P> {
@@ -106,6 +133,7 @@ impl<P: TransformedProtocol> ReplicatedLog<P> {
     ) -> Self {
         assert!(slots > 0, "a log needs at least one slot");
         let inner = P::build(setup, me, command(0, me.0));
+        let res = setup.resilience;
         ReplicatedLog {
             setup: setup.clone(),
             me,
@@ -116,12 +144,90 @@ impl<P: TransformedProtocol> ReplicatedLog<P> {
             log: Vec::new(),
             buffered: Vec::new(),
             done: false,
+            retention: Retention::Full,
+            evidence: Vec::new(),
+            checkpoint: None,
+            checker: CertChecker::new_for(P::ID, res.n(), res.f(), setup.dir.clone()),
         }
+    }
+
+    /// Selects how sealed slots' decide evidence is retained
+    /// (default: [`Retention::Full`]).
+    #[must_use]
+    pub fn with_retention(mut self, retention: Retention) -> Self {
+        self.retention = retention;
+        self
     }
 
     /// Slots decided so far at this replica.
     pub fn decided_slots(&self) -> usize {
         self.log.len()
+    }
+
+    /// Bytes of decide evidence currently retained for sealed slots: the
+    /// sum of per-slot certificates under [`Retention::Full`], the single
+    /// latest checkpoint envelope under [`Retention::Checkpoint`].
+    pub fn retained_bytes(&self) -> usize {
+        match self.retention {
+            Retention::Full => self
+                .evidence
+                .iter()
+                .map(|(_, cert)| cert.size_bytes())
+                .sum(),
+            Retention::Checkpoint => self.checkpoint.as_ref().map_or(0, Envelope::size_bytes),
+        }
+    }
+
+    /// The latest retained checkpoint envelope, if compaction is on and a
+    /// slot has sealed.
+    pub fn checkpoint(&self) -> Option<&Envelope> {
+        self.checkpoint.as_ref()
+    }
+
+    /// Seals `slot`'s decide evidence per the retention mode. Compaction
+    /// is local bookkeeping only: nothing is sent, so enabling it cannot
+    /// perturb the run's schedule or decisions.
+    fn retain(
+        &mut self,
+        slot: u64,
+        decided: &ValueVector,
+        ctx: &mut Context<'_, SlotMsg, Vec<ValueVector>>,
+    ) {
+        let Some(cert) = self.inner.decide_evidence() else {
+            return; // decided without local evidence (cannot happen today)
+        };
+        match self.retention {
+            Retention::Full => {
+                self.evidence.push((slot, cert.clone()));
+                ctx.note(format!(
+                    "evidence slot={slot} bytes={}",
+                    self.retained_bytes()
+                ));
+            }
+            Retention::Checkpoint => {
+                let env = make_checkpoint(
+                    P::ID,
+                    slot,
+                    decided,
+                    cert.clone(),
+                    self.me,
+                    &self.setup.keys[self.me.index()],
+                );
+                // Re-audit our own compaction with the full analyzer
+                // pipeline peers would apply; a checkpoint we could not
+                // defend must never replace the evidence it summarizes.
+                match self.checker.check_envelope(&env) {
+                    Ok(()) => {
+                        self.checkpoint = Some(env);
+                        ctx.note(format!(
+                            "checkpoint slot={slot} bytes={}",
+                            self.retained_bytes()
+                        ));
+                    }
+                    Err(e) => ctx.note(format!("checkpoint-unsound slot={slot} reason={e}")),
+                }
+            }
+        }
     }
 
     /// Drives one inner callback and translates its effects onto the
@@ -163,6 +269,7 @@ impl<P: TransformedProtocol> ReplicatedLog<P> {
 
     /// Records a slot decision and opens the next slot (or finishes).
     fn advance(&mut self, decided: ValueVector, ctx: &mut Context<'_, SlotMsg, Vec<ValueVector>>) {
+        self.retain(self.current, &decided, ctx);
         self.log.push(decided);
         ctx.note(format!(
             "slot-decided={} total={}",
@@ -374,6 +481,91 @@ mod tests {
         let log = check_log_consistency(&report.decisions, &report.crashed, 3)
             .expect("survivors consistent");
         assert_eq!(log.len(), 2);
+    }
+
+    /// The `bytes=` series of the given retained-evidence note prefix,
+    /// at replica 0, in slot order.
+    fn retained_series<D>(report: &ftm_sim::RunReport<D>, prefix: &str) -> Vec<u64> {
+        report
+            .trace
+            .entries()
+            .iter()
+            .filter_map(|e| match &e.event {
+                ftm_sim::trace::TraceEvent::Note { process, text }
+                    if process.0 == 0 && text.starts_with(prefix) =>
+                {
+                    text.rsplit_once("bytes=").and_then(|(_, b)| b.parse().ok())
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn run_with_retention(
+        retention: Retention,
+        slots: u64,
+        seed: u64,
+    ) -> ftm_sim::RunReport<Vec<ValueVector>> {
+        let setup = ProtocolConfig::new(4, 1).seed(seed).setup();
+        Simulation::build_boxed(SimConfig::new(4).seed(seed), |id| {
+            Box::new(
+                ReplicatedLog::<ByzantineConsensus>::new(&setup, id, slots, cmd)
+                    .with_retention(retention),
+            )
+        })
+        .run()
+    }
+
+    #[test]
+    fn compaction_does_not_change_decisions() {
+        for seed in 0..4 {
+            let full = run_with_retention(Retention::Full, 3, seed);
+            let compact = run_with_retention(Retention::Checkpoint, 3, seed);
+            assert_eq!(full.decisions, compact.decisions, "seed {seed}");
+            assert_eq!(full.end_time, compact.end_time, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn full_retention_grows_linearly_and_compaction_stays_flat() {
+        let slots = 4;
+        let full = run_with_retention(Retention::Full, slots, 11);
+        let linear = retained_series(&full, "evidence slot=");
+        assert_eq!(linear.len() as u64, slots);
+        assert!(
+            linear.windows(2).all(|w| w[1] > w[0]),
+            "full retention must grow per slot: {linear:?}"
+        );
+        let compact = run_with_retention(Retention::Checkpoint, slots, 11);
+        let flat = retained_series(&compact, "checkpoint slot=");
+        assert_eq!(flat.len() as u64, slots);
+        let spread = flat.iter().max().unwrap() - flat.iter().min().unwrap();
+        assert!(
+            *flat.iter().max().unwrap() < *linear.last().unwrap(),
+            "compacted bytes {flat:?} must undercut full retention {linear:?}"
+        );
+        // Flat within the jitter of per-slot quorum composition: each
+        // checkpoint holds exactly one quorum, never an accumulated prefix.
+        assert!(
+            spread * 4 < *flat.iter().max().unwrap(),
+            "compacted bytes should be slot-independent: {flat:?}"
+        );
+    }
+
+    #[test]
+    fn compaction_works_under_chandra_toueg_too() {
+        let setup = ProtocolConfig::new(4, 1).seed(6).setup();
+        let report = Simulation::build_boxed(SimConfig::new(4).seed(6), |id| {
+            Box::new(
+                ReplicatedLog::<crate::byzantine::ByzantineChandraToueg>::new(&setup, id, 2, cmd)
+                    .with_retention(Retention::Checkpoint),
+            )
+        })
+        .run();
+        check_log_consistency(&report.decisions, &report.crashed, 3).expect("consistent log");
+        let flat = retained_series(&report, "checkpoint slot=");
+        assert_eq!(flat.len(), 2);
+        assert!(retained_series(&report, "checkpoint-unsound").is_empty());
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod chandra_toueg;
 pub mod log;
 pub mod protocol;
 
-use ftm_certify::{Envelope, ProtocolId, Value, ValueVector};
+use ftm_certify::{Certificate, Envelope, ProtocolId, Value, ValueVector};
 use ftm_sim::{Actor, ProcessId};
 
 use crate::config::ProtocolSetup;
@@ -68,6 +68,13 @@ pub trait TransformedProtocol: Actor<Msg = Envelope, Decision = ValueVector> {
 
     /// Read access to the module stack (evidence logs, detector state).
     fn stack(&self) -> &ModuleStack;
+
+    /// The decide-vote quorum backing this process's decision (`CURRENT`
+    /// items under Hurfin–Raynal, `ACK` under Chandra–Toueg), available
+    /// once the instance has decided. This is the evidence a log-layer
+    /// checkpoint compacts into a single envelope
+    /// (see `ftm_certify::checkpoint`).
+    fn decide_evidence(&self) -> Option<&Certificate>;
 }
 
 impl TransformedProtocol for ByzantineConsensus {
@@ -80,6 +87,10 @@ impl TransformedProtocol for ByzantineConsensus {
     fn stack(&self) -> &ModuleStack {
         ByzantineConsensus::stack(self)
     }
+
+    fn decide_evidence(&self) -> Option<&Certificate> {
+        ByzantineConsensus::decide_evidence(self)
+    }
 }
 
 impl TransformedProtocol for ByzantineChandraToueg {
@@ -91,6 +102,10 @@ impl TransformedProtocol for ByzantineChandraToueg {
 
     fn stack(&self) -> &ModuleStack {
         ByzantineChandraToueg::stack(self)
+    }
+
+    fn decide_evidence(&self) -> Option<&Certificate> {
+        ByzantineChandraToueg::decide_evidence(self)
     }
 }
 

@@ -70,6 +70,10 @@ pub struct ByzantineConsensus {
     sent_next: bool,
     buffered: Vec<(ProcessId, Envelope)>,
     decided: bool,
+    /// The decide-vote quorum (CURRENT items) this decision rests on,
+    /// kept after halting so the log layer can compact it into a
+    /// checkpoint (see `ftm_certify::checkpoint`).
+    decide_evidence: Option<Certificate>,
 }
 
 impl ByzantineConsensus {
@@ -99,12 +103,18 @@ impl ByzantineConsensus {
             sent_next: false,
             buffered: Vec::new(),
             decided: false,
+            decide_evidence: None,
         }
     }
 
     /// Read access to the module stack (evidence logs, detector state).
     pub fn stack(&self) -> &ModuleStack {
         &self.stack
+    }
+
+    /// The CURRENT quorum backing this process's decision, once decided.
+    pub fn decide_evidence(&self) -> Option<&Certificate> {
+        self.decide_evidence.as_ref()
     }
 
     fn quorum(&self) -> usize {
@@ -210,6 +220,7 @@ impl ByzantineConsensus {
         ctx: &mut Context<'_, Envelope, ValueVector>,
     ) {
         self.decided = true;
+        self.decide_evidence = Some(cert.clone());
         self.send_all(
             Core::Decide {
                 round,
@@ -327,6 +338,12 @@ impl ByzantineConsensus {
                 // Chandra–Toueg kinds: the observer convicts them as
                 // outside Hurfin–Raynal's alphabet before admission.
                 debug_assert!(false, "HR stack admitted a CT-kind message");
+            }
+            Core::Checkpoint { .. } => {
+                // Log-layer compaction metadata: valid (the analyzer
+                // audited its quorum), but a single consensus instance has
+                // nothing to do with it — slot retention is the
+                // `ReplicatedLog`'s business.
             }
         }
     }

@@ -56,6 +56,14 @@ pub enum CertRoute {
     /// an un-transformed spec is routed here. The transformation replaces
     /// every `Trusted` route with a certified one.
     Trusted,
+    /// The send *compacts* prior evidence instead of citing it onward: the
+    /// named rule re-derives a quorum-signed digest of a decided slot from
+    /// the attached decide-vote quorum. Like [`CertRoute::Rule`], the
+    /// condition is fully certifiable — but in the lineage analysis the
+    /// send is a new *justification root*: once a checkpoint stands, the
+    /// per-round certificate prefix behind it may be discarded, so nothing
+    /// downstream cites it and the chain legitimately ends here.
+    CheckpointRoot(&'static str),
 }
 
 impl CertRoute {
@@ -63,14 +71,16 @@ impl CertRoute {
     /// (`Trusted` routes are audited by nobody).
     pub fn rule_id(&self) -> Option<&'static str> {
         match self {
-            CertRoute::Rule(id) | CertRoute::VectorCertification(id) => Some(id),
+            CertRoute::Rule(id)
+            | CertRoute::VectorCertification(id)
+            | CertRoute::CheckpointRoot(id) => Some(id),
             CertRoute::Trusted => None,
         }
     }
 
     /// `true` when the enabling condition itself is certifiable.
     pub fn condition_certifiable(&self) -> bool {
-        matches!(self, CertRoute::Rule(_))
+        matches!(self, CertRoute::Rule(_) | CertRoute::CheckpointRoot(_))
     }
 }
 
@@ -605,6 +615,35 @@ impl ProtocolSpec {
             ProtocolId::HurfinRaynal => ProtocolSpec::crash_hr(),
             ProtocolId::ChandraToueg => ProtocolSpec::crash_ct(),
         }
+    }
+
+    /// The transformed spec of `protocol` extended with the replicated
+    /// log's certificate-compaction send: once a slot's decision stands,
+    /// a `CHECKPOINT` backed by the decide-vote quorum (rule
+    /// `checkpoint-quorum`, shared by both protocols) seals the slot, and
+    /// the per-round certificate prefix behind it may be discarded.
+    ///
+    /// The terminal becomes `CHECKPOINT` — in a compacted log the
+    /// checkpoint, not the decision announcement, is a peer's last word
+    /// on a slot. The checkpoint cites `decide-announce` (its certificate
+    /// *is* the quorum the decision rests on), so the base spec's decide
+    /// send stays live in the lineage analysis, while the checkpoint
+    /// itself is a new justification root
+    /// (see [`CertRoute::CheckpointRoot`]).
+    pub fn checkpointed_for(protocol: ProtocolId) -> Self {
+        let mut spec = ProtocolSpec::transformed_for(protocol);
+        spec.terminal = MessageKind::Checkpoint;
+        spec.sends.push(ConditionalSend {
+            id: "checkpoint-quorum",
+            kind: MessageKind::Checkpoint,
+            condition: "a log slot decided locally: compact its decide-vote quorum \
+                        into a signed checkpoint digest"
+                .into(),
+            route: CertRoute::CheckpointRoot("checkpoint-quorum"),
+            carries_value: true,
+            justified_by: vec![Justification::same("decide-announce")],
+        });
+        spec
     }
 
     /// The slot index of `kind` in the round vote sequence, if any.

@@ -121,6 +121,14 @@ pub struct StackStats {
     pub automaton_rejects: u64,
     /// Rejections for malformed content (`wrong-syntax`).
     pub syntax_rejects: u64,
+    /// Checkpoint envelopes that cleared all modules (a subset of
+    /// [`admitted`]): quorum-backed slot compactions this stack audited
+    /// and accepted. Forged or sub-quorum checkpoints land in
+    /// [`certificate_rejects`] like any other bad certificate.
+    ///
+    /// [`admitted`]: StackStats::admitted
+    /// [`certificate_rejects`]: StackStats::certificate_rejects
+    pub checkpoints: u64,
     /// Envelopes dropped without inspection because the sender was
     /// already convicted (quarantine). Not counted in [`total`]: the
     /// stack never sees them.
@@ -216,6 +224,9 @@ impl ModuleStack {
                 // Only *accepted* protocol messages count against muteness.
                 self.muteness.observe_message(from, now);
                 self.stats.admitted += 1;
+                if env.kind() == ftm_certify::MessageKind::Checkpoint {
+                    self.stats.checkpoints += 1;
+                }
                 Admit::Accepted(trigger)
             }
             Err(e) => {
@@ -283,7 +294,7 @@ impl ModuleStack {
         format!(
             "stack-stats admitted={} sig-rejects={} cert-rejects={} \
              auto-rejects={} syntax-rejects={} fd-mistakes={} \
-             fd-honest-mistakes={} quarantined={}",
+             fd-honest-mistakes={} quarantined={} checkpoints={}",
             s.admitted,
             s.signature_rejects,
             s.certificate_rejects,
@@ -292,6 +303,7 @@ impl ModuleStack {
             self.muteness.mistakes(),
             honest_mistakes,
             s.quarantined,
+            s.checkpoints,
         )
     }
 }
@@ -401,8 +413,63 @@ mod tests {
             stack.stats_note(),
             "stack-stats admitted=1 sig-rejects=0 cert-rejects=0 \
              auto-rejects=0 syntax-rejects=0 fd-mistakes=0 \
-             fd-honest-mistakes=0 quarantined=2"
+             fd-honest-mistakes=0 quarantined=2 checkpoints=0"
         );
+    }
+
+    #[test]
+    fn checkpoints_are_admitted_and_counted_and_forgeries_convicted() {
+        use ftm_certify::{make_checkpoint, ProtocolId, SignedCore, ValueVector};
+
+        let (mut stack, keys) = fixture();
+        let vect = ValueVector::from_entries(vec![Some(7), Some(8), None]);
+        let quorum = Certificate::from_items((0..2u32).map(|s| {
+            SignedCore::sign(
+                ftm_certify::MessageCore::new(
+                    ProcessId(s),
+                    Core::Current {
+                        round: 1,
+                        vector: vect.clone(),
+                    },
+                ),
+                &keys[s as usize],
+            )
+        }));
+        // A quorum-backed checkpoint clears the stack and is counted.
+        let good = make_checkpoint(
+            ProtocolId::HurfinRaynal,
+            4,
+            &vect,
+            quorum.clone(),
+            ProcessId(1),
+            &keys[1],
+        );
+        assert!(matches!(
+            stack.admit(ProcessId(1), &good, VirtualTime::ZERO),
+            Admit::Accepted(None)
+        ));
+        assert_eq!(stack.stats().checkpoints, 1);
+        assert_eq!(stack.stats().admitted, 1);
+        // A forged digest (quorum certifies a different vector) is a
+        // bad-certificate conviction, not a counted checkpoint.
+        let mut other = vect.clone();
+        other.set(2, 99);
+        let forged = make_checkpoint(
+            ProtocolId::HurfinRaynal,
+            4,
+            &other,
+            quorum,
+            ProcessId(2),
+            &keys[2],
+        );
+        assert!(matches!(
+            stack.admit(ProcessId(2), &forged, VirtualTime::at(1)),
+            Admit::Discarded(_)
+        ));
+        assert_eq!(stack.stats().checkpoints, 1);
+        assert_eq!(stack.stats().certificate_rejects, 1);
+        assert!(stack.is_faulty(ProcessId(2)));
+        assert!(stack.stats_note().contains("checkpoints=1"));
     }
 
     #[test]

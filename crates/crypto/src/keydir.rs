@@ -7,16 +7,71 @@
 //! (immutably) by all processes, faulty ones included — a faulty process can
 //! *misuse* its own key but cannot alter the directory.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::prng::Rng64;
 
 use crate::error::CryptoError;
 use crate::rsa::{KeyPair, PublicKey, Signature};
-use crate::sha256::Digest;
+use crate::sha256::{Digest, Sha256};
 
 /// Identifier of a signer (the process index in the simulation).
 pub type SignerId = u32;
+
+/// Upper bound on memoized verdicts; the map is dropped wholesale when it
+/// fills (signature verdicts are cheap to recompute, so a rare full reset
+/// beats per-entry eviction bookkeeping).
+const VERIFY_CACHE_CAPACITY: usize = 1 << 16;
+
+/// Shared memo of signature verdicts keyed by `(signer, digest, signature)`.
+///
+/// RSA verification dominates the transformed stack's hot path: the same
+/// signed core is re-verified by the signature module, the certificate
+/// analyzer, and again inside every certificate that carries it. The
+/// verdict for a fixed key/digest/signature triple never changes, so it is
+/// memoized — *both* outcomes, since Byzantine runs re-present the same
+/// forgery many times too.
+#[derive(Debug, Default)]
+struct VerifyCache {
+    verdicts: Mutex<HashMap<(SignerId, Digest, Signature), bool>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl VerifyCache {
+    /// Returns the memoized verdict, or computes it via `compute` and
+    /// records it.
+    fn verdict(
+        &self,
+        signer: SignerId,
+        digest: &Digest,
+        sig: &Signature,
+        compute: impl FnOnce() -> bool,
+    ) -> bool {
+        let key = (signer, *digest, sig.clone());
+        {
+            let verdicts = self.verdicts.lock().expect("verify cache poisoned");
+            if let Some(&ok) = verdicts.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return ok;
+            }
+        }
+        // Compute outside the lock: modular exponentiation is the
+        // expensive part, and concurrent sweep threads must not serialize
+        // on it. A racing duplicate computes the same deterministic
+        // verdict, so double-insertion is harmless.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let ok = compute();
+        let mut verdicts = self.verdicts.lock().expect("verify cache poisoned");
+        if verdicts.len() >= VERIFY_CACHE_CAPACITY {
+            verdicts.clear();
+        }
+        verdicts.insert(key, ok);
+        ok
+    }
+}
 
 /// An immutable directory of verification keys, indexed by [`SignerId`].
 ///
@@ -33,6 +88,11 @@ pub type SignerId = u32;
 #[derive(Clone, Debug)]
 pub struct KeyDirectory {
     keys: Arc<Vec<PublicKey>>,
+    /// Verdict memo, shared by every clone of the directory — all layers
+    /// of a process stack (and all stacks of a simulation) hold clones of
+    /// the one directory built at setup, so a `(signer, digest, sig)`
+    /// triple is verified at most once across the whole run.
+    cache: Arc<VerifyCache>,
 }
 
 impl KeyDirectory {
@@ -41,6 +101,7 @@ impl KeyDirectory {
     pub fn new(keys: Vec<PublicKey>) -> Self {
         KeyDirectory {
             keys: Arc::new(keys),
+            cache: Arc::new(VerifyCache::default()),
         }
     }
 
@@ -91,14 +152,16 @@ impl KeyDirectory {
         message: &[u8],
         sig: &Signature,
     ) -> Result<(), CryptoError> {
-        if self.key_of(signer)?.verify(message, sig) {
-            Ok(())
-        } else {
-            Err(CryptoError::BadSignature)
-        }
+        // Route through the digest form so both entry points share one
+        // memo (signing is hash-then-sign, so the verdicts coincide).
+        self.verify_digest(signer, &Sha256::digest(message), sig)
     }
 
     /// Verifies a signature over a precomputed digest.
+    ///
+    /// Verdicts are memoized per `(signer, digest, signature)` triple, so
+    /// re-verifying a signed statement already seen by any clone of this
+    /// directory costs a map lookup instead of a modular exponentiation.
     ///
     /// # Errors
     ///
@@ -109,11 +172,25 @@ impl KeyDirectory {
         digest: &Digest,
         sig: &Signature,
     ) -> Result<(), CryptoError> {
-        if self.key_of(signer)?.verify_digest(digest, sig) {
+        let key = self.key_of(signer)?;
+        if self
+            .cache
+            .verdict(signer, digest, sig, || key.verify_digest(digest, sig))
+        {
             Ok(())
         } else {
             Err(CryptoError::BadSignature)
         }
+    }
+
+    /// Number of verifications answered from the verdict memo.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of verifications that had to run the RSA computation.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses.load(Ordering::Relaxed)
     }
 }
 
@@ -159,5 +236,53 @@ mod tests {
         let clone = dir.clone();
         assert_eq!(clone.len(), dir.len());
         assert!(!dir.is_empty());
+    }
+
+    #[test]
+    fn repeat_verification_hits_the_cache() {
+        let (dir, keys) = setup();
+        let sig = keys[0].sign(b"vote");
+        assert!(dir.verify(0, b"vote", &sig).is_ok());
+        assert_eq!((dir.cache_hits(), dir.cache_misses()), (0, 1));
+        assert!(dir.verify(0, b"vote", &sig).is_ok());
+        assert_eq!((dir.cache_hits(), dir.cache_misses()), (1, 1));
+    }
+
+    #[test]
+    fn negative_verdicts_are_cached_too() {
+        let (dir, keys) = setup();
+        // p0 signs but the statement claims p1: a forgery re-presented
+        // many times must not cost an RSA computation each time.
+        let sig = keys[0].sign(b"m");
+        assert_eq!(dir.verify(1, b"m", &sig), Err(CryptoError::BadSignature));
+        assert_eq!(dir.verify(1, b"m", &sig), Err(CryptoError::BadSignature));
+        assert_eq!((dir.cache_hits(), dir.cache_misses()), (1, 1));
+        // The honest verdict for the same triple under the right signer is
+        // a distinct cache entry, not a collision.
+        assert!(dir.verify(0, b"m", &sig).is_ok());
+        assert_eq!(dir.cache_misses(), 2);
+    }
+
+    #[test]
+    fn clones_share_one_cache() {
+        let (dir, keys) = setup();
+        let clone = dir.clone();
+        let sig = keys[2].sign(b"shared");
+        assert!(dir.verify(2, b"shared", &sig).is_ok());
+        assert!(clone.verify(2, b"shared", &sig).is_ok());
+        // The clone's verification was answered by the original's memo.
+        assert_eq!((dir.cache_hits(), dir.cache_misses()), (1, 1));
+        assert_eq!(clone.cache_hits(), 1);
+    }
+
+    #[test]
+    fn unknown_signer_is_not_a_cache_event() {
+        let (dir, keys) = setup();
+        let sig = keys[0].sign(b"m");
+        assert_eq!(
+            dir.verify(9, b"m", &sig),
+            Err(CryptoError::UnknownSigner(9))
+        );
+        assert_eq!((dir.cache_hits(), dir.cache_misses()), (0, 0));
     }
 }

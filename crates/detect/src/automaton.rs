@@ -182,6 +182,9 @@ fn duplicate_reason(kind: MessageKind) -> &'static str {
         MessageKind::Propose => "duplicate PROPOSE in one round",
         MessageKind::Ack => "duplicate ACK in one round",
         MessageKind::Nack => "duplicate NACK in one round",
+        // Unreachable in practice: checkpoints bypass the timing automaton
+        // (they are slot-compaction metadata, not round votes).
+        MessageKind::Checkpoint => "duplicate CHECKPOINT",
     }
 }
 

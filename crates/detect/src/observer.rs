@@ -162,7 +162,10 @@ impl Observer {
             env.sender()
         };
         let subject_idx = subject.index().min(self.automata.len() - 1);
-        let requirement = if self.checks.timing {
+        // Checkpoints are slot-compaction metadata, not round votes: they
+        // sit outside the per-round automaton alphabet (a decided peer may
+        // legitimately emit one), so the timing check does not apply.
+        let requirement = if self.checks.timing && env.kind() != MessageKind::Checkpoint {
             match self.automata[subject_idx].on_message(env) {
                 Ok(req) => req,
                 Err(e) => return Err(self.record(e, now)),
@@ -221,6 +224,12 @@ impl Observer {
             }
             MessageKind::Nack => {
                 if let Err(e) = self.checker.check_nack(env) {
+                    return Err(self.convict(e, now));
+                }
+                None
+            }
+            MessageKind::Checkpoint => {
+                if let Err(e) = self.checker.check_checkpoint(env) {
                     return Err(self.convict(e, now));
                 }
                 None

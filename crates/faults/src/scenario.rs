@@ -33,7 +33,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use ftm_certify::vector::check_vector_validity;
 use ftm_certify::{ProtocolId, Value, ValueVector};
-use ftm_core::byzantine::log::ReplicatedLog;
+use ftm_core::byzantine::log::{ReplicatedLog, Retention};
 use ftm_core::byzantine::{ByzantineChandraToueg, ByzantineConsensus, TransformedProtocol};
 use ftm_core::config::{MutenessMode, ProtocolConfig, ProtocolSetup};
 use ftm_core::validator::{check_vector_consensus, detections, Verdict};
@@ -350,15 +350,6 @@ impl Scenario {
         self
     }
 
-    /// The first coalition member. Historically every scenario had exactly
-    /// one attacker and it was always the highest-numbered process;
-    /// coalitions choose their members freely, so that invariant is
-    /// retired — read [`attackers`](Self::attackers) instead.
-    #[deprecated(note = "scenarios carry a coalition now; read `attackers` instead")]
-    pub fn attacker(&self) -> u32 {
-        self.attackers[0].0
-    }
-
     /// Whether the coalition sits at the default placement (member `i` is
     /// process `n − 1 − i`) — the placement [`new`](Self::new) and
     /// [`coalition_of`](Self::coalition_of) produce.
@@ -601,6 +592,11 @@ pub struct AttackRun {
     /// The delay/GST regime (calm — the historical defaults — unless
     /// overridden).
     pub network: NetworkProfile,
+    /// Evidence-retention policy for the log workloads: keep every slot's
+    /// decide certificate ([`Retention::Full`], the default) or compact
+    /// decided slots into a signed checkpoint ([`Retention::Checkpoint`]).
+    /// Ignored by the one-shot entry points.
+    pub retention: Retention,
 }
 
 impl AttackRun {
@@ -618,7 +614,14 @@ impl AttackRun {
             protocol: ProtocolId::HurfinRaynal,
             muteness: MutenessMode::Adaptive,
             network: NetworkProfile::calm(),
+            retention: Retention::Full,
         }
+    }
+
+    /// Selects the evidence-retention policy for the log workloads.
+    pub fn retention(mut self, retention: Retention) -> Self {
+        self.retention = retention;
+        self
     }
 
     /// Selects the transformed protocol the processes run.
@@ -792,7 +795,8 @@ impl AttackRun {
         let mut tamper = mk_tamper(&setup);
 
         Simulation::build_boxed(cfg, |id| {
-            let honest = ReplicatedLog::<P>::new(&setup, id, slots, log_command);
+            let honest = ReplicatedLog::<P>::new(&setup, id, slots, log_command)
+                .with_retention(self.retention);
             if id.0 == self.attacker {
                 if let Some(tamper) = tamper.take() {
                     return Box::new(ByzantineLogWrapper::new(
@@ -836,7 +840,8 @@ impl AttackRun {
         let mut tampers = self.coalition_tampers(members);
 
         Simulation::build_boxed(cfg, |id| {
-            let honest = ReplicatedLog::<P>::new(&setup, id, slots, log_command);
+            let honest = ReplicatedLog::<P>::new(&setup, id, slots, log_command)
+                .with_retention(self.retention);
             if let Some(tamper) = tampers.remove(&id.0) {
                 return Box::new(ByzantineLogWrapper::new(
                     honest,
@@ -1072,6 +1077,7 @@ fn record_metrics<D>(rec: &mut RunRecord, report: &RunReport<D>) {
         "stack-fd-mistakes",
         "stack-fd-honest-mistakes",
         "stack-quarantined",
+        "stack-checkpoints",
         "cert-items-sum",
         "cert-items-max",
     ] {
@@ -1387,12 +1393,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn single_attacker_constructor_still_places_the_attacker_on_top() {
         let sc = Scenario::new(5, 2, FaultBehavior::Mute);
         assert_eq!(sc.attackers, vec![(4, FaultBehavior::Mute)]);
-        assert_eq!(sc.attacker(), 4);
         assert_eq!(sc.cell(), "n=5 f=2 fault=mute");
+        // `coalition_of` at width 1 is the same cell.
+        let one = Scenario::coalition_of(5, 2, &[FaultBehavior::Mute]);
+        assert_eq!(one.attackers, sc.attackers);
     }
 
     #[test]

@@ -261,18 +261,43 @@ where
     S: Sync,
     F: Fn(usize, &S, u64) -> RunRecord + Sync,
 {
-    let workers = threads.max(1).min(scenarios.len().max(1));
+    parallel_map(scenarios, threads, |index, scenario| {
+        run(index, scenario, derive_seed(base_seed, index as u64))
+    })
+}
+
+/// Order-preserving work-stealing map: applies `f` to every item of
+/// `items` across `threads` workers and returns the results in input
+/// order.
+///
+/// This is the harness's fan-out primitive — [`sweep`] is built on it, and
+/// batch jobs whose units are not scenario runs (e.g. per-round signature
+/// verification of a message batch) reuse the same worker discipline.
+/// Workers pull the next index from a shared atomic counter, so a slow
+/// item never blocks the rest of the batch. `f` must be a pure function of
+/// `(index, item)` for the output to be independent of thread count.
+///
+/// # Panics
+///
+/// Panics if any worker panics (the panic is propagated).
+pub fn parallel_map<S, T, F>(items: &[S], threads: usize, f: F) -> Vec<T>
+where
+    S: Sync,
+    T: Send,
+    F: Fn(usize, &S) -> T + Sync,
+{
+    let workers = threads.max(1).min(items.len().max(1));
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<RunRecord>>> = scenarios.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(scenario) = scenarios.get(index) else {
+                let Some(item) = items.get(index) else {
                     break;
                 };
-                let record = run(index, scenario, derive_seed(base_seed, index as u64));
-                *slots[index].lock().unwrap() = Some(record);
+                let result = f(index, item);
+                *slots[index].lock().unwrap() = Some(result);
             });
         }
     });
@@ -281,7 +306,7 @@ where
         .map(|slot| {
             slot.into_inner()
                 .unwrap()
-                .expect("every scenario slot is filled before the scope ends")
+                .expect("every item slot is filled before the scope ends")
         })
         .collect()
 }
@@ -318,6 +343,16 @@ mod tests {
         let a = SweepReport::new(7, one).to_json().render();
         let b = SweepReport::new(7, eight).to_json().render();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..50).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 8] {
+            let got = parallel_map(&items, threads, |_, &x| x * x);
+            assert_eq!(got, expect, "threads={threads}");
+        }
     }
 
     #[test]

@@ -22,7 +22,8 @@
 
 use std::collections::BTreeMap;
 
-use ftm_certify::rules::certification_rules_for;
+use ftm_certify::rules::{certification_rules_for, certification_rules_with_checkpoint, RuleInfo};
+use ftm_certify::MessageKind;
 use ftm_core::spec::{CertRoute, ProtocolSpec};
 
 /// Result of the coverage diff.
@@ -63,7 +64,15 @@ impl CoverageReport {
 /// table for the spec's protocol.
 pub fn check_coverage(spec: &ProtocolSpec) -> CoverageReport {
     let sends = spec.conditional_sends();
-    let rules = certification_rules_for(spec.protocol);
+    // A spec with a checkpoint-compaction send is audited against the
+    // rule table extended with the shared `checkpoint-quorum` rule; base
+    // specs keep the base table, so the transform's bijection over
+    // single-shot consensus is unaffected.
+    let rules: Vec<RuleInfo> = if sends.iter().any(|s| s.kind == MessageKind::Checkpoint) {
+        certification_rules_with_checkpoint(spec.protocol)
+    } else {
+        certification_rules_for(spec.protocol).to_vec()
+    };
     let mut report = CoverageReport {
         sends: sends.len() as u64,
         rules: rules.len() as u64,
@@ -155,6 +164,27 @@ mod tests {
             report.sends, report.rules,
             "CT tables should be a bijection"
         );
+    }
+
+    #[test]
+    fn checkpointed_specs_stay_a_bijection_with_the_extended_table() {
+        for protocol in ftm_certify::ProtocolId::all() {
+            let report = check_coverage(&ProtocolSpec::checkpointed_for(protocol));
+            assert!(
+                report.ok(),
+                "{protocol}: uncovered={:?} dead={:?} uncertified={:?}",
+                report.uncovered_sends,
+                report.dead_rules,
+                report.uncertified_noninitial
+            );
+            assert_eq!(report.trusted_sends, 0, "{protocol}");
+            assert_eq!(
+                report.sends, report.rules,
+                "{protocol}: checkpointed tables should stay a bijection"
+            );
+            let base = check_coverage(&ProtocolSpec::transformed_for(protocol));
+            assert_eq!(report.sends, base.sends + 1, "{protocol}");
+        }
     }
 
     #[test]

@@ -102,10 +102,19 @@ pub fn check_lineage(spec: &ProtocolSpec) -> LineageReport {
         }
     }
 
-    // Value lineage: reachability from vector-certification roots.
+    // Value lineage: reachability from the justification roots — the
+    // vector-certification phase (round-0 signed initial values) and any
+    // checkpoint-compaction send (a quorum-signed digest that replaces
+    // the certificate prefix behind it, legitimately restarting the
+    // chain; see `CertRoute::CheckpointRoot`).
     let roots: Vec<&str> = sends
         .iter()
-        .filter(|s| matches!(s.route, CertRoute::VectorCertification(_)))
+        .filter(|s| {
+            matches!(
+                s.route,
+                CertRoute::VectorCertification(_) | CertRoute::CheckpointRoot(_)
+            )
+        })
         .map(|s| s.id)
         .collect();
     report.roots = roots.len() as u64;
@@ -224,6 +233,49 @@ mod tests {
         let derived = check_lineage(&transform(&ProtocolSpec::crash_hr()));
         assert!(derived.ok(), "{derived:?}");
         assert_eq!(derived.roots, 1);
+    }
+
+    #[test]
+    fn checkpointed_specs_add_one_root_and_stay_justified() {
+        for protocol in ftm_certify::ProtocolId::all() {
+            let report = check_lineage(&ProtocolSpec::checkpointed_for(protocol));
+            assert!(
+                report.ok(),
+                "{protocol}: dangling={:?} unjustified={:?} dead={:?} cycles={:?}",
+                report.dangling,
+                report.unjustified,
+                report.dead_routes,
+                report.cycles
+            );
+            // Vector certification plus the checkpoint-compaction root.
+            assert_eq!(report.roots, 2, "{protocol}");
+            let base = check_lineage(&ProtocolSpec::transformed_for(protocol));
+            assert_eq!(report.sends, base.sends + 1, "{protocol}");
+            assert_eq!(report.edges, base.edges + 1, "{protocol}");
+        }
+    }
+
+    #[test]
+    fn a_checkpoint_citing_nothing_leaves_the_decision_dead() {
+        // The checkpoint must cite the decision whose quorum it compacts;
+        // cutting that edge strands `decide-announce` (no longer the
+        // terminal in a compacted log) as a dead route.
+        let mut spec = ProtocolSpec::checkpointed_for(ftm_certify::ProtocolId::HurfinRaynal);
+        spec.sends
+            .iter_mut()
+            .find(|s| s.id == "checkpoint-quorum")
+            .unwrap()
+            .justified_by
+            .clear();
+        let report = check_lineage(&spec);
+        assert!(
+            report
+                .dead_routes
+                .iter()
+                .any(|s| s.contains("decide-announce")),
+            "{:?}",
+            report.dead_routes
+        );
     }
 
     #[test]

@@ -456,6 +456,55 @@ fn fault_classification_is_protocol_independent() {
 }
 
 #[test]
+fn checkpoint_compaction_changes_no_decision_or_conviction() {
+    // Certificate checkpointing is pure local compaction: a replica that
+    // replaces decided slots' evidence with a signed checkpoint sends not
+    // one extra byte on the wire, so a same-seeded attacked run must
+    // produce the same decisions, finish at the same virtual time, and
+    // yield the identical conviction split (who convicted whom of what)
+    // under either retention policy — for both transformed protocols.
+    use ft_modular::certify::ProtocolId;
+    use ft_modular::core::byzantine::log::Retention;
+    use ft_modular::faults::FaultBehavior;
+    use std::collections::BTreeSet;
+
+    let conviction_split = |report: &RunReport<Vec<ValueVector>>| -> BTreeSet<String> {
+        detections(&report.trace)
+            .iter()
+            .map(|d| format!("{}:{}:{}", d.observer.0, d.culprit, d.class))
+            .collect()
+    };
+
+    for protocol in [ProtocolId::HurfinRaynal, ProtocolId::ChandraToueg] {
+        for seed in 0..3u64 {
+            let run = |retention: Retention| {
+                AttackRun::new(N, F, seed, 0)
+                    .protocol(protocol)
+                    .retention(retention)
+                    .run_log(2, |_| {
+                        FaultBehavior::VectorCorrupt.make_tamper_for(protocol, N, 0, seed)
+                    })
+            };
+            let full = run(Retention::Full);
+            let compact = run(Retention::Checkpoint);
+            assert_eq!(
+                full.decisions, compact.decisions,
+                "{protocol} seed {seed}: compaction changed a decision"
+            );
+            assert_eq!(
+                full.end_time, compact.end_time,
+                "{protocol} seed {seed}: compaction changed the schedule"
+            );
+            assert_eq!(
+                conviction_split(&full),
+                conviction_split(&compact),
+                "{protocol} seed {seed}: compaction changed the conviction split"
+            );
+        }
+    }
+}
+
+#[test]
 fn detection_latency_is_bounded() {
     // E4's quantitative claim: detection happens promptly after the
     // faulty message is delivered, not rounds later.

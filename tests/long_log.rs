@@ -1,0 +1,64 @@
+//! Long-log checkpointing soak: certificate memory stays bounded over
+//! 10⁴ decided slots.
+//!
+//! The unit tests prove the flat-versus-linear shape at toy scale; this
+//! soak runs the checkpointed replicated log long enough that unbounded
+//! retention would be visible as a trend. It is `#[ignore]`d — the weekly
+//! deep-verify CI job runs it in release mode.
+
+use ft_modular::core::byzantine::log::Retention;
+use ft_modular::faults::AttackRun;
+use ft_modular::sim::trace::TraceEvent;
+
+const SLOTS: u64 = 10_000;
+
+#[test]
+#[ignore = "10^4-slot soak; run in release via the deep-verify cron"]
+fn checkpointed_log_memory_is_bounded_over_ten_thousand_slots() {
+    let report = AttackRun::new(4, 1, 9, 0)
+        .retention(Retention::Checkpoint)
+        .run_log(SLOTS, |_| None);
+
+    // Every replica decided every slot and the logs agree.
+    for (p, log) in report.decisions.iter().enumerate() {
+        let log = log
+            .as_ref()
+            .unwrap_or_else(|| panic!("p{p} never finished"));
+        assert_eq!(log.len() as u64, SLOTS, "p{p} lost slots");
+        assert_eq!(
+            Some(log),
+            report.decisions[0].as_ref(),
+            "p{p} diverged from p0"
+        );
+    }
+
+    // Replica 0's retained evidence: one sound checkpoint per slot, and
+    // the per-slot retained bytes never trend upward — the whole point of
+    // compaction. (Full retention reaches ~SLOTS × quorum-cert bytes.)
+    let mut series: Vec<u64> = Vec::new();
+    for entry in report.trace.entries() {
+        if let TraceEvent::Note { process, text } = &entry.event {
+            if process.0 == 0 {
+                assert!(
+                    !text.starts_with("checkpoint-unsound"),
+                    "replica 0 built an unsound checkpoint: {text}"
+                );
+                if text.starts_with("checkpoint slot=") {
+                    if let Some(bytes) =
+                        text.rsplit_once("bytes=").and_then(|(_, b)| b.parse().ok())
+                    {
+                        series.push(bytes);
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(series.len() as u64, SLOTS, "a slot was never compacted");
+    let (min, max) = (*series.iter().min().unwrap(), *series.iter().max().unwrap());
+    assert!(
+        max < 2 * min,
+        "checkpoint bytes drifted: min={min} max={max} (first={} last={})",
+        series[0],
+        series[SLOTS as usize - 1]
+    );
+}
