@@ -11,13 +11,16 @@ use ftm_sim::{Payload, ProcessId};
 fn fixture(n: usize) -> (CertChecker, Vec<KeyPair>) {
     let mut rng = ftm_crypto::rng_from_seed(7);
     let (dir, keys) = KeyDirectory::generate(&mut rng, n, 128);
-    (CertChecker::new(n, (n - 1) / 2, dir), keys)
+    (
+        CertChecker::new(n, ftm_core::quorum::max_faults(n), dir),
+        keys,
+    )
 }
 
 /// A coordinator CURRENT(1, vect) with its n−F INIT witness set.
 fn coordinator_current(n: usize, keys: &[KeyPair]) -> Envelope {
-    let f = (n - 1) / 2;
-    let quorum = n - f;
+    let f = ftm_core::quorum::max_faults(n);
+    let quorum = ftm_core::quorum::quorum_size(n, f);
     let mut vect = ValueVector::empty(n);
     let mut cert = Certificate::new();
     for s in 0..quorum as u32 {

@@ -23,7 +23,7 @@ fn main() {
                 seed += 1;
                 seed
             },
-            |s| run_byz_honest(n, (n - 1) / 2, s),
+            |s| run_byz_honest(n, ftm_core::quorum::max_faults(n), s),
         );
     }
     ftm_bench::timing::emit();

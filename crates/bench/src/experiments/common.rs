@@ -37,7 +37,7 @@ pub fn run_crash(n: usize, seed: u64, crashes: &[(usize, u64)]) -> (RunReport<Va
     for &(p, t) in crashes {
         cfg = cfg.crash(p, VirtualTime::at(t));
     }
-    let res = Resilience::new(n, (n - 1) / 2);
+    let res = Resilience::new(n, ftm_core::quorum::max_faults(n));
     let report = Simulation::build(cfg, |id| {
         CrashConsensus::new(
             res,

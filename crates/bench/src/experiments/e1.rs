@@ -14,13 +14,13 @@ const SEEDS: u64 = 20;
 fn aggregate(outcomes: &[Outcome]) -> (String, String, String, String, String) {
     let total = outcomes.len();
     let ok = outcomes.iter().filter(|o| o.verdict.ok()).count();
-    let rounds: Vec<f64> = outcomes.iter().map(|o| o.rounds as f64).collect();
-    let latency: Vec<f64> = outcomes.iter().map(|o| o.latency as f64).collect();
-    let msgs: Vec<f64> = outcomes.iter().map(|o| o.messages as f64).collect();
+    let rounds: Vec<u64> = outcomes.iter().map(|o| o.rounds as u64).collect();
+    let latency: Vec<u64> = outcomes.iter().map(|o| o.latency).collect();
+    let msgs: Vec<u64> = outcomes.iter().map(|o| o.messages).collect();
     (
         pct(ok, total),
         mean(&rounds),
-        latency.iter().copied().fold(f64::MIN, f64::max).to_string(),
+        latency.iter().copied().max().unwrap_or(0).to_string(),
         mean(&latency),
         mean(&msgs),
     )
@@ -45,7 +45,7 @@ pub fn run() -> String {
         "mean msgs",
     ]);
     for n in [3usize, 4, 5, 7, 9, 13] {
-        let fmax = (n - 1) / 2;
+        let fmax = ftm_core::quorum::max_faults(n);
         let mut schedules: Vec<(String, Vec<(usize, u64)>)> =
             vec![("none".into(), vec![]), ("1 early".into(), vec![(0, 0)])];
         if fmax > 1 {
@@ -120,7 +120,7 @@ fn run_ct(n: usize, seed: u64, crashes: &[(usize, u64)]) -> Outcome {
     for &(p, t) in crashes {
         cfg = cfg.crash(p, VirtualTime::at(t));
     }
-    let res = Resilience::new(n, (n - 1) / 2);
+    let res = Resilience::new(n, ftm_core::quorum::max_faults(n));
     let report = Simulation::build(cfg, |id| {
         ChandraToueg::new(
             res,

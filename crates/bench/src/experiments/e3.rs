@@ -76,7 +76,7 @@ pub fn run() -> String {
             .iter()
             .filter(|r| r.get("prop-agreement") == 1 && r.get("prop-validity") == 1)
             .count();
-        let rounds: Vec<f64> = recs.iter().map(|r| r.get("rounds") as f64).collect();
+        let rounds: Vec<u64> = recs.iter().map(|r| r.get("rounds")).collect();
         let beyond_bound = sc.extra_crashes + 1 > sc.f;
         t.row([
             sc.n.to_string(),

@@ -99,8 +99,8 @@ pub fn run() -> String {
         for rec in &recs {
             if rec.get(&convicted) > 0 {
                 covered += 1;
-                observers.push(rec.get(&convicted) as f64);
-                latencies.push(rec.get(&at) as f64);
+                observers.push(rec.get(&convicted));
+                latencies.push(rec.get(&at));
             }
         }
         let all_ok = recs.iter().filter(|r| r.ok).count();
@@ -144,7 +144,7 @@ pub fn run() -> String {
         }
         if rec.get("suspicion-covered") == 1 {
             covered += 1;
-            latencies.push(rec.get("suspicion-first-at") as f64);
+            latencies.push(rec.get("suspicion-first-at"));
         }
     }
     t.row([

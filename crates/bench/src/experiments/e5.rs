@@ -34,7 +34,7 @@ pub fn run() -> String {
     ]);
 
     for (n, f) in [(3usize, 1usize), (4, 1), (5, 2), (7, 3)] {
-        let psi = (n as i64 - 2 * f as i64).max(1) as usize;
+        let psi = ftm_core::quorum::vector_validity_floor(n, f);
         let scenarios: Vec<Scenario> = vec![
             ("all honest".into(), vec![], None),
             (

@@ -6,19 +6,18 @@ use ftm_sim::Duration;
 use ftm_sim::SimConfig;
 
 use crate::experiments::common::{run_byz_honest, run_byz_sim, run_crash, Outcome};
-use crate::report::{mean, Table};
+use crate::report::{mean, ratio, Table};
 
 const SEEDS: u64 = 10;
 
 fn means(outcomes: &[Outcome]) -> (String, String, String, String) {
-    let msgs: Vec<f64> = outcomes.iter().map(|o| o.messages as f64).collect();
-    let bytes: Vec<f64> = outcomes.iter().map(|o| o.bytes as f64).collect();
-    let per: Vec<f64> = outcomes
-        .iter()
-        .map(|o| o.bytes as f64 / o.messages.max(1) as f64)
-        .collect();
-    let lat: Vec<f64> = outcomes.iter().map(|o| o.latency as f64).collect();
-    (mean(&msgs), mean(&bytes), mean(&per), mean(&lat))
+    let msgs: Vec<u64> = outcomes.iter().map(|o| o.messages).collect();
+    let bytes: Vec<u64> = outcomes.iter().map(|o| o.bytes).collect();
+    let lat: Vec<u64> = outcomes.iter().map(|o| o.latency).collect();
+    // bytes/msg as the ratio of totals — the same integer-ratio figure the
+    // bench JSON reports, no per-run float division.
+    let per = ratio(bytes.iter().sum(), msgs.iter().sum());
+    (mean(&msgs), mean(&bytes), per, mean(&lat))
 }
 
 /// Runs E6 and renders its markdown section.
@@ -45,7 +44,7 @@ pub fn run() -> String {
         t.row([n.to_string(), "crash (Fig. 2)".into(), m, b, per, lat]);
 
         let byz: Vec<Outcome> = (0..SEEDS)
-            .map(|s| run_byz_honest(n, (n - 1) / 2, s).1)
+            .map(|s| run_byz_honest(n, ftm_core::quorum::max_faults(n), s).1)
             .collect();
         let (m, b, per, lat) = means(&byz);
         t.row([n.to_string(), "transformed (Fig. 3)".into(), m, b, per, lat]);
@@ -78,7 +77,7 @@ pub fn run() -> String {
                 .1
             })
             .collect();
-        let rounds: Vec<f64> = outcomes.iter().map(|o| o.rounds as f64).collect();
+        let rounds: Vec<u64> = outcomes.iter().map(|o| o.rounds as u64).collect();
         let (m, _b, per, _lat) = means(&outcomes);
         t.row([format!("Δ={timeout}"), mean(&rounds), m, per]);
     }

@@ -37,8 +37,8 @@ pub fn run() -> String {
             if check_reliable_broadcast(&report, 0, Some(7), &vec![false; n]).ok() {
                 ok += 1;
             }
-            msgs.push(report.metrics.messages_sent as f64);
-            lat.push(report.end_time.ticks() as f64);
+            msgs.push(report.metrics.messages_sent);
+            lat.push(report.end_time.ticks());
         }
         t.row([
             n.to_string(),
@@ -49,7 +49,7 @@ pub fn run() -> String {
         ]);
 
         // Bracha, honest broadcaster.
-        let f = (n - 1) / 3;
+        let f = ftm_core::quorum::default_cert_capacity(n);
         let mut ok = 0;
         let mut msgs = Vec::new();
         let mut lat = Vec::new();
@@ -65,8 +65,8 @@ pub fn run() -> String {
             if check_reliable_broadcast(&report, 0, Some(7), &vec![false; n]).ok() {
                 ok += 1;
             }
-            msgs.push(report.metrics.messages_sent as f64);
-            lat.push(report.end_time.ticks() as f64);
+            msgs.push(report.metrics.messages_sent);
+            lat.push(report.end_time.ticks());
         }
         t.row([
             n.to_string(),

@@ -79,21 +79,35 @@ impl fmt::Display for Table {
     }
 }
 
-/// Formats a ratio as a percentage with one decimal.
+/// Formats a ratio as a percentage with one decimal, in pure integer
+/// arithmetic (round-half-up in tenths of a percent): the experiment
+/// tables obey the same no-float policy as the sweep reports.
 pub fn pct(hits: usize, total: usize) -> String {
-    if total == 0 {
-        "n/a".to_string()
-    } else {
-        format!("{:.1}%", 100.0 * hits as f64 / total as f64)
+    match (hits * 1000 + total / 2).checked_div(total) {
+        None => "n/a".to_string(),
+        Some(tenths) => format!("{}.{}%", tenths / 10, tenths % 10),
     }
 }
 
-/// Formats a mean with one decimal.
-pub fn mean(values: &[f64]) -> String {
+/// Formats the mean of integer samples with one decimal (integer
+/// arithmetic, round-half-up in tenths).
+pub fn mean(values: &[u64]) -> String {
     if values.is_empty() {
         "n/a".to_string()
     } else {
-        format!("{:.1}", values.iter().sum::<f64>() / values.len() as f64)
+        let sum: u64 = values.iter().sum();
+        let n = values.len() as u64;
+        let tenths = (sum * 10 + n / 2) / n;
+        format!("{}.{}", tenths / 10, tenths % 10)
+    }
+}
+
+/// Formats the ratio `num / den` with one decimal (integer arithmetic,
+/// round-half-up in tenths); `n/a` for an empty denominator.
+pub fn ratio(num: u64, den: u64) -> String {
+    match (num * 10 + den / 2).checked_div(den) {
+        None => "n/a".to_string(),
+        Some(tenths) => format!("{}.{}", tenths / 10, tenths % 10),
     }
 }
 
@@ -122,8 +136,11 @@ mod tests {
     #[test]
     fn helpers_format() {
         assert_eq!(pct(1, 2), "50.0%");
+        assert_eq!(pct(2, 3), "66.7%");
         assert_eq!(pct(0, 0), "n/a");
-        assert_eq!(mean(&[1.0, 2.0]), "1.5");
+        assert_eq!(mean(&[1, 2]), "1.5");
         assert_eq!(mean(&[]), "n/a");
+        assert_eq!(ratio(45, 10), "4.5");
+        assert_eq!(ratio(1, 0), "n/a");
     }
 }

@@ -223,6 +223,27 @@ impl Group {
     }
 }
 
+/// A coarse wall-clock stopwatch for progress logging (the experiment
+/// driver's per-section timings). This module is the only sanctioned home
+/// of `Instant` in the workspace — the `ftm-lint` D3 rule flags any other
+/// use — so callers that want elapsed time borrow it from here.
+#[derive(Debug)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Whole milliseconds elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed_ms(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -88,9 +88,9 @@ impl CertChecker {
     pub fn new_for(protocol: ProtocolId, n: usize, f: usize, dir: KeyDirectory) -> Self {
         assert!(n >= 1, "need at least one process");
         assert!(
-            f <= (n - 1) / 2,
+            f <= ftm_quorum::max_faults(n),
             "F = {f} exceeds the resilience bound ⌊(n−1)/2⌋ = {}",
-            (n - 1) / 2
+            ftm_quorum::max_faults(n)
         );
         CertChecker {
             n,
@@ -117,7 +117,7 @@ impl CertChecker {
 
     /// Quorum size `n − F` used by every cardinality test.
     pub fn quorum(&self) -> usize {
-        self.n - self.f
+        ftm_quorum::quorum_size(self.n, self.f)
     }
 
     /// The key directory signatures are verified against.
@@ -551,7 +551,7 @@ impl CertChecker {
                 "DECIDE lacks n−F signed ACK votes for the decided vector",
             ),
         };
-        let matching: std::collections::HashSet<ProcessId> = env
+        let matching: std::collections::BTreeSet<ProcessId> = env
             .cert
             .iter_kind_round(vote_kind, *round)
             .filter(|i| i.core().core.vector() == Some(vector))
@@ -585,10 +585,10 @@ impl CertChecker {
         };
         let vote_kind = crate::checkpoint::decide_vote_kind(self.protocol);
         // Group the decide-votes by (round, vector); distinct senders only.
-        let mut groups: std::collections::HashMap<
+        let mut groups: std::collections::BTreeMap<
             (Round, &ValueVector),
-            std::collections::HashSet<ProcessId>,
-        > = std::collections::HashMap::new();
+            std::collections::BTreeSet<ProcessId>,
+        > = std::collections::BTreeMap::new();
         for item in env.cert.iter() {
             if item.kind() == vote_kind {
                 if let Some(vector) = item.core().core.vector() {

@@ -18,7 +18,7 @@
 //! worker verified what, so output is byte-identical across thread counts
 //! (the same contract [`ftm_sim::harness::sweep`] keeps for reports).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use ftm_crypto::keydir::KeyDirectory;
 use ftm_crypto::sha256::Digest;
@@ -48,7 +48,7 @@ pub fn verify_envelopes_batched(
     // (signer, digest, signature-bytes): `SignedCore` equality is by
     // statement digest alone, but two different signatures over one
     // statement are different verification jobs.
-    let mut seen: HashSet<(u32, Digest, Vec<u8>)> = HashSet::new();
+    let mut seen: BTreeSet<(u32, Digest, Vec<u8>)> = BTreeSet::new();
     let mut distinct: Vec<&SignedCore> = Vec::new();
     for env in envelopes {
         for sc in std::iter::once(&env.signed).chain(env.cert.iter()) {

@@ -9,7 +9,7 @@
 //! [`Certificate`] values with different well-formedness rules (enforced by
 //! [`crate::analyzer::CertChecker`]).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 
 use ftm_crypto::sha256::Digest;
@@ -38,7 +38,7 @@ use crate::signed::SignedCore;
 #[derive(Clone, Default, PartialEq)]
 pub struct Certificate {
     items: Vec<SignedCore>,
-    seen: HashSet<Digest>,
+    seen: BTreeSet<Digest>,
 }
 
 impl Certificate {
@@ -103,7 +103,7 @@ impl Certificate {
     }
 
     /// Distinct senders of items of a given kind and round.
-    pub fn senders_of(&self, kind: MessageKind, round: Round) -> HashSet<ProcessId> {
+    pub fn senders_of(&self, kind: MessageKind, round: Round) -> BTreeSet<ProcessId> {
         self.iter_kind_round(kind, round)
             .map(super::signed::SignedCore::sender)
             .collect()
@@ -119,7 +119,7 @@ impl Certificate {
     /// All INIT items as `(sender, value)` pairs, first occurrence per
     /// sender (the est-portion of a certificate).
     pub fn init_entries(&self) -> Vec<(ProcessId, Value)> {
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         let mut out = Vec::new();
         for item in &self.items {
             if let crate::message::Core::Init { value } = &item.core().core {
@@ -171,7 +171,7 @@ impl Certificate {
     /// Distinct senders that contributed an ACK or NACK item for `round`
     /// — the CT round-progression vote set (the CT analogue of
     /// [`Certificate::rec_from`]).
-    pub fn ct_votes(&self, round: Round) -> HashSet<ProcessId> {
+    pub fn ct_votes(&self, round: Round) -> BTreeSet<ProcessId> {
         let mut s = self.senders_of(MessageKind::Ack, round);
         s.extend(self.senders_of(MessageKind::Nack, round));
         s
@@ -179,7 +179,7 @@ impl Certificate {
 
     /// Distinct senders that contributed a CURRENT or NEXT item for
     /// `round` — the paper's `REC_FROM_i` expressed over certificates.
-    pub fn rec_from(&self, round: Round) -> HashSet<ProcessId> {
+    pub fn rec_from(&self, round: Round) -> BTreeSet<ProcessId> {
         let mut s = self.senders_of(MessageKind::Current, round);
         s.extend(self.senders_of(MessageKind::Next, round));
         s

@@ -41,7 +41,7 @@ pub type Round = u64;
 /// assert_eq!(v.get(1), Some(99));
 /// assert_eq!(v.non_null_count(), 1);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ValueVector {
     entries: Vec<Option<Value>>,
 }

@@ -92,12 +92,12 @@ impl VectorBuilder {
     /// Whether exactly `n − F` INITs were collected (the exit condition of
     /// the preliminary phase, Fig. 3 line 6).
     pub fn complete(&self) -> bool {
-        self.cert.count_init_senders() >= self.n - self.f
+        self.cert.count_init_senders() >= ftm_quorum::quorum_size(self.n, self.f)
     }
 
     /// Number of INITs still needed.
     pub fn missing(&self) -> usize {
-        (self.n - self.f).saturating_sub(self.cert.count_init_senders())
+        ftm_quorum::quorum_size(self.n, self.f).saturating_sub(self.cert.count_init_senders())
     }
 
     /// Consumes the builder, returning `(est_vect, est_cert)`.
@@ -155,7 +155,7 @@ pub fn check_vector_validity(
                 .is_some_and(std::option::Option::is_some)
         })
         .count();
-    let psi = n.saturating_sub(2 * f).max(1);
+    let psi = ftm_quorum::vector_validity_floor(n, f);
     if from_correct < psi {
         return Err(CertifyError::new(
             ProcessId(0),

@@ -265,12 +265,14 @@ impl ByzantineChandraToueg {
             })
             .max()
             .unwrap_or(0);
-        let adopted = self
+        let Some(adopted) = self
             .estimates
             .iter()
             .find(|e| matches!(e.core(), Core::Estimate { ts, .. } if *ts == max_ts))
-            .expect("estimate quorum is nonempty")
-            .clone();
+            .cloned()
+        else {
+            return; // propose() only fires on a nonempty estimate quorum
+        };
         let Core::Estimate { vector, .. } = adopted.core() else {
             unreachable!("estimates holds only ESTIMATE envelopes");
         };
@@ -377,10 +379,15 @@ impl ByzantineChandraToueg {
                 if self.phase != Phase::VectorCert {
                     return; // late INIT beyond the n − F we waited for
                 }
-                let builder = self.builder.as_mut().expect("builder live in VectorCert");
+                let Some(builder) = self.builder.as_mut() else {
+                    return; // VectorCert phase always carries a live builder
+                };
                 builder.absorb(&env);
                 if builder.complete() {
-                    let (vect, cert) = self.builder.take().expect("just checked").finish();
+                    let Some(done) = self.builder.take() else {
+                        return;
+                    };
+                    let (vect, cert) = done.finish();
                     self.est_vect = vect;
                     self.est_cert = cert;
                     self.phase = Phase::Rounds;

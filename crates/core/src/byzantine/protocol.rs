@@ -258,11 +258,16 @@ impl ByzantineConsensus {
                 if self.phase != Phase::VectorCert {
                     return; // late INIT beyond the n − F we waited for
                 }
-                let builder = self.builder.as_mut().expect("builder live in VectorCert");
+                let Some(builder) = self.builder.as_mut() else {
+                    return; // VectorCert phase always carries a live builder
+                };
                 builder.absorb(&env);
                 if builder.complete() {
                     // Lines 6–9 exit: the certified vector is ready.
-                    let (vect, cert) = self.builder.take().expect("just checked").finish();
+                    let Some(done) = self.builder.take() else {
+                        return;
+                    };
+                    let (vect, cert) = done.finish();
                     self.est_vect = vect;
                     self.est_cert = cert;
                     self.phase = Phase::Rounds;

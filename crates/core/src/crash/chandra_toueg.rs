@@ -245,12 +245,11 @@ impl<FD: FailureDetector> ChandraToueg<FD> {
                 self.estimates.push((from, est, ts));
                 if self.estimates.len() >= self.majority() {
                     // Phase 2: adopt the freshest estimate and propose it.
-                    let (_, best_est, _) = self
-                        .estimates
-                        .iter()
-                        .max_by_key(|(_, _, ts)| *ts)
-                        .copied()
-                        .expect("nonempty");
+                    let Some((_, best_est, _)) =
+                        self.estimates.iter().max_by_key(|(_, _, ts)| *ts).copied()
+                    else {
+                        return; // the majority test guarantees nonempty
+                    };
                     self.est = best_est;
                     self.ts = self.r;
                     ctx.broadcast(CtMsg::Propose {
@@ -380,7 +379,7 @@ mod tests {
         for &(p, t) in crashes {
             cfg = cfg.crash(p, VirtualTime::at(t));
         }
-        let res = Resilience::new(n, (n - 1) / 2);
+        let res = Resilience::new(n, crate::quorum::max_faults(n));
         Simulation::build(cfg, |id| {
             ChandraToueg::new(
                 res,

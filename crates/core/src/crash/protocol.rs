@@ -311,7 +311,7 @@ mod tests {
         for &(p, t) in crashes {
             cfg = cfg.crash(p, VirtualTime::at(t));
         }
-        let res = Resilience::new(n, (n - 1) / 2);
+        let res = Resilience::new(n, crate::quorum::max_faults(n));
         Simulation::build(cfg, |id| {
             CrashConsensus::new(
                 res,

@@ -44,6 +44,7 @@
 pub mod byzantine;
 pub mod config;
 pub mod crash;
+pub mod quorum;
 pub mod spec;
 pub mod transform;
 pub mod validator;

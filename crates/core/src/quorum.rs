@@ -1,0 +1,24 @@
+//! The canonical home of the paper's quorum algebra — `F ≤ min(⌊(n−1)/2⌋, C)`
+//! and every cardinality threshold derived from it.
+//!
+//! The functions are implemented in the dependency-free [`ftm_quorum`]
+//! crate (the workspace layering puts `ftm-core` above `rbcast` and
+//! `certify`, which also need them) and re-exported here verbatim: this
+//! path is the one the documentation, `ftm-verify`'s exhaustive `quorum`
+//! intersection check, and the `ftm-lint` D5 rule all reference. No other
+//! module in the workspace is allowed to hand-roll `n - f`, `2*f + 1` or
+//! their relatives — D5 flags any that reappear.
+//!
+//! ```
+//! use ftm_core::quorum;
+//! // The (31, 10) flagship system: 21-vote quorums, any two overlap in 11.
+//! assert_eq!(quorum::quorum_size(31, 10), 21);
+//! assert_eq!(quorum::intersection_margin(31, 10), 11);
+//! assert_eq!(quorum::resilience_bound(31, 10), 10);
+//! ```
+
+pub use ftm_quorum::{
+    bracha_echo_quorum, bracha_min_n, bracha_ready_quorum, certification_quorum,
+    default_cert_capacity, intersection_margin, max_faults, quorum_size, resilience_bound,
+    vector_validity_floor,
+};

@@ -826,9 +826,9 @@ impl Resilience {
     pub fn new(n: usize, f: usize) -> Self {
         assert!(n >= 2, "consensus needs at least two processes");
         assert!(
-            f <= (n - 1) / 2,
+            f <= crate::quorum::max_faults(n),
             "F = {f} exceeds ⌊(n−1)/2⌋ = {}",
-            (n - 1) / 2
+            crate::quorum::max_faults(n)
         );
         Resilience { n, f }
     }
@@ -845,18 +845,18 @@ impl Resilience {
 
     /// Quorum `n − F` (replaces the crash model's majority `⌈(n+1)/2⌉`).
     pub fn quorum(&self) -> usize {
-        self.n - self.f
+        crate::quorum::quorum_size(self.n, self.f)
     }
 
     /// Guaranteed correct entries in a decided vector: `ψ = n − 2F ≥ 1`.
     pub fn psi(&self) -> usize {
-        (self.n - 2 * self.f).max(1)
+        crate::quorum::vector_validity_floor(self.n, self.f)
     }
 
     /// The capacity `C` of the usual certification mechanisms,
     /// `⌊(n−1)/3⌋` (paper footnote 2).
     pub fn default_cert_capacity(&self) -> usize {
-        (self.n - 1) / 3
+        crate::quorum::default_cert_capacity(self.n)
     }
 
     /// The round-`r` coordinator (0-based rotating coordinator).

@@ -394,20 +394,21 @@ impl PeerAutomaton {
                     // every mandatory slot, or skipped ahead — correct
                     // processes advance one round at a time.
                     if !self.table.advance_ready(pos) {
-                        let owed = self
-                            .table
-                            .first_mandatory_from(pos)
-                            .expect("not advance-ready implies an owed mandatory slot");
+                        // Not advance-ready implies an owed mandatory slot;
+                        // if the table disagrees, the round exit itself is
+                        // the violation.
+                        let Some(owed) = self.table.first_mandatory_from(pos) else {
+                            return self.fault("left the round against the slot table");
+                        };
                         return self.fault(left_round_reason(owed));
                     }
                     if r != self.round + 1 {
                         return self.fault("skipped a round");
                     }
                     if !self.table.entry_legal(0, j) {
-                        let owed = self
-                            .table
-                            .first_mandatory_from(0)
-                            .expect("entry past a mandatory slot implies one exists");
+                        let Some(owed) = self.table.first_mandatory_from(0) else {
+                            return self.fault("entered the round against the slot table");
+                        };
                         return self.fault(entry_past_mandatory_reason(owed));
                     }
                     // Round advance: re-enter the new round at slot j.
@@ -424,10 +425,9 @@ impl PeerAutomaton {
                     return self.fault(order_reason(kind, last));
                 }
                 if !self.table.entry_legal(pos, j) {
-                    let owed = self
-                        .table
-                        .first_mandatory_from(pos)
-                        .expect("skipping a mandatory slot implies one exists");
+                    let Some(owed) = self.table.first_mandatory_from(pos) else {
+                        return self.fault("skipped ahead against the slot table");
+                    };
                     return self.fault(skip_mandatory_reason(owed));
                 }
                 self.phase = PeerPhase::InRound(j + 1);

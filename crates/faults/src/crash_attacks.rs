@@ -118,7 +118,7 @@ mod tests {
 
     fn honest(n: usize, id: ProcessId) -> CrashConsensus<TimeoutDetector> {
         CrashConsensus::new(
-            Resilience::new(n, (n - 1) / 2),
+            Resilience::new(n, ftm_core::quorum::max_faults(n)),
             id,
             100 + id.0 as u64,
             TimeoutDetector::new(n, Duration::of(150)),

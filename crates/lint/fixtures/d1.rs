@@ -1,0 +1,5 @@
+// D1 fixture: floating point in report arithmetic.
+pub fn mean(xs: &[u64]) -> f64 {
+    let total: u64 = xs.iter().sum();
+    total as f64 / 2.0
+}

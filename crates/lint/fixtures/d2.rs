@@ -1,0 +1,10 @@
+// D2 fixture: hash collections in a report-feeding crate.
+use std::collections::HashMap;
+
+pub fn tally(votes: &[u32]) -> HashMap<u32, u32> {
+    let mut out = HashMap::new();
+    for v in votes {
+        *out.entry(*v).or_insert(0) += 1;
+    }
+    out
+}

@@ -1,0 +1,7 @@
+// D3 fixture: wall-clock time outside the bench timing module.
+use std::time::Instant;
+
+pub fn stamp() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_secs()
+}

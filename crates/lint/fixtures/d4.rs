@@ -1,0 +1,5 @@
+// D4 fixture: raw thread spawning outside the simulation harness.
+pub fn fan_out() {
+    let handle = std::thread::spawn(|| 42);
+    let _ = handle.join();
+}

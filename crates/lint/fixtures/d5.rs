@@ -1,0 +1,11 @@
+// D5 fixture: ad-hoc quorum arithmetic in a protocol crate.
+pub struct Thresholds {
+    n: usize,
+    f: usize,
+}
+
+impl Thresholds {
+    pub fn quorum(&self) -> usize {
+        self.n - self.f
+    }
+}

@@ -1,0 +1,4 @@
+// D6 fixture: an abort in a message-handling path.
+pub fn handle(payload: Option<u32>) -> u32 {
+    payload.unwrap()
+}

@@ -1,0 +1,382 @@
+//! A minimal Rust lexer: just enough structure for line/token-level lint
+//! rules.
+//!
+//! The lexer reduces a source file to a stream of [`Token`]s — identifiers,
+//! numeric literals and single-character punctuation — with comments
+//! (line, doc and nested block), string literals (plain, raw, byte) and
+//! character literals stripped, so rules never fire on prose or test
+//! strings. Lifetimes (`'a`) are distinguished from char literals with the
+//! standard one-character lookahead heuristic.
+//!
+//! On top of the raw stream it computes the file's `#[cfg(test)]` regions
+//! by brace matching, so rules that only govern production paths (D5, D6)
+//! can skip test modules without any parsing beyond this.
+
+/// What a token is, as far as the rule engine cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (kept verbatim, suffix included: `1_000u64`, `2.5`).
+    Number,
+    /// Single punctuation character (`-`, `*`, `!`, `[`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification used by the pattern matcher.
+    pub kind: TokenKind,
+    /// Verbatim token text.
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    fn new(kind: TokenKind, text: String, line: u32) -> Self {
+        Token { kind, text, line }
+    }
+}
+
+/// A lexed file: the token stream plus its `#[cfg(test)]` brace regions
+/// (as half-open token-index ranges).
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// The token stream, comments and literals stripped.
+    pub tokens: Vec<Token>,
+    /// Half-open `[start, end)` token-index ranges covered by
+    /// `#[cfg(test)]`-gated items.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+impl Lexed {
+    /// Whether the token at `index` sits inside a `#[cfg(test)]` region.
+    pub fn in_test_region(&self, index: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(a, b)| index >= a && index < b)
+    }
+}
+
+/// Lexes `source`, stripping comments and literals and marking
+/// `#[cfg(test)]` regions.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let n = chars.len();
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                // Line (and doc) comment: skip to end of line.
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                // Block comment, nesting honoured.
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                i = skip_string(&chars, i, &mut line);
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&chars, i) => {
+                i = skip_raw_or_byte_string(&chars, i, &mut line);
+            }
+            '\'' => {
+                // Lifetime vs char literal: a lifetime is `'ident` NOT
+                // followed by a closing quote (`'a'` is a char).
+                let is_lifetime = i + 1 < n
+                    && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_')
+                    && !(i + 2 < n && chars[i + 2] == '\'');
+                if is_lifetime {
+                    i += 1; // the identifier after it lexes normally
+                } else {
+                    i += 1;
+                    if i < n && chars[i] == '\\' {
+                        i += 2; // escape plus escaped char
+                        while i < n && chars[i] != '\'' {
+                            i += 1; // \u{...} forms
+                        }
+                        i += 1;
+                    } else {
+                        while i < n && chars[i] != '\'' {
+                            if chars[i] == '\n' {
+                                line += 1;
+                            }
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                tokens.push(Token::new(TokenKind::Ident, text, line));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                // A fractional part glues onto the literal only when a
+                // digit follows the dot (so `1.max(2)` and `0..n` split).
+                if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                tokens.push(Token::new(TokenKind::Number, text, line));
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            _ => {
+                tokens.push(Token::new(TokenKind::Punct, c.to_string(), line));
+                i += 1;
+            }
+        }
+    }
+
+    let test_regions = find_test_regions(&tokens);
+    Lexed {
+        tokens,
+        test_regions,
+    }
+}
+
+fn starts_raw_or_byte_string(chars: &[char], i: usize) -> bool {
+    // r"...", r#"..."#, b"...", br"...", br#"..."# — but NOT plain
+    // identifiers starting with r/b.
+    let n = chars.len();
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if j < n && chars[j] == 'r' {
+        j += 1;
+        while j < n && chars[j] == '#' {
+            j += 1;
+        }
+        return j < n && chars[j] == '"';
+    }
+    // b"..." (byte string without r)
+    chars[i] == 'b' && i + 1 < n && chars[i + 1] == '"'
+}
+
+fn skip_raw_or_byte_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = chars.len();
+    if chars[i] == 'b' {
+        i += 1;
+    }
+    if i < n && chars[i] == 'r' {
+        i += 1;
+        let mut hashes = 0;
+        while i < n && chars[i] == '#' {
+            hashes += 1;
+            i += 1;
+        }
+        i += 1; // opening quote
+        loop {
+            if i >= n {
+                return i;
+            }
+            if chars[i] == '\n' {
+                *line += 1;
+            }
+            if chars[i] == '"' {
+                let mut k = 0;
+                while k < hashes && i + 1 + k < n && chars[i + 1 + k] == '#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    return i + 1 + hashes;
+                }
+            }
+            i += 1;
+        }
+    }
+    // plain byte string b"..."
+    skip_string(chars, i, line)
+}
+
+fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = chars.len();
+    i += 1; // opening quote
+    while i < n {
+        match chars[i] {
+            '\\' => {
+                // Count the newline of a `\`-at-EOL string continuation.
+                if i + 1 < n && chars[i + 1] == '\n' {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Finds `#[cfg(test)]` attribute sites and brace-matches the item that
+/// follows each, returning half-open token-index ranges.
+fn find_test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = text(i) == Some("#")
+            && text(i + 1) == Some("[")
+            && text(i + 2) == Some("cfg")
+            && text(i + 3) == Some("(")
+            && text(i + 4) == Some("test")
+            && text(i + 5) == Some(")")
+            && text(i + 6) == Some("]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Find the gated item's opening brace and match it. Skip over any
+        // further attributes and the item header tokens in between.
+        let mut j = i + 7;
+        let mut depth = 0usize;
+        let mut opened = false;
+        while j < tokens.len() {
+            match text(j) {
+                Some("{") => {
+                    depth += 1;
+                    opened = true;
+                }
+                Some("}") => {
+                    depth = depth.saturating_sub(1);
+                    if opened && depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                Some(";") if !opened => {
+                    // `#[cfg(test)] mod tests;` — out-of-line, no body here.
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        regions.push((i, j));
+        i = j;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let toks = texts("let x = \"f64 inside\"; // f64 in comment\n/* f64 /* nested */ */ y");
+        assert!(!toks.contains(&"f64".to_string()));
+        assert!(toks.contains(&"y".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_stripped() {
+        let toks = texts("let s = r#\"HashMap \"quoted\" inside\"#; let c = 'H'; let l: &'a u8;");
+        assert!(!toks.contains(&"HashMap".to_string()));
+        assert!(toks.contains(&"a".to_string())); // the lifetime ident survives
+        assert!(toks.contains(&"u8".to_string()));
+    }
+
+    #[test]
+    fn numbers_keep_suffix_and_fraction() {
+        let toks = texts("let a = 1.5; let b = 2f64; let c = 0..10; let d = 1.max(2);");
+        assert!(toks.contains(&"1.5".to_string()));
+        assert!(toks.contains(&"2f64".to_string()));
+        assert!(toks.contains(&"0".to_string()) && toks.contains(&"10".to_string()));
+        assert!(toks.contains(&"1".to_string()) && toks.contains(&"max".to_string()));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_comments_and_strings() {
+        let lexed = lex("a\n/* two\nlines */\n\"str\nacross\"\nb");
+        let b = lexed.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 6);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_string_continuations() {
+        let lexed = lex("let s = \"one \\\n two \\\n three\";\nb");
+        let b = lexed.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn cfg_test_region_covers_the_module() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\nfn after() {}";
+        let lexed = lex(src);
+        let unwraps: Vec<usize> = lexed
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text == "unwrap")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!lexed.in_test_region(unwraps[0]));
+        assert!(lexed.in_test_region(unwraps[1]));
+        let after = lexed.tokens.iter().position(|t| t.text == "after").unwrap();
+        assert!(!lexed.in_test_region(after));
+    }
+
+    #[test]
+    fn out_of_line_cfg_test_mod_is_harmless() {
+        let src = "#[cfg(test)]\nmod tests;\nfn prod() { x.unwrap(); }";
+        let lexed = lex(src);
+        let u = lexed
+            .tokens
+            .iter()
+            .position(|t| t.text == "unwrap")
+            .unwrap();
+        assert!(!lexed.in_test_region(u));
+    }
+}

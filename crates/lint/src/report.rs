@@ -1,0 +1,182 @@
+//! Byte-stable JSON reporting, on the same no-float document model the
+//! simulation reports use.
+//!
+//! The report shape is fixed: `counts` always carries all six lint keys,
+//! findings are pre-sorted by `(lint, file, line)` by the engine, and the
+//! renderer is `ftm_sim::report::Json` — so two runs over the same tree
+//! produce identical bytes, which lets CI diff lint reports like any other
+//! artifact.
+
+use ftm_sim::report::Json;
+
+use crate::allowlist::{Applied, Entry};
+use crate::rules::{Finding, LINT_IDS};
+
+/// Everything one lint run produced, ready to render or gate on.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: u64,
+    /// Findings not waived by the allowlist (these gate).
+    pub active: Vec<Finding>,
+    /// Findings waived by an allowlist entry.
+    pub waived: Vec<Finding>,
+    /// Allowlist entries that matched nothing (these also gate).
+    pub unused: Vec<Entry>,
+}
+
+impl LintReport {
+    /// Builds a report from a scan result and the applied allowlist.
+    pub fn new(files_scanned: u64, applied: Applied) -> Self {
+        LintReport {
+            files_scanned,
+            active: applied.active,
+            waived: applied.waived,
+            unused: applied.unused,
+        }
+    }
+
+    /// Whether the run gates green: no active findings, no stale waivers.
+    pub fn ok(&self) -> bool {
+        self.active.is_empty() && self.unused.is_empty()
+    }
+
+    /// Per-lint totals over active + waived findings, all six keys present.
+    pub fn counts(&self) -> Vec<(&'static str, u64)> {
+        LINT_IDS
+            .iter()
+            .map(|id| {
+                let total = self
+                    .active
+                    .iter()
+                    .chain(&self.waived)
+                    .filter(|f| f.lint == *id)
+                    .count() as u64;
+                (*id, total)
+            })
+            .collect()
+    }
+
+    /// Renders the byte-stable JSON document.
+    pub fn to_json(&self) -> Json {
+        let finding_json = |f: &Finding, waived: bool| {
+            Json::Obj(vec![
+                ("lint".into(), Json::Str(f.lint.into())),
+                ("file".into(), Json::Str(f.file.clone())),
+                ("line".into(), Json::U64(u64::from(f.line))),
+                ("message".into(), Json::Str(f.message.clone())),
+                ("waived".into(), Json::Bool(waived)),
+            ])
+        };
+        // Interleave active and waived back into (lint, file, line) order
+        // so the findings array reads in source order regardless of waiver
+        // status.
+        let mut all: Vec<(&Finding, bool)> = self
+            .active
+            .iter()
+            .map(|f| (f, false))
+            .chain(self.waived.iter().map(|f| (f, true)))
+            .collect();
+        all.sort_by(|(a, _), (b, _)| (a.lint, &a.file, a.line).cmp(&(b.lint, &b.file, b.line)));
+        Json::Obj(vec![
+            ("version".into(), Json::U64(1)),
+            ("files_scanned".into(), Json::U64(self.files_scanned)),
+            (
+                "counts".into(),
+                Json::Obj(
+                    self.counts()
+                        .into_iter()
+                        .map(|(id, n)| (id.to_string(), Json::U64(n)))
+                        .collect(),
+                ),
+            ),
+            (
+                "findings".into(),
+                Json::Arr(all.into_iter().map(|(f, w)| finding_json(f, w)).collect()),
+            ),
+            (
+                "allowlist_unused".into(),
+                Json::Arr(self.unused.iter().map(|e| Json::Str(e.render())).collect()),
+            ),
+            ("ok".into(), Json::Bool(self.ok())),
+        ])
+    }
+
+    /// Human-readable rendering for terminal runs.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.active {
+            out.push_str(&format!("{} {}:{} {}\n", f.lint, f.file, f.line, f.message));
+        }
+        for e in &self.unused {
+            out.push_str(&format!(
+                "stale allowlist entry (matched nothing): {}\n",
+                e.render()
+            ));
+        }
+        let counts: Vec<String> = self
+            .counts()
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(id, n)| format!("{id}={n}"))
+            .collect();
+        out.push_str(&format!(
+            "ftm-lint: {} files, {} active finding(s), {} waived ({}){}\n",
+            self.files_scanned,
+            self.active.len(),
+            self.waived.len(),
+            if counts.is_empty() {
+                "clean".to_string()
+            } else {
+                counts.join(" ")
+            },
+            if self.ok() { " — OK" } else { " — FAIL" },
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allowlist::{apply, parse};
+
+    fn finding(lint: &'static str, file: &str, line: u32) -> Finding {
+        Finding {
+            lint,
+            file: file.to_string(),
+            line,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn json_is_byte_stable_and_carries_all_six_counts() {
+        let entries = parse("D6 a.rs 5 # ok\n").unwrap();
+        let applied = apply(
+            vec![finding("D6", "a.rs", 5), finding("D1", "b.rs", 2)],
+            &entries,
+        );
+        let report = LintReport::new(3, applied);
+        let first = report.to_json().render();
+        let second = report.to_json().render();
+        assert_eq!(first, second);
+        for id in LINT_IDS {
+            assert!(
+                first.contains(&format!("\"{id}\"")),
+                "missing count key {id}"
+            );
+        }
+        assert!(first.contains("\"waived\": true"));
+        assert!(!report.ok()); // D1 active
+    }
+
+    #[test]
+    fn unused_entries_fail_the_run() {
+        let entries = parse("D3 never.rs # stale\n").unwrap();
+        let applied = apply(vec![], &entries);
+        let report = LintReport::new(1, applied);
+        assert!(!report.ok());
+        assert!(report.to_text().contains("stale allowlist entry"));
+    }
+}

@@ -1,0 +1,121 @@
+//! The lint self-test: the fixture corpus and the workspace gate.
+//!
+//! Each file in `crates/lint/fixtures/` is a minimal violation of exactly
+//! one rule. The corpus is excluded from the workspace walk (the engine
+//! skips `fixtures/` directories) and is instead driven through
+//! [`ftm_lint::check_source`] under a virtual path that places it inside
+//! the rule's scope — so this test proves every rule both *fires* on its
+//! fixture and *stays quiet* on the others, and that the real workspace is
+//! clean modulo the justified allowlist.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ftm_lint::{apply, check_source, parse_allowlist, scan_workspace, LintReport, LINT_IDS};
+
+/// Fixture file → virtual path placing it in the matching rule's scope.
+const PLACEMENTS: [(&str, &str); 6] = [
+    ("d1.rs", "crates/sim/src/fixture.rs"),
+    ("d2.rs", "crates/certify/src/fixture.rs"),
+    ("d3.rs", "crates/core/src/fixture.rs"),
+    ("d4.rs", "crates/bench/src/fixture.rs"),
+    ("d5.rs", "crates/rbcast/src/fixture.rs"),
+    ("d6.rs", "crates/detect/src/fixture.rs"),
+];
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn every_fixture_trips_exactly_its_own_lint() {
+    for (i, (file, vpath)) in PLACEMENTS.iter().enumerate() {
+        let expected = LINT_IDS[i];
+        let src = fs::read_to_string(fixture_dir().join(file))
+            .unwrap_or_else(|e| panic!("missing fixture {file}: {e}"));
+        let findings = check_source(vpath, &src);
+        assert!(
+            !findings.is_empty(),
+            "fixture {file} was not flagged at {vpath}"
+        );
+        for f in &findings {
+            assert_eq!(
+                f.lint, expected,
+                "fixture {file} tripped {} (expected only {expected}): {}",
+                f.lint, f.message
+            );
+        }
+    }
+}
+
+#[test]
+fn fixture_corpus_is_complete_and_minimal() {
+    let mut names: Vec<String> = fs::read_dir(fixture_dir())
+        .expect("fixtures dir")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    assert_eq!(
+        names,
+        ["d1.rs", "d2.rs", "d3.rs", "d4.rs", "d5.rs", "d6.rs"]
+    );
+}
+
+#[test]
+fn workspace_is_clean_outside_the_allowlist() {
+    let root = workspace_root();
+    let scan = scan_workspace(&root).expect("workspace scan");
+    assert!(scan.files_scanned > 100, "suspiciously small scan");
+    let allowlist =
+        fs::read_to_string(root.join("crates/lint/allowlist.txt")).expect("allowlist file");
+    let entries = parse_allowlist(&allowlist).expect("allowlist parses");
+    assert!(
+        entries.len() <= 5,
+        "allowlist grew past the 5-entry budget: {} entries",
+        entries.len()
+    );
+    let applied = apply(scan.findings, &entries);
+    let dump: Vec<String> = applied
+        .active
+        .iter()
+        .map(|f| format!("{} {}:{} {}", f.lint, f.file, f.line, f.message))
+        .collect();
+    assert!(
+        applied.active.is_empty(),
+        "active findings:\n{}",
+        dump.join("\n")
+    );
+    assert!(
+        applied.unused.is_empty(),
+        "stale allowlist entries: {:?}",
+        applied.unused
+    );
+}
+
+#[test]
+fn json_report_is_byte_stable_across_scans() {
+    let root = workspace_root();
+    let allowlist =
+        fs::read_to_string(root.join("crates/lint/allowlist.txt")).expect("allowlist file");
+    let entries = parse_allowlist(&allowlist).expect("allowlist parses");
+    let render = || {
+        let scan = scan_workspace(&root).expect("workspace scan");
+        let applied = apply(scan.findings, &entries);
+        LintReport::new(scan.files_scanned, applied)
+            .to_json()
+            .render()
+    };
+    let first = render();
+    let second = render();
+    assert_eq!(first, second, "lint JSON is not byte-stable");
+    for id in LINT_IDS {
+        assert!(
+            first.contains(&format!("\"{id}\"")),
+            "missing count key {id}"
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! Quorum-threshold algebra: every cardinality bound of the
+//! transformation in one audited, dependency-free module.
+//!
+//! The paper's resilience claim is `F ≤ min(⌊(n−1)/2⌋, C)` — agreement
+//! survives up to `⌊(n−1)/2⌋` arbitrary failures *because* certification
+//! removes equivocation, so two `n − F` quorums only need to intersect in
+//! **one** process, not one *correct* process. Before this module existed
+//! that arithmetic was hand-rolled in six crates (`rbcast`, `certify`,
+//! `detect`, `faults`, `core`, `bench`); the `ftm-lint` D5 rule now rejects
+//! ad-hoc `n - f` / `2*f + 1` expressions outside this file, and
+//! `ftm-verify`'s `quorum` section re-proves the intersection algebra
+//! exhaustively for every `(n, F)` up to `n = 64`.
+//!
+//! The canonical import path is `ftm_core::quorum`, which re-exports
+//! this crate: the workspace layering puts `ftm-core` *above* `rbcast`
+//! and `certify`, so the implementation lives here, below them all.
+//!
+//! # The algebra, in one place
+//!
+//! Two subsets of size `q` drawn from `n` processes overlap in at least
+//! `2q − n` members (tight: take `{0..q}` and `{n−q..n}`). With
+//! `q = quorum_size(n, F) = n − F` that floor is `n − 2F`, giving the two
+//! regimes the reproduction sweeps across:
+//!
+//! ```
+//! use ftm_quorum::*;
+//! for n in 1usize..=64 {
+//!     for f in 0..=max_faults(n) {
+//!         let q = quorum_size(n, f);
+//!         // Tight pairwise-overlap floor of two q-quorums.
+//!         assert_eq!(intersection_margin(n, f), 2 * q - n);
+//!         // Within the paper's bound two quorums always intersect…
+//!         assert!(intersection_margin(n, f) >= 1);
+//!         // …and they intersect in a *correct* process exactly in the
+//!         // classic signature-free zone F ≤ ⌊(n−1)/3⌋.
+//!         assert_eq!(
+//!             intersection_margin(n, f) >= f + 1,
+//!             f <= default_cert_capacity(n)
+//!         );
+//!     }
+//!     // One past the bound, disjoint quorums exist: safety is forfeit.
+//!     let f = max_faults(n) + 1;
+//!     assert!(2 * quorum_size(n, f) <= n || n < 2);
+//! }
+//! ```
+
+/// The round/certification quorum `n − F`: the number of distinct signed
+/// votes (INIT, CURRENT/NEXT, ESTIMATE, ACK/NACK, decide votes behind a
+/// CHECKPOINT) every cardinality test in the transformed protocol waits
+/// for (paper Fig. 3 line 6 and §5).
+///
+/// ```
+/// assert_eq!(ftm_quorum::quorum_size(7, 3), 4);
+/// assert_eq!(ftm_quorum::quorum_size(4, 0), 4);
+/// ```
+#[must_use]
+pub const fn quorum_size(n: usize, f: usize) -> usize {
+    n - f
+}
+
+/// The certification quorum — the `n − F` signed decide-votes that back a
+/// DECIDE or CHECKPOINT certificate (paper §5). Numerically identical to
+/// [`quorum_size`]; named separately so call sites say which rule of the
+/// paper they implement.
+///
+/// ```
+/// assert_eq!(ftm_quorum::certification_quorum(31, 10), 21);
+/// ```
+#[must_use]
+pub const fn certification_quorum(n: usize, f: usize) -> usize {
+    quorum_size(n, f)
+}
+
+/// Tight lower bound on the overlap of any two [`quorum_size`] quorums:
+/// `n − 2F`, saturating at zero once quorums can be disjoint.
+///
+/// This is also the paper's ψ before its floor of one — see
+/// [`vector_validity_floor`].
+///
+/// ```
+/// assert_eq!(ftm_quorum::intersection_margin(7, 3), 1);
+/// assert_eq!(ftm_quorum::intersection_margin(7, 4), 0); // disjoint: unsafe
+/// ```
+#[must_use]
+pub const fn intersection_margin(n: usize, f: usize) -> usize {
+    n.saturating_sub(2 * f)
+}
+
+/// The Vector Validity floor `ψ = max(n − 2F, 1)`: how many entries of a
+/// decided vector are guaranteed to carry initial values of *correct*
+/// processes (paper §4).
+///
+/// ```
+/// assert_eq!(ftm_quorum::vector_validity_floor(4, 1), 2);
+/// assert_eq!(ftm_quorum::vector_validity_floor(3, 1), 1);
+/// ```
+#[must_use]
+pub const fn vector_validity_floor(n: usize, f: usize) -> usize {
+    let m = intersection_margin(n, f);
+    if m == 0 {
+        1
+    } else {
+        m
+    }
+}
+
+/// The paper's structural resilience ceiling `⌊(n−1)/2⌋` (the other term
+/// of `F ≤ min(⌊(n−1)/2⌋, C)` is the certification capacity, see
+/// [`resilience_bound`]).
+///
+/// ```
+/// assert_eq!(ftm_quorum::max_faults(7), 3);
+/// assert_eq!(ftm_quorum::max_faults(8), 3);
+/// ```
+#[must_use]
+pub const fn max_faults(n: usize) -> usize {
+    n.saturating_sub(1) / 2
+}
+
+/// The capacity `C` of the usual certification mechanisms, `⌊(n−1)/3⌋`
+/// (paper footnote 2) — also exactly the zone where two quorums intersect
+/// in a correct process *without* certification (see the crate docs).
+///
+/// ```
+/// assert_eq!(ftm_quorum::default_cert_capacity(10), 3);
+/// ```
+#[must_use]
+pub const fn default_cert_capacity(n: usize) -> usize {
+    n.saturating_sub(1) / 3
+}
+
+/// The full resilience bound `min(⌊(n−1)/2⌋, C)` for a certification
+/// service of capacity `c`.
+///
+/// ```
+/// // Capacity-limited below the structural ceiling:
+/// assert_eq!(ftm_quorum::resilience_bound(31, 10), 10);
+/// assert_eq!(ftm_quorum::resilience_bound(31, 40), 15);
+/// ```
+#[must_use]
+pub const fn resilience_bound(n: usize, c: usize) -> usize {
+    let s = max_faults(n);
+    if c < s {
+        c
+    } else {
+        s
+    }
+}
+
+/// Bracha double-echo broadcast: the echo quorum `⌈(n+F+1)/2⌉` (a
+/// majority of correct processes plus the Byzantine budget).
+///
+/// ```
+/// assert_eq!(ftm_quorum::bracha_echo_quorum(4, 1), 3);
+/// assert_eq!(ftm_quorum::bracha_echo_quorum(7, 2), 5);
+/// ```
+#[must_use]
+pub const fn bracha_echo_quorum(n: usize, f: usize) -> usize {
+    (n + f + 2) / 2
+}
+
+/// Bracha double-echo broadcast: the delivery (READY) quorum `2F + 1`.
+///
+/// ```
+/// assert_eq!(ftm_quorum::bracha_ready_quorum(1), 3);
+/// assert_eq!(ftm_quorum::bracha_ready_quorum(2), 5);
+/// ```
+#[must_use]
+pub const fn bracha_ready_quorum(f: usize) -> usize {
+    2 * f + 1
+}
+
+/// Minimum system size for signature-free Bracha broadcast, `3F + 1`:
+/// below it two echo quorums of different values can be disjoint.
+///
+/// ```
+/// assert_eq!(ftm_quorum::bracha_min_n(1), 4);
+/// assert!(ftm_quorum::bracha_min_n(2) > 3 * 2);
+/// ```
+#[must_use]
+pub const fn bracha_min_n(f: usize) -> usize {
+    3 * f + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_and_certification_quorum_agree() {
+        for n in 1..=64 {
+            for f in 0..=max_faults(n) {
+                assert_eq!(quorum_size(n, f), certification_quorum(n, f));
+                assert!(quorum_size(n, f) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn margin_is_two_quorums_minus_n() {
+        for n in 1..=64 {
+            for f in 0..n {
+                let q = quorum_size(n, f);
+                let expect = (2 * q).saturating_sub(n);
+                assert_eq!(intersection_margin(n, f), expect, "n={n} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_bound_is_exactly_nonempty_intersection() {
+        for n in 2..=64 {
+            for f in 0..n {
+                assert_eq!(
+                    intersection_margin(n, f) >= 1,
+                    f <= max_faults(n),
+                    "n={n} f={f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_third_bound_is_exactly_honest_intersection() {
+        for n in 1..=64 {
+            for f in 0..n {
+                assert_eq!(
+                    intersection_margin(n, f) > f,
+                    f <= default_cert_capacity(n),
+                    "n={n} f={f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validity_floor_never_below_one() {
+        for n in 1..=64 {
+            for f in 0..n {
+                assert!(vector_validity_floor(n, f) >= 1);
+                if f <= max_faults(n) {
+                    assert_eq!(vector_validity_floor(n, f), n - 2 * f);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bracha_thresholds_match_the_classic_values() {
+        assert_eq!(bracha_echo_quorum(4, 1), 3);
+        assert_eq!(bracha_ready_quorum(1), 3);
+        assert_eq!(bracha_echo_quorum(7, 2), 5);
+        assert_eq!(bracha_ready_quorum(2), 5);
+        for f in 0..20 {
+            let n = bracha_min_n(f);
+            // At the minimum size, echo quorums of two different values
+            // must overlap in a correct process: 2·quorum − n > F.
+            assert!(2 * bracha_echo_quorum(n, f) - n > f);
+        }
+    }
+
+    #[test]
+    fn resilience_bound_takes_the_minimum() {
+        assert_eq!(resilience_bound(7, 1), 1);
+        assert_eq!(resilience_bound(7, 99), 3);
+        assert_eq!(resilience_bound(1, 0), 0);
+    }
+}

@@ -85,7 +85,10 @@ impl BrachaState {
     /// Panics unless `n > 3F` (below that the echo quorums of two values
     /// can be disjoint and Agreement is forfeit).
     pub fn new(n: usize, f: usize) -> Self {
-        assert!(n > 3 * f, "Bracha broadcast requires n > 3F (n={n}, F={f})");
+        assert!(
+            n >= ftm_quorum::bracha_min_n(f),
+            "Bracha broadcast requires n > 3F (n={n}, F={f})"
+        );
         BrachaState {
             n,
             f,
@@ -99,12 +102,12 @@ impl BrachaState {
 
     /// The echo quorum `⌈(n+F+1)/2⌉`.
     pub fn echo_quorum(&self) -> usize {
-        (self.n + self.f + 1).div_ceil(2)
+        ftm_quorum::bracha_echo_quorum(self.n, self.f)
     }
 
     /// The delivery quorum `2F + 1`.
     pub fn ready_quorum(&self) -> usize {
-        2 * self.f + 1
+        ftm_quorum::bracha_ready_quorum(self.f)
     }
 
     /// Whether this instance has delivered.

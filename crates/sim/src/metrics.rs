@@ -70,13 +70,13 @@ impl Metrics {
         self.timers_fired += 1;
     }
 
-    /// Mean payload size per sent message, in bytes (zero when none sent).
-    pub fn mean_message_bytes(&self) -> f64 {
-        if self.messages_sent == 0 {
-            0.0
-        } else {
-            self.bytes_sent as f64 / self.messages_sent as f64
-        }
+    /// Mean payload size per sent message, in tenths of a byte (zero
+    /// when none sent). Integer arithmetic: metrics feed byte-stable
+    /// reports, so the no-float policy applies here too.
+    pub fn mean_message_bytes_tenths(&self) -> u64 {
+        (self.bytes_sent * 10)
+            .checked_div(self.messages_sent)
+            .unwrap_or(0)
     }
 }
 
@@ -97,7 +97,7 @@ mod tests {
         assert_eq!(m.timers_fired, 1);
         assert_eq!(m.sent_per_process, vec![1, 1]);
         assert_eq!(m.bytes_per_process, vec![10, 30]);
-        assert!((m.mean_message_bytes() - 20.0).abs() < 1e-9);
+        assert_eq!(m.mean_message_bytes_tenths(), 200);
     }
 
     #[test]
@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn mean_of_zero_messages_is_zero() {
-        assert_eq!(Metrics::new(1).mean_message_bytes(), 0.0);
+        assert_eq!(Metrics::new(1).mean_message_bytes_tenths(), 0);
     }
 
     #[test]

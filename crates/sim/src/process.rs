@@ -430,10 +430,10 @@ mod tests {
     #[test]
     fn default_label_truncates_long_debug() {
         #[derive(Clone, Debug)]
-        struct Big(#[allow(dead_code)] [u8; 40]);
+        struct Big([u8; 40]);
         impl Payload for Big {
             fn size_bytes(&self) -> usize {
-                40
+                self.0.len()
             }
         }
         let label = Big([1; 40]).label();

@@ -29,7 +29,14 @@
 //!    same obligation: the justification graph over the send table has no
 //!    dangling evidence, no dead route, no same-round cycle, and every
 //!    value traces back to a vector-certified root.
-//! 5. **Transformation refinement** ([`refinement`]) — the crash→Byzantine
+//! 5. **Quorum algebra** ([`quorum`]) — the arithmetic everything above
+//!    trusts: for every `(n, F)` with `n <= 64`, two `quorum_size(n, F)`
+//!    quorums overlap in `>= F + 1` processes exactly when
+//!    `F <= floor((n-1)/3)` and in `>= 1` exactly when
+//!    `F <= floor((n-1)/2)` — proven by exhaustive subset-pair
+//!    enumeration for small `n` and by the extremal construction beyond,
+//!    with counterexample witnesses recorded past each bound.
+//! 6. **Transformation refinement** ([`refinement`]) — the crash→Byzantine
 //!    step itself: [`ftm_core::spec::transform`] applied to the crash spec
 //!    must reproduce the hand-written transformed spec edge by edge; every
 //!    compliant crash trace must lift to a compliant transformed trace
@@ -58,6 +65,7 @@ pub mod diff;
 pub mod lineage;
 pub mod mutation;
 pub mod perturb;
+pub mod quorum;
 pub mod refinement;
 pub mod report;
 pub mod soundness;
@@ -211,10 +219,15 @@ pub fn refine_protocol(protocol: ProtocolId, bounds: &Bounds) -> refinement::Ref
     refinement::check_refinement(&crash, &transformed, bound)
 }
 
+/// Grid ceiling for the exhaustive quorum-algebra check: every `(n, F)`
+/// with `n <=` this and `0 <= F < n` is verified.
+pub const QUORUM_GRID_N: usize = 64;
+
 /// Runs the per-spec checks for `selected` plus the cross-spec refinement
 /// checks (which always compare every protocol's crash spec against its
 /// transformed one, regardless of selection — the refinement is the point
-/// of the tool).
+/// of the tool) and the quorum-algebra grid check (also always present:
+/// every threshold in the workspace routes through the algebra it proves).
 pub fn verify_selected(selected: &[SpecSelect], bounds: &Bounds) -> VerifyReport {
     VerifyReport {
         specs: selected
@@ -225,6 +238,7 @@ pub fn verify_selected(selected: &[SpecSelect], bounds: &Bounds) -> VerifyReport
             .into_iter()
             .map(|p| (p.label(), refine_protocol(p, bounds)))
             .collect(),
+        quorum: quorum::check_quorums(QUORUM_GRID_N),
     }
 }
 
@@ -327,6 +341,10 @@ mod tests {
             "completeness",
             "soundness-gain",
             "gain-witnesses",
+            "\"quorum\"",
+            "exhaustive-pairs",
+            "cert-witnesses",
+            "disjoint-witnesses",
             "\"ok\": true",
         ] {
             assert!(a.contains(key), "report lost section {key}:\n{a}");

@@ -111,6 +111,17 @@ fn main() -> ExitCode {
                 r.gain_witnesses.len(),
             );
         }
+        let q = &report.quorum;
+        eprintln!(
+            "ftm-verify[quorum]: {} grid points ({} exhaustive pairs), zones \
+             {}/{}/{} certified/degraded/broken, {} mismatches",
+            q.pairs,
+            q.exhaustive_pairs,
+            q.certified_zone,
+            q.degraded_zone,
+            q.broken_zone,
+            q.mismatches.len(),
+        );
     }
 
     if report.ok() {

@@ -1,0 +1,261 @@
+//! Exhaustive verification of the quorum algebra in `ftm-quorum`.
+//!
+//! The whole transformation leans on one arithmetic fact: two quorums of
+//! size `quorum_size(n, f) = n - f` overlap in at least `n - 2f`
+//! processes, which is
+//!
+//! - `>= f + 1` (a certified majority survives any Byzantine coalition)
+//!   **exactly when** `f <= floor((n-1)/3)`, and
+//! - `>= 1` (quorums cannot tell disjoint stories) **exactly when**
+//!   `f <= floor((n-1)/2)` — the paper's resilience bound
+//!   `F <= min(floor((n-1)/2), C)`.
+//!
+//! This module proves both equivalences — as equivalences, not one-way
+//! implications — over the full grid `n <= 64`, `0 <= f < n`:
+//!
+//! 1. **Closed form vs. adversarial construction.** For every `(n, f)`
+//!    the overlap of the two extremal quorums `{0..q-1}` and `{n-q..n-1}`
+//!    must equal `intersection_margin(n, f)`, and no pair may do worse.
+//! 2. **Exhaustive pair enumeration** for `n <= 10`: every pair of
+//!    `q`-subsets of `{0..n-1}` (bitmask enumeration) is intersected and
+//!    the minimum over all pairs compared against the closed form, so the
+//!    construction in (1) is proven worst-case, not assumed.
+//! 3. **Zone equivalences.** Each grid point is classified by its margin
+//!    (`certified` / `degraded` / `broken`) and the classification must
+//!    match the `f`-bound predicates exactly, both directions.
+//! 4. **Bracha thresholds.** For `n >= bracha_min_n(f)`, two echo quorums
+//!    of size `bracha_echo_quorum(n, f)` must overlap in `>= f + 1`
+//!    processes, and `bracha_ready_quorum(f)` must exceed `f` yet fit in
+//!    the correct-process count `n - f`.
+//!
+//! Points past a bound are *expected* to fail the stronger property; the
+//! report keeps a capped, deterministic list of those counterexample
+//! witnesses — they document the bounds' tightness. Any mismatch between
+//! prediction and enumeration, in either direction, is a finding.
+
+use ftm_core::quorum::{
+    bracha_echo_quorum, bracha_min_n, bracha_ready_quorum, default_cert_capacity,
+    intersection_margin, max_faults, quorum_size,
+};
+
+/// Largest `n` for which every pair of quorums is enumerated exhaustively
+/// (stage 2). `C(10, 5)^2 = 63_504` pairs at the widest point — cheap.
+pub const EXHAUSTIVE_N: usize = 10;
+
+/// Cap on recorded counterexample witnesses (the grid is scanned in
+/// `(n, f)` order, so the retained prefix is deterministic).
+pub const WITNESS_CAP: usize = 8;
+
+/// What the exhaustive quorum-algebra check established.
+#[derive(Debug, Clone)]
+pub struct QuorumReport {
+    /// Grid points `(n, f)` checked against the closed form.
+    pub pairs: u64,
+    /// Quorum pairs enumerated exhaustively for `n <=` [`EXHAUSTIVE_N`].
+    pub exhaustive_pairs: u64,
+    /// Grid points with margin `>= f + 1` (certified-majority zone,
+    /// `f <= floor((n-1)/3)`).
+    pub certified_zone: u64,
+    /// Grid points with `1 <= margin <= f` (overlap exists but a
+    /// Byzantine coalition could own it — certification is load-bearing).
+    pub degraded_zone: u64,
+    /// Grid points with margin `0` (past the paper's bound; quorums can
+    /// be disjoint).
+    pub broken_zone: u64,
+    /// Capped `margin < f + 1` witnesses just past the one-third bound.
+    pub cert_witnesses: Vec<String>,
+    /// Capped `margin = 0` witnesses past the one-half bound.
+    pub disjoint_witnesses: Vec<String>,
+    /// Violations: any point where prediction and enumeration disagree.
+    pub mismatches: Vec<String>,
+}
+
+impl QuorumReport {
+    /// `true` when the algebra held everywhere and nothing was vacuous.
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty()
+            && self.pairs > 0
+            && self.exhaustive_pairs > 0
+            && self.certified_zone > 0
+            && self.degraded_zone > 0
+            && self.broken_zone > 0
+            && !self.cert_witnesses.is_empty()
+            && !self.disjoint_witnesses.is_empty()
+    }
+}
+
+fn push_capped(list: &mut Vec<String>, msg: String) {
+    if list.len() < WITNESS_CAP {
+        list.push(msg);
+    }
+}
+
+/// Minimum overlap over *all* pairs of `q`-subsets of `{0..n-1}`, by
+/// bitmask enumeration. Only called for small `n`.
+fn min_overlap_exhaustive(n: usize, q: usize, pair_counter: &mut u64) -> usize {
+    let masks: Vec<u32> = (0u32..1 << n)
+        .filter(|m| m.count_ones() as usize == q)
+        .collect();
+    let mut min = usize::MAX;
+    for &a in &masks {
+        for &b in &masks {
+            *pair_counter += 1;
+            min = min.min((a & b).count_ones() as usize);
+        }
+    }
+    min
+}
+
+/// Runs the full grid check up to `max_n`.
+pub fn check_quorums(max_n: usize) -> QuorumReport {
+    let mut report = QuorumReport {
+        pairs: 0,
+        exhaustive_pairs: 0,
+        certified_zone: 0,
+        degraded_zone: 0,
+        broken_zone: 0,
+        cert_witnesses: Vec::new(),
+        disjoint_witnesses: Vec::new(),
+        mismatches: Vec::new(),
+    };
+
+    for n in 1..=max_n {
+        for f in 0..n {
+            report.pairs += 1;
+            let q = quorum_size(n, f);
+            let margin = intersection_margin(n, f);
+
+            // Stage 1: the extremal construction {0..q-1} vs {n-q..n-1}
+            // realises exactly the closed-form margin.
+            let constructed = (2 * q).saturating_sub(n);
+            if constructed != margin {
+                report.mismatches.push(format!(
+                    "n={n} f={f}: extremal overlap {constructed} != margin {margin}"
+                ));
+            }
+
+            // Stage 2: for small n, *every* pair of q-subsets.
+            if n <= EXHAUSTIVE_N {
+                let min = min_overlap_exhaustive(n, q, &mut report.exhaustive_pairs);
+                if min != margin {
+                    report.mismatches.push(format!(
+                        "n={n} f={f}: exhaustive min overlap {min} != margin {margin}"
+                    ));
+                }
+            }
+
+            // Stage 3: zone classification must match the f-bounds exactly.
+            let in_cert_zone = margin > f;
+            let in_live_zone = margin >= 1;
+            if in_cert_zone != (f <= default_cert_capacity(n)) {
+                report.mismatches.push(format!(
+                    "n={n} f={f}: margin {margin} vs f+1 disagrees with the one-third bound"
+                ));
+            }
+            if in_live_zone != (f <= max_faults(n)) {
+                report.mismatches.push(format!(
+                    "n={n} f={f}: margin {margin} vs 1 disagrees with the one-half bound"
+                ));
+            }
+            if in_cert_zone {
+                report.certified_zone += 1;
+            } else if in_live_zone {
+                report.degraded_zone += 1;
+                if f == default_cert_capacity(n) + 1 {
+                    push_capped(
+                        &mut report.cert_witnesses,
+                        format!("n={n} f={f}: overlap {margin} < f+1={}", f + 1),
+                    );
+                }
+            } else {
+                report.broken_zone += 1;
+                if f == max_faults(n) + 1 {
+                    push_capped(
+                        &mut report.disjoint_witnesses,
+                        format!("n={n} f={f}: quorums of {q} can be disjoint"),
+                    );
+                }
+            }
+
+            // Stage 4: the Bracha thresholds used by ftm-rbcast.
+            if n >= bracha_min_n(f) {
+                let echo = bracha_echo_quorum(n, f);
+                let echo_overlap = (2 * echo).saturating_sub(n);
+                if echo_overlap < f + 1 {
+                    report.mismatches.push(format!(
+                        "n={n} f={f}: echo quorums of {echo} overlap only {echo_overlap}"
+                    ));
+                }
+                let ready = bracha_ready_quorum(f);
+                if ready <= f || ready > n - f {
+                    report.mismatches.push(format!(
+                        "n={n} f={f}: ready quorum {ready} outside (f, n-f]"
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_full_grid_verifies_clean() {
+        let report = check_quorums(64);
+        assert!(report.mismatches.is_empty(), "{:?}", report.mismatches);
+        assert!(report.ok());
+        // 64 values of n, f ranging over 0..n: sum = 64*65/2.
+        assert_eq!(report.pairs, 64 * 65 / 2);
+        // Every zone is populated and the zones partition the grid.
+        assert_eq!(
+            report.certified_zone + report.degraded_zone + report.broken_zone,
+            report.pairs
+        );
+    }
+
+    #[test]
+    fn witnesses_sit_exactly_past_their_bounds() {
+        let report = check_quorums(16);
+        assert!(report
+            .cert_witnesses
+            .iter()
+            .all(|w| w.contains("overlap") && w.contains("f+1")));
+        assert!(report
+            .disjoint_witnesses
+            .iter()
+            .all(|w| w.contains("disjoint")));
+        assert!(report.cert_witnesses.len() <= WITNESS_CAP);
+        assert!(report.disjoint_witnesses.len() <= WITNESS_CAP);
+    }
+
+    #[test]
+    fn exhaustive_enumeration_actually_ran() {
+        let report = check_quorums(EXHAUSTIVE_N);
+        // n=1..=10, each (n, f) enumerates C(n, q)^2 pairs — at minimum
+        // one pair each, and far more in the middle of the range.
+        assert!(
+            report.exhaustive_pairs > 100_000,
+            "{}",
+            report.exhaustive_pairs
+        );
+    }
+
+    #[test]
+    fn a_wrong_margin_would_be_caught() {
+        // Sanity-check the checker itself: the degraded zone is where the
+        // naive `margin >= f + 1` claim fails, so it must be nonempty even
+        // on small grids, and the classification is forced by arithmetic,
+        // not by the functions under test agreeing with themselves.
+        let report = check_quorums(7);
+        assert!(report.degraded_zone > 0);
+        for n in 1usize..=7 {
+            for f in 0..n {
+                let margin = intersection_margin(n, f);
+                assert_eq!(margin, n.saturating_sub(2 * f));
+            }
+        }
+    }
+}

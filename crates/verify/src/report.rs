@@ -17,6 +17,7 @@ use crate::coverage::CoverageReport;
 use crate::diff::DiffReport;
 use crate::lineage::LineageReport;
 use crate::mutation::MutationReport;
+use crate::quorum::QuorumReport;
 use crate::refinement::RefinementReport;
 use crate::soundness::SoundnessReport;
 
@@ -190,6 +191,8 @@ pub struct VerifyReport {
     /// The cross-spec refinement checks, keyed by protocol label
     /// (`"hr"`, `"ct"`), in [`ftm_certify::ProtocolId::all`] order.
     pub refinements: Vec<(&'static str, RefinementReport)>,
+    /// The exhaustive quorum-algebra check (grid `n <= 64`).
+    pub quorum: QuorumReport,
 }
 
 impl VerifyReport {
@@ -200,6 +203,7 @@ impl VerifyReport {
             && self.specs.iter().all(|(_, s)| s.ok())
             && !self.refinements.is_empty()
             && self.refinements.iter().all(|(_, r)| r.ok())
+            && self.quorum.ok()
     }
 
     /// The report for the spec labelled `label`, if it was verified.
@@ -252,6 +256,25 @@ impl VerifyReport {
         ])
     }
 
+    fn quorum_json(q: &QuorumReport) -> Json {
+        Json::Obj(vec![
+            ("pairs".into(), Json::U64(q.pairs)),
+            ("exhaustive-pairs".into(), Json::U64(q.exhaustive_pairs)),
+            (
+                "zones".into(),
+                Json::Obj(vec![
+                    ("certified".into(), Json::U64(q.certified_zone)),
+                    ("degraded".into(), Json::U64(q.degraded_zone)),
+                    ("broken".into(), Json::U64(q.broken_zone)),
+                ]),
+            ),
+            ("cert-witnesses".into(), strings(&q.cert_witnesses)),
+            ("disjoint-witnesses".into(), strings(&q.disjoint_witnesses)),
+            ("mismatches".into(), strings(&q.mismatches)),
+            ("ok".into(), Json::Bool(q.ok())),
+        ])
+    }
+
     /// Renders the report as the byte-stable JSON document.
     pub fn to_json(&self) -> Json {
         let specs = Json::Obj(
@@ -269,6 +292,7 @@ impl VerifyReport {
         Json::Obj(vec![
             ("specs".into(), specs),
             ("refinement".into(), refinement),
+            ("quorum".into(), Self::quorum_json(&self.quorum)),
             ("ok".into(), Json::Bool(self.ok())),
         ])
     }

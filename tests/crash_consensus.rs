@@ -13,7 +13,7 @@ fn run(n: usize, seed: u64, crashes: &[(usize, u64)]) -> RunReport<Value> {
     for &(p, t) in crashes {
         cfg = cfg.crash(p, VirtualTime::at(t));
     }
-    let res = Resilience::new(n, (n - 1) / 2);
+    let res = Resilience::new(n, ftm_core::quorum::max_faults(n));
     Simulation::build(cfg, |id| {
         CrashConsensus::new(
             res,
@@ -196,11 +196,10 @@ fn fifo_relay_adoption_blocks_the_textbook_attack() {
         .seed(0)
         .max_time(VirtualTime::at(5_000))
         .delay_script(move |src, dst, now| {
-            #[allow(clippy::if_same_then_else)]
-            if src.0 == 0 && (dst.0 == 1 || dst.0 == 4) {
-                400 // CURRENT and DECIDE to the slanderers: very late
-            } else if src.0 == 0 && now > VirtualTime::ZERO {
-                400 // p0's post-t0 sends (the DECIDE broadcast): very late
+            // p0's CURRENT and DECIDE to the slanderers, and all its
+            // post-t0 sends (the DECIDE broadcast): very late.
+            if src.0 == 0 && (dst.0 == 1 || dst.0 == 4 || now > VirtualTime::ZERO) {
+                400
             } else if slow_pairs.contains(&(src.0, dst.0)) {
                 30 // cross relays among p1..p4: late enough for change_mind
             } else {

@@ -147,3 +147,28 @@ fn no_gst_cell_terminates_via_the_round_cap() {
     let again = run.run(|_| None);
     assert_eq!(report.trace.fingerprint(), again.trace.fingerprint());
 }
+
+#[test]
+fn certificate_heavy_sweep_is_bit_identical_across_1_2_and_8_threads() {
+    // Regression guard for the BTree migration in ftm-certify: the
+    // behaviors below drive the certificate analyzer's grouping and
+    // sender-set paths hardest (stripped evidence, forged decides,
+    // duplicate votes), so any hash-order dependence left in the
+    // report-feeding path would surface here as a byte diff between
+    // worker counts.
+    let m = ScenarioMatrix::new(
+        vec![(4, 1), (7, 3)],
+        vec![
+            FaultBehavior::StripCertificates,
+            FaultBehavior::ForgeDecide,
+            FaultBehavior::DuplicateVotes,
+            FaultBehavior::EquivocateInit,
+        ],
+    )
+    .cross_protocols();
+    let one = sweep_matrix(&m, 0xCE47, 1).to_json().render();
+    let two = sweep_matrix(&m, 0xCE47, 2).to_json().render();
+    let eight = sweep_matrix(&m, 0xCE47, 8).to_json().render();
+    assert_eq!(one, two, "thread count leaked into the certificate sweep");
+    assert_eq!(one, eight, "thread count leaked into the certificate sweep");
+}

@@ -40,7 +40,7 @@ fn crash_protocol_safe_under_random_conditions() {
         let crash_bits = gen.next_u64() as u8;
         let crash_time = gen.gen_range_u64(0, 299);
 
-        let fmax = (n - 1) / 2;
+        let fmax = ftm_core::quorum::max_faults(n);
         let crashed: Vec<usize> = (0..n)
             .filter(|i| crash_bits & (1 << i) != 0)
             .take(fmax)
@@ -173,7 +173,9 @@ fn runs_are_reproducible() {
         let seed = gen.next_u64();
         let n = gen.gen_range_u64(3, 5) as usize;
         let mk = || {
-            let setup = ProtocolConfig::new(n, (n - 1) / 2).seed(seed).setup();
+            let setup = ProtocolConfig::new(n, ftm_core::quorum::max_faults(n))
+                .seed(seed)
+                .setup();
             let props = proposals(n);
             Simulation::build_boxed(SimConfig::new(n).seed(seed), move |id| {
                 Box::new(ByzantineConsensus::new(&setup, id, props[id.index()]))
