@@ -133,7 +133,10 @@ impl CertChecker {
     /// Panics for round 0 (the vector-certification phase has none).
     pub fn coordinator(&self, round: Round) -> ProcessId {
         assert!(round >= 1, "round 0 has no coordinator");
-        ProcessId(((round - 1) % self.n as u64) as u32)
+        // `% n` bounds the index by a process count, so the conversion
+        // cannot fail in practice; fail closed to an id no peer holds
+        // rather than truncating (D7: no `as` narrowing in thresholds).
+        ProcessId(u32::try_from((round - 1) % self.n as u64).unwrap_or(u32::MAX))
     }
 
     /// Full validation entry point: signature syntax and certificate rules

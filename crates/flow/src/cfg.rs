@@ -1,0 +1,330 @@
+//! Control-flow graphs over the simplified AST.
+//!
+//! Each function body lowers to a graph of basic blocks whose steps are
+//! expression evaluations, bindings, assignments and returns. Branching
+//! constructs (`if`, `match`) become diamonds / n-way splits so the taint
+//! pass can require a sanitizer on *every* route from source to sink, not
+//! just one. Loops get a back edge plus an exit edge; `break`/`continue`
+//! are conservatively treated as fallthrough (sound for taint: extra
+//! edges only add paths, they never hide one).
+
+use crate::ast::{Block, Expr, Stmt};
+
+/// One step inside a basic block.
+#[derive(Debug)]
+pub enum Step<'a> {
+    /// Evaluate an expression for effect.
+    Eval(&'a Expr),
+    /// Bind names, optionally from an initializer.
+    Bind {
+        /// The names being bound.
+        binds: &'a [String],
+        /// The initializer whose taint flows into the binds.
+        from: Option<&'a Expr>,
+        /// Source line of the binding.
+        line: u32,
+    },
+    /// Assign a value into a place.
+    Assign {
+        /// Flattened place text (e.g. `self . est_vect`).
+        place: &'a str,
+        /// The assigned value.
+        value: &'a Expr,
+        /// Whether the assignment is compound (`+=` etc.).
+        compound: bool,
+        /// Source line of the assignment.
+        line: u32,
+    },
+    /// Return from the function.
+    Ret(Option<&'a Expr>),
+}
+
+/// A basic block: straight-line steps plus successor edges.
+#[derive(Debug, Default)]
+pub struct BasicBlock<'a> {
+    /// The steps executed in order.
+    pub steps: Vec<Step<'a>>,
+    /// Indices of successor blocks.
+    pub succs: Vec<usize>,
+}
+
+/// A function's control-flow graph.
+#[derive(Debug)]
+pub struct Cfg<'a> {
+    /// The basic blocks; indices are stable identifiers.
+    pub blocks: Vec<BasicBlock<'a>>,
+    /// The entry block index.
+    pub entry: usize,
+    /// The exit block index (every return edge lands here).
+    pub exit: usize,
+}
+
+impl<'a> Cfg<'a> {
+    /// Lowers a function body to its CFG.
+    pub fn build(body: &'a Block) -> Self {
+        let mut b = Builder {
+            blocks: vec![BasicBlock::default(), BasicBlock::default()],
+            exit: 1,
+        };
+        let last = b.lower_block(body, 0, true);
+        b.edge(last, b.exit);
+        Cfg {
+            blocks: b.blocks,
+            entry: 0,
+            exit: 1,
+        }
+    }
+}
+
+struct Builder<'a> {
+    blocks: Vec<BasicBlock<'a>>,
+    exit: usize,
+}
+
+impl<'a> Builder<'a> {
+    fn fresh(&mut self) -> usize {
+        self.blocks.push(BasicBlock::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    fn push(&mut self, block: usize, step: Step<'a>) {
+        self.blocks[block].steps.push(step);
+    }
+
+    /// Lowers a block starting in `cur`; returns the block where control
+    /// continues. When `is_fn_body`, the tail expression becomes a return.
+    fn lower_block(&mut self, body: &'a Block, mut cur: usize, is_fn_body: bool) -> usize {
+        for stmt in &body.stmts {
+            cur = self.lower_stmt(stmt, cur);
+        }
+        if let Some(tail) = &body.tail {
+            if is_fn_body {
+                self.push(cur, Step::Ret(Some(tail.as_ref())));
+            } else {
+                self.push(cur, Step::Eval(tail.as_ref()));
+            }
+        }
+        cur
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn lower_stmt(&mut self, stmt: &'a Stmt, cur: usize) -> usize {
+        match stmt {
+            Stmt::Let { binds, init, line } => {
+                self.push(
+                    cur,
+                    Step::Bind {
+                        binds,
+                        from: init.as_ref(),
+                        line: *line,
+                    },
+                );
+                cur
+            }
+            Stmt::Assign {
+                place,
+                value,
+                compound,
+                line,
+            } => {
+                self.push(
+                    cur,
+                    Step::Assign {
+                        place,
+                        value,
+                        compound: *compound,
+                        line: *line,
+                    },
+                );
+                cur
+            }
+            Stmt::If {
+                cond,
+                binds,
+                then_b,
+                else_b,
+            } => {
+                self.push(cur, Step::Eval(cond));
+                let then_entry = self.fresh();
+                self.edge(cur, then_entry);
+                // `if let` binds are live only on the then-branch.
+                if !binds.is_empty() {
+                    self.push(
+                        then_entry,
+                        Step::Bind {
+                            binds,
+                            from: Some(cond),
+                            line: cond.line,
+                        },
+                    );
+                }
+                let then_end = self.lower_block(then_b, then_entry, false);
+                let join = self.fresh();
+                self.edge(then_end, join);
+                if let Some(eb) = else_b {
+                    let else_entry = self.fresh();
+                    self.edge(cur, else_entry);
+                    let else_end = self.lower_block(eb, else_entry, false);
+                    self.edge(else_end, join);
+                } else {
+                    self.edge(cur, join);
+                }
+                join
+            }
+            Stmt::Match { scrutinee, arms } => {
+                self.push(cur, Step::Eval(scrutinee));
+                let join = self.fresh();
+                if arms.is_empty() {
+                    self.edge(cur, join);
+                }
+                for arm in arms {
+                    let entry = self.fresh();
+                    self.edge(cur, entry);
+                    if !arm.binds.is_empty() {
+                        self.push(
+                            entry,
+                            Step::Bind {
+                                binds: &arm.binds,
+                                from: Some(scrutinee),
+                                line: scrutinee.line,
+                            },
+                        );
+                    }
+                    if let Some(g) = &arm.guard {
+                        self.push(entry, Step::Eval(g));
+                    }
+                    let end = self.lower_block(&arm.body, entry, false);
+                    self.edge(end, join);
+                }
+                join
+            }
+            Stmt::While { cond, binds, body } => {
+                let header = self.fresh();
+                self.edge(cur, header);
+                self.push(header, Step::Eval(cond));
+                let body_entry = self.fresh();
+                self.edge(header, body_entry);
+                if !binds.is_empty() {
+                    self.push(
+                        body_entry,
+                        Step::Bind {
+                            binds,
+                            from: Some(cond),
+                            line: cond.line,
+                        },
+                    );
+                }
+                let body_end = self.lower_block(body, body_entry, false);
+                self.edge(body_end, header); // back edge
+                let after = self.fresh();
+                self.edge(header, after);
+                after
+            }
+            Stmt::Loop { body } => {
+                let header = self.fresh();
+                self.edge(cur, header);
+                let body_end = self.lower_block(body, header, false);
+                self.edge(body_end, header);
+                let after = self.fresh();
+                // `break` is modeled as fallthrough, so the loop must be
+                // escapable from its header.
+                self.edge(header, after);
+                after
+            }
+            Stmt::For { binds, iter, body } => {
+                self.push(cur, Step::Eval(iter));
+                let header = self.fresh();
+                self.edge(cur, header);
+                let body_entry = self.fresh();
+                self.edge(header, body_entry);
+                if !binds.is_empty() {
+                    self.push(
+                        body_entry,
+                        Step::Bind {
+                            binds,
+                            from: Some(iter),
+                            line: iter.line,
+                        },
+                    );
+                }
+                let body_end = self.lower_block(body, body_entry, false);
+                self.edge(body_end, header);
+                let after = self.fresh();
+                self.edge(header, after);
+                after
+            }
+            Stmt::Return { value, .. } => {
+                self.push(cur, Step::Ret(value.as_ref()));
+                self.edge(cur, self.exit);
+                // Code after a return is dead; give it a fresh island.
+                self.fresh()
+            }
+            Stmt::Jump => cur,
+            Stmt::Expr(e) => {
+                self.push(cur, Step::Eval(e));
+                cur
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse_file;
+
+    fn cfg_of(src: &str) -> (Vec<crate::ast::FnDef>, usize) {
+        let fns = parse_file(src);
+        assert!(!fns.is_empty());
+        (fns, 0)
+    }
+
+    #[test]
+    fn if_without_else_has_skip_edge() {
+        let (fns, i) = cfg_of("fn f(x: u64) { if x > 0 { touch(x); } after(); }");
+        let cfg = Cfg::build(&fns[i].body);
+        // Entry must have two successors: the then-branch and the join.
+        assert_eq!(cfg.blocks[cfg.entry].succs.len(), 2);
+    }
+
+    #[test]
+    fn match_produces_one_branch_per_arm() {
+        let (fns, i) =
+            cfg_of("fn f(e: E) { match e { E::A => a(), E::B => b(), _ => {} } done(); }");
+        let cfg = Cfg::build(&fns[i].body);
+        assert_eq!(cfg.blocks[cfg.entry].succs.len(), 3);
+    }
+
+    #[test]
+    fn return_edges_reach_exit() {
+        let (fns, i) = cfg_of("fn f(x: u64) -> u64 { if x > 0 { return 1; } 0 }");
+        let cfg = Cfg::build(&fns[i].body);
+        let reaches_exit = cfg
+            .blocks
+            .iter()
+            .filter(|b| b.succs.contains(&cfg.exit))
+            .count();
+        assert!(reaches_exit >= 2, "both the return and the tail must exit");
+    }
+
+    #[test]
+    fn while_loop_has_back_edge() {
+        let (fns, i) = cfg_of("fn f() { while go() { step(); } end(); }");
+        let cfg = Cfg::build(&fns[i].body);
+        let mut has_back_edge = false;
+        for (bi, b) in cfg.blocks.iter().enumerate() {
+            for &s in &b.succs {
+                if s < bi {
+                    has_back_edge = true;
+                }
+            }
+        }
+        assert!(has_back_edge);
+    }
+}

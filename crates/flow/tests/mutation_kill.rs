@@ -1,0 +1,73 @@
+//! Mutation-kill coverage for pass F1 on the *real* actor code: disabling
+//! any production sanitizer call site (renaming it to a name the analyzer
+//! does not recognise) must produce at least one F1 finding in that file.
+//! This proves the certification-before-use obligation is enforced by the
+//! analysis, not satisfied vacuously.
+
+use ftm_flow::analyze_sources;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// `(file, sanitizer call token, disabled replacement)` — one case per
+/// production certification gate inside the gating scope.
+const CASES: [(&str, &str, &str); 3] = [
+    (
+        "crates/core/src/byzantine/protocol.rs",
+        ".admit(",
+        ".unchecked_admit(",
+    ),
+    (
+        "crates/core/src/byzantine/chandra_toueg.rs",
+        ".admit(",
+        ".unchecked_admit(",
+    ),
+    (
+        "crates/core/src/byzantine/log.rs",
+        ".check_envelope(",
+        ".unchecked_envelope(",
+    ),
+];
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+fn read(rel: &str) -> String {
+    fs::read_to_string(workspace_root().join(rel)).expect(rel)
+}
+
+#[test]
+fn disabling_each_production_sanitizer_yields_an_f1_finding() {
+    for (rel, token, replacement) in CASES {
+        let pristine = read(rel);
+        assert!(
+            pristine.contains(token),
+            "{rel}: expected sanitizer call {token:?}"
+        );
+
+        let base = analyze_sources(&[(rel.to_string(), pristine.clone())], false);
+        assert!(
+            base.findings.is_empty(),
+            "{rel}: pristine file must be clean: {:#?}",
+            base.findings
+        );
+
+        let mutated = pristine.replace(token, replacement);
+        let analysis = analyze_sources(&[(rel.to_string(), mutated)], false);
+        let f1: Vec<_> = analysis
+            .findings
+            .iter()
+            .filter(|f| f.pass == "F1")
+            .collect();
+        assert!(
+            !f1.is_empty(),
+            "{rel}: disabling {token:?} must be caught by F1"
+        );
+        for f in &f1 {
+            assert_eq!(f.file, rel);
+        }
+    }
+}

@@ -1,0 +1,4 @@
+// D7 fixture: an `as` narrowing cast in threshold arithmetic.
+pub fn coordinator_index(round: u64, n: u64) -> u32 {
+    ((round - 1) % n) as u32
+}

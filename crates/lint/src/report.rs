@@ -1,7 +1,7 @@
 //! Byte-stable JSON reporting, on the same no-float document model the
 //! simulation reports use.
 //!
-//! The report shape is fixed: `counts` always carries all six lint keys,
+//! The report shape is fixed: `counts` always carries all seven lint keys,
 //! findings are pre-sorted by `(lint, file, line)` by the engine, and the
 //! renderer is `ftm_sim::report::Json` — so two runs over the same tree
 //! produce identical bytes, which lets CI diff lint reports like any other
@@ -41,7 +41,7 @@ impl LintReport {
         self.active.is_empty() && self.unused.is_empty()
     }
 
-    /// Per-lint totals over active + waived findings, all six keys present.
+    /// Per-lint totals over active + waived findings, all seven keys present.
     pub fn counts(&self) -> Vec<(&'static str, u64)> {
         LINT_IDS
             .iter()
@@ -151,7 +151,7 @@ mod tests {
     }
 
     #[test]
-    fn json_is_byte_stable_and_carries_all_six_counts() {
+    fn json_is_byte_stable_and_carries_all_seven_counts() {
         let entries = parse("D6 a.rs 5 # ok\n").unwrap();
         let applied = apply(
             vec![finding("D6", "a.rs", 5), finding("D1", "b.rs", 2)],

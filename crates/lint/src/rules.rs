@@ -1,4 +1,4 @@
-//! The six determinism & quorum-discipline rules, D1–D6.
+//! The seven determinism & quorum-discipline rules, D1–D7.
 //!
 //! Each rule is a token-level pattern with a path scope. Scopes are
 //! expressed against repo-relative paths with forward slashes (the engine
@@ -13,12 +13,13 @@
 //! | D4   | no `std::thread::spawn` outside `ftm_sim::harness`              |
 //! | D5   | no ad-hoc quorum arithmetic outside `ftm-quorum`                |
 //! | D6   | no `unwrap`/`expect`/`panic!` in message-handling paths         |
+//! | D7   | no `as` narrowing casts in quorum/threshold arithmetic          |
 
 use crate::lexer::{Lexed, TokenKind};
 
 /// The lint identifiers, in report order. Reports always key counts by all
-/// six so the JSON shape never varies with the finding set.
-pub const LINT_IDS: [&str; 6] = ["D1", "D2", "D3", "D4", "D5", "D6"];
+/// seven so the JSON shape never varies with the finding set.
+pub const LINT_IDS: [&str; 7] = ["D1", "D2", "D3", "D4", "D5", "D6", "D7"];
 
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,12 +39,13 @@ const TIMING: &str = "crates/bench/src/timing.rs";
 /// The sanctioned home of `std::thread` fan-out.
 const HARNESS: &str = "crates/sim/src/harness.rs";
 /// Crates whose data feeds byte-stable reports (D2 scope).
-const REPORT_FEEDING: [&str; 5] = [
+const REPORT_FEEDING: [&str; 6] = [
     "crates/sim/",
     "crates/faults/",
     "crates/certify/",
     "crates/detect/",
     "crates/verify/",
+    "crates/flow/",
 ];
 /// Crates whose protocol logic must route quorum thresholds through
 /// `ftm_quorum` (D5 scope).
@@ -63,6 +65,14 @@ const NO_PANIC_SCOPE: [&str; 3] = [
 /// Files allowed to spell quorum arithmetic out: the algebra crate itself
 /// and its `ftm_core::quorum` re-export facade.
 const QUORUM_HOMES: [&str; 2] = ["crates/quorum/src/lib.rs", "crates/core/src/quorum.rs"];
+/// Files whose threshold arithmetic must not use `as` narrowing casts
+/// (D7 scope): the quorum algebra, its facade, and the certificate
+/// analyzer that turns quorum counts into verdicts.
+const NARROWING_SCOPE: [&str; 3] = [
+    "crates/quorum/",
+    "crates/core/src/quorum.rs",
+    "crates/certify/src/analyzer.rs",
+];
 
 fn in_scope(path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| path.starts_with(p))
@@ -86,6 +96,9 @@ pub fn check_file(path: &str, lexed: &Lexed) -> Vec<Finding> {
     }
     if in_scope(path, &NO_PANIC_SCOPE) {
         check_d6(path, lexed, &mut findings);
+    }
+    if in_scope(path, &NARROWING_SCOPE) {
+        check_d7(path, lexed, &mut findings);
     }
     findings
 }
@@ -274,6 +287,33 @@ fn check_d6(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
     }
 }
 
+fn check_d7(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
+    /// Integer types an `as` cast can silently truncate a count into.
+    const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+    let toks = &lexed.tokens;
+    for i in 0..toks.len().saturating_sub(1) {
+        if lexed.in_test_region(i) {
+            continue;
+        }
+        if toks[i].kind == TokenKind::Ident
+            && toks[i].text == "as"
+            && toks[i + 1].kind == TokenKind::Ident
+            && NARROW.contains(&toks[i + 1].text.as_str())
+        {
+            out.push(Finding {
+                lint: "D7",
+                file: path.to_string(),
+                line: toks[i].line,
+                message: format!(
+                    "`as {}` in threshold arithmetic truncates silently; use \
+                     `try_into()`/`try_from()` and handle the error fail-closed",
+                    toks[i + 1].text
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,5 +395,21 @@ mod tests {
     fn d6_leaves_unwrap_or_variants_alone() {
         let src = "fn handle() { let v = msg.unwrap_or(0); let w = msg.unwrap_or_default(); let _ = (v, w); }";
         assert!(lints_of("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d7_flags_narrowing_casts_in_scope_only() {
+        let src = "fn q(n: u64) -> u32 { (n - 1) as u32 }";
+        assert_eq!(lints_of("crates/quorum/src/lib.rs", src), ["D7"]);
+        assert_eq!(lints_of("crates/certify/src/analyzer.rs", src), ["D7"]);
+        assert!(lints_of("crates/certify/src/vector.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d7_allows_widening_casts_and_test_regions() {
+        let widening = "fn q(n: u32) -> u64 { n as u64 + (n as usize as u64) }";
+        assert!(lints_of("crates/quorum/src/lib.rs", widening).is_empty());
+        let test_only = "#[cfg(test)]\nmod tests { fn t(n: u64) -> u32 { n as u32 } }";
+        assert!(lints_of("crates/quorum/src/lib.rs", test_only).is_empty());
     }
 }

@@ -14,13 +14,14 @@ use std::path::{Path, PathBuf};
 use ftm_lint::{apply, check_source, parse_allowlist, scan_workspace, LintReport, LINT_IDS};
 
 /// Fixture file → virtual path placing it in the matching rule's scope.
-const PLACEMENTS: [(&str, &str); 6] = [
+const PLACEMENTS: [(&str, &str); 7] = [
     ("d1.rs", "crates/sim/src/fixture.rs"),
     ("d2.rs", "crates/certify/src/fixture.rs"),
     ("d3.rs", "crates/core/src/fixture.rs"),
     ("d4.rs", "crates/bench/src/fixture.rs"),
     ("d5.rs", "crates/rbcast/src/fixture.rs"),
     ("d6.rs", "crates/detect/src/fixture.rs"),
+    ("d7.rs", "crates/quorum/src/fixture.rs"),
 ];
 
 fn fixture_dir() -> PathBuf {
@@ -61,7 +62,7 @@ fn fixture_corpus_is_complete_and_minimal() {
     names.sort();
     assert_eq!(
         names,
-        ["d1.rs", "d2.rs", "d3.rs", "d4.rs", "d5.rs", "d6.rs"]
+        ["d1.rs", "d2.rs", "d3.rs", "d4.rs", "d5.rs", "d6.rs", "d7.rs"]
     );
 }
 
