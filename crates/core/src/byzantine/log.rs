@@ -16,6 +16,7 @@
 
 use ftm_certify::analyzer::CertChecker;
 use ftm_certify::{make_checkpoint, Certificate, Envelope, Value, ValueVector};
+use ftm_crypto::wire::{CanonicalDecode, CanonicalEncode, DecodeError, Decoder, Encoder};
 use ftm_sim::{Actor, Context, Payload, ProcessId, StagedSend, TimerTag};
 
 use crate::byzantine::{ByzantineConsensus, TransformedProtocol};
@@ -59,6 +60,25 @@ impl Payload for SlotMsg {
     }
 }
 
+// The canonical encoding makes `SlotMsg` carriable by the real transport
+// (`ftm-net` frames are canonical bytes); the slot tag rides in front of
+// the envelope's own signed encoding, so signatures keep verifying.
+impl CanonicalEncode for SlotMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u64(self.slot);
+        self.env.encode(enc);
+    }
+}
+
+impl CanonicalDecode for SlotMsg {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(SlotMsg {
+            slot: dec.u64()?,
+            env: Envelope::decode(dec)?,
+        })
+    }
+}
+
 /// How many timer tags each slot instance may use (the inner protocol uses
 /// a single poll timer; headroom is cheap).
 const TAGS_PER_SLOT: TimerTag = 16;
@@ -93,7 +113,7 @@ pub struct ReplicatedLog<P: TransformedProtocol = ByzantineConsensus> {
     setup: ProtocolSetup,
     me: ProcessId,
     slots: u64,
-    command: fn(u64, u32) -> Value,
+    command: Box<dyn FnMut(u64, u32) -> Value + Send>,
     current: u64,
     inner: P,
     log: Vec<ValueVector>,
@@ -122,6 +142,11 @@ impl<P: TransformedProtocol> ReplicatedLog<P> {
     /// Creates a replica deciding `slots` entries; `command(slot, process)`
     /// is the value this process proposes for `slot`.
     ///
+    /// The command source may be stateful (`FnMut`): the simulator feeds
+    /// pure functions of `(slot, process)` for replayability, while a
+    /// server feeds commands from a client-submitted queue. It is called
+    /// exactly once per slot, in slot order, when the slot opens.
+    ///
     /// # Panics
     ///
     /// Panics if `slots == 0`.
@@ -129,8 +154,9 @@ impl<P: TransformedProtocol> ReplicatedLog<P> {
         setup: &ProtocolSetup,
         me: ProcessId,
         slots: u64,
-        command: fn(u64, u32) -> Value,
+        command: impl FnMut(u64, u32) -> Value + Send + 'static,
     ) -> Self {
+        let mut command = Box::new(command);
         assert!(slots > 0, "a log needs at least one slot");
         let inner = P::build(setup, me, command(0, me.0));
         let res = setup.resilience;
@@ -162,6 +188,13 @@ impl<P: TransformedProtocol> ReplicatedLog<P> {
     /// Slots decided so far at this replica.
     pub fn decided_slots(&self) -> usize {
         self.log.len()
+    }
+
+    /// The decided log prefix so far (slot order). A server exposes this
+    /// — and a digest of it — through its status endpoint while the log
+    /// is still growing.
+    pub fn decided_log(&self) -> &[ValueVector] {
+        &self.log
     }
 
     /// Bytes of decide evidence currently retained for sealed slots: the

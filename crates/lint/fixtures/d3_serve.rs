@@ -1,0 +1,10 @@
+// D3 fixture (serve): the server binaries sit above the transport and
+// must take time from ftm-net's WallClock, not read their own.
+use std::time::SystemTime;
+
+pub fn stamp() -> u64 {
+    match SystemTime::now().duration_since(SystemTime::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

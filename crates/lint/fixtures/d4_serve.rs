@@ -1,0 +1,6 @@
+// D4 fixture (serve): server-side parallelism must go through ftm-net's
+// node/cluster entry points, never raw spawns.
+pub fn fan_out_replicas() {
+    let worker = std::thread::Builder::new().name("replica".to_string());
+    let _ = worker.spawn(|| 7);
+}

@@ -9,8 +9,8 @@
 //! |------|-----------------------------------------------------------------|
 //! | D1   | no `f32`/`f64` outside `crates/bench/src/timing.rs`             |
 //! | D2   | no `HashMap`/`HashSet` in report-feeding crates                 |
-//! | D3   | no `Instant`/`SystemTime` outside `crates/bench/src/timing.rs`  |
-//! | D4   | no `std::thread::spawn` outside `ftm_sim::harness`              |
+//! | D3   | no `Instant`/`SystemTime` outside timing.rs / `crates/net`      |
+//! | D4   | no `std::thread::spawn` outside `ftm_sim::harness` / `crates/net` |
 //! | D5   | no ad-hoc quorum arithmetic outside `ftm-quorum`                |
 //! | D6   | no `unwrap`/`expect`/`panic!` in message-handling paths         |
 //! | D7   | no `as` narrowing casts in quorum/threshold arithmetic          |
@@ -38,14 +38,21 @@ pub struct Finding {
 const TIMING: &str = "crates/bench/src/timing.rs";
 /// The sanctioned home of `std::thread` fan-out.
 const HARNESS: &str = "crates/sim/src/harness.rs";
+/// The transport runtime: a real network needs a real clock (D3) and real
+/// I/O threads (D4), so `crates/net` joins both sanctioned scopes. It does
+/// NOT get a float pass (D1): byte counters and timings there stay integer
+/// so load reports remain byte-stable.
+const NET: &str = "crates/net/";
 /// Crates whose data feeds byte-stable reports (D2 scope).
-const REPORT_FEEDING: [&str; 6] = [
+const REPORT_FEEDING: [&str; 8] = [
     "crates/sim/",
     "crates/faults/",
     "crates/certify/",
     "crates/detect/",
     "crates/verify/",
     "crates/flow/",
+    "crates/net/",
+    "crates/serve/",
 ];
 /// Crates whose protocol logic must route quorum thresholds through
 /// `ftm_quorum` (D5 scope).
@@ -83,12 +90,14 @@ pub fn check_file(path: &str, lexed: &Lexed) -> Vec<Finding> {
     let mut findings = Vec::new();
     if path != TIMING {
         check_d1(path, lexed, &mut findings);
+    }
+    if path != TIMING && !path.starts_with(NET) {
         check_d3(path, lexed, &mut findings);
     }
     if in_scope(path, &REPORT_FEEDING) {
         check_d2(path, lexed, &mut findings);
     }
-    if path != HARNESS {
+    if path != HARNESS && !path.starts_with(NET) {
         check_d4(path, lexed, &mut findings);
     }
     if in_scope(path, &QUORUM_SCOPE) && !QUORUM_HOMES.contains(&path) {
@@ -176,8 +185,9 @@ fn check_d3(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
                 file: path.to_string(),
                 line: tok.line,
                 message: format!(
-                    "wall-clock time (`{}`) outside {TIMING}; simulations run on \
-                     `VirtualTime`, benches on `timing::Stopwatch`",
+                    "wall-clock time (`{}`) outside {TIMING} and {NET}; simulations \
+                     run on `VirtualTime`, benches on `timing::Stopwatch`, and only \
+                     the transport runtime reads a real clock",
                     tok.text
                 ),
             });
@@ -197,9 +207,10 @@ fn check_d4(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
                 lint: "D4",
                 file: path.to_string(),
                 line: toks[i].line,
-                message: "raw thread spawning outside `ftm_sim::harness`; route \
-                          parallelism through `harness::parallel_map` so worker \
-                          count cannot leak into results"
+                message: "raw thread spawning outside `ftm_sim::harness` and the \
+                          transport runtime (crates/net); route parallelism through \
+                          `harness::parallel_map` so worker count cannot leak into \
+                          results"
                     .to_string(),
             });
         }
@@ -367,6 +378,31 @@ mod tests {
         let src = "fn f() { std::thread::spawn(|| {}); }";
         assert_eq!(lints_of("crates/bench/src/x.rs", src), ["D4"]);
         assert!(lints_of("crates/sim/src/harness.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d3_and_d4_are_sanctioned_in_net_but_not_serve() {
+        let clocky = "use std::time::Instant; fn f() { let _ = Instant::now(); }";
+        let spawny = "fn f() { std::thread::spawn(|| {}); }";
+        assert!(lints_of("crates/net/src/clock.rs", clocky).is_empty());
+        assert!(lints_of("crates/net/src/node.rs", spawny).is_empty());
+        // The server binaries sit *above* the transport: they must get
+        // their clocks and threads from ftm-net, not spell their own.
+        assert_eq!(lints_of("crates/serve/src/main.rs", clocky), ["D3", "D3"]);
+        assert_eq!(lints_of("crates/serve/src/main.rs", spawny), ["D4"]);
+    }
+
+    #[test]
+    fn net_gets_no_float_pass() {
+        let src = "fn f() -> f64 { 1.5 }";
+        assert_eq!(lints_of("crates/net/src/node.rs", src), ["D1", "D1"]);
+    }
+
+    #[test]
+    fn d2_covers_net_and_serve() {
+        let src = "use std::collections::HashMap;";
+        assert_eq!(lints_of("crates/net/src/node.rs", src), ["D2"]);
+        assert_eq!(lints_of("crates/serve/src/lib.rs", src), ["D2"]);
     }
 
     #[test]

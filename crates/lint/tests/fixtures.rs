@@ -13,15 +13,20 @@ use std::path::{Path, PathBuf};
 
 use ftm_lint::{apply, check_source, parse_allowlist, scan_workspace, LintReport, LINT_IDS};
 
-/// Fixture file → virtual path placing it in the matching rule's scope.
-const PLACEMENTS: [(&str, &str); 7] = [
-    ("d1.rs", "crates/sim/src/fixture.rs"),
-    ("d2.rs", "crates/certify/src/fixture.rs"),
-    ("d3.rs", "crates/core/src/fixture.rs"),
-    ("d4.rs", "crates/bench/src/fixture.rs"),
-    ("d5.rs", "crates/rbcast/src/fixture.rs"),
-    ("d6.rs", "crates/detect/src/fixture.rs"),
-    ("d7.rs", "crates/quorum/src/fixture.rs"),
+/// Fixture file → (virtual path placing it in the rule's scope, the one
+/// lint it must trip there).
+const PLACEMENTS: [(&str, &str, &str); 9] = [
+    ("d1.rs", "crates/sim/src/fixture.rs", "D1"),
+    ("d2.rs", "crates/certify/src/fixture.rs", "D2"),
+    ("d3.rs", "crates/core/src/fixture.rs", "D3"),
+    ("d4.rs", "crates/bench/src/fixture.rs", "D4"),
+    ("d5.rs", "crates/rbcast/src/fixture.rs", "D5"),
+    ("d6.rs", "crates/detect/src/fixture.rs", "D6"),
+    ("d7.rs", "crates/quorum/src/fixture.rs", "D7"),
+    // The transport carve-out must not leak upward: the same violations
+    // still fire one level above the transport, in the server crate.
+    ("d3_serve.rs", "crates/serve/src/fixture.rs", "D3"),
+    ("d4_serve.rs", "crates/serve/src/fixture.rs", "D4"),
 ];
 
 fn fixture_dir() -> PathBuf {
@@ -34,8 +39,7 @@ fn workspace_root() -> PathBuf {
 
 #[test]
 fn every_fixture_trips_exactly_its_own_lint() {
-    for (i, (file, vpath)) in PLACEMENTS.iter().enumerate() {
-        let expected = LINT_IDS[i];
+    for (file, vpath, expected) in PLACEMENTS {
         let src = fs::read_to_string(fixture_dir().join(file))
             .unwrap_or_else(|e| panic!("missing fixture {file}: {e}"));
         let findings = check_source(vpath, &src);
@@ -51,6 +55,27 @@ fn every_fixture_trips_exactly_its_own_lint() {
             );
         }
     }
+    // Every rule id has at least one fixture exercising it.
+    for id in LINT_IDS {
+        assert!(
+            PLACEMENTS.iter().any(|&(_, _, e)| e == id),
+            "no fixture covers {id}"
+        );
+    }
+}
+
+#[test]
+fn clock_and_spawn_fixtures_are_sanctioned_inside_the_transport() {
+    // The same sources that trip D3/D4 everywhere else are clean when
+    // placed inside crates/net: the transport is their justified home.
+    for file in ["d3.rs", "d4.rs", "d3_serve.rs", "d4_serve.rs"] {
+        let src = fs::read_to_string(fixture_dir().join(file)).expect("fixture");
+        let findings = check_source("crates/net/src/fixture.rs", &src);
+        assert!(
+            findings.is_empty(),
+            "{file} flagged inside crates/net: {findings:?}"
+        );
+    }
 }
 
 #[test]
@@ -62,7 +87,17 @@ fn fixture_corpus_is_complete_and_minimal() {
     names.sort();
     assert_eq!(
         names,
-        ["d1.rs", "d2.rs", "d3.rs", "d4.rs", "d5.rs", "d6.rs", "d7.rs"]
+        [
+            "d1.rs",
+            "d2.rs",
+            "d3.rs",
+            "d3_serve.rs",
+            "d4.rs",
+            "d4_serve.rs",
+            "d5.rs",
+            "d6.rs",
+            "d7.rs"
+        ]
     );
 }
 

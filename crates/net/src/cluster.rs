@@ -1,0 +1,107 @@
+//! In-process loopback clusters: `n` replicas on `127.0.0.1`, one thread
+//! each, real sockets in between.
+//!
+//! This is the transport-side twin of `ftm_sim::Simulation::run` for
+//! tests: the same actor factory, but every message crosses a TCP
+//! connection. Listeners are bound (on ephemeral ports) *before* any node
+//! thread starts, so there is no dial race — by the time a writer
+//! retries, the target port exists.
+
+use std::io;
+use std::net::TcpListener;
+use std::thread;
+
+use ftm_crypto::wire::{CanonicalDecode, CanonicalEncode};
+use ftm_runtime::{Payload, ProcessId, SendBoxedActor};
+
+use crate::node::{run_node, NetReport, NodeConfig, ServiceReply};
+
+/// Shape of a loopback cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of replicas.
+    pub n: usize,
+    /// Cluster id used in every handshake.
+    pub cluster: u64,
+    /// Base seed; each node derives its own stream from it.
+    pub seed: u64,
+    /// Per-node wall-clock bound in ms (a node that neither halts nor
+    /// times out would hang the join).
+    pub run_timeout_ms: u64,
+    /// Artificial per-hop delivery latency in ms (see
+    /// [`NodeConfig::delivery_delay_ms`]); 0 = raw loopback speed.
+    pub delivery_delay_ms: u64,
+}
+
+impl ClusterConfig {
+    /// A cluster of `n` with a 30 s per-node bound.
+    pub fn new(n: usize, cluster: u64, seed: u64) -> Self {
+        ClusterConfig {
+            n,
+            cluster,
+            seed,
+            run_timeout_ms: 30_000,
+            delivery_delay_ms: 0,
+        }
+    }
+
+    /// Sets the artificial per-hop latency (emulated network time).
+    pub fn delivery_delay_ms(mut self, ms: u64) -> Self {
+        self.delivery_delay_ms = ms;
+        self
+    }
+}
+
+/// Runs `n` replicas built by `factory` over loopback TCP until each
+/// halts (or times out), returning their reports in process-id order.
+///
+/// Nodes run with [`NodeConfig::exit_on_halt`] and no client service —
+/// this is the bounded, self-terminating mode used by tests and the
+/// sim/net cross-check.
+///
+/// # Errors
+///
+/// Listener binding failures, or a node thread that panicked.
+pub fn run_loopback_cluster<M, D, F>(
+    cfg: &ClusterConfig,
+    factory: F,
+) -> io::Result<Vec<NetReport<D>>>
+where
+    M: Payload + CanonicalEncode + CanonicalDecode + 'static,
+    D: Clone + std::fmt::Debug + PartialEq + Send + 'static,
+    F: Fn(ProcessId) -> SendBoxedActor<M, D>,
+{
+    // Bind everything first: the full address list must exist before the
+    // first node starts dialing.
+    let mut listeners = Vec::with_capacity(cfg.n);
+    let mut addrs = Vec::with_capacity(cfg.n);
+    for _ in 0..cfg.n {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        addrs.push(listener.local_addr()?.to_string());
+        listeners.push(listener);
+    }
+
+    let mut handles = Vec::with_capacity(cfg.n);
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let me = ProcessId(i as u32);
+        let mut node_cfg = NodeConfig::new(me, addrs.clone(), cfg.cluster, cfg.seed);
+        node_cfg.exit_on_halt = true;
+        node_cfg.run_timeout_ms = cfg.run_timeout_ms;
+        node_cfg.delivery_delay_ms = cfg.delivery_delay_ms;
+        let actor = factory(me);
+        handles.push(thread::spawn(move || {
+            run_node(&node_cfg, listener, actor, |_, _, _| {
+                ServiceReply::reply(Vec::new())
+            })
+        }));
+    }
+
+    let mut reports = Vec::with_capacity(cfg.n);
+    for handle in handles {
+        let report = handle
+            .join()
+            .map_err(|_| io::Error::other("node thread panicked"))??;
+        reports.push(report);
+    }
+    Ok(reports)
+}

@@ -1,0 +1,214 @@
+//! Length-prefixed framing and the connection handshake.
+//!
+//! # Wire format
+//!
+//! Every frame on a connection is a big-endian `u32` length followed by
+//! exactly that many payload bytes:
+//!
+//! ```text
+//! +----------------+---------------------+
+//! | len: u32 (BE)  | payload: len bytes  |
+//! +----------------+---------------------+
+//! ```
+//!
+//! The payload of a peer frame is the *canonical encoding* of the protocol
+//! message (the same [`ftm_crypto::wire`] bytes that signatures are
+//! computed over), so a frame can be decoded without copying: the length
+//! prefix delimits the message and the canonical decoder reads big-endian
+//! fields in place. The current implementation reads each frame into one
+//! `Vec<u8>` and decodes from that buffer; a zero-copy decoder would only
+//! need to borrow the same slice.
+//!
+//! The first frame on every connection is a [`Hello`] identifying the
+//! dialer; everything after is protocol (peer) or request/reply (client)
+//! traffic. The `Hello` carries a magic number, a format version and a
+//! cluster id so that cross-version or cross-cluster connections fail
+//! loudly at the handshake instead of corrupting a run.
+
+use std::io::{self, Read, Write};
+
+use ftm_crypto::wire::{CanonicalDecode, CanonicalEncode, DecodeError, Decoder, Encoder};
+
+/// Frame/handshake magic: `"FTMN"` as a big-endian `u32`.
+pub const MAGIC: u32 = 0x4654_4D4E;
+
+/// Wire-format version; bumped on any incompatible change.
+pub const VERSION: u32 = 1;
+
+/// Default cap on a single frame's payload (1 MiB). A length prefix above
+/// the cap is treated as corruption and rejected without allocating.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Writes one length-prefixed frame and flushes the writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads longer than `u32::MAX` as
+/// [`io::ErrorKind::InvalidInput`].
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds u32::MAX"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame, enforcing `max_frame`.
+///
+/// # Errors
+///
+/// * [`io::ErrorKind::InvalidData`] if the length prefix exceeds
+///   `max_frame` (corrupt or hostile peer);
+/// * [`io::ErrorKind::UnexpectedEof`] if the connection closes mid-frame;
+/// * any other I/O error from the underlying reader.
+pub fn read_frame<R: Read>(r: &mut R, max_frame: usize) -> io::Result<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > max_frame {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {max_frame}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// The first frame on every connection: who is dialing, and for which
+/// cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hello {
+    /// A replica-to-replica connection; `id` is the dialer's process id.
+    Peer {
+        /// Dialer's process id (its index in the cluster).
+        id: u32,
+        /// Cluster identity; both ends must agree.
+        cluster: u64,
+    },
+    /// A client connection (request/reply traffic).
+    Client {
+        /// Cluster identity the client expects to talk to.
+        cluster: u64,
+    },
+}
+
+impl Hello {
+    /// Cluster id carried by either variant.
+    pub fn cluster(&self) -> u64 {
+        match self {
+            Hello::Peer { cluster, .. } | Hello::Client { cluster } => *cluster,
+        }
+    }
+}
+
+impl CanonicalEncode for Hello {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u32(MAGIC);
+        enc.u32(VERSION);
+        match self {
+            Hello::Peer { id, cluster } => {
+                enc.tag(1);
+                enc.u32(*id);
+                enc.u64(*cluster);
+            }
+            Hello::Client { cluster } => {
+                enc.tag(2);
+                enc.u64(*cluster);
+            }
+        }
+    }
+}
+
+impl CanonicalDecode for Hello {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let magic = dec.u32()?;
+        if magic != MAGIC {
+            return Err(DecodeError::BadLength(magic));
+        }
+        let version = dec.u32()?;
+        if version != VERSION {
+            return Err(DecodeError::BadLength(version));
+        }
+        match dec.tag()? {
+            1 => Ok(Hello::Peer {
+                id: dec.u32()?,
+                cluster: dec.u64()?,
+            }),
+            2 => Ok(Hello::Client {
+                cluster: dec.u64()?,
+            }),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").expect("write");
+        write_frame(&mut buf, b"").expect("write empty");
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME).expect("read"),
+            b"hello"
+        );
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME).expect("read empty"),
+            Vec::<u8>::new()
+        );
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let err = read_frame(&mut io::Cursor::new(buf), 1024).expect_err("cap");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_eof_not_panic() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").expect("write");
+        buf.truncate(buf.len() - 2);
+        let err = read_frame(&mut io::Cursor::new(buf), 1024).expect_err("truncated");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn hello_roundtrip_both_variants() {
+        for hello in [
+            Hello::Peer {
+                id: 3,
+                cluster: 0xDEAD,
+            },
+            Hello::Client { cluster: 0xBEEF },
+        ] {
+            let bytes = hello.canonical_bytes();
+            assert_eq!(Hello::from_canonical_bytes(&bytes), Ok(hello));
+        }
+    }
+
+    #[test]
+    fn hello_rejects_wrong_magic_version_and_tag() {
+        let good = Hello::Client { cluster: 1 }.canonical_bytes();
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(Hello::from_canonical_bytes(&bad_magic).is_err());
+        let mut bad_version = good.clone();
+        bad_version[7] = 99;
+        assert!(Hello::from_canonical_bytes(&bad_version).is_err());
+        let mut bad_tag = good;
+        bad_tag[8] = 9;
+        assert_eq!(
+            Hello::from_canonical_bytes(&bad_tag),
+            Err(DecodeError::BadTag(9))
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! A real transport for the runtime-agnostic actor boundary: threaded TCP
+//! with a length-prefixed wire codec, zero external dependencies.
+//!
+//! This crate is the second implementation of [`ftm_runtime::Runtime`]
+//! (the first is the deterministic simulator in `ftm-sim`). The same actor
+//! types — the transformed Byzantine consensus, the replicated log, even
+//! the fault-injection wrappers — run here unmodified: sockets replace the
+//! simulated network, wall-clock milliseconds replace virtual ticks, and
+//! everything above the [`Runtime`](ftm_runtime::Runtime) seam is the
+//! byte-for-byte artifact the simulation sweeps validated.
+//!
+//! # Threading model
+//!
+//! Concurrency lives strictly *below* the actor boundary:
+//!
+//! * one **acceptor** thread per node polls the listener and spawns a
+//!   reader per inbound connection;
+//! * one **reader** thread per peer/client connection turns the socket
+//!   into framed events on an MPSC channel;
+//! * one **writer** thread per outbound peer connection drains a frame
+//!   queue into the socket (so a slow peer never blocks the event loop);
+//! * one **sequential event loop** — the thread that called
+//!   [`node::run_node`] — owns the actor and applies the staged-effects
+//!   discipline. An actor never observes two callbacks concurrently,
+//!   exactly as in the simulator.
+//!
+//! # What survives of the determinism contract
+//!
+//! Content determinism survives; schedule determinism does not. Message
+//! *contents* are still canonical bytes (signatures verify across
+//! machines), decisions are still quorum-certified, and the per-replica
+//! RNG stream is still seeded. But arrival order, timer interleaving and
+//! therefore all timing-dependent counters (rounds, suspicions, end
+//! times) vary run to run — see `DESIGN.md` §15 for the precise split,
+//! and the sim/net cross-check test for the properties that must agree.
+//!
+//! This crate is the sanctioned home for wall-clock time (`ftm-lint` D3)
+//! and thread spawning (D4) on the transport side: real transports need
+//! real clocks and real threads, and confining both here keeps every
+//! other crate simulator-pure.
+
+pub mod client;
+pub mod clock;
+pub mod cluster;
+pub mod codec;
+pub mod node;
+
+pub use client::ClientConn;
+pub use clock::WallClock;
+pub use cluster::{run_loopback_cluster, ClusterConfig};
+pub use codec::{read_frame, write_frame, Hello, DEFAULT_MAX_FRAME, MAGIC, VERSION};
+pub use node::{parse_convictions, run_node, NetReport, NodeConfig, NodeView, ServiceReply};

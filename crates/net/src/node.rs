@@ -1,0 +1,936 @@
+//! One replica on the TCP transport: threaded I/O below, a sequential
+//! staged-effects event loop above.
+//!
+//! [`run_node`] hosts a single [`Actor`] — the same type the simulator
+//! runs — on real sockets. The split mirrors the crate docs: an acceptor
+//! thread plus per-connection reader threads funnel framed bytes into an
+//! MPSC channel; per-peer writer threads drain outbound frame queues; and
+//! the caller's thread runs the event loop, which is the *only* place the
+//! actor is touched. Every callback goes through [`ftm_runtime::step`],
+//! so the staged-effects discipline (effects applied after the callback,
+//! in canonical order) is identical to the simulator's.
+
+use std::collections::VecDeque;
+use std::io::{self, Read};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+
+use ftm_crypto::prng::{derive_seed, Rng64, Xoshiro256PlusPlus};
+use ftm_crypto::wire::{CanonicalDecode, CanonicalEncode};
+use ftm_runtime::{
+    step, Actor, Duration, Payload, ProcessId, Runtime, StagedSend, TimerTag, VirtualTime,
+};
+
+use crate::clock::WallClock;
+use crate::codec::{write_frame, Hello};
+
+/// Configuration for one transport node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// This node's identity (index into [`peers`](NodeConfig::peers)).
+    pub me: ProcessId,
+    /// Total number of replicas `n`.
+    pub n: usize,
+    /// Cluster id checked during the connection handshake; connections
+    /// from a different cluster are dropped.
+    pub cluster: u64,
+    /// Base seed for this node's pseudo-random stream (per-node stream is
+    /// derived from it, so all replicas can share one base seed).
+    pub seed: u64,
+    /// Dial addresses of all `n` replicas, indexed by process id.
+    pub peers: Vec<String>,
+    /// Cap on a single inbound frame's payload bytes.
+    pub max_frame: usize,
+    /// How long to keep retrying outbound peer connections, in ms.
+    pub connect_timeout_ms: u64,
+    /// Hard wall-clock bound on the whole run, in ms (safety net; the
+    /// node reports `halted: false` if it trips).
+    pub run_timeout_ms: u64,
+    /// Exit the event loop as soon as the actor halts (used by bounded
+    /// test clusters; servers keep running to answer client requests).
+    pub exit_on_halt: bool,
+    /// Artificial per-hop delivery latency in ms (0 = deliver as fast as
+    /// the socket allows). Inbound peer frames are held for this long
+    /// before reaching the actor — the transport's `tc netem` equivalent,
+    /// used by loopback tests to emulate a network whose hop time
+    /// dominates thread-scheduling noise. Loopback self-sends are never
+    /// delayed (they are part of the staged-effects semantics, not the
+    /// network).
+    pub delivery_delay_ms: u64,
+    /// Hold `on_start` until the cluster is fully meshed and every peer
+    /// has confirmed its own mesh (two-phase barrier, bounded by
+    /// [`connect_timeout_ms`](NodeConfig::connect_timeout_ms)). Without
+    /// it, fast replicas can decide early slots before a slow peer's
+    /// connection is even accepted — which is harmless for safety but
+    /// makes first-contact behavior (e.g. detection of a faulty peer's
+    /// very first message) a startup race. On timeout the node starts
+    /// anyway: a crashed peer must not block the cluster forever.
+    pub start_barrier: bool,
+}
+
+impl NodeConfig {
+    /// A config with default tunables: 1 MiB frame cap, 10 s connect
+    /// retry window, 120 s run bound, keep serving after halt.
+    pub fn new(me: ProcessId, peers: Vec<String>, cluster: u64, seed: u64) -> Self {
+        NodeConfig {
+            me,
+            n: peers.len(),
+            cluster,
+            seed,
+            peers,
+            max_frame: crate::codec::DEFAULT_MAX_FRAME,
+            connect_timeout_ms: 10_000,
+            run_timeout_ms: 120_000,
+            exit_on_halt: false,
+            delivery_delay_ms: 0,
+            start_barrier: true,
+        }
+    }
+}
+
+/// Outcome of one node's run, mirroring the per-process slice of the
+/// simulator's run report (minus the schedule-dependent trace).
+#[derive(Debug, Clone)]
+pub struct NetReport<D> {
+    /// Which replica this is.
+    pub me: ProcessId,
+    /// The decision recorded, if any (first decision wins).
+    pub decision: Option<D>,
+    /// Whether the actor halted itself.
+    pub halted: bool,
+    /// Whether a second, different decision was attempted.
+    pub contradicted: bool,
+    /// All notes the actor emitted, in order (includes `detected=`
+    /// convictions; see [`parse_convictions`]).
+    pub notes: Vec<String>,
+    /// Messages handed to the transport (loopback included).
+    pub msgs_sent: u64,
+    /// Messages delivered to the actor (loopback included).
+    pub msgs_received: u64,
+    /// Frame bytes written to peers plus loopback payload bytes.
+    pub bytes_sent: u64,
+    /// Frame bytes received from peers plus loopback payload bytes.
+    pub bytes_received: u64,
+    /// Node-local milliseconds from start to event-loop exit.
+    pub end_time: VirtualTime,
+}
+
+/// Read-only snapshot of a node's state handed to the client-request
+/// service callback.
+#[derive(Debug)]
+pub struct NodeView<'a, D> {
+    /// Which replica this is.
+    pub me: ProcessId,
+    /// Node-local current time (milliseconds since start).
+    pub now: VirtualTime,
+    /// The decision recorded so far, if any.
+    pub decision: Option<&'a D>,
+    /// Whether the actor has halted.
+    pub halted: bool,
+    /// Whether a contradictory second decision was attempted.
+    pub contradicted: bool,
+    /// Notes emitted so far.
+    pub notes: &'a [String],
+    /// Messages handed to the transport so far.
+    pub msgs_sent: u64,
+    /// Messages delivered to the actor so far.
+    pub msgs_received: u64,
+    /// Bytes written so far.
+    pub bytes_sent: u64,
+    /// Bytes received so far.
+    pub bytes_received: u64,
+}
+
+/// What the service callback returns for one client request.
+#[derive(Debug, Clone)]
+pub struct ServiceReply {
+    /// Frame payload written back to the client.
+    pub frame: Vec<u8>,
+    /// When `true`, the node exits its event loop after replying.
+    pub shutdown: bool,
+}
+
+impl ServiceReply {
+    /// A plain reply; the node keeps running.
+    pub fn reply(frame: Vec<u8>) -> Self {
+        ServiceReply {
+            frame,
+            shutdown: false,
+        }
+    }
+
+    /// A final reply; the node exits after sending it.
+    pub fn shutdown(frame: Vec<u8>) -> Self {
+        ServiceReply {
+            frame,
+            shutdown: true,
+        }
+    }
+}
+
+/// Extracts `(culprit, class)` pairs from `detected=<p> class=<c> …` notes
+/// (tolerating the replicated log's `s<slot>:` prefix), the transport-side
+/// twin of `ftm-core`'s trace-based detection parser.
+pub fn parse_convictions(notes: &[String]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for note in notes {
+        if let Some(pos) = note.find("detected=") {
+            let rest = &note[pos + "detected=".len()..];
+            let mut toks = rest.split_whitespace();
+            let culprit = toks.next().unwrap_or("").to_string();
+            let class = toks
+                .find_map(|t| t.strip_prefix("class="))
+                .unwrap_or("")
+                .to_string();
+            out.push((culprit, class));
+        }
+    }
+    out
+}
+
+/// One framed event delivered to the event loop by a reader thread.
+enum NetEvent {
+    /// A protocol frame from peer `from`.
+    Peer { from: u32, frame: Vec<u8> },
+    /// A client request; the reply goes back through `reply`.
+    Client {
+        frame: Vec<u8>,
+        reply: mpsc::Sender<Vec<u8>>,
+    },
+}
+
+/// The transport-side [`Runtime`]: sockets for delivery, a wall clock for
+/// time, a scan-min vector for timers.
+struct NetDriver<M, D> {
+    me: ProcessId,
+    n: usize,
+    clock: WallClock,
+    rng: Xoshiro256PlusPlus,
+    /// Outbound frame queues, indexed by peer id (`None` at `me`).
+    peer_tx: Vec<Option<mpsc::Sender<Vec<u8>>>>,
+    /// Self-sends, delivered after the current callback's effects apply.
+    loopback: VecDeque<M>,
+    /// Pending timers as `(deadline, seq, tag)`; `seq` breaks ties in
+    /// scheduling order, matching the simulator's event queue.
+    timers: Vec<(VirtualTime, u64, TimerTag)>,
+    timer_seq: u64,
+    notes: Vec<String>,
+    decision: Option<D>,
+    contradicted: bool,
+    halted: bool,
+    msgs_sent: u64,
+    msgs_received: u64,
+    bytes_sent: u64,
+    bytes_received: u64,
+}
+
+impl<M: Payload + CanonicalEncode, D: Clone + std::fmt::Debug + PartialEq> NetDriver<M, D> {
+    fn new(
+        cfg: &NodeConfig,
+        clock: WallClock,
+        peer_tx: Vec<Option<mpsc::Sender<Vec<u8>>>>,
+    ) -> Self {
+        NetDriver {
+            me: cfg.me,
+            n: cfg.n,
+            clock,
+            rng: Xoshiro256PlusPlus::from_seed(derive_seed(cfg.seed, u64::from(cfg.me.0))),
+            peer_tx,
+            loopback: VecDeque::new(),
+            timers: Vec::new(),
+            timer_seq: 0,
+            notes: Vec::new(),
+            decision: None,
+            contradicted: false,
+            halted: false,
+            msgs_sent: 0,
+            msgs_received: 0,
+            bytes_sent: 0,
+            bytes_received: 0,
+        }
+    }
+
+    /// Queues one encoded frame to a remote peer.
+    fn send_bytes(&mut self, to: ProcessId, bytes: Vec<u8>) {
+        self.msgs_sent += 1;
+        self.bytes_sent += bytes.len() as u64 + 4;
+        if let Some(tx) = self.peer_tx.get(to.index()).and_then(Option::as_ref) {
+            // A dead peer's writer has exited; dropping the frame models
+            // the crash exactly as the simulator silences a crashed node.
+            let _ = tx.send(bytes);
+        }
+    }
+
+    /// Queues a self-send for delivery after the current effects apply.
+    fn send_loopback(&mut self, msg: M) {
+        self.msgs_sent += 1;
+        self.bytes_sent += msg.size_bytes() as u64;
+        self.loopback.push_back(msg);
+    }
+
+    /// Earliest pending timer deadline, if any.
+    fn next_deadline(&self) -> Option<VirtualTime> {
+        self.timers.iter().map(|&(at, _, _)| at).min()
+    }
+
+    /// Pops the due timer with the smallest `(deadline, seq)`, if any.
+    fn pop_due(&mut self, now: VirtualTime) -> Option<TimerTag> {
+        let idx = self
+            .timers
+            .iter()
+            .enumerate()
+            .filter(|(_, &(at, _, _))| at <= now)
+            .min_by_key(|(_, &(at, seq, _))| (at, seq))
+            .map(|(i, _)| i)?;
+        Some(self.timers.swap_remove(idx).2)
+    }
+}
+
+impl<M: Payload + CanonicalEncode, D: Clone + std::fmt::Debug + PartialEq> Runtime<M, D>
+    for NetDriver<M, D>
+{
+    fn now(&self) -> VirtualTime {
+        self.clock.now()
+    }
+
+    fn process_count(&self) -> usize {
+        self.n
+    }
+
+    fn rng_draw(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    fn dispatch(&mut self, _from: ProcessId, send: StagedSend<M>) {
+        match send {
+            StagedSend::To(to, msg) => {
+                if to == self.me {
+                    self.send_loopback(msg);
+                } else {
+                    let bytes = msg.canonical_bytes();
+                    self.send_bytes(to, bytes);
+                }
+            }
+            StagedSend::ToAll(msg) => {
+                // Encode once; each remote peer gets a byte-level clone of
+                // the same canonical frame, the self-copy stays decoded.
+                let bytes = msg.canonical_bytes();
+                for p in 0..self.n as u32 {
+                    let to = ProcessId(p);
+                    if to == self.me {
+                        self.send_loopback(msg.clone());
+                    } else {
+                        self.send_bytes(to, bytes.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn schedule(&mut self, _at: ProcessId, delay: Duration, tag: TimerTag) {
+        let deadline = self.clock.now() + delay;
+        self.timers.push((deadline, self.timer_seq, tag));
+        self.timer_seq += 1;
+    }
+
+    fn emit_note(&mut self, _at: ProcessId, text: String) {
+        self.notes.push(text);
+    }
+
+    fn record_decision(&mut self, _at: ProcessId, value: D) {
+        match &self.decision {
+            None => self.decision = Some(value),
+            Some(prev) if *prev != value => self.contradicted = true,
+            Some(_) => {}
+        }
+    }
+
+    fn record_halt(&mut self, _at: ProcessId) {
+        self.halted = true;
+        // A halted process receives no further callbacks.
+        self.timers.clear();
+        self.loopback.clear();
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, retrying timeout errors so a read
+/// timeout can double as a periodic stop-flag check without ever losing
+/// partially-read bytes (which would desync the framing).
+///
+/// Returns `Ok(false)` on clean close before the first byte or when the
+/// stop flag is raised; `Ok(true)` when the buffer is full.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(k) => filled += k,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::Relaxed) {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame with stop-flag awareness; `Ok(None)` means the
+/// connection closed cleanly or the node is stopping.
+fn read_frame_stoppable(
+    stream: &mut TcpStream,
+    max_frame: usize,
+    stop: &AtomicBool,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    if !read_full(stream, &mut len_buf, stop)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > max_frame {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {max_frame}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    if !read_full(stream, &mut payload, stop)? {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "stopped mid-frame",
+        ));
+    }
+    Ok(Some(payload))
+}
+
+/// Identity facts a reader needs to vet an inbound handshake.
+#[derive(Clone, Copy)]
+struct AcceptCtx {
+    cluster: u64,
+    n: usize,
+    me: u32,
+    max_frame: usize,
+}
+
+/// Per-connection reader: handshake, then pump frames into the event
+/// channel (peer) or run the request/reply loop (client).
+fn serve_connection(
+    mut stream: TcpStream,
+    tx: &mpsc::Sender<NetEvent>,
+    stop: &AtomicBool,
+    inbound: &Mutex<Vec<bool>>,
+    ctx: AcceptCtx,
+) {
+    let max_frame = ctx.max_frame;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(50)));
+    let Ok(Some(hello_frame)) = read_frame_stoppable(&mut stream, max_frame, stop) else {
+        return;
+    };
+    let Ok(hello) = Hello::from_canonical_bytes(&hello_frame) else {
+        return;
+    };
+    if hello.cluster() != ctx.cluster {
+        return;
+    }
+    match hello {
+        Hello::Peer { id, .. } => {
+            if id as usize >= ctx.n || id == ctx.me {
+                return;
+            }
+            if let Ok(mut seen) = inbound.lock() {
+                seen[id as usize] = true;
+            }
+            loop {
+                match read_frame_stoppable(&mut stream, max_frame, stop) {
+                    Ok(Some(frame)) => {
+                        if tx.send(NetEvent::Peer { from: id, frame }).is_err() {
+                            return; // event loop gone: shutting down
+                        }
+                    }
+                    Ok(None) | Err(_) => return,
+                }
+            }
+        }
+        Hello::Client { .. } => loop {
+            match read_frame_stoppable(&mut stream, max_frame, stop) {
+                Ok(Some(frame)) => {
+                    let (reply_tx, reply_rx) = mpsc::channel();
+                    if tx
+                        .send(NetEvent::Client {
+                            frame,
+                            reply: reply_tx,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                    match reply_rx.recv_timeout(std::time::Duration::from_secs(30)) {
+                        Ok(bytes) => {
+                            if write_frame(&mut stream, &bytes).is_err() {
+                                return;
+                            }
+                        }
+                        Err(_) => return,
+                    }
+                }
+                Ok(None) | Err(_) => return,
+            }
+        },
+    }
+}
+
+/// Dials `addr` until it answers, the stop flag rises, or `timeout_ms`
+/// elapses.
+fn connect_with_retry(addr: &str, timeout_ms: u64, stop: &AtomicBool) -> Option<TcpStream> {
+    let clock = WallClock::start();
+    loop {
+        if stop.load(Ordering::Relaxed) || clock.now().ticks() >= timeout_ms {
+            return None;
+        }
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                let _ = s.set_nodelay(true);
+                return Some(s);
+            }
+            Err(_) => thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Outbound writer: connect (with retry), send the handshake, then drain
+/// the frame queue until every sender is dropped — which is how shutdown
+/// guarantees all staged frames are flushed before the node exits.
+fn writer_loop(
+    addr: &str,
+    hello: Hello,
+    rx: &mpsc::Receiver<Vec<u8>>,
+    connect_timeout_ms: u64,
+    stop: &AtomicBool,
+    connected: &AtomicUsize,
+) {
+    let Some(mut stream) = connect_with_retry(addr, connect_timeout_ms, stop) else {
+        return;
+    };
+    if write_frame(&mut stream, &hello.canonical_bytes()).is_err() {
+        return;
+    }
+    connected.fetch_add(1, Ordering::Relaxed);
+    while let Ok(frame) = rx.recv() {
+        if write_frame(&mut stream, &frame).is_err() {
+            return;
+        }
+    }
+}
+
+/// The two-phase start barrier (see [`NodeConfig::start_barrier`]).
+///
+/// Phase 1 waits until this node's mesh is locally complete: every
+/// outbound writer has delivered its handshake and every peer's inbound
+/// connection has been accepted. Phase 2 announces readiness with an
+/// *empty* frame — protocol messages are never zero-length, so the empty
+/// frame is free as a transport sentinel — and waits for every peer's
+/// announcement in turn. A peer only announces after *its* phase 1, so
+/// when the barrier clears, every replica's `on_start` fires within one
+/// message delay of the others instead of one accept-poll cycle.
+///
+/// Both phases share one deadline; on timeout the node proceeds with
+/// whatever mesh it has (a crashed peer must not wedge the cluster) and
+/// records a note. Protocol or client frames that arrive during phase 2
+/// (possible only from a peer whose own barrier timed out) are returned
+/// for the event loop to process first, in arrival order.
+fn start_barrier<M, D>(
+    driver: &mut NetDriver<M, D>,
+    rx: &mpsc::Receiver<NetEvent>,
+    inbound: &Mutex<Vec<bool>>,
+    outbound: &AtomicUsize,
+    deadline_ms: u64,
+) -> VecDeque<NetEvent>
+where
+    M: Payload + CanonicalEncode,
+    D: Clone + std::fmt::Debug + PartialEq,
+{
+    let mut pending = VecDeque::new();
+    let n = driver.n;
+    if n <= 1 {
+        return pending;
+    }
+    let me = driver.me.index();
+
+    let meshed = || {
+        outbound.load(Ordering::Relaxed) >= n - 1
+            && inbound.lock().map_or(true, |seen| {
+                seen.iter().enumerate().all(|(i, &s)| s || i == me)
+            })
+    };
+    while driver.clock.now().ticks() < deadline_ms && !meshed() {
+        thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    for tx in driver.peer_tx.iter().flatten() {
+        let _ = tx.send(Vec::new());
+        driver.bytes_sent += 4;
+    }
+    let mut ready = vec![false; n];
+    ready[me] = true;
+    while !ready.iter().all(|&r| r) {
+        if driver.clock.now().ticks() >= deadline_ms {
+            let missing = ready.iter().filter(|&&r| !r).count();
+            driver
+                .notes
+                .push(format!("mesh-incomplete missing={missing}"));
+            break;
+        }
+        match rx.recv_timeout(std::time::Duration::from_millis(5)) {
+            Ok(NetEvent::Peer { from, frame }) if frame.is_empty() => {
+                driver.bytes_received += 4;
+                if let Some(r) = ready.get_mut(from as usize) {
+                    *r = true;
+                }
+            }
+            Ok(ev) => pending.push_back(ev),
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    pending
+}
+
+/// Delivers every queued loopback message to the actor (unless halted).
+fn drain_loopback<A>(driver: &mut NetDriver<A::Msg, A::Decision>, actor: &mut A)
+where
+    A: Actor,
+    A::Msg: CanonicalEncode,
+{
+    loop {
+        if driver.halted {
+            return;
+        }
+        let Some(msg) = driver.loopback.pop_front() else {
+            return;
+        };
+        driver.msgs_received += 1;
+        driver.bytes_received += msg.size_bytes() as u64;
+        let me = driver.me;
+        step(driver, me, |ctx| actor.on_message(me, &msg, ctx));
+    }
+}
+
+/// Runs one replica's actor on the TCP transport until it halts (with
+/// [`NodeConfig::exit_on_halt`]), a client requests shutdown, or the run
+/// bound trips.
+///
+/// `listener` must already be bound to this node's address — binding is
+/// the caller's job so test clusters can use ephemeral ports without a
+/// dial race. `service` answers client request frames; it sees the actor
+/// (mutably, for protocol-specific state like a log digest) and a
+/// [`NodeView`] snapshot of the transport state.
+///
+/// # Errors
+///
+/// Only setup failures (listener configuration) surface as `Err`; peer
+/// connection losses are absorbed, matching the crash-fault model.
+pub fn run_node<A, S>(
+    cfg: &NodeConfig,
+    listener: TcpListener,
+    mut actor: A,
+    mut service: S,
+) -> io::Result<NetReport<A::Decision>>
+where
+    A: Actor,
+    A::Msg: CanonicalEncode + CanonicalDecode,
+    S: FnMut(&mut A, &NodeView<'_, A::Decision>, &[u8]) -> ServiceReply,
+{
+    assert_eq!(
+        cfg.peers.len(),
+        cfg.n,
+        "peer list must have one address per replica"
+    );
+    assert!(cfg.me.index() < cfg.n, "me out of range");
+    let clock = WallClock::start();
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<NetEvent>();
+
+    // Outbound: one writer thread + frame queue per remote peer. The
+    // channel buffers frames while the writer is still connecting, so the
+    // event loop never blocks on a slow or late peer.
+    let mut peer_tx: Vec<Option<mpsc::Sender<Vec<u8>>>> = Vec::with_capacity(cfg.n);
+    let mut writers = Vec::new();
+    let outbound = Arc::new(AtomicUsize::new(0));
+    for (id, addr) in cfg.peers.iter().enumerate() {
+        if id == cfg.me.index() {
+            peer_tx.push(None);
+            continue;
+        }
+        let (ftx, frx) = mpsc::channel::<Vec<u8>>();
+        peer_tx.push(Some(ftx));
+        let addr = addr.clone();
+        let hello = Hello::Peer {
+            id: cfg.me.0,
+            cluster: cfg.cluster,
+        };
+        let connect_timeout_ms = cfg.connect_timeout_ms;
+        let stop = Arc::clone(&stop);
+        let outbound = Arc::clone(&outbound);
+        writers.push(thread::spawn(move || {
+            writer_loop(&addr, hello, &frx, connect_timeout_ms, &stop, &outbound);
+        }));
+    }
+
+    // Inbound: a polling acceptor that spawns one reader per connection.
+    // Readers exit on their own when the event channel closes or the stop
+    // flag rises (their read timeout doubles as the poll).
+    listener.set_nonblocking(true)?;
+    let inbound = Arc::new(Mutex::new(vec![false; cfg.n]));
+    let acceptor = {
+        let tx = tx.clone();
+        let stop = Arc::clone(&stop);
+        let inbound = Arc::clone(&inbound);
+        let ctx = AcceptCtx {
+            cluster: cfg.cluster,
+            n: cfg.n,
+            me: cfg.me.0,
+            max_frame: cfg.max_frame,
+        };
+        thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((conn, _)) => {
+                        let tx = tx.clone();
+                        let stop = Arc::clone(&stop);
+                        let inbound = Arc::clone(&inbound);
+                        thread::spawn(move || {
+                            serve_connection(conn, &tx, &stop, &inbound, ctx);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => return,
+                }
+            }
+        })
+    };
+    drop(tx); // the loop's rx must close once acceptor + readers are done
+
+    let mut driver: NetDriver<A::Msg, A::Decision> = NetDriver::new(cfg, clock, peer_tx);
+    let me = cfg.me;
+    let pending = if cfg.start_barrier {
+        start_barrier(
+            &mut driver,
+            &rx,
+            &inbound,
+            &outbound,
+            cfg.connect_timeout_ms,
+        )
+    } else {
+        VecDeque::new()
+    };
+    step(&mut driver, me, |ctx| actor.on_start(ctx));
+    drain_loopback(&mut driver, &mut actor);
+
+    // Every event passes through the hold queue, which implements the
+    // optional per-hop delivery latency (deadlines are monotone because
+    // the delay is constant, so FIFO order is deadline order). Events
+    // stashed during the start barrier are due immediately.
+    let delay = Duration::of(cfg.delivery_delay_ms);
+    let mut holdq: VecDeque<(VirtualTime, NetEvent)> = pending
+        .into_iter()
+        .map(|ev| (VirtualTime::ZERO, ev))
+        .collect();
+
+    let mut shutdown = false;
+    while !shutdown {
+        if cfg.exit_on_halt && driver.halted {
+            break;
+        }
+        if clock.now().ticks() >= cfg.run_timeout_ms {
+            break;
+        }
+        // Fire every due timer (oldest deadline first), interleaving the
+        // loopback deliveries each may stage.
+        while !driver.halted {
+            let Some(tag) = driver.pop_due(clock.now()) else {
+                break;
+            };
+            step(&mut driver, me, |ctx| actor.on_timer(tag, ctx));
+            drain_loopback(&mut driver, &mut actor);
+        }
+        // Deliver every held event whose delivery deadline has passed.
+        while !shutdown {
+            match holdq.front() {
+                Some(&(due, _)) if due <= clock.now() => {}
+                _ => break,
+            }
+            let Some((_, event)) = holdq.pop_front() else {
+                break;
+            };
+            match event {
+                NetEvent::Peer { from, frame } => {
+                    driver.bytes_received += frame.len() as u64 + 4;
+                    if frame.is_empty() {
+                        // A late or duplicate start-barrier sentinel (its
+                        // sender's barrier timed out); not protocol data.
+                        continue;
+                    }
+                    match A::Msg::from_canonical_bytes(&frame) {
+                        Ok(msg) => {
+                            driver.msgs_received += 1;
+                            if !driver.halted {
+                                step(&mut driver, me, |ctx| {
+                                    actor.on_message(ProcessId(from), &msg, ctx);
+                                });
+                                drain_loopback(&mut driver, &mut actor);
+                            }
+                        }
+                        Err(e) => {
+                            // An undecodable frame is transport-level
+                            // garbage; note it and drop it, never panic
+                            // on peer input.
+                            driver
+                                .notes
+                                .push(format!("decode-error from=p{from} err={e}"));
+                        }
+                    }
+                }
+                NetEvent::Client { frame, reply } => {
+                    let view = NodeView {
+                        me,
+                        now: clock.now(),
+                        decision: driver.decision.as_ref(),
+                        halted: driver.halted,
+                        contradicted: driver.contradicted,
+                        notes: &driver.notes,
+                        msgs_sent: driver.msgs_sent,
+                        msgs_received: driver.msgs_received,
+                        bytes_sent: driver.bytes_sent,
+                        bytes_received: driver.bytes_received,
+                    };
+                    let out = service(&mut actor, &view, &frame);
+                    let _ = reply.send(out.frame);
+                    shutdown = out.shutdown;
+                }
+            }
+        }
+        // Wait for the next frame, but never past the next timer or
+        // hold-queue deadline (nor more than 50 ms, so stop conditions
+        // are re-checked).
+        let cap = std::time::Duration::from_millis(50);
+        let mut wait = cap;
+        if let Some(dl) = driver.next_deadline() {
+            wait = wait.min(clock.until(dl));
+        }
+        if let Some(&(due, _)) = holdq.front() {
+            wait = wait.min(clock.until(due));
+        }
+        match rx.recv_timeout(wait) {
+            Ok(ev) => holdq.push_back((clock.now() + delay, ev)),
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                if holdq.is_empty() {
+                    break;
+                }
+                // Sources are gone but held events remain deliverable.
+                thread::sleep(wait);
+            }
+        }
+    }
+
+    // Shutdown: raise the flag (readers + acceptor wind down), then drop
+    // the writer queues — each writer drains its remaining frames before
+    // exiting, so everything staged before the halt reaches the wire.
+    stop.store(true, Ordering::Relaxed);
+    drop(rx);
+    let end_time = clock.now();
+    let report = NetReport {
+        me,
+        decision: driver.decision.clone(),
+        halted: driver.halted,
+        contradicted: driver.contradicted,
+        notes: std::mem::take(&mut driver.notes),
+        msgs_sent: driver.msgs_sent,
+        msgs_received: driver.msgs_received,
+        bytes_sent: driver.bytes_sent,
+        bytes_received: driver.bytes_received,
+        end_time,
+    };
+    drop(driver); // drops peer_tx senders
+    for w in writers {
+        let _ = w.join();
+    }
+    let _ = acceptor.join();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_convictions_handles_prefixes_and_noise() {
+        let notes = vec![
+            "detected=p3 class=bad-certificate reason=x".to_string(),
+            "s7: detected=p1 class=protocol-violation reason=y".to_string(),
+            "round=2 opened".to_string(),
+        ];
+        assert_eq!(
+            parse_convictions(&notes),
+            vec![
+                ("p3".to_string(), "bad-certificate".to_string()),
+                ("p1".to_string(), "protocol-violation".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn driver_timers_fire_in_deadline_then_seq_order() {
+        let cfg = NodeConfig::new(ProcessId(0), vec!["unused".into()], 0, 1);
+        let clock = WallClock::start();
+        let mut d: NetDriver<u64, u64> = NetDriver::new(&cfg, clock, vec![None]);
+        d.schedule(ProcessId(0), Duration::of(0), 10);
+        d.schedule(ProcessId(0), Duration::of(0), 11);
+        let far = VirtualTime::MAX;
+        assert_eq!(d.pop_due(far), Some(10));
+        assert_eq!(d.pop_due(far), Some(11));
+        assert_eq!(d.pop_due(far), None);
+    }
+
+    #[test]
+    fn driver_contradiction_and_halt_semantics() {
+        let cfg = NodeConfig::new(ProcessId(0), vec!["unused".into()], 0, 1);
+        let mut d: NetDriver<u64, u64> = NetDriver::new(&cfg, WallClock::start(), vec![None]);
+        d.record_decision(ProcessId(0), 5);
+        d.record_decision(ProcessId(0), 5);
+        assert!(!d.contradicted);
+        d.record_decision(ProcessId(0), 6);
+        assert!(d.contradicted);
+        assert_eq!(d.decision, Some(5));
+        d.schedule(ProcessId(0), Duration::of(1), 1);
+        d.loopback.push_back(9);
+        d.record_halt(ProcessId(0));
+        assert!(d.halted && d.timers.is_empty() && d.loopback.is_empty());
+    }
+
+    #[test]
+    fn loopback_dispatch_stays_decoded() {
+        let cfg = NodeConfig::new(ProcessId(0), vec!["a".into(), "b".into()], 0, 1);
+        let mut d: NetDriver<u64, u64> = NetDriver::new(&cfg, WallClock::start(), vec![None, None]);
+        d.dispatch(ProcessId(0), StagedSend::ToAll(42));
+        assert_eq!(d.loopback.pop_front(), Some(42));
+        assert_eq!(d.msgs_sent, 2); // self copy + one remote frame
+    }
+}

@@ -10,7 +10,7 @@ use crate::time::{Duration, VirtualTime};
 /// # Example
 ///
 /// ```
-/// use ftm_sim::ProcessId;
+/// use ftm_runtime::ProcessId;
 /// let p = ProcessId(2);
 /// assert_eq!(p.index(), 2);
 /// assert_eq!(p.to_string(), "p2");
@@ -125,7 +125,8 @@ impl Payload for Vec<u8> {
 
 /// A protocol running at one process.
 ///
-/// Callbacks are invoked by the [`crate::Simulation`] runner; all effects
+/// Callbacks are invoked by a [`Runtime`](crate::Runtime) driver (the
+/// simulator's runner or the TCP node loop); all effects
 /// (sending, timers, deciding, halting) go through the [`Context`]. An actor
 /// must not assume anything about global time or other processes beyond what
 /// arrives in messages — exactly the asynchronous model of the paper.
@@ -155,6 +156,28 @@ pub trait Actor {
     /// The default implementation ignores timers.
     fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<'_, Self::Msg, Self::Decision>) {
         let _ = (tag, ctx);
+    }
+}
+
+impl<A: Actor + ?Sized> Actor for Box<A> {
+    type Msg = A::Msg;
+    type Decision = A::Decision;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Decision>) {
+        (**self).on_start(ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: &Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Decision>,
+    ) {
+        (**self).on_message(from, msg, ctx);
+    }
+
+    fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<'_, Self::Msg, Self::Decision>) {
+        (**self).on_timer(tag, ctx);
     }
 }
 
@@ -339,7 +362,8 @@ impl<'a, M: Payload, D: Clone + fmt::Debug + PartialEq> Context<'a, M, D> {
 
     /// Emits a free-form trace annotation (`key=value` style by convention).
     ///
-    /// Notes land in the run [`crate::trace::Trace`]; experiment E4 measures
+    /// Notes land in the run's trace (simulator) or note log (transport);
+    /// experiment E4 measures
     /// detection latency from notes like `detected=p3 class=duplication`.
     pub fn note(&mut self, text: impl Into<String>) {
         self.staged_notes.push(text.into());

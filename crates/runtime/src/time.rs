@@ -12,7 +12,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// # Example
 ///
 /// ```
-/// use ftm_sim::time::{Duration, VirtualTime};
+/// use ftm_runtime::time::{Duration, VirtualTime};
 /// let t = VirtualTime::ZERO + Duration::of(5);
 /// assert_eq!(t.ticks(), 5);
 /// assert_eq!(t - VirtualTime::ZERO, Duration::of(5));

@@ -1,0 +1,248 @@
+//! The client request/reply protocol, canonically encoded.
+//!
+//! Clients talk to a replica over one `ftm-net` client connection; each
+//! request frame carries one [`Request`], each reply frame one [`Reply`].
+//! The encoding reuses `ftm_crypto::wire` (big-endian, length-prefixed,
+//! tagged), so replies are byte-stable given equal state — which is what
+//! lets the load generator compare replicas structurally.
+
+use ftm_crypto::wire::{CanonicalDecode, CanonicalEncode, DecodeError, Decoder, Encoder};
+
+/// A client request to one replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Enqueue `value` as a command this replica proposes for an upcoming
+    /// slot.
+    Submit {
+        /// The command value.
+        value: u64,
+    },
+    /// Ask for a [`Status`] snapshot.
+    Status,
+    /// Ask the replica to exit after replying.
+    Shutdown,
+}
+
+impl CanonicalEncode for Request {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Request::Submit { value } => {
+                enc.tag(1);
+                enc.u64(*value);
+            }
+            Request::Status => enc.tag(2),
+            Request::Shutdown => enc.tag(3),
+        }
+    }
+}
+
+impl CanonicalDecode for Request {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.tag()? {
+            1 => Ok(Request::Submit { value: dec.u64()? }),
+            2 => Ok(Request::Status),
+            3 => Ok(Request::Shutdown),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+/// One replica's self-reported state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Status {
+    /// The replica's process id.
+    pub me: u32,
+    /// Replica-local milliseconds since it started (clients use the max
+    /// across replicas as the run's elapsed time, keeping the load
+    /// generator clock-free).
+    pub now_ms: u64,
+    /// Log slots decided so far.
+    pub decided_slots: u64,
+    /// Whether the replica's actor halted (log complete).
+    pub halted: bool,
+    /// Whether a contradictory decision was attempted (must stay false).
+    pub contradicted: bool,
+    /// SHA-256 of the decided log prefix (see [`crate::log_digest`]).
+    pub log_digest: Vec<u8>,
+    /// Convictions this replica's detectors produced, as
+    /// `"culprit class"` strings (must stay empty in honest runs).
+    pub convicted: Vec<String>,
+    /// Client-submitted commands still queued.
+    pub queued: u64,
+    /// Transport counters: messages handed to the transport.
+    pub msgs_sent: u64,
+    /// Messages delivered to the actor.
+    pub msgs_received: u64,
+    /// Bytes written (frames + loopback payloads).
+    pub bytes_sent: u64,
+    /// Bytes received.
+    pub bytes_received: u64,
+}
+
+/// A string as canonical bytes (UTF-8, length-prefixed).
+fn encode_str(enc: &mut Encoder, s: &str) {
+    enc.bytes(s.as_bytes());
+}
+
+fn decode_str(dec: &mut Decoder<'_>) -> Result<String, DecodeError> {
+    // Tag 0 stands in for "invalid UTF-8" — the canonical encoder only
+    // ever writes valid UTF-8, so hitting this means corruption.
+    String::from_utf8(dec.bytes()?).map_err(|_| DecodeError::BadTag(0))
+}
+
+impl CanonicalEncode for Status {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u32(self.me);
+        enc.u64(self.now_ms);
+        enc.u64(self.decided_slots);
+        enc.bool(self.halted);
+        enc.bool(self.contradicted);
+        enc.bytes(&self.log_digest);
+        enc.u32(u32::try_from(self.convicted.len()).unwrap_or(u32::MAX));
+        for c in &self.convicted {
+            encode_str(enc, c);
+        }
+        enc.u64(self.queued);
+        enc.u64(self.msgs_sent);
+        enc.u64(self.msgs_received);
+        enc.u64(self.bytes_sent);
+        enc.u64(self.bytes_received);
+    }
+}
+
+impl CanonicalDecode for Status {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let me = dec.u32()?;
+        let now_ms = dec.u64()?;
+        let decided_slots = dec.u64()?;
+        let halted = dec.bool()?;
+        let contradicted = dec.bool()?;
+        let log_digest = dec.bytes()?;
+        let n_convicted = dec.u32()?;
+        if n_convicted as usize > dec.remaining() {
+            return Err(DecodeError::BadLength(n_convicted));
+        }
+        let mut convicted = Vec::with_capacity(n_convicted as usize);
+        for _ in 0..n_convicted {
+            convicted.push(decode_str(dec)?);
+        }
+        Ok(Status {
+            me,
+            now_ms,
+            decided_slots,
+            halted,
+            contradicted,
+            log_digest,
+            convicted,
+            queued: dec.u64()?,
+            msgs_sent: dec.u64()?,
+            msgs_received: dec.u64()?,
+            bytes_sent: dec.u64()?,
+            bytes_received: dec.u64()?,
+        })
+    }
+}
+
+/// A replica's reply to one [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// The command was queued; `queued` is the depth after the push.
+    Submitted {
+        /// Queue depth after the submit.
+        queued: u64,
+    },
+    /// The status snapshot.
+    Status(Status),
+    /// Acknowledges a shutdown; the connection closes after this frame.
+    ShuttingDown,
+    /// The request frame could not be decoded.
+    BadRequest(String),
+}
+
+impl CanonicalEncode for Reply {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Reply::Submitted { queued } => {
+                enc.tag(1);
+                enc.u64(*queued);
+            }
+            Reply::Status(s) => {
+                enc.tag(2);
+                s.encode(enc);
+            }
+            Reply::ShuttingDown => enc.tag(3),
+            Reply::BadRequest(msg) => {
+                enc.tag(4);
+                encode_str(enc, msg);
+            }
+        }
+    }
+}
+
+impl CanonicalDecode for Reply {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.tag()? {
+            1 => Ok(Reply::Submitted { queued: dec.u64()? }),
+            2 => Ok(Reply::Status(Status::decode(dec)?)),
+            3 => Ok(Reply::ShuttingDown),
+            4 => Ok(Reply::BadRequest(decode_str(dec)?)),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_status() -> Status {
+        Status {
+            me: 2,
+            now_ms: 1234,
+            decided_slots: 17,
+            halted: false,
+            contradicted: false,
+            log_digest: vec![0xAB; 32],
+            convicted: vec!["p3 bad-certificate".to_string()],
+            queued: 5,
+            msgs_sent: 100,
+            msgs_received: 90,
+            bytes_sent: 4000,
+            bytes_received: 3800,
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in [
+            Request::Submit { value: 7 },
+            Request::Status,
+            Request::Shutdown,
+        ] {
+            let bytes = req.canonical_bytes();
+            assert_eq!(Request::from_canonical_bytes(&bytes), Ok(req));
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        for reply in [
+            Reply::Submitted { queued: 3 },
+            Reply::Status(sample_status()),
+            Reply::ShuttingDown,
+            Reply::BadRequest("tag 9".to_string()),
+        ] {
+            let bytes = reply.canonical_bytes();
+            assert_eq!(Reply::from_canonical_bytes(&bytes), Ok(reply.clone()));
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicked() {
+        assert!(Request::from_canonical_bytes(&[9]).is_err());
+        assert!(Reply::from_canonical_bytes(&[]).is_err());
+        let mut truncated = Reply::Status(sample_status()).canonical_bytes();
+        truncated.truncate(truncated.len() / 2);
+        assert!(Reply::from_canonical_bytes(&truncated).is_err());
+    }
+}

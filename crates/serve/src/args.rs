@@ -1,0 +1,127 @@
+//! A tiny `--flag value` parser: no positional arguments, every flag
+//! takes exactly one value, unknown flags are errors. Hand-rolled so the
+//! binaries stay dependency-free.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Default)]
+pub struct Args {
+    map: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs from an argument iterator (without the
+    /// program name).
+    ///
+    /// # Errors
+    ///
+    /// A flag without a value, a value without a flag, a repeated flag,
+    /// or a flag not in `known`.
+    pub fn parse(argv: impl Iterator<Item = String>, known: &[&str]) -> Result<Self, String> {
+        let mut map = BTreeMap::new();
+        let mut argv = argv.peekable();
+        while let Some(arg) = argv.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{arg}`"));
+            };
+            if !known.contains(&key) {
+                return Err(format!(
+                    "unknown flag --{key} (known: {})",
+                    known.join(", ")
+                ));
+            }
+            let Some(value) = argv.next() else {
+                return Err(format!("flag --{key} needs a value"));
+            };
+            if map.insert(key.to_string(), value).is_some() {
+                return Err(format!("flag --{key} given twice"));
+            }
+        }
+        Ok(Args { map })
+    }
+
+    /// The raw value of `key`, if given.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// The flag is missing.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// An integer flag (decimal or `0x` hex) with a default.
+    ///
+    /// # Errors
+    ///
+    /// The value does not parse as an integer.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => {
+                let parsed = match raw.strip_prefix("0x") {
+                    Some(hexpart) => u64::from_str_radix(hexpart, 16),
+                    None => raw.parse(),
+                };
+                parsed.map_err(|_| format!("flag --{key}: `{raw}` is not an integer"))
+            }
+        }
+    }
+
+    /// A comma-separated list flag.
+    ///
+    /// # Errors
+    ///
+    /// The flag is missing or empty.
+    pub fn list(&self, key: &str) -> Result<Vec<String>, String> {
+        let raw = self.required(key)?;
+        let items: Vec<String> = raw
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        if items.is_empty() {
+            return Err(format!("flag --{key} lists no items"));
+        }
+        Ok(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, String> {
+        Args::parse(
+            words.iter().map(|s| (*s).to_string()),
+            &["id", "peers", "seed"],
+        )
+    }
+
+    #[test]
+    fn flags_parse_with_defaults_and_hex() {
+        let args = parse(&["--id", "2", "--peers", "a:1,b:2", "--seed", "0xD00D"]).expect("parse");
+        assert_eq!(args.u64_or("id", 0), Ok(2));
+        assert_eq!(args.u64_or("seed", 0), Ok(0xD00D));
+        assert_eq!(args.u64_or("missing", 7), Ok(7));
+        assert_eq!(args.list("peers"), Ok(vec!["a:1".into(), "b:2".into()]));
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(parse(&["positional"]).is_err());
+        assert!(parse(&["--id"]).is_err());
+        assert!(parse(&["--id", "1", "--id", "2"]).is_err());
+        assert!(parse(&["--bogus", "1"]).is_err());
+        let args = parse(&["--id", "zz"]).expect("parses as string");
+        assert!(args.u64_or("id", 0).is_err());
+        assert!(args.required("peers").is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! `ftm-serve`: one replica of the transformed Byzantine replicated log
+//! on real TCP.
+//!
+//! ```text
+//! ftm-serve --id 0 --peers 127.0.0.1:7100,127.0.0.1:7101,... \
+//!           [--protocol hr|ct] [--f 1] [--slots 1000] [--seed 0xD00D] \
+//!           [--cluster 0] [--timeout-ms 120000]
+//! ```
+//!
+//! The replica is the *same actor* the simulator sweeps: a
+//! [`ReplicatedLog`] over the Hurfin–Raynal (`hr`) or Chandra–Toueg
+//! (`ct`) transformed consensus, full certify/detect stack included. Key
+//! material is derived deterministically from `--seed`, so all replicas
+//! started with the same seed share a key directory without any exchange.
+//!
+//! Commands come from client `Submit` requests (see `ftm-load`); when the
+//! queue is empty a slot proposes a deterministic filler value. The
+//! process exits after deciding `--slots` slots *and* receiving a client
+//! `Shutdown` (or when `--timeout-ms` trips), printing a byte-stable JSON
+//! summary on stdout.
+
+use std::collections::VecDeque;
+use std::env;
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+
+use ftm_core::byzantine::log::ReplicatedLog;
+use ftm_core::byzantine::{ByzantineChandraToueg, ByzantineConsensus, TransformedProtocol};
+use ftm_core::config::ProtocolConfig;
+use ftm_crypto::wire::{CanonicalDecode, CanonicalEncode};
+use ftm_net::{parse_convictions, run_node, NetReport, NodeConfig, ServiceReply};
+use ftm_runtime::ProcessId;
+use ftm_serve::api::{Reply, Request, Status};
+use ftm_serve::args::Args;
+use ftm_serve::log_digest;
+use ftm_sim::Json;
+
+const FLAGS: [&str; 8] = [
+    "id",
+    "peers",
+    "protocol",
+    "f",
+    "slots",
+    "seed",
+    "cluster",
+    "timeout-ms",
+];
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("ftm-serve: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = Args::parse(env::args().skip(1), &FLAGS)?;
+    let peers = args.list("peers")?;
+    let id = args.u64_or("id", u64::MAX)?;
+    if id as usize >= peers.len() {
+        return Err(format!(
+            "--id must index into --peers (got {id} with {} peers)",
+            peers.len()
+        ));
+    }
+    let f = args.u64_or("f", 1)? as usize;
+    let slots = args.u64_or("slots", 1000)?;
+    let seed = args.u64_or("seed", 0xD00D)?;
+    let cluster = args.u64_or("cluster", 0)?;
+    let timeout_ms = args.u64_or("timeout-ms", 120_000)?;
+    let me = ProcessId(u32::try_from(id).map_err(|_| "--id out of range".to_string())?);
+    let mut cfg = NodeConfig::new(me, peers, cluster, seed);
+    cfg.run_timeout_ms = timeout_ms;
+    match args.get("protocol").unwrap_or("hr") {
+        "hr" => serve::<ByzantineConsensus>(&cfg, f, slots, seed),
+        "ct" => serve::<ByzantineChandraToueg>(&cfg, f, slots, seed),
+        other => Err(format!("--protocol must be hr or ct, got `{other}`")),
+    }
+}
+
+fn serve<P>(cfg: &NodeConfig, f: usize, slots: u64, seed: u64) -> Result<ExitCode, String>
+where
+    P: TransformedProtocol + Send + 'static,
+{
+    let setup = ProtocolConfig::new(cfg.n, f).seed(seed).setup();
+    let me = cfg.me;
+    // Client-submitted commands; the log's command source drains it one
+    // value per opened slot, falling back to a deterministic filler.
+    let queue: Arc<Mutex<VecDeque<u64>>> = Arc::new(Mutex::new(VecDeque::new()));
+    let source = Arc::clone(&queue);
+    let actor = ReplicatedLog::<P>::new(&setup, me, slots, move |slot, p| {
+        source
+            .lock()
+            .ok()
+            .and_then(|mut q| q.pop_front())
+            .unwrap_or(1_000_000 * (slot + 1) + u64::from(p))
+    });
+    let listener = TcpListener::bind(&cfg.peers[me.index()])
+        .map_err(|e| format!("bind {}: {e}", cfg.peers[me.index()]))?;
+    eprintln!(
+        "ftm-serve: replica {me} of {} listening on {}, {slots} slots",
+        cfg.n,
+        cfg.peers[me.index()]
+    );
+
+    let report =
+        run_node(
+            cfg,
+            listener,
+            actor,
+            |actor, view, frame| match Request::from_canonical_bytes(frame) {
+                Ok(Request::Submit { value }) => {
+                    let queued = match queue.lock() {
+                        Ok(mut q) => {
+                            q.push_back(value);
+                            q.len() as u64
+                        }
+                        Err(_) => 0,
+                    };
+                    ServiceReply::reply(Reply::Submitted { queued }.canonical_bytes())
+                }
+                Ok(Request::Status) => {
+                    let status = Status {
+                        me: me.0,
+                        now_ms: view.now.ticks(),
+                        decided_slots: actor.decided_slots() as u64,
+                        halted: view.halted,
+                        contradicted: view.contradicted,
+                        log_digest: log_digest(actor.decided_log()),
+                        convicted: parse_convictions(view.notes)
+                            .into_iter()
+                            .map(|(who, class)| format!("{who} {class}"))
+                            .collect(),
+                        queued: queue.lock().map_or(0, |q| q.len() as u64),
+                        msgs_sent: view.msgs_sent,
+                        msgs_received: view.msgs_received,
+                        bytes_sent: view.bytes_sent,
+                        bytes_received: view.bytes_received,
+                    };
+                    ServiceReply::reply(Reply::Status(status).canonical_bytes())
+                }
+                Ok(Request::Shutdown) => {
+                    ServiceReply::shutdown(Reply::ShuttingDown.canonical_bytes())
+                }
+                Err(e) => ServiceReply::reply(Reply::BadRequest(format!("{e}")).canonical_bytes()),
+            },
+        )
+        .map_err(|e| format!("node failed: {e}"))?;
+
+    println!("{}", render_report(&report, slots).render());
+    Ok(if report.halted && !report.contradicted {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// The final per-replica summary printed on stdout (integers only, keys
+/// in fixed order — byte-stable given equal state).
+fn render_report<D>(report: &NetReport<D>, slots: u64) -> Json {
+    let convictions: Vec<Json> = parse_convictions(&report.notes)
+        .into_iter()
+        .map(|(who, class)| Json::Str(format!("{who} {class}")))
+        .collect();
+    Json::Obj(vec![
+        ("replica".into(), Json::U64(u64::from(report.me.0))),
+        ("slots_target".into(), Json::U64(slots)),
+        ("halted".into(), Json::Bool(report.halted)),
+        ("contradicted".into(), Json::Bool(report.contradicted)),
+        ("convictions".into(), Json::Arr(convictions)),
+        ("msgs_sent".into(), Json::U64(report.msgs_sent)),
+        ("msgs_received".into(), Json::U64(report.msgs_received)),
+        ("bytes_sent".into(), Json::U64(report.bytes_sent)),
+        ("bytes_received".into(), Json::U64(report.bytes_received)),
+        ("elapsed_ms".into(), Json::U64(report.end_time.ticks())),
+    ])
+}

@@ -54,26 +54,34 @@ pub mod harness;
 pub mod metrics;
 pub mod network;
 pub mod prng;
-pub mod process;
 pub mod report;
 pub mod runner;
-pub mod time;
 pub mod trace;
+
+// The actor surface (`Actor`, `Context`, `Payload`, staging) and virtual
+// time now live in the runtime-agnostic `ftm-runtime` crate, shared with
+// the real transport (`ftm-net`). Re-exported here module-for-module so
+// every pre-existing `ftm_sim::process::...` / `ftm_sim::time::...` path
+// keeps compiling unchanged.
+pub use ftm_runtime::process;
+pub use ftm_runtime::time;
 
 /// Convenient glob import for simulator users.
 pub mod prelude {
     pub use crate::config::{NetworkProfile, SimConfig};
     pub use crate::harness::{sweep, RunRecord, SweepReport};
-    pub use crate::process::{
+    pub use crate::runner::{RunReport, Simulation};
+    pub use ftm_runtime::process::{
         Actor, Context, LayerSplit, Payload, ProcessId, StagedSend, TimerTag,
     };
-    pub use crate::runner::{RunReport, Simulation};
-    pub use crate::time::{Duration, VirtualTime};
+    pub use ftm_runtime::time::{Duration, VirtualTime};
 }
 
 pub use config::{NetworkProfile, SimConfig};
+pub use ftm_runtime::process::{
+    Actor, Context, LayerSplit, Payload, ProcessId, StagedSend, TimerTag,
+};
+pub use ftm_runtime::time::{Duration, VirtualTime};
 pub use harness::{sweep, RunRecord, SweepReport};
-pub use process::{Actor, Context, LayerSplit, Payload, ProcessId, StagedSend, TimerTag};
 pub use report::Json;
 pub use runner::{RunReport, Simulation};
-pub use time::{Duration, VirtualTime};

@@ -1,5 +1,12 @@
 //! The simulation runner: event loop, effect application, run reports.
 //!
+//! The runner is the simulator's implementation of the runtime-agnostic
+//! [`ftm_runtime::Runtime`] seam: a private `SimDriver` maps the trait's
+//! capabilities onto the seeded delay model (`dispatch` → delivery events,
+//! `schedule` → timer events, `now` → virtual time, `rng_draw` → the run's
+//! one PRNG stream), and every callback goes through [`ftm_runtime::step`]
+//! — the same choke point the real transport uses.
+//!
 //! Payloads travel the event queue behind [`Arc`]: a broadcast allocates
 //! its message once and every pending delivery shares it, so large
 //! envelopes (signature + certificate) are not cloned per receiver.
@@ -7,13 +14,15 @@
 use std::fmt;
 use std::sync::Arc;
 
+use ftm_runtime::{step, Runtime};
+
 use crate::config::SimConfig;
 use crate::event::{EventKind, EventQueue};
 use crate::metrics::Metrics;
 use crate::network::Network;
 use crate::prng::{Rng64, Xoshiro256PlusPlus};
-use crate::process::{Actor, Context, Payload, ProcessId, StagedSend};
-use crate::time::VirtualTime;
+use crate::process::{Actor, Payload, ProcessId, StagedSend, TimerTag};
+use crate::time::{Duration, VirtualTime};
 use crate::trace::{Trace, TraceEvent};
 
 /// A boxed, type-erased actor (lets one run mix honest and faulty actors).
@@ -149,167 +158,229 @@ where
     pub fn run(self) -> RunReport<D> {
         let Simulation { cfg, mut actors } = self;
         let n = cfg.n;
-        let mut rng = Xoshiro256PlusPlus::from_seed(cfg.rng_seed);
-        let mut network = Network::new(&cfg);
-        // The queue carries `Arc<M>` so one broadcast payload backs all of
-        // its pending deliveries.
-        let mut queue: EventQueue<Arc<M>> = EventQueue::new();
-        let mut trace = Trace::new();
-        let mut metrics = Metrics::new(n);
-        let mut decisions: Vec<Option<D>> = vec![None; n];
-        let mut crashed = vec![false; n];
-        let mut halted = vec![false; n];
-        let mut contradictions = Vec::new();
+        let mut d: SimDriver<M, D> = SimDriver {
+            n,
+            now: VirtualTime::ZERO,
+            rng: Xoshiro256PlusPlus::from_seed(cfg.rng_seed),
+            network: Network::new(&cfg),
+            queue: EventQueue::new(),
+            trace: Trace::new(),
+            metrics: Metrics::new(n),
+            decisions: vec![None; n],
+            crashed: vec![false; n],
+            halted: vec![false; n],
+            contradictions: Vec::new(),
+            max_rounds: cfg.max_rounds,
+            round_cap_hit: false,
+            all_stopped: false,
+        };
 
         // Crashes are scheduled first so a crash at the same instant as a
         // delivery or start pre-empts it (the process dies before acting).
         for &(idx, at) in &cfg.crashes {
-            queue.push(at, ProcessId(idx as u32), EventKind::Crash);
+            d.queue.push(at, ProcessId(idx as u32), EventKind::Crash);
         }
         for i in 0..n as u32 {
-            queue.push(VirtualTime::ZERO, ProcessId(i), EventKind::Start);
+            d.queue
+                .push(VirtualTime::ZERO, ProcessId(i), EventKind::Start);
         }
 
-        let mut now = VirtualTime::ZERO;
         let stop = loop {
-            let Some(ev) = queue.pop() else {
+            let Some(ev) = d.queue.pop() else {
                 break StopReason::Quiescent;
             };
             if ev.at > cfg.max_time {
                 break StopReason::TimeLimit;
             }
-            if metrics.events_processed >= cfg.max_events {
+            if d.metrics.events_processed >= cfg.max_events {
                 break StopReason::EventLimit;
             }
-            metrics.events_processed += 1;
-            now = ev.at;
+            d.metrics.events_processed += 1;
+            d.now = ev.at;
             let pid = ev.target;
             let idx = pid.index();
 
             if let EventKind::Crash = ev.kind {
-                if !crashed[idx] {
-                    crashed[idx] = true;
-                    trace.record(now, TraceEvent::Crash { process: pid });
+                if !d.crashed[idx] {
+                    d.crashed[idx] = true;
+                    d.trace.record(d.now, TraceEvent::Crash { process: pid });
                 }
-                if crashed.iter().zip(&halted).all(|(c, h)| *c || *h) {
+                if d.crashed.iter().zip(&d.halted).all(|(c, h)| *c || *h) {
                     break StopReason::AllStopped;
                 }
                 continue;
             }
-            if crashed[idx] || halted[idx] {
+            if d.crashed[idx] || d.halted[idx] {
                 continue; // silence of the dead
             }
 
-            // Run the callback with a context borrowing the run RNG.
-            let effects = {
-                let mut draw = || rng.next_u64();
-                let mut ctx: Context<'_, M, D> = Context::new(now, pid, n, &mut draw);
-                match ev.kind {
-                    EventKind::Start => actors[idx].on_start(&mut ctx),
-                    EventKind::Deliver { from, msg } => {
-                        metrics.on_deliver();
-                        trace.record(
-                            now,
-                            TraceEvent::Deliver {
-                                src: from,
-                                dst: pid,
-                                label: msg.label(),
-                            },
-                        );
-                        actors[idx].on_message(from, msg.as_ref(), &mut ctx);
-                    }
-                    EventKind::Timer { tag } => {
-                        metrics.on_timer();
-                        trace.record(
-                            now,
-                            TraceEvent::Timer {
-                                at_process: pid,
-                                tag,
-                            },
-                        );
-                        actors[idx].on_timer(tag, &mut ctx);
-                    }
-                    EventKind::Crash => unreachable!("handled above"),
-                }
-                ctx.into_effects()
-            };
-
-            for staged in effects.sends {
-                let (targets, msg) = match staged {
-                    StagedSend::To(to, msg) => (vec![to], Arc::new(msg)),
-                    StagedSend::ToAll(msg) => {
-                        ((0..n as u32).map(ProcessId).collect(), Arc::new(msg))
-                    }
-                };
-                for to in targets {
-                    metrics.on_send(pid, msg.layer_split());
-                    trace.record(
-                        now,
-                        TraceEvent::Send {
-                            src: pid,
-                            dst: to,
-                            bytes: msg.size_bytes(),
+            // One callback through the shared runtime choke point: the
+            // context borrows the driver's clock and RNG, and the staged
+            // effects are applied in the canonical order.
+            match ev.kind {
+                EventKind::Start => step(&mut d, pid, |ctx| actors[idx].on_start(ctx)),
+                EventKind::Deliver { from, msg } => {
+                    d.metrics.on_deliver();
+                    d.trace.record(
+                        d.now,
+                        TraceEvent::Deliver {
+                            src: from,
+                            dst: pid,
                             label: msg.label(),
                         },
                     );
-                    let at = network.delivery_time(&mut rng, pid, to, now);
-                    queue.push(
-                        at,
-                        to,
-                        EventKind::Deliver {
-                            from: pid,
-                            msg: Arc::clone(&msg),
+                    step(&mut d, pid, |ctx| {
+                        actors[idx].on_message(from, msg.as_ref(), ctx);
+                    });
+                }
+                EventKind::Timer { tag } => {
+                    d.metrics.on_timer();
+                    d.trace.record(
+                        d.now,
+                        TraceEvent::Timer {
+                            at_process: pid,
+                            tag,
                         },
                     );
+                    step(&mut d, pid, |ctx| actors[idx].on_timer(tag, ctx));
                 }
+                EventKind::Crash => unreachable!("handled above"),
             }
-            for (delay, tag) in effects.timers {
-                queue.push(now + delay, pid, EventKind::Timer { tag });
+
+            // Break precedence: a completed run (everyone halted/crashed)
+            // wins over the round-cap backstop at the same instant.
+            if d.all_stopped {
+                break StopReason::AllStopped;
             }
-            let mut round_cap_hit = false;
-            for text in effects.notes {
-                if let (Some(cap), Some(round)) = (cfg.max_rounds, note_round(&text)) {
-                    round_cap_hit |= round > cap;
-                }
-                trace.record(now, TraceEvent::Note { process: pid, text });
-            }
-            if let Some(value) = effects.decision {
-                match &decisions[idx] {
-                    None => {
-                        trace.record(
-                            now,
-                            TraceEvent::Decide {
-                                process: pid,
-                                value: format!("{value:?}"),
-                            },
-                        );
-                        decisions[idx] = Some(value);
-                    }
-                    Some(prev) if *prev != value => contradictions.push(pid),
-                    Some(_) => {}
-                }
-            }
-            if effects.halted {
-                halted[idx] = true;
-                trace.record(now, TraceEvent::Halt { process: pid });
-                if crashed.iter().zip(&halted).all(|(c, h)| *c || *h) {
-                    break StopReason::AllStopped;
-                }
-            }
-            if round_cap_hit {
+            if d.round_cap_hit {
                 break StopReason::RoundLimit;
             }
         };
 
         RunReport {
-            decisions,
-            crashed,
-            halted,
-            contradictions,
-            end_time: now,
+            decisions: d.decisions,
+            crashed: d.crashed,
+            halted: d.halted,
+            contradictions: d.contradictions,
+            end_time: d.now,
             stop,
-            trace,
-            metrics,
+            trace: d.trace,
+            metrics: d.metrics,
+        }
+    }
+}
+
+/// The simulator's [`Runtime`]: maps the runtime-agnostic capabilities
+/// onto the event queue, the seeded delay model and the run's collectors.
+///
+/// Private to the runner — users see only [`Simulation::run`]'s report.
+/// The effect-application order (inherited from
+/// [`Runtime::apply_effects`]) and the RNG draw order (callback draws,
+/// then one delivery-time draw per dispatched copy, in staging order) are
+/// what keep sweep reports byte-identical across refactors.
+struct SimDriver<M: Payload, D> {
+    n: usize,
+    now: VirtualTime,
+    rng: Xoshiro256PlusPlus,
+    network: Network,
+    queue: EventQueue<Arc<M>>,
+    trace: Trace,
+    metrics: Metrics,
+    decisions: Vec<Option<D>>,
+    crashed: Vec<bool>,
+    halted: Vec<bool>,
+    contradictions: Vec<ProcessId>,
+    max_rounds: Option<u64>,
+    round_cap_hit: bool,
+    all_stopped: bool,
+}
+
+impl<M, D> Runtime<M, D> for SimDriver<M, D>
+where
+    M: Payload,
+    D: Clone + PartialEq + fmt::Debug,
+{
+    fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    fn process_count(&self) -> usize {
+        self.n
+    }
+
+    fn rng_draw(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    fn dispatch(&mut self, from: ProcessId, send: StagedSend<M>) {
+        // A broadcast is expanded here, sharing one `Arc` across all `n`
+        // pending deliveries.
+        let (targets, msg) = match send {
+            StagedSend::To(to, msg) => (vec![to], Arc::new(msg)),
+            StagedSend::ToAll(msg) => ((0..self.n as u32).map(ProcessId).collect(), Arc::new(msg)),
+        };
+        for to in targets {
+            self.metrics.on_send(from, msg.layer_split());
+            self.trace.record(
+                self.now,
+                TraceEvent::Send {
+                    src: from,
+                    dst: to,
+                    bytes: msg.size_bytes(),
+                    label: msg.label(),
+                },
+            );
+            let at = self
+                .network
+                .delivery_time(&mut self.rng, from, to, self.now);
+            self.queue.push(
+                at,
+                to,
+                EventKind::Deliver {
+                    from,
+                    msg: Arc::clone(&msg),
+                },
+            );
+        }
+    }
+
+    fn schedule(&mut self, at: ProcessId, delay: Duration, tag: TimerTag) {
+        self.queue
+            .push(self.now + delay, at, EventKind::Timer { tag });
+    }
+
+    fn emit_note(&mut self, at: ProcessId, text: String) {
+        if let (Some(cap), Some(round)) = (self.max_rounds, note_round(&text)) {
+            self.round_cap_hit |= round > cap;
+        }
+        self.trace
+            .record(self.now, TraceEvent::Note { process: at, text });
+    }
+
+    fn record_decision(&mut self, at: ProcessId, value: D) {
+        let idx = at.index();
+        match &self.decisions[idx] {
+            None => {
+                self.trace.record(
+                    self.now,
+                    TraceEvent::Decide {
+                        process: at,
+                        value: format!("{value:?}"),
+                    },
+                );
+                self.decisions[idx] = Some(value);
+            }
+            Some(prev) if *prev != value => self.contradictions.push(at),
+            Some(_) => {}
+        }
+    }
+
+    fn record_halt(&mut self, at: ProcessId) {
+        self.halted[at.index()] = true;
+        self.trace
+            .record(self.now, TraceEvent::Halt { process: at });
+        if self.crashed.iter().zip(&self.halted).all(|(c, h)| *c || *h) {
+            self.all_stopped = true;
         }
     }
 }
@@ -317,6 +388,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::process::Context;
     use crate::time::Duration;
 
     /// Sends its id to everyone; decides on the sum of received ids.

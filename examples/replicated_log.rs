@@ -13,8 +13,8 @@ use ft_modular::core::byzantine::ByzantineConsensus;
 use ft_modular::core::config::ProtocolConfig;
 use ft_modular::faults::attacks::{DecideForger, MuteAfter, VectorCorruptor, VoteDuplicator};
 use ft_modular::faults::{ByzantineWrapper, Tamper};
-use ft_modular::sim::runner::BoxedActor;
-use ft_modular::sim::{Duration, SimConfig, Simulation, VirtualTime};
+use ft_modular::runtime::{Duration, SendBoxedActor, VirtualTime};
+use ft_modular::sim::{SimConfig, Simulation};
 
 const N: usize = 4;
 const SLOTS: u64 = 6;
@@ -95,7 +95,7 @@ fn main() {
                     attack.take().expect("exactly one attacker"),
                     setup.keys[3].clone(),
                     Duration::of(10),
-                )) as BoxedActor<_, ValueVector>
+                )) as SendBoxedActor<_, ValueVector>
             } else {
                 Box::new(honest)
             }

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Loopback smoke: boot four ftm-serve replicas of the transformed
+# Byzantine replicated log on 127.0.0.1 and drive them with ftm-load.
+#
+# Exit 0 requires BOTH:
+#   * ftm-load exits 0 — every replica halted, completed every slot,
+#     produced the same log digest, and convicted nobody;
+#   * every ftm-serve replica exits 0 — its own log halted
+#     uncontradicted.
+#
+# Tunables (env): SLOTS (default 1000), BASE_PORT (7100), SEED (0xD00D),
+# OUT (loopback-report.json), BIN (target/release), TIMEOUT_MS (120000).
+set -euo pipefail
+
+SLOTS="${SLOTS:-1000}"
+BASE_PORT="${BASE_PORT:-7100}"
+SEED="${SEED:-0xD00D}"
+OUT="${OUT:-loopback-report.json}"
+BIN="${BIN:-target/release}"
+TIMEOUT_MS="${TIMEOUT_MS:-120000}"
+
+PEERS="127.0.0.1:${BASE_PORT},127.0.0.1:$((BASE_PORT + 1)),127.0.0.1:$((BASE_PORT + 2)),127.0.0.1:$((BASE_PORT + 3))"
+
+pids=()
+cleanup() {
+    for pid in "${pids[@]}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
+
+for i in 0 1 2 3; do
+    "$BIN/ftm-serve" --id "$i" --peers "$PEERS" --protocol hr --f 1 \
+        --slots "$SLOTS" --seed "$SEED" --timeout-ms "$TIMEOUT_MS" &
+    pids+=("$!")
+done
+
+"$BIN/ftm-load" --peers "$PEERS" --slots "$SLOTS" \
+    --timeout-ms "$TIMEOUT_MS" --out "$OUT"
+
+# ftm-load shut every replica down; each must report a clean exit.
+for pid in "${pids[@]}"; do
+    wait "$pid"
+done
+trap - EXIT
+
+echo "== load report ($OUT) =="
+cat "$OUT"

@@ -11,8 +11,13 @@
 //!
 //! * [`crypto`] — from-scratch SHA-256, bignum, RSA signatures, key
 //!   directory, canonical encoding;
+//! * [`runtime`] — the runtime-agnostic actor boundary: [`runtime::Actor`],
+//!   staged effects, virtual time, and the [`runtime::Runtime`] trait both
+//!   runtimes implement;
 //! * [`sim`] — deterministic discrete-event simulator (reliable FIFO
 //!   channels, partial synchrony, crash scheduling);
+//! * [`net`] — threaded TCP transport: the same actors over real sockets
+//!   (`ftm-serve` / `ftm-load` binaries live in the `ftm-serve` crate);
 //! * [`fd`] — failure detectors: ◇S (crash), ◇M (muteness), quiet-process
 //!   baseline, oracles, and quality measurement;
 //! * [`certify`] — signed envelopes, certificates, the certificate
@@ -74,6 +79,8 @@ pub use ftm_crypto as crypto;
 pub use ftm_detect as detect;
 pub use ftm_faults as faults;
 pub use ftm_fd as fd;
+pub use ftm_net as net;
 pub use ftm_rbcast as rbcast;
+pub use ftm_runtime as runtime;
 pub use ftm_sim as sim;
 pub use ftm_verify as verify;
