@@ -16,5 +16,6 @@ pub mod experiments;
 pub mod report;
 pub mod suite;
 pub mod timing;
+pub mod transport;
 
 pub use report::Table;

@@ -34,6 +34,7 @@ const SLOTS: u64 = 3;
 pub fn run_suite() {
     retention_benches();
     signature_benches();
+    crate::transport::transport_benches();
 }
 
 /// The retained-evidence bytes a fixed-seed log run reports at replica 0:

@@ -165,6 +165,19 @@ impl Group {
         self.report(name, &mut samples, iters, bytes);
     }
 
+    /// Records one externally timed measurement: `ops` operations took
+    /// `elapsed_ms` wall-clock milliseconds. The per-op figure is the
+    /// integer ratio `elapsed_ms · 10⁶ / ops` ns/op with one sample —
+    /// for end-to-end workloads (a whole cluster run) where the
+    /// calibrated inner loop of [`bench`](Self::bench) would repeat a
+    /// multi-second job seven times. Wall-clock only, so the gate treats
+    /// it like every other median: soft (warn beyond +25 %).
+    pub fn record_ops(&mut self, name: &str, ops: u64, elapsed_ms: u64) {
+        let per_op = elapsed_ms.saturating_mul(1_000_000) / ops.max(1);
+        let mut samples = [per_op.max(1)];
+        self.report(name, &mut samples, 1, None);
+    }
+
     /// Benchmarks `f` with a fresh `setup()` value per call, timing only
     /// `f`. Each call is timed individually, so the per-op figure carries
     /// ~tens of nanoseconds of timer overhead — negligible for the
@@ -213,10 +226,11 @@ impl Group {
                 .bytes_per_sec()
                 .map_or(String::new(), |bps| format!("   {bps} B/s"));
             println!(
-                "{:<30} {:>12} ns/op   (best {:>12}, {iters} iters x {SAMPLES} samples){throughput}",
+                "{:<30} {:>12} ns/op   (best {:>12}, {iters} iters x {} samples){throughput}",
                 format!("{}/{name}", self.name),
                 median,
                 best,
+                result.samples,
             );
         }
         RESULTS.lock().unwrap().push(result);
@@ -308,6 +322,22 @@ mod tests {
             .unwrap();
         assert_eq!(r.bytes_per_op, Some(4096));
         assert!(r.bytes_per_sec().unwrap() > 0);
+    }
+
+    #[test]
+    fn record_ops_is_an_integer_ratio_single_sample() {
+        let mut g = Group::new("record-test");
+        g.record_ops("cluster", 500, 2_000); // 500 ops in 2 s = 4 ms/op
+        let results = RESULTS.lock().unwrap();
+        let r = results
+            .iter()
+            .rev()
+            .find(|r| r.group == "record-test")
+            .unwrap();
+        assert_eq!(r.median_ns, 4_000_000);
+        assert_eq!(r.samples, 1);
+        assert_eq!(r.iters, 1);
+        assert_eq!(r.bytes_per_op, None);
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Gated end-to-end transport benchmarks: in-process loopback clusters
+//! of the transformed Byzantine replicated log, driven by the
+//! single-threaded many-client load loop (DESIGN.md §15).
+//!
+//! Three rows, all wall-clock-only (`bytes-per-op` stays `null` — real
+//! sockets make byte counts schedule-dependent, so the hard byte gate
+//! does not apply; the medians ride the soft +25 % gate like every other
+//! timing):
+//!
+//! * `transport/batch-1-512cmds` — 512 client commands, one per slot;
+//! * `transport/batch-16-512cmds` — the same 512 commands packed up to
+//!   16 per slot (the amortization `--batch` buys; the acceptance bar is
+//!   ≥ 3×, and the ratio grows with workload size because each consensus
+//!   slot costs the same regardless of how many commands ride it);
+//! * `transport/many-client-1000x6` — 1000 concurrent client
+//!   connections, six requests each, against four replicas. The row
+//!   doubles as a functional gate: the run panics unless every one of
+//!   the 6000 submissions completes and commits.
+//!
+//! The per-op figure is nanoseconds per *committed command* — elapsed
+//! wall-clock of the whole run (submission + consensus + commit
+//! settlement) divided by commands committed. Replica threads go through
+//! [`ftm_net::spawn_node`] (the D4-sanctioned harness) and all timing
+//! through [`crate::timing::Stopwatch`] (the D3-sanctioned clock).
+
+use std::sync::{Arc, Mutex};
+
+use ftm_core::byzantine::log::ReplicatedLog;
+use ftm_core::byzantine::ByzantineConsensus;
+use ftm_core::config::ProtocolConfig;
+use ftm_crypto::wire::{CanonicalDecode, CanonicalEncode};
+use ftm_net::{
+    bind_cluster, run_load, spawn_node, ClientConn, LoadConfig, NodeConfig, NodeHandle,
+    ServiceReply,
+};
+use ftm_runtime::ProcessId;
+use ftm_serve::api::{Reply, Request, Status};
+use ftm_serve::batch::BatchState;
+
+use crate::timing::{Group, Stopwatch};
+
+/// Cluster shape for every transport row (the loopback-smoke shape).
+const N: usize = 4;
+const F: usize = 1;
+
+/// Fixed seed: key material and backoff jitter are reproducible; the
+/// wall-clock medians of course are not (and are soft-gated).
+const SEED: u64 = 17;
+
+/// Shape of one measured cluster run.
+struct Workload {
+    /// Concurrent client connections in the load loop.
+    clients: usize,
+    /// Submissions per client.
+    requests_per_client: u64,
+    /// Max commands a replica packs into one slot.
+    batch: u64,
+    /// Cluster id (distinct per row so stray sockets cannot cross-talk).
+    cluster: u64,
+}
+
+/// Outcome of one run: total committed commands and the wall-clock the
+/// whole thing took.
+struct Outcome {
+    committed: u64,
+    elapsed_ms: u64,
+}
+
+/// Runs the gated transport rows.
+pub fn transport_benches() {
+    let mut g = Group::new("transport");
+    let rows: [(&str, Workload); 3] = [
+        (
+            "batch-1-512cmds",
+            Workload {
+                clients: 16,
+                requests_per_client: 32,
+                batch: 1,
+                cluster: 0xBE01,
+            },
+        ),
+        (
+            "batch-16-512cmds",
+            Workload {
+                clients: 16,
+                requests_per_client: 32,
+                batch: 16,
+                cluster: 0xBE16,
+            },
+        ),
+        (
+            "many-client-1000x6",
+            Workload {
+                clients: 1000,
+                requests_per_client: 6,
+                batch: 8,
+                cluster: 0xBEC1,
+            },
+        ),
+    ];
+    for (name, workload) in rows {
+        let outcome = run_cluster(&workload);
+        g.record_ops(name, outcome.committed, outcome.elapsed_ms.max(1));
+    }
+}
+
+/// Boots an in-process loopback cluster, pushes the workload through the
+/// many-client load loop, waits until every submitted command committed,
+/// then shuts the cluster down. Panics on any shortfall — a transport
+/// that drops commands must fail the bench gate, not report a number.
+fn run_cluster(w: &Workload) -> Outcome {
+    let total = w.clients as u64 * w.requests_per_client;
+    // The log is free-running: slots that open while the queue is empty
+    // carry filler, so no fixed log length can promise capacity for the
+    // whole workload (the filler fraction depends on the submission/
+    // consensus race). Instead the budget is effectively unbounded and
+    // the run ends on the client `Shutdown` once everything committed.
+    let slots = 1_000_000;
+
+    let setup = ProtocolConfig::new(N, F).seed(SEED).setup();
+    let (listeners, addrs) = bind_cluster(N).expect("bind loopback cluster");
+    let mut handles: Vec<NodeHandle<Vec<ftm_certify::ValueVector>>> = Vec::new();
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let me = ProcessId(i as u32);
+        // The same three-way ledger split as ftm-serve's main: command
+        // source, slot-seal settlement, client service.
+        let ledger: Arc<Mutex<BatchState>> = Arc::new(Mutex::new(BatchState::new(w.batch)));
+        let source = Arc::clone(&ledger);
+        let settle = Arc::clone(&ledger);
+        let actor = ReplicatedLog::<ByzantineConsensus>::new(&setup, me, slots, move |slot, p| {
+            source
+                .lock()
+                .ok()
+                .and_then(|mut q| q.propose(slot))
+                .unwrap_or(1_000_000 * (slot + 1) + u64::from(p))
+        })
+        .with_slot_hook(move |slot, vector| {
+            if let Ok(mut q) = settle.lock() {
+                q.on_sealed(slot, vector.get(me.index()));
+            }
+        });
+        let mut cfg = NodeConfig::new(me, addrs.clone(), w.cluster, SEED);
+        cfg.run_timeout_ms = 120_000;
+        let batch = w.batch;
+        handles.push(spawn_node(
+            cfg,
+            listener,
+            Box::new(actor),
+            move |_, view, frame| match Request::from_canonical_bytes(frame) {
+                Ok(Request::Submit { value }) => {
+                    let queued = ledger.lock().map_or(0, |mut q| q.submit(value));
+                    ServiceReply::reply(Reply::Submitted { queued }.canonical_bytes())
+                }
+                Ok(Request::Status) => {
+                    let status = Status {
+                        me: me.0,
+                        now_ms: view.now.ticks(),
+                        decided_slots: 0, // tracked via the slot hook instead
+                        halted: view.halted,
+                        contradicted: view.contradicted,
+                        log_digest: Vec::new(),
+                        convicted: Vec::new(),
+                        queued: ledger.lock().map_or(0, |q| q.queued()),
+                        msgs_sent: view.msgs_sent,
+                        msgs_received: view.msgs_received,
+                        bytes_sent: view.bytes_sent,
+                        bytes_received: view.bytes_received,
+                        batch,
+                        submitted: ledger.lock().map_or(0, |q| q.submitted()),
+                        committed: ledger.lock().map_or(0, |q| q.committed()),
+                        inflight: ledger.lock().map_or(0, |q| q.inflight()),
+                        committed_digest: Vec::new(),
+                    };
+                    ServiceReply::reply(Reply::Status(status).canonical_bytes())
+                }
+                Ok(Request::Shutdown) => {
+                    ServiceReply::shutdown(Reply::ShuttingDown.canonical_bytes())
+                }
+                Err(e) => ServiceReply::reply(Reply::BadRequest(format!("{e}")).canonical_bytes()),
+            },
+        ));
+    }
+
+    let clock = Stopwatch::start();
+    let lcfg = LoadConfig {
+        clients: w.clients,
+        targets: addrs.clone(),
+        cluster: w.cluster,
+        requests_per_client: w.requests_per_client,
+        seed: SEED,
+        timeout_ms: 120_000,
+    };
+    let outcome = run_load(
+        &lcfg,
+        |i, k| {
+            let value = 0xBE_0000_0000 + (i as u64) * w.requests_per_client + k;
+            Request::Submit { value }.canonical_bytes()
+        },
+        |_, frame| {
+            matches!(
+                Reply::from_canonical_bytes(frame),
+                Ok(Reply::Submitted { .. })
+            )
+        },
+    )
+    .expect("load loop");
+    assert_eq!(
+        outcome.completed, total,
+        "load loop finished {} of {total} submissions ({} rejected, {} reconnects)",
+        outcome.completed, outcome.rejected, outcome.reconnects
+    );
+
+    // Settlement: poll each replica until its whole queue committed.
+    let mut committed = 0u64;
+    for (i, addr) in addrs.iter().enumerate() {
+        let mut conn = ClientConn::connect(addr, w.cluster).expect("status connection");
+        loop {
+            let s = status(&mut conn);
+            assert_eq!(
+                s.submitted,
+                s.queued + s.inflight + s.committed,
+                "replica {i} broke ledger conservation"
+            );
+            assert!(!s.contradicted, "replica {i} contradicted itself");
+            if s.queued == 0 && s.inflight == 0 {
+                committed += s.committed;
+                break;
+            }
+            assert!(
+                clock.elapsed_ms() < 110_000,
+                "replica {i} stuck at {} of {} commands ({} queued, {} inflight)",
+                s.committed,
+                s.submitted,
+                s.queued,
+                s.inflight
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+    let elapsed_ms = clock.elapsed_ms();
+    assert_eq!(committed, total, "cluster committed {committed} of {total}");
+
+    for addr in &addrs {
+        if let Ok(mut conn) = ClientConn::connect(addr, w.cluster) {
+            let _ = conn.request(&Request::Shutdown.canonical_bytes());
+        }
+    }
+    for handle in handles {
+        handle.kill().expect("node thread");
+    }
+    Outcome {
+        committed,
+        elapsed_ms,
+    }
+}
+
+fn status(conn: &mut ClientConn) -> Status {
+    let frame = conn
+        .request(&Request::Status.canonical_bytes())
+        .expect("status request");
+    match Reply::from_canonical_bytes(&frame) {
+        Ok(Reply::Status(s)) => s,
+        other => panic!("unexpected status reply: {other:?}"),
+    }
+}

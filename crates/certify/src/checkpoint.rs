@@ -80,6 +80,50 @@ pub fn make_checkpoint(
     Envelope::make(me, Core::Checkpoint { slot, digest }, evidence, key)
 }
 
+/// Recovers the decided vector a checkpoint envelope certifies: the
+/// unique vector backed by `quorum` distinct signed decide-votes whose
+/// [`checkpoint_digest`] matches the envelope's claimed digest.
+///
+/// This is the read side of [`CertChecker::check_checkpoint`]'s rule — a
+/// replica catching up from a peer's checkpoint extracts the slot content
+/// from the quorum itself rather than trusting any unsigned field.
+/// Returns `None` for non-checkpoint envelopes or when no matching quorum
+/// exists; callers must still run the full
+/// [`check_envelope`](crate::CertChecker::check_envelope) admission first
+/// (this helper does not verify signatures).
+///
+/// [`CertChecker::check_checkpoint`]: crate::CertChecker::check_checkpoint
+pub fn checkpoint_vector(
+    protocol: ProtocolId,
+    quorum: usize,
+    env: &Envelope,
+) -> Option<ValueVector> {
+    let Core::Checkpoint { slot, digest } = env.core() else {
+        return None;
+    };
+    let vote_kind = decide_vote_kind(protocol);
+    let mut groups: std::collections::BTreeMap<
+        (crate::message::Round, &ValueVector),
+        std::collections::BTreeSet<ProcessId>,
+    > = std::collections::BTreeMap::new();
+    for item in env.cert.iter() {
+        if item.kind() == vote_kind {
+            if let Some(vector) = item.core().core.vector() {
+                groups
+                    .entry((item.round(), vector))
+                    .or_default()
+                    .insert(item.sender());
+            }
+        }
+    }
+    groups
+        .into_iter()
+        .find(|((_, vector), senders)| {
+            senders.len() >= quorum && checkpoint_digest(protocol, *slot, vector) == *digest
+        })
+        .map(|((_, vector), _)| vector.clone())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,7 +44,7 @@ pub mod vector;
 pub use analyzer::CertChecker;
 pub use batch::verify_envelopes_batched;
 pub use certificate::Certificate;
-pub use checkpoint::{checkpoint_digest, decide_vote_kind, make_checkpoint};
+pub use checkpoint::{checkpoint_digest, checkpoint_vector, decide_vote_kind, make_checkpoint};
 pub use error::{CertifyError, FaultClass};
 pub use message::{Core, MessageCore, MessageKind, ProtocolId, Round, Value, ValueVector};
 pub use signed::{Envelope, SignedCore};

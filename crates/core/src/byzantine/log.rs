@@ -15,7 +15,9 @@
 //! the inner decision instead of halting).
 
 use ftm_certify::analyzer::CertChecker;
-use ftm_certify::{make_checkpoint, Certificate, Envelope, Value, ValueVector};
+use ftm_certify::{
+    checkpoint_vector, make_checkpoint, Certificate, Envelope, MessageKind, Value, ValueVector,
+};
 use ftm_crypto::wire::{CanonicalDecode, CanonicalEncode, DecodeError, Decoder, Encoder};
 use ftm_sim::{Actor, Context, Payload, ProcessId, StagedSend, TimerTag};
 
@@ -124,8 +126,48 @@ pub struct ReplicatedLog<P: TransformedProtocol = ByzantineConsensus> {
     evidence: Vec<(u64, Certificate)>,
     /// The latest checkpoint envelope ([`Retention::Checkpoint`] only).
     checkpoint: Option<Envelope>,
-    /// Audits locally formed checkpoints before they replace evidence.
+    /// Audits locally formed checkpoints before they replace evidence,
+    /// and admits peers' catch-up checkpoints before they reach the log.
     checker: CertChecker,
+    /// Observer of sealed slots (server-side batching accounting); `None`
+    /// keeps the actor bit-identical to the pre-hook behavior.
+    slot_hook: Option<SlotHook>,
+    /// Opt-in checkpoint catch-up (see [`with_catchup`]); `None` (the
+    /// default) keeps wire behavior identical to earlier revisions, which
+    /// is what the byte-replay sim cross-checks rely on.
+    ///
+    /// [`with_catchup`]: ReplicatedLog::with_catchup
+    catchup: Option<Catchup>,
+    /// `true` while the current slot's instance was opened by a
+    /// checkpoint seal rather than a local decide. Such an instance joins
+    /// its slot mid-round — the message prefix it observes is incomplete
+    /// (rounds sent before this replica reconnected are gone) — so the
+    /// per-peer timing automaton's `out-of-order` verdicts over it are
+    /// unsound and get defanged in [`drive`](Self::drive). Signature and
+    /// certificate convictions stay live: forged bytes are proof
+    /// regardless of how much prefix was seen.
+    recovering: bool,
+}
+
+/// A sealed-slot observer: called with `(slot, decided vector)`.
+type SlotHook = Box<dyn FnMut(u64, &ValueVector) + Send>;
+
+/// Throttling state for catch-up replies to one peer.
+#[derive(Debug, Clone, Copy, Default)]
+struct CatchupPeer {
+    /// The last stale slot this peer was answered for.
+    last_slot: Option<u64>,
+    /// Stale messages seen for that same slot since.
+    repeats: u32,
+}
+
+/// State of the opt-in checkpoint catch-up protocol.
+struct Catchup {
+    /// Max checkpoints shipped per reply; the lagging replica's own
+    /// next-slot traffic re-triggers the next batch, so recovery chains
+    /// in `window`-sized strides.
+    window: u64,
+    peers: Vec<CatchupPeer>,
 }
 
 impl<P: TransformedProtocol> std::fmt::Debug for ReplicatedLog<P> {
@@ -174,6 +216,9 @@ impl<P: TransformedProtocol> ReplicatedLog<P> {
             evidence: Vec::new(),
             checkpoint: None,
             checker: CertChecker::new_for(P::ID, res.n(), res.f(), setup.dir.clone()),
+            slot_hook: None,
+            catchup: None,
+            recovering: false,
         }
     }
 
@@ -182,6 +227,37 @@ impl<P: TransformedProtocol> ReplicatedLog<P> {
     #[must_use]
     pub fn with_retention(mut self, retention: Retention) -> Self {
         self.retention = retention;
+        self
+    }
+
+    /// Installs an observer called once per sealed slot with `(slot,
+    /// decided vector)`, after the slot is appended to the log. A server
+    /// uses this to learn which of its proposed commands committed (the
+    /// batching ledger); the simulator never installs one.
+    #[must_use]
+    pub fn with_slot_hook(mut self, hook: impl FnMut(u64, &ValueVector) + Send + 'static) -> Self {
+        self.slot_hook = Some(Box::new(hook));
+        self
+    }
+
+    /// Enables checkpoint catch-up: a replica that receives traffic for a
+    /// slot it has already sealed replies with quorum-signed checkpoint
+    /// envelopes (at most `window` per reply, throttled per peer), and a
+    /// replica receiving a checkpoint for its current slot verifies it
+    /// with the full certificate analyzer and seals the slot from it.
+    /// This is how a restarted replica rejoins a live cluster without
+    /// replaying every instance. Requires [`Retention::Full`] on the
+    /// helping side (per-slot certificates back the checkpoints).
+    ///
+    /// Off by default: with catch-up disabled the actor's wire behavior
+    /// is unchanged, keeping simulator byte-replays valid.
+    #[must_use]
+    pub fn with_catchup(mut self, window: u64) -> Self {
+        let n = self.setup.resilience.n();
+        self.catchup = Some(Catchup {
+            window: window.max(1),
+            peers: vec![CatchupPeer::default(); n],
+        });
         self
     }
 
@@ -220,13 +296,16 @@ impl<P: TransformedProtocol> ReplicatedLog<P> {
     /// Seals `slot`'s decide evidence per the retention mode. Compaction
     /// is local bookkeeping only: nothing is sent, so enabling it cannot
     /// perturb the run's schedule or decisions.
+    /// `external` carries the decide quorum when the slot was sealed from
+    /// a peer's checkpoint rather than by the local instance.
     fn retain(
         &mut self,
         slot: u64,
         decided: &ValueVector,
         ctx: &mut Context<'_, SlotMsg, Vec<ValueVector>>,
+        external: Option<&Certificate>,
     ) {
-        let Some(cert) = self.inner.decide_evidence() else {
+        let Some(cert) = external.or_else(|| self.inner.decide_evidence()) else {
             return; // decided without local evidence (cannot happen today)
         };
         match self.retention {
@@ -293,6 +372,17 @@ impl<P: TransformedProtocol> ReplicatedLog<P> {
             ctx.set_timer(delay, slot * TAGS_PER_SLOT + tag);
         }
         for note in fx.notes {
+            // An instance opened by a checkpoint seal saw only a partial
+            // message prefix (it joined the slot mid-round), so timing-
+            // automaton convictions over it would convict honest peers.
+            // They are kept in the trace but stripped of the `detected=`
+            // marker so conviction parsers don't count them.
+            if self.recovering && note.contains("detected=") && note.contains("class=out-of-order")
+            {
+                let defanged = note.replace("detected=", "unproven=");
+                ctx.note(format!("s{slot}:recovery-suppressed {defanged}"));
+                continue;
+            }
             ctx.note(format!("s{slot}:{note}"));
         }
         // The inner halt is absorbed: the log replica lives on to run the
@@ -302,7 +392,25 @@ impl<P: TransformedProtocol> ReplicatedLog<P> {
 
     /// Records a slot decision and opens the next slot (or finishes).
     fn advance(&mut self, decided: ValueVector, ctx: &mut Context<'_, SlotMsg, Vec<ValueVector>>) {
-        self.retain(self.current, &decided, ctx);
+        self.advance_with(decided, None, ctx);
+    }
+
+    /// [`advance`](Self::advance) with an externally supplied decide
+    /// quorum (catch-up path: the local instance never decided the slot).
+    fn advance_with(
+        &mut self,
+        decided: ValueVector,
+        external: Option<&Certificate>,
+        ctx: &mut Context<'_, SlotMsg, Vec<ValueVector>>,
+    ) {
+        self.retain(self.current, &decided, ctx, external);
+        // The next instance's prefix is complete iff this slot decided
+        // locally: a checkpoint seal means this replica is behind the live
+        // edge and the next slot is already mid-round elsewhere.
+        self.recovering = external.is_some();
+        if let Some(hook) = self.slot_hook.as_mut() {
+            hook(self.current, &decided);
+        }
         self.log.push(decided);
         ctx.note(format!(
             "slot-decided={} total={}",
@@ -339,9 +447,107 @@ impl<P: TransformedProtocol> ReplicatedLog<P> {
                 return;
             };
             let (from, msg) = self.buffered.remove(pos);
+            if self.catchup.is_some() && msg.env.kind() == MessageKind::Checkpoint {
+                self.apply_checkpoint(from, &msg, ctx);
+                continue;
+            }
             if let Some(d) = self.drive(ctx, |inner, ictx| inner.on_message(from, &msg.env, ictx)) {
                 self.advance(d, ctx);
             }
+        }
+    }
+
+    /// Answers a peer whose message shows it lags behind this replica:
+    /// ships up to `window` checkpoint envelopes starting at the stale
+    /// slot, throttled so retransmission storms for one slot don't each
+    /// cost a reply. The lagging peer's own traffic for later slots
+    /// re-triggers the next batch, so full recovery chains naturally.
+    /// The triggering envelope must pass the full certificate analyzer
+    /// first — only authenticated lag earns catch-up service.
+    fn maybe_catchup_reply(
+        &mut self,
+        from: ProcessId,
+        msg: &SlotMsg,
+        ctx: &mut Context<'_, SlotMsg, Vec<ValueVector>>,
+    ) {
+        if self.retention != Retention::Full {
+            return; // no per-slot certificates to back checkpoints
+        }
+        if self.catchup.is_none() {
+            return;
+        }
+        if self.checker.check_envelope(&msg.env).is_err() {
+            return; // unauthenticated traffic earns no checkpoint window
+        }
+        let stale_slot = msg.slot;
+        let Some(catchup) = self.catchup.as_mut() else {
+            return;
+        };
+        let window = catchup.window;
+        let Some(peer) = catchup.peers.get_mut(from.index()) else {
+            return;
+        };
+        if peer.last_slot == Some(stale_slot) {
+            peer.repeats = peer.repeats.saturating_add(1);
+            if peer.repeats % 16 != 0 {
+                return;
+            }
+        } else {
+            peer.last_slot = Some(stale_slot);
+            peer.repeats = 0;
+        }
+        let hi = self.current.min(stale_slot.saturating_add(window));
+        let mut sent = 0u64;
+        for k in stale_slot..hi {
+            let Some((_, cert)) = self.evidence.iter().find(|(s, _)| *s == k) else {
+                continue;
+            };
+            let Some(vector) = self.log.get(k as usize) else {
+                continue;
+            };
+            let env = make_checkpoint(
+                P::ID,
+                k,
+                vector,
+                cert.clone(),
+                self.me,
+                &self.setup.keys[self.me.index()],
+            );
+            ctx.send(from, SlotMsg { slot: k, env });
+            sent += 1;
+        }
+        if sent > 0 {
+            ctx.note(format!("catchup-sent to={from} lo={stale_slot} n={sent}"));
+        }
+    }
+
+    /// Admits one checkpoint envelope for the *current* slot and seals the
+    /// slot from it. The full certificate analyzer runs first; the decided
+    /// vector is then extracted from the quorum the checkpoint carries,
+    /// never from an unsigned field. Rejections are noted, not fatal.
+    fn apply_checkpoint(
+        &mut self,
+        from: ProcessId,
+        msg: &SlotMsg,
+        ctx: &mut Context<'_, SlotMsg, Vec<ValueVector>>,
+    ) {
+        match self.checker.check_envelope(&msg.env) {
+            Ok(()) => {
+                let res = &self.setup.resilience;
+                let quorum = res.n() - res.f();
+                match checkpoint_vector(P::ID, quorum, &msg.env) {
+                    Some(vector) => {
+                        ctx.note(format!("catchup-applied slot={} from={from}", msg.slot));
+                        let cert = msg.env.cert.clone();
+                        self.advance_with(vector, Some(&cert), ctx);
+                    }
+                    None => ctx.note(format!(
+                        "catchup-rejected slot={} reason=no-quorum-vector",
+                        msg.slot
+                    )),
+                }
+            }
+            Err(e) => ctx.note(format!("catchup-rejected slot={} reason={e}", msg.slot)),
         }
     }
 }
@@ -365,12 +571,30 @@ impl<P: TransformedProtocol> Actor for ReplicatedLog<P> {
         if self.done {
             return;
         }
+        // Checkpoint envelopes are catch-up traffic, not instance traffic:
+        // they must never reach the inner protocol (which would convict
+        // the sender for an unexpected kind). Without catch-up enabled
+        // they are ignored entirely.
+        if msg.env.kind() == MessageKind::Checkpoint {
+            if self.catchup.is_some() {
+                if msg.slot > self.current {
+                    self.buffered.push((from, msg.clone()));
+                } else if msg.slot == self.current {
+                    self.apply_checkpoint(from, msg, ctx);
+                    self.drain(ctx);
+                }
+            }
+            return;
+        }
         if msg.slot > self.current {
             self.buffered.push((from, msg.clone()));
             return;
         }
         if msg.slot < self.current {
-            return; // the slot is sealed at this replica
+            // The slot is sealed at this replica; a lagging sender can be
+            // offered the sealed prefix as checkpoints.
+            self.maybe_catchup_reply(from, msg, ctx);
+            return;
         }
         if let Some(d) = self.drive(ctx, |inner, ictx| inner.on_message(from, &msg.env, ictx)) {
             self.advance(d, ctx);
@@ -630,5 +854,172 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("diverging"));
+    }
+
+    // ---- checkpoint catch-up -------------------------------------------
+
+    use ftm_certify::{Core, MessageCore, SignedCore};
+    use ftm_sim::Context as RtContext;
+
+    /// A quorum-signed checkpoint for `slot` carrying the vector of
+    /// slot-`slot` commands, exactly as a sealed replica would emit it.
+    fn synthetic_checkpoint(
+        setup: &crate::config::ProtocolSetup,
+        slot: u64,
+        sender: ProcessId,
+    ) -> SlotMsg {
+        let n = setup.resilience.n();
+        let vect = ValueVector::from_entries(
+            (0..n)
+                .map(|p| Some(cmd(slot, p as u32)))
+                .collect::<Vec<_>>(),
+        );
+        let quorum = n - setup.resilience.f();
+        let votes = (0..quorum).map(|p| {
+            SignedCore::sign(
+                MessageCore::new(
+                    ProcessId(p as u32),
+                    Core::Current {
+                        round: 1,
+                        vector: vect.clone(),
+                    },
+                ),
+                &setup.keys[p],
+            )
+        });
+        let env = make_checkpoint(
+            ftm_certify::ProtocolId::HurfinRaynal,
+            slot,
+            &vect,
+            Certificate::from_items(votes),
+            sender,
+            &setup.keys[sender.index()],
+        );
+        SlotMsg { slot, env }
+    }
+
+    #[test]
+    fn checkpoints_seal_a_lagging_replica_out_of_order() {
+        let setup = ProtocolConfig::new(4, 1).seed(21).setup();
+        let mut log =
+            ReplicatedLog::<ByzantineConsensus>::new(&setup, ProcessId(3), 3, cmd).with_catchup(8);
+        let mut draw = || 0u64;
+        let mut ctx: RtContext<'_, SlotMsg, Vec<ValueVector>> =
+            RtContext::new(VirtualTime::ZERO, ProcessId(3), 4, &mut draw);
+        // Slot 2 first: must buffer, not apply.
+        let early = synthetic_checkpoint(&setup, 2, ProcessId(0));
+        Actor::on_message(&mut log, ProcessId(0), &early, &mut ctx);
+        assert_eq!(log.log.len(), 0, "future checkpoint must buffer");
+        // Slots 0 and 1 arrive; slot 2 then drains from the buffer and the
+        // replica reaches its decision entirely from checkpoints.
+        for k in [0, 1] {
+            let msg = synthetic_checkpoint(&setup, k, ProcessId(0));
+            Actor::on_message(&mut log, ProcessId(0), &msg, &mut ctx);
+        }
+        let fx = ctx.into_effects();
+        let decided = fx.decision.expect("sealed all three slots");
+        assert_eq!(decided.len(), 3);
+        for (slot, vect) in decided.iter().enumerate() {
+            for (p, v) in vect.iter_set() {
+                assert_eq!(v, cmd(slot as u64, p as u32));
+            }
+        }
+        assert_eq!(
+            fx.notes
+                .iter()
+                .filter(|t| t.starts_with("catchup-applied"))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn forged_checkpoints_are_rejected_not_applied() {
+        let setup = ProtocolConfig::new(4, 1).seed(22).setup();
+        let mut log =
+            ReplicatedLog::<ByzantineConsensus>::new(&setup, ProcessId(3), 2, cmd).with_catchup(8);
+        let mut draw = || 0u64;
+        let mut ctx: RtContext<'_, SlotMsg, Vec<ValueVector>> =
+            RtContext::new(VirtualTime::ZERO, ProcessId(3), 4, &mut draw);
+        // A checkpoint whose digest commits to a different slot than the
+        // quorum certifies: the analyzer must convict, the log must not move.
+        let mut msg = synthetic_checkpoint(&setup, 0, ProcessId(0));
+        let honest = synthetic_checkpoint(&setup, 1, ProcessId(0));
+        msg.env = Envelope::make(
+            ProcessId(0),
+            honest.env.core().clone(),
+            msg.env.cert.clone(),
+            &setup.keys[0],
+        );
+        msg.slot = 0;
+        Actor::on_message(&mut log, ProcessId(0), &msg, &mut ctx);
+        assert_eq!(log.log.len(), 0, "forged checkpoint must not seal");
+        let fx = ctx.into_effects();
+        assert!(fx.notes.iter().any(|t| t.starts_with("catchup-rejected")));
+    }
+
+    #[test]
+    fn sealed_replicas_answer_stale_traffic_with_throttled_checkpoints() {
+        let setup = ProtocolConfig::new(4, 1).seed(23).setup();
+        let mut log =
+            ReplicatedLog::<ByzantineConsensus>::new(&setup, ProcessId(0), 4, cmd).with_catchup(2);
+        let mut draw = || 0u64;
+        let mut ctx: RtContext<'_, SlotMsg, Vec<ValueVector>> =
+            RtContext::new(VirtualTime::ZERO, ProcessId(0), 4, &mut draw);
+        // Seal three of four slots from peers' checkpoints; the external
+        // certificates are retained as slot evidence.
+        for k in [0, 1, 2] {
+            let msg = synthetic_checkpoint(&setup, k, ProcessId(1));
+            Actor::on_message(&mut log, ProcessId(1), &msg, &mut ctx);
+        }
+        assert_eq!(log.current, 3);
+        ctx.take_staged_sends();
+        // A laggard's slot-0 instance traffic earns a window of checkpoints.
+        let stale = SlotMsg {
+            slot: 0,
+            env: Envelope::make(
+                ProcessId(3),
+                Core::Init { value: cmd(0, 3) },
+                Certificate::default(),
+                &setup.keys[3],
+            ),
+        };
+        Actor::on_message(&mut log, ProcessId(3), &stale, &mut ctx);
+        let sends = ctx.take_staged_sends();
+        assert_eq!(sends.len(), 2, "window=2 bounds the reply");
+        for (i, (to, reply)) in sends.iter().enumerate() {
+            assert_eq!(*to, ProcessId(3));
+            assert_eq!(reply.slot, i as u64);
+            assert_eq!(reply.env.kind(), MessageKind::Checkpoint);
+            // The reply survives the admission the laggard will run.
+            log.checker.check_envelope(&reply.env).expect("valid reply");
+        }
+        // Repeats of the same stale slot are throttled (next reply at the
+        // 16th repeat), so retransmission storms cost one reply per stride.
+        for _ in 0..15 {
+            Actor::on_message(&mut log, ProcessId(3), &stale, &mut ctx);
+        }
+        assert_eq!(ctx.take_staged_sends().len(), 0, "repeats 1-15: throttled");
+        Actor::on_message(&mut log, ProcessId(3), &stale, &mut ctx);
+        assert_eq!(ctx.take_staged_sends().len(), 2, "16th repeat replies");
+    }
+
+    #[test]
+    fn catchup_enabled_runs_stay_consistent() {
+        // Healthy runs contain stale traffic too (slot-k messages landing
+        // after a replica sealed k), so catch-up replies do flow; they must
+        // be ignored by up-to-date receivers and never fork the log.
+        for seed in 0..3 {
+            let setup = ProtocolConfig::new(4, 1).seed(seed).setup();
+            let report = Simulation::build_boxed(SimConfig::new(4).seed(seed), |id| {
+                Box::new(
+                    ReplicatedLog::<ByzantineConsensus>::new(&setup, id, 2, cmd).with_catchup(4),
+                )
+            })
+            .run();
+            let log = check_log_consistency(&report.decisions, &report.crashed, 3)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(log.len(), 2, "seed {seed}");
+        }
     }
 }

@@ -9,8 +9,8 @@
 //! |------|-----------------------------------------------------------------|
 //! | D1   | no `f32`/`f64` outside `crates/bench/src/timing.rs`             |
 //! | D2   | no `HashMap`/`HashSet` in report-feeding crates                 |
-//! | D3   | no `Instant`/`SystemTime` outside timing.rs / `crates/net`      |
-//! | D4   | no `std::thread::spawn` outside `ftm_sim::harness` / `crates/net` |
+//! | D3   | no `Instant`/`SystemTime` outside timing.rs / net's `clock.rs`  |
+//! | D4   | no `std::thread::spawn` outside `ftm_sim::harness` / net's `cluster.rs` |
 //! | D5   | no ad-hoc quorum arithmetic outside `ftm-quorum`                |
 //! | D6   | no `unwrap`/`expect`/`panic!` in message-handling paths         |
 //! | D7   | no `as` narrowing casts in quorum/threshold arithmetic          |
@@ -38,11 +38,18 @@ pub struct Finding {
 const TIMING: &str = "crates/bench/src/timing.rs";
 /// The sanctioned home of `std::thread` fan-out.
 const HARNESS: &str = "crates/sim/src/harness.rs";
-/// The transport runtime: a real network needs a real clock (D3) and real
-/// I/O threads (D4), so `crates/net` joins both sanctioned scopes. It does
-/// NOT get a float pass (D1): byte counters and timings there stay integer
-/// so load reports remain byte-stable.
-const NET: &str = "crates/net/";
+/// The transport needs a real clock, but only ONE file in it may read
+/// `Instant` directly: everything else (the node loop, the poll probe,
+/// the load generator, the integration tests) goes through its
+/// `WallClock` API. The crate gets no float pass (D1) either: byte
+/// counters and timings there stay integer so load reports remain
+/// byte-stable.
+const NET_CLOCK: &str = "crates/net/src/clock.rs";
+/// The transport's test harness: the one file in `crates/net` that may
+/// spawn threads (one per node in loopback clusters and chaos tests).
+/// Everything else — including the `tests/` directory — builds on its
+/// `spawn_node` handles.
+const NET_HARNESS: &str = "crates/net/src/cluster.rs";
 /// Crates whose data feeds byte-stable reports (D2 scope).
 const REPORT_FEEDING: [&str; 8] = [
     "crates/sim/",
@@ -91,13 +98,13 @@ pub fn check_file(path: &str, lexed: &Lexed) -> Vec<Finding> {
     if path != TIMING {
         check_d1(path, lexed, &mut findings);
     }
-    if path != TIMING && !path.starts_with(NET) {
+    if path != TIMING && path != NET_CLOCK {
         check_d3(path, lexed, &mut findings);
     }
     if in_scope(path, &REPORT_FEEDING) {
         check_d2(path, lexed, &mut findings);
     }
-    if path != HARNESS && !path.starts_with(NET) {
+    if path != HARNESS && path != NET_HARNESS {
         check_d4(path, lexed, &mut findings);
     }
     if in_scope(path, &QUORUM_SCOPE) && !QUORUM_HOMES.contains(&path) {
@@ -185,9 +192,10 @@ fn check_d3(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
                 file: path.to_string(),
                 line: tok.line,
                 message: format!(
-                    "wall-clock time (`{}`) outside {TIMING} and {NET}; simulations \
-                     run on `VirtualTime`, benches on `timing::Stopwatch`, and only \
-                     the transport runtime reads a real clock",
+                    "wall-clock time (`{}`) outside {TIMING} and {NET_CLOCK}; \
+                     simulations run on `VirtualTime`, benches on \
+                     `timing::Stopwatch`, and the transport reads time through \
+                     `ftm_net::WallClock`",
                     tok.text
                 ),
             });
@@ -208,9 +216,10 @@ fn check_d4(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
                 file: path.to_string(),
                 line: toks[i].line,
                 message: "raw thread spawning outside `ftm_sim::harness` and the \
-                          transport runtime (crates/net); route parallelism through \
-                          `harness::parallel_map` so worker count cannot leak into \
-                          results"
+                          transport harness (crates/net/src/cluster.rs); route \
+                          parallelism through `harness::parallel_map` or node \
+                          threads through `ftm_net::spawn_node` so worker count \
+                          cannot leak into results"
                     .to_string(),
             });
         }
@@ -381,11 +390,20 @@ mod tests {
     }
 
     #[test]
-    fn d3_and_d4_are_sanctioned_in_net_but_not_serve() {
+    fn d3_and_d4_sanction_single_files_in_net_not_the_crate() {
         let clocky = "use std::time::Instant; fn f() { let _ = Instant::now(); }";
         let spawny = "fn f() { std::thread::spawn(|| {}); }";
         assert!(lints_of("crates/net/src/clock.rs", clocky).is_empty());
-        assert!(lints_of("crates/net/src/node.rs", spawny).is_empty());
+        assert!(lints_of("crates/net/src/cluster.rs", spawny).is_empty());
+        // The rest of the transport crate — node loop, poll probe, even
+        // its tests/ directory — must go through WallClock / spawn_node.
+        assert_eq!(lints_of("crates/net/src/node.rs", clocky), ["D3", "D3"]);
+        assert_eq!(lints_of("crates/net/src/poll.rs", clocky), ["D3", "D3"]);
+        assert_eq!(lints_of("crates/net/src/node.rs", spawny), ["D4"]);
+        assert_eq!(
+            lints_of("crates/net/tests/chaos_cluster.rs", spawny),
+            ["D4"]
+        );
         // The server binaries sit *above* the transport: they must get
         // their clocks and threads from ftm-net, not spell their own.
         assert_eq!(lints_of("crates/serve/src/main.rs", clocky), ["D3", "D3"]);

@@ -6,10 +6,12 @@
 //! 150 ms / 40 ms on the wire — comfortably above loopback latency, so
 //! the failure-detector behavior carries over qualitatively.
 //!
-//! This module is (with `node.rs`) one of the two sanctioned wall-clock
-//! call sites outside `crates/bench/src/timing.rs`: a real transport
-//! *is* a timing boundary, and keeping every `Instant` here preserves
-//! the `ftm-lint` D3 guarantee for the protocol crates.
+//! This module is THE sanctioned wall-clock call site outside
+//! `crates/bench/src/timing.rs` (`ftm-lint` D3): a real transport *is* a
+//! timing boundary, but every other file in this crate — the node loop,
+//! the poll probe, the load generator — reads time through [`WallClock`]
+//! rather than touching `Instant` itself, so the raw clock stays in one
+//! audited place.
 
 use std::time::Instant;
 
@@ -39,6 +41,13 @@ impl WallClock {
     pub fn now(&self) -> VirtualTime {
         let ms = self.origin.elapsed().as_millis();
         VirtualTime::at(u64::try_from(ms).unwrap_or(u64::MAX))
+    }
+
+    /// Microseconds elapsed since [`start`](WallClock::start) — the
+    /// resolution used for client-request latency percentiles, where
+    /// whole milliseconds would quantize loopback round-trips to zero.
+    pub fn micros(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
     }
 
     /// Real-time span from now until the virtual instant `at` (zero if

@@ -9,12 +9,14 @@
 
 use std::io;
 use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread;
 
 use ftm_crypto::wire::{CanonicalDecode, CanonicalEncode};
 use ftm_runtime::{Payload, ProcessId, SendBoxedActor};
 
-use crate::node::{run_node, NetReport, NodeConfig, ServiceReply};
+use crate::node::{run_node, run_node_controlled, NetReport, NodeConfig, NodeView, ServiceReply};
 
 /// Shape of a loopback cluster run.
 #[derive(Debug, Clone)]
@@ -52,6 +54,121 @@ impl ClusterConfig {
     }
 }
 
+/// Binds `n` loopback listeners on ephemeral ports, returning them with
+/// their address strings (in process-id order). Binding everything before
+/// any node starts is what makes the mesh dial race-free.
+///
+/// # Errors
+///
+/// Propagates listener binding failures.
+pub fn bind_cluster(n: usize) -> io::Result<(Vec<TcpListener>, Vec<String>)> {
+    let mut listeners = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        addrs.push(listener.local_addr()?.to_string());
+        listeners.push(listener);
+    }
+    Ok((listeners, addrs))
+}
+
+/// Re-binds a listener on `addr` — the restart half of a kill/restart
+/// cycle, where the dead node's listener must come back on the *same*
+/// address so peers' redials find it.
+///
+/// The old listener's socket may not be released the instant its node
+/// thread is stopped, so binding retries in 10 ms steps for up to ~2 s
+/// before giving up.
+///
+/// # Errors
+///
+/// The last bind error if the address never frees up.
+pub fn rebind(addr: &str) -> io::Result<TcpListener> {
+    let mut last = None;
+    for _ in 0..200 {
+        match TcpListener::bind(addr) {
+            Ok(listener) => return Ok(listener),
+            Err(e) => last = Some(e),
+        }
+        thread::sleep(std::time::Duration::from_millis(10));
+    }
+    Err(last.unwrap_or_else(|| io::Error::other("rebind: bind never attempted")))
+}
+
+/// A replica running on its own harness thread, stoppable from the test.
+///
+/// This is the controllable twin of one [`run_loopback_cluster`] slot,
+/// built on [`run_node_controlled`]: the chaos tests use it to kill a
+/// replica mid-run (dropping its listener and every socket), restart it
+/// on the same address ([`rebind`]) and assert the cluster converges.
+#[derive(Debug)]
+pub struct NodeHandle<D> {
+    stop: Arc<AtomicBool>,
+    thread: thread::JoinHandle<io::Result<NetReport<D>>>,
+}
+
+impl<D> NodeHandle<D> {
+    /// Raises the stop flag; the node exits its loop at the next
+    /// iteration (bounded exit flush, then sockets drop).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the node thread has exited (halt, stop, or timeout).
+    pub fn is_finished(&self) -> bool {
+        self.thread.is_finished()
+    }
+
+    /// Waits for the node to exit and returns its report.
+    ///
+    /// # Errors
+    ///
+    /// Node setup failures, or a panicked node thread.
+    pub fn join(self) -> io::Result<NetReport<D>> {
+        self.thread
+            .join()
+            .map_err(|_| io::Error::other("node thread panicked"))?
+    }
+
+    /// [`stop`](NodeHandle::stop) + [`join`](NodeHandle::join): the
+    /// kill half of a kill/restart cycle.
+    ///
+    /// # Errors
+    ///
+    /// As for [`join`](NodeHandle::join).
+    pub fn kill(self) -> io::Result<NetReport<D>> {
+        self.stop();
+        self.join()
+    }
+}
+
+/// Spawns one replica on a fresh harness thread, returning its handle.
+///
+/// The node runs `actor` over `listener` with `service` answering client
+/// frames, until it halts (with [`NodeConfig::exit_on_halt`]), its run
+/// bound trips, or [`NodeHandle::stop`] is called. This is the sanctioned
+/// thread-spawn site for transport tests (`ftm-lint` D4): integration
+/// tests build kill/restart scenarios from these handles instead of
+/// spawning threads themselves.
+pub fn spawn_node<M, D, S>(
+    cfg: NodeConfig,
+    listener: TcpListener,
+    actor: SendBoxedActor<M, D>,
+    service: S,
+) -> NodeHandle<D>
+where
+    M: Payload + CanonicalEncode + CanonicalDecode + 'static,
+    D: Clone + std::fmt::Debug + PartialEq + Send + 'static,
+    S: FnMut(&mut SendBoxedActor<M, D>, &NodeView<'_, D>, &[u8]) -> ServiceReply + Send + 'static,
+{
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let thread = thread::spawn(move || {
+        run_node_controlled(&cfg, listener, actor, service, &flag).map(|(report, _actor)| report)
+    });
+    NodeHandle { stop, thread }
+}
+
 /// Runs `n` replicas built by `factory` over loopback TCP until each
 /// halts (or times out), returning their reports in process-id order.
 ///
@@ -73,13 +190,7 @@ where
 {
     // Bind everything first: the full address list must exist before the
     // first node starts dialing.
-    let mut listeners = Vec::with_capacity(cfg.n);
-    let mut addrs = Vec::with_capacity(cfg.n);
-    for _ in 0..cfg.n {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        addrs.push(listener.local_addr()?.to_string());
-        listeners.push(listener);
-    }
+    let (listeners, addrs) = bind_cluster(cfg.n)?;
 
     let mut handles = Vec::with_capacity(cfg.n);
     for (i, listener) in listeners.into_iter().enumerate() {

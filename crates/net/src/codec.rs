@@ -76,6 +76,18 @@ pub fn read_frame<R: Read>(r: &mut R, max_frame: usize) -> io::Result<Vec<u8>> {
     Ok(payload)
 }
 
+/// Stages one length-prefixed frame into a write ring, atomically:
+/// either the whole frame (prefix + payload) fits under the ring's cap
+/// and `true` is returned, or the ring is left untouched and `false` is
+/// returned — a partially staged frame would desync the stream.
+pub fn frame_into(ring: &mut crate::ring::RingBuf, payload: &[u8]) -> bool {
+    if ring.free() < payload.len() + 4 || payload.len() > u32::MAX as usize {
+        return false;
+    }
+    let len = payload.len() as u32;
+    ring.push(&len.to_be_bytes()) && ring.push(payload)
+}
+
 /// The first frame on every connection: who is dialing, and for which
 /// cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,6 +191,20 @@ mod tests {
         buf.truncate(buf.len() - 2);
         let err = read_frame(&mut io::Cursor::new(buf), 1024).expect_err("truncated");
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn frame_into_is_atomic_at_the_cap() {
+        let mut ring = crate::ring::RingBuf::with_max(4096);
+        assert!(frame_into(&mut ring, b"hello"));
+        assert_eq!(ring.len(), 9);
+        let big = vec![0u8; 4096];
+        assert!(!frame_into(&mut ring, &big), "must refuse, not truncate");
+        assert_eq!(ring.len(), 9, "refused push leaves the ring untouched");
+        let mut out = vec![0u8; 9];
+        assert!(ring.copy_to(&mut out, 9));
+        assert_eq!(&out[..4], &5u32.to_be_bytes());
+        assert_eq!(&out[4..], b"hello");
     }
 
     #[test]

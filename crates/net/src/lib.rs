@@ -1,5 +1,6 @@
-//! A real transport for the runtime-agnostic actor boundary: threaded TCP
-//! with a length-prefixed wire codec, zero external dependencies.
+//! A real transport for the runtime-agnostic actor boundary: a
+//! single-threaded readiness loop over non-blocking TCP with a
+//! length-prefixed wire codec, zero external dependencies.
 //!
 //! This crate is the second implementation of [`ftm_runtime::Runtime`]
 //! (the first is the deterministic simulator in `ftm-sim`). The same actor
@@ -9,20 +10,31 @@
 //! everything above the [`Runtime`](ftm_runtime::Runtime) seam is the
 //! byte-for-byte artifact the simulation sweeps validated.
 //!
-//! # Threading model
+//! # Execution model
 //!
-//! Concurrency lives strictly *below* the actor boundary:
+//! One thread per node runs everything — an epoll-style readiness loop
+//! hand-rolled from safe `std` (`unsafe` is forbidden workspace-wide, so
+//! the raw syscalls are out; [`poll`] is the poll(2)-shaped
+//! probe built on non-blocking sockets):
 //!
-//! * one **acceptor** thread per node polls the listener and spawns a
-//!   reader per inbound connection;
-//! * one **reader** thread per peer/client connection turns the socket
-//!   into framed events on an MPSC channel;
-//! * one **writer** thread per outbound peer connection drains a frame
-//!   queue into the socket (so a slow peer never blocks the event loop);
-//! * one **sequential event loop** — the thread that called
-//!   [`node::run_node`] — owns the actor and applies the staged-effects
-//!   discipline. An actor never observes two callbacks concurrently,
-//!   exactly as in the simulator.
+//! * every connection (peer or client) is a slab slot holding the socket
+//!   plus per-connection read/write **ring buffers** ([`ring`]) that
+//!   absorb partial frames and unflushed writes;
+//! * the loop accepts, dials, flushes, reads and parses in rounds, and
+//!   runs the actor's callbacks inline between rounds — still through
+//!   [`ftm_runtime::step`], so an actor never observes two callbacks
+//!   concurrently, exactly as in the simulator;
+//! * a dropped peer link is redialed with capped exponential **backoff +
+//!   deterministic jitter** ([`backoff`]), re-validating the handshake;
+//!   frames staged while the link was down are queued (bounded) and
+//!   flushed on reconnect, so a restarted replica rejoins the mesh;
+//! * a client that stops reading its replies hits the write-ring cap and
+//!   is disconnected with a `backpressure-disconnect` note — bounded
+//!   memory per connection, no head-of-line blocking of peer traffic.
+//!
+//! A connection costs two ring buffers instead of two OS threads, which
+//! is what lets one node serve thousands of concurrent clients (see
+//! [`loadgen`] and the many-client rows in the bench suite).
 //!
 //! # What survives of the determinism contract
 //!
@@ -34,19 +46,30 @@
 //! times) vary run to run — see `DESIGN.md` §15 for the precise split,
 //! and the sim/net cross-check test for the properties that must agree.
 //!
-//! This crate is the sanctioned home for wall-clock time (`ftm-lint` D3)
-//! and thread spawning (D4) on the transport side: real transports need
-//! real clocks and real threads, and confining both here keeps every
+//! This crate is the sanctioned home for wall-clock time (`ftm-lint` D3,
+//! confined to `clock.rs`) and test-harness thread spawning (D4, confined
+//! to `cluster.rs`) on the transport side; confining both keeps every
 //! other crate simulator-pure.
 
+pub mod backoff;
 pub mod client;
 pub mod clock;
 pub mod cluster;
 pub mod codec;
+pub mod loadgen;
 pub mod node;
+pub mod poll;
+pub mod ring;
 
+pub use backoff::Backoff;
 pub use client::ClientConn;
 pub use clock::WallClock;
-pub use cluster::{run_loopback_cluster, ClusterConfig};
-pub use codec::{read_frame, write_frame, Hello, DEFAULT_MAX_FRAME, MAGIC, VERSION};
-pub use node::{parse_convictions, run_node, NetReport, NodeConfig, NodeView, ServiceReply};
+pub use cluster::{
+    bind_cluster, rebind, run_loopback_cluster, spawn_node, ClusterConfig, NodeHandle,
+};
+pub use codec::{frame_into, read_frame, write_frame, Hello, DEFAULT_MAX_FRAME, MAGIC, VERSION};
+pub use loadgen::{run_load, LoadConfig, LoadOutcome};
+pub use node::{
+    parse_convictions, run_node, run_node_controlled, NetReport, NodeConfig, NodeView, ServiceReply,
+};
+pub use ring::RingBuf;

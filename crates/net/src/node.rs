@@ -1,21 +1,33 @@
-//! One replica on the TCP transport: threaded I/O below, a sequential
-//! staged-effects event loop above.
+//! One replica on the TCP transport: a single-threaded readiness loop
+//! below, a sequential staged-effects event loop above.
 //!
 //! [`run_node`] hosts a single [`Actor`] — the same type the simulator
-//! runs — on real sockets. The split mirrors the crate docs: an acceptor
-//! thread plus per-connection reader threads funnel framed bytes into an
-//! MPSC channel; per-peer writer threads drain outbound frame queues; and
-//! the caller's thread runs the event loop, which is the *only* place the
-//! actor is touched. Every callback goes through [`ftm_runtime::step`],
-//! so the staged-effects discipline (effects applied after the callback,
-//! in canonical order) is identical to the simulator's.
+//! runs — on real sockets. Unlike the PR 9 transport (acceptor + one
+//! reader thread per connection + one writer thread per peer), everything
+//! now happens on the caller's thread: a poll(2)-shaped readiness probe
+//! (see [`crate::poll`]) finds sockets with work, per-connection ring
+//! buffers ([`crate::ring`]) absorb partial frames and unflushed writes,
+//! and the actor's callbacks run inline between I/O rounds, still through
+//! [`ftm_runtime::step`] so the staged-effects discipline is identical to
+//! the simulator's.
+//!
+//! Three properties the threaded transport lacked:
+//!
+//! * **Scales to thousands of clients** — a connection costs a slab slot
+//!   and two ring buffers, not two OS threads.
+//! * **Peer reconnect** — an outbound peer link that drops is redialed
+//!   with capped exponential backoff + deterministic jitter
+//!   ([`crate::backoff`]), re-validating the handshake, and frames staged
+//!   while the link was down are queued (bounded) and flushed on
+//!   reconnect. A restarted replica rejoins the mesh.
+//! * **Backpressure** — a client that stops reading cannot grow the
+//!   node's write buffer past a cap: the connection is dropped with a
+//!   `backpressure-disconnect` note instead.
 
 use std::collections::VecDeque;
-use std::io::{self, Read};
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::thread;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use ftm_crypto::prng::{derive_seed, Rng64, Xoshiro256PlusPlus};
 use ftm_crypto::wire::{CanonicalDecode, CanonicalEncode};
@@ -23,8 +35,35 @@ use ftm_runtime::{
     step, Actor, Duration, Payload, ProcessId, Runtime, StagedSend, TimerTag, VirtualTime,
 };
 
+use crate::backoff::Backoff;
 use crate::clock::WallClock;
-use crate::codec::{write_frame, Hello};
+use crate::codec::{frame_into, Hello};
+use crate::poll::{poll, PollFd, POLLIN};
+use crate::ring::RingBuf;
+
+/// How long a freshly accepted connection may sit without completing its
+/// handshake before the loop evicts it (half-open defense).
+const HANDSHAKE_TIMEOUT_MS: u64 = 3_000;
+
+/// Write-ring cap for client connections: the backpressure boundary. A
+/// client whose replies would exceed this is disconnected.
+const CLIENT_WRITE_CAP: usize = 256 * 1024;
+
+/// Write-ring cap for peer connections (peers are cooperative readers;
+/// overflow spills to the reconnect queue).
+const PEER_WRITE_CAP: usize = 4 << 20;
+
+/// Byte cap on frames queued for a disconnected peer. Beyond it the
+/// oldest queued frames are dropped — the link behaves crash-lossy, which
+/// the protocol already tolerates.
+const PEER_QUEUE_CAP: usize = 16 << 20;
+
+/// Per-attempt bound on a blocking dial (the loop stalls at most this
+/// long when a peer is dialable but slow to answer).
+const DIAL_STEP_MS: u64 = 300;
+
+/// Bound on the exit flush that drains staged writes before returning.
+const EXIT_FLUSH_MS: u64 = 2_000;
 
 /// Configuration for one transport node.
 #[derive(Debug, Clone)]
@@ -43,7 +82,9 @@ pub struct NodeConfig {
     pub peers: Vec<String>,
     /// Cap on a single inbound frame's payload bytes.
     pub max_frame: usize,
-    /// How long to keep retrying outbound peer connections, in ms.
+    /// Start-barrier deadline in ms (mesh formation). Peer links
+    /// themselves are redialed forever (with backoff); this only bounds
+    /// how long startup waits for a full mesh.
     pub connect_timeout_ms: u64,
     /// Hard wall-clock bound on the whole run, in ms (safety net; the
     /// node reports `halted: false` if it trips).
@@ -66,13 +107,15 @@ pub struct NodeConfig {
     /// connection is even accepted — which is harmless for safety but
     /// makes first-contact behavior (e.g. detection of a faulty peer's
     /// very first message) a startup race. On timeout the node starts
-    /// anyway: a crashed peer must not block the cluster forever.
+    /// anyway: a crashed peer must not block the cluster forever. A
+    /// replica *rejoining* a running cluster disables this: its peers are
+    /// already past their own barriers.
     pub start_barrier: bool,
 }
 
 impl NodeConfig {
-    /// A config with default tunables: 1 MiB frame cap, 10 s connect
-    /// retry window, 120 s run bound, keep serving after halt.
+    /// A config with default tunables: 1 MiB frame cap, 10 s barrier
+    /// deadline, 120 s run bound, keep serving after halt.
     pub fn new(me: ProcessId, peers: Vec<String>, cluster: u64, seed: u64) -> Self {
         NodeConfig {
             me,
@@ -190,26 +233,17 @@ pub fn parse_convictions(notes: &[String]) -> Vec<(String, String)> {
     out
 }
 
-/// One framed event delivered to the event loop by a reader thread.
-enum NetEvent {
-    /// A protocol frame from peer `from`.
-    Peer { from: u32, frame: Vec<u8> },
-    /// A client request; the reply goes back through `reply`.
-    Client {
-        frame: Vec<u8>,
-        reply: mpsc::Sender<Vec<u8>>,
-    },
-}
-
 /// The transport-side [`Runtime`]: sockets for delivery, a wall clock for
-/// time, a scan-min vector for timers.
+/// time, a scan-min vector for timers. Outbound frames land in per-peer
+/// outboxes that the readiness loop drains into connection write rings
+/// after every actor step.
 struct NetDriver<M, D> {
     me: ProcessId,
     n: usize,
     clock: WallClock,
     rng: Xoshiro256PlusPlus,
-    /// Outbound frame queues, indexed by peer id (`None` at `me`).
-    peer_tx: Vec<Option<mpsc::Sender<Vec<u8>>>>,
+    /// Outbound frame staging, indexed by peer id (unused at `me`).
+    outbox: Vec<VecDeque<Vec<u8>>>,
     /// Self-sends, delivered after the current callback's effects apply.
     loopback: VecDeque<M>,
     /// Pending timers as `(deadline, seq, tag)`; `seq` breaks ties in
@@ -227,17 +261,13 @@ struct NetDriver<M, D> {
 }
 
 impl<M: Payload + CanonicalEncode, D: Clone + std::fmt::Debug + PartialEq> NetDriver<M, D> {
-    fn new(
-        cfg: &NodeConfig,
-        clock: WallClock,
-        peer_tx: Vec<Option<mpsc::Sender<Vec<u8>>>>,
-    ) -> Self {
+    fn new(cfg: &NodeConfig, clock: WallClock) -> Self {
         NetDriver {
             me: cfg.me,
             n: cfg.n,
             clock,
             rng: Xoshiro256PlusPlus::from_seed(derive_seed(cfg.seed, u64::from(cfg.me.0))),
-            peer_tx,
+            outbox: (0..cfg.n).map(|_| VecDeque::new()).collect(),
             loopback: VecDeque::new(),
             timers: Vec::new(),
             timer_seq: 0,
@@ -252,14 +282,12 @@ impl<M: Payload + CanonicalEncode, D: Clone + std::fmt::Debug + PartialEq> NetDr
         }
     }
 
-    /// Queues one encoded frame to a remote peer.
+    /// Stages one encoded frame for a remote peer.
     fn send_bytes(&mut self, to: ProcessId, bytes: Vec<u8>) {
         self.msgs_sent += 1;
         self.bytes_sent += bytes.len() as u64 + 4;
-        if let Some(tx) = self.peer_tx.get(to.index()).and_then(Option::as_ref) {
-            // A dead peer's writer has exited; dropping the frame models
-            // the crash exactly as the simulator silences a crashed node.
-            let _ = tx.send(bytes);
+        if let Some(q) = self.outbox.get_mut(to.index()) {
+            q.push_back(bytes);
         }
     }
 
@@ -355,278 +383,743 @@ impl<M: Payload + CanonicalEncode, D: Clone + std::fmt::Debug + PartialEq> Runti
     }
 }
 
-/// Reads exactly `buf.len()` bytes, retrying timeout errors so a read
-/// timeout can double as a periodic stop-flag check without ever losing
-/// partially-read bytes (which would desync the framing).
+/// What one slab slot's connection is for, decided by its handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnKind {
+    /// Accepted but handshake not yet received (evicted on timeout).
+    Pending,
+    /// Inbound connection from peer `id` (read-only: peers write on the
+    /// connections *they* dial).
+    PeerIn(u32),
+    /// Outbound connection this node dialed to peer `id` (write-mostly;
+    /// reads only observe EOF to trigger reconnect).
+    PeerOut(u32),
+    /// A client's request/reply connection.
+    Client,
+}
+
+/// One connection in the slab: a non-blocking socket plus its read/write
+/// ring buffers.
+struct Conn {
+    stream: TcpStream,
+    rb: RingBuf,
+    wb: RingBuf,
+    kind: ConnKind,
+    opened_ms: u64,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, kind: ConnKind, max_frame: usize, now_ms: u64) -> Self {
+        let write_cap = match kind {
+            ConnKind::PeerOut(_) => PEER_WRITE_CAP,
+            _ => CLIENT_WRITE_CAP,
+        };
+        Conn {
+            stream,
+            rb: RingBuf::with_max(max_frame + 4),
+            wb: RingBuf::with_max(write_cap),
+            kind,
+            opened_ms: now_ms,
+        }
+    }
+}
+
+/// The dial-side state of one peer link: where to reconnect, when the
+/// backoff allows the next attempt, and the frames staged while the link
+/// is down.
+struct PeerLink {
+    addr: String,
+    resolved: Option<SocketAddr>,
+    /// Slab index of the live outbound connection, if any.
+    conn: Option<usize>,
+    backoff: Backoff,
+    /// Earliest node-local ms at which the next dial may happen.
+    next_dial_ms: u64,
+    /// Frames staged while disconnected (or while the write ring is
+    /// full), flushed in order on reconnect. Bounded by
+    /// [`PEER_QUEUE_CAP`]; overflow drops the oldest frame (crash-lossy).
+    queue: VecDeque<Vec<u8>>,
+    queued_bytes: usize,
+    dropped_note: bool,
+}
+
+impl PeerLink {
+    fn enqueue(&mut self, frame: Vec<u8>) -> bool {
+        let mut dropped = false;
+        while self.queued_bytes + frame.len() + 4 > PEER_QUEUE_CAP {
+            let Some(old) = self.queue.pop_front() else {
+                break;
+            };
+            self.queued_bytes -= old.len() + 4;
+            dropped = true;
+        }
+        self.queued_bytes += frame.len() + 4;
+        self.queue.push_back(frame);
+        dropped
+    }
+}
+
+/// The two-phase start barrier as a loop mode (see
+/// [`NodeConfig::start_barrier`]). Phase 1 (`Meshing`) waits for a full
+/// local mesh, then announces readiness with an *empty* frame — protocol
+/// messages are never zero-length, so the empty frame is free as a
+/// transport sentinel. Phase 2 (`Announcing`) waits for every peer's
+/// sentinel. Both phases share one deadline; on timeout the node starts
+/// anyway (a crashed peer must not wedge the cluster) and notes the gap.
 ///
-/// Returns `Ok(false)` on clean close before the first byte or when the
-/// stop flag is raised; `Ok(true)` when the buffer is full.
-fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> io::Result<bool> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => {
-                if filled == 0 {
-                    return Ok(false);
-                }
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "connection closed mid-frame",
-                ));
-            }
-            Ok(k) => filled += k,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if stop.load(Ordering::Relaxed) {
-                    return Ok(false);
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(true)
+/// Sentinel receipt is recorded in [`NodeLoop::peer_ready`], not in the
+/// phase itself: a fast peer's sentinel can land while this node is
+/// still meshing, and dropping it would wedge the announcing phase until
+/// its deadline.
+enum BarrierState {
+    Meshing { deadline_ms: u64 },
+    Announcing { deadline_ms: u64 },
+    Done,
 }
 
-/// Reads one frame with stop-flag awareness; `Ok(None)` means the
-/// connection closed cleanly or the node is stopping.
-fn read_frame_stoppable(
-    stream: &mut TcpStream,
-    max_frame: usize,
-    stop: &AtomicBool,
-) -> io::Result<Option<Vec<u8>>> {
-    let mut len_buf = [0u8; 4];
-    if !read_full(stream, &mut len_buf, stop)? {
-        return Ok(None);
-    }
-    let len = u32::from_be_bytes(len_buf) as usize;
-    if len > max_frame {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds cap {max_frame}"),
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    if !read_full(stream, &mut payload, stop)? {
-        return Err(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "stopped mid-frame",
-        ));
-    }
-    Ok(Some(payload))
+/// Everything the readiness loop owns. One instance per [`run_node`]
+/// call; no threads, no channels — all I/O and all actor callbacks happen
+/// on the thread that runs [`NodeLoop::run`].
+struct NodeLoop<'a, A: Actor, S> {
+    cfg: &'a NodeConfig,
+    clock: WallClock,
+    listener: TcpListener,
+    conns: Vec<Option<Conn>>,
+    links: Vec<Option<PeerLink>>,
+    /// Which peers have ever completed an inbound handshake (barrier
+    /// phase 1 bookkeeping; survives disconnects).
+    inbound_seen: Vec<bool>,
+    /// Which peers have announced start-barrier readiness (empty-frame
+    /// sentinels; may arrive in any phase).
+    peer_ready: Vec<bool>,
+    driver: NetDriver<A::Msg, A::Decision>,
+    actor: A,
+    service: S,
+    /// Inbound peer frames awaiting their delivery deadline, as
+    /// `(due, from, frame)` — FIFO order is deadline order because the
+    /// delay is constant.
+    holdq: VecDeque<(VirtualTime, u32, Vec<u8>)>,
+    barrier: BarrierState,
+    shutdown: bool,
+    /// Whether this iteration made progress (skip the idle sleep).
+    busy: bool,
 }
 
-/// Identity facts a reader needs to vet an inbound handshake.
-#[derive(Clone, Copy)]
-struct AcceptCtx {
-    cluster: u64,
-    n: usize,
-    me: u32,
-    max_frame: usize,
-}
-
-/// Per-connection reader: handshake, then pump frames into the event
-/// channel (peer) or run the request/reply loop (client).
-fn serve_connection(
-    mut stream: TcpStream,
-    tx: &mpsc::Sender<NetEvent>,
-    stop: &AtomicBool,
-    inbound: &Mutex<Vec<bool>>,
-    ctx: AcceptCtx,
-) {
-    let max_frame = ctx.max_frame;
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(50)));
-    let Ok(Some(hello_frame)) = read_frame_stoppable(&mut stream, max_frame, stop) else {
-        return;
-    };
-    let Ok(hello) = Hello::from_canonical_bytes(&hello_frame) else {
-        return;
-    };
-    if hello.cluster() != ctx.cluster {
-        return;
-    }
-    match hello {
-        Hello::Peer { id, .. } => {
-            if id as usize >= ctx.n || id == ctx.me {
-                return;
-            }
-            if let Ok(mut seen) = inbound.lock() {
-                seen[id as usize] = true;
-            }
-            loop {
-                match read_frame_stoppable(&mut stream, max_frame, stop) {
-                    Ok(Some(frame)) => {
-                        if tx.send(NetEvent::Peer { from: id, frame }).is_err() {
-                            return; // event loop gone: shutting down
-                        }
-                    }
-                    Ok(None) | Err(_) => return,
-                }
-            }
-        }
-        Hello::Client { .. } => loop {
-            match read_frame_stoppable(&mut stream, max_frame, stop) {
-                Ok(Some(frame)) => {
-                    let (reply_tx, reply_rx) = mpsc::channel();
-                    if tx
-                        .send(NetEvent::Client {
-                            frame,
-                            reply: reply_tx,
-                        })
-                        .is_err()
-                    {
-                        return;
-                    }
-                    match reply_rx.recv_timeout(std::time::Duration::from_secs(30)) {
-                        Ok(bytes) => {
-                            if write_frame(&mut stream, &bytes).is_err() {
-                                return;
-                            }
-                        }
-                        Err(_) => return,
-                    }
-                }
-                Ok(None) | Err(_) => return,
-            }
-        },
-    }
-}
-
-/// Dials `addr` until it answers, the stop flag rises, or `timeout_ms`
-/// elapses.
-fn connect_with_retry(addr: &str, timeout_ms: u64, stop: &AtomicBool) -> Option<TcpStream> {
-    let clock = WallClock::start();
-    loop {
-        if stop.load(Ordering::Relaxed) || clock.now().ticks() >= timeout_ms {
-            return None;
-        }
-        match TcpStream::connect(addr) {
-            Ok(s) => {
-                let _ = s.set_nodelay(true);
-                return Some(s);
-            }
-            Err(_) => thread::sleep(std::time::Duration::from_millis(20)),
-        }
-    }
-}
-
-/// Outbound writer: connect (with retry), send the handshake, then drain
-/// the frame queue until every sender is dropped — which is how shutdown
-/// guarantees all staged frames are flushed before the node exits.
-fn writer_loop(
-    addr: &str,
-    hello: Hello,
-    rx: &mpsc::Receiver<Vec<u8>>,
-    connect_timeout_ms: u64,
-    stop: &AtomicBool,
-    connected: &AtomicUsize,
-) {
-    let Some(mut stream) = connect_with_retry(addr, connect_timeout_ms, stop) else {
-        return;
-    };
-    if write_frame(&mut stream, &hello.canonical_bytes()).is_err() {
-        return;
-    }
-    connected.fetch_add(1, Ordering::Relaxed);
-    while let Ok(frame) = rx.recv() {
-        if write_frame(&mut stream, &frame).is_err() {
-            return;
-        }
-    }
-}
-
-/// The two-phase start barrier (see [`NodeConfig::start_barrier`]).
-///
-/// Phase 1 waits until this node's mesh is locally complete: every
-/// outbound writer has delivered its handshake and every peer's inbound
-/// connection has been accepted. Phase 2 announces readiness with an
-/// *empty* frame — protocol messages are never zero-length, so the empty
-/// frame is free as a transport sentinel — and waits for every peer's
-/// announcement in turn. A peer only announces after *its* phase 1, so
-/// when the barrier clears, every replica's `on_start` fires within one
-/// message delay of the others instead of one accept-poll cycle.
-///
-/// Both phases share one deadline; on timeout the node proceeds with
-/// whatever mesh it has (a crashed peer must not wedge the cluster) and
-/// records a note. Protocol or client frames that arrive during phase 2
-/// (possible only from a peer whose own barrier timed out) are returned
-/// for the event loop to process first, in arrival order.
-fn start_barrier<M, D>(
-    driver: &mut NetDriver<M, D>,
-    rx: &mpsc::Receiver<NetEvent>,
-    inbound: &Mutex<Vec<bool>>,
-    outbound: &AtomicUsize,
-    deadline_ms: u64,
-) -> VecDeque<NetEvent>
-where
-    M: Payload + CanonicalEncode,
-    D: Clone + std::fmt::Debug + PartialEq,
-{
-    let mut pending = VecDeque::new();
-    let n = driver.n;
-    if n <= 1 {
-        return pending;
-    }
-    let me = driver.me.index();
-
-    let meshed = || {
-        outbound.load(Ordering::Relaxed) >= n - 1
-            && inbound.lock().map_or(true, |seen| {
-                seen.iter().enumerate().all(|(i, &s)| s || i == me)
-            })
-    };
-    while driver.clock.now().ticks() < deadline_ms && !meshed() {
-        thread::sleep(std::time::Duration::from_millis(1));
-    }
-
-    for tx in driver.peer_tx.iter().flatten() {
-        let _ = tx.send(Vec::new());
-        driver.bytes_sent += 4;
-    }
-    let mut ready = vec![false; n];
-    ready[me] = true;
-    while !ready.iter().all(|&r| r) {
-        if driver.clock.now().ticks() >= deadline_ms {
-            let missing = ready.iter().filter(|&&r| !r).count();
-            driver
-                .notes
-                .push(format!("mesh-incomplete missing={missing}"));
-            break;
-        }
-        match rx.recv_timeout(std::time::Duration::from_millis(5)) {
-            Ok(NetEvent::Peer { from, frame }) if frame.is_empty() => {
-                driver.bytes_received += 4;
-                if let Some(r) = ready.get_mut(from as usize) {
-                    *r = true;
-                }
-            }
-            Ok(ev) => pending.push_back(ev),
-            Err(mpsc::RecvTimeoutError::Timeout) => {}
-            Err(mpsc::RecvTimeoutError::Disconnected) => break,
-        }
-    }
-    pending
-}
-
-/// Delivers every queued loopback message to the actor (unless halted).
-fn drain_loopback<A>(driver: &mut NetDriver<A::Msg, A::Decision>, actor: &mut A)
+impl<'a, A, S> NodeLoop<'a, A, S>
 where
     A: Actor,
-    A::Msg: CanonicalEncode,
+    A::Msg: CanonicalEncode + CanonicalDecode,
+    S: FnMut(&mut A, &NodeView<'_, A::Decision>, &[u8]) -> ServiceReply,
 {
-    loop {
-        if driver.halted {
-            return;
+    fn now_ms(&self) -> u64 {
+        self.clock.now().ticks()
+    }
+
+    /// Delivers every queued loopback message to the actor (unless
+    /// halted), then stages any sends those callbacks produced.
+    fn drain_loopback(&mut self) {
+        loop {
+            if self.driver.halted {
+                return;
+            }
+            let Some(msg) = self.driver.loopback.pop_front() else {
+                return;
+            };
+            self.driver.msgs_received += 1;
+            self.driver.bytes_received += msg.size_bytes() as u64;
+            let me = self.driver.me;
+            let actor = &mut self.actor;
+            step(&mut self.driver, me, |ctx| actor.on_message(me, &msg, ctx));
         }
-        let Some(msg) = driver.loopback.pop_front() else {
+    }
+
+    /// Fires `on_start` (barrier cleared or disabled).
+    fn start_actor(&mut self) {
+        let me = self.driver.me;
+        let actor = &mut self.actor;
+        step(&mut self.driver, me, |ctx| actor.on_start(ctx));
+        self.drain_loopback();
+        self.pump();
+    }
+
+    /// Closes slab slot `i`; an outbound peer link schedules a redial.
+    fn close_conn(&mut self, i: usize) {
+        let Some(conn) = self.conns[i].take() else {
             return;
         };
-        driver.msgs_received += 1;
-        driver.bytes_received += msg.size_bytes() as u64;
-        let me = driver.me;
-        step(driver, me, |ctx| actor.on_message(me, &msg, ctx));
+        if let ConnKind::PeerOut(id) = conn.kind {
+            // Whatever the write ring still held is lost with the socket;
+            // the reconnect queue keeps only frames staged from now on.
+            if let Some(link) = self.links.get_mut(id as usize).and_then(Option::as_mut) {
+                if link.conn == Some(i) {
+                    link.conn = None;
+                    link.next_dial_ms = self.clock.now().ticks() + link.backoff.next_delay_ms();
+                }
+            }
+        }
+    }
+
+    /// Accepts every pending inbound connection (non-blocking) and evicts
+    /// half-open ones that out-sat the handshake timeout.
+    fn accept_and_evict(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let conn =
+                        Conn::new(stream, ConnKind::Pending, self.cfg.max_frame, self.now_ms());
+                    let slot = self.conns.iter().position(Option::is_none);
+                    match slot {
+                        Some(i) => self.conns[i] = Some(conn),
+                        None => self.conns.push(Some(conn)),
+                    }
+                    self.busy = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        let now = self.now_ms();
+        for i in 0..self.conns.len() {
+            let stale = matches!(
+                self.conns[i].as_ref(),
+                Some(c) if c.kind == ConnKind::Pending && now.saturating_sub(c.opened_ms) > HANDSHAKE_TIMEOUT_MS
+            );
+            if stale {
+                self.driver.notes.push("handshake-timeout evicted".into());
+                self.close_conn(i);
+            }
+        }
+    }
+
+    /// Dials every disconnected peer link whose backoff window has
+    /// elapsed; on success the handshake frame is staged and the
+    /// reconnect queue is re-targeted at the new write ring.
+    fn dial_due(&mut self) {
+        for id in 0..self.cfg.n {
+            let now = self.now_ms();
+            let Some(link) = self.links[id].as_mut() else {
+                continue;
+            };
+            if link.conn.is_some() || now < link.next_dial_ms {
+                continue;
+            }
+            if link.resolved.is_none() {
+                link.resolved = link
+                    .addr
+                    .to_socket_addrs()
+                    .ok()
+                    .and_then(|mut addrs| addrs.next());
+            }
+            let Some(addr) = link.resolved else {
+                link.next_dial_ms = now + link.backoff.next_delay_ms();
+                continue;
+            };
+            match TcpStream::connect_timeout(&addr, std::time::Duration::from_millis(DIAL_STEP_MS))
+            {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        link.next_dial_ms = now + link.backoff.next_delay_ms();
+                        continue;
+                    }
+                    let mut conn = Conn::new(
+                        stream,
+                        ConnKind::PeerOut(id as u32),
+                        self.cfg.max_frame,
+                        now,
+                    );
+                    let hello = Hello::Peer {
+                        id: self.cfg.me.0,
+                        cluster: self.cfg.cluster,
+                    };
+                    // The write ring is empty, so the handshake always fits.
+                    frame_into(&mut conn.wb, &hello.canonical_bytes());
+                    link.backoff.reset();
+                    let slot = self.conns.iter().position(Option::is_none);
+                    let idx = match slot {
+                        Some(i) => {
+                            self.conns[i] = Some(conn);
+                            i
+                        }
+                        None => {
+                            self.conns.push(Some(conn));
+                            self.conns.len() - 1
+                        }
+                    };
+                    if let Some(link) = self.links[id].as_mut() {
+                        link.conn = Some(idx);
+                    }
+                    self.busy = true;
+                }
+                Err(_) => {
+                    link.next_dial_ms = now + link.backoff.next_delay_ms();
+                }
+            }
+        }
+    }
+
+    /// Moves staged outbox frames into peer write rings (or reconnect
+    /// queues) and flushes every non-empty write ring once.
+    fn pump(&mut self) {
+        for id in 0..self.cfg.n {
+            // First drain the reconnect queue, then fresh outbox frames,
+            // preserving send order across a reconnect. Loop-local sends
+            // to `me` never reach the outbox, so a missing link ends the
+            // drain immediately.
+            while let Some(link) = self.links[id].as_mut() {
+                let conn_idx = link.conn;
+                let from_queue = !link.queue.is_empty();
+                let frame = if from_queue {
+                    link.queue.front().cloned()
+                } else {
+                    self.driver.outbox[id].front().cloned()
+                };
+                let Some(frame) = frame else {
+                    break;
+                };
+                let pushed = match conn_idx.and_then(|i| self.conns[i].as_mut()) {
+                    Some(conn) => frame_into(&mut conn.wb, &frame),
+                    None => false,
+                };
+                if pushed {
+                    if from_queue {
+                        link.queued_bytes -= frame.len() + 4;
+                        link.queue.pop_front();
+                    } else {
+                        self.driver.outbox[id].pop_front();
+                    }
+                    self.busy = true;
+                    continue;
+                }
+                // No live connection (or ring full): spill the fresh
+                // frame to the bounded queue and stop for this peer.
+                if !from_queue {
+                    self.driver.outbox[id].pop_front();
+                    if link.enqueue(frame) && !link.dropped_note {
+                        link.dropped_note = true;
+                        self.driver.notes.push(format!("peer-queue-overflow p{id}"));
+                    }
+                    continue;
+                }
+                break;
+            }
+        }
+        // Flush every write ring; errors close the connection.
+        for i in 0..self.conns.len() {
+            let mut failed = false;
+            if let Some(conn) = self.conns[i].as_mut() {
+                while !conn.wb.is_empty() {
+                    let Conn { stream, wb, .. } = conn;
+                    match wb.write_to(&mut &*stream) {
+                        Ok(0) => break,
+                        Ok(_) => self.busy = true,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            failed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if failed {
+                self.close_conn(i);
+            }
+        }
+    }
+
+    /// Advances the start barrier; fires `on_start` when it clears.
+    fn barrier_step(&mut self) {
+        match &self.barrier {
+            BarrierState::Done => {}
+            BarrierState::Meshing { deadline_ms } => {
+                let deadline = *deadline_ms;
+                let meshed = self.links.iter().flatten().all(|link| link.conn.is_some())
+                    && self
+                        .inbound_seen
+                        .iter()
+                        .enumerate()
+                        .all(|(i, &seen)| seen || i == self.cfg.me.index());
+                if meshed || self.now_ms() >= deadline {
+                    // Announce readiness to every peer with an empty
+                    // sentinel frame (4 wire bytes, no payload).
+                    for id in 0..self.cfg.n {
+                        if self.links[id].is_some() {
+                            self.driver.outbox[id].push_back(Vec::new());
+                            self.driver.bytes_sent += 4;
+                        }
+                    }
+                    self.peer_ready[self.cfg.me.index()] = true;
+                    self.barrier = BarrierState::Announcing {
+                        deadline_ms: deadline,
+                    };
+                    self.busy = true;
+                }
+            }
+            BarrierState::Announcing { deadline_ms } => {
+                if self.peer_ready.iter().all(|&r| r) {
+                    self.barrier = BarrierState::Done;
+                    self.start_actor();
+                } else if self.now_ms() >= *deadline_ms {
+                    let missing = self.peer_ready.iter().filter(|&&r| !r).count();
+                    self.driver
+                        .notes
+                        .push(format!("mesh-incomplete missing={missing}"));
+                    self.barrier = BarrierState::Done;
+                    self.start_actor();
+                }
+            }
+        }
+    }
+
+    /// Fires every due timer (oldest deadline first), interleaving the
+    /// loopback deliveries each may stage.
+    fn fire_timers(&mut self) {
+        while !self.driver.halted {
+            let now = self.clock.now();
+            let Some(tag) = self.driver.pop_due(now) else {
+                break;
+            };
+            let me = self.driver.me;
+            let actor = &mut self.actor;
+            step(&mut self.driver, me, |ctx| actor.on_timer(tag, ctx));
+            self.drain_loopback();
+            self.busy = true;
+        }
+    }
+
+    /// Delivers every held peer frame whose delivery deadline has passed.
+    fn deliver_due(&mut self) {
+        loop {
+            match self.holdq.front() {
+                Some(&(due, _, _)) if due <= self.clock.now() => {}
+                _ => break,
+            }
+            let Some((_, from, frame)) = self.holdq.pop_front() else {
+                break;
+            };
+            self.busy = true;
+            self.driver.bytes_received += frame.len() as u64 + 4;
+            match A::Msg::from_canonical_bytes(&frame) {
+                Ok(msg) => {
+                    self.driver.msgs_received += 1;
+                    if !self.driver.halted {
+                        let me = self.driver.me;
+                        let actor = &mut self.actor;
+                        step(&mut self.driver, me, |ctx| {
+                            actor.on_message(ProcessId(from), &msg, ctx);
+                        });
+                        self.drain_loopback();
+                    }
+                }
+                Err(e) => {
+                    // An undecodable frame is transport-level garbage;
+                    // note it and drop it, never panic on peer input.
+                    self.driver
+                        .notes
+                        .push(format!("decode-error from=p{from} err={e}"));
+                }
+            }
+        }
+    }
+
+    /// Polls every live socket for readability (sleeping up to `wait`
+    /// when idle), reads ready ones into their rings, then parses frames.
+    fn read_and_parse(&mut self, wait: std::time::Duration) {
+        let live: Vec<usize> = (0..self.conns.len())
+            .filter(|&i| self.conns[i].is_some())
+            .collect();
+        let ready: Vec<usize> = {
+            let mut fds: Vec<PollFd<'_>> = live
+                .iter()
+                .map(|&i| PollFd::new(&self.conns[i].as_ref().expect("live index").stream, POLLIN))
+                .collect();
+            if poll(&mut fds, wait) == 0 {
+                Vec::new()
+            } else {
+                live.iter()
+                    .zip(&fds)
+                    .filter(|(_, fd)| fd.revents & POLLIN != 0)
+                    .map(|(&i, _)| i)
+                    .collect()
+            }
+        };
+        for &i in &ready {
+            let mut close = false;
+            if let Some(conn) = self.conns[i].as_mut() {
+                loop {
+                    if conn.rb.free() == 0 {
+                        break; // inbound backpressure: parse first
+                    }
+                    let Conn { stream, rb, .. } = conn;
+                    match rb.read_from(&mut &*stream) {
+                        Ok(0) => {
+                            close = true; // EOF (free() > 0 rules out a full ring)
+                            break;
+                        }
+                        Ok(_) => self.busy = true,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            close = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            // Parse what we have even when the socket just closed: frames
+            // already buffered must not be lost with the connection.
+            self.parse_conn(i);
+            if close {
+                self.close_conn(i);
+            }
+        }
+        // Connections whose rings were left full last round (inbound
+        // backpressure) or whose parsing was deferred during the barrier
+        // may have parseable bytes without fresh readiness.
+        for &i in &live {
+            if !ready.contains(&i) {
+                self.parse_conn(i);
+            }
+        }
+    }
+
+    /// Extracts complete frames from slot `i`'s read ring and handles
+    /// them according to the connection kind.
+    fn parse_conn(&mut self, i: usize) {
+        loop {
+            let Some(conn) = self.conns[i].as_mut() else {
+                return;
+            };
+            let kind = conn.kind;
+            // Client requests wait until the barrier clears: the actor is
+            // not started yet, so a Status/Submit would observe a replica
+            // that does not exist.
+            if kind == ConnKind::Client && !matches!(self.barrier, BarrierState::Done) {
+                return;
+            }
+            // Frame extraction: length prefix, bounds check, payload.
+            let mut len_buf = [0u8; 4];
+            if !conn.rb.copy_to(&mut len_buf, 4) {
+                return;
+            }
+            let len = u32::from_be_bytes(len_buf) as usize;
+            if len > self.cfg.max_frame {
+                self.close_conn(i);
+                return;
+            }
+            if conn.rb.len() < 4 + len {
+                return;
+            }
+            conn.rb.consume(4);
+            let mut frame = vec![0u8; len];
+            conn.rb.copy_to(&mut frame, len);
+            conn.rb.consume(len);
+            match kind {
+                ConnKind::Pending => {
+                    if !self.handshake(i, &frame) {
+                        self.close_conn(i);
+                        return;
+                    }
+                }
+                ConnKind::PeerIn(from) => self.handle_peer_frame(from, frame),
+                ConnKind::PeerOut(_) => {
+                    // Peers never send on connections they accepted; any
+                    // payload here is garbage. Drop it.
+                }
+                ConnKind::Client => {
+                    if !self.handle_client_frame(i, frame) {
+                        return;
+                    }
+                }
+            }
+            self.busy = true;
+        }
+    }
+
+    /// Validates a `Hello` on a pending connection, re-typing the slot.
+    /// Returns `false` if the connection must be dropped.
+    fn handshake(&mut self, i: usize, frame: &[u8]) -> bool {
+        let Ok(hello) = Hello::from_canonical_bytes(frame) else {
+            return false;
+        };
+        if hello.cluster() != self.cfg.cluster {
+            return false;
+        }
+        match hello {
+            Hello::Peer { id, .. } => {
+                if id as usize >= self.cfg.n || id == self.cfg.me.0 {
+                    return false;
+                }
+                // A reconnecting peer supersedes its old inbound
+                // connection (whose EOF we may not have seen yet).
+                for j in 0..self.conns.len() {
+                    if j != i
+                        && matches!(self.conns[j].as_ref(), Some(c) if c.kind == ConnKind::PeerIn(id))
+                    {
+                        self.close_conn(j);
+                    }
+                }
+                self.inbound_seen[id as usize] = true;
+                if let Some(conn) = self.conns[i].as_mut() {
+                    conn.kind = ConnKind::PeerIn(id);
+                }
+            }
+            Hello::Client { .. } => {
+                if let Some(conn) = self.conns[i].as_mut() {
+                    conn.kind = ConnKind::Client;
+                }
+            }
+        }
+        true
+    }
+
+    /// Routes one inbound peer frame: barrier sentinel or protocol data.
+    fn handle_peer_frame(&mut self, from: u32, frame: Vec<u8>) {
+        if frame.is_empty() {
+            self.driver.bytes_received += 4;
+            // A start-barrier sentinel. Recorded regardless of our own
+            // phase: a fast peer announces while we are still meshing,
+            // and the mark must survive until we reach announcing.
+            if let Some(r) = self.peer_ready.get_mut(from as usize) {
+                *r = true;
+            }
+            return;
+        }
+        let due = self.clock.now() + Duration::of(self.cfg.delivery_delay_ms);
+        self.holdq.push_back((due, from, frame));
+    }
+
+    /// Services one client request inline. Returns `false` when the
+    /// connection was closed (backpressure) and parsing must stop.
+    fn handle_client_frame(&mut self, i: usize, frame: Vec<u8>) -> bool {
+        let view = NodeView {
+            me: self.driver.me,
+            now: self.clock.now(),
+            decision: self.driver.decision.as_ref(),
+            halted: self.driver.halted,
+            contradicted: self.driver.contradicted,
+            notes: &self.driver.notes,
+            msgs_sent: self.driver.msgs_sent,
+            msgs_received: self.driver.msgs_received,
+            bytes_sent: self.driver.bytes_sent,
+            bytes_received: self.driver.bytes_received,
+        };
+        let out = (self.service)(&mut self.actor, &view, &frame);
+        let Some(conn) = self.conns[i].as_mut() else {
+            return false;
+        };
+        if !frame_into(&mut conn.wb, &out.frame) {
+            // The client is not draining its replies: cap hit, drop it.
+            self.driver
+                .notes
+                .push("backpressure-disconnect client".into());
+            self.close_conn(i);
+            return false;
+        }
+        if out.shutdown {
+            self.shutdown = true;
+        }
+        true
+    }
+
+    /// How long the readiness poll may sleep this iteration.
+    fn idle_wait(&self) -> std::time::Duration {
+        if self.busy {
+            return std::time::Duration::ZERO;
+        }
+        let mut wait = std::time::Duration::from_millis(50);
+        match &self.barrier {
+            BarrierState::Meshing { .. } => wait = wait.min(std::time::Duration::from_millis(1)),
+            BarrierState::Announcing { .. } => {
+                wait = wait.min(std::time::Duration::from_millis(5));
+            }
+            BarrierState::Done => {
+                if let Some(deadline) = self.driver.next_deadline() {
+                    wait = wait.min(self.clock.until(deadline));
+                }
+                if let Some(&(due, _, _)) = self.holdq.front() {
+                    wait = wait.min(self.clock.until(due));
+                }
+            }
+        }
+        // Unflushed writes deserve a quick retry even when sockets are
+        // quiet (the peer may drain its receive window at any time).
+        let writes_pending = self.conns.iter().flatten().any(|conn| !conn.wb.is_empty());
+        if writes_pending {
+            wait = wait.min(std::time::Duration::from_millis(5));
+        }
+        for link in self.links.iter().flatten() {
+            if link.conn.is_none() {
+                wait = wait.min(self.clock.until(VirtualTime::at(link.next_dial_ms)));
+            }
+        }
+        wait
+    }
+
+    /// The readiness loop: runs until the actor halts (with
+    /// `exit_on_halt`), a client requests shutdown, the stop flag rises,
+    /// or the run bound trips. Returns the final report.
+    fn run(&mut self, stop: &AtomicBool) -> NetReport<A::Decision> {
+        if matches!(self.barrier, BarrierState::Done) {
+            self.start_actor();
+        }
+        loop {
+            self.busy = false;
+            if stop.load(Ordering::Relaxed) || self.shutdown {
+                break;
+            }
+            if self.now_ms() >= self.cfg.run_timeout_ms {
+                break;
+            }
+            if self.cfg.exit_on_halt
+                && self.driver.halted
+                && matches!(self.barrier, BarrierState::Done)
+            {
+                break;
+            }
+            self.accept_and_evict();
+            self.dial_due();
+            self.barrier_step();
+            if matches!(self.barrier, BarrierState::Done) {
+                self.fire_timers();
+                self.deliver_due();
+            }
+            self.pump();
+            let wait = self.idle_wait();
+            self.read_and_parse(wait);
+        }
+        // Exit flush: everything staged before the halt/shutdown should
+        // reach the wire, but a wedged peer must not hold the node
+        // hostage — bound the flush.
+        let flush_deadline = self.now_ms() + EXIT_FLUSH_MS;
+        loop {
+            self.pump();
+            let outstanding = self.conns.iter().flatten().any(|c| !c.wb.is_empty())
+                || self.driver.outbox.iter().any(|q| !q.is_empty());
+            if !outstanding || self.now_ms() >= flush_deadline {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let end_time = self.clock.now();
+        NetReport {
+            me: self.driver.me,
+            decision: self.driver.decision.clone(),
+            halted: self.driver.halted,
+            contradicted: self.driver.contradicted,
+            notes: std::mem::take(&mut self.driver.notes),
+            msgs_sent: self.driver.msgs_sent,
+            msgs_received: self.driver.msgs_received,
+            bytes_sent: self.driver.bytes_sent,
+            bytes_received: self.driver.bytes_received,
+            end_time,
+        }
     }
 }
 
@@ -643,13 +1136,38 @@ where
 /// # Errors
 ///
 /// Only setup failures (listener configuration) surface as `Err`; peer
-/// connection losses are absorbed, matching the crash-fault model.
+/// connection losses are absorbed — links are redialed with backoff,
+/// matching the crash-recovery model.
 pub fn run_node<A, S>(
     cfg: &NodeConfig,
     listener: TcpListener,
-    mut actor: A,
-    mut service: S,
+    actor: A,
+    service: S,
 ) -> io::Result<NetReport<A::Decision>>
+where
+    A: Actor,
+    A::Msg: CanonicalEncode + CanonicalDecode,
+    S: FnMut(&mut A, &NodeView<'_, A::Decision>, &[u8]) -> ServiceReply,
+{
+    let stop = AtomicBool::new(false);
+    run_node_controlled(cfg, listener, actor, service, &stop).map(|(report, _)| report)
+}
+
+/// [`run_node`] with an external stop flag, returning the actor alongside
+/// the report so a controller can stop a node mid-run and later restart
+/// it with its state intact — the transport-level crash/recovery harness
+/// used by the chaos tests.
+///
+/// # Errors
+///
+/// Only setup failures (listener configuration) surface as `Err`.
+pub fn run_node_controlled<A, S>(
+    cfg: &NodeConfig,
+    listener: TcpListener,
+    actor: A,
+    service: S,
+    stop: &AtomicBool,
+) -> io::Result<(NetReport<A::Decision>, A)>
 where
     A: Actor,
     A::Msg: CanonicalEncode + CanonicalDecode,
@@ -661,219 +1179,51 @@ where
         "peer list must have one address per replica"
     );
     assert!(cfg.me.index() < cfg.n, "me out of range");
-    let clock = WallClock::start();
-    let stop = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = mpsc::channel::<NetEvent>();
-
-    // Outbound: one writer thread + frame queue per remote peer. The
-    // channel buffers frames while the writer is still connecting, so the
-    // event loop never blocks on a slow or late peer.
-    let mut peer_tx: Vec<Option<mpsc::Sender<Vec<u8>>>> = Vec::with_capacity(cfg.n);
-    let mut writers = Vec::new();
-    let outbound = Arc::new(AtomicUsize::new(0));
-    for (id, addr) in cfg.peers.iter().enumerate() {
-        if id == cfg.me.index() {
-            peer_tx.push(None);
-            continue;
-        }
-        let (ftx, frx) = mpsc::channel::<Vec<u8>>();
-        peer_tx.push(Some(ftx));
-        let addr = addr.clone();
-        let hello = Hello::Peer {
-            id: cfg.me.0,
-            cluster: cfg.cluster,
-        };
-        let connect_timeout_ms = cfg.connect_timeout_ms;
-        let stop = Arc::clone(&stop);
-        let outbound = Arc::clone(&outbound);
-        writers.push(thread::spawn(move || {
-            writer_loop(&addr, hello, &frx, connect_timeout_ms, &stop, &outbound);
-        }));
-    }
-
-    // Inbound: a polling acceptor that spawns one reader per connection.
-    // Readers exit on their own when the event channel closes or the stop
-    // flag rises (their read timeout doubles as the poll).
     listener.set_nonblocking(true)?;
-    let inbound = Arc::new(Mutex::new(vec![false; cfg.n]));
-    let acceptor = {
-        let tx = tx.clone();
-        let stop = Arc::clone(&stop);
-        let inbound = Arc::clone(&inbound);
-        let ctx = AcceptCtx {
-            cluster: cfg.cluster,
-            n: cfg.n,
-            me: cfg.me.0,
-            max_frame: cfg.max_frame,
-        };
-        thread::spawn(move || {
-            while !stop.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((conn, _)) => {
-                        let tx = tx.clone();
-                        let stop = Arc::clone(&stop);
-                        let inbound = Arc::clone(&inbound);
-                        thread::spawn(move || {
-                            serve_connection(conn, &tx, &stop, &inbound, ctx);
-                        });
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        thread::sleep(std::time::Duration::from_millis(5));
-                    }
-                    Err(_) => return,
-                }
+    let clock = WallClock::start();
+    let links = (0..cfg.n)
+        .map(|id| {
+            if id == cfg.me.index() {
+                None
+            } else {
+                Some(PeerLink {
+                    addr: cfg.peers[id].clone(),
+                    resolved: None,
+                    conn: None,
+                    backoff: Backoff::new(derive_seed(cfg.seed, u64::from(cfg.me.0)) ^ id as u64),
+                    next_dial_ms: 0,
+                    queue: VecDeque::new(),
+                    queued_bytes: 0,
+                    dropped_note: false,
+                })
             }
         })
-    };
-    drop(tx); // the loop's rx must close once acceptor + readers are done
-
-    let mut driver: NetDriver<A::Msg, A::Decision> = NetDriver::new(cfg, clock, peer_tx);
-    let me = cfg.me;
-    let pending = if cfg.start_barrier {
-        start_barrier(
-            &mut driver,
-            &rx,
-            &inbound,
-            &outbound,
-            cfg.connect_timeout_ms,
-        )
-    } else {
-        VecDeque::new()
-    };
-    step(&mut driver, me, |ctx| actor.on_start(ctx));
-    drain_loopback(&mut driver, &mut actor);
-
-    // Every event passes through the hold queue, which implements the
-    // optional per-hop delivery latency (deadlines are monotone because
-    // the delay is constant, so FIFO order is deadline order). Events
-    // stashed during the start barrier are due immediately.
-    let delay = Duration::of(cfg.delivery_delay_ms);
-    let mut holdq: VecDeque<(VirtualTime, NetEvent)> = pending
-        .into_iter()
-        .map(|ev| (VirtualTime::ZERO, ev))
         .collect();
-
-    let mut shutdown = false;
-    while !shutdown {
-        if cfg.exit_on_halt && driver.halted {
-            break;
+    let barrier = if cfg.start_barrier && cfg.n > 1 {
+        BarrierState::Meshing {
+            deadline_ms: cfg.connect_timeout_ms,
         }
-        if clock.now().ticks() >= cfg.run_timeout_ms {
-            break;
-        }
-        // Fire every due timer (oldest deadline first), interleaving the
-        // loopback deliveries each may stage.
-        while !driver.halted {
-            let Some(tag) = driver.pop_due(clock.now()) else {
-                break;
-            };
-            step(&mut driver, me, |ctx| actor.on_timer(tag, ctx));
-            drain_loopback(&mut driver, &mut actor);
-        }
-        // Deliver every held event whose delivery deadline has passed.
-        while !shutdown {
-            match holdq.front() {
-                Some(&(due, _)) if due <= clock.now() => {}
-                _ => break,
-            }
-            let Some((_, event)) = holdq.pop_front() else {
-                break;
-            };
-            match event {
-                NetEvent::Peer { from, frame } => {
-                    driver.bytes_received += frame.len() as u64 + 4;
-                    if frame.is_empty() {
-                        // A late or duplicate start-barrier sentinel (its
-                        // sender's barrier timed out); not protocol data.
-                        continue;
-                    }
-                    match A::Msg::from_canonical_bytes(&frame) {
-                        Ok(msg) => {
-                            driver.msgs_received += 1;
-                            if !driver.halted {
-                                step(&mut driver, me, |ctx| {
-                                    actor.on_message(ProcessId(from), &msg, ctx);
-                                });
-                                drain_loopback(&mut driver, &mut actor);
-                            }
-                        }
-                        Err(e) => {
-                            // An undecodable frame is transport-level
-                            // garbage; note it and drop it, never panic
-                            // on peer input.
-                            driver
-                                .notes
-                                .push(format!("decode-error from=p{from} err={e}"));
-                        }
-                    }
-                }
-                NetEvent::Client { frame, reply } => {
-                    let view = NodeView {
-                        me,
-                        now: clock.now(),
-                        decision: driver.decision.as_ref(),
-                        halted: driver.halted,
-                        contradicted: driver.contradicted,
-                        notes: &driver.notes,
-                        msgs_sent: driver.msgs_sent,
-                        msgs_received: driver.msgs_received,
-                        bytes_sent: driver.bytes_sent,
-                        bytes_received: driver.bytes_received,
-                    };
-                    let out = service(&mut actor, &view, &frame);
-                    let _ = reply.send(out.frame);
-                    shutdown = out.shutdown;
-                }
-            }
-        }
-        // Wait for the next frame, but never past the next timer or
-        // hold-queue deadline (nor more than 50 ms, so stop conditions
-        // are re-checked).
-        let cap = std::time::Duration::from_millis(50);
-        let mut wait = cap;
-        if let Some(dl) = driver.next_deadline() {
-            wait = wait.min(clock.until(dl));
-        }
-        if let Some(&(due, _)) = holdq.front() {
-            wait = wait.min(clock.until(due));
-        }
-        match rx.recv_timeout(wait) {
-            Ok(ev) => holdq.push_back((clock.now() + delay, ev)),
-            Err(mpsc::RecvTimeoutError::Timeout) => {}
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                if holdq.is_empty() {
-                    break;
-                }
-                // Sources are gone but held events remain deliverable.
-                thread::sleep(wait);
-            }
-        }
-    }
-
-    // Shutdown: raise the flag (readers + acceptor wind down), then drop
-    // the writer queues — each writer drains its remaining frames before
-    // exiting, so everything staged before the halt reaches the wire.
-    stop.store(true, Ordering::Relaxed);
-    drop(rx);
-    let end_time = clock.now();
-    let report = NetReport {
-        me,
-        decision: driver.decision.clone(),
-        halted: driver.halted,
-        contradicted: driver.contradicted,
-        notes: std::mem::take(&mut driver.notes),
-        msgs_sent: driver.msgs_sent,
-        msgs_received: driver.msgs_received,
-        bytes_sent: driver.bytes_sent,
-        bytes_received: driver.bytes_received,
-        end_time,
+    } else {
+        BarrierState::Done
     };
-    drop(driver); // drops peer_tx senders
-    for w in writers {
-        let _ = w.join();
-    }
-    let _ = acceptor.join();
-    Ok(report)
+    let mut node = NodeLoop {
+        cfg,
+        clock,
+        listener,
+        conns: Vec::new(),
+        links,
+        inbound_seen: vec![false; cfg.n],
+        peer_ready: vec![false; cfg.n],
+        driver: NetDriver::new(cfg, clock),
+        actor,
+        service,
+        holdq: VecDeque::new(),
+        barrier,
+        shutdown: false,
+        busy: false,
+    };
+    let report = node.run(stop);
+    Ok((report, node.actor))
 }
 
 #[cfg(test)]
@@ -900,7 +1250,7 @@ mod tests {
     fn driver_timers_fire_in_deadline_then_seq_order() {
         let cfg = NodeConfig::new(ProcessId(0), vec!["unused".into()], 0, 1);
         let clock = WallClock::start();
-        let mut d: NetDriver<u64, u64> = NetDriver::new(&cfg, clock, vec![None]);
+        let mut d: NetDriver<u64, u64> = NetDriver::new(&cfg, clock);
         d.schedule(ProcessId(0), Duration::of(0), 10);
         d.schedule(ProcessId(0), Duration::of(0), 11);
         let far = VirtualTime::MAX;
@@ -912,7 +1262,7 @@ mod tests {
     #[test]
     fn driver_contradiction_and_halt_semantics() {
         let cfg = NodeConfig::new(ProcessId(0), vec!["unused".into()], 0, 1);
-        let mut d: NetDriver<u64, u64> = NetDriver::new(&cfg, WallClock::start(), vec![None]);
+        let mut d: NetDriver<u64, u64> = NetDriver::new(&cfg, WallClock::start());
         d.record_decision(ProcessId(0), 5);
         d.record_decision(ProcessId(0), 5);
         assert!(!d.contradicted);
@@ -928,9 +1278,39 @@ mod tests {
     #[test]
     fn loopback_dispatch_stays_decoded() {
         let cfg = NodeConfig::new(ProcessId(0), vec!["a".into(), "b".into()], 0, 1);
-        let mut d: NetDriver<u64, u64> = NetDriver::new(&cfg, WallClock::start(), vec![None, None]);
+        let mut d: NetDriver<u64, u64> = NetDriver::new(&cfg, WallClock::start());
         d.dispatch(ProcessId(0), StagedSend::ToAll(42));
         assert_eq!(d.loopback.pop_front(), Some(42));
         assert_eq!(d.msgs_sent, 2); // self copy + one remote frame
+        assert_eq!(d.outbox[1].len(), 1);
+    }
+
+    #[test]
+    fn outbox_send_counts_frame_overhead() {
+        let cfg = NodeConfig::new(ProcessId(0), vec!["a".into(), "b".into()], 0, 1);
+        let mut d: NetDriver<u64, u64> = NetDriver::new(&cfg, WallClock::start());
+        d.send_bytes(ProcessId(1), vec![0u8; 10]);
+        assert_eq!(d.bytes_sent, 14);
+        assert_eq!(d.msgs_sent, 1);
+    }
+
+    #[test]
+    fn peer_link_queue_drops_oldest_at_cap() {
+        let mut link = PeerLink {
+            addr: "unused".into(),
+            resolved: None,
+            conn: None,
+            backoff: Backoff::new(1),
+            next_dial_ms: 0,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            dropped_note: false,
+        };
+        let frame = vec![0u8; PEER_QUEUE_CAP / 4 - 4];
+        for _ in 0..4 {
+            assert!(!link.enqueue(frame.clone()), "under cap: nothing dropped");
+        }
+        assert!(link.enqueue(frame.clone()), "cap exceeded: oldest dropped");
+        assert!(link.queued_bytes <= PEER_QUEUE_CAP);
     }
 }

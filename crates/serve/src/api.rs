@@ -77,6 +77,19 @@ pub struct Status {
     pub bytes_sent: u64,
     /// Bytes received.
     pub bytes_received: u64,
+    /// Max commands this replica packs into one slot (`--batch`).
+    pub batch: u64,
+    /// Commands submitted to this replica over its lifetime.
+    pub submitted: u64,
+    /// Commands whose slot sealed with this replica's entry intact.
+    pub committed: u64,
+    /// Commands riding slots whose fate is not yet known.
+    pub inflight: u64,
+    /// SHA-256 over the sorted committed multiset (see
+    /// [`crate::batch::BatchState::committed_digest`]): batch-size
+    /// independent, so `--batch 1` and `--batch 16` runs of the same
+    /// workload report equal digests.
+    pub committed_digest: Vec<u8>,
 }
 
 /// A string as canonical bytes (UTF-8, length-prefixed).
@@ -107,6 +120,11 @@ impl CanonicalEncode for Status {
         enc.u64(self.msgs_received);
         enc.u64(self.bytes_sent);
         enc.u64(self.bytes_received);
+        enc.u64(self.batch);
+        enc.u64(self.submitted);
+        enc.u64(self.committed);
+        enc.u64(self.inflight);
+        enc.bytes(&self.committed_digest);
     }
 }
 
@@ -139,6 +157,11 @@ impl CanonicalDecode for Status {
             msgs_received: dec.u64()?,
             bytes_sent: dec.u64()?,
             bytes_received: dec.u64()?,
+            batch: dec.u64()?,
+            submitted: dec.u64()?,
+            committed: dec.u64()?,
+            inflight: dec.u64()?,
+            committed_digest: dec.bytes()?,
         })
     }
 }
@@ -209,6 +232,11 @@ mod tests {
             msgs_received: 90,
             bytes_sent: 4000,
             bytes_received: 3800,
+            batch: 16,
+            submitted: 40,
+            committed: 30,
+            inflight: 5,
+            committed_digest: vec![0xCD; 32],
         }
     }
 

@@ -3,17 +3,30 @@
 //! ```text
 //! ftm-load --peers 127.0.0.1:7100,127.0.0.1:7101,... \
 //!          [--slots 1000] [--cluster 0] [--submit-per-replica <slots>] \
+//!          [--clients N] [--requests-per-client K] [--targets a:p,b:p] \
 //!          [--poll-ms 100] [--timeout-ms 120000] [--out report.json]
 //! ```
 //!
-//! One worker per replica (fanned out through the harness's
-//! `parallel_map`, the repo's only sanctioned thread pool outside the
-//! transport): submit commands, then poll `Status` until the replica
-//! reports a complete, halted log. Afterwards the main thread checks the
-//! cluster invariants — every replica halted, no contradictions, **all
-//! log digests equal**, zero convictions — sends `Shutdown` everywhere,
-//! and emits a byte-stable integer-only JSON report (exit code 0 only if
-//! every invariant holds).
+//! Two load modes share the same invariant checks:
+//!
+//! * **classic** (`--clients 0`, the default): one worker per replica
+//!   (fanned out through the harness's `parallel_map`, the repo's only
+//!   sanctioned thread pool outside the transport) submits
+//!   `--submit-per-replica` commands, then polls `Status` until the
+//!   replica reports a complete, halted log;
+//! * **many-client** (`--clients N`): a single-threaded
+//!   [`ftm_net::run_load`] loop drives `N` concurrent connections —
+//!   `--requests-per-client` submissions each against `--targets`
+//!   (default: all peers), with reconnect backoff and integer-µs latency
+//!   percentiles — then the classic workers take over for the monitor
+//!   phase only (no further submissions).
+//!
+//! Afterwards the main thread checks the cluster invariants — every
+//! replica halted, no contradictions, **all log digests equal**, the
+//! batching ledger conservation law (`submitted == queued + inflight +
+//! committed`) on every replica, zero convictions — sends `Shutdown`
+//! everywhere, and emits a byte-stable integer-only JSON report (exit
+//! code 0 only if every invariant holds).
 //!
 //! Elapsed time is the *maximum replica-reported* `now_ms`: the load
 //! generator itself never reads a clock, keeping this crate inside the
@@ -23,18 +36,22 @@ use std::env;
 use std::process::ExitCode;
 
 use ftm_crypto::wire::{CanonicalDecode, CanonicalEncode};
-use ftm_net::ClientConn;
+use ftm_net::{run_load, ClientConn, LoadConfig, LoadOutcome};
 use ftm_serve::api::{Reply, Request, Status};
 use ftm_serve::args::Args;
 use ftm_serve::hex;
 use ftm_sim::harness::parallel_map;
 use ftm_sim::Json;
 
-const FLAGS: [&str; 7] = [
+const FLAGS: [&str; 11] = [
     "peers",
     "slots",
     "cluster",
     "submit-per-replica",
+    "clients",
+    "requests-per-client",
+    "targets",
+    "seed",
     "poll-ms",
     "timeout-ms",
     "out",
@@ -62,12 +79,57 @@ fn run() -> Result<ExitCode, String> {
     let args = Args::parse(env::args().skip(1), &FLAGS)?;
     let peers = args.list("peers")?;
     let slots = args.u64_or("slots", 1000)?;
+    let clients = args.u64_or("clients", 0)? as usize;
+    let requests_per_client = args.u64_or("requests-per-client", 16)?;
     let drive = Drive {
         cluster: args.u64_or("cluster", 0)?,
         slots,
-        submit: args.u64_or("submit-per-replica", slots)?,
+        // Many-client mode submits through the load loop; the per-replica
+        // workers then only monitor.
+        submit: if clients > 0 {
+            0
+        } else {
+            args.u64_or("submit-per-replica", slots)?
+        },
         poll_ms: args.u64_or("poll-ms", 100)?,
         timeout_ms: args.u64_or("timeout-ms", 120_000)?,
+    };
+
+    let load = if clients > 0 {
+        let targets = match args.get("targets") {
+            Some(_) => args.list("targets")?,
+            None => peers.clone(),
+        };
+        let lcfg = LoadConfig {
+            clients,
+            targets,
+            cluster: drive.cluster,
+            requests_per_client,
+            seed: args.u64_or("seed", 0xD00D)?,
+            timeout_ms: drive.timeout_ms,
+        };
+        let outcome = run_load(
+            &lcfg,
+            |i, k| {
+                // Distinct, replayable values per (client, sequence).
+                let value = 0xC2_0000_0000 + (i as u64) * requests_per_client + k;
+                Request::Submit { value }.canonical_bytes()
+            },
+            |_, frame| {
+                matches!(
+                    Reply::from_canonical_bytes(frame),
+                    Ok(Reply::Submitted { .. })
+                )
+            },
+        )
+        .map_err(|e| format!("load phase: {e}"))?;
+        eprintln!(
+            "ftm-load: {} clients completed {} requests ({} reconnects) in {} ms",
+            clients, outcome.completed, outcome.reconnects, outcome.elapsed_ms
+        );
+        Some(outcome)
+    } else {
+        None
     };
 
     let results: Vec<Result<Status, String>> = parallel_map(&peers, peers.len(), |i, addr| {
@@ -97,12 +159,20 @@ fn run() -> Result<ExitCode, String> {
     let digests_agree = statuses
         .windows(2)
         .all(|w| w[0].log_digest == w[1].log_digest);
+    // The batching ledger's conservation law, at every replica.
+    let conserved = statuses
+        .iter()
+        .all(|s| s.submitted == s.queued + s.inflight + s.committed);
     let convictions: Vec<String> = statuses
         .iter()
         .flat_map(|s| s.convicted.iter().map(|c| format!("p{} saw {c}", s.me)))
         .collect();
-    let ok =
-        all_halted && none_contradicted && all_complete && digests_agree && convictions.is_empty();
+    let ok = all_halted
+        && none_contradicted
+        && all_complete
+        && digests_agree
+        && conserved
+        && convictions.is_empty();
 
     let elapsed_ms = statuses.iter().map(|s| s.now_ms).max().unwrap_or(0).max(1);
     let total_bytes: u64 = statuses.iter().map(|s| s.bytes_sent).sum();
@@ -115,6 +185,7 @@ fn run() -> Result<ExitCode, String> {
         ("all_complete".into(), Json::Bool(all_complete)),
         ("digests_agree".into(), Json::Bool(digests_agree)),
         ("none_contradicted".into(), Json::Bool(none_contradicted)),
+        ("conserved".into(), Json::Bool(conserved)),
         (
             "log_digest".into(),
             Json::Str(
@@ -145,6 +216,45 @@ fn run() -> Result<ExitCode, String> {
         (
             "bytes_per_slot".into(),
             Json::U64(total_bytes / drive.slots.max(1)),
+        ),
+        (
+            "total_submitted".into(),
+            Json::U64(statuses.iter().map(|s| s.submitted).sum()),
+        ),
+        (
+            "total_committed".into(),
+            Json::U64(statuses.iter().map(|s| s.committed).sum()),
+        ),
+        ("clients".into(), Json::U64(clients as u64)),
+        (
+            "load_completed".into(),
+            Json::U64(load_field(&load, |o| o.completed)),
+        ),
+        (
+            "load_rejected".into(),
+            Json::U64(load_field(&load, |o| o.rejected)),
+        ),
+        (
+            "load_reconnects".into(),
+            Json::U64(load_field(&load, |o| o.reconnects)),
+        ),
+        (
+            "load_elapsed_ms".into(),
+            Json::U64(load_field(&load, |o| o.elapsed_ms)),
+        ),
+        (
+            "load_p50_us".into(),
+            Json::U64(load_field(&load, |o| o.p50_us)),
+        ),
+        (
+            "load_p95_us".into(),
+            Json::U64(load_field(&load, |o| o.p95_us)),
+        ),
+        (
+            "load_requests_per_sec".into(),
+            Json::U64(load.as_ref().map_or(0, |o| {
+                o.completed.saturating_mul(1000) / o.elapsed_ms.max(1)
+            })),
         ),
     ]);
     let rendered = report.render();
@@ -187,17 +297,27 @@ fn drive_replica(index: usize, addr: &String, drive: &Drive) -> Result<Status, S
         }
     }
 
+    // Monitor phase. A dropped connection here is not fatal: the replica
+    // may be mid-restart (the chaos smoke kills one on purpose), so the
+    // worker redials and keeps polling until the overall attempt budget
+    // runs out.
+    let mut conn = Some(conn);
     let mut last = None;
     for _ in 0..attempts {
-        match request(&mut conn, &Request::Status)? {
-            Reply::Status(s) => {
+        let polled = match conn.as_mut() {
+            Some(c) => request(c, &Request::Status),
+            None => Err("disconnected".into()),
+        };
+        match polled {
+            Ok(Reply::Status(s)) => {
                 let done = s.halted && s.decided_slots >= drive.slots;
                 last = Some(s);
                 if done {
                     return Ok(last.unwrap_or_else(|| unreachable!()));
                 }
             }
-            other => return Err(format!("{addr}: unexpected status reply {other:?}")),
+            Ok(other) => return Err(format!("{addr}: unexpected status reply {other:?}")),
+            Err(_) => conn = ClientConn::connect(addr, drive.cluster).ok(),
         }
         std::thread::sleep(poll);
     }
@@ -207,6 +327,11 @@ fn drive_replica(index: usize, addr: &String, drive: &Drive) -> Result<Status, S
         last.map_or(0, |s| s.decided_slots),
         drive.slots
     ))
+}
+
+/// A field of the load outcome, or zero in classic mode.
+fn load_field(load: &Option<LoadOutcome>, f: impl Fn(&LoadOutcome) -> u64) -> u64 {
+    load.as_ref().map_or(0, f)
 }
 
 fn request(conn: &mut ClientConn, req: &Request) -> Result<Reply, String> {

@@ -14,6 +14,7 @@
 
 pub mod api;
 pub mod args;
+pub mod batch;
 
 use std::fmt::Write as _;
 

@@ -1,0 +1,185 @@
+//! Batching equivalence: the same workload against real `ftm-serve`
+//! processes commits the same command multiset whether commands ride one
+//! per slot (`--batch 1`) or packed (`--batch 16`), under both protocols.
+//!
+//! The observable is each replica's `committed_digest` from its `Status`
+//! reply: SHA-256 over the sorted committed multiset, independent of
+//! batch size and of which slots the commands rode in. The conservation
+//! law `submitted == queued + inflight + committed` is asserted on every
+//! poll along the way.
+
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::thread;
+use std::time::Duration;
+
+use ftm_crypto::wire::{CanonicalDecode, CanonicalEncode};
+use ftm_net::ClientConn;
+use ftm_serve::api::{Reply, Request, Status};
+
+const N: usize = 4;
+const SEED: u64 = 0xBA7C4;
+const SLOTS: u64 = 48;
+const COMMANDS_PER_REPLICA: u64 = 6;
+
+/// Child processes plus their addresses; the `Drop` guard kills whatever
+/// a failing test leaves behind.
+struct Cluster {
+    children: Vec<Child>,
+    addrs: Vec<String>,
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Reserves `n` distinct loopback ports by binding ephemeral listeners,
+/// then releases them for the child processes (the reuse window between
+/// drop and the child's bind is tiny and acceptable for tests).
+fn free_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr").to_string())
+        .collect()
+}
+
+fn spawn_cluster(protocol: &str, batch: u64, cluster_id: u64) -> Cluster {
+    let addrs = free_addrs(N);
+    let peers = addrs.join(",");
+    let children = (0..N)
+        .map(|i| {
+            Command::new(env!("CARGO_BIN_EXE_ftm-serve"))
+                .args([
+                    "--id",
+                    &i.to_string(),
+                    "--peers",
+                    &peers,
+                    "--protocol",
+                    protocol,
+                    "--f",
+                    "1",
+                    "--slots",
+                    &SLOTS.to_string(),
+                    "--seed",
+                    &SEED.to_string(),
+                    "--cluster",
+                    &cluster_id.to_string(),
+                    "--timeout-ms",
+                    "120000",
+                    "--batch",
+                    &batch.to_string(),
+                ])
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("spawn ftm-serve")
+        })
+        .collect();
+    Cluster { children, addrs }
+}
+
+fn connect_with_retry(addr: &str, cluster: u64) -> ClientConn {
+    for _ in 0..3000 {
+        if let Ok(conn) = ClientConn::connect(addr, cluster) {
+            return conn;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    panic!("could not connect to {addr}");
+}
+
+fn status(conn: &mut ClientConn) -> Status {
+    let frame = conn
+        .request(&Request::Status.canonical_bytes())
+        .expect("status request");
+    match Reply::from_canonical_bytes(&frame) {
+        Ok(Reply::Status(s)) => s,
+        other => panic!("unexpected status reply: {other:?}"),
+    }
+}
+
+/// Runs one 4-replica cluster, submits the fixed workload, waits until
+/// every replica committed all of its commands and returns the
+/// per-replica committed digests.
+fn committed_digests(protocol: &str, batch: u64, cluster_id: u64) -> Vec<Vec<u8>> {
+    let cluster = spawn_cluster(protocol, batch, cluster_id);
+    let mut conns: Vec<ClientConn> = cluster
+        .addrs
+        .iter()
+        .map(|a| connect_with_retry(a, cluster_id))
+        .collect();
+
+    // The workload is identical across batch settings: replica `i`
+    // receives commands 0xB000 + i*100 + k, in submission order.
+    for (i, conn) in conns.iter_mut().enumerate() {
+        for k in 0..COMMANDS_PER_REPLICA {
+            let value = 0xB000 + (i as u64) * 100 + k;
+            let frame = conn
+                .request(&Request::Submit { value }.canonical_bytes())
+                .expect("submit");
+            assert!(
+                matches!(
+                    Reply::from_canonical_bytes(&frame),
+                    Ok(Reply::Submitted { .. })
+                ),
+                "replica {i} rejected a submit"
+            );
+        }
+    }
+
+    // Wait for every replica to drain: everything submitted committed,
+    // nothing queued or in flight, conservation intact on every poll.
+    let mut digests = vec![Vec::new(); N];
+    for (i, conn) in conns.iter_mut().enumerate() {
+        let mut done = false;
+        for _ in 0..6000 {
+            let s = status(conn);
+            assert_eq!(
+                s.submitted,
+                s.queued + s.inflight + s.committed,
+                "conservation violated on replica {i}"
+            );
+            assert!(!s.contradicted, "replica {i} contradicted itself");
+            if s.submitted == COMMANDS_PER_REPLICA && s.committed == COMMANDS_PER_REPLICA {
+                digests[i] = s.committed_digest.clone();
+                done = true;
+                break;
+            }
+            thread::sleep(Duration::from_millis(20));
+        }
+        assert!(
+            done,
+            "replica {i} never committed its {COMMANDS_PER_REPLICA} commands"
+        );
+    }
+
+    // Polite teardown; the Drop guard reaps whatever survives.
+    for conn in &mut conns {
+        let _ = conn.request(&Request::Shutdown.canonical_bytes());
+    }
+    digests
+}
+
+#[test]
+fn batch_1_and_batch_16_commit_the_same_multiset_under_hr() {
+    let small = committed_digests("hr", 1, 0xB1);
+    let large = committed_digests("hr", 16, 0xB2);
+    assert!(small.iter().all(|d| !d.is_empty()), "empty digest");
+    assert_eq!(small, large, "HR: --batch 1 and --batch 16 diverged");
+}
+
+#[test]
+fn batch_1_and_batch_16_commit_the_same_multiset_under_ct() {
+    let small = committed_digests("ct", 1, 0xC1);
+    let large = committed_digests("ct", 16, 0xC2);
+    assert!(small.iter().all(|d| !d.is_empty()), "empty digest");
+    assert_eq!(small, large, "CT: --batch 1 and --batch 16 diverged");
+}
